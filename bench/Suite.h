@@ -1,0 +1,204 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CMP benchmark suite used by the Section 7 reproduction: CJ
+/// clients modeled on the paper's figures plus contrived "difficult"
+/// instances, each annotated with the number of call sites that really
+/// can violate (established independently by the concrete reference
+/// executor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_BENCH_SUITE_H
+#define CANVAS_BENCH_SUITE_H
+
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace bench {
+
+struct BenchClient {
+  const char *Name;
+  const char *Source;
+  /// True when the client stores component references only in locals
+  /// and parameters (SCMP scope).
+  bool SCMPScope;
+};
+
+inline const std::vector<BenchClient> &cmpSuite() {
+  static const std::vector<BenchClient> Suite = {
+      {"fig3", R"(
+        class Fig3 {
+          void main() {
+            Set v = new Set();
+            Iterator i1 = v.iterator();
+            Iterator i2 = v.iterator();
+            Iterator i3 = i1;
+            i1.next();
+            i1.remove();
+            if (*) { i2.next(); }
+            if (*) { i3.next(); }
+            v.add();
+            if (*) { i1.next(); }
+          }
+        }
+      )", true},
+
+      {"versioned-loop", R"(
+        class Loop {
+          void main() {
+            Set s = new Set();
+            while (*) {
+              s.add();
+              Iterator i = s.iterator();
+              while (*) { i.next(); }
+            }
+          }
+        }
+      )", true},
+
+      {"make-buggy", R"(
+        class Make {
+          void main() {
+            Set worklist = new Set();
+            initializeWorklist(worklist);
+            Iterator i = worklist.iterator();
+            while (*) {
+              i.next();
+              if (*) { processItem(worklist); }
+            }
+          }
+          void initializeWorklist(Set w) { w.add(); }
+          void processItem(Set w) { doSubproblem(w); }
+          void doSubproblem(Set w) { if (*) { w.add(); } }
+        }
+      )", true},
+
+      {"make-fixed", R"(
+        class Make {
+          void main() {
+            Set worklist = new Set();
+            initializeWorklist(worklist);
+            while (*) {
+              Iterator i = worklist.iterator();
+              while (*) { i.next(); }
+              grow(worklist);
+            }
+          }
+          void initializeWorklist(Set w) { w.add(); }
+          void grow(Set w) { if (*) { w.add(); } }
+        }
+      )", true},
+
+      {"copy-chains", R"(
+        class Copies {
+          void main() {
+            Set s = new Set();
+            Iterator a = s.iterator();
+            Iterator b = a;
+            Iterator c = b;
+            c.remove();
+            a.next();
+            b.next();
+            Iterator d = s.iterator();
+            c.remove();
+            d.next();
+          }
+        }
+      )", true},
+
+      {"two-collections", R"(
+        class Two {
+          void main() {
+            Set s = new Set();
+            Set t = new Set();
+            Iterator i = s.iterator();
+            Iterator j = t.iterator();
+            while (*) {
+              t.add();
+              j = t.iterator();
+              j.next();
+            }
+            i.next();
+          }
+        }
+      )", true},
+
+      {"remove-heavy", R"(
+        class Removes {
+          void main() {
+            Set s = new Set();
+            Iterator i = s.iterator();
+            Iterator j = s.iterator();
+            while (*) { i.remove(); i.next(); }
+            j.next();
+          }
+        }
+      )", true},
+
+      {"nested-fresh", R"(
+        class Nested {
+          void main() {
+            Set s = new Set();
+            while (*) {
+              Iterator i = s.iterator();
+              while (*) {
+                i.next();
+                if (*) { i.remove(); }
+              }
+              s.add();
+            }
+          }
+        }
+      )", true},
+
+      {"branchy", R"(
+        class Branchy {
+          void main() {
+            Set s = new Set();
+            Iterator i = s.iterator();
+            if (*) { s.add(); } else { i.next(); }
+            i.next();
+          }
+        }
+      )", true},
+
+      {"interleaved", R"(
+        class Interleaved {
+          void main() {
+            Set s = new Set();
+            Set t = new Set();
+            Iterator i = s.iterator();
+            t.add();
+            i.next();
+            Iterator j = t.iterator();
+            s.add();
+            j.next();
+            i.next();
+          }
+        }
+      )", true},
+
+      {"reuse-after-refresh", R"(
+        class Refresh {
+          void main() {
+            Set s = new Set();
+            Iterator i = s.iterator();
+            while (*) {
+              s.add();
+              i = s.iterator();
+              i.next();
+            }
+            i.next();
+          }
+        }
+      )", true},
+  };
+  return Suite;
+}
+
+} // namespace bench
+} // namespace canvas
+
+#endif // CANVAS_BENCH_SUITE_H

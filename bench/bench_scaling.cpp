@@ -1,0 +1,140 @@
+//===----------------------------------------------------------------------===//
+//
+// The complexity figure: intraprocedural SCMP certification is
+// O(E * B^2) (Section 4.3), where E is the number of CFG edges and B
+// the number of iterator/collection variables. Synthetic clients sweep
+// B (iterator count) and E (statement count) independently; the series
+// should grow quadratically in B and linearly in E.
+//
+//===----------------------------------------------------------------------===//
+
+#include "boolprog/Analysis.h"
+#include "client/CFG.h"
+#include "client/Parser.h"
+#include "easl/Builtins.h"
+
+#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace canvas;
+
+namespace {
+
+/// B iterators over one set, each created and used once, followed by a
+/// mutation/refresh loop.
+std::string clientWithIterators(unsigned B) {
+  std::string Src = "class Scale { void main() {\n  Set s = new Set();\n";
+  for (unsigned I = 0; I != B; ++I) {
+    std::string V = "i" + std::to_string(I);
+    Src += "  Iterator " + V + " = s.iterator();\n  " + V + ".next();\n";
+  }
+  Src += "  while (*) { s.add(); Iterator t = s.iterator(); t.next(); }\n";
+  Src += "} }\n";
+  return Src;
+}
+
+/// Fixed variable count, E repetitions of a use block (linear factor).
+std::string clientWithStatements(unsigned E) {
+  std::string Src = "class Scale { void main() {\n  Set s = new Set();\n"
+                    "  Iterator i = s.iterator();\n";
+  for (unsigned K = 0; K != E; ++K)
+    Src += "  i.next();\n  if (*) { i.remove(); }\n";
+  Src += "} }\n";
+  return Src;
+}
+
+struct Prepared {
+  easl::Spec Spec;
+  wp::DerivedAbstraction Abs;
+  cj::Program Prog;
+  cj::ClientCFG CFG;
+  bp::BooleanProgram BP;
+};
+
+Prepared prepare(const std::string &Source) {
+  Prepared P;
+  P.Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  DiagnosticEngine Diags;
+  P.Abs = wp::deriveAbstraction(P.Spec, Diags);
+  P.Prog = cj::parseProgram(Source, Diags);
+  P.CFG = cj::buildCFG(P.Prog, P.Spec, Diags);
+  P.BP = bp::buildBooleanProgram(P.Abs, *P.CFG.mainCFG(), Diags);
+  return P;
+}
+
+void printSeries() {
+  std::printf("=== Scaling in B (iterator variables); boolean variables "
+              "grow as B^2 ===\n");
+  std::printf("%6s %10s %10s %12s %10s\n", "B", "CFG edges", "bool vars",
+              "fixpt iters", "time (us)");
+  for (unsigned B : {2, 4, 8, 16, 32, 64}) {
+    Prepared P = prepare(clientWithIterators(B));
+    auto T0 = std::chrono::steady_clock::now();
+    bp::IntraResult R = bp::analyzeIntraproc(P.BP);
+    auto T1 = std::chrono::steady_clock::now();
+    double Us =
+        std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+            .count();
+    std::printf("%6u %10zu %10zu %12u %10.0f\n", B,
+                P.CFG.mainCFG()->Edges.size(), P.BP.Vars.size(),
+                R.Iterations, Us);
+  }
+
+  std::printf("\n=== Scaling in E (statements); fixed variable set ===\n");
+  std::printf("%6s %10s %10s %12s %10s\n", "E", "CFG edges", "bool vars",
+              "fixpt iters", "time (us)");
+  for (unsigned E : {8, 16, 32, 64, 128, 256}) {
+    Prepared P = prepare(clientWithStatements(E));
+    auto T0 = std::chrono::steady_clock::now();
+    bp::IntraResult R = bp::analyzeIntraproc(P.BP);
+    auto T1 = std::chrono::steady_clock::now();
+    double Us =
+        std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+            .count();
+    std::printf("%6u %10zu %10zu %12u %10.0f\n", E,
+                P.CFG.mainCFG()->Edges.size(), P.BP.Vars.size(),
+                R.Iterations, Us);
+  }
+  std::printf("\n");
+}
+
+void BM_AnalyzeByIterators(benchmark::State &State) {
+  Prepared P = prepare(clientWithIterators(State.range(0)));
+  for (auto _ : State) {
+    bp::IntraResult R = bp::analyzeIntraproc(P.BP);
+    benchmark::DoNotOptimize(R.Iterations);
+  }
+  State.counters["boolvars"] = P.BP.Vars.size();
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_AnalyzeByStatements(benchmark::State &State) {
+  Prepared P = prepare(clientWithStatements(State.range(0)));
+  for (auto _ : State) {
+    bp::IntraResult R = bp::analyzeIntraproc(P.BP);
+    benchmark::DoNotOptimize(R.Iterations);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_AnalyzeByIterators)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+BENCHMARK(BM_AnalyzeByStatements)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oN);
+
+int main(int argc, char **argv) {
+  printSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: staged certification of the paper's running example.
+//
+// Reproduces, end to end:
+//   - Fig. 4: the automatically derived instrumentation predicates,
+//   - Fig. 5: the derived component-method abstractions,
+//   - Fig. 6: the transformed (boolean) client program,
+//   - Fig. 8: the abstract state before/after statement 5, and
+//   - the certification verdicts for the Fig. 3 client: real errors at
+//     the i2/i1 uses, and *no* false alarm at the i3 use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "boolprog/Analysis.h"
+#include "client/Parser.h"
+#include "core/Certifier.h"
+#include "easl/Builtins.h"
+
+#include <cstdio>
+
+using namespace canvas;
+
+static const char *Fig3Client = R"(
+  class Fig3 {
+    void main() {
+      Set v = new Set();            // 0
+      Iterator i1 = v.iterator();   // 1
+      Iterator i2 = v.iterator();   // 2
+      Iterator i3 = i1;             // 3
+      i1.next();                    // 4
+      i1.remove();                  // 5
+      if (*) { i2.next(); }         // 6: CME
+      if (*) { i3.next(); }         // 7: no CME -- and no false alarm
+      v.add();                      // 8
+      if (*) { i1.next(); }         // 9: CME
+    }
+  }
+)";
+
+int main() {
+  DiagnosticEngine Diags;
+
+  // Stage 1-2: parse the CMP spec and derive its abstraction.
+  core::Certifier Certifier(easl::cmpSpecSource(),
+                            core::EngineKind::SCMPIntra, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  std::printf("=== Derived component abstraction (Figs. 4 & 5) ===\n%s\n",
+              Certifier.abstraction().str().c_str());
+
+  // Stage 3-4: build the boolean program and analyze the client.
+  cj::Program Prog = cj::parseProgram(Fig3Client, Diags);
+  easl::Spec const &Spec = Certifier.spec();
+  cj::ClientCFG CFG = cj::buildCFG(Prog, Spec, Diags);
+  const cj::CFGMethod *Main = CFG.mainCFG();
+  bp::BooleanProgram BP =
+      bp::buildBooleanProgram(Certifier.abstraction(), *Main, Diags);
+
+  std::printf("=== Transformed client (Fig. 6 analogue) ===\n%s\n",
+              BP.str().c_str());
+
+  bp::IntraResult R = bp::analyzeIntraproc(BP);
+
+  // The node after the i1.remove() edge shows the Fig. 8 state: stale_i2
+  // has become 1 while stale_i1 and stale_i3 are still 0.
+  for (size_t E = 0; E != Main->Edges.size(); ++E) {
+    const cj::Action &A = Main->Edges[E].Act;
+    if (A.K == cj::Action::Kind::CompCall && A.Callee == "remove") {
+      std::printf("=== Abstract state before i1.remove() (Fig. 8) ===\n%s\n",
+                  R.stateStr(BP, Main->Edges[E].From).c_str());
+      std::printf("=== Abstract state after i1.remove() (Fig. 8) ===\n%s\n",
+                  R.stateStr(BP, Main->Edges[E].To).c_str());
+    }
+  }
+
+  std::printf("=== Certification report ===\n%s",
+              R.reportStr(BP).c_str());
+
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// The worklist scenario of Fig. 1: a make-style driver iterates over a
+// worklist while item processing may grow it through a nested call —
+// the archetypal interprocedural CMP bug.
+//
+// Demonstrates the context-sensitive interprocedural certifier
+// (Section 8): it pinpoints the bug in the faulty driver and verifies
+// the repaired one, where the iterator is re-created after each batch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Certifier.h"
+#include "easl/Builtins.h"
+
+#include <cstdio>
+
+using namespace canvas;
+
+// The buggy driver (Fig. 1 shape): processItem() -> doSubproblem() ->
+// addItem() grows the worklist while the iterator is live.
+static const char *BuggyMake = R"(
+  class Make {
+    void main() {
+      Set worklist = new Set();
+      initializeWorklist(worklist);
+      processWorklist(worklist);
+    }
+    void initializeWorklist(Set w) { w.add(); }
+    void processWorklist(Set w) {
+      Iterator i = w.iterator();
+      while (*) {
+        i.next();                 // CME: the worklist may have grown
+        if (*) { processItem(w); }
+      }
+    }
+    void processItem(Set w) { doSubproblem(w); }
+    void doSubproblem(Set w) {
+      if (*) { addItem(w); }
+    }
+    void addItem(Set w) { w.add(); }
+  }
+)";
+
+// The repaired driver: drain a snapshot per round, grow only between
+// rounds, and re-create the iterator each round.
+static const char *FixedMake = R"(
+  class Make {
+    void main() {
+      Set worklist = new Set();
+      initializeWorklist(worklist);
+      processWorklist(worklist);
+    }
+    void initializeWorklist(Set w) { w.add(); }
+    void processWorklist(Set w) {
+      while (*) {
+        Iterator i = w.iterator();
+        while (*) {
+          i.next();               // safe: w is stable during the drain
+        }
+        growBetweenRounds(w);
+      }
+    }
+    void growBetweenRounds(Set w) { w.add(); }
+  }
+)";
+
+static void certify(const char *Name, const char *Source) {
+  DiagnosticEngine Diags;
+  core::Certifier Certifier(easl::cmpSpecSource(),
+                            core::EngineKind::SCMPInterproc, Diags);
+  core::CertificationReport R = Certifier.certifySource(Source, Diags);
+  std::printf("--- %s ---\n%s", Name, R.str().c_str());
+  if (Diags.hasErrors())
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+  std::printf("\n");
+}
+
+int main() {
+  std::printf("Interprocedural CMP certification of the Fig. 1 worklist "
+              "pattern.\n\n");
+  certify("buggy make (Fig. 1)", BuggyMake);
+  certify("repaired make", FixedMake);
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "boolprog/Analysis.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace canvas;
+using namespace canvas::bp;
+
+unsigned IntraResult::numFlagged() const {
+  unsigned N = 0;
+  for (CheckOutcome O : CheckResults)
+    N += O == CheckOutcome::Potential || O == CheckOutcome::Definite;
+  return N;
+}
+
+std::string IntraResult::stateStr(const BooleanProgram &BP, int Node) const {
+  if (!reachable(Node))
+    return "<unreachable>\n";
+  std::string Out;
+  for (size_t V = 0; V != BP.Vars.size(); ++V)
+    Out += "[" + BP.Vars[V].Name + "] = " + vsStr(In[Node][V]) + "\n";
+  return Out;
+}
+
+static const char *outcomeStr(CheckOutcome O) {
+  switch (O) {
+  case CheckOutcome::Safe:
+    return "verified";
+  case CheckOutcome::Potential:
+    return "POTENTIAL VIOLATION";
+  case CheckOutcome::Definite:
+    return "DEFINITE VIOLATION";
+  case CheckOutcome::Unreachable:
+    return "unreachable";
+  }
+  return "?";
+}
+
+std::string IntraResult::reportStr(const BooleanProgram &BP) const {
+  std::string Out;
+  for (size_t I = 0; I != BP.Checks.size(); ++I) {
+    const Check &C = BP.Checks[I];
+    Out += C.Loc.str() + ": " + C.What + ": " +
+           outcomeStr(CheckResults[I]) + "\n";
+  }
+  return Out;
+}
+
+static ValueSet evalRhs(const BoolRhs &R, const std::vector<ValueSet> &In) {
+  switch (R.K) {
+  case BoolRhs::Kind::Const:
+    return R.PlusOne ? ValueSet::One : ValueSet::Zero;
+  case BoolRhs::Kind::Unknown:
+    return ValueSet::Both;
+  case BoolRhs::Kind::Or: {
+    bool P1 = R.PlusOne;
+    bool P0 = !R.PlusOne;
+    bool Dead = false;
+    for (int S : R.Sources) {
+      ValueSet V = In[S];
+      if (V == ValueSet::Bottom)
+        Dead = true;
+      P1 = P1 || canBeOne(V);
+      P0 = P0 && canBeZero(V);
+    }
+    if (Dead)
+      return ValueSet::Bottom;
+    uint8_t Bits = (P0 ? 1 : 0) | (P1 ? 2 : 0);
+    return static_cast<ValueSet>(Bits);
+  }
+  }
+  return ValueSet::Both;
+}
+
+IntraResult bp::analyzeIntraproc(const BooleanProgram &BP) {
+  return analyzeIntraproc(
+      BP, std::vector<ValueSet>(BP.Vars.size(), ValueSet::Both));
+}
+
+IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
+                                 const std::vector<ValueSet> &EntryState,
+                                 bool AssumeChecksPass) {
+  const cj::CFGMethod &CFG = *BP.CFG;
+  assert(EntryState.size() == BP.Vars.size() && "entry state size mismatch");
+
+  IntraResult R;
+  R.In.assign(CFG.NumNodes, {});
+  R.In[CFG.Entry] = EntryState;
+
+  // Outgoing-edge adjacency.
+  std::vector<std::vector<int>> OutEdges(CFG.NumNodes);
+  for (size_t E = 0; E != CFG.Edges.size(); ++E)
+    OutEdges[CFG.Edges[E].From].push_back(static_cast<int>(E));
+
+  // Checked variables per edge: a failed requires throws, so executions
+  // that continue past the call had value 0 (assume-refinement matching
+  // the exception semantics of the dynamic check).
+  std::vector<std::vector<int>> AssumedZero(CFG.Edges.size());
+  if (AssumeChecksPass)
+    for (const Check &C : BP.Checks)
+      if (C.Var >= 0)
+        AssumedZero[C.Edge].push_back(C.Var);
+
+  std::deque<int> Worklist{CFG.Entry};
+  std::vector<bool> Queued(CFG.NumNodes, false);
+  Queued[CFG.Entry] = true;
+
+  while (!Worklist.empty()) {
+    int N = Worklist.front();
+    Worklist.pop_front();
+    Queued[N] = false;
+    ++R.Iterations;
+    const std::vector<ValueSet> &InState = R.In[N];
+
+    for (int EIdx : OutEdges[N]) {
+      const cj::CFGEdge &E = CFG.Edges[EIdx];
+      std::vector<ValueSet> Refined = InState;
+      bool Dead = false;
+      for (int V : AssumedZero[EIdx]) {
+        if (!canBeZero(Refined[V])) {
+          // Every execution reaching this call violates the requires
+          // clause and throws: nothing continues along this edge.
+          Dead = true;
+          break;
+        }
+        Refined[V] = ValueSet::Zero;
+      }
+      if (Dead)
+        continue;
+      std::vector<ValueSet> OutState = Refined;
+      for (const auto &[Tgt, Rhs] : BP.EdgeAssignments[EIdx])
+        OutState[Tgt] = evalRhs(Rhs, Refined);
+
+      std::vector<ValueSet> &Dst = R.In[E.To];
+      bool Changed = false;
+      if (Dst.empty()) {
+        Dst = std::move(OutState);
+        Changed = true;
+      } else {
+        for (size_t V = 0; V != Dst.size(); ++V) {
+          ValueSet J = vsJoin(Dst[V], OutState[V]);
+          if (J != Dst[V]) {
+            Dst[V] = J;
+            Changed = true;
+          }
+        }
+      }
+      if (Changed && !Queued[E.To]) {
+        Queued[E.To] = true;
+        Worklist.push_back(E.To);
+      }
+    }
+  }
+
+  // Evaluate checks against the state before their edge.
+  R.CheckResults.reserve(BP.Checks.size());
+  for (const Check &C : BP.Checks) {
+    int From = CFG.Edges[C.Edge].From;
+    if (!R.reachable(From)) {
+      R.CheckResults.push_back(CheckOutcome::Unreachable);
+      continue;
+    }
+    if (C.Var < 0) {
+      R.CheckResults.push_back(C.ConstantViolated ? CheckOutcome::Definite
+                                                  : CheckOutcome::Safe);
+      continue;
+    }
+    ValueSet V = R.In[From][C.Var];
+    if (!canBeOne(V))
+      R.CheckResults.push_back(CheckOutcome::Safe);
+    else if (!canBeZero(V))
+      R.CheckResults.push_back(CheckOutcome::Definite);
+    else
+      R.CheckResults.push_back(CheckOutcome::Potential);
+  }
+  return R;
+}

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intraprocedural possible-value analysis of Section 4.3: each
+/// boolean variable's set of possible values (a subset of {0,1}) is
+/// computed at every program point by a distributive fixpoint (an FDS
+/// analysis in the paper's terminology), in O(E * B^2) time.
+///
+/// Precision: membership of 1 in a value set is exact with respect to
+/// the meet-over-all-paths solution, because every assignment has the
+/// form p0 := p1 || ... || pk (positive and monotone) — see DESIGN.md
+/// decision 2; membership of 0 may be over-approximated across joins,
+/// which can never induce a false alarm since requires checks only
+/// consult 1-membership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_BOOLPROG_ANALYSIS_H
+#define CANVAS_BOOLPROG_ANALYSIS_H
+
+#include "boolprog/BooleanProgram.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace bp {
+
+/// A subset of {0,1}: bit 0 = "may be 0", bit 1 = "may be 1".
+enum class ValueSet : uint8_t { Bottom = 0, Zero = 1, One = 2, Both = 3 };
+
+inline ValueSet vsJoin(ValueSet A, ValueSet B) {
+  return static_cast<ValueSet>(static_cast<uint8_t>(A) |
+                               static_cast<uint8_t>(B));
+}
+inline bool canBeOne(ValueSet V) {
+  return static_cast<uint8_t>(V) & static_cast<uint8_t>(ValueSet::One);
+}
+inline bool canBeZero(ValueSet V) {
+  return static_cast<uint8_t>(V) & static_cast<uint8_t>(ValueSet::Zero);
+}
+inline const char *vsStr(ValueSet V) {
+  switch (V) {
+  case ValueSet::Bottom:
+    return "{}";
+  case ValueSet::Zero:
+    return "{0}";
+  case ValueSet::One:
+    return "{1}";
+  case ValueSet::Both:
+    return "{0,1}";
+  }
+  return "?";
+}
+
+/// Verdict for one requires check.
+enum class CheckOutcome {
+  Safe,        ///< 1 is not a possible value: verified.
+  Potential,   ///< 1 is possible but not the only value: may violate.
+  Definite,    ///< The only possible value is 1: violates on every path
+               ///< reaching the call.
+  Unreachable, ///< The call site is unreachable.
+};
+
+struct IntraResult {
+  /// In[n][v] = possible values of variable v on entry to node n.
+  /// Empty inner vector marks an unreachable node.
+  std::vector<std::vector<ValueSet>> In;
+  std::vector<CheckOutcome> CheckResults; ///< Indexed like Checks.
+  unsigned Iterations = 0;
+
+  bool reachable(int Node) const { return !In[Node].empty(); }
+  unsigned numFlagged() const;
+  /// Renders the abstract state at \p Node (the Fig. 8 analogue),
+  /// listing each boolean variable with its value set.
+  std::string stateStr(const BooleanProgram &BP, int Node) const;
+  /// One line per check: location, text, and verdict.
+  std::string reportStr(const BooleanProgram &BP) const;
+};
+
+/// Runs the worklist fixpoint on \p BP. On entry every variable may hold
+/// either value (component variables are unconstrained/uninitialized at
+/// method entry); pass \p EntryState to override (used by the
+/// interprocedural analysis and by tests).
+///
+/// \p AssumeChecksPass models the exception semantics of the dynamic
+/// check: a failed requires clause throws, so executions continuing past
+/// a call satisfied it — the checked variable is refined to 0 on the
+/// outgoing edge. Without it the analysis computes the exact
+/// possible-value MOP of the (non-aborting) transformed program of
+/// Section 4.3.
+IntraResult analyzeIntraproc(const BooleanProgram &BP);
+IntraResult analyzeIntraproc(const BooleanProgram &BP,
+                             const std::vector<ValueSet> &EntryState,
+                             bool AssumeChecksPass = true);
+
+} // namespace bp
+} // namespace canvas
+
+#endif // CANVAS_BOOLPROG_ANALYSIS_H

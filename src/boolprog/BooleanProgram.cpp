@@ -1,0 +1,388 @@
+#include "boolprog/BooleanProgram.h"
+
+#include "support/ErrorHandling.h"
+
+#include <map>
+
+using namespace canvas;
+using namespace canvas::bp;
+using namespace canvas::wp;
+
+int BooleanProgram::findVar(const std::string &Name) const {
+  for (size_t I = 0; I != Vars.size(); ++I)
+    if (Vars[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string BooleanProgram::str() const {
+  std::string Out = "Boolean program for " + CFG->name() + " (" +
+                    std::to_string(Vars.size()) + " variables)\n";
+  for (size_t I = 0; I != Vars.size(); ++I)
+    Out += "  b" + std::to_string(I) + ": [" + Vars[I].Name + "]\n";
+  for (size_t E = 0; E != EdgeAssignments.size(); ++E) {
+    if (EdgeAssignments[E].empty())
+      continue;
+    Out += "  edge " + std::to_string(CFG->Edges[E].From) + "->" +
+           std::to_string(CFG->Edges[E].To) + " (" + CFG->Edges[E].Act.str() +
+           "):\n";
+    for (const auto &[Tgt, Rhs] : EdgeAssignments[E]) {
+      Out += "    b" + std::to_string(Tgt) + " := ";
+      switch (Rhs.K) {
+      case BoolRhs::Kind::Const:
+        Out += Rhs.PlusOne ? "1" : "0";
+        break;
+      case BoolRhs::Kind::Unknown:
+        Out += "?";
+        break;
+      case BoolRhs::Kind::Or: {
+        bool First = true;
+        if (Rhs.PlusOne) {
+          Out += "1";
+          First = false;
+        }
+        for (int S : Rhs.Sources) {
+          if (!First)
+            Out += " || ";
+          Out += "b" + std::to_string(S);
+          First = false;
+        }
+        if (First)
+          Out += "0";
+        break;
+      }
+      }
+      Out += "\n";
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Result of instantiating a predicate application over client variables.
+enum class AppValue { False, True, Variable, Missing };
+
+class Builder {
+public:
+  Builder(const DerivedAbstraction &Abs, const cj::CFGMethod &M,
+          DiagnosticEngine &Diags)
+      : Abs(Abs), M(M), Diags(Diags) {}
+
+  BooleanProgram run() {
+    Out.CFG = &M;
+    Out.Abs = &Abs;
+    enumerateVars();
+    Out.EdgeAssignments.resize(M.Edges.size());
+    for (size_t E = 0; E != M.Edges.size(); ++E)
+      lowerEdge(static_cast<int>(E));
+    return std::move(Out);
+  }
+
+private:
+  using Binding = std::map<std::string, std::string>;
+
+  std::string typeOfClientVar(const std::string &Name) const {
+    for (const auto &[V, T] : M.CompVars)
+      if (V == Name)
+        return T;
+    return "";
+  }
+
+  /// All component-typed client variables of type \p T.
+  std::vector<std::string> varsOfType(const std::string &T) const {
+    std::vector<std::string> Vs;
+    for (const auto &[V, Ty] : M.CompVars)
+      if (Ty == T)
+        Vs.push_back(V);
+    return Vs;
+  }
+
+  int internVar(int Family, std::vector<std::string> Args,
+                Conjunction Body) {
+    std::string Name = conjunctionStr(Body);
+    auto It = VarIndex.find(Name);
+    if (It != VarIndex.end())
+      return It->second;
+    int Idx = static_cast<int>(Out.Vars.size());
+    Out.Vars.push_back({Family, std::move(Args), std::move(Body), Name});
+    VarIndex.emplace(std::move(Name), Idx);
+    return Idx;
+  }
+
+  /// Enumerates every instrumentation-predicate instance over the
+  /// method's component variables (the set shown at the top of Fig. 6).
+  void enumerateVars() {
+    for (size_t F = 0; F != Abs.Families.size(); ++F) {
+      const PredicateFamily &Fam = Abs.Families[F];
+      std::vector<std::string> Tuple(Fam.arity());
+      enumerateTuples(static_cast<int>(F), Fam, 0, Tuple);
+    }
+  }
+
+  void enumerateTuples(int F, const PredicateFamily &Fam, unsigned Slot,
+                       std::vector<std::string> &Tuple) {
+    if (Slot == Fam.arity()) {
+      Conjunction Body;
+      if (instantiateFamily(Fam, Tuple, Fam.VarTypes, Body) ==
+          InstResult::Conj)
+        internVar(F, Tuple, std::move(Body));
+      return;
+    }
+    for (const std::string &V : varsOfType(Fam.VarTypes[Slot])) {
+      Tuple[Slot] = V;
+      enumerateTuples(F, Fam, Slot + 1, Tuple);
+    }
+  }
+
+  /// Instantiates \p App under \p B; fills \p VarIdx for Variable.
+  AppValue instantiateApp(const PredApp &App, const Binding &B, int &VarIdx) {
+    const PredicateFamily &Fam = Abs.Families[App.Family];
+    std::vector<std::string> Args(App.Args.size());
+    for (size_t I = 0; I != App.Args.size(); ++I) {
+      auto It = B.find(App.Args[I]);
+      if (It == B.end() || It->second.empty())
+        return AppValue::Missing;
+      Args[I] = It->second;
+    }
+    Conjunction Body;
+    switch (instantiateFamily(Fam, Args, Fam.VarTypes, Body)) {
+    case InstResult::False:
+      return AppValue::False;
+    case InstResult::True:
+      return AppValue::True;
+    case InstResult::Conj:
+      break;
+    }
+    VarIdx = internVar(App.Family, std::move(Args), std::move(Body));
+    return AppValue::Variable;
+  }
+
+  void assign(int Edge, int Tgt, BoolRhs Rhs) {
+    for (const auto &[T, R] : Out.EdgeAssignments[Edge])
+      if (T == Tgt)
+        return; // First instantiation wins (duplicates are equal).
+    Out.EdgeAssignments[Edge].emplace_back(Tgt, std::move(Rhs));
+  }
+
+  void clobberAll(int Edge) {
+    for (size_t V = 0; V != Out.Vars.size(); ++V) {
+      BoolRhs R;
+      R.K = BoolRhs::Kind::Unknown;
+      assign(Edge, static_cast<int>(V), std::move(R));
+    }
+  }
+
+  void havocVar(int Edge, const std::string &X) {
+    for (size_t V = 0; V != Out.Vars.size(); ++V) {
+      const BoolVar &BV = Out.Vars[V];
+      bool Mentions = false;
+      for (const std::string &A : BV.Args)
+        Mentions |= A == X;
+      if (!Mentions)
+        continue;
+      BoolRhs R;
+      R.K = BoolRhs::Kind::Unknown;
+      assign(Edge, static_cast<int>(V), std::move(R));
+    }
+  }
+
+  void lowerEdge(int E) {
+    const cj::Action &A = M.Edges[E].Act;
+    switch (A.K) {
+    case cj::Action::Kind::Nop:
+      return;
+    case cj::Action::Kind::Havoc:
+      havocVar(E, A.Lhs);
+      return;
+    case cj::Action::Kind::OpaqueEffect:
+      clobberAll(E);
+      return;
+    case cj::Action::Kind::ClientCall:
+      // The intraprocedural certifier treats client calls conservatively;
+      // the interprocedural certifier (Section 8) never consults these
+      // edge assignments for ClientCall edges.
+      clobberAll(E);
+      return;
+    case cj::Action::Kind::Copy:
+      lowerCopy(E, A);
+      return;
+    case cj::Action::Kind::AllocComp:
+      lowerComponentCall(E, A, Abs.findMethod(A.Callee, "new"));
+      return;
+    case cj::Action::Kind::CompCall: {
+      std::string RecvType = typeOfClientVar(A.Recv);
+      lowerComponentCall(E, A, Abs.findMethod(RecvType, A.Callee));
+      return;
+    }
+    }
+  }
+
+  void lowerCopy(int E, const cj::Action &A) {
+    const std::string &X = A.Lhs;
+    const std::string &Y = A.Args[0];
+    std::string YType = typeOfClientVar(Y);
+    for (size_t V = 0; V != Out.Vars.size(); ++V) {
+      const BoolVar BV = Out.Vars[V]; // Copy: interning may reallocate.
+      bool Mentions = false;
+      for (const std::string &Arg : BV.Args)
+        Mentions |= Arg == X;
+      if (!Mentions)
+        continue;
+      Conjunction Renamed;
+      BoolRhs R;
+      switch (renameRootInConjunction(BV.Body, X, Y, YType, Renamed)) {
+      case InstResult::False:
+        R.K = BoolRhs::Kind::Const;
+        break;
+      case InstResult::True:
+        R.K = BoolRhs::Kind::Const;
+        R.PlusOne = true;
+        break;
+      case InstResult::Conj: {
+        std::vector<std::string> NewArgs = BV.Args;
+        for (std::string &Arg : NewArgs)
+          if (Arg == X)
+            Arg = Y;
+        int Src = internVar(BV.Family, std::move(NewArgs), std::move(Renamed));
+        R.K = BoolRhs::Kind::Or;
+        R.Sources = {Src};
+        break;
+      }
+      }
+      assign(E, static_cast<int>(V), std::move(R));
+    }
+  }
+
+  void lowerComponentCall(int E, const cj::Action &A,
+                          const MethodAbstraction *MA) {
+    if (!MA) {
+      Diags.error(A.Loc, "no derived abstraction for call '" + A.str() +
+                             "'; clobbering all facts");
+      clobberAll(E);
+      return;
+    }
+    Binding B;
+    if (MA->HasThis)
+      B["this"] = A.Recv;
+    for (size_t I = 0; I != MA->Params.size() && I != A.Args.size(); ++I)
+      B[MA->Params[I].first] = A.Args[I];
+    if (!A.Lhs.empty())
+      B["ret"] = A.Lhs;
+
+    // Requires obligations, checked in the pre-call state.
+    for (const auto &[App, ReqLoc] : MA->RequiresFalse) {
+      Check C;
+      C.Edge = E;
+      C.Loc = A.Loc;
+      C.What = A.str() + " requires !" + App.str(Abs.Families);
+      int VarIdx = -1;
+      switch (instantiateApp(App, B, VarIdx)) {
+      case AppValue::False:
+        C.Var = -1;
+        C.ConstantViolated = false;
+        break;
+      case AppValue::True:
+        C.Var = -1;
+        C.ConstantViolated = true;
+        break;
+      case AppValue::Missing:
+        // Unknown receiver/argument: conservatively a potential
+        // violation.
+        C.Var = -1;
+        C.ConstantViolated = true;
+        C.What += " (unknown operand)";
+        break;
+      case AppValue::Variable:
+        C.Var = VarIdx;
+        break;
+      }
+      Out.Checks.push_back(std::move(C));
+      (void)ReqLoc;
+    }
+
+    // Update rules.
+    for (const UpdateRule &R : MA->Rules) {
+      if (R.IsIdentity)
+        continue;
+      const PredicateFamily &Fam = Abs.Families[R.Family];
+      bool UsesRet = false;
+      for (bool S : R.RetSlots)
+        UsesRet |= S;
+      if (UsesRet && A.Lhs.empty())
+        continue; // Unnamed result: nothing tracks it.
+      std::vector<std::string> Tuple(Fam.arity());
+      instantiateRule(E, A, R, Fam, B, 0, Tuple);
+    }
+  }
+
+  /// Enumerates target tuples for rule \p R: "ret" slots take the call's
+  /// result variable; quantified slots range over the other component
+  /// variables of the slot type.
+  void instantiateRule(int E, const cj::Action &A, const UpdateRule &R,
+                       const PredicateFamily &Fam, const Binding &BaseBind,
+                       unsigned Slot, std::vector<std::string> &Tuple) {
+    if (Slot == Fam.arity()) {
+      Conjunction Body;
+      if (instantiateFamily(Fam, Tuple, Fam.VarTypes, Body) !=
+          InstResult::Conj)
+        return;
+      int Tgt = internVar(R.Family, Tuple, std::move(Body));
+
+      Binding B = BaseBind;
+      for (unsigned I = 0; I != Fam.arity(); ++I)
+        if (!R.RetSlots[I])
+          B["$q" + std::to_string(I)] = Tuple[I];
+
+      BoolRhs Rhs;
+      Rhs.K = BoolRhs::Kind::Or;
+      Rhs.PlusOne = R.ConstantTrue;
+      for (const PredApp &Src : R.Sources) {
+        int VarIdx = -1;
+        switch (instantiateApp(Src, B, VarIdx)) {
+        case AppValue::False:
+          break;
+        case AppValue::True:
+          Rhs.PlusOne = true;
+          break;
+        case AppValue::Variable:
+          Rhs.Sources.push_back(VarIdx);
+          break;
+        case AppValue::Missing:
+          // An unknown operand contributes an unknown disjunct.
+          Rhs.K = BoolRhs::Kind::Unknown;
+          break;
+        }
+      }
+      if (Rhs.K == BoolRhs::Kind::Or && Rhs.Sources.empty())
+        Rhs.K = BoolRhs::Kind::Const;
+      assign(E, Tgt, std::move(Rhs));
+      return;
+    }
+    if (R.RetSlots[Slot]) {
+      Tuple[Slot] = A.Lhs;
+      instantiateRule(E, A, R, Fam, BaseBind, Slot + 1, Tuple);
+      return;
+    }
+    for (const std::string &V : varsOfType(Fam.VarTypes[Slot])) {
+      if (!A.Lhs.empty() && V == A.Lhs)
+        continue; // The result variable's facts come from ret slots.
+      Tuple[Slot] = V;
+      instantiateRule(E, A, R, Fam, BaseBind, Slot + 1, Tuple);
+    }
+  }
+
+  const DerivedAbstraction &Abs;
+  const cj::CFGMethod &M;
+  DiagnosticEngine &Diags;
+  BooleanProgram Out;
+  std::map<std::string, int> VarIndex;
+};
+
+} // namespace
+
+BooleanProgram bp::buildBooleanProgram(const DerivedAbstraction &Abs,
+                                       const cj::CFGMethod &M,
+                                       DiagnosticEngine &Diags) {
+  return Builder(Abs, M, Diags).run();
+}

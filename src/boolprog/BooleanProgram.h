@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformed client program of Section 4.3: component-typed client
+/// variables are replaced by boolean variables (the nullary
+/// instrumentation-predicate instances of the derived abstraction), and
+/// component calls are replaced by the corresponding instantiated method
+/// abstractions — parallel assignments of the special form
+/// p0 := p1 || ... || pk, p := 0, p := 1.
+///
+/// Boolean-variable identity is the canonical conjunction over client
+/// variables, which uniformly folds the paper's side conditions
+/// (same_{x,x} = 1, mutx_{x,x} = 0, mutx symmetry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_BOOLPROG_BOOLEANPROGRAM_H
+#define CANVAS_BOOLPROG_BOOLEANPROGRAM_H
+
+#include "client/CFG.h"
+#include "wp/Abstraction.h"
+
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace bp {
+
+/// One boolean variable: family instance over a tuple of client
+/// variables, identified canonically by its instantiated body.
+struct BoolVar {
+  int Family = -1;
+  std::vector<std::string> Args;
+  Conjunction Body;
+  /// Canonical identity and display string, e.g.
+  /// "i1 != i2 && i1.set == i2.set".
+  std::string Name;
+};
+
+/// The right-hand side of one parallel assignment slot.
+struct BoolRhs {
+  enum class Kind {
+    Const, ///< PlusOne ? 1 : 0 with no sources.
+    Or,    ///< OR of Sources (plus 1 when PlusOne).
+    Unknown, ///< Havoc: both values possible.
+  };
+  Kind K = Kind::Const;
+  bool PlusOne = false;
+  std::vector<int> Sources; ///< BoolVar indices, evaluated pre-state.
+};
+
+/// One "requires !p" obligation attached to a CFG edge; checked against
+/// the state before the edge executes.
+struct Check {
+  int Edge = -1;
+  /// BoolVar index; -1 when the obligation folded to a constant.
+  int Var = -1;
+  /// Valid when Var == -1: true means the requires clause is violated on
+  /// every execution reaching it (e.g. i.remove() twice on one iterator
+  /// variable folds mutx(i,i) checks away but stale stays; constant
+  /// violations arise from degenerate instantiations).
+  bool ConstantViolated = false;
+  SourceLoc Loc;
+  std::string What; ///< "i2.next() requires !stale(i2)" style text.
+};
+
+/// The boolean program for one client method.
+struct BooleanProgram {
+  const cj::CFGMethod *CFG = nullptr;
+  const wp::DerivedAbstraction *Abs = nullptr;
+  std::vector<BoolVar> Vars;
+  /// Parallel assignment per CFG edge (indexed like CFG->Edges):
+  /// (target var, rhs) pairs; unlisted vars are unchanged.
+  std::vector<std::vector<std::pair<int, BoolRhs>>> EdgeAssignments;
+  std::vector<Check> Checks;
+
+  int findVar(const std::string &Name) const;
+  std::string str() const;
+};
+
+/// Instantiates \p Abs over the component-typed variables of \p M
+/// (Section 4.3 "the first step in the certification process").
+/// Unsupported constructs are lowered conservatively (havoc/clobber).
+BooleanProgram buildBooleanProgram(const wp::DerivedAbstraction &Abs,
+                                   const cj::CFGMethod &M,
+                                   DiagnosticEngine &Diags);
+
+} // namespace bp
+} // namespace canvas
+
+#endif // CANVAS_BOOLPROG_BOOLEANPROGRAM_H

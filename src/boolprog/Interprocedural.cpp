@@ -1,0 +1,574 @@
+#include "boolprog/Interprocedural.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <set>
+
+using namespace canvas;
+using namespace canvas::bp;
+using namespace canvas::wp;
+
+unsigned InterResult::numFlagged() const {
+  unsigned N = 0;
+  for (const CheckVerdict &C : Checks)
+    N += C.Outcome == CheckOutcome::Potential ||
+         C.Outcome == CheckOutcome::Definite;
+  return N;
+}
+
+std::string InterResult::str() const {
+  std::string Out;
+  for (const CheckVerdict &C : Checks) {
+    const char *O = "?";
+    switch (C.Outcome) {
+    case CheckOutcome::Safe:
+      O = "verified";
+      break;
+    case CheckOutcome::Potential:
+      O = "POTENTIAL VIOLATION";
+      break;
+    case CheckOutcome::Definite:
+      O = "DEFINITE VIOLATION";
+      break;
+    case CheckOutcome::Unreachable:
+      O = "unreachable";
+      break;
+    }
+    Out += C.Method->name() + " " + C.Loc.str() + ": " + C.What + ": " + O +
+           "\n";
+  }
+  return Out;
+}
+
+namespace {
+
+/// Entry-fact dependence set: boolvar indices at method entry, or
+/// Lambda (-1) for "unconditionally may-be-1".
+constexpr int Lambda = -1;
+using DepSet = std::set<int>;
+
+/// Per-method analysis artifacts.
+struct MethodInfo {
+  const cj::CFGMethod *Orig = nullptr;
+  /// CFG copy with ghost variables appended to CompVars.
+  cj::CFGMethod Ext;
+  BooleanProgram BP;
+  /// Ghost variable names per component type (two each).
+  std::map<std::string, std::array<std::string, 2>> Ghosts;
+  /// Canonical body -> BP var index.
+  std::map<std::string, int> VarIdx;
+  /// R[node][var]: entry facts whose 1-ness implies var may be 1 at
+  /// node.
+  std::vector<std::vector<DepSet>> R;
+  std::vector<bool> Reached;
+  /// Summary: R at the exit node.
+  std::vector<DepSet> Summary;
+  /// Phase 2: entry vars that may be 1 in some calling context.
+  std::set<int> EntryMay1;
+  bool Callable = false; ///< Reachable from the entry method.
+};
+
+class InterprocAnalysis {
+public:
+  InterprocAnalysis(const DerivedAbstraction &Abs, const cj::ClientCFG &CFG,
+                    const cj::CFGMethod &Entry, DiagnosticEngine &Diags)
+      : Abs(Abs), CFG(CFG), Entry(Entry), Diags(Diags) {}
+
+  InterResult run() {
+    buildMethodInfos();
+    computeSummaries();
+    propagateEntryFacts();
+    return report();
+  }
+
+private:
+  /// Component types mentioned by any predicate family.
+  std::vector<std::string> relevantTypes() const {
+    std::vector<std::string> Ts;
+    for (const PredicateFamily &F : Abs.Families)
+      for (const std::string &T : F.VarTypes)
+        if (std::find(Ts.begin(), Ts.end(), T) == Ts.end())
+          Ts.push_back(T);
+    return Ts;
+  }
+
+  void buildMethodInfos() {
+    std::vector<std::string> Types = relevantTypes();
+    for (const cj::CFGMethod &M : CFG.Methods) {
+      MethodInfo Info;
+      Info.Orig = &M;
+      Info.Ext = M; // Copy; Edges/CompVars are value types.
+      for (const std::string &T : Types) {
+        std::array<std::string, 2> Names = {"$g0$" + T, "$g1$" + T};
+        for (const std::string &G : Names)
+          Info.Ext.CompVars.emplace_back(G, T);
+        Info.Ghosts.emplace(T, Names);
+      }
+      Infos.push_back(std::move(Info));
+    }
+    for (MethodInfo &Info : Infos) {
+      Info.BP = buildBooleanProgram(Abs, Info.Ext, Diags);
+      for (size_t V = 0; V != Info.BP.Vars.size(); ++V)
+        Info.VarIdx.emplace(Info.BP.Vars[V].Name, static_cast<int>(V));
+      Info.Summary.assign(Info.BP.Vars.size(), {});
+    }
+  }
+
+  MethodInfo *infoOf(const cj::CMethod *M) {
+    for (MethodInfo &Info : Infos)
+      if (Info.Orig->Method == M)
+        return &Info;
+    return nullptr;
+  }
+
+  MethodInfo *infoOf(const cj::CFGMethod &M) {
+    for (MethodInfo &Info : Infos)
+      if (Info.Orig == &M)
+        return &Info;
+    return nullptr;
+  }
+
+  static bool isGhost(const std::string &Name) {
+    return Name.size() > 3 && Name[0] == '$' && Name[1] == 'g';
+  }
+
+  std::string typeOfVarIn(const MethodInfo &Info, const std::string &V) {
+    for (const auto &[Name, T] : Info.Ext.CompVars)
+      if (Name == V)
+        return T;
+    return "";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Call-site translation
+  //===------------------------------------------------------------------===//
+
+  /// Caller-to-callee renaming of one variable tuple: actuals become
+  /// formals, the call result becomes $ret, everything else becomes a
+  /// ghost (at most two distinct ghosts per type).
+  struct TupleMap {
+    std::vector<std::string> CalleeArgs;
+    /// Ghost name -> caller variable, for the inverse translation.
+    std::map<std::string, std::string> GhostToCaller;
+  };
+
+  bool mapTuple(const MethodInfo &Caller, const MethodInfo &Callee,
+                const cj::Action &Call, const std::vector<std::string> &Args,
+                TupleMap &Out) {
+    std::map<std::string, unsigned> GhostsUsed;
+    std::map<std::string, std::string> Assigned;
+    for (const std::string &A : Args) {
+      auto It = Assigned.find(A);
+      if (It != Assigned.end()) {
+        Out.CalleeArgs.push_back(It->second);
+        continue;
+      }
+      std::string Mapped;
+      if (!Call.Lhs.empty() && A == Call.Lhs) {
+        Mapped = "$ret";
+      } else {
+        for (size_t I = 0; I != Call.Args.size() &&
+                           I != Call.CalleeMethod->Params.size();
+             ++I)
+          if (Call.Args[I] == A && !Call.Args[I].empty()) {
+            Mapped = Call.CalleeMethod->Params[I].Name;
+            break;
+          }
+      }
+      if (Mapped.empty()) {
+        std::string T = typeOfVarIn(Caller, A);
+        auto GIt = Callee.Ghosts.find(T);
+        if (GIt == Callee.Ghosts.end())
+          return false;
+        unsigned &Used = GhostsUsed[T];
+        if (Used >= 2)
+          return false;
+        Mapped = GIt->second[Used++];
+        Out.GhostToCaller[Mapped] = A;
+      }
+      Assigned.emplace(A, Mapped);
+      Out.CalleeArgs.push_back(Mapped);
+    }
+    return true;
+  }
+
+  /// Looks up the boolvar for (Family, Args) in \p Info. Returns 0 for
+  /// constant-false, 1 for constant-true (or unknown, conservatively),
+  /// 2 for a variable (set in \p VarOut).
+  int instantiateIn(const MethodInfo &Info, int Family,
+                    const std::vector<std::string> &Args, int &VarOut) {
+    const PredicateFamily &Fam = Abs.Families[Family];
+    Conjunction Body;
+    switch (instantiateFamily(Fam, Args, Fam.VarTypes, Body)) {
+    case InstResult::False:
+      return 0;
+    case InstResult::True:
+      return 1;
+    case InstResult::Conj:
+      break;
+    }
+    auto It = Info.VarIdx.find(conjunctionStr(Body));
+    if (It == Info.VarIdx.end())
+      return 1; // Unknown instance: conservative.
+    VarOut = It->second;
+    return 2;
+  }
+
+  /// Translates a callee entry fact back into caller dependences under
+  /// the per-tuple ghost assignment, composing with the caller relation
+  /// at the call site.
+  void translateEntryFactBack(const MethodInfo &Caller,
+                              const MethodInfo &Callee,
+                              const cj::Action &Call, const TupleMap &TM,
+                              int CalleeFact,
+                              const std::vector<DepSet> &CallerState,
+                              DepSet &Out) {
+    const BoolVar &BV = Callee.BP.Vars[CalleeFact];
+    std::vector<std::string> CallerArgs(BV.Args.size());
+    for (size_t I = 0; I != BV.Args.size(); ++I) {
+      const std::string &V = BV.Args[I];
+      auto GIt = TM.GhostToCaller.find(V);
+      if (GIt != TM.GhostToCaller.end()) {
+        CallerArgs[I] = GIt->second;
+        continue;
+      }
+      bool Found = false;
+      for (size_t P = 0; P != Call.CalleeMethod->Params.size() &&
+                         P != Call.Args.size();
+           ++P)
+        if (Call.CalleeMethod->Params[P].Name == V && !Call.Args[P].empty()) {
+          CallerArgs[I] = Call.Args[P];
+          Found = true;
+          break;
+        }
+      if (!Found) {
+        // A callee local, $ret, an unbound formal, or a callee ghost not
+        // in this tuple's assignment: uninitialized/arbitrary at callee
+        // entry, hence unconditionally may-be-1.
+        Out.insert(Lambda);
+        return;
+      }
+    }
+    int CallerVar = -1;
+    switch (instantiateIn(Caller, BV.Family, CallerArgs, CallerVar)) {
+    case 0:
+      return; // Constant-false at entry: contributes nothing.
+    case 1:
+      Out.insert(Lambda);
+      return;
+    default:
+      break;
+    }
+    const DepSet &D = CallerState[CallerVar];
+    Out.insert(D.begin(), D.end());
+  }
+
+  /// The relation transfer for one ClientCall edge.
+  std::vector<DepSet> composeCall(const MethodInfo &Caller,
+                                  const cj::Action &Call,
+                                  const std::vector<DepSet> &CallerState) {
+    MethodInfo *Callee = infoOf(Call.CalleeMethod);
+    std::vector<DepSet> Out(CallerState.size());
+    if (!Callee) {
+      for (DepSet &D : Out)
+        D = {Lambda};
+      return Out;
+    }
+    for (size_t B = 0; B != Caller.BP.Vars.size(); ++B) {
+      const BoolVar &BV = Caller.BP.Vars[B];
+      TupleMap TM;
+      if (!mapTuple(Caller, *Callee, Call, BV.Args, TM)) {
+        Out[B] = {Lambda};
+        continue;
+      }
+      int CalleeVar = -1;
+      if (instantiateIn(*Callee, BV.Family, TM.CalleeArgs, CalleeVar) != 2) {
+        // Injective renaming preserves constant-ness; if we land on a
+        // constant or unknown instance, stay conservative.
+        Out[B] = {Lambda};
+        continue;
+      }
+      DepSet D;
+      for (int E : Callee->Summary[CalleeVar]) {
+        if (E == Lambda) {
+          D.insert(Lambda);
+          continue;
+        }
+        translateEntryFactBack(Caller, *Callee, Call, TM, E, CallerState, D);
+      }
+      Out[B] = std::move(D);
+    }
+    return Out;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Phase 1: summaries
+  //===------------------------------------------------------------------===//
+
+  /// Recomputes the relation fixpoint of \p Info under current callee
+  /// summaries; returns true when its summary changed.
+  bool recomputeMethod(MethodInfo &Info) {
+    const cj::CFGMethod &M = Info.Ext;
+    size_t NVars = Info.BP.Vars.size();
+    Info.R.assign(M.NumNodes, {});
+    Info.Reached.assign(M.NumNodes, false);
+    Info.R[M.Entry].resize(NVars);
+    for (size_t V = 0; V != NVars; ++V)
+      Info.R[M.Entry][V] = {static_cast<int>(V)};
+    Info.Reached[M.Entry] = true;
+
+    std::vector<std::vector<int>> OutEdges(M.NumNodes);
+    for (size_t E = 0; E != M.Edges.size(); ++E)
+      OutEdges[M.Edges[E].From].push_back(static_cast<int>(E));
+
+    std::deque<int> Worklist{M.Entry};
+    std::vector<bool> Queued(M.NumNodes, false);
+    Queued[M.Entry] = true;
+    while (!Worklist.empty()) {
+      int N = Worklist.front();
+      Worklist.pop_front();
+      Queued[N] = false;
+      for (int EIdx : OutEdges[N]) {
+        const cj::CFGEdge &E = M.Edges[EIdx];
+        std::vector<DepSet> OutState;
+        if (E.Act.K == cj::Action::Kind::ClientCall) {
+          OutState = composeCall(Info, E.Act, Info.R[N]);
+        } else {
+          OutState = Info.R[N];
+          for (const auto &[Tgt, Rhs] : Info.BP.EdgeAssignments[EIdx]) {
+            DepSet D;
+            switch (Rhs.K) {
+            case BoolRhs::Kind::Const:
+              if (Rhs.PlusOne)
+                D.insert(Lambda);
+              break;
+            case BoolRhs::Kind::Unknown:
+              D.insert(Lambda);
+              break;
+            case BoolRhs::Kind::Or:
+              if (Rhs.PlusOne)
+                D.insert(Lambda);
+              for (int S : Rhs.Sources) {
+                const DepSet &SD = Info.R[N][S];
+                D.insert(SD.begin(), SD.end());
+              }
+              break;
+            }
+            OutState[Tgt] = std::move(D);
+          }
+        }
+        bool Changed = false;
+        if (!Info.Reached[E.To]) {
+          Info.R[E.To] = std::move(OutState);
+          Info.Reached[E.To] = true;
+          Changed = true;
+        } else {
+          for (size_t V = 0; V != NVars; ++V)
+            for (int D : OutState[V])
+              Changed |= Info.R[E.To][V].insert(D).second;
+        }
+        if (Changed && !Queued[E.To]) {
+          Queued[E.To] = true;
+          Worklist.push_back(E.To);
+        }
+      }
+    }
+
+    std::vector<DepSet> NewSummary = Info.Reached[M.Exit]
+                                         ? Info.R[M.Exit]
+                                         : std::vector<DepSet>(NVars);
+    if (NewSummary == Info.Summary)
+      return false;
+    Info.Summary = std::move(NewSummary);
+    return true;
+  }
+
+  void computeSummaries() {
+    std::map<const MethodInfo *, std::set<MethodInfo *>> Callers;
+    for (MethodInfo &Info : Infos)
+      for (const cj::CFGEdge &E : Info.Ext.Edges)
+        if (E.Act.K == cj::Action::Kind::ClientCall)
+          if (MethodInfo *Callee = infoOf(E.Act.CalleeMethod))
+            Callers[Callee].insert(&Info);
+
+    std::deque<MethodInfo *> Worklist;
+    for (MethodInfo &Info : Infos)
+      Worklist.push_back(&Info);
+    std::set<MethodInfo *> Queued(Worklist.begin(), Worklist.end());
+    while (!Worklist.empty()) {
+      MethodInfo *Info = Worklist.front();
+      Worklist.pop_front();
+      Queued.erase(Info);
+      ++Result.SummaryIterations;
+      if (!recomputeMethod(*Info))
+        continue;
+      for (MethodInfo *Caller : Callers[Info])
+        if (Queued.insert(Caller).second)
+          Worklist.push_back(Caller);
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Phase 2: entry-fact propagation
+  //===------------------------------------------------------------------===//
+
+  bool may1At(const MethodInfo &Info, int Node, int Var) {
+    if (!Info.Reached[Node])
+      return false;
+    for (int D : Info.R[Node][Var]) {
+      if (D == Lambda || Info.EntryMay1.count(D))
+        return true;
+    }
+    return false;
+  }
+
+  void propagateEntryFacts() {
+    MethodInfo *EntryInfo = infoOf(Entry);
+    if (!EntryInfo)
+      return;
+    EntryInfo->Callable = true;
+    // The entry method's variables are unconstrained at entry.
+    for (size_t V = 0; V != EntryInfo->BP.Vars.size(); ++V)
+      EntryInfo->EntryMay1.insert(static_cast<int>(V));
+
+    std::deque<MethodInfo *> Worklist{EntryInfo};
+    std::set<MethodInfo *> Queued{EntryInfo};
+    while (!Worklist.empty()) {
+      MethodInfo *Caller = Worklist.front();
+      Worklist.pop_front();
+      Queued.erase(Caller);
+      for (size_t EIdx = 0; EIdx != Caller->Ext.Edges.size(); ++EIdx) {
+        const cj::CFGEdge &E = Caller->Ext.Edges[EIdx];
+        if (E.Act.K != cj::Action::Kind::ClientCall)
+          continue;
+        if (!Caller->Reached[E.From])
+          continue;
+        MethodInfo *Callee = infoOf(E.Act.CalleeMethod);
+        if (!Callee)
+          continue;
+        bool Changed = !Callee->Callable;
+        Callee->Callable = true;
+        for (size_t BC = 0; BC != Callee->BP.Vars.size(); ++BC) {
+          if (Callee->EntryMay1.count(static_cast<int>(BC)))
+            continue;
+          if (calleeEntryFactMay1(*Caller, *Callee, E.Act, E.From,
+                                  static_cast<int>(BC))) {
+            Callee->EntryMay1.insert(static_cast<int>(BC));
+            Changed = true;
+          }
+        }
+        if (Changed && Queued.insert(Callee).second)
+          Worklist.push_back(Callee);
+      }
+    }
+  }
+
+  /// May the callee entry fact \p CalleeFact be 1 for some caller
+  /// instantiation at this call site?
+  bool calleeEntryFactMay1(MethodInfo &Caller, MethodInfo &Callee,
+                           const cj::Action &Call, int FromNode,
+                           int CalleeFact) {
+    const BoolVar &BV = Callee.BP.Vars[CalleeFact];
+    std::vector<std::vector<std::string>> Cands(BV.Args.size());
+    for (size_t I = 0; I != BV.Args.size(); ++I) {
+      const std::string &V = BV.Args[I];
+      if (isGhost(V)) {
+        // An arbitrary caller object of the slot's type.
+        const PredicateFamily &Fam = Abs.Families[BV.Family];
+        for (const auto &[Name, T] : Caller.Ext.CompVars)
+          if (T == Fam.VarTypes[I])
+            Cands[I].push_back(Name);
+        if (Cands[I].empty())
+          return false;
+        continue;
+      }
+      bool IsFormal = false;
+      for (size_t P = 0; P != Call.CalleeMethod->Params.size() &&
+                         P != Call.Args.size();
+           ++P)
+        if (Call.CalleeMethod->Params[P].Name == V) {
+          if (Call.Args[P].empty())
+            return true; // Unknown actual: conservative.
+          Cands[I] = {Call.Args[P]};
+          IsFormal = true;
+          break;
+        }
+      if (!IsFormal)
+        return true; // Callee local / $ret: uninitialized at entry.
+    }
+    // Enumerate candidate tuples (arity <= 2 keeps this tiny).
+    std::vector<size_t> Idx(BV.Args.size(), 0);
+    while (true) {
+      std::vector<std::string> Tuple(BV.Args.size());
+      for (size_t I = 0; I != Idx.size(); ++I)
+        Tuple[I] = Cands[I][Idx[I]];
+      int CallerVar = -1;
+      switch (instantiateIn(Caller, BV.Family, Tuple, CallerVar)) {
+      case 1:
+        return true;
+      case 2:
+        if (may1At(Caller, FromNode, CallerVar))
+          return true;
+        break;
+      default:
+        break;
+      }
+      size_t I = 0;
+      for (; I != Idx.size(); ++I) {
+        if (++Idx[I] < Cands[I].size())
+          break;
+        Idx[I] = 0;
+      }
+      if (I == Idx.size())
+        return false;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Phase 3: check evaluation
+  //===------------------------------------------------------------------===//
+
+  InterResult report() {
+    for (MethodInfo &Info : Infos) {
+      if (!Info.Callable)
+        continue;
+      for (const Check &C : Info.BP.Checks) {
+        InterResult::CheckVerdict V;
+        V.Method = Info.Orig;
+        V.Loc = C.Loc;
+        V.What = C.What;
+        int From = Info.Ext.Edges[C.Edge].From;
+        if (!Info.Reached[From]) {
+          V.Outcome = CheckOutcome::Unreachable;
+        } else if (C.Var < 0) {
+          V.Outcome = C.ConstantViolated ? CheckOutcome::Potential
+                                         : CheckOutcome::Safe;
+        } else {
+          V.Outcome = may1At(Info, From, C.Var) ? CheckOutcome::Potential
+                                                : CheckOutcome::Safe;
+        }
+        Result.Checks.push_back(std::move(V));
+      }
+    }
+    return std::move(Result);
+  }
+
+  const DerivedAbstraction &Abs;
+  const cj::ClientCFG &CFG;
+  const cj::CFGMethod &Entry;
+  DiagnosticEngine &Diags;
+  std::vector<MethodInfo> Infos;
+  InterResult Result;
+};
+
+} // namespace
+
+InterResult bp::analyzeInterproc(const DerivedAbstraction &Abs,
+                                 const cj::ClientCFG &CFG,
+                                 const cj::CFGMethod &Entry,
+                                 DiagnosticEngine &Diags) {
+  return InterprocAnalysis(Abs, CFG, Entry, Diags).run();
+}

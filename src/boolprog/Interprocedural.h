@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-sensitive interprocedural SCMP certification (Section 8):
+/// a functional (summary-based) formulation that computes the
+/// meet-over-all-valid-paths "may-be-1" solution in polynomial time.
+///
+/// Key ideas:
+///  - Only "may the variable be 1" matters for certification (all update
+///    formulas are positive disjunctions; requires checks consult
+///    1-membership only), so procedure summaries are relations from
+///    entry facts to exit facts — an IFDS-style exploded reachability.
+///  - A callee can affect component objects it cannot name (e.g. calling
+///    add() on a collection aliased with a caller-local iterator's set).
+///    Each method is therefore analyzed over its variables *extended
+///    with ghost variables* (two per component type) that stand for
+///    arbitrary caller objects; the derived update rules quantify
+///    uniformly over them. At call/return, caller facts are translated
+///    through formals/actuals and per-tuple ghost instantiation, which
+///    keeps the translation exact for predicates of arity <= 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_BOOLPROG_INTERPROCEDURAL_H
+#define CANVAS_BOOLPROG_INTERPROCEDURAL_H
+
+#include "boolprog/Analysis.h"
+#include "boolprog/BooleanProgram.h"
+#include "client/CFG.h"
+#include "wp/Abstraction.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace bp {
+
+/// Verdicts for every requires check in every method reachable from the
+/// entry method.
+struct InterResult {
+  struct CheckVerdict {
+    const cj::CFGMethod *Method = nullptr;
+    SourceLoc Loc;
+    std::string What;
+    CheckOutcome Outcome; ///< Safe / Potential / Unreachable (the
+                          ///< interprocedural analysis does not
+                          ///< classify Definite).
+  };
+  std::vector<CheckVerdict> Checks;
+  /// Summary recomputations until the mutual fixpoint stabilized.
+  unsigned SummaryIterations = 0;
+
+  unsigned numFlagged() const;
+  std::string str() const;
+};
+
+/// Analyzes the whole program rooted at \p Entry. Every client method
+/// reachable through ClientCall edges is summarized context-sensitively.
+InterResult analyzeInterproc(const wp::DerivedAbstraction &Abs,
+                             const cj::ClientCFG &CFG,
+                             const cj::CFGMethod &Entry,
+                             DiagnosticEngine &Diags);
+
+} // namespace bp
+} // namespace canvas
+
+#endif // CANVAS_BOOLPROG_INTERPROCEDURAL_H

@@ -1,0 +1,267 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for CJ, the small Java-like client language analyzed
+/// by the certifiers. CJ replaces the paper's Java frontend: it exposes
+/// exactly the surface the analyses consume — reference assignment,
+/// allocation, component/client method calls, and nondeterministic
+/// branching ("if (*)", "while (*)"). Branch conditions are abstracted
+/// away, as in the paper's translation to TVP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_CLIENT_AST_H
+#define CANVAS_CLIENT_AST_H
+
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace cj {
+
+/// A dotted access path as written in client source, e.g. "this.w.s".
+struct PathE {
+  std::vector<std::string> Components;
+  SourceLoc Loc;
+
+  bool isSingleVar() const { return Components.size() == 1; }
+  std::string str() const {
+    std::string Out;
+    for (const std::string &C : Components) {
+      if (!Out.empty())
+        Out += '.';
+      Out += C;
+    }
+    return Out;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class CExpr {
+public:
+  enum class Kind { New, Call, Path, Null };
+
+  virtual ~CExpr() = default;
+  Kind getKind() const { return TheKind; }
+  SourceLoc Loc;
+
+protected:
+  CExpr(Kind K, SourceLoc Loc) : Loc(Loc), TheKind(K) {}
+
+private:
+  Kind TheKind;
+};
+
+using CExprPtr = std::unique_ptr<CExpr>;
+
+/// "new C(args)" — arguments are restricted to paths or null.
+class NewExpr : public CExpr {
+public:
+  NewExpr(std::string Type, std::vector<CExprPtr> Args, SourceLoc Loc)
+      : CExpr(Kind::New, Loc), Type(std::move(Type)), Args(std::move(Args)) {}
+
+  std::string Type;
+  std::vector<CExprPtr> Args;
+
+  static bool classof(const CExpr *E) { return E->getKind() == Kind::New; }
+};
+
+/// "recv.m(args)" or "m(args)"; the callee path's last component is the
+/// method name, its prefix (possibly empty) the receiver.
+class CallExpr : public CExpr {
+public:
+  CallExpr(PathE Callee, std::vector<CExprPtr> Args, SourceLoc Loc)
+      : CExpr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  PathE Callee;
+  std::vector<CExprPtr> Args;
+
+  std::string methodName() const { return Callee.Components.back(); }
+  /// The receiver path (empty for an unqualified intra-class call).
+  PathE receiver() const {
+    PathE R = Callee;
+    R.Components.pop_back();
+    return R;
+  }
+
+  static bool classof(const CExpr *E) { return E->getKind() == Kind::Call; }
+};
+
+class PathRefExpr : public CExpr {
+public:
+  PathRefExpr(PathE P, SourceLoc Loc)
+      : CExpr(Kind::Path, Loc), P(std::move(P)) {}
+
+  PathE P;
+
+  static bool classof(const CExpr *E) { return E->getKind() == Kind::Path; }
+};
+
+class NullExpr : public CExpr {
+public:
+  explicit NullExpr(SourceLoc Loc) : CExpr(Kind::Null, Loc) {}
+
+  static bool classof(const CExpr *E) { return E->getKind() == Kind::Null; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class CStmt {
+public:
+  enum class Kind { Decl, Assign, Expr, If, While, Return, Block };
+
+  virtual ~CStmt() = default;
+  Kind getKind() const { return TheKind; }
+  SourceLoc Loc;
+
+protected:
+  CStmt(Kind K, SourceLoc Loc) : Loc(Loc), TheKind(K) {}
+
+private:
+  Kind TheKind;
+};
+
+using CStmtPtr = std::unique_ptr<CStmt>;
+
+/// "T x;" or "T x = init;"
+class DeclStmt : public CStmt {
+public:
+  DeclStmt(std::string Type, std::string Name, CExprPtr Init, SourceLoc Loc)
+      : CStmt(Kind::Decl, Loc), Type(std::move(Type)), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+
+  std::string Type;
+  std::string Name;
+  CExprPtr Init; ///< May be null.
+
+  static bool classof(const CStmt *S) { return S->getKind() == Kind::Decl; }
+};
+
+/// "path = expr;"
+class AssignStmt : public CStmt {
+public:
+  AssignStmt(PathE Lhs, CExprPtr Rhs, SourceLoc Loc)
+      : CStmt(Kind::Assign, Loc), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+
+  PathE Lhs;
+  CExprPtr Rhs;
+
+  static bool classof(const CStmt *S) { return S->getKind() == Kind::Assign; }
+};
+
+/// A call in statement position.
+class ExprStmt : public CStmt {
+public:
+  ExprStmt(CExprPtr E, SourceLoc Loc)
+      : CStmt(Kind::Expr, Loc), E(std::move(E)) {}
+
+  CExprPtr E;
+
+  static bool classof(const CStmt *S) { return S->getKind() == Kind::Expr; }
+};
+
+/// "if (*) { ... } else { ... }" — the condition is nondeterministic.
+class IfStmt : public CStmt {
+public:
+  IfStmt(std::vector<CStmtPtr> Then, std::vector<CStmtPtr> Else,
+         SourceLoc Loc)
+      : CStmt(Kind::If, Loc), Then(std::move(Then)), Else(std::move(Else)) {}
+
+  std::vector<CStmtPtr> Then;
+  std::vector<CStmtPtr> Else;
+
+  static bool classof(const CStmt *S) { return S->getKind() == Kind::If; }
+};
+
+/// "while (*) { ... }" — nondeterministic loop.
+class WhileStmt : public CStmt {
+public:
+  WhileStmt(std::vector<CStmtPtr> Body, SourceLoc Loc)
+      : CStmt(Kind::While, Loc), Body(std::move(Body)) {}
+
+  std::vector<CStmtPtr> Body;
+
+  static bool classof(const CStmt *S) { return S->getKind() == Kind::While; }
+};
+
+/// "return;" or "return expr;"
+class ReturnStmt : public CStmt {
+public:
+  ReturnStmt(CExprPtr Value, SourceLoc Loc)
+      : CStmt(Kind::Return, Loc), Value(std::move(Value)) {}
+
+  CExprPtr Value; ///< May be null.
+
+  static bool classof(const CStmt *S) { return S->getKind() == Kind::Return; }
+};
+
+/// "{ ... }" in statement position.
+class BlockStmt : public CStmt {
+public:
+  BlockStmt(std::vector<CStmtPtr> Body, SourceLoc Loc)
+      : CStmt(Kind::Block, Loc), Body(std::move(Body)) {}
+
+  std::vector<CStmtPtr> Body;
+
+  static bool classof(const CStmt *S) { return S->getKind() == Kind::Block; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct CParam {
+  std::string Type;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+struct CMethod {
+  std::string ReturnType; ///< "void" or a type name.
+  std::string Name;
+  std::vector<CParam> Params;
+  std::vector<CStmtPtr> Body;
+  SourceLoc Loc;
+};
+
+struct CField {
+  std::string Type;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+struct CClass {
+  std::string Name;
+  std::vector<CField> Fields;
+  std::vector<CMethod> Methods;
+  SourceLoc Loc;
+
+  const CMethod *findMethod(const std::string &Name) const;
+  const CField *findField(const std::string &Name) const;
+};
+
+/// A parsed CJ client program.
+struct Program {
+  std::vector<CClass> Classes;
+
+  const CClass *findClass(const std::string &Name) const;
+  /// The conventional analysis root: the first method named "main".
+  const CMethod *mainMethod() const;
+  const CClass *classOfMethod(const CMethod *M) const;
+};
+
+} // namespace cj
+} // namespace canvas
+
+#endif // CANVAS_CLIENT_AST_H

@@ -1,0 +1,26 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the CJ client language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_CLIENT_PARSER_H
+#define CANVAS_CLIENT_PARSER_H
+
+#include "client/AST.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace canvas {
+namespace cj {
+
+/// Parses a CJ client program. Syntax errors go to \p Diags; the result
+/// is meaningful only when !Diags.hasErrors().
+Program parseProgram(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace cj
+} // namespace canvas
+
+#endif // CANVAS_CLIENT_PARSER_H

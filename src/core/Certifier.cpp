@@ -1,0 +1,144 @@
+#include "core/Certifier.h"
+
+#include "boolprog/Interprocedural.h"
+#include "client/CFG.h"
+#include "core/GenericBaseline.h"
+#include "tvla/Certify.h"
+
+using namespace canvas;
+using namespace canvas::core;
+
+const char *core::engineName(EngineKind K) {
+  switch (K) {
+  case EngineKind::SCMPIntra:
+    return "scmp-intra";
+  case EngineKind::SCMPInterproc:
+    return "scmp-interproc";
+  case EngineKind::GenericAllocSite:
+    return "generic-allocsite";
+  case EngineKind::TVLAIndependent:
+    return "tvla-independent";
+  case EngineKind::TVLARelational:
+    return "tvla-relational";
+  }
+  return "?";
+}
+
+unsigned CertificationReport::numFlagged() const {
+  unsigned N = 0;
+  for (const CheckVerdict &C : Checks)
+    N += C.Outcome == bp::CheckOutcome::Potential ||
+         C.Outcome == bp::CheckOutcome::Definite;
+  return N;
+}
+
+unsigned CertificationReport::numVerified() const {
+  unsigned N = 0;
+  for (const CheckVerdict &C : Checks)
+    N += C.Outcome == bp::CheckOutcome::Safe;
+  return N;
+}
+
+std::string CertificationReport::str() const {
+  std::string Out;
+  for (const CheckVerdict &C : Checks) {
+    const char *O = "?";
+    switch (C.Outcome) {
+    case bp::CheckOutcome::Safe:
+      O = "verified";
+      break;
+    case bp::CheckOutcome::Potential:
+      O = "POTENTIAL VIOLATION";
+      break;
+    case bp::CheckOutcome::Definite:
+      O = "DEFINITE VIOLATION";
+      break;
+    case bp::CheckOutcome::Unreachable:
+      O = "unreachable";
+      break;
+    }
+    Out += C.Method + " " + C.Loc.str() + ": " + C.What + ": " + O + "\n";
+  }
+  Out += std::to_string(numChecks()) + " check(s), " +
+         std::to_string(numVerified()) + " verified, " +
+         std::to_string(numFlagged()) + " flagged\n";
+  return Out;
+}
+
+Certifier::Certifier(std::string_view SpecSource, EngineKind Engine,
+                     DiagnosticEngine &Diags,
+                     const wp::DerivationOptions &DOpts)
+    : Engine(Engine) {
+  S = easl::parseSpec(SpecSource, Diags);
+  if (Diags.hasErrors())
+    return;
+  if (!easl::checkSpec(S, Diags))
+    return;
+  Abs = wp::deriveAbstraction(S, DOpts, Diags);
+}
+
+CertificationReport
+Certifier::certifySource(std::string_view ClientSource,
+                         DiagnosticEngine &Diags) const {
+  cj::Program P = cj::parseProgram(ClientSource, Diags);
+  if (Diags.hasErrors())
+    return {};
+  return certify(P, Diags);
+}
+
+CertificationReport Certifier::certify(const cj::Program &P,
+                                       DiagnosticEngine &Diags) const {
+  CertificationReport Report;
+  cj::ClientCFG CFG = cj::buildCFG(P, S, Diags);
+  if (Diags.hasErrors())
+    return Report;
+
+  switch (Engine) {
+  case EngineKind::SCMPIntra: {
+    for (const cj::CFGMethod &M : CFG.Methods) {
+      bp::BooleanProgram BP = bp::buildBooleanProgram(Abs, M, Diags);
+      bp::IntraResult R = bp::analyzeIntraproc(BP);
+      for (size_t I = 0; I != BP.Checks.size(); ++I)
+        Report.Checks.push_back(
+            {M.name(), BP.Checks[I].Loc, BP.Checks[I].What,
+             R.CheckResults[I]});
+    }
+    return Report;
+  }
+  case EngineKind::SCMPInterproc: {
+    const cj::CFGMethod *Main = CFG.mainCFG();
+    if (!Main) {
+      Diags.error(SourceLoc(), "interprocedural certification requires a "
+                               "main() method");
+      return Report;
+    }
+    bp::InterResult R = bp::analyzeInterproc(Abs, CFG, *Main, Diags);
+    for (const auto &C : R.Checks)
+      Report.Checks.push_back({C.Method->name(), C.Loc, C.What, C.Outcome});
+    return Report;
+  }
+  case EngineKind::GenericAllocSite: {
+    for (const cj::CFGMethod &M : CFG.Methods) {
+      BaselineResult R = analyzeAllocSite(S, M);
+      for (const auto &[Site, Flagged] : R.Flagged)
+        Report.Checks.push_back(
+            {Site.Method, M.Edges[Site.Edge].Act.Loc,
+             M.Edges[Site.Edge].Act.str() + " requires (spec " +
+                 Site.ReqLoc.str() + ")",
+             Flagged ? bp::CheckOutcome::Potential : bp::CheckOutcome::Safe});
+    }
+    return Report;
+  }
+  case EngineKind::TVLAIndependent:
+  case EngineKind::TVLARelational: {
+    for (const cj::CFGMethod &M : CFG.Methods) {
+      tvla::TVLAResult R = tvla::certifyWithTVLA(
+          S, Abs, M, Engine == EngineKind::TVLARelational, Diags);
+      for (const auto &C : R.Checks)
+        Report.Checks.push_back({M.name(), C.Loc, C.What, C.Outcome});
+    }
+    return Report;
+  }
+  }
+  return Report;
+}

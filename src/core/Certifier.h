@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public staged-certification API (Section 1.3):
+///
+///   1. parse an Easl component specification,
+///   2. derive its component-specific abstraction (certifier-generation
+///      time — this is where the expensive symbolic work happens),
+///   3. combine it with an analysis engine to obtain a Certifier,
+///   4. apply the certifier to any number of client programs.
+///
+/// Engines with different time/space/precision tradeoffs can be chosen
+/// per certification run (Section 1.3, step 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_CORE_CERTIFIER_H
+#define CANVAS_CORE_CERTIFIER_H
+
+#include "boolprog/Analysis.h"
+#include "client/Parser.h"
+#include "easl/Parser.h"
+#include "wp/Abstraction.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace canvas {
+namespace core {
+
+/// The client-analysis engine combined with the derived abstraction.
+enum class EngineKind {
+  /// Specialized intraprocedural possible-value analysis (Section 4.3):
+  /// precise MOP, O(E * B^2). Client calls are treated conservatively.
+  SCMPIntra,
+  /// Context-sensitive summary-based whole-program analysis (Section 8).
+  SCMPInterproc,
+  /// Generic allocation-site must-alias baseline (Section 3).
+  GenericAllocSite,
+  /// Mini-TVLA first-order engine, one 3-valued structure per program
+  /// point (independent-attribute, Section 5.5).
+  TVLAIndependent,
+  /// Mini-TVLA, set of 3-valued structures per point (relational).
+  TVLARelational,
+};
+
+const char *engineName(EngineKind K);
+
+/// One requires obligation with its verdict.
+struct CheckVerdict {
+  std::string Method; ///< "Class::method" containing the call.
+  SourceLoc Loc;      ///< Client call location.
+  std::string What;
+  bp::CheckOutcome Outcome;
+};
+
+struct CertificationReport {
+  std::vector<CheckVerdict> Checks;
+  unsigned numChecks() const { return Checks.size(); }
+  unsigned numFlagged() const;
+  unsigned numVerified() const;
+  std::string str() const;
+};
+
+/// A generated certifier: a derived abstraction bound to a component
+/// spec, applicable to arbitrary clients.
+class Certifier {
+public:
+  /// Generates a certifier from Easl source. Errors go to \p Diags.
+  Certifier(std::string_view SpecSource, EngineKind Engine,
+            DiagnosticEngine &Diags,
+            const wp::DerivationOptions &DOpts = {});
+
+  const easl::Spec &spec() const { return S; }
+  const wp::DerivedAbstraction &abstraction() const { return Abs; }
+  EngineKind engine() const { return Engine; }
+
+  /// Certifies \p ClientSource. For intraprocedural engines every client
+  /// method is analyzed independently; the interprocedural engine
+  /// analyzes the program rooted at main().
+  CertificationReport certifySource(std::string_view ClientSource,
+                                    DiagnosticEngine &Diags) const;
+
+  /// Same, for an already-parsed program.
+  CertificationReport certify(const cj::Program &P,
+                              DiagnosticEngine &Diags) const;
+
+private:
+  easl::Spec S;
+  wp::DerivedAbstraction Abs;
+  EngineKind Engine;
+};
+
+} // namespace core
+} // namespace canvas
+
+#endif // CANVAS_CORE_CERTIFIER_H

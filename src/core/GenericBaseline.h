@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic certification baseline of Section 3: analyze the
+/// composite program (client + inlined Easl component behavior) with a
+/// generic allocation-site-based heap analysis, and discharge each
+/// requires clause by must-alias reasoning.
+///
+/// An allocation site abstracts all objects it creates; a site that may
+/// allocate more than once per execution is summarized, and references
+/// into a summarized site can never be proved must-equal. This is
+/// exactly why the analysis false-alarms on the paper's versioned-loop
+/// example ("An allocation-site based alias analysis will be unable to
+/// certify that this fragment is free of CMP errors"), while the staged
+/// certifier of Section 4 is precise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_CORE_GENERICBASELINE_H
+#define CANVAS_CORE_GENERICBASELINE_H
+
+#include "client/CFG.h"
+#include "core/Interpreter.h"
+#include "easl/AST.h"
+
+#include <map>
+
+namespace canvas {
+namespace core {
+
+struct BaselineResult {
+  /// Per requires obligation: true when the analysis could not prove it
+  /// (a potential violation).
+  std::map<CheckSite, bool> Flagged;
+  unsigned Iterations = 0;
+
+  unsigned numFlagged() const {
+    unsigned N = 0;
+    for (const auto &[Site, F] : Flagged)
+      N += F;
+    return N;
+  }
+};
+
+/// Runs the intraprocedural allocation-site analysis on \p Entry.
+BaselineResult analyzeAllocSite(const easl::Spec &Spec,
+                                const cj::CFGMethod &Entry);
+
+} // namespace core
+} // namespace canvas
+
+#endif // CANVAS_CORE_GENERICBASELINE_H

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete reference executor: runs a CJ client against the *actual*
+/// executable semantics of its Easl specification (Easl is executable —
+/// that is the point of the language), exploring all nondeterministic
+/// branch decisions up to configurable bounds.
+///
+/// This plays the role of the JCF dynamic check in the paper's
+/// evaluation: it provides ground truth for which requires clauses can
+/// actually fail, so the benchmarks can count false alarms of the static
+/// certifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_CORE_INTERPRETER_H
+#define CANVAS_CORE_INTERPRETER_H
+
+#include "client/CFG.h"
+#include "easl/AST.h"
+#include "support/SourceLoc.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace core {
+
+/// Identifies one requires obligation: the CFG edge of the component
+/// call and the source location of the requires clause in the spec.
+struct CheckSite {
+  std::string Method; ///< "Class::method" containing the call edge.
+  int Edge = -1;      ///< Edge index within that method's CFG.
+  SourceLoc ReqLoc;   ///< Location of the requires clause in the spec.
+
+  friend bool operator<(const CheckSite &A, const CheckSite &B) {
+    if (A.Method != B.Method)
+      return A.Method < B.Method;
+    if (A.Edge != B.Edge)
+      return A.Edge < B.Edge;
+    if (A.ReqLoc.Line != B.ReqLoc.Line)
+      return A.ReqLoc.Line < B.ReqLoc.Line;
+    return A.ReqLoc.Col < B.ReqLoc.Col;
+  }
+};
+
+/// Result of concrete exploration.
+struct GroundTruth {
+  /// Every requires obligation encountered on some explored path, and
+  /// whether some explored execution violates it.
+  std::map<CheckSite, bool> MayViolate;
+  /// True when exploration completed without hitting a bound — then
+  /// MayViolate is exact (for the explored entry method).
+  bool Exhaustive = true;
+  unsigned PathsExplored = 0;
+};
+
+/// Exploration bounds.
+struct InterpreterOptions {
+  unsigned MaxStepsPerPath = 300; ///< Edge traversals per path.
+  unsigned MaxPaths = 20000;
+  unsigned MaxCallDepth = 16;
+};
+
+/// Explores every execution of \p Entry (following ClientCall edges into
+/// other methods of \p CFG) under the concrete semantics of \p Spec.
+GroundTruth executeConcretely(const easl::Spec &Spec,
+                              const cj::ClientCFG &CFG,
+                              const cj::CFGMethod &Entry,
+                              const InterpreterOptions &Opts = {});
+
+} // namespace core
+} // namespace canvas
+
+#endif // CANVAS_CORE_INTERPRETER_H

@@ -1,0 +1,47 @@
+#include "easl/AST.h"
+
+using namespace canvas;
+using namespace canvas::easl;
+
+std::string RhsExpr::str() const {
+  if (!isNew())
+    return P.str();
+  std::string Out = "new " + NewType + "(";
+  bool First = true;
+  for (const PathExpr &A : Args) {
+    if (!First)
+      Out += ", ";
+    Out += A.str();
+    First = false;
+  }
+  Out += ")";
+  return Out;
+}
+
+const FieldDecl *ClassDecl::findField(const std::string &FieldName) const {
+  for (const FieldDecl &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+const MethodDecl *ClassDecl::findMethod(const std::string &MethodName) const {
+  for (const MethodDecl &M : Methods)
+    if (!M.IsConstructor && M.Name == MethodName)
+      return &M;
+  return nullptr;
+}
+
+const MethodDecl *ClassDecl::constructor() const {
+  for (const MethodDecl &M : Methods)
+    if (M.IsConstructor)
+      return &M;
+  return nullptr;
+}
+
+const ClassDecl *Spec::findClass(const std::string &ClassName) const {
+  for (const ClassDecl &C : Classes)
+    if (C.Name == ClassName)
+      return &C;
+  return nullptr;
+}

@@ -1,0 +1,112 @@
+#include "easl/Builtins.h"
+
+#include "easl/Parser.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+
+using namespace canvas;
+using namespace canvas::easl;
+
+const char *easl::cmpSpecSource() {
+  return R"(
+// Concurrent Modification Problem (Fig. 2). Versions are heap objects so
+// that "the version changed" is an alias condition.
+class Version { }
+
+class Set {
+  Version ver;
+  Set() { ver = new Version(); }
+  void add() { ver = new Version(); }
+  Iterator iterator() { return new Iterator(this); }
+}
+
+class Iterator {
+  Set set;
+  Version defVer;
+  Iterator(Set s) { defVer = s.ver; set = s; }
+  void remove() {
+    requires (defVer == set.ver);
+    set.ver = new Version();
+    defVer = set.ver;
+  }
+  void next() { requires (defVer == set.ver); }
+}
+)";
+}
+
+const char *easl::grpSpecSource() {
+  return R"(
+// Grabbed Resource Problem (Section 2.2). A graph stores traversal state
+// in its vertices, so initiating a new traversal preemptively grabs the
+// graph: the constructor re-issues the graph's ownership token, and every
+// traversal step requires the traversal's grant to still be the token.
+class Token { }
+
+class Graph {
+  Token owner;
+  Graph() { owner = new Token(); }
+  Traversal traverse() { return new Traversal(this); }
+}
+
+class Traversal {
+  Graph graph;
+  Token grant;
+  Traversal(Graph g) {
+    g.owner = new Token();
+    grant = g.owner;
+    graph = g;
+  }
+  void visitNext() { requires (grant == graph.owner); }
+}
+)";
+}
+
+const char *easl::impSpecSource() {
+  return R"(
+// Implementation Mismatch Problem (Section 2.2): the Factory pattern.
+// Widgets may only be combined with widgets made by the same factory.
+class Factory {
+  Factory() { }
+  Widget make() { return new Widget(this); }
+}
+
+class Widget {
+  Factory owner;
+  Widget(Factory f) { owner = f; }
+  void combine(Widget w) { requires (owner == w.owner); }
+}
+)";
+}
+
+const char *easl::aopSpecSource() {
+  return R"(
+// Alien Object Problem (Section 2.2): vertices belong to the graph that
+// created them, and addEdge may only connect the graph's own vertices.
+class GraphA {
+  GraphA() { }
+  Vertex newVertex() { return new Vertex(this); }
+  void addEdge(Vertex u, Vertex v) {
+    requires (u.home == this);
+    requires (v.home == this);
+  }
+}
+
+class Vertex {
+  GraphA home;
+  Vertex(GraphA g) { home = g; }
+}
+)";
+}
+
+Spec easl::parseBuiltinSpec(const char *Source) {
+  DiagnosticEngine Diags;
+  Spec S = parseSpec(Source, Diags);
+  if (!Diags.hasErrors())
+    checkSpec(S, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    reportFatalError("built-in Easl specification failed to parse/check");
+  }
+  return S;
+}

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The built-in Easl specifications from Section 2 of the paper: CMP (the
+/// Concurrent Modification Problem, Fig. 2) and the three other FOS
+/// conformance problems of Section 2.2 (GRP, IMP, AOP).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_EASL_BUILTINS_H
+#define CANVAS_EASL_BUILTINS_H
+
+#include "easl/AST.h"
+
+namespace canvas {
+namespace easl {
+
+/// Easl source of the Concurrent Modification Problem spec (Fig. 2):
+/// every Set modification allocates a fresh Version; iterators record the
+/// version they were created against and require it to still be current.
+const char *cmpSpecSource();
+
+/// Grabbed Resource Problem: starting a new traversal of a graph
+/// preemptively re-acquires the graph, invalidating earlier traversals.
+const char *grpSpecSource();
+
+/// Implementation Mismatch Problem (Factory pattern): objects combined by
+/// a method must come from the same factory.
+const char *impSpecSource();
+
+/// Alien Object Problem: vertices passed to a graph method must belong to
+/// that graph.
+const char *aopSpecSource();
+
+/// Parses and semantically checks a built-in specification. Aborts on
+/// failure (a failure is a bug in the built-in source, not user error).
+Spec parseBuiltinSpec(const char *Source);
+
+} // namespace easl
+} // namespace canvas
+
+#endif // CANVAS_EASL_BUILTINS_H

@@ -1,0 +1,523 @@
+#include "easl/Parser.h"
+
+#include "support/Lexer.h"
+
+#include <set>
+
+using namespace canvas;
+using namespace canvas::easl;
+
+namespace {
+
+class SpecParser {
+public:
+  SpecParser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  Spec run() {
+    Spec S;
+    while (!atEnd()) {
+      if (peek().isKeyword("class")) {
+        S.Classes.push_back(parseClass());
+        continue;
+      }
+      error("expected 'class'");
+      advance();
+    }
+    return S;
+  }
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = std::min(Pos + Ahead, Tokens.size() - 1);
+    return Tokens[I];
+  }
+  bool atEnd() const { return peek().is(TokenKind::End); }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+
+  void error(const std::string &Msg) { Diags.error(peek().Loc, Msg); }
+
+  bool expectPunct(const char *P) {
+    if (peek().isPunct(P)) {
+      advance();
+      return true;
+    }
+    error(std::string("expected '") + P + "'");
+    return false;
+  }
+
+  std::string expectIdentifier(const char *What) {
+    if (peek().is(TokenKind::Identifier))
+      return advance().Text;
+    error(std::string("expected ") + What);
+    return "";
+  }
+
+  /// Skips forward to (and past) the next ';' or to a '}' for error
+  /// recovery.
+  void synchronize() {
+    while (!atEnd()) {
+      if (peek().isPunct(";")) {
+        advance();
+        return;
+      }
+      if (peek().isPunct("}"))
+        return;
+      advance();
+    }
+  }
+
+  ClassDecl parseClass() {
+    ClassDecl C;
+    C.Loc = peek().Loc;
+    advance(); // 'class'
+    C.Name = expectIdentifier("class name");
+    expectPunct("{");
+    while (!atEnd() && !peek().isPunct("}"))
+      parseMember(C);
+    expectPunct("}");
+    return C;
+  }
+
+  void parseMember(ClassDecl &C) {
+    // Constructor: ClassName '(' ...
+    if (peek().isKeyword(C.Name) && peek(1).isPunct("(")) {
+      MethodDecl M;
+      M.Loc = peek().Loc;
+      M.Name = advance().Text;
+      M.IsConstructor = true;
+      M.ReturnType = C.Name;
+      parseParamsAndBody(M);
+      C.Methods.push_back(std::move(M));
+      return;
+    }
+    // Field or method: Type Name (';' | '(').
+    if (!peek().is(TokenKind::Identifier)) {
+      error("expected member declaration");
+      synchronize();
+      return;
+    }
+    SourceLoc Loc = peek().Loc;
+    std::string Type = advance().Text;
+    std::string Name = expectIdentifier("member name");
+    if (peek().isPunct(";")) {
+      advance();
+      C.Fields.push_back({std::move(Type), std::move(Name), Loc});
+      return;
+    }
+    if (peek().isPunct("(")) {
+      MethodDecl M;
+      M.Loc = Loc;
+      M.ReturnType = std::move(Type);
+      M.Name = std::move(Name);
+      parseParamsAndBody(M);
+      C.Methods.push_back(std::move(M));
+      return;
+    }
+    error("expected ';' or '(' after member name");
+    synchronize();
+  }
+
+  void parseParamsAndBody(MethodDecl &M) {
+    expectPunct("(");
+    if (!peek().isPunct(")")) {
+      while (true) {
+        Param P;
+        P.Loc = peek().Loc;
+        P.Type = expectIdentifier("parameter type");
+        P.Name = expectIdentifier("parameter name");
+        M.Params.push_back(std::move(P));
+        if (!peek().isPunct(","))
+          break;
+        advance();
+      }
+    }
+    expectPunct(")");
+    M.Body = parseBlock();
+  }
+
+  std::vector<StmtPtr> parseBlock() {
+    std::vector<StmtPtr> Stmts;
+    expectPunct("{");
+    while (!atEnd() && !peek().isPunct("}")) {
+      if (StmtPtr S = parseStmt())
+        Stmts.push_back(std::move(S));
+      else
+        synchronize();
+    }
+    expectPunct("}");
+    return Stmts;
+  }
+
+  StmtPtr parseStmt() {
+    SourceLoc Loc = peek().Loc;
+    if (peek().isKeyword("requires")) {
+      advance();
+      expectPunct("(");
+      ExprPtr Cond = parseExpr();
+      expectPunct(")");
+      expectPunct(";");
+      return std::make_unique<RequiresStmt>(std::move(Cond), Loc);
+    }
+    if (peek().isKeyword("return")) {
+      advance();
+      RhsExpr Value = parseRhs();
+      expectPunct(";");
+      return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+    }
+    if (peek().isKeyword("if")) {
+      advance();
+      expectPunct("(");
+      ExprPtr Cond = parseExpr();
+      expectPunct(")");
+      std::vector<StmtPtr> Then = parseBlock();
+      std::vector<StmtPtr> Else;
+      if (peek().isKeyword("else")) {
+        advance();
+        Else = parseBlock();
+      }
+      return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                      std::move(Else), Loc);
+    }
+    PathExpr Lhs = parsePath();
+    if (Lhs.Components.empty())
+      return nullptr;
+    if (!expectPunct("="))
+      return nullptr;
+    RhsExpr Rhs = parseRhs();
+    expectPunct(";");
+    return std::make_unique<AssignStmt>(std::move(Lhs), std::move(Rhs), Loc);
+  }
+
+  RhsExpr parseRhs() {
+    RhsExpr R;
+    R.Loc = peek().Loc;
+    if (peek().isKeyword("new")) {
+      advance();
+      R.TheKind = RhsExpr::Kind::New;
+      R.NewType = expectIdentifier("class name after 'new'");
+      expectPunct("(");
+      if (!peek().isPunct(")")) {
+        while (true) {
+          R.Args.push_back(parsePath());
+          if (!peek().isPunct(","))
+            break;
+          advance();
+        }
+      }
+      expectPunct(")");
+      return R;
+    }
+    R.TheKind = RhsExpr::Kind::Path;
+    R.P = parsePath();
+    return R;
+  }
+
+  PathExpr parsePath() {
+    PathExpr P;
+    P.Loc = peek().Loc;
+    if (!peek().is(TokenKind::Identifier)) {
+      error("expected access path");
+      return P;
+    }
+    P.Components.push_back(advance().Text);
+    while (peek().isPunct(".")) {
+      advance();
+      P.Components.push_back(expectIdentifier("field name"));
+    }
+    return P;
+  }
+
+  // expr := and ('||' and)* ; and := unary ('&&' unary)* ;
+  // unary := '!' unary | primary ;
+  // primary := 'true' | 'false' | comparison | '(' expr ')' (then maybe
+  // '==' for a parenthesized-path comparison, which Easl does not need).
+  ExprPtr parseExpr() {
+    ExprPtr Lhs = parseAnd();
+    if (!peek().isPunct("||"))
+      return Lhs;
+    std::vector<ExprPtr> Ops;
+    SourceLoc Loc = Lhs->Loc;
+    Ops.push_back(std::move(Lhs));
+    while (peek().isPunct("||")) {
+      advance();
+      Ops.push_back(parseAnd());
+    }
+    return std::make_unique<OrExpr>(std::move(Ops), Loc);
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr Lhs = parseUnary();
+    if (!peek().isPunct("&&"))
+      return Lhs;
+    std::vector<ExprPtr> Ops;
+    SourceLoc Loc = Lhs->Loc;
+    Ops.push_back(std::move(Lhs));
+    while (peek().isPunct("&&")) {
+      advance();
+      Ops.push_back(parseUnary());
+    }
+    return std::make_unique<AndExpr>(std::move(Ops), Loc);
+  }
+
+  ExprPtr parseUnary() {
+    SourceLoc Loc = peek().Loc;
+    if (peek().isPunct("!")) {
+      advance();
+      return std::make_unique<NotExpr>(parseUnary(), Loc);
+    }
+    if (peek().isKeyword("true") || peek().isKeyword("false")) {
+      bool V = advance().Text == "true";
+      return std::make_unique<BoolConstExpr>(V, Loc);
+    }
+    if (peek().isPunct("(")) {
+      advance();
+      ExprPtr Inner = parseExpr();
+      expectPunct(")");
+      return Inner;
+    }
+    PathExpr Lhs = parsePath();
+    bool Negated;
+    if (peek().isPunct("==")) {
+      Negated = false;
+    } else if (peek().isPunct("!=")) {
+      Negated = true;
+    } else {
+      error("expected '==' or '!=' in comparison");
+      return std::make_unique<BoolConstExpr>(true, Loc);
+    }
+    advance();
+    PathExpr Rhs = parsePath();
+    return std::make_unique<CompareExpr>(std::move(Lhs), std::move(Rhs),
+                                         Negated, Loc);
+  }
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Spec easl::parseSpec(std::string_view Source, DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = lexSource(Source, Diags);
+  return SpecParser(std::move(Tokens), Diags).run();
+}
+
+//===----------------------------------------------------------------------===//
+// MethodScope
+//===----------------------------------------------------------------------===//
+
+MethodScope::RootKind MethodScope::classifyRoot(const std::string &Name,
+                                                std::string &TypeOut) const {
+  if (Name == "this") {
+    TypeOut = Class.Name;
+    return RootKind::This;
+  }
+  for (const Param &P : Method.Params)
+    if (P.Name == Name) {
+      TypeOut = P.Type;
+      return RootKind::Param;
+    }
+  if (const FieldDecl *F = Class.findField(Name)) {
+    TypeOut = F->Type;
+    return RootKind::ImplicitThisField;
+  }
+  TypeOut.clear();
+  return RootKind::Unknown;
+}
+
+std::string MethodScope::typeOfPath(const PathExpr &P,
+                                    DiagnosticEngine *Diags) const {
+  if (P.Components.empty())
+    return "";
+  std::string Type;
+  RootKind RK = classifyRoot(P.Components.front(), Type);
+  if (RK == RootKind::Unknown) {
+    if (Diags)
+      Diags->error(P.Loc, "unknown name '" + P.Components.front() + "' in '" +
+                              P.str() + "'");
+    return "";
+  }
+  for (size_t I = 1, E = P.Components.size(); I != E; ++I) {
+    const ClassDecl *C = S.findClass(Type);
+    if (!C) {
+      if (Diags)
+        Diags->error(P.Loc, "type '" + Type + "' of '" + P.str() +
+                                "' prefix is not a spec class");
+      return "";
+    }
+    const FieldDecl *F = C->findField(P.Components[I]);
+    if (!F) {
+      if (Diags)
+        Diags->error(P.Loc, "class '" + C->Name + "' has no field '" +
+                                P.Components[I] + "'");
+      return "";
+    }
+    Type = F->Type;
+  }
+  return Type;
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic checker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class SpecChecker {
+public:
+  SpecChecker(const Spec &S, DiagnosticEngine &Diags) : S(S), Diags(Diags) {}
+
+  bool run() {
+    checkUniqueClassNames();
+    for (const ClassDecl &C : S.Classes)
+      checkClass(C);
+    return !Diags.hasErrors();
+  }
+
+private:
+  void checkUniqueClassNames() {
+    std::set<std::string> Seen;
+    for (const ClassDecl &C : S.Classes)
+      if (!Seen.insert(C.Name).second)
+        Diags.error(C.Loc, "duplicate class '" + C.Name + "'");
+  }
+
+  void checkClass(const ClassDecl &C) {
+    std::set<std::string> FieldNames;
+    for (const FieldDecl &F : C.Fields) {
+      if (!FieldNames.insert(F.Name).second)
+        Diags.error(F.Loc, "duplicate field '" + F.Name + "'");
+      if (!S.findClass(F.Type))
+        Diags.error(F.Loc, "unknown field type '" + F.Type + "'");
+    }
+    std::set<std::string> MethodNames;
+    unsigned NumCtors = 0;
+    for (const MethodDecl &M : C.Methods) {
+      if (M.IsConstructor) {
+        if (++NumCtors > 1)
+          Diags.error(M.Loc, "class '" + C.Name +
+                                 "' has more than one constructor");
+      } else if (!MethodNames.insert(M.Name).second) {
+        Diags.error(M.Loc, "duplicate method '" + M.Name + "'");
+      }
+      checkMethod(C, M);
+    }
+  }
+
+  void checkMethod(const ClassDecl &C, const MethodDecl &M) {
+    if (!M.IsConstructor && M.ReturnType != "void" &&
+        !S.findClass(M.ReturnType))
+      Diags.error(M.Loc, "unknown return type '" + M.ReturnType + "'");
+    for (const Param &P : M.Params)
+      if (!S.findClass(P.Type))
+        Diags.error(P.Loc, "unknown parameter type '" + P.Type + "'");
+
+    MethodScope Scope(S, C, M);
+    bool SeenNonRequires = false;
+    for (const StmtPtr &St : M.Body)
+      checkStmt(Scope, *St, SeenNonRequires);
+  }
+
+  void checkStmt(const MethodScope &Scope, const Stmt &St,
+                 bool &SeenNonRequires) {
+    switch (St.getKind()) {
+    case Stmt::Kind::Requires: {
+      if (SeenNonRequires)
+        Diags.warning(St.Loc,
+                      "requires clause not at method entry; the staged "
+                      "derivation assumes entry-only requires clauses");
+      checkExpr(Scope, *cast<RequiresStmt>(&St)->Cond);
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      SeenNonRequires = true;
+      const auto *A = cast<AssignStmt>(&St);
+      std::string LhsTy = Scope.typeOfPath(A->Lhs, &Diags);
+      std::string RhsTy = checkRhs(Scope, A->Rhs);
+      if (!LhsTy.empty() && !RhsTy.empty() && LhsTy != RhsTy)
+        Diags.error(St.Loc, "assignment of '" + RhsTy + "' to '" + LhsTy +
+                                "' reference");
+      return;
+    }
+    case Stmt::Kind::Return: {
+      SeenNonRequires = true;
+      const auto *R = cast<ReturnStmt>(&St);
+      std::string Ty = checkRhs(Scope, R->Value);
+      const MethodDecl &M = Scope.method();
+      if (!Ty.empty() && !M.IsConstructor && Ty != M.ReturnType)
+        Diags.error(St.Loc, "returning '" + Ty + "' from method of type '" +
+                                M.ReturnType + "'");
+      return;
+    }
+    case Stmt::Kind::If: {
+      SeenNonRequires = true;
+      const auto *I = cast<IfStmt>(&St);
+      checkExpr(Scope, *I->Cond);
+      for (const StmtPtr &Sub : I->Then)
+        checkStmt(Scope, *Sub, SeenNonRequires);
+      for (const StmtPtr &Sub : I->Else)
+        checkStmt(Scope, *Sub, SeenNonRequires);
+      return;
+    }
+    }
+  }
+
+  std::string checkRhs(const MethodScope &Scope, const RhsExpr &R) {
+    if (!R.isNew())
+      return Scope.typeOfPath(R.P, &Diags);
+    const ClassDecl *C = S.findClass(R.NewType);
+    if (!C) {
+      Diags.error(R.Loc, "unknown class '" + R.NewType + "' in new");
+      return "";
+    }
+    const MethodDecl *Ctor = C->constructor();
+    size_t Expected = Ctor ? Ctor->Params.size() : 0;
+    if (R.Args.size() != Expected)
+      Diags.error(R.Loc, "constructor of '" + R.NewType + "' takes " +
+                             std::to_string(Expected) + " argument(s), got " +
+                             std::to_string(R.Args.size()));
+    for (const PathExpr &A : R.Args)
+      Scope.typeOfPath(A, &Diags);
+    return R.NewType;
+  }
+
+  void checkExpr(const MethodScope &Scope, const Expr &E) {
+    switch (E.getKind()) {
+    case Expr::Kind::Compare: {
+      const auto *C = cast<CompareExpr>(&E);
+      Scope.typeOfPath(C->Lhs, &Diags);
+      Scope.typeOfPath(C->Rhs, &Diags);
+      return;
+    }
+    case Expr::Kind::And:
+      for (const ExprPtr &Op : cast<AndExpr>(&E)->Operands)
+        checkExpr(Scope, *Op);
+      return;
+    case Expr::Kind::Or:
+      for (const ExprPtr &Op : cast<OrExpr>(&E)->Operands)
+        checkExpr(Scope, *Op);
+      return;
+    case Expr::Kind::Not:
+      checkExpr(Scope, *cast<NotExpr>(&E)->Operand);
+      return;
+    case Expr::Kind::BoolConst:
+      return;
+    }
+  }
+
+  const Spec &S;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+bool easl::checkSpec(const Spec &S, DiagnosticEngine &Diags) {
+  return SpecChecker(S, Diags).run();
+}

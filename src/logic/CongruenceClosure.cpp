@@ -1,0 +1,177 @@
+#include "logic/CongruenceClosure.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace canvas;
+
+int CongruenceClosure::find(int N) {
+  while (Nodes[N].Parent != N) {
+    Nodes[N].Parent = Nodes[Nodes[N].Parent].Parent;
+    N = Nodes[N].Parent;
+  }
+  return N;
+}
+
+int CongruenceClosure::getRootNode(const Path &P) {
+  std::string Key =
+      (P.rootKind() == Path::RootKind::Fresh ? "f:" : "v:") + P.rootName();
+  auto It = RootNodes.find(Key);
+  if (It != RootNodes.end())
+    return It->second;
+  int Id = static_cast<int>(Nodes.size());
+  Nodes.push_back(Node{Id, 1, {}});
+  RootNodes.emplace(std::move(Key), Id);
+  return Id;
+}
+
+int CongruenceClosure::getNode(const Path &P) {
+  int Cur = getRootNode(P);
+  for (const std::string &Field : P.fields()) {
+    int Rep = find(Cur);
+    auto It = Nodes[Rep].FieldUses.find(Field);
+    if (It != Nodes[Rep].FieldUses.end()) {
+      Cur = It->second;
+      continue;
+    }
+    int Id = static_cast<int>(Nodes.size());
+    Nodes.push_back(Node{Id, 1, {}});
+    Nodes[Rep].FieldUses.emplace(Field, Id);
+    Cur = Id;
+  }
+  return Cur;
+}
+
+void CongruenceClosure::merge(int A, int B) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return;
+  if (Nodes[A].Size < Nodes[B].Size)
+    std::swap(A, B);
+  // A absorbs B. Move B's field uses into A, merging congruent parents.
+  Nodes[B].Parent = A;
+  Nodes[A].Size += Nodes[B].Size;
+  std::map<std::string, int> BUses = std::move(Nodes[B].FieldUses);
+  Nodes[B].FieldUses.clear();
+  for (auto &[Field, UseNode] : BUses) {
+    auto It = Nodes[A].FieldUses.find(Field);
+    if (It == Nodes[A].FieldUses.end()) {
+      Nodes[A].FieldUses.emplace(Field, UseNode);
+      continue;
+    }
+    // Congruence: x == y implies x.Field == y.Field.
+    merge(It->second, UseNode);
+  }
+}
+
+void CongruenceClosure::assume(const Literal &L) {
+  int A = getNode(L.Lhs);
+  int B = getNode(L.Rhs);
+  if (L.Negated) {
+    Disequalities.emplace_back(A, B);
+    return;
+  }
+  merge(A, B);
+}
+
+void CongruenceClosure::assume(const Conjunction &C) {
+  for (const Literal &L : C)
+    assume(L);
+}
+
+bool CongruenceClosure::isConsistent() {
+  for (auto [A, B] : Disequalities)
+    if (find(A) == find(B))
+      return false;
+  return true;
+}
+
+bool CongruenceClosure::provesEqual(const Path &Lhs, const Path &Rhs) {
+  return find(getNode(Lhs)) == find(getNode(Rhs));
+}
+
+bool canvas::conjunctionConsistent(const Conjunction &C) {
+  CongruenceClosure CC;
+  CC.assume(C);
+  return CC.isConsistent();
+}
+
+bool canvas::conjunctionImplies(const Conjunction &Assumptions,
+                                const Literal &L) {
+  CongruenceClosure CC;
+  CC.assume(Assumptions);
+  if (!CC.isConsistent())
+    return true;
+  if (!L.Negated)
+    // EUF is convex: a consistent conjunction entails an equality iff its
+    // equalities alone prove it.
+    return CC.provesEqual(L.Lhs, L.Rhs);
+  // Assumptions entail a != b iff Assumptions && a == b is inconsistent.
+  CC.assume(Literal(/*Negated=*/false, L.Lhs, L.Rhs));
+  return !CC.isConsistent();
+}
+
+bool canvas::simplifyDisjunct(Conjunction &C, const Conjunction &Context) {
+  Conjunction All = C;
+  All.insert(All.end(), Context.begin(), Context.end());
+  if (!conjunctionConsistent(All))
+    return false;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I != C.size(); ++I) {
+      Conjunction Rest = Context;
+      for (size_t J = 0; J != C.size(); ++J)
+        if (J != I)
+          Rest.push_back(C[J]);
+      if (conjunctionImplies(Rest, C[I])) {
+        C.erase(C.begin() + I);
+        Changed = true;
+        break;
+      }
+    }
+  }
+  std::sort(C.begin(), C.end());
+  C.erase(std::unique(C.begin(), C.end()), C.end());
+  return true;
+}
+
+/// True when \p Weaker is entailed by \p Stronger && \p Context.
+static bool disjunctEntails(const Conjunction &Stronger,
+                            const Conjunction &Weaker,
+                            const Conjunction &Context) {
+  Conjunction Assumptions = Stronger;
+  Assumptions.insert(Assumptions.end(), Context.begin(), Context.end());
+  for (const Literal &L : Weaker)
+    if (!conjunctionImplies(Assumptions, L))
+      return false;
+  return true;
+}
+
+void canvas::removeSubsumedDisjuncts(std::vector<Conjunction> &Disjuncts,
+                                     const Conjunction &Context) {
+  std::vector<bool> Dropped(Disjuncts.size(), false);
+  for (size_t I = 0; I != Disjuncts.size(); ++I) {
+    if (Dropped[I])
+      continue;
+    for (size_t J = 0; J != Disjuncts.size(); ++J) {
+      if (I == J || Dropped[J])
+        continue;
+      if (!disjunctEntails(Disjuncts[I], Disjuncts[J], Context))
+        continue;
+      // D_I entails D_J, so D_I is redundant — unless they are
+      // equivalent, in which case the earlier one survives.
+      if (disjunctEntails(Disjuncts[J], Disjuncts[I], Context) && J > I)
+        continue;
+      Dropped[I] = true;
+      break;
+    }
+  }
+  std::vector<Conjunction> Kept;
+  for (size_t I = 0; I != Disjuncts.size(); ++I)
+    if (!Dropped[I])
+      Kept.push_back(std::move(Disjuncts[I]));
+  Disjuncts = std::move(Kept);
+}

@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Congruence closure (EUF) over access paths, treating each field
+/// selection as a unary function application.
+///
+/// Section 4.5 of the paper notes that the abstraction-derivation process
+/// must check candidate instrumentation predicates for equivalence and
+/// may use "more powerful decision procedures ... to reduce the number of
+/// generated instrumentation predicates". This module is that decision
+/// procedure: complete for conjunctions of path equalities and
+/// disequalities. It is what lets the derivation discover, e.g., that the
+/// literal i != j inside (i != j && i.defVer != i.set.ver) is redundant
+/// under the precondition j.defVer == j.set.ver, so that the derived
+/// predicate coincides with the paper's "stale".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_LOGIC_CONGRUENCECLOSURE_H
+#define CANVAS_LOGIC_CONGRUENCECLOSURE_H
+
+#include "logic/Formula.h"
+#include "logic/Path.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace canvas {
+
+/// Incremental congruence closure over path terms.
+///
+/// Usage: add assumptions with assume(); then query consistency and
+/// implied equalities. Adding an equality merges classes and propagates
+/// congruences (a == b implies a.f == b.f for every field f present in
+/// the term DAG). Disequalities do not drive merging (EUF), they only
+/// participate in the consistency check.
+class CongruenceClosure {
+public:
+  /// Asserts \p L (an equality or disequality of two paths).
+  void assume(const Literal &L);
+
+  /// Asserts every literal of \p C.
+  void assume(const Conjunction &C);
+
+  /// True if no asserted disequality has congruent sides. (Fresh-handle
+  /// distinctness is resolved before formulas reach this class, so plain
+  /// EUF consistency is complete here.)
+  bool isConsistent();
+
+  /// True if the asserted equalities entail Lhs == Rhs.
+  bool provesEqual(const Path &Lhs, const Path &Rhs);
+
+private:
+  struct Node {
+    int Parent;            ///< Union-find parent (self if root).
+    int Size;              ///< Class size for union by size.
+    /// Field label -> node for (this term).field, per class
+    /// representative. Used for congruence propagation.
+    std::map<std::string, int> FieldUses;
+  };
+
+  int getNode(const Path &P);
+  int getRootNode(const Path &P);
+  int find(int N);
+  void merge(int A, int B);
+
+  std::vector<Node> Nodes;
+  /// Root-variable key ("kind:name") -> node id.
+  std::map<std::string, int> RootNodes;
+  /// Pending disequalities as node pairs.
+  std::vector<std::pair<int, int>> Disequalities;
+};
+
+/// True if the conjunction \p C is satisfiable in EUF.
+bool conjunctionConsistent(const Conjunction &C);
+
+/// True if \p Assumptions entails \p L in EUF. Complete: equality
+/// entailment is congruence membership; disequality entailment is
+/// inconsistency of Assumptions plus the corresponding equality.
+bool conjunctionImplies(const Conjunction &Assumptions, const Literal &L);
+
+/// Simplifies the disjunct \p C under the extra hypotheses \p Context
+/// (typically the method precondition during derivation):
+///  - returns std::nullopt-like empty optional when C && Context is
+///    inconsistent (the disjunct denotes false and should be dropped);
+///  - otherwise removes every literal entailed by the remaining literals
+///    together with Context, to a fixpoint.
+/// The result is sorted and duplicate-free.
+bool simplifyDisjunct(Conjunction &C, const Conjunction &Context);
+
+/// Removes DNF disjuncts subsumed by another disjunct under the extra
+/// hypotheses \p Context: D1 is dropped when some other disjunct D2 is
+/// entailed by D1 && Context (then D1 || D2 == D2). Equivalent disjuncts
+/// keep their first representative. This is what keeps the derivation's
+/// predicate set small: e.g. the disjunct (stale(q) && q.set != this.set)
+/// of WP(remove, stale) is subsumed by the disjunct stale(q).
+void removeSubsumedDisjuncts(std::vector<Conjunction> &Disjuncts,
+                             const Conjunction &Context);
+
+} // namespace canvas
+
+#endif // CANVAS_LOGIC_CONGRUENCECLOSURE_H

@@ -1,0 +1,310 @@
+#include "logic/Formula.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace canvas;
+
+const Path &Formula::lhs() const {
+  assert(TheKind == Kind::Eq && "lhs() on non-Eq formula");
+  return EqLhs;
+}
+
+const Path &Formula::rhs() const {
+  assert(TheKind == Kind::Eq && "rhs() on non-Eq formula");
+  return EqRhs;
+}
+
+const FormulaRef &Formula::operand() const {
+  assert(TheKind == Kind::Not && "operand() on non-Not formula");
+  return NotOperand;
+}
+
+const std::vector<FormulaRef> &Formula::operands() const {
+  assert((TheKind == Kind::And || TheKind == Kind::Or) &&
+         "operands() on non-And/Or formula");
+  return Children;
+}
+
+FormulaRef Formula::getTrue() {
+  static FormulaRef T(new Formula(Kind::True));
+  return T;
+}
+
+FormulaRef Formula::getFalse() {
+  static FormulaRef F(new Formula(Kind::False));
+  return F;
+}
+
+FormulaRef Formula::eq(Path Lhs, Path Rhs) {
+  if (Lhs == Rhs)
+    return getTrue();
+  // Canonicalize operand order so "a == b" and "b == a" are one node.
+  if (Rhs < Lhs)
+    std::swap(Lhs, Rhs);
+  auto *F = new Formula(Kind::Eq);
+  F->EqLhs = std::move(Lhs);
+  F->EqRhs = std::move(Rhs);
+  return FormulaRef(F);
+}
+
+FormulaRef Formula::ne(Path Lhs, Path Rhs) {
+  return notOf(eq(std::move(Lhs), std::move(Rhs)));
+}
+
+FormulaRef Formula::notOf(FormulaRef F) {
+  switch (F->getKind()) {
+  case Kind::True:
+    return getFalse();
+  case Kind::False:
+    return getTrue();
+  case Kind::Not:
+    return F->operand();
+  default:
+    break;
+  }
+  auto *N = new Formula(Kind::Not);
+  N->NotOperand = std::move(F);
+  return FormulaRef(N);
+}
+
+FormulaRef Formula::andOf(std::vector<FormulaRef> Fs) {
+  std::vector<FormulaRef> Flat;
+  for (FormulaRef &F : Fs) {
+    if (F->isFalse())
+      return getFalse();
+    if (F->isTrue())
+      continue;
+    if (F->getKind() == Kind::And) {
+      for (const FormulaRef &C : F->operands())
+        Flat.push_back(C);
+      continue;
+    }
+    Flat.push_back(std::move(F));
+  }
+  std::vector<FormulaRef> Uniq;
+  std::vector<std::string> Seen;
+  for (FormulaRef &F : Flat) {
+    std::string S = F->str();
+    if (std::find(Seen.begin(), Seen.end(), S) != Seen.end())
+      continue;
+    Seen.push_back(std::move(S));
+    Uniq.push_back(std::move(F));
+  }
+  if (Uniq.empty())
+    return getTrue();
+  if (Uniq.size() == 1)
+    return Uniq.front();
+  auto *N = new Formula(Kind::And);
+  N->Children = std::move(Uniq);
+  return FormulaRef(N);
+}
+
+FormulaRef Formula::orOf(std::vector<FormulaRef> Fs) {
+  std::vector<FormulaRef> Flat;
+  for (FormulaRef &F : Fs) {
+    if (F->isTrue())
+      return getTrue();
+    if (F->isFalse())
+      continue;
+    if (F->getKind() == Kind::Or) {
+      for (const FormulaRef &C : F->operands())
+        Flat.push_back(C);
+      continue;
+    }
+    Flat.push_back(std::move(F));
+  }
+  std::vector<FormulaRef> Uniq;
+  std::vector<std::string> Seen;
+  for (FormulaRef &F : Flat) {
+    std::string S = F->str();
+    if (std::find(Seen.begin(), Seen.end(), S) != Seen.end())
+      continue;
+    Seen.push_back(std::move(S));
+    Uniq.push_back(std::move(F));
+  }
+  if (Uniq.empty())
+    return getFalse();
+  if (Uniq.size() == 1)
+    return Uniq.front();
+  auto *N = new Formula(Kind::Or);
+  N->Children = std::move(Uniq);
+  return FormulaRef(N);
+}
+
+FormulaRef Formula::andOf(FormulaRef A, FormulaRef B) {
+  std::vector<FormulaRef> Fs;
+  Fs.push_back(std::move(A));
+  Fs.push_back(std::move(B));
+  return andOf(std::move(Fs));
+}
+
+FormulaRef Formula::orOf(FormulaRef A, FormulaRef B) {
+  std::vector<FormulaRef> Fs;
+  Fs.push_back(std::move(A));
+  Fs.push_back(std::move(B));
+  return orOf(std::move(Fs));
+}
+
+std::string Formula::str() const {
+  switch (TheKind) {
+  case Kind::True:
+    return "true";
+  case Kind::False:
+    return "false";
+  case Kind::Eq:
+    return EqLhs.str() + " == " + EqRhs.str();
+  case Kind::Not:
+    if (NotOperand->getKind() == Kind::Eq)
+      return NotOperand->lhs().str() + " != " + NotOperand->rhs().str();
+    return "!(" + NotOperand->str() + ")";
+  case Kind::And:
+  case Kind::Or: {
+    std::string Sep = TheKind == Kind::And ? " && " : " || ";
+    std::string Out = "(";
+    bool First = true;
+    for (const FormulaRef &C : Children) {
+      if (!First)
+        Out += Sep;
+      Out += C->str();
+      First = false;
+    }
+    Out += ")";
+    return Out;
+  }
+  }
+  canvas_unreachable("covered switch");
+}
+
+Literal::Literal(bool Negated, Path L, Path R) : Negated(Negated) {
+  if (R < L)
+    std::swap(L, R);
+  Lhs = std::move(L);
+  Rhs = std::move(R);
+}
+
+std::string Literal::str() const {
+  return Lhs.str() + (Negated ? " != " : " == ") + Rhs.str();
+}
+
+std::string canvas::conjunctionStr(const Conjunction &C) {
+  if (C.empty())
+    return "true";
+  std::string Out;
+  bool First = true;
+  for (const Literal &L : C) {
+    if (!First)
+      Out += " && ";
+    Out += L.str();
+    First = false;
+  }
+  return Out;
+}
+
+namespace {
+
+/// Converts a formula in negation normal form into DNF disjuncts.
+class DNFBuilder {
+public:
+  std::vector<Conjunction> build(const FormulaRef &F, bool Negate) {
+    switch (F->getKind()) {
+    case Formula::Kind::True:
+      return Negate ? falseDNF() : trueDNF();
+    case Formula::Kind::False:
+      return Negate ? trueDNF() : falseDNF();
+    case Formula::Kind::Eq:
+      return {{Literal(Negate, F->lhs(), F->rhs())}};
+    case Formula::Kind::Not:
+      return build(F->operand(), !Negate);
+    case Formula::Kind::And:
+    case Formula::Kind::Or: {
+      bool IsOr = (F->getKind() == Formula::Kind::Or) != Negate;
+      std::vector<std::vector<Conjunction>> Parts;
+      for (const FormulaRef &C : F->operands())
+        Parts.push_back(build(C, Negate));
+      if (IsOr) {
+        std::vector<Conjunction> Out;
+        for (auto &P : Parts)
+          for (Conjunction &C : P)
+            Out.push_back(std::move(C));
+        return Out;
+      }
+      // Conjunction of DNFs: distribute.
+      std::vector<Conjunction> Acc = trueDNF();
+      for (auto &P : Parts) {
+        std::vector<Conjunction> Next;
+        for (const Conjunction &A : Acc)
+          for (const Conjunction &B : P) {
+            Conjunction Merged = A;
+            Merged.insert(Merged.end(), B.begin(), B.end());
+            Next.push_back(std::move(Merged));
+          }
+        Acc = std::move(Next);
+      }
+      return Acc;
+    }
+    }
+    canvas_unreachable("covered switch");
+  }
+
+private:
+  static std::vector<Conjunction> trueDNF() { return {Conjunction{}}; }
+  static std::vector<Conjunction> falseDNF() { return {}; }
+};
+
+} // namespace
+
+bool canvas::normalizeConjunction(Conjunction &C) {
+  std::sort(C.begin(), C.end());
+  C.erase(std::unique(C.begin(), C.end()), C.end());
+  for (size_t I = 0; I + 1 < C.size(); ++I) {
+    const Literal &A = C[I];
+    const Literal &B = C[I + 1];
+    if (A.Lhs == B.Lhs && A.Rhs == B.Rhs && A.Negated != B.Negated)
+      return false;
+  }
+  // An x != x literal is inconsistent by itself (x == x never appears:
+  // Formula::eq folds it away, but literals may be built directly).
+  for (const Literal &L : C)
+    if (L.Negated && L.Lhs == L.Rhs)
+      return false;
+  // Drop trivially-true x == x literals.
+  C.erase(std::remove_if(C.begin(), C.end(),
+                         [](const Literal &L) {
+                           return !L.Negated && L.Lhs == L.Rhs;
+                         }),
+          C.end());
+  return true;
+}
+
+std::vector<Conjunction> canvas::toDNF(const FormulaRef &F) {
+  DNFBuilder B;
+  std::vector<Conjunction> Raw = B.build(F, /*Negate=*/false);
+  std::vector<Conjunction> Out;
+  std::vector<std::string> Seen;
+  for (Conjunction &C : Raw) {
+    if (!normalizeConjunction(C))
+      continue;
+    std::string S = conjunctionStr(C);
+    if (std::find(Seen.begin(), Seen.end(), S) != Seen.end())
+      continue;
+    Seen.push_back(std::move(S));
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+FormulaRef canvas::fromDNF(const std::vector<Conjunction> &Disjuncts) {
+  std::vector<FormulaRef> Ors;
+  for (const Conjunction &C : Disjuncts) {
+    std::vector<FormulaRef> Ands;
+    for (const Literal &L : C) {
+      FormulaRef E = Formula::eq(L.Lhs, L.Rhs);
+      Ands.push_back(L.Negated ? Formula::notOf(E) : E);
+    }
+    Ors.push_back(Formula::andOf(std::move(Ands)));
+  }
+  return Formula::orOf(std::move(Ors));
+}

@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifier-free formulas over access-path equalities, with constant
+/// folding, negation-normal-form and disjunctive-normal-form conversion.
+///
+/// These are the candidate instrumentation formulas of Section 4.1: the
+/// derivation procedure computes weakest preconditions in this language,
+/// converts them to DNF, and promotes each disjunct (a conjunction of
+/// equality/disequality literals) to a candidate instrumentation predicate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_LOGIC_FORMULA_H
+#define CANVAS_LOGIC_FORMULA_H
+
+#include "logic/Path.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace canvas {
+
+class Formula;
+using FormulaRef = std::shared_ptr<const Formula>;
+
+/// An immutable formula node. Construction goes through the static
+/// factories, which perform local simplification (constant folding,
+/// flattening of nested conjunctions/disjunctions, double-negation
+/// elimination, and folding of syntactically identical equalities).
+class Formula {
+public:
+  enum class Kind { True, False, Eq, Not, And, Or };
+
+  Kind getKind() const { return TheKind; }
+
+  bool isTrue() const { return TheKind == Kind::True; }
+  bool isFalse() const { return TheKind == Kind::False; }
+
+  /// The two sides of an Eq node.
+  const Path &lhs() const;
+  const Path &rhs() const;
+
+  /// The operand of a Not node.
+  const FormulaRef &operand() const;
+
+  /// The operands of an And/Or node (always >= 2 after simplification).
+  const std::vector<FormulaRef> &operands() const;
+
+  static FormulaRef getTrue();
+  static FormulaRef getFalse();
+  /// Path equality; identical paths fold to True.
+  static FormulaRef eq(Path Lhs, Path Rhs);
+  /// Path disequality, i.e. Not(Eq).
+  static FormulaRef ne(Path Lhs, Path Rhs);
+  static FormulaRef notOf(FormulaRef F);
+  static FormulaRef andOf(std::vector<FormulaRef> Fs);
+  static FormulaRef orOf(std::vector<FormulaRef> Fs);
+  static FormulaRef andOf(FormulaRef A, FormulaRef B);
+  static FormulaRef orOf(FormulaRef A, FormulaRef B);
+
+  /// Renders the formula with !, &&, || and == / != atoms.
+  std::string str() const;
+
+private:
+  explicit Formula(Kind K) : TheKind(K) {}
+
+  Kind TheKind;
+  Path EqLhs, EqRhs;
+  FormulaRef NotOperand;
+  std::vector<FormulaRef> Children;
+};
+
+/// One literal of a DNF disjunct: an equality or disequality of two paths.
+/// Literals are stored with lhs <= rhs in path order so that syntactic
+/// comparison is canonical.
+struct Literal {
+  bool Negated = false;
+  Path Lhs, Rhs;
+
+  Literal() = default;
+  Literal(bool Negated, Path L, Path R);
+
+  /// Renders "a == b" or "a != b".
+  std::string str() const;
+
+  friend bool operator==(const Literal &A, const Literal &B) {
+    return A.Negated == B.Negated && A.Lhs == B.Lhs && A.Rhs == B.Rhs;
+  }
+  friend bool operator<(const Literal &A, const Literal &B) {
+    if (int C = A.Lhs.compare(B.Lhs))
+      return C < 0;
+    if (int C = A.Rhs.compare(B.Rhs))
+      return C < 0;
+    return A.Negated < B.Negated;
+  }
+};
+
+/// A conjunction of literals; one disjunct of a DNF.
+using Conjunction = std::vector<Literal>;
+
+/// Renders "a == b && c != d"; "true" for the empty conjunction.
+std::string conjunctionStr(const Conjunction &C);
+
+/// Sorts and dedupes \p C, drops trivially-true x == x literals, and
+/// returns false when \p C is trivially inconsistent (contains x != x or
+/// a complementary literal pair).
+bool normalizeConjunction(Conjunction &C);
+
+/// Converts \p F to disjunctive normal form. The result is a list of
+/// conjunctions whose disjunction is equivalent to \p F. An empty list
+/// denotes False; a list containing an empty conjunction denotes True.
+/// Duplicate literals inside a disjunct and duplicate disjuncts are
+/// removed; trivially inconsistent disjuncts (containing both l and !l)
+/// are dropped.
+std::vector<Conjunction> toDNF(const FormulaRef &F);
+
+/// Rebuilds a formula from DNF form.
+FormulaRef fromDNF(const std::vector<Conjunction> &Disjuncts);
+
+} // namespace canvas
+
+#endif // CANVAS_LOGIC_FORMULA_H

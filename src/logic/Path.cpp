@@ -1,0 +1,69 @@
+#include "logic/Path.h"
+
+#include <cassert>
+
+using namespace canvas;
+
+Path Path::parent() const {
+  assert(!Fields.empty() && "parent() of a root-only path");
+  Path P = *this;
+  P.Fields.pop_back();
+  return P;
+}
+
+const std::string &Path::lastField() const {
+  assert(!Fields.empty() && "lastField() of a root-only path");
+  return Fields.back();
+}
+
+bool Path::startsWith(const Path &Prefix) const {
+  if (Kind != Prefix.Kind || Name != Prefix.Name || FreshId != Prefix.FreshId)
+    return false;
+  if (Prefix.Fields.size() > Fields.size())
+    return false;
+  for (size_t I = 0, E = Prefix.Fields.size(); I != E; ++I)
+    if (Fields[I] != Prefix.Fields[I])
+      return false;
+  return true;
+}
+
+Path Path::replacePrefix(const Path &Prefix, const Path &Replacement) const {
+  assert(startsWith(Prefix) && "replacePrefix without startsWith");
+  Path P = Replacement;
+  for (size_t I = Prefix.Fields.size(), E = Fields.size(); I != E; ++I)
+    P.Fields.push_back(Fields[I]);
+  return P;
+}
+
+Path Path::withRoot(const std::string &NewName,
+                    const std::string &NewType) const {
+  Path P = *this;
+  P.Name = NewName;
+  P.Type = NewType;
+  return P;
+}
+
+std::string Path::str() const {
+  std::string Out = Name;
+  for (const std::string &F : Fields) {
+    Out += '.';
+    Out += F;
+  }
+  return Out;
+}
+
+int Path::compare(const Path &Other) const {
+  if (Kind != Other.Kind)
+    return Kind < Other.Kind ? -1 : 1;
+  if (int C = Name.compare(Other.Name))
+    return C;
+  if (FreshId != Other.FreshId)
+    return FreshId < Other.FreshId ? -1 : 1;
+  size_t N = std::min(Fields.size(), Other.Fields.size());
+  for (size_t I = 0; I != N; ++I)
+    if (int C = Fields[I].compare(Other.Fields[I]))
+      return C;
+  if (Fields.size() != Other.Fields.size())
+    return Fields.size() < Other.Fields.size() ? -1 : 1;
+  return 0;
+}

@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Access paths: a root (a typed variable or a fresh-allocation handle)
+/// followed by a sequence of field selections, e.g. "i.set.ver".
+///
+/// Paths are the terms of the quantifier-free alias logic in which the
+/// staged derivation of Section 4 computes weakest preconditions. A field
+/// selection is treated as a unary function application, which is what the
+/// congruence-closure procedure exploits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_LOGIC_PATH_H
+#define CANVAS_LOGIC_PATH_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace canvas {
+
+/// An access path rooted at a variable or at a fresh-allocation handle.
+///
+/// Fresh handles name the objects created by \c new expressions inside a
+/// component method body during backward weakest-precondition computation.
+/// A fresh object is distinct from every object reachable from a pre-state
+/// path; the WP engine uses that fact to resolve atoms mentioning fresh
+/// handles to constants.
+class Path {
+public:
+  enum class RootKind { Var, Fresh };
+
+  Path() = default;
+
+  /// Creates a path consisting of just the variable \p Name of class type
+  /// \p Type.
+  static Path var(std::string Name, std::string Type) {
+    Path P;
+    P.Kind = RootKind::Var;
+    P.Name = std::move(Name);
+    P.Type = std::move(Type);
+    return P;
+  }
+
+  /// Creates a path rooted at the \p Id'th fresh allocation of class type
+  /// \p Type.
+  static Path fresh(unsigned Id, std::string Type) {
+    Path P;
+    P.Kind = RootKind::Fresh;
+    P.Name = "%new" + std::to_string(Id);
+    P.Type = std::move(Type);
+    P.FreshId = Id;
+    return P;
+  }
+
+  RootKind rootKind() const { return Kind; }
+  bool isFreshRooted() const { return Kind == RootKind::Fresh; }
+  const std::string &rootName() const { return Name; }
+  const std::string &rootType() const { return Type; }
+  unsigned freshId() const { return FreshId; }
+  const std::vector<std::string> &fields() const { return Fields; }
+  size_t length() const { return Fields.size(); }
+
+  /// Returns this path extended by one field selection.
+  Path withField(const std::string &Field) const {
+    Path P = *this;
+    P.Fields.push_back(Field);
+    return P;
+  }
+
+  /// Returns the path without its last field selection. Must not be called
+  /// on a root-only path.
+  Path parent() const;
+
+  /// Returns the last field selection. Must not be called on a root-only
+  /// path.
+  const std::string &lastField() const;
+
+  /// True if the roots are identical and \p Prefix's field sequence is a
+  /// prefix of this path's.
+  bool startsWith(const Path &Prefix) const;
+
+  /// Requires startsWith(\p Prefix); returns \p Replacement followed by
+  /// this path's fields beyond the prefix.
+  Path replacePrefix(const Path &Prefix, const Path &Replacement) const;
+
+  /// Renames the root variable; no effect on fresh-rooted paths with a
+  /// different name.
+  Path withRoot(const std::string &NewName, const std::string &NewType) const;
+
+  /// Renders the path in source syntax, e.g. "i.set.ver" or "%new0.ver".
+  std::string str() const;
+
+  friend bool operator==(const Path &A, const Path &B) {
+    return A.Kind == B.Kind && A.Name == B.Name && A.FreshId == B.FreshId &&
+           A.Fields == B.Fields;
+  }
+  friend bool operator!=(const Path &A, const Path &B) { return !(A == B); }
+
+  /// Lexicographic ordering on the rendered form; used to canonicalize
+  /// literals and predicate bodies.
+  friend bool operator<(const Path &A, const Path &B) {
+    return A.compare(B) < 0;
+  }
+
+  int compare(const Path &Other) const;
+
+private:
+  RootKind Kind = RootKind::Var;
+  std::string Name;
+  std::string Type;
+  unsigned FreshId = 0;
+  std::vector<std::string> Fields;
+};
+
+} // namespace canvas
+
+#endif // CANVAS_LOGIC_PATH_H

@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal LLVM-style isa<>/cast<>/dyn_cast<> templates driven by a
+/// static \c classof on the target class. Used by the Easl and CJ ASTs,
+/// which carry an explicit Kind discriminator instead of RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_SUPPORT_CASTING_H
+#define CANVAS_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace canvas {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the dynamic type matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace canvas
+
+#endif // CANVAS_SUPPORT_CASTING_H

@@ -1,0 +1,17 @@
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace canvas;
+
+void canvas::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "canvas fatal error: %s\n", Msg);
+  std::abort();
+}
+
+void canvas::unreachableInternal(const char *Msg, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and the canvas_unreachable macro, modeled on
+/// LLVM's ErrorHandling.h. Library code must not throw; programmatic
+/// errors abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_SUPPORT_ERRORHANDLING_H
+#define CANVAS_SUPPORT_ERRORHANDLING_H
+
+namespace canvas {
+
+/// Reports a fatal usage or internal error and aborts the process.
+[[noreturn]] void reportFatalError(const char *Msg);
+
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace canvas
+
+/// Marks a point in code that should never be reached. Prints the message,
+/// file, and line, then aborts.
+#define canvas_unreachable(msg)                                                \
+  ::canvas::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // CANVAS_SUPPORT_ERRORHANDLING_H

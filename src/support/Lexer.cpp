@@ -1,0 +1,164 @@
+#include "support/Lexer.h"
+
+#include <cctype>
+
+using namespace canvas;
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      skipTrivia();
+      SourceLoc Loc{Line, Col};
+      if (atEnd()) {
+        Tokens.push_back({TokenKind::End, "", Loc});
+        return Tokens;
+      }
+      char C = peek();
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '$') {
+        Tokens.push_back({TokenKind::Identifier, lexWord(), Loc});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        Tokens.push_back({TokenKind::Number, lexNumber(), Loc});
+        continue;
+      }
+      if (C == '"') {
+        Tokens.push_back({TokenKind::String, lexString(), Loc});
+        continue;
+      }
+      std::string Punct = lexPunct();
+      if (Punct.empty()) {
+        Diags.error(Loc, std::string("unexpected character '") + C + "'");
+        advance();
+        continue;
+      }
+      Tokens.push_back({TokenKind::Punct, std::move(Punct), Loc});
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+
+  void advance() {
+    if (atEnd())
+      return;
+    if (Source[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start{Line, Col};
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (atEnd()) {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string lexWord() {
+    std::string Word;
+    while (!atEnd()) {
+      char C = peek();
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_' && C != '$')
+        break;
+      Word += C;
+      advance();
+    }
+    return Word;
+  }
+
+  std::string lexNumber() {
+    std::string Num;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      Num += peek();
+      advance();
+    }
+    return Num;
+  }
+
+  std::string lexString() {
+    SourceLoc Start{Line, Col};
+    std::string Text;
+    advance(); // opening quote
+    while (!atEnd() && peek() != '"') {
+      Text += peek();
+      advance();
+    }
+    if (atEnd()) {
+      Diags.error(Start, "unterminated string literal");
+      return Text;
+    }
+    advance(); // closing quote
+    return Text;
+  }
+
+  std::string lexPunct() {
+    static const char *TwoChar[] = {"==", "!=", "&&", "||", "->"};
+    for (const char *P : TwoChar) {
+      if (peek() == P[0] && peek(1) == P[1]) {
+        advance();
+        advance();
+        return P;
+      }
+    }
+    static const char OneChar[] = "{}()[].,;=!<>*&|+-/%:?";
+    char C = peek();
+    for (char P : OneChar) {
+      if (C == P) {
+        advance();
+        return std::string(1, C);
+      }
+    }
+    return "";
+  }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> canvas::lexSource(std::string_view Source,
+                                     DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small hand-written lexer shared by the Easl specification frontend
+/// and the CJ client-language frontend. Produces identifier, number,
+/// string, and punctuation tokens; keywords are recognized by the parsers
+/// through token text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_SUPPORT_LEXER_H
+#define CANVAS_SUPPORT_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace canvas {
+
+/// Lexical category of a token. Keyword recognition is the parser's job.
+enum class TokenKind { Identifier, Number, String, Punct, End };
+
+/// One lexed token: category, source text, and location.
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  std::string Text;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  /// True for a punctuation token with exactly this spelling.
+  bool isPunct(std::string_view S) const {
+    return Kind == TokenKind::Punct && Text == S;
+  }
+  /// True for an identifier token with exactly this spelling (keyword
+  /// match).
+  bool isKeyword(std::string_view S) const {
+    return Kind == TokenKind::Identifier && Text == S;
+  }
+};
+
+/// Lexes \p Source completely. Unknown characters are reported to
+/// \p Diags and skipped. The returned vector always ends with an End
+/// token. Supports //-line and /*-block comments.
+std::vector<Token> lexSource(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace canvas
+
+#endif // CANVAS_SUPPORT_LEXER_H

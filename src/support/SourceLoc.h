@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source locations shared by the Easl and CJ frontends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_SUPPORT_SOURCELOC_H
+#define CANVAS_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace canvas {
+
+/// A 1-based line/column position in a specification or client source file.
+/// Line 0 denotes an unknown or synthesized location.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace canvas
+
+#endif // CANVAS_SUPPORT_SOURCELOC_H

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first-order certification engine of Section 5: abstract
+/// interpretation of the client over 3-valued structures whose
+/// vocabulary combines client points-to predicates with the derived
+/// first-order instrumentation predicates (Figs. 10/11), in two
+/// configurations (Section 5.5):
+///
+///  - relational: a set of 3-valued structures per program point;
+///  - independent-attribute: a single joined structure per point.
+///
+/// Component-method calls update the instrumentation predicates via the
+/// derived update rules quantified over individuals; value-returning
+/// methods proved fresh-returning are modeled as allocations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_TVLA_CERTIFY_H
+#define CANVAS_TVLA_CERTIFY_H
+
+#include "boolprog/Analysis.h"
+#include "client/CFG.h"
+#include "easl/AST.h"
+#include "wp/Abstraction.h"
+
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace tvla {
+
+struct TVLAResult {
+  struct Chk {
+    SourceLoc Loc;
+    std::string What;
+    bp::CheckOutcome Outcome;
+  };
+  std::vector<Chk> Checks;
+  unsigned Iterations = 0;
+  /// Peak number of structures kept at one program point (1 for the
+  /// independent-attribute engine).
+  unsigned MaxStructuresPerPoint = 0;
+};
+
+struct TVLAOptions {
+  bool Relational = false;
+  /// Relational engine: structures kept per point before the engine
+  /// joins overflow structures together (precision, not soundness, is
+  /// lost at the cap).
+  unsigned MaxStructuresPerPoint = 256;
+};
+
+/// Certifies one client method.
+TVLAResult certifyWithTVLA(const easl::Spec &Spec,
+                           const wp::DerivedAbstraction &Abs,
+                           const cj::CFGMethod &M, bool Relational,
+                           DiagnosticEngine &Diags);
+
+TVLAResult certifyWithTVLA(const easl::Spec &Spec,
+                           const wp::DerivedAbstraction &Abs,
+                           const cj::CFGMethod &M, const TVLAOptions &Opts,
+                           DiagnosticEngine &Diags);
+
+} // namespace tvla
+} // namespace canvas
+
+#endif // CANVAS_TVLA_CERTIFY_H

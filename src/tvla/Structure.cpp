@@ -1,0 +1,230 @@
+#include "tvla/Structure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace canvas;
+using namespace canvas::tvla;
+
+Structure::Structure(const tvp::Vocabulary &V) : Vocab(&V) {
+  Values.resize(V.Preds.size());
+}
+
+Kleene Structure::unary(int Pred, unsigned Node) const {
+  assert(Vocab->Preds[Pred].Arity == 1 && Node < N);
+  return static_cast<Kleene>(Values[Pred][Node]);
+}
+
+void Structure::setUnary(int Pred, unsigned Node, Kleene V) {
+  assert(Vocab->Preds[Pred].Arity == 1 && Node < N);
+  Values[Pred][Node] = static_cast<uint8_t>(V);
+}
+
+Kleene Structure::binary(int Pred, unsigned A, unsigned B) const {
+  assert(Vocab->Preds[Pred].Arity == 2 && A < N && B < N);
+  return static_cast<Kleene>(Values[Pred][A * N + B]);
+}
+
+void Structure::setBinary(int Pred, unsigned A, unsigned B, Kleene V) {
+  assert(Vocab->Preds[Pred].Arity == 2 && A < N && B < N);
+  Values[Pred][A * N + B] = static_cast<uint8_t>(V);
+}
+
+Kleene Structure::at(int Pred, const std::vector<unsigned> &Tuple) const {
+  if (Tuple.size() == 1)
+    return unary(Pred, Tuple[0]);
+  return binary(Pred, Tuple[0], Tuple[1]);
+}
+
+void Structure::setAt(int Pred, const std::vector<unsigned> &Tuple,
+                      Kleene V) {
+  if (Tuple.size() == 1)
+    setUnary(Pred, Tuple[0], V);
+  else
+    setBinary(Pred, Tuple[0], Tuple[1], V);
+}
+
+unsigned Structure::addNode() {
+  unsigned NewN = N + 1;
+  Summary.push_back(0);
+  for (size_t P = 0; P != Values.size(); ++P) {
+    unsigned Arity = Vocab->Preds[P].Arity;
+    if (Arity == 1) {
+      Values[P].push_back(0);
+      continue;
+    }
+    // Rebuild the binary matrix with one extra row and column.
+    std::vector<uint8_t> NewM(NewN * NewN, 0);
+    for (unsigned A = 0; A != N; ++A)
+      for (unsigned B = 0; B != N; ++B)
+        NewM[A * NewN + B] = Values[P][A * N + B];
+    Values[P] = std::move(NewM);
+  }
+  return N++;
+}
+
+std::string Structure::keyOf(const tvp::Vocabulary &V, unsigned Node) const {
+  std::string Key;
+  for (size_t P = 0; P != V.Preds.size(); ++P) {
+    if (V.Preds[P].Arity != 1 || !V.Preds[P].Abstraction)
+      continue;
+    Key += kleeneChar(static_cast<Kleene>(Values[P][Node]));
+  }
+  return Key;
+}
+
+void Structure::blur(const tvp::Vocabulary &V) {
+  // Group nodes by canonical key, ordered deterministically.
+  std::map<std::string, std::vector<unsigned>> Groups;
+  for (unsigned Node = 0; Node != N; ++Node)
+    Groups[keyOf(V, Node)].push_back(Node);
+
+  unsigned NewN = Groups.size();
+  std::vector<uint8_t> NewSummary(NewN, 0);
+  std::vector<std::vector<unsigned>> GroupList;
+  GroupList.reserve(NewN);
+  for (auto &[K, G] : Groups)
+    GroupList.push_back(G);
+
+  for (unsigned I = 0; I != NewN; ++I) {
+    bool Sum = GroupList[I].size() > 1;
+    for (unsigned Old : GroupList[I])
+      Sum |= isSummary(Old);
+    NewSummary[I] = Sum;
+  }
+
+  std::vector<std::vector<uint8_t>> NewValues(Values.size());
+  for (size_t P = 0; P != Values.size(); ++P) {
+    unsigned Arity = Vocab->Preds[P].Arity;
+    if (Arity == 1) {
+      NewValues[P].assign(NewN, 0);
+      for (unsigned I = 0; I != NewN; ++I) {
+        Kleene Acc = static_cast<Kleene>(Values[P][GroupList[I][0]]);
+        for (unsigned Old : GroupList[I])
+          Acc = kJoin(Acc, static_cast<Kleene>(Values[P][Old]));
+        NewValues[P][I] = static_cast<uint8_t>(Acc);
+      }
+      continue;
+    }
+    NewValues[P].assign(NewN * NewN, 0);
+    for (unsigned I = 0; I != NewN; ++I)
+      for (unsigned J = 0; J != NewN; ++J) {
+        bool First = true;
+        Kleene Acc = Kleene::False;
+        for (unsigned A : GroupList[I])
+          for (unsigned B : GroupList[J]) {
+            Kleene Val = static_cast<Kleene>(Values[P][A * N + B]);
+            Acc = First ? Val : kJoin(Acc, Val);
+            First = false;
+          }
+        NewValues[P][I * NewN + J] = static_cast<uint8_t>(Acc);
+      }
+  }
+
+  N = NewN;
+  Summary = std::move(NewSummary);
+  Values = std::move(NewValues);
+}
+
+std::string Structure::canonicalStr(const tvp::Vocabulary &V) const {
+  // Assumes blurred: keys are unique; order nodes by key.
+  std::vector<std::pair<std::string, unsigned>> Order;
+  for (unsigned Node = 0; Node != N; ++Node)
+    Order.emplace_back(keyOf(V, Node), Node);
+  std::sort(Order.begin(), Order.end());
+
+  std::string Out;
+  for (const auto &[Key, Node] : Order) {
+    Out += Key;
+    Out += isSummary(Node) ? "S" : ".";
+    Out += "|";
+  }
+  for (size_t P = 0; P != Values.size(); ++P) {
+    if (Vocab->Preds[P].Arity != 2)
+      continue;
+    for (const auto &[KA, A] : Order)
+      for (const auto &[KB, B] : Order)
+        Out += kleeneChar(binary(static_cast<int>(P), A, B));
+    Out += "|";
+  }
+  // Unary non-abstraction values (none in the current vocabulary, but
+  // keep the rendering complete).
+  for (size_t P = 0; P != Values.size(); ++P) {
+    if (Vocab->Preds[P].Arity != 1 || Vocab->Preds[P].Abstraction)
+      continue;
+    for (const auto &[K, Node] : Order)
+      Out += kleeneChar(unary(static_cast<int>(P), Node));
+    Out += "|";
+  }
+  return Out;
+}
+
+bool Structure::joinWith(const Structure &O, const tvp::Vocabulary &V) {
+  // Map canonical keys to node ids on both sides.
+  std::map<std::string, unsigned> Mine, Theirs;
+  for (unsigned Node = 0; Node != N; ++Node)
+    Mine[keyOf(V, Node)] = Node;
+  for (unsigned Node = 0; Node != O.N; ++Node)
+    Theirs[O.keyOf(V, Node)] = Node;
+
+  bool Changed = false;
+  // Import nodes present only in O.
+  std::map<unsigned, unsigned> TheirToMine;
+  for (const auto &[Key, Their] : Theirs) {
+    auto It = Mine.find(Key);
+    if (It != Mine.end()) {
+      TheirToMine[Their] = It->second;
+      continue;
+    }
+    unsigned Fresh = addNode();
+    Changed = true;
+    for (size_t P = 0; P != Values.size(); ++P)
+      if (Vocab->Preds[P].Arity == 1)
+        setUnary(static_cast<int>(P), Fresh,
+                 O.unary(static_cast<int>(P), Their));
+    setSummary(Fresh, O.isSummary(Their));
+    Mine[Key] = Fresh;
+    TheirToMine[Their] = Fresh;
+  }
+
+  // Join summary bits and binary values over matched nodes.
+  for (const auto &[Their, MineIdx] : TheirToMine) {
+    if (O.isSummary(Their) && !isSummary(MineIdx)) {
+      setSummary(MineIdx, true);
+      Changed = true;
+    }
+  }
+  for (size_t P = 0; P != Values.size(); ++P) {
+    if (Vocab->Preds[P].Arity != 2)
+      continue;
+    for (const auto &[TA, MA] : TheirToMine)
+      for (const auto &[TB, MB] : TheirToMine) {
+        Kleene Old = binary(static_cast<int>(P), MA, MB);
+        Kleene J = kJoin(Old, O.binary(static_cast<int>(P), TA, TB));
+        if (J != Old) {
+          setBinary(static_cast<int>(P), MA, MB, J);
+          Changed = true;
+        }
+      }
+  }
+
+  // A variable references exactly one object per execution; after a
+  // universe union a points-to predicate definite at two individuals
+  // means "one or the other", i.e. 1/2 at each.
+  for (size_t P = 0; P != Values.size(); ++P) {
+    if (Vocab->Preds[P].K != tvp::Pred::Kind::VarPointsTo)
+      continue;
+    unsigned Definite = 0;
+    for (unsigned Node = 0; Node != N; ++Node)
+      Definite += unary(static_cast<int>(P), Node) == Kleene::True;
+    if (Definite < 2)
+      continue;
+    for (unsigned Node = 0; Node != N; ++Node)
+      if (unary(static_cast<int>(P), Node) == Kleene::True) {
+        setUnary(static_cast<int>(P), Node, Kleene::Half);
+        Changed = true;
+      }
+  }
+  return Changed;
+}

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 3-valued logical structures (Section 5.5): a universe of individuals
+/// with Kleene-valued unary and binary predicates, a summary bit per
+/// individual, canonical abstraction ("blur") driven by the unary
+/// abstraction predicates of a TVP vocabulary, and the single-structure
+/// join used by the independent-attribute engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_TVLA_STRUCTURE_H
+#define CANVAS_TVLA_STRUCTURE_H
+
+#include "logic/Kleene.h"
+#include "tvp/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace tvla {
+
+/// One 3-valued structure over a fixed vocabulary. Predicate storage is
+/// indexed by the vocabulary's predicate index; unary predicates store
+/// one value per individual, binary predicates a row-major matrix.
+class Structure {
+public:
+  explicit Structure(const tvp::Vocabulary &V);
+
+  unsigned numNodes() const { return N; }
+  bool isSummary(unsigned Node) const { return Summary[Node] != 0; }
+  void setSummary(unsigned Node, bool S) { Summary[Node] = S; }
+
+  Kleene unary(int Pred, unsigned Node) const;
+  void setUnary(int Pred, unsigned Node, Kleene V);
+  Kleene binary(int Pred, unsigned A, unsigned B) const;
+  void setBinary(int Pred, unsigned A, unsigned B, Kleene V);
+
+  /// Value of predicate \p Pred at \p Tuple (arity 1 or 2).
+  Kleene at(int Pred, const std::vector<unsigned> &Tuple) const;
+  void setAt(int Pred, const std::vector<unsigned> &Tuple, Kleene V);
+
+  /// Adds a fresh non-summary individual with all predicate values 0;
+  /// returns its index.
+  unsigned addNode();
+
+  /// The equality predicate of 3-valued structures: distinct individuals
+  /// are unequal; an individual equals itself definitely unless it is a
+  /// summary node.
+  Kleene nodeEq(unsigned A, unsigned B) const {
+    if (A != B)
+      return Kleene::False;
+    return isSummary(A) ? Kleene::Half : Kleene::True;
+  }
+
+  /// Canonical abstraction: merges individuals that agree on every
+  /// unary abstraction predicate; merged individuals become summary
+  /// nodes and binary values are joined.
+  void blur(const tvp::Vocabulary &V);
+
+  /// Deterministic rendering of a blurred structure (node order is the
+  /// canonical-key order); used for structure-set deduplication in the
+  /// relational engine and for display.
+  std::string canonicalStr(const tvp::Vocabulary &V) const;
+
+  /// Independent-attribute join: embeds both structures into the union
+  /// of their canonical keys and joins predicate values. Both structures
+  /// must be blurred. Returns true when *this changed.
+  bool joinWith(const Structure &O, const tvp::Vocabulary &V);
+
+private:
+  /// Per-node canonical key: the vector of unary abstraction predicate
+  /// values.
+  std::string keyOf(const tvp::Vocabulary &V, unsigned Node) const;
+
+  const tvp::Vocabulary *Vocab;
+  unsigned N = 0;
+  std::vector<uint8_t> Summary;
+  /// Values[p]: size N for unary, N*N for binary.
+  std::vector<std::vector<uint8_t>> Values;
+};
+
+} // namespace tvla
+} // namespace canvas
+
+#endif // CANVAS_TVLA_STRUCTURE_H

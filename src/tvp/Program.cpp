@@ -1,0 +1,179 @@
+#include "tvp/Program.h"
+
+using namespace canvas;
+using namespace canvas::tvp;
+using namespace canvas::wp;
+
+int Vocabulary::findTypePred(const std::string &Type) const {
+  for (size_t I = 0; I != Preds.size(); ++I)
+    if (Preds[I].K == Pred::Kind::Type && Preds[I].TypeName == Type)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Vocabulary::findVarPred(const std::string &Var) const {
+  for (size_t I = 0; I != Preds.size(); ++I)
+    if (Preds[I].K == Pred::Kind::VarPointsTo && Preds[I].VarName == Var)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Vocabulary::findInstrPred(int Family) const {
+  for (size_t I = 0; I != Preds.size(); ++I)
+    if (Preds[I].K == Pred::Kind::Instr && Preds[I].Family == Family)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string Vocabulary::str() const {
+  std::string Out;
+  for (const Pred &P : Preds) {
+    Out += P.Name + "/" + std::to_string(P.Arity);
+    if (P.Abstraction)
+      Out += " [abs]";
+    Out += "\n";
+  }
+  return Out;
+}
+
+Vocabulary tvp::buildVocabulary(const DerivedAbstraction &Abs,
+                                const cj::CFGMethod &M,
+                                DiagnosticEngine &Diags) {
+  Vocabulary V;
+  // Type predicates for every component type used by a variable or
+  // family.
+  auto AddType = [&](const std::string &T) {
+    if (V.findTypePred(T) >= 0)
+      return;
+    Pred P;
+    P.K = Pred::Kind::Type;
+    P.Arity = 1;
+    P.Name = "is$" + T;
+    P.TypeName = T;
+    P.Abstraction = true;
+    V.Preds.push_back(std::move(P));
+  };
+  for (const auto &[Var, T] : M.CompVars)
+    AddType(T);
+  for (const PredicateFamily &F : Abs.Families)
+    for (const std::string &T : F.VarTypes)
+      AddType(T);
+
+  for (const auto &[Var, T] : M.CompVars) {
+    Pred P;
+    P.K = Pred::Kind::VarPointsTo;
+    P.Arity = 1;
+    P.Name = "pt$" + Var;
+    P.TypeName = T;
+    P.VarName = Var;
+    P.Abstraction = true;
+    V.Preds.push_back(std::move(P));
+  }
+
+  for (size_t F = 0; F != Abs.Families.size(); ++F) {
+    const PredicateFamily &Fam = Abs.Families[F];
+    if (Fam.arity() > 2) {
+      Diags.warning(SourceLoc(),
+                    "instrumentation family " + Fam.DisplayName +
+                        " has arity > 2; the first-order engine treats it "
+                        "conservatively");
+      continue;
+    }
+    Pred P;
+    P.K = Pred::Kind::Instr;
+    P.Arity = Fam.arity();
+    P.Name = Fam.DisplayName;
+    P.Family = static_cast<int>(F);
+    P.Abstraction = Fam.arity() == 1;
+    V.Preds.push_back(std::move(P));
+  }
+  return V;
+}
+
+std::string tvp::renderStandardTranslation() {
+  return R"(Standard translation of client pointer statements (Fig. 9):
+  x = new C()   |  let n = new() in pt$x(o) := (o = n)
+  x = y         |  pt$x(o) := pt$y(o)
+  x = y.fld     |  pt$x(o) := exists o1: pt$y(o1) && rv$fld(o1, o)
+  x.fld = y     |  pt$x(o1) -> rv$fld(o1, o2) := pt$y(o2)
+)";
+}
+
+/// Renders one predicate application with binder arguments routed
+/// through points-to predicates, e.g. "P1(o0, r) [pt$this(r)]".
+static std::string renderApp(const DerivedAbstraction &Abs,
+                             const PredApp &App,
+                             std::vector<std::string> &SideConds) {
+  std::string Out = Abs.Families[App.Family].DisplayName + "(";
+  for (size_t I = 0; I != App.Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    const std::string &A = App.Args[I];
+    if (A.size() > 2 && A[0] == '$' && A[1] == 'q') {
+      Out += "o" + A.substr(2);
+    } else {
+      // A binder: introduce a node variable bound by its points-to
+      // predicate.
+      std::string NodeVar = "n_" + A;
+      Out += NodeVar;
+      std::string Cond = "pt$" + A + "(" + NodeVar + ")";
+      bool Seen = false;
+      for (const std::string &S : SideConds)
+        Seen |= S == Cond;
+      if (!Seen)
+        SideConds.push_back(Cond);
+    }
+  }
+  Out += ")";
+  return Out;
+}
+
+std::string
+tvp::renderSpecializedTranslation(const DerivedAbstraction &Abs) {
+  std::string Out =
+      "First-order instrumentation predicates (Fig. 10 analogue):\n";
+  for (const PredicateFamily &F : Abs.Families) {
+    Out += "  " + F.DisplayName + "(";
+    for (unsigned I = 0; I != F.arity(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "o" + std::to_string(I) + ":" + F.VarTypes[I];
+    }
+    Out += ") := " + conjunctionStr(F.Body) + "\n";
+  }
+  Out += "\nUpdate formulae (Fig. 11 analogue):\n";
+  for (const MethodAbstraction &M : Abs.Methods) {
+    bool Printed = false;
+    for (const UpdateRule &R : M.Rules) {
+      if (R.IsIdentity)
+        continue;
+      if (!Printed) {
+        Out += "  " + M.ClassName + "::" + M.MethodName + ":\n";
+        Printed = true;
+      }
+      std::vector<std::string> SideConds;
+      std::string Target = renderApp(Abs, R.target(), SideConds);
+      std::string Rhs;
+      if (R.ConstantTrue)
+        Rhs = "1";
+      for (const PredApp &S : R.Sources) {
+        if (!Rhs.empty())
+          Rhs += " || ";
+        Rhs += renderApp(Abs, S, SideConds);
+      }
+      if (Rhs.empty())
+        Rhs = "0";
+      std::string Guard;
+      for (const std::string &S : SideConds) {
+        if (!Guard.empty())
+          Guard += " && ";
+        Guard += S;
+      }
+      Out += "    ";
+      if (!Guard.empty())
+        Out += "(" + Guard + ") -> ";
+      Out += Target + " := " + Rhs + "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TVP intermediate form (Section 5.1) used by the first-order
+/// certification engine: a predicate vocabulary over a 2-/3-valued
+/// logical structure plus, for documentation and the derivation
+/// benchmarks, textual renderings of the standard translation (Fig. 9)
+/// and of the specialized first-order instrumentation predicates and
+/// update formulae (Figs. 10 and 11).
+///
+/// Program state is modeled as in Section 5.2:
+///  - every component object is an individual of the universe;
+///  - every component-typed client variable x is a unary predicate
+///    pt$x(o) ("x points to o");
+///  - every instrumentation-predicate family P of the derived
+///    abstraction becomes a k-ary predicate over individuals — the
+///    first-order predicate abstraction of Section 5.3;
+///  - unary type predicates is$T(o) track each object's component class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_TVP_PROGRAM_H
+#define CANVAS_TVP_PROGRAM_H
+
+#include "client/CFG.h"
+#include "wp/Abstraction.h"
+
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace tvp {
+
+/// One predicate of the TVP vocabulary.
+struct Pred {
+  enum class Kind {
+    Type,        ///< is$T(o): o is an instance of component class T.
+    VarPointsTo, ///< pt$x(o): client variable x references o.
+    Instr,       ///< A derived instrumentation family over individuals.
+  };
+
+  Kind K = Kind::Type;
+  unsigned Arity = 1;
+  std::string Name;
+  std::string TypeName; ///< Type: the class; VarPointsTo: the var's type.
+  std::string VarName;  ///< VarPointsTo only.
+  int Family = -1;      ///< Instr only: index into the abstraction.
+  /// Unary abstraction predicates drive canonical abstraction.
+  bool Abstraction = false;
+};
+
+/// The TVP vocabulary for one client method against one derived
+/// abstraction.
+struct Vocabulary {
+  std::vector<Pred> Preds;
+
+  int findTypePred(const std::string &Type) const;
+  int findVarPred(const std::string &Var) const;
+  int findInstrPred(int Family) const;
+  std::string str() const;
+};
+
+/// Builds the vocabulary; families of arity > 2 are reported to
+/// \p Diags and handled conservatively by the engine.
+Vocabulary buildVocabulary(const wp::DerivedAbstraction &Abs,
+                           const cj::CFGMethod &M, DiagnosticEngine &Diags);
+
+/// Renders the standard translation table of Fig. 9 (client pointer
+/// statements to TVP actions).
+std::string renderStandardTranslation();
+
+/// Renders the Figs. 10/11 analogue for \p Abs: each instrumentation
+/// family's defining TVP formula and each method's update formulae in
+/// TVP notation (quantified over individuals, with binders resolved
+/// through points-to predicates).
+std::string renderSpecializedTranslation(const wp::DerivedAbstraction &Abs);
+
+} // namespace tvp
+} // namespace canvas
+
+#endif // CANVAS_TVP_PROGRAM_H

@@ -1,0 +1,163 @@
+#include "wp/MutationRestricted.h"
+
+#include "support/Casting.h"
+
+#include <functional>
+#include <map>
+
+using namespace canvas;
+using namespace canvas::wp;
+using namespace canvas::easl;
+
+namespace {
+
+/// True when \p E is a conjunction of non-negated path equalities.
+bool isAliasCondition(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::Compare:
+    return !cast<CompareExpr>(&E)->Negated;
+  case Expr::Kind::And: {
+    for (const ExprPtr &Op : cast<AndExpr>(&E)->Operands)
+      if (!isAliasCondition(*Op))
+        return false;
+    return true;
+  }
+  case Expr::Kind::BoolConst:
+    return cast<BoolConstExpr>(&E)->Value;
+  case Expr::Kind::Or:
+  case Expr::Kind::Not:
+    return false;
+  }
+  return false;
+}
+
+/// DFS cycle detection over the field-type graph.
+bool typeGraphAcyclic(const Spec &S) {
+  enum class Mark { White, Gray, Black };
+  std::map<std::string, Mark> Marks;
+  std::function<bool(const ClassDecl &)> Visit = [&](const ClassDecl &C) {
+    Mark &M = Marks[C.Name];
+    if (M == Mark::Gray)
+      return false;
+    if (M == Mark::Black)
+      return true;
+    M = Mark::Gray;
+    for (const FieldDecl &F : C.Fields)
+      if (const ClassDecl *Target = S.findClass(F.Type))
+        if (!Visit(*Target))
+          return false;
+    Marks[C.Name] = Mark::Black;
+    return true;
+  };
+  for (const ClassDecl &C : S.Classes)
+    if (!Visit(C))
+      return false;
+  return true;
+}
+
+class Classifier {
+public:
+  explicit Classifier(const Spec &S) : S(S) {}
+
+  SpecClassification run() {
+    if (!typeGraphAcyclic(S)) {
+      R.TypeGraphAcyclic = false;
+      R.Reasons.push_back("the field-type graph has a cycle, so ||TG|| is "
+                          "infinite");
+    }
+    for (const ClassDecl &C : S.Classes)
+      for (const MethodDecl &M : C.Methods)
+        visitMethod(C, M);
+    return R;
+  }
+
+private:
+  void visitMethod(const ClassDecl &C, const MethodDecl &M) {
+    for (const StmtPtr &St : M.Body)
+      visitStmt(C, M, *St);
+  }
+
+  void visitStmt(const ClassDecl &C, const MethodDecl &M, const Stmt &St) {
+    switch (St.getKind()) {
+    case Stmt::Kind::Requires: {
+      const auto *Req = cast<RequiresStmt>(&St);
+      if (!isAliasCondition(*Req->Cond)) {
+        R.AliasBased = false;
+        R.Reasons.push_back(C.Name + "::" + M.Name +
+                            ": requires condition is not a conjunction of "
+                            "alias equalities");
+      }
+      return;
+    }
+    case Stmt::Kind::Assign:
+      visitAssign(C, M, *cast<AssignStmt>(&St));
+      return;
+    case Stmt::Kind::Return:
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(&St);
+      for (const StmtPtr &Sub : I->Then)
+        visitStmt(C, M, *Sub);
+      for (const StmtPtr &Sub : I->Else)
+        visitStmt(C, M, *Sub);
+      return;
+    }
+    }
+  }
+
+  void visitAssign(const ClassDecl &C, const MethodDecl &M,
+                   const AssignStmt &A) {
+    // Identify a field assignment: either an explicit multi-component
+    // path, or a single component that names a field of C (implicit
+    // this).
+    bool IsFieldTarget = A.Lhs.Components.size() > 1 ||
+                         C.findField(A.Lhs.Components.front()) != nullptr;
+    if (!IsFieldTarget)
+      return;
+
+    bool TargetsThis =
+        A.Lhs.Components.size() == 1 ||
+        (A.Lhs.Components.size() == 2 && A.Lhs.Components.front() == "this");
+    bool InOwnCtor = M.IsConstructor && TargetsThis;
+
+    if (!InOwnCtor) {
+      R.MutationFree = false;
+      R.Reasons.push_back(C.Name + "::" + M.Name + ": assignment to '" +
+                          A.Lhs.str() +
+                          "' outside the owning constructor (field is "
+                          "mutable)");
+    }
+    if (!InOwnCtor && !A.Rhs.isNew()) {
+      R.RestrictedMutation = false;
+      R.Reasons.push_back(C.Name + "::" + M.Name + ": '" + A.Lhs.str() +
+                          " = " + A.Rhs.str() +
+                          "' mutates a field with a non-fresh value");
+    }
+  }
+
+  const Spec &S;
+  SpecClassification R;
+};
+
+} // namespace
+
+std::string SpecClassification::str() const {
+  std::string Out;
+  Out += std::string("alias-based:          ") + (AliasBased ? "yes" : "no") +
+         "\n";
+  Out += std::string("acyclic type graph:   ") +
+         (TypeGraphAcyclic ? "yes" : "no") + "\n";
+  Out += std::string("restricted mutation:  ") +
+         (RestrictedMutation ? "yes" : "no") + "\n";
+  Out += std::string("mutation-free:        ") + (MutationFree ? "yes" : "no") +
+         "\n";
+  Out += std::string("=> mutation-restricted: ") +
+         (mutationRestricted() ? "yes" : "no") + "\n";
+  for (const std::string &Reason : Reasons)
+    Out += "   - " + Reason + "\n";
+  return Out;
+}
+
+SpecClassification wp::classifySpec(const Spec &S) {
+  return Classifier(S).run();
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classification of Easl specifications per Section 6 of the paper.
+///
+/// The paper proves that the derivation procedure terminates with a
+/// finite, precise abstraction for "mutation-restricted" specifications
+/// (a class containing GRP, IMP and AOP of Section 2.2, but not CMP —
+/// for which the derivation nevertheless happens to converge). The
+/// supplied paper text truncates before the full definition; we
+/// reconstruct it from the surrounding text as the conjunction of:
+///
+///  1. alias-based: every requires condition is a conjunction of path
+///     equalities (Section 6 terminology, given explicitly);
+///  2. acyclic type graph: the field-type graph has finitely many paths
+///     (||TG|| finite, given explicitly as the relevant measure);
+///  3. restricted mutation: every field assignment either initializes a
+///     field of "this" inside a constructor, or installs a freshly
+///     allocated object (a version bump). CMP's "defVer = set.ver" in
+///     remove() violates this, matching the paper's remark that CMP is
+///     not mutation-restricted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_WP_MUTATIONRESTRICTED_H
+#define CANVAS_WP_MUTATIONRESTRICTED_H
+
+#include "easl/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace wp {
+
+/// The verdicts of the Section 6 classifier, with human-readable reasons
+/// for every failed condition.
+struct SpecClassification {
+  bool AliasBased = true;
+  bool TypeGraphAcyclic = true;
+  bool RestrictedMutation = true;
+  /// Strictly stronger than RestrictedMutation: every field is assigned
+  /// only in its own class's constructor.
+  bool MutationFree = true;
+
+  bool mutationRestricted() const {
+    return AliasBased && TypeGraphAcyclic && RestrictedMutation;
+  }
+
+  std::vector<std::string> Reasons;
+
+  std::string str() const;
+};
+
+/// Classifies \p S per the (reconstructed) Section 6 definitions.
+SpecClassification classifySpec(const easl::Spec &S);
+
+} // namespace wp
+} // namespace canvas
+
+#endif // CANVAS_WP_MUTATIONRESTRICTED_H

@@ -1,0 +1,327 @@
+#include "wp/WPEngine.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <functional>
+
+using namespace canvas;
+using namespace canvas::wp;
+using namespace canvas::easl;
+
+//===----------------------------------------------------------------------===//
+// Name resolution and condition translation
+//===----------------------------------------------------------------------===//
+
+Path WPEngine::resolvePath(const Frame &F, const PathExpr &P) {
+  if (P.Components.empty())
+    return Path::var("<error>", "<error>");
+  const std::string &Root = P.Components.front();
+  Path Base;
+  size_t FirstField = 1;
+  auto It = F.Env.find(Root);
+  if (It != F.Env.end()) {
+    Base = It->second;
+  } else if (F.Class && F.Class->findField(Root)) {
+    // Implicit this-qualification of a field name.
+    auto ThisIt = F.Env.find("this");
+    if (ThisIt == F.Env.end()) {
+      Diags.error(P.Loc, "field '" + Root + "' used without a receiver");
+      return Path::var("<error>", "<error>");
+    }
+    Base = ThisIt->second.withField(Root);
+  } else {
+    Diags.error(P.Loc, "unresolved name '" + Root + "'");
+    return Path::var("<error>", "<error>");
+  }
+  for (size_t I = FirstField, E = P.Components.size(); I != E; ++I)
+    Base = Base.withField(P.Components[I]);
+  return Base;
+}
+
+FormulaRef WPEngine::translateExpr(const Frame &F, const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::Compare: {
+    const auto *C = cast<CompareExpr>(&E);
+    FormulaRef Eq = Formula::eq(resolvePath(F, C->Lhs), resolvePath(F, C->Rhs));
+    return C->Negated ? Formula::notOf(Eq) : Eq;
+  }
+  case Expr::Kind::And: {
+    std::vector<FormulaRef> Ops;
+    for (const ExprPtr &Op : cast<AndExpr>(&E)->Operands)
+      Ops.push_back(translateExpr(F, *Op));
+    return Formula::andOf(std::move(Ops));
+  }
+  case Expr::Kind::Or: {
+    std::vector<FormulaRef> Ops;
+    for (const ExprPtr &Op : cast<OrExpr>(&E)->Operands)
+      Ops.push_back(translateExpr(F, *Op));
+    return Formula::orOf(std::move(Ops));
+  }
+  case Expr::Kind::Not:
+    return Formula::notOf(translateExpr(F, *cast<NotExpr>(&E)->Operand));
+  case Expr::Kind::BoolConst:
+    return cast<BoolConstExpr>(&E)->Value ? Formula::getTrue()
+                                          : Formula::getFalse();
+  }
+  canvas_unreachable("covered switch");
+}
+
+//===----------------------------------------------------------------------===//
+// Atom rewriting helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds \p Phi, replacing every Eq atom by AtomFn(lhs, rhs).
+FormulaRef
+mapAtoms(const FormulaRef &Phi,
+         const std::function<FormulaRef(const Path &, const Path &)> &AtomFn) {
+  switch (Phi->getKind()) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+    return Phi;
+  case Formula::Kind::Eq:
+    return AtomFn(Phi->lhs(), Phi->rhs());
+  case Formula::Kind::Not:
+    return Formula::notOf(mapAtoms(Phi->operand(), AtomFn));
+  case Formula::Kind::And:
+  case Formula::Kind::Or: {
+    std::vector<FormulaRef> Ops;
+    for (const FormulaRef &C : Phi->operands())
+      Ops.push_back(mapAtoms(C, AtomFn));
+    return Phi->getKind() == Formula::Kind::And
+               ? Formula::andOf(std::move(Ops))
+               : Formula::orOf(std::move(Ops));
+  }
+  }
+  canvas_unreachable("covered switch");
+}
+
+/// One pre-state reading of a post-state path under a field update:
+/// the path evaluates to Value when Cond (a conjunction rendered as a
+/// formula) holds.
+struct PathCase {
+  FormulaRef Cond;
+  Path Value;
+};
+
+/// Enumerates the pre-state readings of \p P under the update
+/// "Base.Field := Rhs". Walking P from its root, every intermediate
+/// object whose next selector is Field may or may not be the updated
+/// object Base; each maybe-alias splits the reading in two.
+std::vector<PathCase> substPathCases(const Path &P, const Path &Base,
+                                     const std::string &Field,
+                                     const Path &Rhs) {
+  Path Root = P;
+  // Reset to the bare root of P.
+  Root = Path::var(P.rootName(), P.rootType());
+  if (P.rootKind() == Path::RootKind::Fresh)
+    Root = Path::fresh(P.freshId(), P.rootType());
+
+  std::vector<PathCase> Cases = {{Formula::getTrue(), Root}};
+  for (const std::string &G : P.fields()) {
+    std::vector<PathCase> Next;
+    for (PathCase &C : Cases) {
+      if (G == Field) {
+        Next.push_back({Formula::andOf(C.Cond, Formula::eq(C.Value, Base)),
+                        Rhs});
+        Next.push_back({Formula::andOf(C.Cond, Formula::ne(C.Value, Base)),
+                        C.Value.withField(G)});
+      } else {
+        Next.push_back({C.Cond, C.Value.withField(G)});
+      }
+    }
+    Cases = std::move(Next);
+  }
+  // Prune cases whose condition already folded to false (e.g. a fresh
+  // handle compared against itself).
+  std::vector<PathCase> Live;
+  for (PathCase &C : Cases)
+    if (!C.Cond->isFalse())
+      Live.push_back(std::move(C));
+  return Live;
+}
+
+} // namespace
+
+FormulaRef WPEngine::substAssign(const Path &Lhs, const Path &Rhs,
+                                 FormulaRef Phi) {
+  if (Lhs.length() == 0) {
+    // Variable target: plain prefix substitution (variables cannot be
+    // aliased by access paths).
+    return mapAtoms(Phi, [&](const Path &A, const Path &B) {
+      Path NewA = A.startsWith(Lhs) ? A.replacePrefix(Lhs, Rhs) : A;
+      Path NewB = B.startsWith(Lhs) ? B.replacePrefix(Lhs, Rhs) : B;
+      return Formula::eq(NewA, NewB);
+    });
+  }
+  // Field target: alias case-split per atom side.
+  Path Base = Lhs.parent();
+  const std::string &Field = Lhs.lastField();
+  return mapAtoms(Phi, [&](const Path &A, const Path &B) {
+    std::vector<PathCase> ACases = substPathCases(A, Base, Field, Rhs);
+    std::vector<PathCase> BCases = substPathCases(B, Base, Field, Rhs);
+    std::vector<FormulaRef> Ors;
+    for (const PathCase &CA : ACases)
+      for (const PathCase &CB : BCases) {
+        FormulaRef Conds = Formula::andOf(CA.Cond, CB.Cond);
+        Ors.push_back(
+            Formula::andOf(Conds, Formula::eq(CA.Value, CB.Value)));
+      }
+    return Formula::orOf(std::move(Ors));
+  });
+}
+
+FormulaRef WPEngine::resolveFresh(FormulaRef Phi) {
+  return mapAtoms(Phi, [&](const Path &A, const Path &B) -> FormulaRef {
+    bool AF = A.rootKind() == Path::RootKind::Fresh;
+    bool BF = B.rootKind() == Path::RootKind::Fresh;
+    if (!AF && !BF)
+      return Formula::eq(A, B);
+    // Identical paths were folded to True by Formula::eq already.
+    if (AF && BF && A.freshId() == B.freshId()) {
+      // Same fresh object, different field suffixes: both sides are
+      // fields of a brand-new object. Our specifications always assign
+      // such fields before use; reaching here means the spec reads an
+      // uninitialized field.
+      Diags.warning(SourceLoc(), "comparison of uninitialized fields of a "
+                                 "fresh object; treating as false");
+      return Formula::getFalse();
+    }
+    if ((AF && A.length() > 0) || (BF && B.length() > 0)) {
+      // A never-assigned field of a fresh object against anything else:
+      // null against a pre-state object or another fresh object.
+      return Formula::getFalse();
+    }
+    // A bare fresh handle against a pre-state path or a different fresh
+    // handle: a new object is distinct from every other object.
+    return Formula::getFalse();
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Statement-level WP
+//===----------------------------------------------------------------------===//
+
+FormulaRef WPEngine::wpStmtList(std::span<const StmtPtr> Stmts, const Frame &F,
+                                FormulaRef Phi) {
+  for (auto It = Stmts.rbegin(), E = Stmts.rend(); It != E; ++It)
+    Phi = wpStmt(**It, F, Phi);
+  return Phi;
+}
+
+FormulaRef WPEngine::wpStmt(const Stmt &St, const Frame &F, FormulaRef Phi) {
+  switch (St.getKind()) {
+  case Stmt::Kind::Requires:
+    // Requires clauses constrain the client but do not change state.
+    return Phi;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&St);
+    Path Lhs = resolvePath(F, A->Lhs);
+    if (A->Rhs.isNew()) {
+      std::vector<Path> Args;
+      for (const PathExpr &Arg : A->Rhs.Args)
+        Args.push_back(resolvePath(F, Arg));
+      return wpAlloc(Lhs, A->Rhs.NewType, Args, St.Loc, std::move(Phi));
+    }
+    return substAssign(Lhs, resolvePath(F, A->Rhs.P), std::move(Phi));
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(&St);
+    Path Lhs = Path::var("ret", F.Method ? F.Method->ReturnType : "<error>");
+    if (R->Value.isNew()) {
+      std::vector<Path> Args;
+      for (const PathExpr &Arg : R->Value.Args)
+        Args.push_back(resolvePath(F, Arg));
+      return wpAlloc(Lhs, R->Value.NewType, Args, St.Loc, std::move(Phi));
+    }
+    return substAssign(Lhs, resolvePath(F, R->Value.P), std::move(Phi));
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&St);
+    FormulaRef Cond = translateExpr(F, *I->Cond);
+    FormulaRef ThenWP = wpStmtList(I->Then, F, Phi);
+    FormulaRef ElseWP = wpStmtList(I->Else, F, Phi);
+    return Formula::orOf(Formula::andOf(Cond, ThenWP),
+                         Formula::andOf(Formula::notOf(Cond), ElseWP));
+  }
+  }
+  canvas_unreachable("covered switch");
+}
+
+FormulaRef WPEngine::wpAlloc(const Path &Lhs, const std::string &ClassName,
+                             const std::vector<Path> &Args, SourceLoc Loc,
+                             FormulaRef Phi) {
+  const ClassDecl *C = S.findClass(ClassName);
+  if (!C) {
+    Diags.error(Loc, "unknown class '" + ClassName + "' in new");
+    return Phi;
+  }
+  Path Nu = makeFresh(ClassName);
+  // Program order: allocate Nu; run constructor body; Lhs := Nu.
+  // Backward: first the final assignment, then the constructor body.
+  Phi = substAssign(Lhs, Nu, std::move(Phi));
+  const MethodDecl *Ctor = C->constructor();
+  if (!Ctor)
+    return Phi;
+  if (Ctor->Params.size() != Args.size()) {
+    Diags.error(Loc, "constructor argument count mismatch for '" + ClassName +
+                         "'");
+    return Phi;
+  }
+  Frame Inner;
+  Inner.Class = C;
+  Inner.Method = Ctor;
+  Inner.Env["this"] = Nu;
+  for (size_t I = 0; I != Args.size(); ++I)
+    Inner.Env[Ctor->Params[I].Name] = Args[I];
+  return wpStmtList(Ctor->Body, Inner, std::move(Phi));
+}
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+FormulaRef WPEngine::wpMethodCall(const ClassDecl &C, const MethodDecl &M,
+                                  FormulaRef Post) {
+  Frame F;
+  F.Class = &C;
+  F.Method = &M;
+  F.Env["this"] = Path::var("this", C.Name);
+  for (const Param &P : M.Params)
+    F.Env[P.Name] = Path::var(P.Name, P.Type);
+  FormulaRef Pre = wpStmtList(M.Body, F, std::move(Post));
+  return resolveFresh(std::move(Pre));
+}
+
+FormulaRef WPEngine::wpConstructorCall(const ClassDecl &C, FormulaRef Post) {
+  // Model "ret = new C(params...)" with the constructor parameters as
+  // binder variables.
+  const MethodDecl *Ctor = C.constructor();
+  std::vector<Path> Args;
+  Frame F;
+  F.Class = &C;
+  F.Method = Ctor;
+  if (Ctor)
+    for (const Param &P : Ctor->Params) {
+      Path V = Path::var(P.Name, P.Type);
+      F.Env[P.Name] = V;
+      Args.push_back(V);
+    }
+  Path Ret = Path::var("ret", C.Name);
+  FormulaRef Pre = wpAlloc(Ret, C.Name, Args, SourceLoc(), std::move(Post));
+  return resolveFresh(std::move(Pre));
+}
+
+FormulaRef WPEngine::translateMethodCondition(const ClassDecl &C,
+                                              const MethodDecl &M,
+                                              const Expr &E) {
+  Frame F;
+  F.Class = &C;
+  F.Method = &M;
+  F.Env["this"] = Path::var("this", C.Name);
+  for (const Param &P : M.Params)
+    F.Env[P.Name] = Path::var(P.Name, P.Type);
+  return translateExpr(F, E);
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward symbolic weakest-precondition computation over Easl method
+/// bodies (Section 4.1, rule 3): WP(S, phi) holds before executing S iff
+/// phi holds after.
+///
+/// Assignments through fields generate alias case-splits (the source of
+/// the paper's "mutx" predicate); allocations introduce fresh handles
+/// that are resolved against pre-state paths at method entry (a fresh
+/// object differs from every pre-existing one).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_WP_WPENGINE_H
+#define CANVAS_WP_WPENGINE_H
+
+#include "easl/AST.h"
+#include "logic/Formula.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <span>
+#include <string>
+
+namespace canvas {
+namespace wp {
+
+/// Computes weakest preconditions of path formulas with respect to
+/// component-method invocations.
+///
+/// Binder naming convention for the resulting pre-state formulas:
+/// the receiver is the variable "this", parameters keep their declared
+/// names, and the method result is "ret". Free variables of the
+/// post-state formula pass through unchanged.
+class WPEngine {
+public:
+  WPEngine(const easl::Spec &S, DiagnosticEngine &Diags)
+      : S(S), Diags(Diags) {}
+
+  /// WP of \p Post across a call to method \p M of class \p C
+  /// ("x = recv.m(args)" shape). Fresh handles are resolved on return.
+  FormulaRef wpMethodCall(const easl::ClassDecl &C, const easl::MethodDecl &M,
+                          FormulaRef Post);
+
+  /// WP of \p Post across "x = new C(args)". The constructor's parameters
+  /// are the binders; there is no "this" binder.
+  FormulaRef wpConstructorCall(const easl::ClassDecl &C, FormulaRef Post);
+
+  /// Translates a requires/if condition under the standard top-level
+  /// binder environment of method \p M of class \p C.
+  FormulaRef translateMethodCondition(const easl::ClassDecl &C,
+                                      const easl::MethodDecl &M,
+                                      const easl::Expr &E);
+
+private:
+  /// One inlining frame: the lexical scope of a method body plus the
+  /// bindings of this/parameters to pre-state paths or fresh handles.
+  struct Frame {
+    const easl::ClassDecl *Class = nullptr;
+    const easl::MethodDecl *Method = nullptr;
+    std::map<std::string, Path> Env;
+  };
+
+  Path resolvePath(const Frame &F, const easl::PathExpr &P);
+  FormulaRef translateExpr(const Frame &F, const easl::Expr &E);
+
+  FormulaRef wpStmtList(std::span<const easl::StmtPtr> Stmts, const Frame &F,
+                        FormulaRef Phi);
+  FormulaRef wpStmt(const easl::Stmt &St, const Frame &F, FormulaRef Phi);
+
+  /// WP of "Lhs := new ClassName(Args)" including constructor inlining.
+  FormulaRef wpAlloc(const Path &Lhs, const std::string &ClassName,
+                     const std::vector<Path> &Args, SourceLoc Loc,
+                     FormulaRef Phi);
+
+  /// Substitution for "Lhs := Rhs" where Lhs is a variable or a field
+  /// path; field targets use alias case-splits.
+  FormulaRef substAssign(const Path &Lhs, const Path &Rhs, FormulaRef Phi);
+
+  /// Replaces atoms mentioning fresh handles by constants: a fresh object
+  /// is distinct from every pre-state object.
+  FormulaRef resolveFresh(FormulaRef Phi);
+
+  Path makeFresh(const std::string &Type) {
+    return Path::fresh(FreshCounter++, Type);
+  }
+
+  const easl::Spec &S;
+  DiagnosticEngine &Diags;
+  unsigned FreshCounter = 0;
+};
+
+} // namespace wp
+} // namespace canvas
+
+#endif // CANVAS_WP_WPENGINE_H

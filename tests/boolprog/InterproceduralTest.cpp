@@ -1,0 +1,269 @@
+//===----------------------------------------------------------------------===//
+// Tests for the context-sensitive interprocedural SCMP analysis
+// (Section 8), including the ghost-variable mechanism that tracks callee
+// effects on caller-local iterators.
+//===----------------------------------------------------------------------===//
+
+#include "boolprog/Interprocedural.h"
+
+#include "client/Parser.h"
+#include "easl/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::bp;
+
+namespace {
+
+struct Run {
+  easl::Spec Spec;
+  cj::Program Prog;
+  wp::DerivedAbstraction Abs;
+  cj::ClientCFG CFG;
+  InterResult R;
+};
+
+std::unique_ptr<Run> analyze(const char *ClientSrc) {
+  auto Out = std::make_unique<Run>();
+  Out->Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  DiagnosticEngine Diags;
+  Out->Prog = cj::parseProgram(ClientSrc, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  Out->Abs = wp::deriveAbstraction(Out->Spec, Diags);
+  Out->CFG = cj::buildCFG(Out->Prog, Out->Spec, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  const cj::CFGMethod *Main = Out->CFG.mainCFG();
+  EXPECT_NE(Main, nullptr);
+  Out->R = analyzeInterproc(Out->Abs, Out->CFG, *Main, Diags);
+  return Out;
+}
+
+/// Outcome of the unique check whose text contains \p Fragment.
+CheckOutcome outcomeOf(const Run &R, const std::string &Fragment) {
+  const InterResult::CheckVerdict *Found = nullptr;
+  for (const auto &C : R.R.Checks)
+    if (C.What.find(Fragment) != std::string::npos) {
+      EXPECT_EQ(Found, nullptr) << "ambiguous fragment " << Fragment;
+      Found = &C;
+    }
+  EXPECT_NE(Found, nullptr) << "no check matching " << Fragment << "\n"
+                            << R.R.str();
+  return Found ? Found->Outcome : CheckOutcome::Unreachable;
+}
+
+TEST(InterprocTest, CalleeInvalidatesCallerIteratorThroughAlias) {
+  // The ghost-variable scenario: mutate(s) bumps the version of the
+  // collection the caller's iterator ranges over.
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        mutate(v);
+        i.next();
+      }
+      void mutate(Set s) { s.add(); }
+    }
+  )");
+  EXPECT_EQ(outcomeOf(*R, "i.next()"), CheckOutcome::Potential);
+}
+
+TEST(InterprocTest, CalleeOnOtherCollectionIsHarmless) {
+  // Context sensitivity: the same callee invoked on an unrelated
+  // collection must not invalidate the iterator.
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Set w = new Set();
+        Iterator i = v.iterator();
+        mutate(w);
+        i.next();
+      }
+      void mutate(Set s) { s.add(); }
+    }
+  )");
+  EXPECT_EQ(outcomeOf(*R, "i.next()"), CheckOutcome::Safe);
+}
+
+TEST(InterprocTest, PureCalleePreservesFacts) {
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        noop(v);
+        i.next();
+      }
+      void noop(Set s) { }
+    }
+  )");
+  EXPECT_EQ(outcomeOf(*R, "i.next()"), CheckOutcome::Safe);
+}
+
+TEST(InterprocTest, IteratorReturnedFromCallee) {
+  // $ret mapping: the callee creates the iterator.
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = fresh(v);
+        i.next();
+        v.add();
+        i.next();
+      }
+      Iterator fresh(Set s) { return s.iterator(); }
+    }
+  )");
+  ASSERT_EQ(R->R.Checks.size(), 2u) << R->R.str();
+  EXPECT_EQ(R->R.Checks[0].Outcome, CheckOutcome::Safe);
+  EXPECT_EQ(R->R.Checks[1].Outcome, CheckOutcome::Potential);
+}
+
+TEST(InterprocTest, ChecksInsideCalleeUseCallingContext) {
+  // use(i) is safe from the first call site, unsafe from the second.
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        use(i);
+        v.add();
+        use(i);
+      }
+      void use(Iterator it) { it.next(); }
+    }
+  )");
+  // One check inside use(); joined over both contexts it is Potential.
+  EXPECT_EQ(outcomeOf(*R, "it.next()"), CheckOutcome::Potential);
+}
+
+TEST(InterprocTest, SafeInAllContextsStaysSafe) {
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Set w = new Set();
+        Iterator i = v.iterator();
+        Iterator j = w.iterator();
+        use(i);
+        use(j);
+      }
+      void use(Iterator it) { it.next(); }
+    }
+  )");
+  EXPECT_EQ(outcomeOf(*R, "it.next()"), CheckOutcome::Safe);
+}
+
+TEST(InterprocTest, TransitiveCallChain) {
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        outer(v);
+        i.next();
+      }
+      void outer(Set s) { inner(s); }
+      void inner(Set t) { t.add(); }
+    }
+  )");
+  EXPECT_EQ(outcomeOf(*R, "i.next()"), CheckOutcome::Potential);
+}
+
+TEST(InterprocTest, RecursionTerminatesAndIsSound) {
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        rec(v);
+        i.next();
+      }
+      void rec(Set s) {
+        if (*) { s.add(); rec(s); }
+      }
+    }
+  )");
+  EXPECT_EQ(outcomeOf(*R, "i.next()"), CheckOutcome::Potential);
+}
+
+TEST(InterprocTest, RecursionWithoutMutationStaysSafe) {
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        rec(v);
+        i.next();
+      }
+      void rec(Set s) {
+        if (*) { rec(s); }
+      }
+    }
+  )");
+  EXPECT_EQ(outcomeOf(*R, "i.next()"), CheckOutcome::Safe);
+}
+
+TEST(InterprocTest, UncalledMethodsAreNotReported) {
+  auto R = analyze(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        i.next();
+      }
+      void dead(Iterator it) { it.next(); }
+    }
+  )");
+  for (const auto &C : R->R.Checks)
+    EXPECT_EQ(C.Method->name(), "M::main") << R->R.str();
+}
+
+TEST(InterprocTest, WorklistProgramCertifies) {
+  // An SCMP-friendly rendering of the paper's Fig. 1 worklist pattern:
+  // the iterator is re-created after each batch of additions.
+  auto R = analyze(R"(
+    class Make {
+      void main() {
+        Set work = new Set();
+        seed(work);
+        while (*) {
+          Iterator i = work.iterator();
+          while (*) {
+            i.next();
+          }
+          grow(work);
+        }
+      }
+      void seed(Set s) { s.add(); }
+      void grow(Set s) { s.add(); }
+    }
+  )");
+  EXPECT_EQ(outcomeOf(*R, "i.next()"), CheckOutcome::Safe) << R->R.str();
+}
+
+TEST(InterprocTest, WorklistBugDetected) {
+  // The buggy version of Fig. 1: the callee grows the worklist while the
+  // iterator is live.
+  auto R = analyze(R"(
+    class Make {
+      void main() {
+        Set work = new Set();
+        Iterator i = work.iterator();
+        while (*) {
+          i.next();
+          processItem(work);
+        }
+      }
+      void processItem(Set s) {
+        if (*) { s.add(); }
+      }
+    }
+  )");
+  EXPECT_EQ(outcomeOf(*R, "i.next()"), CheckOutcome::Potential)
+      << R->R.str();
+}
+
+} // namespace

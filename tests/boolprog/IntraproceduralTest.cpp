@@ -1,0 +1,332 @@
+//===----------------------------------------------------------------------===//
+// End-to-end tests of the SCMP specialized certifier (Section 4): client
+// source -> CFG -> boolean program -> possible-value analysis -> checks.
+//===----------------------------------------------------------------------===//
+
+#include "boolprog/Analysis.h"
+
+#include "client/Parser.h"
+#include "easl/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::bp;
+
+namespace {
+
+/// Certifies the main() method of \p ClientSrc against \p SpecSrc and
+/// returns (program, result).
+struct Certified {
+  cj::Program Prog;
+  easl::Spec Spec;
+  wp::DerivedAbstraction Abs;
+  cj::ClientCFG CFG;
+  BooleanProgram BP;
+  IntraResult Result;
+};
+
+std::unique_ptr<Certified> certify(const char *SpecSrc,
+                                   const char *ClientSrc) {
+  auto C = std::make_unique<Certified>();
+  C->Spec = easl::parseBuiltinSpec(SpecSrc);
+  DiagnosticEngine Diags;
+  C->Prog = cj::parseProgram(ClientSrc, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  C->Abs = wp::deriveAbstraction(C->Spec, Diags);
+  C->CFG = cj::buildCFG(C->Prog, C->Spec, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  const cj::CFGMethod *Main = C->CFG.mainCFG();
+  EXPECT_NE(Main, nullptr);
+  C->BP = buildBooleanProgram(C->Abs, *Main, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  C->Result = analyzeIntraproc(C->BP);
+  return C;
+}
+
+/// Outcomes of all checks in CFG-edge order.
+std::vector<CheckOutcome> outcomes(const Certified &C) {
+  return C.Result.CheckResults;
+}
+
+TEST(SCMPCertifierTest, Figure3Client) {
+  // The running example of Fig. 3: errors at the i2 and the final i1
+  // next(), no false alarm at i3.
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class Fig3 {
+      void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (*) { i2.next(); }
+        if (*) { i3.next(); }
+        v.add();
+        if (*) { i1.next(); }
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  // Checks in order: i1.next(), i1.remove(), i2.next(), i3.next(),
+  // i1.next().
+  ASSERT_EQ(O.size(), 5u) << C->Result.reportStr(C->BP);
+  EXPECT_EQ(O[0], CheckOutcome::Safe);     // i1.next()
+  EXPECT_EQ(O[1], CheckOutcome::Safe);     // i1.remove()
+  EXPECT_EQ(O[2], CheckOutcome::Definite); // i2.next(): CME
+  EXPECT_EQ(O[3], CheckOutcome::Safe);     // i3.next(): NOT a false alarm
+  EXPECT_EQ(O[4], CheckOutcome::Definite); // i1.next() after add: CME
+}
+
+TEST(SCMPCertifierTest, VersionedLoopIsCertified) {
+  // The Section 3 example that defeats allocation-site-based analyses:
+  // each outer iteration re-creates the iterator after the add.
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class Loop {
+      void main() {
+        Set s = new Set();
+        while (*) {
+          s.add();
+          Iterator i = s.iterator();
+          while (*) { i.next(); }
+        }
+      }
+    }
+  )");
+  for (CheckOutcome O : outcomes(*C))
+    EXPECT_EQ(O, CheckOutcome::Safe) << C->Result.reportStr(C->BP);
+}
+
+TEST(SCMPCertifierTest, AddInvalidatesIterator) {
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class Bad {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add();
+        i.next();
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0], CheckOutcome::Definite);
+}
+
+TEST(SCMPCertifierTest, BranchDependentViolationIsPotential) {
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class Branchy {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        if (*) { s.add(); }
+        i.next();
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0], CheckOutcome::Potential);
+}
+
+TEST(SCMPCertifierTest, IndependentCollectionsDoNotInterfere) {
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class TwoSets {
+      void main() {
+        Set s = new Set();
+        Set t = new Set();
+        Iterator i = s.iterator();
+        t.add();
+        i.next();
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0], CheckOutcome::Safe);
+}
+
+TEST(SCMPCertifierTest, RemoveThroughIteratorKeepsItValid) {
+  // Updating via the iterator refreshes both versions: i remains usable,
+  // but a second iterator is invalidated.
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class RemoveOK {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Iterator j = s.iterator();
+        i.remove();
+        i.next();
+        j.next();
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  ASSERT_EQ(O.size(), 3u);
+  EXPECT_EQ(O[0], CheckOutcome::Safe);     // i.remove()
+  EXPECT_EQ(O[1], CheckOutcome::Safe);     // i.next()
+  EXPECT_EQ(O[2], CheckOutcome::Definite); // j.next()
+}
+
+TEST(SCMPCertifierTest, CopyAliasingIsTracked) {
+  // j = i: removing through j invalidates neither j nor i.
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class CopyAlias {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Iterator j = i;
+        j.remove();
+        i.next();
+        j.next();
+      }
+    }
+  )");
+  for (CheckOutcome O : outcomes(*C))
+    EXPECT_EQ(O, CheckOutcome::Safe) << C->Result.reportStr(C->BP);
+}
+
+TEST(SCMPCertifierTest, NullIteratorIsConservativelyFlagged) {
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class Nully {
+      void main() {
+        Set s = new Set();
+        Iterator i = null;
+        if (*) { i = s.iterator(); }
+        i.next();
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0], CheckOutcome::Potential);
+}
+
+TEST(SCMPCertifierTest, ReassignedIteratorVariableIsFresh) {
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class Reassign {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add();
+        i = s.iterator();
+        i.next();
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0], CheckOutcome::Safe);
+}
+
+TEST(SCMPCertifierTest, UnreachableCheckReported) {
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class Dead {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        return;
+        i.next();
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0], CheckOutcome::Unreachable);
+}
+
+TEST(SCMPCertifierTest, GRPClient) {
+  auto C = certify(easl::grpSpecSource(), R"(
+    class Traversals {
+      void main() {
+        Graph g = new Graph();
+        Traversal t1 = g.traverse();
+        t1.visitNext();
+        Traversal t2 = g.traverse();
+        t2.visitNext();
+        if (*) { t1.visitNext(); }
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  ASSERT_EQ(O.size(), 3u);
+  EXPECT_EQ(O[0], CheckOutcome::Safe);     // t1 before t2 exists
+  EXPECT_EQ(O[1], CheckOutcome::Safe);     // t2 is the active traversal
+  EXPECT_EQ(O[2], CheckOutcome::Definite); // t1 was preempted
+}
+
+TEST(SCMPCertifierTest, IMPClient) {
+  auto C = certify(easl::impSpecSource(), R"(
+    class Widgets {
+      void main() {
+        Factory f1 = new Factory();
+        Factory f2 = new Factory();
+        Widget a = f1.make();
+        Widget b = f1.make();
+        Widget c = f2.make();
+        a.combine(b);
+        if (*) { a.combine(c); }
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  ASSERT_EQ(O.size(), 2u);
+  EXPECT_EQ(O[0], CheckOutcome::Safe);     // same factory
+  EXPECT_EQ(O[1], CheckOutcome::Definite); // cross-factory combine
+}
+
+TEST(SCMPCertifierTest, AOPClient) {
+  auto C = certify(easl::aopSpecSource(), R"(
+    class Graphs {
+      void main() {
+        GraphA g = new GraphA();
+        GraphA h = new GraphA();
+        Vertex u = g.newVertex();
+        Vertex v = g.newVertex();
+        Vertex w = h.newVertex();
+        g.addEdge(u, v);
+        if (*) { g.addEdge(u, w); }
+      }
+    }
+  )");
+  auto O = outcomes(*C);
+  // addEdge has two requires each: 4 checks total.
+  ASSERT_EQ(O.size(), 4u);
+  EXPECT_EQ(O[0], CheckOutcome::Safe);
+  EXPECT_EQ(O[1], CheckOutcome::Safe);
+  EXPECT_EQ(O[2], CheckOutcome::Safe);     // u belongs to g
+  EXPECT_EQ(O[3], CheckOutcome::Definite); // w is alien
+}
+
+TEST(SCMPCertifierTest, BooleanProgramRenders) {
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class Tiny {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        i.next();
+      }
+    }
+  )");
+  std::string S = C->BP.str();
+  EXPECT_NE(S.find("Boolean program"), std::string::npos);
+  EXPECT_NE(S.find("i.set == s"), std::string::npos) << S;
+}
+
+TEST(SCMPCertifierTest, StateRendersFigure8Style) {
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class Tiny {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        i.next();
+      }
+    }
+  )");
+  const cj::CFGMethod *Main = C->CFG.mainCFG();
+  std::string S = C->Result.stateStr(C->BP, Main->Exit);
+  EXPECT_NE(S.find("= {"), std::string::npos) << S;
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+#include "client/CFG.h"
+
+#include "client/Parser.h"
+#include "easl/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::cj;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  easl::Spec Spec;
+  ClientCFG CFG;
+};
+
+Built build(const char *ClientSrc, bool ExpectErrors = false) {
+  Built B;
+  B.Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  DiagnosticEngine Diags;
+  B.Prog = parseProgram(ClientSrc, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  B.CFG = buildCFG(B.Prog, B.Spec, Diags);
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.str();
+  return B;
+}
+
+std::vector<Action::Kind> actionKinds(const CFGMethod &M) {
+  std::vector<Action::Kind> Ks;
+  for (const CFGEdge &E : M.Edges)
+    if (E.Act.K != Action::Kind::Nop)
+      Ks.push_back(E.Act.K);
+  return Ks;
+}
+
+TEST(CFGTest, StraightLineLowering) {
+  Built B = build(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        i.next();
+        Iterator j = i;
+      }
+    }
+  )");
+  const CFGMethod *Main = B.CFG.mainCFG();
+  ASSERT_NE(Main, nullptr);
+  EXPECT_EQ(actionKinds(*Main),
+            (std::vector<Action::Kind>{
+                Action::Kind::AllocComp, Action::Kind::CompCall,
+                Action::Kind::CompCall, Action::Kind::Copy}));
+  EXPECT_FALSE(Main->HasHeapComponentRefs);
+  // v, i, j are the component variables.
+  EXPECT_EQ(Main->CompVars.size(), 3u);
+}
+
+TEST(CFGTest, BranchesAndLoopsCreateDiamonds) {
+  Built B = build(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        if (*) { v.add(); }
+        while (*) { v.add(); }
+      }
+    }
+  )");
+  const CFGMethod *Main = B.CFG.mainCFG();
+  int Adds = 0;
+  for (const CFGEdge &E : Main->Edges)
+    Adds += E.Act.K == Action::Kind::CompCall && E.Act.Callee == "add";
+  EXPECT_EQ(Adds, 2);
+  // The loop introduces a back edge: some edge goes to a lower node id.
+  bool HasBackEdge = false;
+  for (const CFGEdge &E : Main->Edges)
+    HasBackEdge |= E.To < E.From;
+  EXPECT_TRUE(HasBackEdge);
+}
+
+TEST(CFGTest, HeapStoreSetsFlagAndLoadsHavoc) {
+  Built B = build(R"(
+    class Holder { Set s; }
+    class M {
+      void main() {
+        Holder h = new Holder();
+        Set v = new Set();
+        h.s = v;
+        Set w = h.s;
+      }
+    }
+  )");
+  const CFGMethod *Main = B.CFG.mainCFG();
+  EXPECT_TRUE(Main->HasHeapComponentRefs);
+  bool SawHavoc = false;
+  for (const CFGEdge &E : Main->Edges)
+    SawHavoc |= E.Act.K == Action::Kind::Havoc && E.Act.Lhs == "w";
+  EXPECT_TRUE(SawHavoc);
+}
+
+TEST(CFGTest, ComponentCallOnHeapReceiverIsOpaque) {
+  Built B = build(R"(
+    class Holder { Set s; }
+    class M {
+      void main() {
+        Holder h = new Holder();
+        h.s.add();
+      }
+    }
+  )");
+  const CFGMethod *Main = B.CFG.mainCFG();
+  bool SawOpaque = false;
+  for (const CFGEdge &E : Main->Edges)
+    SawOpaque |= E.Act.K == Action::Kind::OpaqueEffect;
+  EXPECT_TRUE(SawOpaque);
+  EXPECT_TRUE(Main->HasHeapComponentRefs);
+}
+
+TEST(CFGTest, ClientCallResolved) {
+  Built B = build(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        process(v);
+      }
+      void process(Set s) { s.add(); }
+    }
+  )");
+  const CFGMethod *Main = B.CFG.mainCFG();
+  const Action *CallAct = nullptr;
+  for (const CFGEdge &E : Main->Edges)
+    if (E.Act.K == Action::Kind::ClientCall)
+      CallAct = &E.Act;
+  ASSERT_NE(CallAct, nullptr);
+  EXPECT_EQ(CallAct->Callee, "M::process");
+  ASSERT_EQ(CallAct->Args.size(), 1u);
+  EXPECT_EQ(CallAct->Args[0], "v");
+  ASSERT_NE(CallAct->CalleeMethod, nullptr);
+}
+
+TEST(CFGTest, ReturnOfComponentBindsRetVar) {
+  Built B = build(R"(
+    class M {
+      void main() { }
+      Iterator fresh(Set s) { return s.iterator(); }
+    }
+  )");
+  const CFGMethod *Fresh = B.CFG.findMethod("M", "fresh");
+  ASSERT_NE(Fresh, nullptr);
+  bool HasRet = false;
+  for (const auto &[V, T] : Fresh->CompVars)
+    HasRet |= V == "$ret" && T == "Iterator";
+  EXPECT_TRUE(HasRet);
+  bool SawRetCall = false;
+  for (const CFGEdge &E : Fresh->Edges)
+    SawRetCall |= E.Act.K == Action::Kind::CompCall && E.Act.Lhs == "$ret";
+  EXPECT_TRUE(SawRetCall);
+}
+
+TEST(CFGTest, UnknownComponentMethodIsError) {
+  build(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        v.frobnicate();
+      }
+    }
+  )", /*ExpectErrors=*/true);
+}
+
+TEST(CFGTest, WrongArityComponentCallIsError) {
+  build(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        v.add(v);
+      }
+    }
+  )", /*ExpectErrors=*/true);
+}
+
+TEST(CFGTest, RedeclarationWithDifferentTypeIsError) {
+  build(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator v = null;
+      }
+    }
+  )", /*ExpectErrors=*/true);
+}
+
+TEST(CFGTest, NullAssignmentHavocsComponentVar) {
+  Built B = build(R"(
+    class M {
+      void main() {
+        Iterator i = null;
+      }
+    }
+  )");
+  const CFGMethod *Main = B.CFG.mainCFG();
+  EXPECT_EQ(actionKinds(*Main),
+            (std::vector<Action::Kind>{Action::Kind::Havoc}));
+}
+
+TEST(CFGTest, StrRendersActions) {
+  Built B = build(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+      }
+    }
+  )");
+  std::string S = B.CFG.mainCFG()->str();
+  EXPECT_NE(S.find("v = new Set()"), std::string::npos) << S;
+  EXPECT_NE(S.find("i = v.iterator()"), std::string::npos) << S;
+}
+
+} // namespace

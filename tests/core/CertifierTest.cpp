@@ -1,0 +1,232 @@
+//===----------------------------------------------------------------------===//
+// Tests for the public Certifier API, the concrete reference
+// interpreter, and the Section 3 generic allocation-site baseline.
+//===----------------------------------------------------------------------===//
+
+#include "core/Certifier.h"
+
+#include "client/CFG.h"
+#include "core/GenericBaseline.h"
+#include "core/Interpreter.h"
+#include "easl/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::core;
+
+namespace {
+
+const char *Fig3Client = R"(
+  class Fig3 {
+    void main() {
+      Set v = new Set();
+      Iterator i1 = v.iterator();
+      Iterator i2 = v.iterator();
+      Iterator i3 = i1;
+      i1.next();
+      i1.remove();
+      if (*) { i2.next(); }
+      if (*) { i3.next(); }
+      v.add();
+      if (*) { i1.next(); }
+    }
+  }
+)";
+
+const char *VersionedLoopClient = R"(
+  class Loop {
+    void main() {
+      Set s = new Set();
+      while (*) {
+        s.add();
+        Iterator i = s.iterator();
+        while (*) { i.next(); }
+      }
+    }
+  }
+)";
+
+CertificationReport runEngine(EngineKind K, const char *Client) {
+  DiagnosticEngine Diags;
+  Certifier C(easl::cmpSpecSource(), K, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  CertificationReport R = C.certifySource(Client, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return R;
+}
+
+TEST(CertifierTest, SCMPIntraOnFig3) {
+  CertificationReport R = runEngine(EngineKind::SCMPIntra, Fig3Client);
+  EXPECT_EQ(R.numChecks(), 5u);
+  EXPECT_EQ(R.numFlagged(), 2u) << R.str();
+  EXPECT_EQ(R.numVerified(), 3u);
+}
+
+TEST(CertifierTest, InterprocOnFig3MatchesIntra) {
+  CertificationReport R = runEngine(EngineKind::SCMPInterproc, Fig3Client);
+  EXPECT_EQ(R.numChecks(), 5u);
+  EXPECT_EQ(R.numFlagged(), 2u) << R.str();
+}
+
+TEST(CertifierTest, BaselineFalseAlarmsOnVersionedLoop) {
+  // Section 3: the allocation-site analysis cannot distinguish versions
+  // allocated inside the loop, so it flags the (actually safe) loop;
+  // the staged certifier verifies it.
+  CertificationReport Generic =
+      runEngine(EngineKind::GenericAllocSite, VersionedLoopClient);
+  CertificationReport Staged =
+      runEngine(EngineKind::SCMPIntra, VersionedLoopClient);
+  EXPECT_GT(Generic.numFlagged(), 0u) << Generic.str();
+  EXPECT_EQ(Staged.numFlagged(), 0u) << Staged.str();
+}
+
+TEST(CertifierTest, BaselineAgreesOnStraightLineErrors) {
+  const char *Bad = R"(
+    class Bad {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add();
+        i.next();
+      }
+    }
+  )";
+  CertificationReport Generic = runEngine(EngineKind::GenericAllocSite, Bad);
+  EXPECT_EQ(Generic.numFlagged(), 1u) << Generic.str();
+}
+
+TEST(CertifierTest, EngineNamesAreStable) {
+  EXPECT_STREQ(engineName(EngineKind::SCMPIntra), "scmp-intra");
+  EXPECT_STREQ(engineName(EngineKind::TVLARelational), "tvla-relational");
+}
+
+TEST(CertifierTest, ReportRenders) {
+  CertificationReport R = runEngine(EngineKind::SCMPIntra, Fig3Client);
+  std::string S = R.str();
+  EXPECT_NE(S.find("verified"), std::string::npos);
+  EXPECT_NE(S.find("VIOLATION"), std::string::npos);
+  EXPECT_NE(S.find("5 check(s)"), std::string::npos) << S;
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete reference interpreter (ground truth)
+//===----------------------------------------------------------------------===//
+
+struct GT {
+  easl::Spec Spec;
+  cj::Program Prog;
+  cj::ClientCFG CFG;
+  GroundTruth Truth;
+};
+
+std::unique_ptr<GT> ground(const char *ClientSrc) {
+  auto G = std::make_unique<GT>();
+  G->Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  DiagnosticEngine Diags;
+  G->Prog = cj::parseProgram(ClientSrc, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  G->CFG = cj::buildCFG(G->Prog, G->Spec, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  G->Truth = executeConcretely(G->Spec, G->CFG, *G->CFG.mainCFG());
+  return G;
+}
+
+unsigned violations(const GroundTruth &T) {
+  unsigned N = 0;
+  for (const auto &[Site, V] : T.MayViolate)
+    N += V;
+  return N;
+}
+
+TEST(InterpreterTest, Fig3GroundTruth) {
+  auto G = ground(Fig3Client);
+  EXPECT_TRUE(G->Truth.Exhaustive);
+  // Exactly the two real CMEs of Fig. 3 (i2.next and the final i1.next).
+  EXPECT_EQ(G->Truth.MayViolate.size(), 5u);
+  EXPECT_EQ(violations(G->Truth), 2u);
+}
+
+TEST(InterpreterTest, SafeProgramHasNoViolations) {
+  auto G = ground(R"(
+    class OK {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        i.next();
+        i.remove();
+        i.next();
+      }
+    }
+  )");
+  EXPECT_TRUE(G->Truth.Exhaustive);
+  EXPECT_EQ(violations(G->Truth), 0u);
+}
+
+TEST(InterpreterTest, LoopsBoundedExploration) {
+  auto G = ground(VersionedLoopClient);
+  // The loop makes exhaustive exploration impossible within bounds, but
+  // no explored path violates.
+  EXPECT_EQ(violations(G->Truth), 0u);
+  EXPECT_GT(G->Truth.PathsExplored, 1u);
+}
+
+TEST(InterpreterTest, InterproceduralGroundTruth) {
+  auto G = ground(R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        mutate(v);
+        i.next();
+      }
+      void mutate(Set s) { s.add(); }
+    }
+  )");
+  EXPECT_TRUE(G->Truth.Exhaustive);
+  EXPECT_EQ(violations(G->Truth), 1u);
+}
+
+TEST(InterpreterTest, StaticCertifierIsSoundOnFig3) {
+  // Every ground-truth violation must be flagged by the certifier
+  // (soundness), and on Fig. 3 the certifier is also exact.
+  auto G = ground(Fig3Client);
+  CertificationReport R = runEngine(EngineKind::SCMPIntra, Fig3Client);
+  EXPECT_EQ(R.numFlagged(), violations(G->Truth));
+}
+
+//===----------------------------------------------------------------------===//
+// TVLA engines through the Certifier API
+//===----------------------------------------------------------------------===//
+
+TEST(CertifierTest, TVLAIndependentOnFig3) {
+  CertificationReport R = runEngine(EngineKind::TVLAIndependent, Fig3Client);
+  EXPECT_EQ(R.numChecks(), 5u) << R.str();
+  EXPECT_EQ(R.numFlagged(), 2u) << R.str();
+}
+
+TEST(CertifierTest, TVLARelationalOnFig3) {
+  CertificationReport R = runEngine(EngineKind::TVLARelational, Fig3Client);
+  EXPECT_EQ(R.numChecks(), 5u) << R.str();
+  EXPECT_EQ(R.numFlagged(), 2u) << R.str();
+}
+
+TEST(CertifierTest, TVLACertifiesVersionedLoop) {
+  for (EngineKind K :
+       {EngineKind::TVLAIndependent, EngineKind::TVLARelational}) {
+    CertificationReport R = runEngine(K, VersionedLoopClient);
+    EXPECT_EQ(R.numFlagged(), 0u) << engineName(K) << "\n" << R.str();
+  }
+}
+
+TEST(CertifierTest, RelationalHasNoPrecisionAdvantageOnBenchmarks) {
+  // The Section 7 empirical finding: the relational TVLA configuration
+  // had no precision advantage over the independent-attribute one.
+  for (const char *Client : {Fig3Client, VersionedLoopClient}) {
+    CertificationReport Ind = runEngine(EngineKind::TVLAIndependent, Client);
+    CertificationReport Rel = runEngine(EngineKind::TVLARelational, Client);
+    EXPECT_EQ(Ind.numFlagged(), Rel.numFlagged());
+  }
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+#include "core/Evaluation.h"
+
+#include "easl/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::core;
+
+namespace {
+
+SiteComparison compare(EngineKind K, const char *ClientSrc) {
+  DiagnosticEngine Diags;
+  Certifier C(easl::cmpSpecSource(), K, Diags);
+  cj::Program P = cj::parseProgram(ClientSrc, Diags);
+  CertificationReport R = C.certify(P, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return compareWithGroundTruth(R, C.spec(), P);
+}
+
+TEST(EvaluationTest, ExactCertifierHasNoFalseAlarms) {
+  SiteComparison Cmp = compare(EngineKind::SCMPIntra, R"(
+    class M {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add();
+        i.next();
+        i.next();
+      }
+    }
+  )");
+  // Only next()/remove() carry requires clauses; the first next()
+  // violates and the path aborts, so the second next() site is never
+  // concretely reached and only one site enters the comparison.
+  EXPECT_EQ(Cmp.Sites, 1u) << Cmp.str();
+  EXPECT_EQ(Cmp.ViolatingSites, 1u);
+  EXPECT_EQ(Cmp.FlaggedSites, 1u);
+  EXPECT_EQ(Cmp.FalseAlarms, 0u);
+  EXPECT_EQ(Cmp.Missed, 0u);
+  EXPECT_TRUE(Cmp.Exhaustive);
+}
+
+TEST(EvaluationTest, CountsBaselineFalseAlarm) {
+  SiteComparison Cmp = compare(EngineKind::GenericAllocSite, R"(
+    class M {
+      void main() {
+        Set s = new Set();
+        while (*) {
+          s.add();
+          Iterator i = s.iterator();
+          while (*) { i.next(); }
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(Cmp.FalseAlarms, 1u) << Cmp.str();
+  EXPECT_EQ(Cmp.Missed, 0u);
+  EXPECT_FALSE(Cmp.Exhaustive); // Loops bound the exploration.
+}
+
+TEST(EvaluationTest, StrRendersCounts) {
+  SiteComparison Cmp;
+  Cmp.Sites = 3;
+  Cmp.FlaggedSites = 2;
+  Cmp.ViolatingSites = 1;
+  Cmp.FalseAlarms = 1;
+  std::string S = Cmp.str();
+  EXPECT_NE(S.find("3 site(s)"), std::string::npos);
+  EXPECT_NE(S.find("1 false alarm(s)"), std::string::npos);
+}
+
+TEST(EvaluationTest, InterproceduralSitesAttributedToMethods) {
+  SiteComparison Cmp = compare(EngineKind::SCMPInterproc, R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        use(i);
+      }
+      void use(Iterator it) { it.next(); }
+    }
+  )");
+  EXPECT_EQ(Cmp.Sites, 1u) << Cmp.str(); // it.next() inside use().
+  EXPECT_EQ(Cmp.FalseAlarms, 0u);
+  EXPECT_EQ(Cmp.Missed, 0u);
+}
+
+} // namespace

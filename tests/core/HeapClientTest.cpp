@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+// Behavior at the SCMP boundary: clients that move component references
+// through the heap (object fields) are outside Section 4's restriction.
+// Every engine must stay *sound* there — conservative flagging is
+// expected, silent verification is not.
+//===----------------------------------------------------------------------===//
+
+#include "core/Certifier.h"
+
+#include "client/CFG.h"
+#include "easl/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::core;
+
+namespace {
+
+// Fig. 1's real shape: the worklist Set lives in a field of a client
+// object.
+const char *HeapWorklist = R"(
+  class Worklist {
+    Set s;
+  }
+  class Make {
+    void main() {
+      Worklist w = new Worklist();
+      w.s = new Set();
+      Set snapshot = w.s;
+      Iterator i = snapshot.iterator();
+      w.s.add();
+      i.next();
+    }
+  }
+)";
+
+CertificationReport run(EngineKind K, const char *Src) {
+  DiagnosticEngine Diags;
+  Certifier C(easl::cmpSpecSource(), K, Diags);
+  CertificationReport R = C.certifySource(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return R;
+}
+
+TEST(HeapClientTest, CFGFlagsHeapComponentRefs) {
+  DiagnosticEngine Diags;
+  easl::Spec Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  cj::Program P = cj::parseProgram(HeapWorklist, Diags);
+  cj::ClientCFG CFG = cj::buildCFG(P, Spec, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_TRUE(CFG.mainCFG()->HasHeapComponentRefs);
+}
+
+TEST(HeapClientTest, AllEnginesFlagTheRealHeapBug) {
+  // The add() through the heap alias really invalidates i (the snapshot
+  // aliases w.s). Every engine must flag i.next() — heap loads havoc
+  // the snapshot variable and the heap-receiver call clobbers facts, so
+  // the flag is conservative but required for soundness.
+  for (EngineKind K :
+       {EngineKind::SCMPIntra, EngineKind::SCMPInterproc,
+        EngineKind::TVLAIndependent, EngineKind::TVLARelational}) {
+    CertificationReport R = run(K, HeapWorklist);
+    bool NextFlagged = false;
+    for (const CheckVerdict &C : R.Checks)
+      if (C.What.find("i.next()") != std::string::npos)
+        NextFlagged |= C.Outcome != bp::CheckOutcome::Safe &&
+                       C.Outcome != bp::CheckOutcome::Unreachable;
+    EXPECT_TRUE(NextFlagged) << engineName(K) << "\n" << R.str();
+  }
+}
+
+TEST(HeapClientTest, LocalsOnlyRewriteIsPrecise) {
+  // The same program with the worklist kept in locals (the SCMP
+  // rewrite) is analyzed precisely: the bug is still found, and a
+  // fixed variant verifies.
+  const char *LocalBuggy = R"(
+    class Make {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add();
+        i.next();
+      }
+    }
+  )";
+  const char *LocalFixed = R"(
+    class Make {
+      void main() {
+        Set s = new Set();
+        s.add();
+        Iterator i = s.iterator();
+        i.next();
+      }
+    }
+  )";
+  CertificationReport Buggy = run(EngineKind::SCMPIntra, LocalBuggy);
+  EXPECT_EQ(Buggy.numFlagged(), 1u);
+  CertificationReport Fixed = run(EngineKind::SCMPIntra, LocalFixed);
+  EXPECT_EQ(Fixed.numFlagged(), 0u);
+}
+
+TEST(HeapClientTest, OpaqueReceiverMethodsDoNotCrash) {
+  // Calls on opaque (non-spec, non-client) types are ignored safely.
+  CertificationReport R = run(EngineKind::SCMPIntra, R"(
+    class M {
+      void main() {
+        Object o = null;
+        Set s = new Set();
+        Iterator i = s.iterator();
+        o.toString();
+        i.next();
+      }
+    }
+  )");
+  EXPECT_EQ(R.numFlagged(), 0u) << R.str();
+}
+
+} // namespace

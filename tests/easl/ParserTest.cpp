@@ -1,0 +1,209 @@
+#include "easl/Parser.h"
+
+#include "easl/Builtins.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::easl;
+
+namespace {
+
+Spec parseOK(const char *Src) {
+  DiagnosticEngine Diags;
+  Spec S = parseSpec(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return S;
+}
+
+TEST(EaslParserTest, ParsesEmptyClass) {
+  Spec S = parseOK("class Version { }");
+  ASSERT_EQ(S.Classes.size(), 1u);
+  EXPECT_EQ(S.Classes[0].Name, "Version");
+  EXPECT_TRUE(S.Classes[0].Fields.empty());
+  EXPECT_TRUE(S.Classes[0].Methods.empty());
+}
+
+TEST(EaslParserTest, ParsesFieldsAndMethods) {
+  Spec S = parseOK(R"(
+    class A { }
+    class B {
+      A f;
+      B() { f = new A(); }
+      void m() { }
+      A get() { return f; }
+    }
+  )");
+  const ClassDecl *B = S.findClass("B");
+  ASSERT_NE(B, nullptr);
+  ASSERT_EQ(B->Fields.size(), 1u);
+  EXPECT_EQ(B->Fields[0].Type, "A");
+  ASSERT_NE(B->constructor(), nullptr);
+  ASSERT_NE(B->findMethod("m"), nullptr);
+  const MethodDecl *Get = B->findMethod("get");
+  ASSERT_NE(Get, nullptr);
+  EXPECT_EQ(Get->ReturnType, "A");
+}
+
+TEST(EaslParserTest, ParsesRequiresWithComparison) {
+  Spec S = parseOK(R"(
+    class A {
+      A next;
+      void m(A other) { requires (next == other.next); }
+    }
+  )");
+  const MethodDecl *M = S.findClass("A")->findMethod("m");
+  ASSERT_EQ(M->Body.size(), 1u);
+  const auto *Req = dyn_cast<RequiresStmt>(M->Body[0].get());
+  ASSERT_NE(Req, nullptr);
+  const auto *Cmp = dyn_cast<CompareExpr>(Req->Cond.get());
+  ASSERT_NE(Cmp, nullptr);
+  EXPECT_FALSE(Cmp->Negated);
+  EXPECT_EQ(Cmp->Lhs.str(), "next");
+  EXPECT_EQ(Cmp->Rhs.str(), "other.next");
+}
+
+TEST(EaslParserTest, ParsesBooleanOperators) {
+  Spec S = parseOK(R"(
+    class A {
+      A f;
+      void m(A x) { requires (f == x && !(f != x) || true); }
+    }
+  )");
+  const MethodDecl *M = S.findClass("A")->findMethod("m");
+  const auto *Req = cast<RequiresStmt>(M->Body[0].get());
+  EXPECT_EQ(Req->Cond->getKind(), Expr::Kind::Or);
+}
+
+TEST(EaslParserTest, ParsesNewWithArguments) {
+  Spec S = parseOK(R"(
+    class A { A peer; A(A p) { peer = p; } }
+    class B {
+      A make(A x) { return new A(x); }
+    }
+  )");
+  const MethodDecl *M = S.findClass("B")->findMethod("make");
+  const auto *Ret = cast<ReturnStmt>(M->Body[0].get());
+  EXPECT_TRUE(Ret->Value.isNew());
+  EXPECT_EQ(Ret->Value.NewType, "A");
+  ASSERT_EQ(Ret->Value.Args.size(), 1u);
+  EXPECT_EQ(Ret->Value.Args[0].str(), "x");
+}
+
+TEST(EaslParserTest, ReportsSyntaxError) {
+  DiagnosticEngine Diags;
+  parseSpec("class { }", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(EaslParserTest, SkipsComments) {
+  Spec S = parseOK(R"(
+    // line comment
+    class A { /* block
+                 comment */ }
+  )");
+  EXPECT_EQ(S.Classes.size(), 1u);
+}
+
+TEST(EaslCheckerTest, AcceptsCMPSpec) {
+  DiagnosticEngine Diags;
+  Spec S = parseSpec(cmpSpecSource(), Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_TRUE(checkSpec(S, Diags)) << Diags.str();
+}
+
+TEST(EaslCheckerTest, AcceptsAllBuiltinSpecs) {
+  for (const char *Src : {cmpSpecSource(), grpSpecSource(), impSpecSource(),
+                          aopSpecSource()}) {
+    DiagnosticEngine Diags;
+    Spec S = parseSpec(Src, Diags);
+    ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+    EXPECT_TRUE(checkSpec(S, Diags)) << Diags.str();
+  }
+}
+
+TEST(EaslCheckerTest, RejectsUnknownFieldType) {
+  DiagnosticEngine Diags;
+  Spec S = parseSpec("class A { Bogus f; }", Diags);
+  EXPECT_FALSE(checkSpec(S, Diags));
+}
+
+TEST(EaslCheckerTest, RejectsDuplicateClass) {
+  DiagnosticEngine Diags;
+  Spec S = parseSpec("class A { } class A { }", Diags);
+  EXPECT_FALSE(checkSpec(S, Diags));
+}
+
+TEST(EaslCheckerTest, RejectsUnresolvedPath) {
+  DiagnosticEngine Diags;
+  Spec S = parseSpec(R"(
+    class A {
+      A f;
+      void m() { f = nosuch; }
+    }
+  )", Diags);
+  EXPECT_FALSE(checkSpec(S, Diags));
+}
+
+TEST(EaslCheckerTest, RejectsTypeMismatchedAssignment) {
+  DiagnosticEngine Diags;
+  Spec S = parseSpec(R"(
+    class A { }
+    class B {
+      A f;
+      B other;
+      void m() { f = other; }
+    }
+  )", Diags);
+  EXPECT_FALSE(checkSpec(S, Diags));
+}
+
+TEST(EaslCheckerTest, WarnsOnLateRequires) {
+  DiagnosticEngine Diags;
+  Spec S = parseSpec(R"(
+    class A {
+      A f;
+      void m(A x) { f = x; requires (f == x); }
+    }
+  )", Diags);
+  EXPECT_TRUE(checkSpec(S, Diags));
+  bool SawWarning = false;
+  for (const Diagnostic &D : Diags.diagnostics())
+    SawWarning |= D.Kind == DiagKind::Warning;
+  EXPECT_TRUE(SawWarning);
+}
+
+TEST(EaslCheckerTest, RejectsCtorArgumentCountMismatch) {
+  DiagnosticEngine Diags;
+  Spec S = parseSpec(R"(
+    class A { A peer; A(A p) { peer = p; } }
+    class B {
+      A m() { return new A(); }
+    }
+  )", Diags);
+  EXPECT_FALSE(checkSpec(S, Diags));
+}
+
+TEST(MethodScopeTest, ResolvesImplicitThisField) {
+  Spec S = parseOK(R"(
+    class V { }
+    class A {
+      V f;
+      void m(V p) { }
+    }
+  )");
+  const ClassDecl *A = S.findClass("A");
+  MethodScope Scope(S, *A, *A->findMethod("m"));
+  std::string Type;
+  EXPECT_EQ(Scope.classifyRoot("this", Type), MethodScope::RootKind::This);
+  EXPECT_EQ(Type, "A");
+  EXPECT_EQ(Scope.classifyRoot("p", Type), MethodScope::RootKind::Param);
+  EXPECT_EQ(Type, "V");
+  EXPECT_EQ(Scope.classifyRoot("f", Type),
+            MethodScope::RootKind::ImplicitThisField);
+  EXPECT_EQ(Type, "V");
+  EXPECT_EQ(Scope.classifyRoot("zzz", Type), MethodScope::RootKind::Unknown);
+}
+
+} // namespace

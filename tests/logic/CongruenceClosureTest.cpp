@@ -1,0 +1,125 @@
+#include "logic/CongruenceClosure.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+
+namespace {
+
+Path V(const char *Name) { return Path::var(Name, "T"); }
+Literal Eq(Path A, Path B) { return Literal(false, std::move(A), std::move(B)); }
+Literal Ne(Path A, Path B) { return Literal(true, std::move(A), std::move(B)); }
+
+TEST(CongruenceClosureTest, TransitivityOfEquality) {
+  CongruenceClosure CC;
+  CC.assume(Eq(V("a"), V("b")));
+  CC.assume(Eq(V("b"), V("c")));
+  EXPECT_TRUE(CC.provesEqual(V("a"), V("c")));
+  EXPECT_FALSE(CC.provesEqual(V("a"), V("d")));
+}
+
+TEST(CongruenceClosureTest, CongruencePropagatesThroughFields) {
+  CongruenceClosure CC;
+  CC.assume(Eq(V("i"), V("j")));
+  EXPECT_TRUE(CC.provesEqual(V("i").withField("set"), V("j").withField("set")));
+  EXPECT_TRUE(CC.provesEqual(V("i").withField("set").withField("ver"),
+                             V("j").withField("set").withField("ver")));
+}
+
+TEST(CongruenceClosureTest, CongruenceOnLaterCreatedTerms) {
+  // Terms first mentioned after the merge still land in the right class.
+  CongruenceClosure CC;
+  CC.assume(Eq(V("x").withField("f"), V("y")));
+  CC.assume(Eq(V("x"), V("z")));
+  EXPECT_TRUE(CC.provesEqual(V("z").withField("f"), V("y")));
+}
+
+TEST(CongruenceClosureTest, DisequalityMakesInconsistent) {
+  CongruenceClosure CC;
+  CC.assume(Eq(V("a"), V("b")));
+  CC.assume(Ne(V("a"), V("b")));
+  EXPECT_FALSE(CC.isConsistent());
+}
+
+TEST(CongruenceClosureTest, CongruenceDrivenInconsistency) {
+  CongruenceClosure CC;
+  CC.assume(Eq(V("i"), V("j")));
+  CC.assume(Ne(V("i").withField("set"), V("j").withField("set")));
+  EXPECT_FALSE(CC.isConsistent());
+}
+
+TEST(CongruenceClosureTest, DisequalitiesDoNotMerge) {
+  CongruenceClosure CC;
+  CC.assume(Ne(V("a"), V("b")));
+  CC.assume(Ne(V("b"), V("c")));
+  EXPECT_TRUE(CC.isConsistent());
+  EXPECT_FALSE(CC.provesEqual(V("a"), V("c")));
+}
+
+TEST(ConjunctionImpliesTest, EqualityEntailment) {
+  Conjunction A{Eq(V("a"), V("b")), Eq(V("b"), V("c"))};
+  EXPECT_TRUE(conjunctionImplies(A, Eq(V("a"), V("c"))));
+  EXPECT_FALSE(conjunctionImplies(A, Eq(V("a"), V("d"))));
+}
+
+TEST(ConjunctionImpliesTest, DisequalityEntailment) {
+  // a != b and b == c entail a != c.
+  Conjunction A{Ne(V("a"), V("b")), Eq(V("b"), V("c"))};
+  EXPECT_TRUE(conjunctionImplies(A, Ne(V("a"), V("c"))));
+  EXPECT_FALSE(conjunctionImplies(A, Ne(V("b"), V("c"))));
+}
+
+TEST(ConjunctionImpliesTest, InconsistentAssumptionsEntailAnything) {
+  Conjunction A{Eq(V("a"), V("b")), Ne(V("a"), V("b"))};
+  EXPECT_TRUE(conjunctionImplies(A, Eq(V("x"), V("y"))));
+}
+
+TEST(ConjunctionImpliesTest, ThePaperStaleSimplification) {
+  // Under the remove() precondition this.defVer == this.set.ver, the
+  // disjunct (q != this && q.defVer != q.set.ver) entails q != this:
+  // if q == this, congruence forces q.defVer == q.set.ver.
+  Path QDef = V("q").withField("defVer");
+  Path QVer = V("q").withField("set").withField("ver");
+  Path TDef = V("this").withField("defVer");
+  Path TVer = V("this").withField("set").withField("ver");
+  Conjunction Assume{Ne(QDef, QVer), Eq(TDef, TVer)};
+  EXPECT_TRUE(conjunctionImplies(Assume, Ne(V("q"), V("this"))));
+}
+
+TEST(SimplifyDisjunctTest, DropsEntailedLiterals) {
+  Conjunction C{Eq(V("a"), V("b")), Eq(V("b"), V("c")), Eq(V("a"), V("c"))};
+  ASSERT_TRUE(simplifyDisjunct(C, Conjunction()));
+  EXPECT_EQ(C.size(), 2u);
+}
+
+TEST(SimplifyDisjunctTest, ReportsInconsistencyWithContext) {
+  Conjunction C{Ne(V("a"), V("b"))};
+  Conjunction Context{Eq(V("a"), V("b"))};
+  EXPECT_FALSE(simplifyDisjunct(C, Context));
+}
+
+TEST(SimplifyDisjunctTest, UsesContextToDropLiterals) {
+  // Context a == b lets the literal a == b be dropped from the disjunct.
+  Conjunction C{Eq(V("a"), V("b")), Ne(V("c"), V("d"))};
+  Conjunction Context{Eq(V("a"), V("b"))};
+  ASSERT_TRUE(simplifyDisjunct(C, Context));
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0].str(), "c != d");
+}
+
+TEST(SimplifyDisjunctTest, PaperRemoveCase) {
+  // The WP disjunct (q != this && stale(q)) under the remove()
+  // precondition simplifies to stale(q) alone — this is what makes the
+  // derived update formula match Fig. 5.
+  Path QDef = V("q").withField("defVer");
+  Path QVer = V("q").withField("set").withField("ver");
+  Path TDef = V("this").withField("defVer");
+  Path TVer = V("this").withField("set").withField("ver");
+  Conjunction C{Ne(V("q"), V("this")), Ne(QDef, QVer)};
+  Conjunction Context{Eq(TDef, TVer)};
+  ASSERT_TRUE(simplifyDisjunct(C, Context));
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0].str(), "q.defVer != q.set.ver");
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+#include "logic/Formula.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+
+namespace {
+
+Path V(const char *Name) { return Path::var(Name, "T"); }
+
+TEST(FormulaTest, EqOfIdenticalPathsFoldsToTrue) {
+  EXPECT_TRUE(Formula::eq(V("x"), V("x"))->isTrue());
+  EXPECT_TRUE(Formula::ne(V("x"), V("x"))->isFalse());
+}
+
+TEST(FormulaTest, EqCanonicalizesOperandOrder) {
+  FormulaRef A = Formula::eq(V("x"), V("y"));
+  FormulaRef B = Formula::eq(V("y"), V("x"));
+  EXPECT_EQ(A->str(), B->str());
+}
+
+TEST(FormulaTest, DoubleNegationCancels) {
+  FormulaRef E = Formula::eq(V("x"), V("y"));
+  EXPECT_EQ(Formula::notOf(Formula::notOf(E))->str(), E->str());
+}
+
+TEST(FormulaTest, AndOrConstantFolding) {
+  FormulaRef E = Formula::eq(V("x"), V("y"));
+  EXPECT_EQ(Formula::andOf(E, Formula::getTrue())->str(), E->str());
+  EXPECT_TRUE(Formula::andOf(E, Formula::getFalse())->isFalse());
+  EXPECT_EQ(Formula::orOf(E, Formula::getFalse())->str(), E->str());
+  EXPECT_TRUE(Formula::orOf(E, Formula::getTrue())->isTrue());
+}
+
+TEST(FormulaTest, NestedConjunctionsFlatten) {
+  FormulaRef E1 = Formula::eq(V("a"), V("b"));
+  FormulaRef E2 = Formula::eq(V("c"), V("d"));
+  FormulaRef E3 = Formula::eq(V("e"), V("f"));
+  FormulaRef Nested = Formula::andOf(E1, Formula::andOf(E2, E3));
+  ASSERT_EQ(Nested->getKind(), Formula::Kind::And);
+  EXPECT_EQ(Nested->operands().size(), 3u);
+}
+
+TEST(FormulaTest, DuplicateOperandsMerge) {
+  FormulaRef E = Formula::eq(V("a"), V("b"));
+  FormulaRef F = Formula::andOf(E, E);
+  EXPECT_EQ(F->str(), E->str());
+}
+
+TEST(FormulaTest, StrRendersNeAtoms) {
+  FormulaRef F = Formula::ne(V("a"), V("b"));
+  EXPECT_EQ(F->str(), "a != b");
+}
+
+TEST(DNFTest, AtomIsSingleton) {
+  auto D = toDNF(Formula::eq(V("a"), V("b")));
+  ASSERT_EQ(D.size(), 1u);
+  ASSERT_EQ(D[0].size(), 1u);
+  EXPECT_EQ(D[0][0].str(), "a == b");
+}
+
+TEST(DNFTest, TrueAndFalse) {
+  auto T = toDNF(Formula::getTrue());
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].empty());
+  EXPECT_TRUE(toDNF(Formula::getFalse()).empty());
+}
+
+TEST(DNFTest, DistributesAndOverOr) {
+  // (a==b || c==d) && e==f  =>  two disjuncts.
+  FormulaRef F = Formula::andOf(
+      Formula::orOf(Formula::eq(V("a"), V("b")), Formula::eq(V("c"), V("d"))),
+      Formula::eq(V("e"), V("f")));
+  auto D = toDNF(F);
+  ASSERT_EQ(D.size(), 2u);
+  EXPECT_EQ(D[0].size(), 2u);
+  EXPECT_EQ(D[1].size(), 2u);
+}
+
+TEST(DNFTest, NegationPushesInward) {
+  // !(a==b && c==d) => a!=b || c!=d.
+  FormulaRef F = Formula::notOf(Formula::andOf(Formula::eq(V("a"), V("b")),
+                                               Formula::eq(V("c"), V("d"))));
+  auto D = toDNF(F);
+  ASSERT_EQ(D.size(), 2u);
+  EXPECT_TRUE(D[0][0].Negated);
+  EXPECT_TRUE(D[1][0].Negated);
+}
+
+TEST(DNFTest, DropsContradictoryDisjuncts) {
+  FormulaRef E = Formula::eq(V("a"), V("b"));
+  FormulaRef F = Formula::andOf(E, Formula::notOf(E));
+  EXPECT_TRUE(toDNF(F).empty());
+}
+
+TEST(DNFTest, RoundTripThroughFromDNF) {
+  FormulaRef F = Formula::orOf(
+      Formula::andOf(Formula::eq(V("a"), V("b")), Formula::ne(V("c"), V("d"))),
+      Formula::eq(V("e"), V("f")));
+  EXPECT_EQ(fromDNF(toDNF(F))->str(), F->str());
+}
+
+TEST(ConjunctionTest, NormalizeSortsAndDedupes) {
+  Conjunction C;
+  C.emplace_back(false, V("c"), V("d"));
+  C.emplace_back(false, V("a"), V("b"));
+  C.emplace_back(false, V("a"), V("b"));
+  EXPECT_TRUE(normalizeConjunction(C));
+  ASSERT_EQ(C.size(), 2u);
+  EXPECT_EQ(conjunctionStr(C), "a == b && c == d");
+}
+
+TEST(ConjunctionTest, NormalizeDetectsComplementaryPair) {
+  Conjunction C;
+  C.emplace_back(false, V("a"), V("b"));
+  C.emplace_back(true, V("a"), V("b"));
+  EXPECT_FALSE(normalizeConjunction(C));
+}
+
+TEST(ConjunctionTest, NormalizeDropsReflexiveEquality) {
+  Conjunction C;
+  C.emplace_back(false, V("a"), V("a"));
+  EXPECT_TRUE(normalizeConjunction(C));
+  EXPECT_TRUE(C.empty());
+  EXPECT_EQ(conjunctionStr(C), "true");
+}
+
+TEST(ConjunctionTest, NormalizeDetectsReflexiveDisequality) {
+  Conjunction C;
+  C.emplace_back(true, V("a"), V("a"));
+  EXPECT_FALSE(normalizeConjunction(C));
+}
+
+TEST(LiteralTest, ConstructorOrdersOperands) {
+  Literal L(false, V("z"), V("a"));
+  EXPECT_EQ(L.str(), "a == z");
+}
+
+} // namespace

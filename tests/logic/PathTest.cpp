@@ -1,0 +1,74 @@
+#include "logic/Path.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+
+namespace {
+
+TEST(PathTest, RendersDottedForm) {
+  Path P = Path::var("i", "Iterator").withField("set").withField("ver");
+  EXPECT_EQ(P.str(), "i.set.ver");
+  EXPECT_EQ(P.rootType(), "Iterator");
+  EXPECT_EQ(P.length(), 2u);
+}
+
+TEST(PathTest, FreshHandlesRenderWithMarker) {
+  Path P = Path::fresh(3, "Version");
+  EXPECT_EQ(P.str(), "%new3");
+  EXPECT_TRUE(P.isFreshRooted());
+}
+
+TEST(PathTest, ParentAndLastField) {
+  Path P = Path::var("i", "Iterator").withField("set").withField("ver");
+  EXPECT_EQ(P.parent().str(), "i.set");
+  EXPECT_EQ(P.lastField(), "ver");
+}
+
+TEST(PathTest, StartsWith) {
+  Path Base = Path::var("i", "Iterator");
+  Path P = Base.withField("set").withField("ver");
+  EXPECT_TRUE(P.startsWith(Base));
+  EXPECT_TRUE(P.startsWith(Base.withField("set")));
+  EXPECT_TRUE(P.startsWith(P));
+  EXPECT_FALSE(P.startsWith(Base.withField("defVer")));
+  EXPECT_FALSE(P.startsWith(Path::var("j", "Iterator")));
+  EXPECT_FALSE(Base.startsWith(P));
+}
+
+TEST(PathTest, StartsWithDistinguishesFreshFromVar) {
+  Path V = Path::var("%new0", "Set");
+  Path F = Path::fresh(0, "Set");
+  EXPECT_FALSE(V.startsWith(F));
+  EXPECT_FALSE(F.startsWith(V));
+  EXPECT_TRUE(F.startsWith(F));
+}
+
+TEST(PathTest, ReplacePrefix) {
+  Path P = Path::var("i", "Iterator").withField("set").withField("ver");
+  Path Repl = Path::var("v", "Set");
+  Path Out = P.replacePrefix(Path::var("i", "Iterator").withField("set"), Repl);
+  EXPECT_EQ(Out.str(), "v.ver");
+
+  Path Out2 = P.replacePrefix(Path::var("i", "Iterator"),
+                              Path::var("j", "Iterator"));
+  EXPECT_EQ(Out2.str(), "j.set.ver");
+}
+
+TEST(PathTest, CompareIsLexicographic) {
+  Path A = Path::var("i", "Iterator");
+  Path B = Path::var("i", "Iterator").withField("set");
+  Path C = Path::var("j", "Iterator");
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, C);
+  EXPECT_LT(A, C);
+  EXPECT_FALSE(A < A);
+}
+
+TEST(PathTest, EqualityIncludesRootKind) {
+  EXPECT_EQ(Path::var("x", "T"), Path::var("x", "T"));
+  EXPECT_NE(Path::fresh(0, "T"), Path::fresh(1, "T"));
+  EXPECT_NE(Path::var("%new0", "T"), Path::fresh(0, "T"));
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+#include "support/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+
+namespace {
+
+std::vector<Token> lexOK(const char *Src) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Ts = lexSource(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Ts;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto Ts = lexOK("");
+  ASSERT_EQ(Ts.size(), 1u);
+  EXPECT_TRUE(Ts[0].is(TokenKind::End));
+}
+
+TEST(LexerTest, IdentifiersAndPunctuation) {
+  auto Ts = lexOK("i.set == v");
+  ASSERT_EQ(Ts.size(), 6u);
+  EXPECT_TRUE(Ts[0].isKeyword("i"));
+  EXPECT_TRUE(Ts[1].isPunct("."));
+  EXPECT_TRUE(Ts[2].isKeyword("set"));
+  EXPECT_TRUE(Ts[3].isPunct("=="));
+  EXPECT_TRUE(Ts[4].isKeyword("v"));
+}
+
+TEST(LexerTest, TwoCharPunctuatorsBindTightly) {
+  auto Ts = lexOK("!= && || == =");
+  EXPECT_TRUE(Ts[0].isPunct("!="));
+  EXPECT_TRUE(Ts[1].isPunct("&&"));
+  EXPECT_TRUE(Ts[2].isPunct("||"));
+  EXPECT_TRUE(Ts[3].isPunct("=="));
+  EXPECT_TRUE(Ts[4].isPunct("="));
+}
+
+TEST(LexerTest, LineAndBlockComments) {
+  auto Ts = lexOK("a // comment == b\n/* c\n d */ e");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[1].Text, "e");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine Diags;
+  lexSource("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto Ts = lexOK("log(\"hello world\")");
+  ASSERT_EQ(Ts.size(), 5u);
+  EXPECT_TRUE(Ts[2].is(TokenKind::String));
+  EXPECT_EQ(Ts[2].Text, "hello world");
+}
+
+TEST(LexerTest, Numbers) {
+  auto Ts = lexOK("x 42 y");
+  EXPECT_TRUE(Ts[1].is(TokenKind::Number));
+  EXPECT_EQ(Ts[1].Text, "42");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto Ts = lexOK("a\n  b");
+  EXPECT_EQ(Ts[0].Loc.Line, 1u);
+  EXPECT_EQ(Ts[0].Loc.Col, 1u);
+  EXPECT_EQ(Ts[1].Loc.Line, 2u);
+  EXPECT_EQ(Ts[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, UnknownCharacterReportedAndSkipped) {
+  DiagnosticEngine Diags;
+  auto Ts = lexSource("a # b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Ts.size(), 3u); // a, b, End.
+}
+
+TEST(DiagnosticsTest, RendersKindAndLocation) {
+  DiagnosticEngine Diags;
+  Diags.error({3, 7}, "bad thing");
+  Diags.warning({1, 1}, "odd thing");
+  Diags.note(SourceLoc(), "context");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  std::string S = Diags.str();
+  EXPECT_NE(S.find("3:7: error: bad thing"), std::string::npos);
+  EXPECT_NE(S.find("1:1: warning: odd thing"), std::string::npos);
+  EXPECT_NE(S.find("<unknown>: note: context"), std::string::npos);
+}
+
+} // namespace

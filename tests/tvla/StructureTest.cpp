@@ -1,0 +1,173 @@
+#include "tvla/Structure.h"
+
+#include "client/Parser.h"
+#include "easl/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::tvla;
+
+namespace {
+
+/// A small vocabulary: one type pred, two var preds, one unary and one
+/// binary instrumentation pred.
+class StructureTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+    DiagnosticEngine Diags;
+    Abs = wp::deriveAbstraction(Spec, Diags);
+    Prog = cj::parseProgram(R"(
+      class M {
+        void main() {
+          Set v = new Set();
+          Iterator i = v.iterator();
+          Iterator j = v.iterator();
+        }
+      }
+    )", Diags);
+    CFG = cj::buildCFG(Prog, Spec, Diags);
+    ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+    Vocab = tvp::buildVocabulary(Abs, *CFG.mainCFG(), Diags);
+  }
+
+  easl::Spec Spec;
+  wp::DerivedAbstraction Abs;
+  cj::Program Prog;
+  cj::ClientCFG CFG;
+  tvp::Vocabulary Vocab;
+};
+
+TEST_F(StructureTest, VocabularyHasExpectedPredicates) {
+  EXPECT_GE(Vocab.findTypePred("Iterator"), 0);
+  EXPECT_GE(Vocab.findTypePred("Set"), 0);
+  EXPECT_GE(Vocab.findVarPred("i"), 0);
+  EXPECT_GE(Vocab.findVarPred("v"), 0);
+  EXPECT_LT(Vocab.findVarPred("nosuch"), 0);
+  // All four CMP families have arity <= 2.
+  for (int F = 0; F != 4; ++F)
+    EXPECT_GE(Vocab.findInstrPred(F), 0) << Vocab.str();
+}
+
+TEST_F(StructureTest, AddNodeExtendsAllPredicates) {
+  Structure S(Vocab);
+  unsigned A = S.addNode();
+  unsigned B = S.addNode();
+  EXPECT_EQ(S.numNodes(), 2u);
+  int IterType = Vocab.findTypePred("Iterator");
+  EXPECT_EQ(S.unary(IterType, A), Kleene::False);
+  S.setUnary(IterType, A, Kleene::True);
+  EXPECT_EQ(S.unary(IterType, A), Kleene::True);
+  EXPECT_EQ(S.unary(IterType, B), Kleene::False);
+}
+
+TEST_F(StructureTest, NodeEqRespectsSummary) {
+  Structure S(Vocab);
+  unsigned A = S.addNode();
+  unsigned B = S.addNode();
+  EXPECT_EQ(S.nodeEq(A, B), Kleene::False);
+  EXPECT_EQ(S.nodeEq(A, A), Kleene::True);
+  S.setSummary(A, true);
+  EXPECT_EQ(S.nodeEq(A, A), Kleene::Half);
+}
+
+TEST_F(StructureTest, BlurMergesIndistinguishableNodes) {
+  Structure S(Vocab);
+  int IterType = Vocab.findTypePred("Iterator");
+  // Two unpointed iterators with identical unary values merge.
+  unsigned A = S.addNode();
+  unsigned B = S.addNode();
+  S.setUnary(IterType, A, Kleene::True);
+  S.setUnary(IterType, B, Kleene::True);
+  S.blur(Vocab);
+  ASSERT_EQ(S.numNodes(), 1u);
+  EXPECT_TRUE(S.isSummary(0));
+}
+
+TEST_F(StructureTest, BlurKeepsDistinguishedNodesApart) {
+  Structure S(Vocab);
+  int IterType = Vocab.findTypePred("Iterator");
+  int PtI = Vocab.findVarPred("i");
+  unsigned A = S.addNode();
+  unsigned B = S.addNode();
+  S.setUnary(IterType, A, Kleene::True);
+  S.setUnary(IterType, B, Kleene::True);
+  S.setUnary(PtI, A, Kleene::True); // i points to A only.
+  S.blur(Vocab);
+  EXPECT_EQ(S.numNodes(), 2u);
+  EXPECT_FALSE(S.isSummary(0));
+  EXPECT_FALSE(S.isSummary(1));
+}
+
+TEST_F(StructureTest, BlurJoinsBinaryValues) {
+  Structure S(Vocab);
+  int IterType = Vocab.findTypePred("Iterator");
+  int Mutx = -1;
+  for (size_t P = 0; P != Vocab.Preds.size(); ++P)
+    if (Vocab.Preds[P].K == tvp::Pred::Kind::Instr &&
+        Vocab.Preds[P].Arity == 2 &&
+        Abs.Families[Vocab.Preds[P].Family].VarTypes[0] == "Iterator")
+      Mutx = static_cast<int>(P);
+  ASSERT_GE(Mutx, 0);
+  unsigned A = S.addNode();
+  unsigned B = S.addNode();
+  unsigned C = S.addNode();
+  S.setUnary(IterType, A, Kleene::True);
+  S.setUnary(IterType, B, Kleene::True);
+  S.setUnary(IterType, C, Kleene::True);
+  S.setBinary(Mutx, A, C, Kleene::True);
+  S.setBinary(Mutx, B, C, Kleene::False);
+  S.blur(Vocab);
+  // A, B, C merge into one summary node; mutx joins 1 and 0 to 1/2.
+  ASSERT_EQ(S.numNodes(), 1u);
+  EXPECT_EQ(S.binary(Mutx, 0, 0), Kleene::Half);
+}
+
+TEST_F(StructureTest, CanonicalStrIsStableUnderNodeOrder) {
+  int IterType = Vocab.findTypePred("Iterator");
+  int PtI = Vocab.findVarPred("i");
+
+  Structure S1(Vocab);
+  unsigned A1 = S1.addNode();
+  unsigned B1 = S1.addNode();
+  S1.setUnary(IterType, A1, Kleene::True);
+  S1.setUnary(IterType, B1, Kleene::True);
+  S1.setUnary(PtI, A1, Kleene::True);
+
+  Structure S2(Vocab);
+  unsigned A2 = S2.addNode();
+  unsigned B2 = S2.addNode();
+  S2.setUnary(IterType, A2, Kleene::True);
+  S2.setUnary(IterType, B2, Kleene::True);
+  S2.setUnary(PtI, B2, Kleene::True); // Same shape, different node order.
+
+  S1.blur(Vocab);
+  S2.blur(Vocab);
+  EXPECT_EQ(S1.canonicalStr(Vocab), S2.canonicalStr(Vocab));
+}
+
+TEST_F(StructureTest, JoinUnionsUniversesByKey) {
+  int IterType = Vocab.findTypePred("Iterator");
+  int PtI = Vocab.findVarPred("i");
+  int PtJ = Vocab.findVarPred("j");
+
+  Structure S1(Vocab);
+  unsigned A = S1.addNode();
+  S1.setUnary(IterType, A, Kleene::True);
+  S1.setUnary(PtI, A, Kleene::True);
+  S1.blur(Vocab);
+
+  Structure S2(Vocab);
+  unsigned B = S2.addNode();
+  S2.setUnary(IterType, B, Kleene::True);
+  S2.setUnary(PtJ, B, Kleene::True);
+  S2.blur(Vocab);
+
+  EXPECT_TRUE(S1.joinWith(S2, Vocab));
+  EXPECT_EQ(S1.numNodes(), 2u);
+  // Joining again changes nothing (idempotent).
+  EXPECT_FALSE(S1.joinWith(S2, Vocab));
+}
+
+} // namespace

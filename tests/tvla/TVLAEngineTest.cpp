@@ -1,0 +1,203 @@
+//===----------------------------------------------------------------------===//
+// Tests for the first-order certification engine (Section 5), in both
+// the relational and the independent-attribute configuration.
+//===----------------------------------------------------------------------===//
+
+#include "tvla/Certify.h"
+
+#include "client/Parser.h"
+#include "easl/Builtins.h"
+#include "tvp/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::tvla;
+
+namespace {
+
+TVLAResult run(const char *ClientSrc, bool Relational,
+               const char *SpecSrc = nullptr) {
+  easl::Spec Spec =
+      easl::parseBuiltinSpec(SpecSrc ? SpecSrc : easl::cmpSpecSource());
+  DiagnosticEngine Diags;
+  wp::DerivedAbstraction Abs = wp::deriveAbstraction(Spec, Diags);
+  cj::Program Prog = cj::parseProgram(ClientSrc, Diags);
+  cj::ClientCFG CFG = cj::buildCFG(Prog, Spec, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return certifyWithTVLA(Spec, Abs, *CFG.mainCFG(), Relational, Diags);
+}
+
+std::vector<bp::CheckOutcome> outcomes(const TVLAResult &R) {
+  std::vector<bp::CheckOutcome> O;
+  for (const auto &C : R.Checks)
+    O.push_back(C.Outcome);
+  return O;
+}
+
+class TVLAModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TVLAModeTest, Fig3Verdicts) {
+  TVLAResult R = run(R"(
+    class Fig3 {
+      void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (*) { i2.next(); }
+        if (*) { i3.next(); }
+        v.add();
+        if (*) { i1.next(); }
+      }
+    }
+  )", GetParam());
+  auto O = outcomes(R);
+  ASSERT_EQ(O.size(), 5u);
+  EXPECT_EQ(O[0], bp::CheckOutcome::Safe);
+  EXPECT_EQ(O[1], bp::CheckOutcome::Safe);
+  EXPECT_EQ(O[2], bp::CheckOutcome::Definite);
+  EXPECT_EQ(O[3], bp::CheckOutcome::Safe); // No false alarm at i3 (Fig. 8).
+  EXPECT_EQ(O[4], bp::CheckOutcome::Definite);
+}
+
+TEST_P(TVLAModeTest, VersionedLoopCertified) {
+  TVLAResult R = run(R"(
+    class Loop {
+      void main() {
+        Set s = new Set();
+        while (*) {
+          s.add();
+          Iterator i = s.iterator();
+          while (*) { i.next(); }
+        }
+      }
+    }
+  )", GetParam());
+  for (bp::CheckOutcome O : outcomes(R))
+    EXPECT_EQ(O, bp::CheckOutcome::Safe);
+}
+
+TEST_P(TVLAModeTest, SummarizedStaleIteratorsStaySummarized) {
+  // Iterators abandoned in a loop accumulate into a summary node; the
+  // live iterator must stay distinguished and verified.
+  TVLAResult R = run(R"(
+    class Churn {
+      void main() {
+        Set s = new Set();
+        Iterator live = s.iterator();
+        while (*) {
+          Iterator dead = s.iterator();
+        }
+        live.next();
+      }
+    }
+  )", GetParam());
+  auto O = outcomes(R);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0], bp::CheckOutcome::Safe);
+}
+
+TEST_P(TVLAModeTest, HavocIsConservative) {
+  TVLAResult R = run(R"(
+    class Nully {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        if (*) { i = null; }
+        s.add();
+        i.next();
+      }
+    }
+  )", GetParam());
+  auto O = outcomes(R);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_NE(O[0], bp::CheckOutcome::Safe);
+}
+
+TEST_P(TVLAModeTest, GRPClient) {
+  TVLAResult R = run(R"(
+    class T {
+      void main() {
+        Graph g = new Graph();
+        Traversal t1 = g.traverse();
+        Traversal t2 = g.traverse();
+        t2.visitNext();
+        t1.visitNext();
+      }
+    }
+  )", GetParam(), easl::grpSpecSource());
+  auto O = outcomes(R);
+  ASSERT_EQ(O.size(), 2u);
+  EXPECT_EQ(O[0], bp::CheckOutcome::Safe);
+  EXPECT_EQ(O[1], bp::CheckOutcome::Definite);
+}
+
+TEST_P(TVLAModeTest, UnreachableChecksReported) {
+  TVLAResult R = run(R"(
+    class Dead {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        return;
+        i.next();
+      }
+    }
+  )", GetParam());
+  auto O = outcomes(R);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0], bp::CheckOutcome::Unreachable);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, TVLAModeTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &Info) {
+                           return Info.param ? "Relational" : "Independent";
+                         });
+
+TEST(TVLAEngineTest, RelationalTracksMultipleStructures) {
+  TVLAResult Rel = run(R"(
+    class Branchy {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        if (*) { s.add(); }
+        i.next();
+      }
+    }
+  )", /*Relational=*/true);
+  // After the branch the relational engine holds two structures.
+  EXPECT_GE(Rel.MaxStructuresPerPoint, 2u);
+  ASSERT_EQ(Rel.Checks.size(), 1u);
+  EXPECT_EQ(Rel.Checks[0].Outcome, bp::CheckOutcome::Potential);
+}
+
+TEST(TVLAEngineTest, IndependentKeepsOneStructure) {
+  TVLAResult Ind = run(R"(
+    class Branchy {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        if (*) { s.add(); }
+        i.next();
+      }
+    }
+  )", /*Relational=*/false);
+  EXPECT_EQ(Ind.MaxStructuresPerPoint, 1u);
+  ASSERT_EQ(Ind.Checks.size(), 1u);
+  EXPECT_EQ(Ind.Checks[0].Outcome, bp::CheckOutcome::Potential);
+}
+
+TEST(TVPTest, RendersTranslations) {
+  easl::Spec Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  DiagnosticEngine Diags;
+  wp::DerivedAbstraction Abs = wp::deriveAbstraction(Spec, Diags);
+  std::string Std = tvp::renderStandardTranslation();
+  EXPECT_NE(Std.find("pt$x(o) := pt$y(o)"), std::string::npos);
+  std::string Spec11 = tvp::renderSpecializedTranslation(Abs);
+  EXPECT_NE(Spec11.find("Fig. 10"), std::string::npos);
+  EXPECT_NE(Spec11.find("pt$this"), std::string::npos) << Spec11;
+}
+
+} // namespace

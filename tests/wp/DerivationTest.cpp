@@ -1,0 +1,293 @@
+//===----------------------------------------------------------------------===//
+// Tests that the automatic abstraction derivation reproduces the paper's
+// Fig. 4 (instrumentation predicates) and Fig. 5 (method abstractions)
+// for CMP, and converges for the Section 2.2 problems.
+//===----------------------------------------------------------------------===//
+
+#include "wp/Abstraction.h"
+
+#include "easl/Builtins.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace canvas;
+using namespace canvas::wp;
+
+namespace {
+
+// The paper's CMP predicate bodies (Fig. 4) in canonical slot naming.
+const char *StaleBody = "$p0.defVer != $p0.set.ver";
+const char *IterofBody = "$p0.set == $p1";
+const char *MutxBody = "$p0 != $p1 && $p0.set == $p1.set";
+const char *SameBody = "$p0 == $p1";
+
+class CMPDerivationTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    Spec = new easl::Spec(easl::parseBuiltinSpec(easl::cmpSpecSource()));
+    DiagnosticEngine Diags;
+    Abs = new DerivedAbstraction(deriveAbstraction(*Spec, Diags));
+    ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  }
+  static void TearDownTestSuite() {
+    delete Abs;
+    delete Spec;
+    Abs = nullptr;
+    Spec = nullptr;
+  }
+
+  /// Index of the family whose body renders as \p Body, or -1.
+  static int familyByBody(const std::string &Body) {
+    for (size_t I = 0; I != Abs->Families.size(); ++I)
+      if (conjunctionStr(Abs->Families[I].Body) == Body)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  static std::string displayName(const std::string &Body) {
+    int I = familyByBody(Body);
+    return I < 0 ? "<none>" : Abs->Families[I].DisplayName;
+  }
+
+  /// Finds the (unique) rule for the given target family/ret pattern.
+  static const UpdateRule *findRule(const MethodAbstraction &M,
+                                    const std::string &Body,
+                                    std::vector<bool> RetSlots) {
+    int Fam = familyByBody(Body);
+    for (const UpdateRule &R : M.Rules)
+      if (R.Family == Fam && R.RetSlots == RetSlots)
+        return &R;
+    return nullptr;
+  }
+
+  static std::set<std::string> sourceStrings(const UpdateRule &R) {
+    std::set<std::string> Out;
+    for (const PredApp &App : R.Sources)
+      Out.insert(App.str(Abs->Families));
+    return Out;
+  }
+
+  static easl::Spec *Spec;
+  static DerivedAbstraction *Abs;
+};
+
+easl::Spec *CMPDerivationTest::Spec = nullptr;
+DerivedAbstraction *CMPDerivationTest::Abs = nullptr;
+
+TEST_F(CMPDerivationTest, ConvergesToExactlyTheFigure4Predicates) {
+  EXPECT_TRUE(Abs->Converged);
+  ASSERT_EQ(Abs->Families.size(), 4u) << Abs->str();
+  EXPECT_NE(familyByBody(StaleBody), -1);
+  EXPECT_NE(familyByBody(IterofBody), -1);
+  EXPECT_NE(familyByBody(MutxBody), -1);
+  EXPECT_NE(familyByBody(SameBody), -1);
+}
+
+TEST_F(CMPDerivationTest, PredicateFamilyTypes) {
+  const PredicateFamily &Stale = Abs->Families[familyByBody(StaleBody)];
+  EXPECT_EQ(Stale.VarTypes, (std::vector<std::string>{"Iterator"}));
+  const PredicateFamily &Iterof = Abs->Families[familyByBody(IterofBody)];
+  EXPECT_EQ(Iterof.VarTypes, (std::vector<std::string>{"Iterator", "Set"}));
+  const PredicateFamily &Mutx = Abs->Families[familyByBody(MutxBody)];
+  EXPECT_EQ(Mutx.VarTypes, (std::vector<std::string>{"Iterator", "Iterator"}));
+  const PredicateFamily &Same = Abs->Families[familyByBody(SameBody)];
+  EXPECT_EQ(Same.VarTypes, (std::vector<std::string>{"Set", "Set"}));
+}
+
+TEST_F(CMPDerivationTest, NextRequiresStaleFalse) {
+  const MethodAbstraction *Next = Abs->findMethod("Iterator", "next");
+  ASSERT_NE(Next, nullptr);
+  ASSERT_EQ(Next->RequiresFalse.size(), 1u);
+  EXPECT_EQ(Next->RequiresFalse[0].first.str(Abs->Families),
+            displayName(StaleBody) + "(this)");
+  // next() mutates nothing: every rule is an identity.
+  for (const UpdateRule &R : Next->Rules)
+    EXPECT_TRUE(R.IsIdentity) << R.str(Abs->Families);
+}
+
+TEST_F(CMPDerivationTest, AddRule_StaleBecomesStaleOrIterof) {
+  // Fig. 5: v.add():  stale_k := stale_k || iterof_{k,v}.
+  const MethodAbstraction *Add = Abs->findMethod("Set", "add");
+  ASSERT_NE(Add, nullptr);
+  const UpdateRule *R = findRule(*Add, StaleBody, {false});
+  ASSERT_NE(R, nullptr);
+  EXPECT_FALSE(R->ConstantTrue);
+  EXPECT_EQ(sourceStrings(*R),
+            (std::set<std::string>{displayName(StaleBody) + "($q0)",
+                                   displayName(IterofBody) + "($q0, this)"}));
+}
+
+TEST_F(CMPDerivationTest, RemoveRule_StaleBecomesStaleOrMutx) {
+  // Fig. 5: i.remove():  stale_j := stale_j || mutx_{j,i}; requires
+  // !stale_i.
+  const MethodAbstraction *Remove = Abs->findMethod("Iterator", "remove");
+  ASSERT_NE(Remove, nullptr);
+  ASSERT_EQ(Remove->RequiresFalse.size(), 1u);
+  EXPECT_EQ(Remove->RequiresFalse[0].first.str(Abs->Families),
+            displayName(StaleBody) + "(this)");
+
+  const UpdateRule *R = findRule(*Remove, StaleBody, {false});
+  ASSERT_NE(R, nullptr);
+  EXPECT_FALSE(R->ConstantTrue);
+  EXPECT_EQ(sourceStrings(*R),
+            (std::set<std::string>{displayName(StaleBody) + "($q0)",
+                                   displayName(MutxBody) + "($q0, this)"}));
+}
+
+TEST_F(CMPDerivationTest, IteratorRules_MatchFigure5) {
+  // Fig. 5: i = v.iterator():
+  //   iterof_{i,z} := same_{v,z};  mutx_{i,k} := iterof_{k,v};
+  //   stale_i := 0.
+  const MethodAbstraction *It = Abs->findMethod("Set", "iterator");
+  ASSERT_NE(It, nullptr);
+
+  const UpdateRule *StaleRet = findRule(*It, StaleBody, {true});
+  ASSERT_NE(StaleRet, nullptr);
+  EXPECT_FALSE(StaleRet->ConstantTrue);
+  EXPECT_TRUE(StaleRet->Sources.empty()) << StaleRet->str(Abs->Families);
+
+  const UpdateRule *IterofRet = findRule(*It, IterofBody, {true, false});
+  ASSERT_NE(IterofRet, nullptr);
+  EXPECT_EQ(sourceStrings(*IterofRet),
+            (std::set<std::string>{displayName(SameBody) + "($q1, this)"}));
+
+  const UpdateRule *MutxRet = findRule(*It, MutxBody, {true, false});
+  ASSERT_NE(MutxRet, nullptr);
+  EXPECT_EQ(sourceStrings(*MutxRet),
+            (std::set<std::string>{displayName(IterofBody) + "($q1, this)"}));
+
+  // Predicates over pre-existing iterators are unaffected.
+  const UpdateRule *StaleQ = findRule(*It, StaleBody, {false});
+  ASSERT_NE(StaleQ, nullptr);
+  EXPECT_TRUE(StaleQ->IsIdentity);
+}
+
+TEST_F(CMPDerivationTest, NewSetRules_MatchFigure5) {
+  // Fig. 5: v = new Set(): same_{v,z} := 0 (z != v), iterof_{k,v} := 0.
+  const MethodAbstraction *New = Abs->findMethod("Set", "new");
+  ASSERT_NE(New, nullptr);
+  EXPECT_FALSE(New->HasThis);
+  EXPECT_TRUE(New->ReturnsValue);
+
+  const UpdateRule *SameRet = findRule(*New, SameBody, {true, false});
+  ASSERT_NE(SameRet, nullptr);
+  EXPECT_FALSE(SameRet->ConstantTrue);
+  EXPECT_TRUE(SameRet->Sources.empty());
+
+  const UpdateRule *IterofRet = findRule(*New, IterofBody, {false, true});
+  ASSERT_NE(IterofRet, nullptr);
+  EXPECT_TRUE(IterofRet->Sources.empty());
+
+  const UpdateRule *StaleQ = findRule(*New, StaleBody, {false});
+  ASSERT_NE(StaleQ, nullptr);
+  EXPECT_TRUE(StaleQ->IsIdentity);
+}
+
+TEST_F(CMPDerivationTest, RequiresClausesOnlyOnNextAndRemove) {
+  for (const MethodAbstraction &M : Abs->Methods) {
+    bool ShouldRequire = M.ClassName == "Iterator" &&
+                         (M.MethodName == "next" || M.MethodName == "remove");
+    EXPECT_EQ(!M.RequiresFalse.empty(), ShouldRequire)
+        << M.ClassName << "::" << M.MethodName;
+  }
+}
+
+TEST_F(CMPDerivationTest, RendersFigure4And5Analogue) {
+  std::string Rendered = Abs->str();
+  EXPECT_NE(Rendered.find("Instrumentation predicate families:"),
+            std::string::npos);
+  EXPECT_NE(Rendered.find(StaleBody), std::string::npos);
+  EXPECT_NE(Rendered.find("Iterator::remove"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Other Section 2.2 problems
+//===----------------------------------------------------------------------===//
+
+DerivedAbstraction derive(const char *Src) {
+  easl::Spec S = easl::parseBuiltinSpec(Src);
+  DiagnosticEngine Diags;
+  DerivedAbstraction A = deriveAbstraction(S, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return A;
+}
+
+TEST(DerivationTest, GRPConvergesWithStaleLikePredicates) {
+  DerivedAbstraction A = derive(easl::grpSpecSource());
+  EXPECT_TRUE(A.Converged);
+  // invalid(t), traverses(t,g), same(g,g') — the CMP shape minus mutx
+  // (GRP has no remove()-like selective invalidation).
+  std::set<std::string> Bodies;
+  for (const PredicateFamily &F : A.Families)
+    Bodies.insert(conjunctionStr(F.Body));
+  EXPECT_TRUE(Bodies.count("$p0.grant != $p0.graph.owner")) << A.str();
+  // traverses(t, g) canonicalizes with the Graph slot first.
+  EXPECT_TRUE(Bodies.count("$p0 == $p1.graph")) << A.str();
+}
+
+TEST(DerivationTest, GRPTraverseInvalidatesOtherTraversals) {
+  DerivedAbstraction A = derive(easl::grpSpecSource());
+  const MethodAbstraction *T = A.findMethod("Graph", "traverse");
+  ASSERT_NE(T, nullptr);
+  // invalid(q) := invalid(q) || traverses(q, this).
+  bool Found = false;
+  for (const UpdateRule &R : T->Rules) {
+    if (R.IsIdentity || R.RetSlots != std::vector<bool>{false})
+      continue;
+    if (conjunctionStr(A.Families[R.Family].Body) ==
+        "$p0.grant != $p0.graph.owner") {
+      EXPECT_EQ(R.Sources.size(), 2u) << R.str(A.Families);
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found) << A.str();
+}
+
+TEST(DerivationTest, IMPConverges) {
+  DerivedAbstraction A = derive(easl::impSpecSource());
+  EXPECT_TRUE(A.Converged);
+  const MethodAbstraction *Combine = A.findMethod("Widget", "combine");
+  ASSERT_NE(Combine, nullptr);
+  ASSERT_EQ(Combine->RequiresFalse.size(), 1u);
+}
+
+TEST(DerivationTest, IMPNewFactoryDiffersFromAllFactories) {
+  DerivedAbstraction A = derive(easl::impSpecSource());
+  const MethodAbstraction *New = A.findMethod("Factory", "new");
+  ASSERT_NE(New, nullptr);
+  // difffac(ret, q) := 1 — a fresh factory differs from every existing
+  // one.
+  bool FoundConstTrue = false;
+  for (const UpdateRule &R : New->Rules)
+    FoundConstTrue |= R.ConstantTrue;
+  EXPECT_TRUE(FoundConstTrue) << A.str();
+}
+
+TEST(DerivationTest, AOPConvergesWithTwoRequires) {
+  DerivedAbstraction A = derive(easl::aopSpecSource());
+  EXPECT_TRUE(A.Converged);
+  const MethodAbstraction *AddEdge = A.findMethod("GraphA", "addEdge");
+  ASSERT_NE(AddEdge, nullptr);
+  EXPECT_EQ(AddEdge->RequiresFalse.size(), 2u);
+}
+
+TEST(DerivationTest, AblationWithoutCCSimplifierGrowsPredicateSet) {
+  // DESIGN.md decision 1: without congruence-closure simplification the
+  // derived predicate set is strictly larger (or the derivation fails to
+  // converge) because redundant literals are not eliminated.
+  easl::Spec S = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  DiagnosticEngine Diags;
+  DerivationOptions Opts;
+  Opts.SimplifyWithCC = false;
+  DerivedAbstraction A = deriveAbstraction(S, Opts, Diags);
+  EXPECT_TRUE(A.Families.size() > 4 || !A.Converged) << A.str();
+}
+
+TEST(DerivationTest, CountsWPComputations) {
+  DerivedAbstraction A = derive(easl::cmpSpecSource());
+  EXPECT_GT(A.NumWPComputations, 0u);
+}
+
+} // namespace

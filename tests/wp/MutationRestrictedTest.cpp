@@ -1,0 +1,109 @@
+#include "wp/MutationRestricted.h"
+
+#include "easl/Builtins.h"
+#include "easl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::wp;
+
+namespace {
+
+TEST(MutationRestrictedTest, CMPIsNotMutationRestricted) {
+  // Section 6 remark: CMP is *not* mutation-restricted (defVer = set.ver
+  // in remove() mutates a field with a non-fresh value), yet the
+  // derivation converges for it anyway.
+  easl::Spec S = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  SpecClassification C = classifySpec(S);
+  EXPECT_TRUE(C.AliasBased);
+  EXPECT_TRUE(C.TypeGraphAcyclic);
+  EXPECT_FALSE(C.RestrictedMutation) << C.str();
+  EXPECT_FALSE(C.mutationRestricted());
+}
+
+TEST(MutationRestrictedTest, GRPIsMutationRestrictedButNotMutationFree) {
+  easl::Spec S = easl::parseBuiltinSpec(easl::grpSpecSource());
+  SpecClassification C = classifySpec(S);
+  EXPECT_TRUE(C.mutationRestricted()) << C.str();
+  // Traversal's constructor re-issues g.owner, so Graph.owner is mutable.
+  EXPECT_FALSE(C.MutationFree);
+}
+
+TEST(MutationRestrictedTest, IMPAndAOPAreMutationFree) {
+  for (const char *Src : {easl::impSpecSource(), easl::aopSpecSource()}) {
+    easl::Spec S = easl::parseBuiltinSpec(Src);
+    SpecClassification C = classifySpec(S);
+    EXPECT_TRUE(C.mutationRestricted()) << C.str();
+    EXPECT_TRUE(C.MutationFree) << C.str();
+  }
+}
+
+TEST(MutationRestrictedTest, NonAliasRequiresDetected) {
+  DiagnosticEngine Diags;
+  easl::Spec S = easl::parseSpec(R"(
+    class A {
+      A f;
+      void m(A x) { requires (f != x); }
+    }
+  )", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  SpecClassification C = classifySpec(S);
+  EXPECT_FALSE(C.AliasBased);
+  EXPECT_FALSE(C.mutationRestricted());
+}
+
+TEST(MutationRestrictedTest, CyclicTypeGraphDetected) {
+  DiagnosticEngine Diags;
+  easl::Spec S = easl::parseSpec(R"(
+    class A { B next; }
+    class B { A back; }
+  )", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  SpecClassification C = classifySpec(S);
+  EXPECT_FALSE(C.TypeGraphAcyclic);
+}
+
+TEST(MutationRestrictedTest, SelfLoopTypeGraphDetected) {
+  DiagnosticEngine Diags;
+  easl::Spec S = easl::parseSpec("class A { A next; }", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  SpecClassification C = classifySpec(S);
+  EXPECT_FALSE(C.TypeGraphAcyclic);
+}
+
+TEST(MutationRestrictedTest, DisjunctiveRequiresIsNotAliasBased) {
+  DiagnosticEngine Diags;
+  easl::Spec S = easl::parseSpec(R"(
+    class A {
+      A f;
+      A g;
+      void m(A x) { requires (f == x || g == x); }
+    }
+  )", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  SpecClassification C = classifySpec(S);
+  EXPECT_FALSE(C.AliasBased);
+}
+
+TEST(MutationRestrictedTest, ConjunctiveAliasRequiresIsAliasBased) {
+  DiagnosticEngine Diags;
+  easl::Spec S = easl::parseSpec(R"(
+    class A {
+      A f;
+      A g;
+      void m(A x) { requires (f == x && g == x); }
+    }
+  )", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  SpecClassification C = classifySpec(S);
+  EXPECT_TRUE(C.AliasBased);
+}
+
+TEST(MutationRestrictedTest, StrRendersVerdicts) {
+  easl::Spec S = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  std::string Out = classifySpec(S).str();
+  EXPECT_NE(Out.find("mutation-restricted: no"), std::string::npos);
+}
+
+} // namespace

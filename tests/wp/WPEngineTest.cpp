@@ -1,0 +1,175 @@
+//===----------------------------------------------------------------------===//
+// Direct tests of the symbolic weakest-precondition engine (Section 4.1
+// rule 3): alias case-splits on field updates, fresh-handle resolution,
+// constructor inlining, and conditionals.
+//===----------------------------------------------------------------------===//
+
+#include "wp/WPEngine.h"
+
+#include "easl/Builtins.h"
+#include "easl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::wp;
+
+namespace {
+
+class WPEngineCMPTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  }
+
+  /// WP of Post across ClassName::MethodName, rendered.
+  std::string wpOf(const char *ClassName, const char *MethodName,
+                   FormulaRef Post) {
+    DiagnosticEngine Diags;
+    WPEngine Engine(Spec, Diags);
+    const easl::ClassDecl *C = Spec.findClass(ClassName);
+    FormulaRef Pre =
+        MethodName == std::string("new")
+            ? Engine.wpConstructorCall(*C, std::move(Post))
+            : Engine.wpMethodCall(*C, *C->findMethod(MethodName),
+                                  std::move(Post));
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+    return Pre->str();
+  }
+
+  static Path iter(const char *V) { return Path::var(V, "Iterator"); }
+  static Path set(const char *V) { return Path::var(V, "Set"); }
+
+  /// stale(q) == q.defVer != q.set.ver.
+  static FormulaRef stale(const char *V) {
+    return Formula::ne(iter(V).withField("defVer"),
+                       iter(V).withField("set").withField("ver"));
+  }
+
+  easl::Spec Spec;
+};
+
+TEST_F(WPEngineCMPTest, AddMakesIteratorsOfReceiverStale) {
+  // WP(v.add(), stale(q)) == stale(q) || q.set == this.
+  std::string Pre = wpOf("Set", "add", stale("q"));
+  // DNF the result to compare structurally.
+  DiagnosticEngine Diags;
+  WPEngine Engine(Spec, Diags);
+  const easl::ClassDecl *C = Spec.findClass("Set");
+  FormulaRef PreF = Engine.wpMethodCall(*C, *C->findMethod("add"),
+                                        stale("q"));
+  auto DNF = toDNF(PreF);
+  ASSERT_EQ(DNF.size(), 2u) << Pre;
+  std::set<std::string> Ds;
+  for (const Conjunction &D : DNF)
+    Ds.insert(conjunctionStr(D));
+  EXPECT_TRUE(Ds.count("q.set == this")) << Pre;
+  EXPECT_TRUE(Ds.count("q.defVer != q.set.ver")) << Pre;
+}
+
+TEST_F(WPEngineCMPTest, NextIsPure) {
+  // next() mutates nothing: WP is the postcondition itself.
+  EXPECT_EQ(wpOf("Iterator", "next", stale("q")), stale("q")->str());
+}
+
+TEST_F(WPEngineCMPTest, IteratorReturnsFreshObject) {
+  // WP(ret == q) across iterator() is false: the result is fresh.
+  FormulaRef Post = Formula::eq(iter("ret"), iter("q"));
+  EXPECT_EQ(wpOf("Set", "iterator", Post), "false");
+}
+
+TEST_F(WPEngineCMPTest, FreshIteratorIsNotStale) {
+  FormulaRef Post = Formula::ne(
+      iter("ret").withField("defVer"),
+      iter("ret").withField("set").withField("ver"));
+  EXPECT_EQ(wpOf("Set", "iterator", Post), "false");
+}
+
+TEST_F(WPEngineCMPTest, FreshIteratorRangesOverReceiver) {
+  // WP(ret.set == z) across iterator() == (this == z).
+  FormulaRef Post = Formula::eq(iter("ret").withField("set"), set("z"));
+  EXPECT_EQ(wpOf("Set", "iterator", Post), "this == z");
+}
+
+TEST_F(WPEngineCMPTest, NewSetDiffersFromEverySet) {
+  FormulaRef Post = Formula::eq(set("ret"), set("z"));
+  EXPECT_EQ(wpOf("Set", "new", Post), "false");
+}
+
+TEST_F(WPEngineCMPTest, RemoveUsesAliasCaseSplit) {
+  // WP(this.remove(), stale(q)) mentions the mutx condition
+  // (q != this && q.set == this.set) — the alias case split.
+  DiagnosticEngine Diags;
+  WPEngine Engine(Spec, Diags);
+  const easl::ClassDecl *C = Spec.findClass("Iterator");
+  FormulaRef Pre = Engine.wpMethodCall(*C, *C->findMethod("remove"),
+                                       stale("q"));
+  auto DNF = toDNF(Pre);
+  bool FoundMutx = false;
+  for (const Conjunction &D : DNF)
+    FoundMutx |= conjunctionStr(D).find("q.set == this.set") !=
+                 std::string::npos;
+  EXPECT_TRUE(FoundMutx) << Pre->str();
+}
+
+TEST_F(WPEngineCMPTest, TranslateMethodCondition) {
+  DiagnosticEngine Diags;
+  WPEngine Engine(Spec, Diags);
+  const easl::ClassDecl *C = Spec.findClass("Iterator");
+  const easl::MethodDecl *Next = C->findMethod("next");
+  const auto *Req =
+      dyn_cast<easl::RequiresStmt>(Next->Body.front().get());
+  ASSERT_NE(Req, nullptr);
+  FormulaRef F = Engine.translateMethodCondition(*C, *Next, *Req->Cond);
+  EXPECT_EQ(F->str(), "this.defVer == this.set.ver");
+}
+
+TEST(WPEngineTest, ConditionalBodiesSplitTheWP) {
+  DiagnosticEngine Diags;
+  easl::Spec S = easl::parseSpec(R"(
+    class A {
+      A f;
+      A g;
+      void m(A x) {
+        if (f == x) { f = x; } else { g = x; }
+      }
+    }
+  )", Diags);
+  ASSERT_TRUE(easl::checkSpec(S, Diags)) << Diags.str();
+  wp::WPEngine Engine(S, Diags);
+  const easl::ClassDecl *A = S.findClass("A");
+  // Post: this.g == q. On the then-branch g is untouched; on the
+  // else-branch g == x afterwards.
+  FormulaRef Post = Formula::eq(Path::var("this", "A").withField("g"),
+                                Path::var("q", "A"));
+  FormulaRef Pre = Engine.wpMethodCall(*A, *A->findMethod("m"), Post);
+  auto DNF = toDNF(Pre);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  std::set<std::string> Ds;
+  for (const Conjunction &D : DNF)
+    Ds.insert(conjunctionStr(D));
+  // then: f == x (cond) && g == q; else: f != x && x == q.
+  EXPECT_TRUE(Ds.count("q == this.g && this.f == x")) << Pre->str();
+  EXPECT_TRUE(Ds.count("q == x && this.f != x")) << Pre->str();
+}
+
+TEST(WPEngineTest, GRPTraverseWP) {
+  easl::Spec S = easl::parseBuiltinSpec(easl::grpSpecSource());
+  DiagnosticEngine Diags;
+  wp::WPEngine Engine(S, Diags);
+  const easl::ClassDecl *G = S.findClass("Graph");
+  // invalid(t) after g.traverse() <=> t.graph == this || invalid(t).
+  Path T = Path::var("t", "Traversal");
+  FormulaRef Post = Formula::ne(T.withField("grant"),
+                                T.withField("graph").withField("owner"));
+  FormulaRef Pre =
+      Engine.wpMethodCall(*G, *G->findMethod("traverse"), Post);
+  auto DNF = toDNF(Pre);
+  std::set<std::string> Ds;
+  for (const Conjunction &D : DNF)
+    Ds.insert(conjunctionStr(D));
+  EXPECT_TRUE(Ds.count("t.graph == this")) << Pre->str();
+  EXPECT_TRUE(Ds.count("t.grant != t.graph.owner")) << Pre->str();
+}
+
+} // namespace
