@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_derivation.dir/bench_derivation.cpp.o"
+  "CMakeFiles/bench_derivation.dir/bench_derivation.cpp.o.d"
+  "bench_derivation"
+  "bench_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

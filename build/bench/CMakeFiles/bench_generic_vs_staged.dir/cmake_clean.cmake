@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generic_vs_staged.dir/bench_generic_vs_staged.cpp.o"
+  "CMakeFiles/bench_generic_vs_staged.dir/bench_generic_vs_staged.cpp.o.d"
+  "bench_generic_vs_staged"
+  "bench_generic_vs_staged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generic_vs_staged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interproc.dir/bench_interproc.cpp.o"
+  "CMakeFiles/bench_interproc.dir/bench_interproc.cpp.o.d"
+  "bench_interproc"
+  "bench_interproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

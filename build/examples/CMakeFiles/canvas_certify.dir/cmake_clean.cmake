@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_certify.dir/canvas_certify.cpp.o"
+  "CMakeFiles/canvas_certify.dir/canvas_certify.cpp.o.d"
+  "canvas_certify"
+  "canvas_certify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_certify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

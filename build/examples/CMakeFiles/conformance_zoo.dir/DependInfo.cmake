@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/conformance_zoo.cpp" "examples/CMakeFiles/conformance_zoo.dir/conformance_zoo.cpp.o" "gcc" "examples/CMakeFiles/conformance_zoo.dir/conformance_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/canvas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvp/CMakeFiles/canvas_tvp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvla/CMakeFiles/canvas_tvla.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolprog/CMakeFiles/canvas_boolprog.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/canvas_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/wp/CMakeFiles/canvas_wp.dir/DependInfo.cmake"
+  "/root/repo/build/src/easl/CMakeFiles/canvas_easl.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/canvas_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/canvas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

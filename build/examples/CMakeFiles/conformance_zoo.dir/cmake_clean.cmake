@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_zoo.dir/conformance_zoo.cpp.o"
+  "CMakeFiles/conformance_zoo.dir/conformance_zoo.cpp.o.d"
+  "conformance_zoo"
+  "conformance_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

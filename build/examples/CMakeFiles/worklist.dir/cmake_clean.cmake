@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worklist.dir/worklist.cpp.o"
+  "CMakeFiles/worklist.dir/worklist.cpp.o.d"
+  "worklist"
+  "worklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

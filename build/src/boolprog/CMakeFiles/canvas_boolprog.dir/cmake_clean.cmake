@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_boolprog.dir/Analysis.cpp.o"
+  "CMakeFiles/canvas_boolprog.dir/Analysis.cpp.o.d"
+  "CMakeFiles/canvas_boolprog.dir/BooleanProgram.cpp.o"
+  "CMakeFiles/canvas_boolprog.dir/BooleanProgram.cpp.o.d"
+  "CMakeFiles/canvas_boolprog.dir/Interprocedural.cpp.o"
+  "CMakeFiles/canvas_boolprog.dir/Interprocedural.cpp.o.d"
+  "libcanvas_boolprog.a"
+  "libcanvas_boolprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_boolprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

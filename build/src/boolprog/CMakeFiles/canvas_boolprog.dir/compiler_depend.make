@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for canvas_boolprog.
+# This may be replaced when dependencies are built.

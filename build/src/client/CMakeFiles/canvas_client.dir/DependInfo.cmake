@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/CFG.cpp" "src/client/CMakeFiles/canvas_client.dir/CFG.cpp.o" "gcc" "src/client/CMakeFiles/canvas_client.dir/CFG.cpp.o.d"
+  "/root/repo/src/client/Parser.cpp" "src/client/CMakeFiles/canvas_client.dir/Parser.cpp.o" "gcc" "src/client/CMakeFiles/canvas_client.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/easl/CMakeFiles/canvas_easl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/canvas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

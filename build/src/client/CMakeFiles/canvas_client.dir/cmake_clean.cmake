@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_client.dir/CFG.cpp.o"
+  "CMakeFiles/canvas_client.dir/CFG.cpp.o.d"
+  "CMakeFiles/canvas_client.dir/Parser.cpp.o"
+  "CMakeFiles/canvas_client.dir/Parser.cpp.o.d"
+  "libcanvas_client.a"
+  "libcanvas_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

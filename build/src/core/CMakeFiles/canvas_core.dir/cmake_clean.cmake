@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_core.dir/Certifier.cpp.o"
+  "CMakeFiles/canvas_core.dir/Certifier.cpp.o.d"
+  "CMakeFiles/canvas_core.dir/Evaluation.cpp.o"
+  "CMakeFiles/canvas_core.dir/Evaluation.cpp.o.d"
+  "CMakeFiles/canvas_core.dir/GenericBaseline.cpp.o"
+  "CMakeFiles/canvas_core.dir/GenericBaseline.cpp.o.d"
+  "CMakeFiles/canvas_core.dir/Interpreter.cpp.o"
+  "CMakeFiles/canvas_core.dir/Interpreter.cpp.o.d"
+  "libcanvas_core.a"
+  "libcanvas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

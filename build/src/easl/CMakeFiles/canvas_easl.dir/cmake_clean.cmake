@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_easl.dir/AST.cpp.o"
+  "CMakeFiles/canvas_easl.dir/AST.cpp.o.d"
+  "CMakeFiles/canvas_easl.dir/Builtins.cpp.o"
+  "CMakeFiles/canvas_easl.dir/Builtins.cpp.o.d"
+  "CMakeFiles/canvas_easl.dir/Parser.cpp.o"
+  "CMakeFiles/canvas_easl.dir/Parser.cpp.o.d"
+  "libcanvas_easl.a"
+  "libcanvas_easl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_easl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/CongruenceClosure.cpp" "src/logic/CMakeFiles/canvas_logic.dir/CongruenceClosure.cpp.o" "gcc" "src/logic/CMakeFiles/canvas_logic.dir/CongruenceClosure.cpp.o.d"
+  "/root/repo/src/logic/Formula.cpp" "src/logic/CMakeFiles/canvas_logic.dir/Formula.cpp.o" "gcc" "src/logic/CMakeFiles/canvas_logic.dir/Formula.cpp.o.d"
+  "/root/repo/src/logic/Path.cpp" "src/logic/CMakeFiles/canvas_logic.dir/Path.cpp.o" "gcc" "src/logic/CMakeFiles/canvas_logic.dir/Path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/canvas_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

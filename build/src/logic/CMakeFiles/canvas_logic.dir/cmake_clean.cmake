@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_logic.dir/CongruenceClosure.cpp.o"
+  "CMakeFiles/canvas_logic.dir/CongruenceClosure.cpp.o.d"
+  "CMakeFiles/canvas_logic.dir/Formula.cpp.o"
+  "CMakeFiles/canvas_logic.dir/Formula.cpp.o.d"
+  "CMakeFiles/canvas_logic.dir/Path.cpp.o"
+  "CMakeFiles/canvas_logic.dir/Path.cpp.o.d"
+  "libcanvas_logic.a"
+  "libcanvas_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcanvas_logic.a"
+)

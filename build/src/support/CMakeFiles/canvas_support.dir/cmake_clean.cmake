@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/canvas_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/canvas_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/canvas_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/canvas_support.dir/Lexer.cpp.o"
+  "CMakeFiles/canvas_support.dir/Lexer.cpp.o.d"
+  "libcanvas_support.a"
+  "libcanvas_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_tvla.dir/Certify.cpp.o"
+  "CMakeFiles/canvas_tvla.dir/Certify.cpp.o.d"
+  "CMakeFiles/canvas_tvla.dir/Structure.cpp.o"
+  "CMakeFiles/canvas_tvla.dir/Structure.cpp.o.d"
+  "libcanvas_tvla.a"
+  "libcanvas_tvla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_tvla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_tvp.dir/Program.cpp.o"
+  "CMakeFiles/canvas_tvp.dir/Program.cpp.o.d"
+  "libcanvas_tvp.a"
+  "libcanvas_tvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_tvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_wp.dir/Abstraction.cpp.o"
+  "CMakeFiles/canvas_wp.dir/Abstraction.cpp.o.d"
+  "CMakeFiles/canvas_wp.dir/Derivation.cpp.o"
+  "CMakeFiles/canvas_wp.dir/Derivation.cpp.o.d"
+  "CMakeFiles/canvas_wp.dir/MutationRestricted.cpp.o"
+  "CMakeFiles/canvas_wp.dir/MutationRestricted.cpp.o.d"
+  "CMakeFiles/canvas_wp.dir/WPEngine.cpp.o"
+  "CMakeFiles/canvas_wp.dir/WPEngine.cpp.o.d"
+  "libcanvas_wp.a"
+  "libcanvas_wp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_wp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/boolprog/InterproceduralTest.cpp" "tests/CMakeFiles/boolprog_test.dir/boolprog/InterproceduralTest.cpp.o" "gcc" "tests/CMakeFiles/boolprog_test.dir/boolprog/InterproceduralTest.cpp.o.d"
+  "/root/repo/tests/boolprog/IntraproceduralTest.cpp" "tests/CMakeFiles/boolprog_test.dir/boolprog/IntraproceduralTest.cpp.o" "gcc" "tests/CMakeFiles/boolprog_test.dir/boolprog/IntraproceduralTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wp/CMakeFiles/canvas_wp.dir/DependInfo.cmake"
+  "/root/repo/build/src/easl/CMakeFiles/canvas_easl.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/canvas_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/canvas_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolprog/CMakeFiles/canvas_boolprog.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/canvas_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

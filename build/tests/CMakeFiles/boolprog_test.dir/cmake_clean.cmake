@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boolprog_test.dir/boolprog/InterproceduralTest.cpp.o"
+  "CMakeFiles/boolprog_test.dir/boolprog/InterproceduralTest.cpp.o.d"
+  "CMakeFiles/boolprog_test.dir/boolprog/IntraproceduralTest.cpp.o"
+  "CMakeFiles/boolprog_test.dir/boolprog/IntraproceduralTest.cpp.o.d"
+  "boolprog_test"
+  "boolprog_test.pdb"
+  "boolprog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boolprog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

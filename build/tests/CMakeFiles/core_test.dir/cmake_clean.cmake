@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/CertifierTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/CertifierTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/EvaluationTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/EvaluationTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/HeapClientTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/HeapClientTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/PropertyTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/PropertyTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

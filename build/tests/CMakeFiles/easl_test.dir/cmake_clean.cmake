@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easl_test.dir/easl/ParserTest.cpp.o"
+  "CMakeFiles/easl_test.dir/easl/ParserTest.cpp.o.d"
+  "easl_test"
+  "easl_test.pdb"
+  "easl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvla_test.dir/tvla/StructureTest.cpp.o"
+  "CMakeFiles/tvla_test.dir/tvla/StructureTest.cpp.o.d"
+  "CMakeFiles/tvla_test.dir/tvla/TVLAEngineTest.cpp.o"
+  "CMakeFiles/tvla_test.dir/tvla/TVLAEngineTest.cpp.o.d"
+  "tvla_test"
+  "tvla_test.pdb"
+  "tvla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

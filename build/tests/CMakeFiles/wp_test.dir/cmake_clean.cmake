@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_test.dir/wp/DerivationTest.cpp.o"
+  "CMakeFiles/wp_test.dir/wp/DerivationTest.cpp.o.d"
+  "CMakeFiles/wp_test.dir/wp/MutationRestrictedTest.cpp.o"
+  "CMakeFiles/wp_test.dir/wp/MutationRestrictedTest.cpp.o.d"
+  "CMakeFiles/wp_test.dir/wp/WPEngineTest.cpp.o"
+  "CMakeFiles/wp_test.dir/wp/WPEngineTest.cpp.o.d"
+  "wp_test"
+  "wp_test.pdb"
+  "wp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
