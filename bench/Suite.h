@@ -194,6 +194,34 @@ inline const std::vector<BenchClient> &cmpSuite() {
           }
         }
       )", true},
+
+      // Four independent Set/Iterator pipelines: the Stage-0 slicer
+      // splits main() into four slices, so SCMPIntra runs on four small
+      // boolean programs instead of one large one.
+      {"four-pipelines", R"(
+        class Pipelines {
+          void main() {
+            Set a = new Set();
+            Iterator ia = a.iterator();
+            Set b = new Set();
+            Iterator ib = b.iterator();
+            Set c = new Set();
+            Iterator ic = c.iterator();
+            Set d = new Set();
+            Iterator id = d.iterator();
+            while (*) { ia.next(); }
+            ib.next();
+            if (*) { b.add(); }
+            ib.next();
+            ic.next();
+            ic.remove();
+            ic.next();
+            id.next();
+            if (*) { d.add(); }
+            if (*) { id.next(); }
+          }
+        }
+      )", true},
   };
   return Suite;
 }

@@ -33,7 +33,7 @@ const EngineKind AllEngines[] = {
     EngineKind::GenericAllocSite};
 
 struct Cell {
-  unsigned Checks = 0;
+  size_t Checks = 0;
   unsigned Flagged = 0;
   unsigned FalseAlarms = 0;
   unsigned Missed = 0;
@@ -79,7 +79,7 @@ void printTable() {
       Cell Cl = runOne(C, Client);
       TotalFA[EIdx] += Cl.FalseAlarms;
       TotalMissed[EIdx] += Cl.Missed;
-      std::printf(" | %3u %4u %2u %4u %5.0f", Cl.Checks, Cl.Flagged,
+      std::printf(" | %3zu %4u %2u %4u %5.0f", Cl.Checks, Cl.Flagged,
                   Cl.FalseAlarms, Cl.Missed, Cl.Micros);
       ++EIdx;
     }
@@ -89,6 +89,96 @@ void printTable() {
   for (size_t I = 0; I != std::size(AllEngines); ++I)
     std::printf(" | %8u (missed %u)     ", TotalFA[I], TotalMissed[I]);
   std::printf("\n\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Stage-0 pre-analysis ablation: SCMPIntra with the pre-analysis on
+// versus off, reporting certification time, total and peak boolean
+// program size B, and the Stage-0 statistics. Emitted both as a table
+// and as one machine-readable JSON object on stdout.
+//===----------------------------------------------------------------------===//
+
+struct StageZeroSide {
+  double Micros = 0; ///< Best-of-5 certification time.
+  size_t BoolVars = 0;
+  size_t MaxBoolVars = 0;
+  PreAnalysisSummary Pre;
+  CertificationReport Report;
+};
+
+StageZeroSide runStageZeroSide(const bench::BenchClient &Client,
+                               bool PreAnalysis) {
+  StageZeroSide Side;
+  DiagnosticEngine Diags;
+  CertifierOptions Opts;
+  Opts.PreAnalysis = PreAnalysis;
+  Certifier C(easl::cmpSpecSource(), EngineKind::SCMPIntra, Diags, {}, Opts);
+  cj::Program P = cj::parseProgram(Client.Source, Diags);
+  Side.Micros = 1e30;
+  for (int Rep = 0; Rep != 5; ++Rep) {
+    DiagnosticEngine D2;
+    auto T0 = std::chrono::steady_clock::now();
+    Side.Report = C.certify(P, D2);
+    auto T1 = std::chrono::steady_clock::now();
+    double Us =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count() /
+        1000.0;
+    if (Us < Side.Micros)
+      Side.Micros = Us;
+  }
+  Side.BoolVars = Side.Report.BoolVars;
+  Side.MaxBoolVars = Side.Report.MaxBoolVars;
+  Side.Pre = Side.Report.Pre;
+  return Side;
+}
+
+bool sameVerdicts(const CertificationReport &A, const CertificationReport &B) {
+  if (A.Checks.size() != B.Checks.size())
+    return false;
+  for (size_t I = 0; I != A.Checks.size(); ++I)
+    if (A.Checks[I].Method != B.Checks[I].Method ||
+        A.Checks[I].Loc.Line != B.Checks[I].Loc.Line ||
+        A.Checks[I].Loc.Col != B.Checks[I].Loc.Col ||
+        A.Checks[I].Outcome != B.Checks[I].Outcome)
+      return false;
+  return true;
+}
+
+void printStageZero() {
+  std::printf("=== Stage-0 pre-analysis ablation (scmp-intra) ===\n");
+  std::printf("%-20s | %21s | %35s | %s\n", "client", "off:   B maxB    us",
+              "on:   B maxB    us slices dse prune", "same");
+  std::string Json = "{\"bench\":\"stage0-preanalysis\",\"engine\":"
+                     "\"scmp-intra\",\"clients\":[";
+  bool First = true;
+  for (const bench::BenchClient &Client : bench::cmpSuite()) {
+    StageZeroSide Off = runStageZeroSide(Client, false);
+    StageZeroSide On = runStageZeroSide(Client, true);
+    bool Same = sameVerdicts(On.Report, Off.Report);
+    std::printf("%-20s | %9zu %4zu %5.0f | %9zu %4zu %5.0f %6u %3u %5u | %s\n",
+                Client.Name, Off.BoolVars, Off.MaxBoolVars, Off.Micros,
+                On.BoolVars, On.MaxBoolVars, On.Micros, On.Pre.SliceRuns,
+                On.Pre.DeadStoresRemoved, On.Pre.EdgesPruned,
+                Same ? "yes" : "NO");
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "%s{\"name\":\"%s\","
+        "\"off\":{\"us\":%.1f,\"boolvars\":%zu,\"max_boolvars\":%zu},"
+        "\"on\":{\"us\":%.1f,\"boolvars\":%zu,\"max_boolvars\":%zu,"
+        "\"slice_runs\":%u,\"multi_slice_methods\":%u,\"fallbacks\":%u,"
+        "\"dead_stores\":%u,\"vars_dropped\":%u,\"edges_pruned\":%u},"
+        "\"verdicts_identical\":%s}",
+        First ? "" : ",", Client.Name, Off.Micros, Off.BoolVars,
+        Off.MaxBoolVars, On.Micros, On.BoolVars, On.MaxBoolVars,
+        On.Pre.SliceRuns, On.Pre.MultiSliceMethods, On.Pre.FallbackMethods,
+        On.Pre.DeadStoresRemoved, On.Pre.VarsDropped, On.Pre.EdgesPruned,
+        Same ? "true" : "false");
+    Json += Buf;
+    First = false;
+  }
+  Json += "]}";
+  std::printf("\nBENCH_JSON %s\n\n", Json.c_str());
 }
 
 /// Timing benchmark: client analysis per engine (certifier generation is
@@ -116,6 +206,7 @@ BENCHMARK(BM_CertifyClient)
 
 int main(int argc, char **argv) {
   printTable();
+  printStageZero();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

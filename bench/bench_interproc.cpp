@@ -117,7 +117,7 @@ void printTable() {
       double Us =
           std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
               .count();
-      std::printf(" | %11u %4u %2u %5.0f", R.numChecks(), R.numFlagged(),
+      std::printf(" | %11zu %4u %2u %5.0f", R.numChecks(), R.numFlagged(),
                   Cmp.FalseAlarms, Us);
     }
     std::printf("\n");

@@ -1,5 +1,6 @@
 #include "boolprog/Analysis.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 
@@ -173,5 +174,62 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
     else
       R.CheckResults.push_back(CheckOutcome::Potential);
   }
+  return R;
+}
+
+SlicedIntraResult bp::analyzeIntraprocSliced(
+    const wp::DerivedAbstraction &Abs, const cj::CFGMethod &M,
+    const std::vector<std::vector<std::string>> &Slices,
+    DiagnosticEngine &Diags) {
+  SlicedIntraResult R;
+
+  auto RunOne = [&](const BuildRestriction &Restrict) {
+    BooleanProgram BP = buildBooleanProgram(Abs, M, Diags, Restrict);
+    IntraResult IR = analyzeIntraproc(BP);
+    ++R.SliceRuns;
+    R.BoolVars += BP.Vars.size();
+    R.MaxSliceBoolVars = std::max(R.MaxSliceBoolVars, BP.Vars.size());
+    for (size_t I = 0; I != BP.Checks.size(); ++I)
+      R.Items.push_back({BP.Checks[I].Edge, BP.Checks[I].Loc,
+                         BP.Checks[I].What, IR.CheckResults[I]});
+  };
+
+  if (Slices.empty()) {
+    // No relevant component variables: an empty restriction still
+    // reports the (check-free) program's trivial result.
+    RunOne(BuildRestriction{});
+  } else {
+    for (const std::vector<std::string> &S : Slices) {
+      BuildRestriction BR;
+      BR.Vars = S;
+      RunOne(BR);
+    }
+  }
+
+  if (Slices.size() > 1) {
+    bool AnyDefinite = false;
+    for (const SlicedCheckItem &I : R.Items)
+      AnyDefinite |= I.Outcome == CheckOutcome::Definite;
+    if (AnyDefinite) {
+      // A definite violation kills the continuing edge (the call
+      // throws), truncating paths for every slice — rerun over the
+      // union so downstream reachability is shared.
+      R.Items.clear();
+      R.FellBack = true;
+      BuildRestriction Union;
+      for (const std::vector<std::string> &S : Slices)
+        Union.Vars.insert(Union.Vars.end(), S.begin(), S.end());
+      RunOne(Union);
+    }
+  }
+
+  // Each edge's checks come from exactly one run (its receiver's
+  // slice), in requires-clause order; interleave runs back into the
+  // unsliced program's edge order.
+  std::stable_sort(
+      R.Items.begin(), R.Items.end(),
+      [](const SlicedCheckItem &A, const SlicedCheckItem &B) {
+        return A.Edge < B.Edge;
+      });
   return R;
 }

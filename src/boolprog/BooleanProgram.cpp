@@ -66,8 +66,8 @@ enum class AppValue { False, True, Variable, Missing };
 class Builder {
 public:
   Builder(const DerivedAbstraction &Abs, const cj::CFGMethod &M,
-          DiagnosticEngine &Diags)
-      : Abs(Abs), M(M), Diags(Diags) {}
+          DiagnosticEngine &Diags, const BuildRestriction *Restrict)
+      : Abs(Abs), M(M), Diags(Diags), Restrict(Restrict) {}
 
   BooleanProgram run() {
     Out.CFG = &M;
@@ -89,11 +89,16 @@ private:
     return "";
   }
 
-  /// All component-typed client variables of type \p T.
+  bool allowed(const std::string &V) const {
+    return !Restrict || Restrict->contains(V);
+  }
+
+  /// All component-typed client variables of type \p T (within the
+  /// restriction, when one is active).
   std::vector<std::string> varsOfType(const std::string &T) const {
     std::vector<std::string> Vs;
     for (const auto &[V, Ty] : M.CompVars)
-      if (Ty == T)
+      if (Ty == T && allowed(V))
         Vs.push_back(V);
     return Vs;
   }
@@ -145,6 +150,13 @@ private:
         return AppValue::Missing;
       Args[I] = It->second;
     }
+    // A restricted build tracks no facts spanning the restriction
+    // boundary; such applications read as constant false (cross-slice
+    // predicates are false whenever their operands are initialized —
+    // DESIGN.md "Stage 0 pre-analysis").
+    for (const std::string &A : Args)
+      if (!allowed(A))
+        return AppValue::False;
     Conjunction Body;
     switch (instantiateFamily(Fam, Args, Fam.VarTypes, Body)) {
     case InstResult::False:
@@ -222,6 +234,11 @@ private:
     const std::string &X = A.Lhs;
     const std::string &Y = A.Args[0];
     std::string YType = typeOfClientVar(Y);
+    // A copy source outside the restriction cannot occur for Stage-0
+    // slices (copies connect both sides into one slice); havoc the
+    // target's facts defensively rather than leak out-of-slice
+    // variables through renaming.
+    bool UnknownSource = !allowed(Y);
     for (size_t V = 0; V != Out.Vars.size(); ++V) {
       const BoolVar BV = Out.Vars[V]; // Copy: interning may reallocate.
       bool Mentions = false;
@@ -229,6 +246,12 @@ private:
         Mentions |= Arg == X;
       if (!Mentions)
         continue;
+      if (UnknownSource) {
+        BoolRhs R;
+        R.K = BoolRhs::Kind::Unknown;
+        assign(E, static_cast<int>(V), std::move(R));
+        continue;
+      }
       Conjunction Renamed;
       BoolRhs R;
       switch (renameRootInConjunction(BV.Body, X, Y, YType, Renamed)) {
@@ -270,8 +293,14 @@ private:
     if (!A.Lhs.empty())
       B["ret"] = A.Lhs;
 
-    // Requires obligations, checked in the pre-call state.
+    // Requires obligations, checked in the pre-call state. Under a
+    // restriction, a call's checks belong to its receiver's slice
+    // (every operand of a call is in the receiver's slice, so exactly
+    // one slice of a partition emits them).
+    bool OwnsChecks = allowed(A.Recv);
     for (const auto &[App, ReqLoc] : MA->RequiresFalse) {
+      if (!OwnsChecks)
+        break;
       Check C;
       C.Edge = E;
       C.Loc = A.Loc;
@@ -309,8 +338,8 @@ private:
       bool UsesRet = false;
       for (bool S : R.RetSlots)
         UsesRet |= S;
-      if (UsesRet && A.Lhs.empty())
-        continue; // Unnamed result: nothing tracks it.
+      if (UsesRet && (A.Lhs.empty() || !allowed(A.Lhs)))
+        continue; // Unnamed or out-of-restriction result: not tracked.
       std::vector<std::string> Tuple(Fam.arity());
       instantiateRule(E, A, R, Fam, B, 0, Tuple);
     }
@@ -375,6 +404,7 @@ private:
   const DerivedAbstraction &Abs;
   const cj::CFGMethod &M;
   DiagnosticEngine &Diags;
+  const BuildRestriction *Restrict;
   BooleanProgram Out;
   std::map<std::string, int> VarIndex;
 };
@@ -384,5 +414,12 @@ private:
 BooleanProgram bp::buildBooleanProgram(const DerivedAbstraction &Abs,
                                        const cj::CFGMethod &M,
                                        DiagnosticEngine &Diags) {
-  return Builder(Abs, M, Diags).run();
+  return Builder(Abs, M, Diags, nullptr).run();
+}
+
+BooleanProgram bp::buildBooleanProgram(const DerivedAbstraction &Abs,
+                                       const cj::CFGMethod &M,
+                                       DiagnosticEngine &Diags,
+                                       const BuildRestriction &Restrict) {
+  return Builder(Abs, M, Diags, &Restrict).run();
 }

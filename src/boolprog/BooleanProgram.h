@@ -85,6 +85,31 @@ BooleanProgram buildBooleanProgram(const wp::DerivedAbstraction &Abs,
                                    const cj::CFGMethod &M,
                                    DiagnosticEngine &Diags);
 
+/// Restricts construction to a subset of the client's component
+/// variables — one Stage-0 slice, or the union of the retained
+/// variables (see dataflow::preAnalyze and DESIGN.md "Stage 0
+/// pre-analysis"). Boolean variables are enumerated over Vars only;
+/// predicate applications mentioning an out-of-restriction variable
+/// drop to constant false, update rules targeting an out-of-restriction
+/// call result are skipped, and requires checks are emitted only for
+/// calls whose receiver is in Vars — so across a partition every check
+/// is emitted by exactly one slice's program.
+struct BuildRestriction {
+  std::vector<std::string> Vars;
+
+  bool contains(const std::string &V) const {
+    for (const std::string &X : Vars)
+      if (X == V)
+        return true;
+    return false;
+  }
+};
+
+BooleanProgram buildBooleanProgram(const wp::DerivedAbstraction &Abs,
+                                   const cj::CFGMethod &M,
+                                   DiagnosticEngine &Diags,
+                                   const BuildRestriction &Restrict);
+
 } // namespace bp
 } // namespace canvas
 

@@ -5,6 +5,8 @@
 #include "core/GenericBaseline.h"
 #include "tvla/Certify.h"
 
+#include <algorithm>
+
 using namespace canvas;
 using namespace canvas::core;
 
@@ -41,6 +43,8 @@ unsigned CertificationReport::numVerified() const {
 
 std::string CertificationReport::str() const {
   std::string Out;
+  for (const LintFinding &L : Lints)
+    Out += L.Method + " " + L.Loc.str() + ": warning: " + L.What + "\n";
   for (const CheckVerdict &C : Checks) {
     const char *O = "?";
     switch (C.Outcome) {
@@ -61,14 +65,18 @@ std::string CertificationReport::str() const {
   }
   Out += std::to_string(numChecks()) + " check(s), " +
          std::to_string(numVerified()) + " verified, " +
-         std::to_string(numFlagged()) + " flagged\n";
+         std::to_string(numFlagged()) + " flagged";
+  if (!Lints.empty())
+    Out += ", " + std::to_string(Lints.size()) + " lint warning(s)";
+  Out += "\n";
   return Out;
 }
 
 Certifier::Certifier(std::string_view SpecSource, EngineKind Engine,
                      DiagnosticEngine &Diags,
-                     const wp::DerivationOptions &DOpts)
-    : Engine(Engine) {
+                     const wp::DerivationOptions &DOpts,
+                     const CertifierOptions &Opts)
+    : Engine(Engine), Opts(Opts) {
   S = easl::parseSpec(SpecSource, Diags);
   if (Diags.hasErrors())
     return;
@@ -86,6 +94,22 @@ Certifier::certifySource(std::string_view ClientSource,
   return certify(P, Diags);
 }
 
+namespace {
+
+void attachLints(CertificationReport &Report,
+                 const dataflow::PreAnalysisResult &PA) {
+  for (size_t I = 0; I != PA.Findings.size(); ++I) {
+    const dataflow::UninitUse &U = PA.Findings[I];
+    Report.Lints.push_back(
+        {PA.FindingMethods[I], U.Var, U.Loc,
+         "component variable '" + U.Var +
+             "' may be used before initialization in '" + U.ActionText + "'",
+         U.RequiresBearing});
+  }
+}
+
+} // namespace
+
 CertificationReport Certifier::certify(const cj::Program &P,
                                        DiagnosticEngine &Diags) const {
   CertificationReport Report;
@@ -93,15 +117,68 @@ CertificationReport Certifier::certify(const cj::Program &P,
   if (Diags.hasErrors())
     return Report;
 
+  // The Stage-0 lint runs for every engine; the program transformations
+  // feed the SCMPIntra path below only.
+  if (Opts.PreAnalysis && Engine != EngineKind::SCMPIntra) {
+    dataflow::PreAnalysisOptions LintOnly = Opts.Pre;
+    LintOnly.EliminateDeadStores = false;
+    LintOnly.Slice = false;
+    dataflow::PreAnalysisResult PA = dataflow::preAnalyze(CFG, Abs, LintOnly);
+    attachLints(Report, PA);
+    Report.Pre.Enabled = true;
+  }
+
   switch (Engine) {
   case EngineKind::SCMPIntra: {
-    for (const cj::CFGMethod &M : CFG.Methods) {
-      bp::BooleanProgram BP = bp::buildBooleanProgram(Abs, M, Diags);
-      bp::IntraResult R = bp::analyzeIntraproc(BP);
-      for (size_t I = 0; I != BP.Checks.size(); ++I)
-        Report.Checks.push_back(
-            {M.name(), BP.Checks[I].Loc, BP.Checks[I].What,
-             R.CheckResults[I]});
+    if (!Opts.PreAnalysis) {
+      for (const cj::CFGMethod &M : CFG.Methods) {
+        bp::BooleanProgram BP = bp::buildBooleanProgram(Abs, M, Diags);
+        bp::IntraResult R = bp::analyzeIntraproc(BP);
+        Report.BoolVars += BP.Vars.size();
+        Report.MaxBoolVars = std::max(Report.MaxBoolVars, BP.Vars.size());
+        for (size_t I = 0; I != BP.Checks.size(); ++I)
+          Report.Checks.push_back(
+              {M.name(), BP.Checks[I].Loc, BP.Checks[I].What,
+               R.CheckResults[I]});
+      }
+      return Report;
+    }
+
+    dataflow::PreAnalysisResult PA = dataflow::preAnalyze(CFG, Abs, Opts.Pre);
+    attachLints(Report, PA);
+    Report.Pre.Enabled = true;
+    Report.Pre.EdgesPruned = PA.totalEdgesPruned();
+    Report.Pre.DeadStoresRemoved = PA.totalDeadStores();
+    Report.Pre.VarsDropped = PA.totalVarsDropped();
+    Report.Pre.MultiSliceMethods = PA.multiSliceMethods();
+
+    for (const dataflow::MethodPlan &Plan : PA.Plans) {
+      bp::SlicedIntraResult SR =
+          bp::analyzeIntraprocSliced(Abs, Plan.CFG, Plan.Slices, Diags);
+      Report.Pre.SliceRuns += SR.SliceRuns;
+      Report.Pre.FallbackMethods += SR.FellBack;
+      Report.BoolVars += SR.BoolVars;
+      Report.MaxBoolVars = std::max(Report.MaxBoolVars, SR.MaxSliceBoolVars);
+
+      // Interleave the engine's verdicts with the obligations of pruned
+      // (entry-unreachable) edges, restoring original edge order.
+      const std::string Name = Plan.Source->name();
+      size_t I = 0, D = 0;
+      while (I != SR.Items.size() || D != Plan.DroppedChecks.size()) {
+        bool TakeDropped =
+            I == SR.Items.size() ||
+            (D != Plan.DroppedChecks.size() &&
+             Plan.DroppedChecks[D].OrigEdge <
+                 Plan.OrigEdgeIndex[SR.Items[I].Edge]);
+        if (TakeDropped) {
+          const dataflow::DroppedCheck &DC = Plan.DroppedChecks[D++];
+          Report.Checks.push_back(
+              {Name, DC.Loc, DC.What, bp::CheckOutcome::Unreachable});
+        } else {
+          const bp::SlicedCheckItem &It = SR.Items[I++];
+          Report.Checks.push_back({Name, It.Loc, It.What, It.Outcome});
+        }
+      }
     }
     return Report;
   }

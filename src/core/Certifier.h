@@ -19,6 +19,7 @@
 
 #include "boolprog/Analysis.h"
 #include "client/Parser.h"
+#include "dataflow/PreAnalysis.h"
 #include "easl/Parser.h"
 #include "wp/Abstraction.h"
 
@@ -55,12 +56,57 @@ struct CheckVerdict {
   bp::CheckOutcome Outcome;
 };
 
+/// A Stage-0 conformance lint: a component variable possibly used
+/// before initialization, reported with its client location before any
+/// engine runs.
+struct LintFinding {
+  std::string Method; ///< "Class::method" containing the use.
+  std::string Var;
+  SourceLoc Loc;
+  std::string What;
+  /// True when the use is a component call whose abstraction carries
+  /// requires clauses — the engine cannot certify those obligations
+  /// against an uninitialized receiver/operand.
+  bool RequiresBearing = false;
+};
+
+/// Aggregate statistics of the Stage-0 pre-analysis (see
+/// dataflow::preAnalyze).
+struct PreAnalysisSummary {
+  bool Enabled = false;
+  unsigned EdgesPruned = 0;
+  unsigned DeadStoresRemoved = 0;
+  unsigned VarsDropped = 0;
+  unsigned MultiSliceMethods = 0;
+  /// Boolean programs built and analyzed across all methods.
+  unsigned SliceRuns = 0;
+  /// Methods whose sliced run hit a Definite verdict and reran unsliced.
+  unsigned FallbackMethods = 0;
+};
+
 struct CertificationReport {
   std::vector<CheckVerdict> Checks;
-  unsigned numChecks() const { return Checks.size(); }
+  std::vector<LintFinding> Lints;
+  PreAnalysisSummary Pre;
+  /// Total and largest boolean-program size B across the per-method
+  /// (or per-slice) programs the SCMPIntra engine analyzed; zero for
+  /// other engines.
+  size_t BoolVars = 0;
+  size_t MaxBoolVars = 0;
+
+  size_t numChecks() const { return Checks.size(); }
   unsigned numFlagged() const;
   unsigned numVerified() const;
   std::string str() const;
+};
+
+/// Per-certifier knobs. Stage-0 pre-analysis is on by default: the lint
+/// runs for every engine, and the verdict-preserving program
+/// transformations (pruning, dead-store elimination, slicing) apply to
+/// the SCMPIntra engine.
+struct CertifierOptions {
+  bool PreAnalysis = true;
+  dataflow::PreAnalysisOptions Pre;
 };
 
 /// A generated certifier: a derived abstraction bound to a component
@@ -70,11 +116,13 @@ public:
   /// Generates a certifier from Easl source. Errors go to \p Diags.
   Certifier(std::string_view SpecSource, EngineKind Engine,
             DiagnosticEngine &Diags,
-            const wp::DerivationOptions &DOpts = {});
+            const wp::DerivationOptions &DOpts = {},
+            const CertifierOptions &Opts = {});
 
   const easl::Spec &spec() const { return S; }
   const wp::DerivedAbstraction &abstraction() const { return Abs; }
   EngineKind engine() const { return Engine; }
+  const CertifierOptions &options() const { return Opts; }
 
   /// Certifies \p ClientSource. For intraprocedural engines every client
   /// method is analyzed independently; the interprocedural engine
@@ -90,6 +138,7 @@ private:
   easl::Spec S;
   wp::DerivedAbstraction Abs;
   EngineKind Engine;
+  CertifierOptions Opts;
 };
 
 } // namespace core

@@ -1,0 +1,95 @@
+#include "dataflow/DefiniteAssignment.h"
+
+using namespace canvas;
+using namespace canvas::dataflow;
+
+namespace {
+
+/// Forward problem: bit I set = variable I may be uninitialized. Any
+/// assignment (including havoc — the variable then holds *some* value,
+/// e.g. null) clears the bit; joins are unions, so a variable assigned
+/// on only one branch stays possibly-uninitialized after the join.
+struct MayUninitProblem {
+  using State = BitVector;
+
+  const CompVarMap &Vars;
+  State Boundary;
+
+  MayUninitProblem(const cj::CFGMethod &M, const CompVarMap &Vars)
+      : Vars(Vars) {
+    Boundary.assign(Vars.size(), true);
+    for (const cj::CParam &P : M.Method->Params) {
+      int I = Vars.index(P.Name);
+      if (I >= 0)
+        Boundary[I] = false;
+    }
+  }
+
+  State boundary() const { return Boundary; }
+  bool join(State &Dst, const State &Src) const { return joinUnion(Dst, Src); }
+  State transfer(const cj::CFGEdge &E, const State &In) const {
+    const std::string *Def = actionDef(E.Act);
+    if (!Def)
+      return In;
+    State Out = In;
+    int I = Vars.index(*Def);
+    if (I >= 0)
+      Out[I] = false;
+    return Out;
+  }
+};
+
+/// True when the called component method carries requires obligations.
+bool callHasRequires(const cj::CFGMethod &M, const CompVarMap &Vars,
+                     const cj::Action &A, const wp::DerivedAbstraction *Abs) {
+  if (!Abs)
+    return false;
+  const wp::MethodAbstraction *MA = nullptr;
+  if (A.K == cj::Action::Kind::AllocComp) {
+    MA = Abs->findMethod(A.Callee, "new");
+  } else if (A.K == cj::Action::Kind::CompCall) {
+    int I = Vars.index(A.Recv);
+    if (I >= 0)
+      MA = Abs->findMethod(Vars.type(I), A.Callee);
+  }
+  (void)M;
+  return MA && !MA->RequiresFalse.empty();
+}
+
+} // namespace
+
+DefiniteAssignmentResult
+dataflow::analyzeDefiniteAssignment(const cj::CFGMethod &M,
+                                    const CFGInfo &Info,
+                                    const wp::DerivedAbstraction *Abs) {
+  DefiniteAssignmentResult R;
+  CompVarMap Vars(M);
+  if (Vars.size() == 0)
+    return R;
+
+  MayUninitProblem P(M, Vars);
+  SolveResult<MayUninitProblem> S = solve(Info, P, Direction::Forward);
+  R.NodeVisits = S.NodeVisits;
+
+  // Report uses against the pre-action state, in edge order.
+  for (size_t E = 0; E != M.Edges.size(); ++E) {
+    const cj::CFGEdge &Edge = M.Edges[E];
+    if (!S.reached(Edge.From))
+      continue;
+    const BitVector &In = *S.States[Edge.From];
+    bool Requires = callHasRequires(M, Vars, Edge.Act, Abs);
+    forEachActionUse(Edge.Act, [&](const std::string &Use) {
+      int I = Vars.index(Use);
+      if (I < 0 || !In[I])
+        return;
+      UninitUse U;
+      U.Var = Use;
+      U.Edge = static_cast<int>(E);
+      U.Loc = Edge.Act.Loc;
+      U.ActionText = Edge.Act.str();
+      U.RequiresBearing = Requires;
+      R.Uses.push_back(std::move(U));
+    });
+  }
+  return R;
+}

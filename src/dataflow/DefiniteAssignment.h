@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Definite-assignment lint for component locals (Stage-0 pass 1): a
+/// forward may-be-uninitialized bit-vector analysis over the monotone
+/// framework. Any use of a component local (call receiver, call or
+/// constructor argument, copy source) that may still hold its
+/// uninitialized junk value on some path is reported with the precise
+/// call location — before any certification engine runs, where the
+/// downstream engines could only report an opaque "potential violation".
+///
+/// Method parameters count as initialized on entry. Uses inside code
+/// unreachable from the method entry are not reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_DATAFLOW_DEFINITEASSIGNMENT_H
+#define CANVAS_DATAFLOW_DEFINITEASSIGNMENT_H
+
+#include "dataflow/Dataflow.h"
+#include "wp/Abstraction.h"
+
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace dataflow {
+
+/// One possibly-uninitialized use of a component local.
+struct UninitUse {
+  std::string Var;
+  /// Index of the CFG edge whose action performs the use.
+  int Edge = -1;
+  SourceLoc Loc;
+  /// Rendered action text, e.g. "i.next()".
+  std::string ActionText;
+  /// True when the use feeds a component call that carries requires
+  /// obligations under the derived abstraction — the cases where the
+  /// engines would otherwise report an unexplained potential violation.
+  bool RequiresBearing = false;
+};
+
+struct DefiniteAssignmentResult {
+  std::vector<UninitUse> Uses;
+  unsigned NodeVisits = 0;
+
+  bool clean() const { return Uses.empty(); }
+};
+
+/// Runs the forward may-uninitialized analysis on \p M and collects
+/// every possibly-uninitialized use, in edge order. \p Abs (optional)
+/// is consulted to mark requires-bearing call sites.
+DefiniteAssignmentResult
+analyzeDefiniteAssignment(const cj::CFGMethod &M, const CFGInfo &Info,
+                          const wp::DerivedAbstraction *Abs);
+
+} // namespace dataflow
+} // namespace canvas
+
+#endif // CANVAS_DATAFLOW_DEFINITEASSIGNMENT_H

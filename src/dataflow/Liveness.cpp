@@ -1,0 +1,114 @@
+#include "dataflow/Liveness.h"
+
+#include <set>
+
+using namespace canvas;
+using namespace canvas::dataflow;
+
+namespace {
+
+/// Backward problem: bit I set = variable I is live (its current value
+/// may still reach a real use). Copies propagate liveness from target
+/// to source; all other uses generate unconditionally.
+struct LivenessProblem {
+  using State = BitVector;
+
+  const CompVarMap &Vars;
+  State Boundary;
+
+  LivenessProblem(const CompVarMap &Vars, bool RetLiveAtExit) : Vars(Vars) {
+    Boundary.assign(Vars.size(), false);
+    if (RetLiveAtExit) {
+      int Ret = Vars.index("$ret");
+      if (Ret >= 0)
+        Boundary[Ret] = true;
+    }
+  }
+
+  State boundary() const { return Boundary; }
+  bool join(State &Dst, const State &Src) const { return joinUnion(Dst, Src); }
+
+  /// Live-before = (live-after \ def) ∪ gen. For a copy x = y the
+  /// source y is generated only when x was live after the copy.
+  State transfer(const cj::CFGEdge &E, const State &LiveAfter) const {
+    const cj::Action &A = E.Act;
+    State Out = LiveAfter;
+    bool DefWasLive = false;
+    if (const std::string *Def = actionDef(A)) {
+      int I = Vars.index(*Def);
+      if (I >= 0) {
+        DefWasLive = Out[I];
+        Out[I] = false;
+      }
+    }
+    if (A.K == cj::Action::Kind::Copy) {
+      if (DefWasLive) {
+        int Src = Vars.index(A.Args[0]);
+        if (Src >= 0)
+          Out[Src] = true;
+      }
+      return Out;
+    }
+    forEachActionUse(A, [&](const std::string &Use) {
+      int I = Vars.index(Use);
+      if (I >= 0)
+        Out[I] = true;
+    });
+    return Out;
+  }
+};
+
+} // namespace
+
+LivenessResult dataflow::analyzeLiveness(const cj::CFGMethod &M,
+                                         const CFGInfo &Info,
+                                         bool RetLiveAtExit) {
+  LivenessResult R(M);
+  LivenessProblem P(R.Vars, RetLiveAtExit);
+  SolveResult<LivenessProblem> S = solve(Info, P, Direction::Backward);
+  R.LiveAt = std::move(S.States);
+  R.NodeVisits = S.NodeVisits;
+  return R;
+}
+
+DeadStoreStats dataflow::eliminateDeadStores(cj::CFGMethod &M,
+                                             const LivenessResult &L,
+                                             bool KeepCallResults,
+                                             std::vector<std::string> &Retained) {
+  DeadStoreStats Stats;
+
+  // A store is dead when its target is not live immediately after the
+  // edge. Only copies and havocs can be dropped outright: calls and
+  // allocations keep their requires checks and their effects on other
+  // component objects, so only their (unused) result binding dies, and
+  // that happens through the retained-variable filter below.
+  for (cj::CFGEdge &E : M.Edges) {
+    cj::Action &A = E.Act;
+    if (A.K != cj::Action::Kind::Copy && A.K != cj::Action::Kind::Havoc)
+      continue;
+    if (!L.LiveAt[E.To] || L.live(E.To, A.Lhs))
+      continue;
+    A = cj::Action{}; // Nop.
+    ++Stats.StoresRemoved;
+  }
+
+  // Retained = variables used by any surviving action, plus call-result
+  // bindings when the abstraction may read predicates over "ret".
+  std::set<std::string> Used;
+  for (const cj::CFGEdge &E : M.Edges) {
+    forEachActionUse(E.Act, [&](const std::string &Use) { Used.insert(Use); });
+    if (KeepCallResults && !E.Act.Lhs.empty() &&
+        (E.Act.K == cj::Action::Kind::CompCall ||
+         E.Act.K == cj::Action::Kind::AllocComp))
+      Used.insert(E.Act.Lhs);
+  }
+  Retained.clear();
+  for (const auto &[Name, Type] : M.CompVars) {
+    (void)Type;
+    if (Used.count(Name))
+      Retained.push_back(Name);
+    else
+      ++Stats.VarsDropped;
+  }
+  return Stats;
+}

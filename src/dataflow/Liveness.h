@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Component liveness and dead-store elimination (Stage-0 pass 2): a
+/// backward bit-vector analysis over the monotone framework. A
+/// component local is live at a point when some path from it reaches a
+/// real use — a component-call receiver or argument, a constructor or
+/// client-call argument, or a copy whose target is itself live (copy
+/// chains are resolved flow-sensitively in the transfer function).
+///
+/// Dead-store elimination rewrites copies and havocs of dead targets to
+/// no-ops and computes the *retained* variable set: the component
+/// locals that still matter to any certification verdict. Dropping the
+/// others from the boolean-program instantiation shrinks B, the
+/// dominant cost term of the O(E·B²) SCMP engines, without changing any
+/// verdict (see DESIGN.md, "Stage 0 pre-analysis", for the argument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_DATAFLOW_LIVENESS_H
+#define CANVAS_DATAFLOW_LIVENESS_H
+
+#include "dataflow/Dataflow.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace dataflow {
+
+struct LivenessResult {
+  CompVarMap Vars;
+  /// Live set at each node (the program point the node represents), or
+  /// nullopt for nodes that cannot reach the exit.
+  std::vector<std::optional<BitVector>> LiveAt;
+  unsigned NodeVisits = 0;
+
+  explicit LivenessResult(const cj::CFGMethod &M) : Vars(M) {}
+  bool live(int Node, const std::string &Var) const {
+    int I = Vars.index(Var);
+    return I >= 0 && LiveAt[Node] && (*LiveAt[Node])[I];
+  }
+};
+
+/// Runs backward liveness on \p M. \p RetLiveAtExit keeps "$ret" (and
+/// anything copied into it) live at the method exit; the intraprocedural
+/// certifier never consults post-exit facts, so Stage 0 runs with it
+/// off.
+LivenessResult analyzeLiveness(const cj::CFGMethod &M, const CFGInfo &Info,
+                               bool RetLiveAtExit);
+
+struct DeadStoreStats {
+  unsigned StoresRemoved = 0;
+  unsigned VarsDropped = 0;
+};
+
+/// Rewrites dead copies/havocs in \p M to no-ops and fills \p Retained
+/// with the component variables (in declaration order) still used by
+/// any surviving action. Component calls and allocations with dead
+/// results keep their actions (their requires checks and effects on
+/// other objects must survive); their result variables are dropped from
+/// \p Retained when nothing else uses them.
+///
+/// \p KeepCallResults retains every call/allocation result variable even
+/// when unused — required for abstractions whose update rules read
+/// predicates over "ret" in the pre-call state (none of the built-in
+/// specs do; see PreAnalysis).
+DeadStoreStats eliminateDeadStores(cj::CFGMethod &M, const LivenessResult &L,
+                                   bool KeepCallResults,
+                                   std::vector<std::string> &Retained);
+
+} // namespace dataflow
+} // namespace canvas
+
+#endif // CANVAS_DATAFLOW_LIVENESS_H

@@ -1,0 +1,104 @@
+#include "dataflow/Slicing.h"
+
+#include <map>
+#include <numeric>
+
+using namespace canvas;
+using namespace canvas::dataflow;
+
+namespace {
+
+/// Plain union-find over dense variable indices.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+  int find(int X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void merge(int A, int B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<int> Parent;
+};
+
+} // namespace
+
+SliceResult dataflow::computeSlices(const cj::CFGMethod &M,
+                                    const std::vector<std::string> &Retained,
+                                    bool HasUninitUses,
+                                    bool AbsReadsRetSources) {
+  SliceResult R;
+  if (Retained.empty())
+    return R;
+
+  auto Single = [&](const char *Why) {
+    R.Slices.assign(1, Retained);
+    R.ForcedSingleReason = Why;
+    return R;
+  };
+
+  // Gates: any of these breaks the "cross-slice predicates stay false"
+  // invariant, so the whole method stays one slice.
+  if (M.HasHeapComponentRefs)
+    return Single("heap component references");
+  if (HasUninitUses)
+    return Single("possibly-uninitialized component uses");
+  if (AbsReadsRetSources)
+    return Single("abstraction reads pre-call 'ret' predicates");
+  for (const cj::CFGEdge &E : M.Edges)
+    if (E.Act.K == cj::Action::Kind::Havoc ||
+        E.Act.K == cj::Action::Kind::OpaqueEffect)
+      return Single("havocked component reference");
+
+  std::map<std::string, int> Index;
+  for (size_t I = 0; I != Retained.size(); ++I)
+    Index.emplace(Retained[I], static_cast<int>(I));
+  auto IndexOf = [&](const std::string &V) {
+    auto It = Index.find(V);
+    return It == Index.end() ? -1 : It->second;
+  };
+
+  UnionFind UF(Retained.size());
+  auto Merge = [&](int &Anchor, const std::string &V) {
+    int I = IndexOf(V);
+    if (I < 0)
+      return;
+    if (Anchor < 0)
+      Anchor = I;
+    else
+      UF.merge(Anchor, I);
+  };
+
+  // Parameters (and $ret) may be related before the method runs.
+  int ParamAnchor = -1;
+  for (const cj::CParam &P : M.Method->Params)
+    Merge(ParamAnchor, P.Name);
+  Merge(ParamAnchor, "$ret");
+
+  // Any action relating two variables merges their slices.
+  for (const cj::CFGEdge &E : M.Edges) {
+    int Anchor = -1;
+    if (const std::string *Def = actionDef(E.Act))
+      Merge(Anchor, *Def);
+    forEachActionUse(E.Act, [&](const std::string &Use) { Merge(Anchor, Use); });
+  }
+
+  // Emit slices in declaration order of their first member.
+  std::map<int, size_t> RootToSlice;
+  for (size_t I = 0; I != Retained.size(); ++I) {
+    int Root = UF.find(static_cast<int>(I));
+    auto It = RootToSlice.find(Root);
+    if (It == RootToSlice.end()) {
+      It = RootToSlice.emplace(Root, R.Slices.size()).first;
+      R.Slices.emplace_back();
+    }
+    R.Slices[It->second].push_back(Retained[I]);
+  }
+  return R;
+}

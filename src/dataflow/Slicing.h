@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instance slicing (Stage-0 pass 3): partitions a method's retained
+/// component locals into copy/alias-connected slices so the SCMP
+/// intraprocedural engine can run once per slice — O(E·Σ Bᵢ²) instead
+/// of O(E·B²) with B = Σ Bᵢ.
+///
+/// Two variables land in the same slice when any action mentions both
+/// (copies, call receiver/arguments/result, constructor arguments,
+/// client-call arguments); method parameters and "$ret" are merged into
+/// one group because they may already be related at method entry. A
+/// predicate instance over variables from *different* slices can then
+/// never become true — no action ever relates the objects — which is
+/// what makes per-slice certification verdict-preserving (see DESIGN.md
+/// for the argument and the fallback for definite violations).
+///
+/// Slicing is forced off (one slice) when the invariant cannot be
+/// established: heap component references, havoc/opaque actions,
+/// possibly-uninitialized uses, or abstractions with "ret"-reading
+/// update sources.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_DATAFLOW_SLICING_H
+#define CANVAS_DATAFLOW_SLICING_H
+
+#include "dataflow/Dataflow.h"
+
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace dataflow {
+
+struct SliceResult {
+  /// Partition of the retained variables; slices and the variables
+  /// within them follow declaration order. Always at least one slice
+  /// when the retained set is nonempty.
+  std::vector<std::vector<std::string>> Slices;
+  /// When slicing was forced off, the reason (static string); null
+  /// otherwise.
+  const char *ForcedSingleReason = nullptr;
+};
+
+/// Computes the slice partition of \p Retained for \p M (normally the
+/// pruned, dead-store-eliminated CFG). \p HasUninitUses and
+/// \p AbsReadsRetSources communicate the Stage-0 gates that force a
+/// single slice.
+SliceResult computeSlices(const cj::CFGMethod &M,
+                          const std::vector<std::string> &Retained,
+                          bool HasUninitUses, bool AbsReadsRetSources);
+
+} // namespace dataflow
+} // namespace canvas
+
+#endif // CANVAS_DATAFLOW_SLICING_H

@@ -1,0 +1,222 @@
+//===----------------------------------------------------------------------===//
+// Differential tests for the Stage-0 pre-analysis: with pre-analysis
+// enabled, every CheckVerdict (method, location, text, outcome) must be
+// identical to the pre-analysis-disabled run on every benchmark client,
+// while the boolean programs get smaller. Also covers the definite-
+// violation fallback, the lint on a purpose-built bad client, and the
+// report plumbing.
+//===----------------------------------------------------------------------===//
+
+#include "core/Certifier.h"
+#include "easl/Builtins.h"
+
+#include "../../bench/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace canvas;
+using namespace canvas::core;
+
+namespace {
+
+const EngineKind AllEngines[] = {
+    EngineKind::SCMPIntra, EngineKind::SCMPInterproc,
+    EngineKind::GenericAllocSite, EngineKind::TVLAIndependent,
+    EngineKind::TVLARelational};
+
+CertificationReport certifyWith(const char *Source, EngineKind K,
+                                bool PreAnalysis,
+                                const char *SpecSrc = nullptr) {
+  DiagnosticEngine Diags;
+  CertifierOptions Opts;
+  Opts.PreAnalysis = PreAnalysis;
+  Certifier C(SpecSrc ? SpecSrc : easl::cmpSpecSource(), K, Diags, {}, Opts);
+  CertificationReport R = C.certifySource(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return R;
+}
+
+void expectIdenticalChecks(const CertificationReport &On,
+                           const CertificationReport &Off,
+                           const std::string &Label) {
+  ASSERT_EQ(On.Checks.size(), Off.Checks.size()) << Label;
+  for (size_t I = 0; I != On.Checks.size(); ++I) {
+    const CheckVerdict &A = On.Checks[I];
+    const CheckVerdict &B = Off.Checks[I];
+    EXPECT_EQ(A.Method, B.Method) << Label << " check " << I;
+    EXPECT_EQ(A.Loc.Line, B.Loc.Line) << Label << " check " << I;
+    EXPECT_EQ(A.Loc.Col, B.Loc.Col) << Label << " check " << I;
+    EXPECT_EQ(A.What, B.What) << Label << " check " << I;
+    EXPECT_EQ(A.Outcome, B.Outcome) << Label << " check " << I;
+  }
+}
+
+// Every CMP benchmark client gets the same verdicts from SCMPIntra with
+// the verdict-preserving transformations on as with them off.
+TEST(PreAnalysisDifferentialTest, SCMPIntraVerdictsUnchangedOnSuite) {
+  for (const bench::BenchClient &BC : bench::cmpSuite()) {
+    CertificationReport On = certifyWith(BC.Source, EngineKind::SCMPIntra, true);
+    CertificationReport Off =
+        certifyWith(BC.Source, EngineKind::SCMPIntra, false);
+    EXPECT_TRUE(On.Pre.Enabled) << BC.Name;
+    EXPECT_FALSE(Off.Pre.Enabled) << BC.Name;
+    expectIdenticalChecks(On, Off, BC.Name);
+  }
+}
+
+// The other engines only gain the lint stage; their verdicts must be
+// byte-identical too.
+TEST(PreAnalysisDifferentialTest, AllEnginesVerdictsUnchanged) {
+  const char *Representatives[] = {"fig3", "two-collections", "four-pipelines"};
+  for (const bench::BenchClient &BC : bench::cmpSuite()) {
+    bool Selected = false;
+    for (const char *Name : Representatives)
+      Selected |= std::strcmp(BC.Name, Name) == 0;
+    if (!Selected)
+      continue;
+    for (EngineKind K : AllEngines) {
+      CertificationReport On = certifyWith(BC.Source, K, true);
+      CertificationReport Off = certifyWith(BC.Source, K, false);
+      expectIdenticalChecks(On, Off,
+                            std::string(BC.Name) + "/" + engineName(K));
+    }
+  }
+}
+
+// The multi-slice client really gets sliced, and slicing shrinks the
+// boolean programs.
+TEST(PreAnalysisDifferentialTest, FourPipelinesSlicesAndShrinks) {
+  const bench::BenchClient *Four = nullptr;
+  for (const bench::BenchClient &BC : bench::cmpSuite())
+    if (std::strcmp(BC.Name, "four-pipelines") == 0)
+      Four = &BC;
+  ASSERT_NE(Four, nullptr);
+
+  CertificationReport On = certifyWith(Four->Source, EngineKind::SCMPIntra, true);
+  CertificationReport Off =
+      certifyWith(Four->Source, EngineKind::SCMPIntra, false);
+  EXPECT_GE(On.Pre.MultiSliceMethods, 1u);
+  EXPECT_GE(On.Pre.SliceRuns, 4u);
+  EXPECT_EQ(On.Pre.FallbackMethods, 0u);
+  // The largest per-run boolean program is strictly smaller than the
+  // whole-method program, and so is the summed size.
+  EXPECT_LT(On.MaxBoolVars, Off.MaxBoolVars);
+  EXPECT_LT(On.BoolVars, Off.BoolVars);
+  expectIdenticalChecks(On, Off, "four-pipelines");
+}
+
+// A definite violation inside one slice triggers the unsliced rerun and
+// still reports identical verdicts (including the Definite outcome).
+TEST(PreAnalysisDifferentialTest, DefiniteViolationFallsBackUnsliced) {
+  const char *Source = R"(
+    class Bad {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add();
+        i.next();
+        Set t = new Set();
+        Iterator j = t.iterator();
+        j.next();
+      }
+    }
+  )";
+  CertificationReport On = certifyWith(Source, EngineKind::SCMPIntra, true);
+  CertificationReport Off = certifyWith(Source, EngineKind::SCMPIntra, false);
+  EXPECT_EQ(On.Pre.FallbackMethods, 1u);
+  bool SawDefinite = false;
+  for (const CheckVerdict &V : On.Checks)
+    SawDefinite |= V.Outcome == bp::CheckOutcome::Definite;
+  EXPECT_TRUE(SawDefinite);
+  expectIdenticalChecks(On, Off, "definite-fallback");
+}
+
+// Checks on pruned (statically unreachable) edges keep their slots in
+// the report with an Unreachable outcome.
+TEST(PreAnalysisDifferentialTest, PrunedChecksStayInReport) {
+  const char *Source = R"(
+    class Dead {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        i.next();
+        return;
+        s.add();
+        i.next();
+      }
+    }
+  )";
+  CertificationReport On = certifyWith(Source, EngineKind::SCMPIntra, true);
+  CertificationReport Off = certifyWith(Source, EngineKind::SCMPIntra, false);
+  EXPECT_GT(On.Pre.EdgesPruned, 0u);
+  expectIdenticalChecks(On, Off, "pruned-tail");
+  bool SawUnreachable = false;
+  for (const CheckVerdict &V : On.Checks)
+    SawUnreachable |= V.Outcome == bp::CheckOutcome::Unreachable;
+  EXPECT_TRUE(SawUnreachable);
+}
+
+// The Stage-0 lint fires on a purpose-built bad client with the exact
+// use location, for every engine.
+TEST(PreAnalysisDifferentialTest, LintFlagsUninitializedReceiver) {
+  const char *Source = R"(
+    class Bad {
+      void main() {
+        Set s = new Set();
+        Iterator i;
+        if (*) { i = s.iterator(); }
+        i.next();
+      }
+    }
+  )";
+  // i.next() is on source line 7 of the raw string above.
+  unsigned UseLine = 7;
+  for (EngineKind K : AllEngines) {
+    CertificationReport R = certifyWith(Source, K, true);
+    ASSERT_EQ(R.Lints.size(), 1u) << engineName(K);
+    EXPECT_EQ(R.Lints[0].Var, "i") << engineName(K);
+    EXPECT_EQ(R.Lints[0].Loc.Line, UseLine) << engineName(K);
+    EXPECT_TRUE(R.Lints[0].RequiresBearing) << engineName(K);
+    EXPECT_NE(R.Lints[0].What.find("may be used before initialization"),
+              std::string::npos)
+        << engineName(K);
+    EXPECT_NE(R.str().find("warning"), std::string::npos) << engineName(K);
+
+    CertificationReport Off = certifyWith(Source, K, false);
+    EXPECT_TRUE(Off.Lints.empty()) << engineName(K);
+  }
+}
+
+// Clean clients produce no lints and the report string has no warnings.
+TEST(PreAnalysisDifferentialTest, CleanClientHasNoLints) {
+  for (const bench::BenchClient &BC : bench::cmpSuite()) {
+    CertificationReport R = certifyWith(BC.Source, EngineKind::SCMPIntra, true);
+    EXPECT_TRUE(R.Lints.empty()) << BC.Name;
+    EXPECT_EQ(R.str().find("warning"), std::string::npos) << BC.Name;
+  }
+}
+
+// Dead component stores are removed and the dropped variables shrink B,
+// without changing any verdict.
+TEST(PreAnalysisDifferentialTest, DeadStoreEliminationShrinksB) {
+  const char *Source = R"(
+    class Dse {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Iterator unused = i;
+        i.next();
+      }
+    }
+  )";
+  CertificationReport On = certifyWith(Source, EngineKind::SCMPIntra, true);
+  CertificationReport Off = certifyWith(Source, EngineKind::SCMPIntra, false);
+  EXPECT_GE(On.Pre.DeadStoresRemoved, 1u);
+  EXPECT_GE(On.Pre.VarsDropped, 1u);
+  EXPECT_LT(On.BoolVars, Off.BoolVars);
+  expectIdenticalChecks(On, Off, "dse");
+}
+
+} // namespace

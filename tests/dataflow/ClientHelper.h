@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+// Shared helper for the dataflow tests: parses a CJ client against a
+// built-in spec and exposes its CFG methods.
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_TESTS_DATAFLOW_CLIENTHELPER_H
+#define CANVAS_TESTS_DATAFLOW_CLIENTHELPER_H
+
+#include "client/CFG.h"
+#include "client/Parser.h"
+#include "easl/Builtins.h"
+#include "easl/Parser.h"
+#include "wp/Abstraction.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace canvas {
+namespace dftest {
+
+struct Client {
+  DiagnosticEngine Diags;
+  easl::Spec Spec;
+  cj::Program Prog;
+  cj::ClientCFG CFG;
+
+  explicit Client(const char *Src, const char *SpecSrc = nullptr) {
+    Spec = easl::parseSpec(SpecSrc ? SpecSrc : easl::cmpSpecSource(), Diags);
+    Prog = cj::parseProgram(Src, Diags);
+    CFG = cj::buildCFG(Prog, Spec, Diags);
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  }
+
+  const cj::CFGMethod &method(const char *ClassName, const char *MethodName) {
+    const cj::CFGMethod *M = CFG.findMethod(ClassName, MethodName);
+    EXPECT_NE(M, nullptr) << ClassName << "::" << MethodName << " not found";
+    return *M;
+  }
+
+  wp::DerivedAbstraction derive() {
+    wp::DerivedAbstraction Abs = wp::deriveAbstraction(Spec, Diags);
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+    return Abs;
+  }
+};
+
+/// 1-based line of the first occurrence of \p Needle in \p Src.
+inline unsigned lineOf(const char *Src, const char *Needle) {
+  const char *P = std::strstr(Src, Needle);
+  EXPECT_NE(P, nullptr) << "needle '" << Needle << "' not in source";
+  if (!P)
+    return 0;
+  unsigned Line = 1;
+  for (const char *C = Src; C != P; ++C)
+    Line += *C == '\n';
+  return Line;
+}
+
+} // namespace dftest
+} // namespace canvas
+
+#endif // CANVAS_TESTS_DATAFLOW_CLIENTHELPER_H

@@ -1,0 +1,167 @@
+//===----------------------------------------------------------------------===//
+// Tests for the Stage-0 definite-assignment lint: diamond and loop
+// patterns, parameter initialization, copy-source uses, unreachable
+// code, and the requires-bearing flag with precise source locations.
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/DefiniteAssignment.h"
+
+#include "ClientHelper.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::dataflow;
+using canvas::dftest::Client;
+using canvas::dftest::lineOf;
+
+namespace {
+
+DefiniteAssignmentResult runLint(Client &C, const char *ClassName,
+                                 const char *MethodName,
+                                 const wp::DerivedAbstraction *Abs) {
+  const cj::CFGMethod &M = C.method(ClassName, MethodName);
+  CFGInfo Info(M);
+  return analyzeDefiniteAssignment(M, Info, Abs);
+}
+
+TEST(DefiniteAssignmentTest, DiamondOneBranchFlagsUse) {
+  const char *Src = R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i;
+        if (*) { i = s.iterator(); }
+        i.next();
+      }
+    }
+  )";
+  Client C(Src);
+  wp::DerivedAbstraction Abs = C.derive();
+  DefiniteAssignmentResult R = runLint(C, "C", "main", &Abs);
+
+  ASSERT_EQ(R.Uses.size(), 1u);
+  EXPECT_EQ(R.Uses[0].Var, "i");
+  EXPECT_EQ(R.Uses[0].Loc.Line, lineOf(Src, "i.next()"));
+  EXPECT_TRUE(R.Uses[0].RequiresBearing); // next() carries a requires.
+  EXPECT_NE(R.Uses[0].ActionText.find("next"), std::string::npos);
+}
+
+TEST(DefiniteAssignmentTest, BothBranchesAssignIsClean) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i;
+        if (*) { i = s.iterator(); } else { i = s.iterator(); }
+        i.next();
+      }
+    }
+  )");
+  wp::DerivedAbstraction Abs = C.derive();
+  EXPECT_TRUE(runLint(C, "C", "main", &Abs).clean());
+}
+
+TEST(DefiniteAssignmentTest, LoopFirstIterationUse) {
+  const char *Src = R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i;
+        while (*) {
+          i.next();
+          i = s.iterator();
+        }
+      }
+    }
+  )";
+  Client C(Src);
+  wp::DerivedAbstraction Abs = C.derive();
+  DefiniteAssignmentResult R = runLint(C, "C", "main", &Abs);
+  ASSERT_EQ(R.Uses.size(), 1u);
+  EXPECT_EQ(R.Uses[0].Var, "i");
+  EXPECT_EQ(R.Uses[0].Loc.Line, lineOf(Src, "i.next()"));
+}
+
+TEST(DefiniteAssignmentTest, AssignmentBeforeLoopIsClean) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        while (*) {
+          i.next();
+          i = s.iterator();
+        }
+      }
+    }
+  )");
+  wp::DerivedAbstraction Abs = C.derive();
+  EXPECT_TRUE(runLint(C, "C", "main", &Abs).clean());
+}
+
+TEST(DefiniteAssignmentTest, ParametersCountAsInitialized) {
+  Client C(R"(
+    class C {
+      void helper(Iterator i) {
+        i.next();
+      }
+    }
+  )");
+  wp::DerivedAbstraction Abs = C.derive();
+  EXPECT_TRUE(runLint(C, "C", "helper", &Abs).clean());
+}
+
+TEST(DefiniteAssignmentTest, CopySourceUseIsNotRequiresBearing) {
+  const char *Src = R"(
+    class C {
+      void main() {
+        Iterator i;
+        Iterator j = i;
+      }
+    }
+  )";
+  Client C(Src);
+  wp::DerivedAbstraction Abs = C.derive();
+  DefiniteAssignmentResult R = runLint(C, "C", "main", &Abs);
+  ASSERT_EQ(R.Uses.size(), 1u);
+  EXPECT_EQ(R.Uses[0].Var, "i");
+  EXPECT_FALSE(R.Uses[0].RequiresBearing);
+  EXPECT_EQ(R.Uses[0].Loc.Line, lineOf(Src, "Iterator j = i;"));
+}
+
+TEST(DefiniteAssignmentTest, UnreachableUseIsNotReported) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i;
+        return;
+        i.next();
+      }
+    }
+  )");
+  wp::DerivedAbstraction Abs = C.derive();
+  EXPECT_TRUE(runLint(C, "C", "main", &Abs).clean());
+}
+
+TEST(DefiniteAssignmentTest, NonRequiresCallStillFlagged) {
+  // iterator() has no requires clause, but the use is still reported —
+  // with the flag off.
+  const char *Src = R"(
+    class C {
+      void main() {
+        Set s;
+        Iterator i = s.iterator();
+      }
+    }
+  )";
+  Client C(Src);
+  wp::DerivedAbstraction Abs = C.derive();
+  DefiniteAssignmentResult R = runLint(C, "C", "main", &Abs);
+  ASSERT_EQ(R.Uses.size(), 1u);
+  EXPECT_EQ(R.Uses[0].Var, "s");
+  EXPECT_FALSE(R.Uses[0].RequiresBearing);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+//===----------------------------------------------------------------------===//
+// Tests for component liveness and dead-store elimination: dead copy
+// removal, copy-chain liveness, retained-variable computation, and the
+// guarantee that call actions survive even when their results die.
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Liveness.h"
+
+#include "ClientHelper.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace canvas;
+using namespace canvas::dataflow;
+using canvas::dftest::Client;
+
+namespace {
+
+struct DSERun {
+  cj::CFGMethod M;
+  DeadStoreStats Stats;
+  std::vector<std::string> Retained;
+
+  DSERun(Client &C, const char *ClassName, const char *MethodName,
+         bool KeepCallResults = false)
+      : M(C.method(ClassName, MethodName)) {
+    CFGInfo Info(M);
+    LivenessResult L = analyzeLiveness(M, Info, false);
+    Stats = eliminateDeadStores(M, L, KeepCallResults, Retained);
+  }
+
+  bool retains(const char *V) const {
+    return std::find(Retained.begin(), Retained.end(), V) != Retained.end();
+  }
+  unsigned nops() const {
+    unsigned N = 0;
+    for (const cj::CFGEdge &E : M.Edges)
+      N += E.Act.K == cj::Action::Kind::Nop;
+    return N;
+  }
+};
+
+TEST(LivenessTest, DeadCopyIsRemoved) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Iterator j = i;
+        i.next();
+      }
+    }
+  )");
+  DSERun R(C, "C", "main");
+  EXPECT_EQ(R.Stats.StoresRemoved, 1u); // j = i.
+  EXPECT_TRUE(R.retains("s"));
+  EXPECT_TRUE(R.retains("i"));
+  EXPECT_FALSE(R.retains("j"));
+  EXPECT_EQ(R.Stats.VarsDropped, 1u);
+}
+
+TEST(LivenessTest, CopyChainStaysLiveWhenUsed) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Iterator j = i;
+        j.next();
+      }
+    }
+  )");
+  DSERun R(C, "C", "main");
+  EXPECT_EQ(R.Stats.StoresRemoved, 0u);
+  EXPECT_TRUE(R.retains("i"));
+  EXPECT_TRUE(R.retains("j"));
+  EXPECT_EQ(R.Stats.VarsDropped, 0u);
+}
+
+TEST(LivenessTest, DeadCallResultKeepsCallDropsVariable) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add();
+      }
+    }
+  )");
+  DSERun R(C, "C", "main");
+  // The iterator() call must survive (it could carry requires checks),
+  // but its never-used result variable is dropped from instantiation.
+  EXPECT_EQ(R.Stats.StoresRemoved, 0u);
+  bool HasIteratorCall = false;
+  for (const cj::CFGEdge &E : R.M.Edges)
+    HasIteratorCall |= E.Act.Callee == "iterator";
+  EXPECT_TRUE(HasIteratorCall);
+  EXPECT_TRUE(R.retains("s"));
+  EXPECT_FALSE(R.retains("i"));
+  EXPECT_EQ(R.Stats.VarsDropped, 1u);
+}
+
+TEST(LivenessTest, KeepCallResultsRetainsDeadResults) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add();
+      }
+    }
+  )");
+  DSERun R(C, "C", "main", /*KeepCallResults=*/true);
+  EXPECT_TRUE(R.retains("i"));
+  EXPECT_EQ(R.Stats.VarsDropped, 0u);
+}
+
+TEST(LivenessTest, OverwrittenBeforeUseIsDead) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Iterator j = i;
+        j = s.iterator();
+        j.next();
+      }
+    }
+  )");
+  DSERun R(C, "C", "main");
+  // j = i is overwritten by the second iterator() before any use.
+  EXPECT_EQ(R.Stats.StoresRemoved, 1u);
+  EXPECT_FALSE(R.retains("i"));
+}
+
+TEST(LivenessTest, LoopUseKeepsStoreLive) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Iterator j = i;
+        while (*) { j.next(); }
+      }
+    }
+  )");
+  DSERun R(C, "C", "main");
+  EXPECT_EQ(R.Stats.StoresRemoved, 0u);
+  EXPECT_TRUE(R.retains("j"));
+  EXPECT_TRUE(R.retains("i"));
+}
+
+} // namespace

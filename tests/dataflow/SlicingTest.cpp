@@ -1,0 +1,172 @@
+//===----------------------------------------------------------------------===//
+// Tests for instance slicing: independent pipelines split, copies and
+// cross-variable calls merge, parameters group together, and the Stage-0
+// gates force a single slice.
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Slicing.h"
+
+#include "dataflow/Liveness.h"
+
+#include "ClientHelper.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::dataflow;
+using canvas::dftest::Client;
+
+namespace {
+
+/// Runs liveness + DSE to get the retained set, then slices it.
+struct SliceRun {
+  cj::CFGMethod M;
+  std::vector<std::string> Retained;
+  SliceResult R;
+
+  SliceRun(Client &C, const char *ClassName, const char *MethodName,
+           bool HasUninitUses = false, bool AbsReadsRetSources = false)
+      : M(C.method(ClassName, MethodName)) {
+    CFGInfo Info(M);
+    LivenessResult L = analyzeLiveness(M, Info, false);
+    eliminateDeadStores(M, L, false, Retained);
+    R = computeSlices(M, Retained, HasUninitUses, AbsReadsRetSources);
+  }
+
+  /// Index of the slice containing \p V, or -1.
+  int sliceOf(const char *V) const {
+    for (size_t S = 0; S != R.Slices.size(); ++S)
+      for (const std::string &Member : R.Slices[S])
+        if (Member == V)
+          return static_cast<int>(S);
+    return -1;
+  }
+};
+
+const char *TwoPipelines = R"(
+  class C {
+    void main() {
+      Set s = new Set();
+      Iterator i = s.iterator();
+      Set t = new Set();
+      Iterator j = t.iterator();
+      i.next();
+      j.next();
+    }
+  }
+)";
+
+TEST(SlicingTest, IndependentPipelinesSplit) {
+  Client C(TwoPipelines);
+  SliceRun S(C, "C", "main");
+  ASSERT_EQ(S.R.Slices.size(), 2u);
+  EXPECT_EQ(S.R.ForcedSingleReason, nullptr);
+  EXPECT_EQ(S.sliceOf("s"), S.sliceOf("i"));
+  EXPECT_EQ(S.sliceOf("t"), S.sliceOf("j"));
+  EXPECT_NE(S.sliceOf("s"), S.sliceOf("t"));
+}
+
+TEST(SlicingTest, CopyMergesSlices) {
+  Client C(R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Set t = new Set();
+        Iterator j = t.iterator();
+        j = i;
+        j.next();
+      }
+    }
+  )");
+  SliceRun S(C, "C", "main");
+  ASSERT_EQ(S.R.Slices.size(), 1u);
+  EXPECT_EQ(S.R.ForcedSingleReason, nullptr);
+}
+
+TEST(SlicingTest, CrossVariableCallMergesReceiverAndArgument) {
+  Client C(R"(
+    class C {
+      void main() {
+        Factory f = new Factory();
+        Widget a = f.make();
+        Factory g = new Factory();
+        Widget b = g.make();
+        a.combine(b);
+      }
+    }
+  )",
+           easl::impSpecSource());
+  SliceRun S(C, "C", "main");
+  // combine(b) relates a and b, transitively joining both factories.
+  ASSERT_EQ(S.R.Slices.size(), 1u);
+  EXPECT_EQ(S.R.ForcedSingleReason, nullptr);
+}
+
+TEST(SlicingTest, SeparateFactoriesSplitWithoutCombine) {
+  Client C(R"(
+    class C {
+      void main() {
+        Factory f = new Factory();
+        Widget a = f.make();
+        Factory g = new Factory();
+        Widget b = g.make();
+        a.combine(a);
+        b.combine(b);
+      }
+    }
+  )",
+           easl::impSpecSource());
+  SliceRun S(C, "C", "main");
+  ASSERT_EQ(S.R.Slices.size(), 2u);
+  EXPECT_EQ(S.sliceOf("f"), S.sliceOf("a"));
+  EXPECT_EQ(S.sliceOf("g"), S.sliceOf("b"));
+  EXPECT_NE(S.sliceOf("a"), S.sliceOf("b"));
+}
+
+TEST(SlicingTest, ParametersShareASlice) {
+  Client C(R"(
+    class C {
+      void helper(Set s, Set t) {
+        Iterator i = s.iterator();
+        Iterator j = t.iterator();
+        i.next();
+        j.next();
+      }
+    }
+  )");
+  SliceRun S(C, "C", "helper");
+  // s and t may alias at entry, so the parameter group keeps both
+  // pipelines together.
+  ASSERT_EQ(S.R.Slices.size(), 1u);
+  EXPECT_EQ(S.R.ForcedSingleReason, nullptr);
+}
+
+TEST(SlicingTest, UninitUsesForceSingleSlice) {
+  Client C(TwoPipelines);
+  SliceRun S(C, "C", "main", /*HasUninitUses=*/true);
+  ASSERT_EQ(S.R.Slices.size(), 1u);
+  ASSERT_NE(S.R.ForcedSingleReason, nullptr);
+  EXPECT_NE(std::string(S.R.ForcedSingleReason).find("uninitialized"),
+            std::string::npos);
+}
+
+TEST(SlicingTest, RetSourcesForceSingleSlice) {
+  Client C(TwoPipelines);
+  SliceRun S(C, "C", "main", false, /*AbsReadsRetSources=*/true);
+  ASSERT_EQ(S.R.Slices.size(), 1u);
+  ASSERT_NE(S.R.ForcedSingleReason, nullptr);
+}
+
+TEST(SlicingTest, EmptyRetainedYieldsNoSlices) {
+  Client C(R"(
+    class C {
+      void main() { }
+    }
+  )");
+  SliceRun S(C, "C", "main");
+  EXPECT_TRUE(S.Retained.empty());
+  EXPECT_TRUE(S.R.Slices.empty());
+}
+
+} // namespace
