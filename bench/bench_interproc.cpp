@@ -104,6 +104,8 @@ void printTable() {
               "===\n");
   std::printf("%-18s | %28s | %28s\n", "program",
               "scmp-intra  chk flag FA  us", "scmp-inter  chk flag FA  us");
+  std::string Json = "{\"bench\":\"interproc-ifds\",\"clients\":[";
+  bool First = true;
   for (const Prog &P : Programs) {
     std::printf("%-18s", P.Name);
     for (EngineKind K : {EngineKind::SCMPIntra, EngineKind::SCMPInterproc}) {
@@ -119,10 +121,25 @@ void printTable() {
               .count();
       std::printf(" | %11zu %4u %2u %5.0f", R.numChecks(), R.numFlagged(),
                   Cmp.FalseAlarms, Us);
+      if (K == EngineKind::SCMPInterproc) {
+        char Buf[512];
+        std::snprintf(
+            Buf, sizeof(Buf),
+            "%s{\"name\":\"%s\",\"us\":%.1f,\"checks\":%zu,"
+            "\"flagged\":%u,\"false_alarms\":%u,"
+            "\"summary_iterations\":%u,\"exploded_nodes\":%zu,"
+            "\"path_edges\":%zu,\"summaries\":%zu,\"witness_us\":%.1f}",
+            First ? "" : ",", P.Name, Us, R.numChecks(), R.numFlagged(),
+            Cmp.FalseAlarms, R.Inter.SummaryIterations, R.Inter.ExplodedNodes,
+            R.Inter.PathEdges, R.Inter.Summaries, R.Inter.WitnessMicros);
+        Json += Buf;
+        First = false;
+      }
     }
     std::printf("\n");
   }
-  std::printf("\n");
+  Json += "]}";
+  std::printf("\nBENCH_JSON %s\n\n", Json.c_str());
 }
 
 void BM_Interproc(benchmark::State &State) {

@@ -1,8 +1,11 @@
 #include "boolprog/Analysis.h"
 
+#include "boolprog/Witness.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <memory>
 
 using namespace canvas;
 using namespace canvas::bp;
@@ -23,26 +26,12 @@ std::string IntraResult::stateStr(const BooleanProgram &BP, int Node) const {
   return Out;
 }
 
-static const char *outcomeStr(CheckOutcome O) {
-  switch (O) {
-  case CheckOutcome::Safe:
-    return "verified";
-  case CheckOutcome::Potential:
-    return "POTENTIAL VIOLATION";
-  case CheckOutcome::Definite:
-    return "DEFINITE VIOLATION";
-  case CheckOutcome::Unreachable:
-    return "unreachable";
-  }
-  return "?";
-}
-
 std::string IntraResult::reportStr(const BooleanProgram &BP) const {
   std::string Out;
   for (size_t I = 0; I != BP.Checks.size(); ++I) {
     const Check &C = BP.Checks[I];
     Out += C.Loc.str() + ": " + C.What + ": " +
-           outcomeStr(CheckResults[I]) + "\n";
+           core::outcomeStr(CheckResults[I]) + "\n";
   }
   return Out;
 }
@@ -189,9 +178,24 @@ SlicedIntraResult bp::analyzeIntraprocSliced(
     ++R.SliceRuns;
     R.BoolVars += BP.Vars.size();
     R.MaxSliceBoolVars = std::max(R.MaxSliceBoolVars, BP.Vars.size());
-    for (size_t I = 0; I != BP.Checks.size(); ++I)
-      R.Items.push_back({BP.Checks[I].Edge, BP.Checks[I].Loc,
-                         BP.Checks[I].What, IR.CheckResults[I]});
+    // The witness engine tabulates the slice's exploded supergraph once,
+    // and only when some check in this slice is actually flagged.
+    std::unique_ptr<IntraWitnessEngine> WE;
+    for (size_t I = 0; I != BP.Checks.size(); ++I) {
+      SlicedCheckItem Item;
+      Item.Edge = BP.Checks[I].Edge;
+      Item.Rec.Loc = BP.Checks[I].Loc;
+      Item.Rec.What = BP.Checks[I].What;
+      Item.Rec.ReqLoc = BP.Checks[I].ReqLoc;
+      Item.Rec.Outcome = IR.CheckResults[I];
+      if (Item.Rec.Outcome == CheckOutcome::Potential ||
+          Item.Rec.Outcome == CheckOutcome::Definite) {
+        if (!WE)
+          WE = std::make_unique<IntraWitnessEngine>(BP);
+        Item.Rec.Witness = WE->witnessFor(I);
+      }
+      R.Items.push_back(std::move(Item));
+    }
   };
 
   if (Slices.empty()) {
@@ -209,7 +213,7 @@ SlicedIntraResult bp::analyzeIntraprocSliced(
   if (Slices.size() > 1) {
     bool AnyDefinite = false;
     for (const SlicedCheckItem &I : R.Items)
-      AnyDefinite |= I.Outcome == CheckOutcome::Definite;
+      AnyDefinite |= I.Rec.Outcome == CheckOutcome::Definite;
     if (AnyDefinite) {
       // A definite violation kills the continuing edge (the call
       // throws), truncating paths for every slice — rerun over the

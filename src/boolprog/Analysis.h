@@ -19,6 +19,7 @@
 #define CANVAS_BOOLPROG_ANALYSIS_H
 
 #include "boolprog/BooleanProgram.h"
+#include "core/Verdict.h"
 
 #include <cstdint>
 #include <string>
@@ -54,14 +55,9 @@ inline const char *vsStr(ValueSet V) {
   return "?";
 }
 
-/// Verdict for one requires check.
-enum class CheckOutcome {
-  Safe,        ///< 1 is not a possible value: verified.
-  Potential,   ///< 1 is possible but not the only value: may violate.
-  Definite,    ///< The only possible value is 1: violates on every path
-               ///< reaching the call.
-  Unreachable, ///< The call site is unreachable.
-};
+/// Verdict for one requires check — the shared vocabulary of
+/// core/Verdict.h (every engine reports through core::CheckRecord).
+using CheckOutcome = core::CheckOutcome;
 
 struct IntraResult {
   /// In[n][v] = possible values of variable v on entry to node n.
@@ -96,12 +92,14 @@ IntraResult analyzeIntraproc(const BooleanProgram &BP,
                              bool AssumeChecksPass = true);
 
 /// One merged requires verdict from a sliced run; Items are ordered by
-/// edge index, matching the check order of the unsliced program.
+/// edge index, matching the check order of the unsliced program. Rec
+/// carries the shared verdict record (Method is left for the caller to
+/// fill); Potential verdicts carry a witness trace whose step/edge
+/// indices refer to the analyzed (possibly pre-analysis-transformed)
+/// CFG — remap through the MethodPlan before reporting.
 struct SlicedCheckItem {
   int Edge = -1;
-  SourceLoc Loc;
-  std::string What;
-  CheckOutcome Outcome = CheckOutcome::Safe;
+  core::CheckRecord Rec;
 };
 
 struct SlicedIntraResult {

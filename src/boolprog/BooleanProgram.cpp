@@ -304,6 +304,7 @@ private:
       Check C;
       C.Edge = E;
       C.Loc = A.Loc;
+      C.ReqLoc = ReqLoc;
       C.What = A.str() + " requires !" + App.str(Abs.Families);
       int VarIdx = -1;
       switch (instantiateApp(App, B, VarIdx)) {
@@ -327,7 +328,6 @@ private:
         break;
       }
       Out.Checks.push_back(std::move(C));
-      (void)ReqLoc;
     }
 
     // Update rules.

@@ -61,6 +61,8 @@ struct Check {
   /// violations arise from degenerate instantiations).
   bool ConstantViolated = false;
   SourceLoc Loc;
+  /// Location of the requires clause in the component specification.
+  SourceLoc ReqLoc;
   std::string What; ///< "i2.next() requires !stale(i2)" style text.
 };
 

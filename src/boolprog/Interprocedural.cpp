@@ -1,10 +1,14 @@
 #include "boolprog/Interprocedural.h"
 
+#include "boolprog/Witness.h"
+#include "ifds/Solver.h"
+#include "ifds/Witness.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
 #include <array>
-#include <deque>
+#include <chrono>
+#include <map>
 #include <set>
 
 using namespace canvas;
@@ -13,7 +17,7 @@ using namespace canvas::wp;
 
 unsigned InterResult::numFlagged() const {
   unsigned N = 0;
-  for (const CheckVerdict &C : Checks)
+  for (const core::CheckRecord &C : Checks)
     N += C.Outcome == CheckOutcome::Potential ||
          C.Outcome == CheckOutcome::Definite;
   return N;
@@ -21,36 +25,19 @@ unsigned InterResult::numFlagged() const {
 
 std::string InterResult::str() const {
   std::string Out;
-  for (const CheckVerdict &C : Checks) {
-    const char *O = "?";
-    switch (C.Outcome) {
-    case CheckOutcome::Safe:
-      O = "verified";
-      break;
-    case CheckOutcome::Potential:
-      O = "POTENTIAL VIOLATION";
-      break;
-    case CheckOutcome::Definite:
-      O = "DEFINITE VIOLATION";
-      break;
-    case CheckOutcome::Unreachable:
-      O = "unreachable";
-      break;
-    }
-    Out += C.Method->name() + " " + C.Loc.str() + ": " + C.What + ": " + O +
-           "\n";
+  for (const core::CheckRecord &C : Checks) {
+    Out += C.Method + " " + C.Loc.str() + ": " + C.What + ": " +
+           core::outcomeStr(C.Outcome) + "\n";
+    if (!C.Witness.empty())
+      Out += C.Witness.str();
   }
   return Out;
 }
 
 namespace {
 
-/// Entry-fact dependence set: boolvar indices at method entry, or
-/// Lambda (-1) for "unconditionally may-be-1".
-constexpr int Lambda = -1;
-using DepSet = std::set<int>;
-
-/// Per-method analysis artifacts.
+/// Per-method analysis artifacts: the ghost-extended CFG, its boolean
+/// program, and the exploded-edge reading of the program's assignments.
 struct MethodInfo {
   const cj::CFGMethod *Orig = nullptr;
   /// CFG copy with ghost variables appended to CompVars.
@@ -60,509 +47,434 @@ struct MethodInfo {
   std::map<std::string, std::array<std::string, 2>> Ghosts;
   /// Canonical body -> BP var index.
   std::map<std::string, int> VarIdx;
-  /// R[node][var]: entry facts whose 1-ness implies var may be 1 at
-  /// node.
-  std::vector<std::vector<DepSet>> R;
-  std::vector<bool> Reached;
-  /// Summary: R at the exit node.
-  std::vector<DepSet> Summary;
-  /// Phase 2: entry vars that may be 1 in some calling context.
-  std::set<int> EntryMay1;
-  bool Callable = false; ///< Reachable from the entry method.
+  std::vector<EdgeFlow> Flows;
 };
 
-class InterprocAnalysis {
-public:
-  InterprocAnalysis(const DerivedAbstraction &Abs, const cj::ClientCFG &CFG,
-                    const cj::CFGMethod &Entry, DiagnosticEngine &Diags)
-      : Abs(Abs), CFG(CFG), Entry(Entry), Diags(Diags) {}
+/// Caller-to-callee renaming of one variable tuple: actuals become
+/// formals, the call result becomes $ret, everything else becomes a
+/// ghost (at most two distinct ghosts per type).
+struct TupleMap {
+  std::vector<std::string> CalleeArgs;
+  /// Ghost name -> caller variable, for the inverse translation.
+  std::map<std::string, std::string> GhostToCaller;
+};
 
-  InterResult run() {
-    buildMethodInfos();
-    computeSummaries();
-    propagateEntryFacts();
-    return report();
+/// Precomputed call-site translation tables for one ClientCall edge
+/// with a known callee. Facts are 0 = Lambda, 1+v = boolean variable v.
+struct CallTable {
+  int Callee = -1;
+  const cj::Action *Call = nullptr;
+  /// FeedOut[caller fact] -> callee entry facts it genuinely feeds
+  /// (the inverted calleeEntryFactMay1 relation).
+  std::vector<std::vector<int>> FeedOut;
+  /// Caller vars whose tuple is not mappable into the callee: they
+  /// flow Lambda -> 1+B across the call unconditionally.
+  std::vector<int> Bypass;
+  /// Callee var c -> caller vars B whose tuple maps onto c.
+  std::map<int, std::vector<int>> SummaryTargets;
+  /// Tuple map per mapped caller var.
+  std::map<int, TupleMap> TMs;
+  /// Memoized return-translation feeders per (caller var B, callee
+  /// entry var e): caller facts whose 1-ness lets summary entry fact
+  /// 1+e contribute to 1+B.
+  mutable std::map<std::pair<int, int>, std::vector<int>> Feeders;
+};
+
+class InterprocProblem : public ifds::Problem {
+public:
+  InterprocProblem(const DerivedAbstraction &Abs, const cj::ClientCFG &CFG,
+                   const cj::CFGMethod &Entry, DiagnosticEngine &Diags)
+      : Abs(Abs) {
+    build(CFG, Entry, Diags);
   }
+
+  //===--- ifds::Problem -------------------------------------------------===//
+
+  int numProcs() const override { return static_cast<int>(Infos.size()); }
+  const ifds::ProcView &proc(int P) const override { return Views[P]; }
+  int entryProc() const override { return EntryIdx; }
+  int numFacts(int P) const override {
+    return 1 + static_cast<int>(Infos[P].BP.Vars.size());
+  }
+
+  void initialFacts(std::vector<int> &Out) const override {
+    // The entry method's variables are unconstrained at entry.
+    for (int F = 0; F != numFacts(EntryIdx); ++F)
+      Out.push_back(F);
+  }
+
+  void flowNormal(int P, int Edge, int Fact,
+                  std::vector<int> &Out) const override {
+    // Covers plain edges and ClientCall edges with an unknown callee,
+    // whose boolean-program lowering is a clobber of every fact.
+    applyEdgeFlow(Infos[P].Flows[Edge], Fact, nullptr, Out);
+  }
+
+  void flowCall(int P, int Edge, int Fact,
+                std::vector<int> &Out) const override {
+    const CallTable &CT = Tables[P].at(Edge);
+    Out = CT.FeedOut[Fact];
+  }
+
+  void flowCallToReturn(int P, int Edge, int Fact,
+                        std::vector<int> &Out) const override {
+    if (Fact != ifds::LambdaFact)
+      return;
+    const CallTable &CT = Tables[P].at(Edge);
+    Out.push_back(ifds::LambdaFact);
+    for (int B : CT.Bypass)
+      Out.push_back(1 + B);
+  }
+
+  void flowSummary(int P, int Edge, int Fact, int CalleeEntryFact,
+                   int CalleeExitFact, std::vector<int> &Out) const override {
+    if (CalleeExitFact == ifds::LambdaFact)
+      return; // Reachability crosses via flowCallToReturn.
+    const CallTable &CT = Tables[P].at(Edge);
+    auto It = CT.SummaryTargets.find(CalleeExitFact - 1);
+    if (It == CT.SummaryTargets.end())
+      return;
+    for (int B : It->second) {
+      if (CalleeEntryFact == ifds::LambdaFact) {
+        // An unconditional callee fact: flows whenever the call site
+        // is reached.
+        if (Fact == ifds::LambdaFact)
+          Out.push_back(1 + B);
+        continue;
+      }
+      const std::vector<int> &F =
+          feedersOf(P, CT, B, CalleeEntryFact - 1);
+      if (std::find(F.begin(), F.end(), Fact) != F.end())
+        Out.push_back(1 + B);
+    }
+  }
+
+  //===--- verdict/witness accessors -------------------------------------===//
+
+  const std::vector<MethodInfo> &infos() const { return Infos; }
 
 private:
-  /// Component types mentioned by any predicate family.
-  std::vector<std::string> relevantTypes() const {
-    std::vector<std::string> Ts;
-    for (const PredicateFamily &F : Abs.Families)
-      for (const std::string &T : F.VarTypes)
-        if (std::find(Ts.begin(), Ts.end(), T) == Ts.end())
-          Ts.push_back(T);
-    return Ts;
-  }
+  void build(const cj::ClientCFG &CFG, const cj::CFGMethod &Entry,
+             DiagnosticEngine &Diags);
+  void buildCallTable(int CallerIdx, int EdgeIdx, const cj::Action &Call,
+                      int CalleeIdx);
 
-  void buildMethodInfos() {
-    std::vector<std::string> Types = relevantTypes();
-    for (const cj::CFGMethod &M : CFG.Methods) {
-      MethodInfo Info;
-      Info.Orig = &M;
-      Info.Ext = M; // Copy; Edges/CompVars are value types.
-      for (const std::string &T : Types) {
-        std::array<std::string, 2> Names = {"$g0$" + T, "$g1$" + T};
-        for (const std::string &G : Names)
-          Info.Ext.CompVars.emplace_back(G, T);
-        Info.Ghosts.emplace(T, Names);
-      }
-      Infos.push_back(std::move(Info));
-    }
-    for (MethodInfo &Info : Infos) {
-      Info.BP = buildBooleanProgram(Abs, Info.Ext, Diags);
-      for (size_t V = 0; V != Info.BP.Vars.size(); ++V)
-        Info.VarIdx.emplace(Info.BP.Vars[V].Name, static_cast<int>(V));
-      Info.Summary.assign(Info.BP.Vars.size(), {});
-    }
-  }
-
-  MethodInfo *infoOf(const cj::CMethod *M) {
-    for (MethodInfo &Info : Infos)
-      if (Info.Orig->Method == M)
-        return &Info;
-    return nullptr;
-  }
-
-  MethodInfo *infoOf(const cj::CFGMethod &M) {
-    for (MethodInfo &Info : Infos)
-      if (Info.Orig == &M)
-        return &Info;
-    return nullptr;
+  int indexOf(const cj::CMethod *M) const {
+    for (size_t I = 0; I != Infos.size(); ++I)
+      if (Infos[I].Orig->Method == M)
+        return static_cast<int>(I);
+    return -1;
   }
 
   static bool isGhost(const std::string &Name) {
     return Name.size() > 3 && Name[0] == '$' && Name[1] == 'g';
   }
 
-  std::string typeOfVarIn(const MethodInfo &Info, const std::string &V) {
+  static std::string typeOfVarIn(const MethodInfo &Info,
+                                 const std::string &V) {
     for (const auto &[Name, T] : Info.Ext.CompVars)
       if (Name == V)
         return T;
     return "";
   }
 
-  //===------------------------------------------------------------------===//
-  // Call-site translation
-  //===------------------------------------------------------------------===//
-
-  /// Caller-to-callee renaming of one variable tuple: actuals become
-  /// formals, the call result becomes $ret, everything else becomes a
-  /// ghost (at most two distinct ghosts per type).
-  struct TupleMap {
-    std::vector<std::string> CalleeArgs;
-    /// Ghost name -> caller variable, for the inverse translation.
-    std::map<std::string, std::string> GhostToCaller;
-  };
-
   bool mapTuple(const MethodInfo &Caller, const MethodInfo &Callee,
                 const cj::Action &Call, const std::vector<std::string> &Args,
-                TupleMap &Out) {
-    std::map<std::string, unsigned> GhostsUsed;
-    std::map<std::string, std::string> Assigned;
-    for (const std::string &A : Args) {
-      auto It = Assigned.find(A);
-      if (It != Assigned.end()) {
-        Out.CalleeArgs.push_back(It->second);
-        continue;
-      }
-      std::string Mapped;
-      if (!Call.Lhs.empty() && A == Call.Lhs) {
-        Mapped = "$ret";
-      } else {
-        for (size_t I = 0; I != Call.Args.size() &&
-                           I != Call.CalleeMethod->Params.size();
-             ++I)
-          if (Call.Args[I] == A && !Call.Args[I].empty()) {
-            Mapped = Call.CalleeMethod->Params[I].Name;
-            break;
-          }
-      }
-      if (Mapped.empty()) {
-        std::string T = typeOfVarIn(Caller, A);
-        auto GIt = Callee.Ghosts.find(T);
-        if (GIt == Callee.Ghosts.end())
-          return false;
-        unsigned &Used = GhostsUsed[T];
-        if (Used >= 2)
-          return false;
-        Mapped = GIt->second[Used++];
-        Out.GhostToCaller[Mapped] = A;
-      }
-      Assigned.emplace(A, Mapped);
-      Out.CalleeArgs.push_back(Mapped);
-    }
-    return true;
-  }
+                TupleMap &Out) const;
 
   /// Looks up the boolvar for (Family, Args) in \p Info. Returns 0 for
   /// constant-false, 1 for constant-true (or unknown, conservatively),
   /// 2 for a variable (set in \p VarOut).
   int instantiateIn(const MethodInfo &Info, int Family,
-                    const std::vector<std::string> &Args, int &VarOut) {
-    const PredicateFamily &Fam = Abs.Families[Family];
-    Conjunction Body;
-    switch (instantiateFamily(Fam, Args, Fam.VarTypes, Body)) {
-    case InstResult::False:
-      return 0;
-    case InstResult::True:
-      return 1;
-    case InstResult::Conj:
-      break;
+                    const std::vector<std::string> &Args, int &VarOut) const;
+
+  /// Caller facts genuinely feeding callee entry fact 1+e at this call
+  /// site: the inverted per-tuple enumeration of the functional engine
+  /// (slot order matters — the first decisive slot wins, matching the
+  /// original formulation exactly).
+  std::vector<int> factFeeders(const MethodInfo &Caller,
+                               const MethodInfo &Callee,
+                               const cj::Action &Call, int CalleeFact) const;
+
+  /// Caller facts through which summary entry fact 1+e reaches caller
+  /// var B at return: the translate-back of the functional engine.
+  const std::vector<int> &feedersOf(int CallerIdx, const CallTable &CT,
+                                    int B, int CalleeEntryVar) const;
+
+  const DerivedAbstraction &Abs;
+  std::vector<MethodInfo> Infos;
+  std::vector<ifds::ProcView> Views;
+  /// Per (proc, edge) call tables for known-callee ClientCall edges.
+  std::vector<std::map<int, CallTable>> Tables;
+  int EntryIdx = -1;
+};
+
+void InterprocProblem::build(const cj::ClientCFG &CFG,
+                             const cj::CFGMethod &Entry,
+                             DiagnosticEngine &Diags) {
+  // Component types mentioned by any predicate family.
+  std::vector<std::string> Types;
+  for (const PredicateFamily &F : Abs.Families)
+    for (const std::string &T : F.VarTypes)
+      if (std::find(Types.begin(), Types.end(), T) == Types.end())
+        Types.push_back(T);
+
+  for (const cj::CFGMethod &M : CFG.Methods) {
+    MethodInfo Info;
+    Info.Orig = &M;
+    Info.Ext = M; // Copy; Edges/CompVars are value types.
+    for (const std::string &T : Types) {
+      std::array<std::string, 2> Names = {"$g0$" + T, "$g1$" + T};
+      for (const std::string &G : Names)
+        Info.Ext.CompVars.emplace_back(G, T);
+      Info.Ghosts.emplace(T, Names);
     }
-    auto It = Info.VarIdx.find(conjunctionStr(Body));
-    if (It == Info.VarIdx.end())
-      return 1; // Unknown instance: conservative.
-    VarOut = It->second;
-    return 2;
+    if (&M == &Entry)
+      EntryIdx = static_cast<int>(Infos.size());
+    Infos.push_back(std::move(Info));
+  }
+  for (MethodInfo &Info : Infos) {
+    Info.BP = buildBooleanProgram(Abs, Info.Ext, Diags);
+    for (size_t V = 0; V != Info.BP.Vars.size(); ++V)
+      Info.VarIdx.emplace(Info.BP.Vars[V].Name, static_cast<int>(V));
+    Info.Flows = computeEdgeFlows(Info.BP);
   }
 
-  /// Translates a callee entry fact back into caller dependences under
-  /// the per-tuple ghost assignment, composing with the caller relation
-  /// at the call site.
-  void translateEntryFactBack(const MethodInfo &Caller,
-                              const MethodInfo &Callee,
-                              const cj::Action &Call, const TupleMap &TM,
-                              int CalleeFact,
-                              const std::vector<DepSet> &CallerState,
-                              DepSet &Out) {
-    const BoolVar &BV = Callee.BP.Vars[CalleeFact];
-    std::vector<std::string> CallerArgs(BV.Args.size());
-    for (size_t I = 0; I != BV.Args.size(); ++I) {
-      const std::string &V = BV.Args[I];
-      auto GIt = TM.GhostToCaller.find(V);
-      if (GIt != TM.GhostToCaller.end()) {
-        CallerArgs[I] = GIt->second;
-        continue;
-      }
-      bool Found = false;
-      for (size_t P = 0; P != Call.CalleeMethod->Params.size() &&
-                         P != Call.Args.size();
-           ++P)
-        if (Call.CalleeMethod->Params[P].Name == V && !Call.Args[P].empty()) {
-          CallerArgs[I] = Call.Args[P];
-          Found = true;
+  Views.resize(Infos.size());
+  Tables.resize(Infos.size());
+  for (size_t P = 0; P != Infos.size(); ++P) {
+    const cj::CFGMethod &M = Infos[P].Ext;
+    ifds::ProcView &V = Views[P];
+    V.Entry = M.Entry;
+    V.Exit = M.Exit;
+    V.NumNodes = M.NumNodes;
+    for (size_t E = 0; E != M.Edges.size(); ++E) {
+      const cj::CFGEdge &Edge = M.Edges[E];
+      int Callee = -1;
+      if (Edge.Act.K == cj::Action::Kind::ClientCall)
+        Callee = indexOf(Edge.Act.CalleeMethod);
+      V.Edges.push_back({Edge.From, Edge.To, Callee});
+      if (Callee >= 0)
+        buildCallTable(static_cast<int>(P), static_cast<int>(E), Edge.Act,
+                       Callee);
+    }
+  }
+}
+
+bool InterprocProblem::mapTuple(const MethodInfo &Caller,
+                                const MethodInfo &Callee,
+                                const cj::Action &Call,
+                                const std::vector<std::string> &Args,
+                                TupleMap &Out) const {
+  std::map<std::string, unsigned> GhostsUsed;
+  std::map<std::string, std::string> Assigned;
+  for (const std::string &A : Args) {
+    auto It = Assigned.find(A);
+    if (It != Assigned.end()) {
+      Out.CalleeArgs.push_back(It->second);
+      continue;
+    }
+    std::string Mapped;
+    if (!Call.Lhs.empty() && A == Call.Lhs) {
+      Mapped = "$ret";
+    } else {
+      for (size_t I = 0;
+           I != Call.Args.size() && I != Call.CalleeMethod->Params.size();
+           ++I)
+        if (Call.Args[I] == A && !Call.Args[I].empty()) {
+          Mapped = Call.CalleeMethod->Params[I].Name;
           break;
         }
-      if (!Found) {
-        // A callee local, $ret, an unbound formal, or a callee ghost not
-        // in this tuple's assignment: uninitialized/arbitrary at callee
-        // entry, hence unconditionally may-be-1.
-        Out.insert(Lambda);
-        return;
-      }
     }
+    if (Mapped.empty()) {
+      std::string T = typeOfVarIn(Caller, A);
+      auto GIt = Callee.Ghosts.find(T);
+      if (GIt == Callee.Ghosts.end())
+        return false;
+      unsigned &Used = GhostsUsed[T];
+      if (Used >= 2)
+        return false;
+      Mapped = GIt->second[Used++];
+      Out.GhostToCaller[Mapped] = A;
+    }
+    Assigned.emplace(A, Mapped);
+    Out.CalleeArgs.push_back(Mapped);
+  }
+  return true;
+}
+
+int InterprocProblem::instantiateIn(const MethodInfo &Info, int Family,
+                                    const std::vector<std::string> &Args,
+                                    int &VarOut) const {
+  const PredicateFamily &Fam = Abs.Families[Family];
+  Conjunction Body;
+  switch (instantiateFamily(Fam, Args, Fam.VarTypes, Body)) {
+  case InstResult::False:
+    return 0;
+  case InstResult::True:
+    return 1;
+  case InstResult::Conj:
+    break;
+  }
+  auto It = Info.VarIdx.find(conjunctionStr(Body));
+  if (It == Info.VarIdx.end())
+    return 1; // Unknown instance: conservative.
+  VarOut = It->second;
+  return 2;
+}
+
+std::vector<int> InterprocProblem::factFeeders(const MethodInfo &Caller,
+                                               const MethodInfo &Callee,
+                                               const cj::Action &Call,
+                                               int CalleeFact) const {
+  const BoolVar &BV = Callee.BP.Vars[CalleeFact];
+  std::vector<std::vector<std::string>> Cands(BV.Args.size());
+  for (size_t I = 0; I != BV.Args.size(); ++I) {
+    const std::string &V = BV.Args[I];
+    if (isGhost(V)) {
+      // An arbitrary caller object of the slot's type.
+      const PredicateFamily &Fam = Abs.Families[BV.Family];
+      for (const auto &[Name, T] : Caller.Ext.CompVars)
+        if (T == Fam.VarTypes[I])
+          Cands[I].push_back(Name);
+      if (Cands[I].empty())
+        return {};
+      continue;
+    }
+    bool IsFormal = false;
+    for (size_t P = 0;
+         P != Call.CalleeMethod->Params.size() && P != Call.Args.size(); ++P)
+      if (Call.CalleeMethod->Params[P].Name == V) {
+        if (Call.Args[P].empty())
+          return {ifds::LambdaFact}; // Unknown actual: conservative.
+        Cands[I] = {Call.Args[P]};
+        IsFormal = true;
+        break;
+      }
+    if (!IsFormal)
+      return {ifds::LambdaFact}; // Callee local / $ret: uninitialized.
+  }
+  // Enumerate candidate tuples (arity <= 2 keeps this tiny).
+  std::set<int> Feeders;
+  std::vector<size_t> Idx(BV.Args.size(), 0);
+  while (true) {
+    std::vector<std::string> Tuple(BV.Args.size());
+    for (size_t I = 0; I != Idx.size(); ++I)
+      Tuple[I] = Cands[I][Idx[I]];
     int CallerVar = -1;
-    switch (instantiateIn(Caller, BV.Family, CallerArgs, CallerVar)) {
-    case 0:
-      return; // Constant-false at entry: contributes nothing.
+    switch (instantiateIn(Caller, BV.Family, Tuple, CallerVar)) {
     case 1:
-      Out.insert(Lambda);
-      return;
+      Feeders.insert(ifds::LambdaFact);
+      break;
+    case 2:
+      Feeders.insert(1 + CallerVar);
+      break;
     default:
       break;
     }
-    const DepSet &D = CallerState[CallerVar];
-    Out.insert(D.begin(), D.end());
-  }
-
-  /// The relation transfer for one ClientCall edge.
-  std::vector<DepSet> composeCall(const MethodInfo &Caller,
-                                  const cj::Action &Call,
-                                  const std::vector<DepSet> &CallerState) {
-    MethodInfo *Callee = infoOf(Call.CalleeMethod);
-    std::vector<DepSet> Out(CallerState.size());
-    if (!Callee) {
-      for (DepSet &D : Out)
-        D = {Lambda};
-      return Out;
-    }
-    for (size_t B = 0; B != Caller.BP.Vars.size(); ++B) {
-      const BoolVar &BV = Caller.BP.Vars[B];
-      TupleMap TM;
-      if (!mapTuple(Caller, *Callee, Call, BV.Args, TM)) {
-        Out[B] = {Lambda};
-        continue;
-      }
-      int CalleeVar = -1;
-      if (instantiateIn(*Callee, BV.Family, TM.CalleeArgs, CalleeVar) != 2) {
-        // Injective renaming preserves constant-ness; if we land on a
-        // constant or unknown instance, stay conservative.
-        Out[B] = {Lambda};
-        continue;
-      }
-      DepSet D;
-      for (int E : Callee->Summary[CalleeVar]) {
-        if (E == Lambda) {
-          D.insert(Lambda);
-          continue;
-        }
-        translateEntryFactBack(Caller, *Callee, Call, TM, E, CallerState, D);
-      }
-      Out[B] = std::move(D);
-    }
-    return Out;
-  }
-
-  //===------------------------------------------------------------------===//
-  // Phase 1: summaries
-  //===------------------------------------------------------------------===//
-
-  /// Recomputes the relation fixpoint of \p Info under current callee
-  /// summaries; returns true when its summary changed.
-  bool recomputeMethod(MethodInfo &Info) {
-    const cj::CFGMethod &M = Info.Ext;
-    size_t NVars = Info.BP.Vars.size();
-    Info.R.assign(M.NumNodes, {});
-    Info.Reached.assign(M.NumNodes, false);
-    Info.R[M.Entry].resize(NVars);
-    for (size_t V = 0; V != NVars; ++V)
-      Info.R[M.Entry][V] = {static_cast<int>(V)};
-    Info.Reached[M.Entry] = true;
-
-    std::vector<std::vector<int>> OutEdges(M.NumNodes);
-    for (size_t E = 0; E != M.Edges.size(); ++E)
-      OutEdges[M.Edges[E].From].push_back(static_cast<int>(E));
-
-    std::deque<int> Worklist{M.Entry};
-    std::vector<bool> Queued(M.NumNodes, false);
-    Queued[M.Entry] = true;
-    while (!Worklist.empty()) {
-      int N = Worklist.front();
-      Worklist.pop_front();
-      Queued[N] = false;
-      for (int EIdx : OutEdges[N]) {
-        const cj::CFGEdge &E = M.Edges[EIdx];
-        std::vector<DepSet> OutState;
-        if (E.Act.K == cj::Action::Kind::ClientCall) {
-          OutState = composeCall(Info, E.Act, Info.R[N]);
-        } else {
-          OutState = Info.R[N];
-          for (const auto &[Tgt, Rhs] : Info.BP.EdgeAssignments[EIdx]) {
-            DepSet D;
-            switch (Rhs.K) {
-            case BoolRhs::Kind::Const:
-              if (Rhs.PlusOne)
-                D.insert(Lambda);
-              break;
-            case BoolRhs::Kind::Unknown:
-              D.insert(Lambda);
-              break;
-            case BoolRhs::Kind::Or:
-              if (Rhs.PlusOne)
-                D.insert(Lambda);
-              for (int S : Rhs.Sources) {
-                const DepSet &SD = Info.R[N][S];
-                D.insert(SD.begin(), SD.end());
-              }
-              break;
-            }
-            OutState[Tgt] = std::move(D);
-          }
-        }
-        bool Changed = false;
-        if (!Info.Reached[E.To]) {
-          Info.R[E.To] = std::move(OutState);
-          Info.Reached[E.To] = true;
-          Changed = true;
-        } else {
-          for (size_t V = 0; V != NVars; ++V)
-            for (int D : OutState[V])
-              Changed |= Info.R[E.To][V].insert(D).second;
-        }
-        if (Changed && !Queued[E.To]) {
-          Queued[E.To] = true;
-          Worklist.push_back(E.To);
-        }
-      }
-    }
-
-    std::vector<DepSet> NewSummary = Info.Reached[M.Exit]
-                                         ? Info.R[M.Exit]
-                                         : std::vector<DepSet>(NVars);
-    if (NewSummary == Info.Summary)
-      return false;
-    Info.Summary = std::move(NewSummary);
-    return true;
-  }
-
-  void computeSummaries() {
-    std::map<const MethodInfo *, std::set<MethodInfo *>> Callers;
-    for (MethodInfo &Info : Infos)
-      for (const cj::CFGEdge &E : Info.Ext.Edges)
-        if (E.Act.K == cj::Action::Kind::ClientCall)
-          if (MethodInfo *Callee = infoOf(E.Act.CalleeMethod))
-            Callers[Callee].insert(&Info);
-
-    std::deque<MethodInfo *> Worklist;
-    for (MethodInfo &Info : Infos)
-      Worklist.push_back(&Info);
-    std::set<MethodInfo *> Queued(Worklist.begin(), Worklist.end());
-    while (!Worklist.empty()) {
-      MethodInfo *Info = Worklist.front();
-      Worklist.pop_front();
-      Queued.erase(Info);
-      ++Result.SummaryIterations;
-      if (!recomputeMethod(*Info))
-        continue;
-      for (MethodInfo *Caller : Callers[Info])
-        if (Queued.insert(Caller).second)
-          Worklist.push_back(Caller);
-    }
-  }
-
-  //===------------------------------------------------------------------===//
-  // Phase 2: entry-fact propagation
-  //===------------------------------------------------------------------===//
-
-  bool may1At(const MethodInfo &Info, int Node, int Var) {
-    if (!Info.Reached[Node])
-      return false;
-    for (int D : Info.R[Node][Var]) {
-      if (D == Lambda || Info.EntryMay1.count(D))
-        return true;
-    }
-    return false;
-  }
-
-  void propagateEntryFacts() {
-    MethodInfo *EntryInfo = infoOf(Entry);
-    if (!EntryInfo)
-      return;
-    EntryInfo->Callable = true;
-    // The entry method's variables are unconstrained at entry.
-    for (size_t V = 0; V != EntryInfo->BP.Vars.size(); ++V)
-      EntryInfo->EntryMay1.insert(static_cast<int>(V));
-
-    std::deque<MethodInfo *> Worklist{EntryInfo};
-    std::set<MethodInfo *> Queued{EntryInfo};
-    while (!Worklist.empty()) {
-      MethodInfo *Caller = Worklist.front();
-      Worklist.pop_front();
-      Queued.erase(Caller);
-      for (size_t EIdx = 0; EIdx != Caller->Ext.Edges.size(); ++EIdx) {
-        const cj::CFGEdge &E = Caller->Ext.Edges[EIdx];
-        if (E.Act.K != cj::Action::Kind::ClientCall)
-          continue;
-        if (!Caller->Reached[E.From])
-          continue;
-        MethodInfo *Callee = infoOf(E.Act.CalleeMethod);
-        if (!Callee)
-          continue;
-        bool Changed = !Callee->Callable;
-        Callee->Callable = true;
-        for (size_t BC = 0; BC != Callee->BP.Vars.size(); ++BC) {
-          if (Callee->EntryMay1.count(static_cast<int>(BC)))
-            continue;
-          if (calleeEntryFactMay1(*Caller, *Callee, E.Act, E.From,
-                                  static_cast<int>(BC))) {
-            Callee->EntryMay1.insert(static_cast<int>(BC));
-            Changed = true;
-          }
-        }
-        if (Changed && Queued.insert(Callee).second)
-          Worklist.push_back(Callee);
-      }
-    }
-  }
-
-  /// May the callee entry fact \p CalleeFact be 1 for some caller
-  /// instantiation at this call site?
-  bool calleeEntryFactMay1(MethodInfo &Caller, MethodInfo &Callee,
-                           const cj::Action &Call, int FromNode,
-                           int CalleeFact) {
-    const BoolVar &BV = Callee.BP.Vars[CalleeFact];
-    std::vector<std::vector<std::string>> Cands(BV.Args.size());
-    for (size_t I = 0; I != BV.Args.size(); ++I) {
-      const std::string &V = BV.Args[I];
-      if (isGhost(V)) {
-        // An arbitrary caller object of the slot's type.
-        const PredicateFamily &Fam = Abs.Families[BV.Family];
-        for (const auto &[Name, T] : Caller.Ext.CompVars)
-          if (T == Fam.VarTypes[I])
-            Cands[I].push_back(Name);
-        if (Cands[I].empty())
-          return false;
-        continue;
-      }
-      bool IsFormal = false;
-      for (size_t P = 0; P != Call.CalleeMethod->Params.size() &&
-                         P != Call.Args.size();
-           ++P)
-        if (Call.CalleeMethod->Params[P].Name == V) {
-          if (Call.Args[P].empty())
-            return true; // Unknown actual: conservative.
-          Cands[I] = {Call.Args[P]};
-          IsFormal = true;
-          break;
-        }
-      if (!IsFormal)
-        return true; // Callee local / $ret: uninitialized at entry.
-    }
-    // Enumerate candidate tuples (arity <= 2 keeps this tiny).
-    std::vector<size_t> Idx(BV.Args.size(), 0);
-    while (true) {
-      std::vector<std::string> Tuple(BV.Args.size());
-      for (size_t I = 0; I != Idx.size(); ++I)
-        Tuple[I] = Cands[I][Idx[I]];
-      int CallerVar = -1;
-      switch (instantiateIn(Caller, BV.Family, Tuple, CallerVar)) {
-      case 1:
-        return true;
-      case 2:
-        if (may1At(Caller, FromNode, CallerVar))
-          return true;
+    size_t I = 0;
+    for (; I != Idx.size(); ++I) {
+      if (++Idx[I] < Cands[I].size())
         break;
-      default:
+      Idx[I] = 0;
+    }
+    if (I == Idx.size())
+      break;
+  }
+  return {Feeders.begin(), Feeders.end()};
+}
+
+void InterprocProblem::buildCallTable(int CallerIdx, int EdgeIdx,
+                                      const cj::Action &Call,
+                                      int CalleeIdx) {
+  const MethodInfo &Caller = Infos[CallerIdx];
+  const MethodInfo &Callee = Infos[CalleeIdx];
+  CallTable CT;
+  CT.Callee = CalleeIdx;
+  CT.Call = &Call;
+
+  for (size_t B = 0; B != Caller.BP.Vars.size(); ++B) {
+    const BoolVar &BV = Caller.BP.Vars[B];
+    TupleMap TM;
+    if (!mapTuple(Caller, Callee, Call, BV.Args, TM)) {
+      CT.Bypass.push_back(static_cast<int>(B));
+      continue;
+    }
+    int CalleeVar = -1;
+    if (instantiateIn(Callee, BV.Family, TM.CalleeArgs, CalleeVar) != 2) {
+      // Injective renaming preserves constant-ness; if we land on a
+      // constant or unknown instance, stay conservative.
+      CT.Bypass.push_back(static_cast<int>(B));
+      continue;
+    }
+    CT.SummaryTargets[CalleeVar].push_back(static_cast<int>(B));
+    CT.TMs.emplace(static_cast<int>(B), std::move(TM));
+  }
+
+  CT.FeedOut.resize(1 + Caller.BP.Vars.size());
+  CT.FeedOut[ifds::LambdaFact].push_back(ifds::LambdaFact);
+  for (size_t E = 0; E != Callee.BP.Vars.size(); ++E)
+    for (int F : factFeeders(Caller, Callee, Call, static_cast<int>(E)))
+      CT.FeedOut[F].push_back(1 + static_cast<int>(E));
+
+  Tables[CallerIdx].emplace(EdgeIdx, std::move(CT));
+}
+
+const std::vector<int> &InterprocProblem::feedersOf(int CallerIdx,
+                                                    const CallTable &CT,
+                                                    int B,
+                                                    int CalleeEntryVar) const {
+  auto Key = std::make_pair(B, CalleeEntryVar);
+  auto It = CT.Feeders.find(Key);
+  if (It != CT.Feeders.end())
+    return It->second;
+
+  const MethodInfo &Caller = Infos[CallerIdx];
+  const MethodInfo &Callee = Infos[CT.Callee];
+  const cj::Action &Call = *CT.Call;
+  const TupleMap &TM = CT.TMs.at(B);
+  const BoolVar &BV = Callee.BP.Vars[CalleeEntryVar];
+
+  std::vector<int> Result;
+  std::vector<std::string> CallerArgs(BV.Args.size());
+  bool Unmapped = false;
+  for (size_t I = 0; I != BV.Args.size() && !Unmapped; ++I) {
+    const std::string &V = BV.Args[I];
+    auto GIt = TM.GhostToCaller.find(V);
+    if (GIt != TM.GhostToCaller.end()) {
+      CallerArgs[I] = GIt->second;
+      continue;
+    }
+    bool Found = false;
+    for (size_t P = 0;
+         P != Call.CalleeMethod->Params.size() && P != Call.Args.size(); ++P)
+      if (Call.CalleeMethod->Params[P].Name == V && !Call.Args[P].empty()) {
+        CallerArgs[I] = Call.Args[P];
+        Found = true;
         break;
       }
-      size_t I = 0;
-      for (; I != Idx.size(); ++I) {
-        if (++Idx[I] < Cands[I].size())
-          break;
-        Idx[I] = 0;
-      }
-      if (I == Idx.size())
-        return false;
+    // A callee local, $ret, an unbound formal, or a callee ghost not in
+    // this tuple's assignment: uninitialized/arbitrary at callee entry,
+    // hence unconditionally may-be-1.
+    Unmapped = !Found;
+  }
+  if (Unmapped) {
+    Result.push_back(ifds::LambdaFact);
+  } else {
+    int CallerVar = -1;
+    switch (instantiateIn(Caller, BV.Family, CallerArgs, CallerVar)) {
+    case 0:
+      break; // Constant-false at entry: contributes nothing.
+    case 1:
+      Result.push_back(ifds::LambdaFact);
+      break;
+    default:
+      Result.push_back(1 + CallerVar);
+      break;
     }
   }
-
-  //===------------------------------------------------------------------===//
-  // Phase 3: check evaluation
-  //===------------------------------------------------------------------===//
-
-  InterResult report() {
-    for (MethodInfo &Info : Infos) {
-      if (!Info.Callable)
-        continue;
-      for (const Check &C : Info.BP.Checks) {
-        InterResult::CheckVerdict V;
-        V.Method = Info.Orig;
-        V.Loc = C.Loc;
-        V.What = C.What;
-        int From = Info.Ext.Edges[C.Edge].From;
-        if (!Info.Reached[From]) {
-          V.Outcome = CheckOutcome::Unreachable;
-        } else if (C.Var < 0) {
-          V.Outcome = C.ConstantViolated ? CheckOutcome::Potential
-                                         : CheckOutcome::Safe;
-        } else {
-          V.Outcome = may1At(Info, From, C.Var) ? CheckOutcome::Potential
-                                                : CheckOutcome::Safe;
-        }
-        Result.Checks.push_back(std::move(V));
-      }
-    }
-    return std::move(Result);
-  }
-
-  const DerivedAbstraction &Abs;
-  const cj::ClientCFG &CFG;
-  const cj::CFGMethod &Entry;
-  DiagnosticEngine &Diags;
-  std::vector<MethodInfo> Infos;
-  InterResult Result;
-};
+  return CT.Feeders.emplace(Key, std::move(Result)).first->second;
+}
 
 } // namespace
 
@@ -570,5 +482,62 @@ InterResult bp::analyzeInterproc(const DerivedAbstraction &Abs,
                                  const cj::ClientCFG &CFG,
                                  const cj::CFGMethod &Entry,
                                  DiagnosticEngine &Diags) {
-  return InterprocAnalysis(Abs, CFG, Entry, Diags).run();
+  InterprocProblem Prob(Abs, CFG, Entry, Diags);
+  ifds::Solver Solver(Prob);
+  Solver.solve();
+
+  InterResult R;
+  R.SummaryIterations = Solver.stats().Visits;
+  R.ExplodedNodes = Solver.stats().ExplodedNodes;
+  R.PathEdges = Solver.stats().PathEdges;
+  R.Summaries = Solver.stats().Summaries;
+
+  const std::vector<MethodInfo> &Infos = Prob.infos();
+  std::vector<TraceRenderProc> Render;
+  for (const MethodInfo &Info : Infos)
+    Render.push_back({&Info.Ext, &Info.BP});
+
+  std::unique_ptr<ifds::WitnessBuilder> WB;
+  for (size_t P = 0; P != Infos.size(); ++P) {
+    const MethodInfo &Info = Infos[P];
+    int PI = static_cast<int>(P);
+    if (!Solver.reached(PI, Info.Ext.Entry, ifds::LambdaFact))
+      continue; // Not callable from the entry method.
+    for (const Check &C : Info.BP.Checks) {
+      core::CheckRecord Rec;
+      Rec.Method = Info.Orig->name();
+      Rec.Loc = C.Loc;
+      Rec.What = C.What;
+      Rec.ReqLoc = C.ReqLoc;
+      int From = Info.Ext.Edges[C.Edge].From;
+      int Fact = C.Var >= 0 ? 1 + C.Var : ifds::LambdaFact;
+      if (!Solver.reached(PI, From, ifds::LambdaFact)) {
+        Rec.Outcome = CheckOutcome::Unreachable;
+      } else if (C.Var < 0) {
+        Rec.Outcome = C.ConstantViolated ? CheckOutcome::Potential
+                                         : CheckOutcome::Safe;
+      } else {
+        Rec.Outcome = Solver.reached(PI, From, Fact)
+                          ? CheckOutcome::Potential
+                          : CheckOutcome::Safe;
+      }
+      if (Rec.Outcome == CheckOutcome::Potential) {
+        auto T0 = std::chrono::steady_clock::now();
+        if (!WB)
+          WB = std::make_unique<ifds::WitnessBuilder>(Solver);
+        std::vector<ifds::TraceStep> Steps;
+        int Seed = ifds::LambdaFact;
+        if (WB->reconstruct(PI, From, Fact, Steps, Seed)) {
+          Rec.Witness = renderTrace(Steps, Render, Prob.entryProc(), Seed);
+          Rec.Witness.Steps.push_back(
+              renderCheckStep(Info.Ext, Info.BP, C));
+        }
+        auto T1 = std::chrono::steady_clock::now();
+        R.WitnessMicros +=
+            std::chrono::duration<double, std::micro>(T1 - T0).count();
+      }
+      R.Checks.push_back(std::move(Rec));
+    }
+  }
+  return R;
 }

@@ -1,15 +1,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Context-sensitive interprocedural SCMP certification (Section 8):
-/// a functional (summary-based) formulation that computes the
-/// meet-over-all-valid-paths "may-be-1" solution in polynomial time.
+/// Context-sensitive interprocedural SCMP certification (Section 8) as
+/// a client of the shared IFDS solver (src/ifds/): exploded
+/// reachability over facts "boolean variable may be 1" plus Lambda,
+/// with procedure summaries.
 ///
 /// Key ideas:
 ///  - Only "may the variable be 1" matters for certification (all update
 ///    formulas are positive disjunctions; requires checks consult
-///    1-membership only), so procedure summaries are relations from
-///    entry facts to exit facts — an IFDS-style exploded reachability.
+///    1-membership only), so the domain distributes over union and the
+///    meet-over-all-valid-paths solution is exploded-supergraph
+///    reachability — an IFDS problem.
 ///  - A callee can affect component objects it cannot name (e.g. calling
 ///    add() on a collection aliased with a caller-local iterator's set).
 ///    Each method is therefore analyzed over its variables *extended
@@ -17,7 +19,13 @@
 ///    arbitrary caller objects; the derived update rules quantify
 ///    uniformly over them. At call/return, caller facts are translated
 ///    through formals/actuals and per-tuple ghost instantiation, which
-///    keeps the translation exact for predicates of arity <= 2.
+///    keeps the translation exact for predicates of arity <= 2. The
+///    tuple assignment must stay consistent between the call and return
+///    translations, which is why the problem supplies the combined
+///    Problem::flowSummary composition.
+///  - Every Potential verdict carries a shortest call/return-matched
+///    witness path from the program entry, reconstructed from the
+///    solver's predecessor records (ifds/Witness.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,9 +35,9 @@
 #include "boolprog/Analysis.h"
 #include "boolprog/BooleanProgram.h"
 #include "client/CFG.h"
+#include "core/Verdict.h"
 #include "wp/Abstraction.h"
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -37,19 +45,19 @@ namespace canvas {
 namespace bp {
 
 /// Verdicts for every requires check in every method reachable from the
-/// entry method.
+/// entry method, with witness traces on Potential verdicts.
 struct InterResult {
-  struct CheckVerdict {
-    const cj::CFGMethod *Method = nullptr;
-    SourceLoc Loc;
-    std::string What;
-    CheckOutcome Outcome; ///< Safe / Potential / Unreachable (the
-                          ///< interprocedural analysis does not
-                          ///< classify Definite).
-  };
-  std::vector<CheckVerdict> Checks;
-  /// Summary recomputations until the mutual fixpoint stabilized.
+  std::vector<core::CheckRecord> Checks;
+  /// Worklist visits of the tabulation until the mutual fixpoint of all
+  /// procedure summaries stabilized.
   unsigned SummaryIterations = 0;
+  /// Distinct (procedure, node, fact) triples reached in the exploded
+  /// supergraph.
+  size_t ExplodedNodes = 0;
+  size_t PathEdges = 0;
+  size_t Summaries = 0;
+  /// Wall-clock time spent reconstructing witness traces, microseconds.
+  double WitnessMicros = 0;
 
   unsigned numFlagged() const;
   std::string str() const;

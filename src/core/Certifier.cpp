@@ -1,11 +1,13 @@
 #include "core/Certifier.h"
 
 #include "boolprog/Interprocedural.h"
+#include "boolprog/Witness.h"
 #include "client/CFG.h"
 #include "core/GenericBaseline.h"
 #include "tvla/Certify.h"
 
 #include <algorithm>
+#include <memory>
 
 using namespace canvas;
 using namespace canvas::core;
@@ -29,15 +31,15 @@ const char *core::engineName(EngineKind K) {
 unsigned CertificationReport::numFlagged() const {
   unsigned N = 0;
   for (const CheckVerdict &C : Checks)
-    N += C.Outcome == bp::CheckOutcome::Potential ||
-         C.Outcome == bp::CheckOutcome::Definite;
+    N += C.Outcome == CheckOutcome::Potential ||
+         C.Outcome == CheckOutcome::Definite;
   return N;
 }
 
 unsigned CertificationReport::numVerified() const {
   unsigned N = 0;
   for (const CheckVerdict &C : Checks)
-    N += C.Outcome == bp::CheckOutcome::Safe;
+    N += C.Outcome == CheckOutcome::Safe;
   return N;
 }
 
@@ -46,22 +48,10 @@ std::string CertificationReport::str() const {
   for (const LintFinding &L : Lints)
     Out += L.Method + " " + L.Loc.str() + ": warning: " + L.What + "\n";
   for (const CheckVerdict &C : Checks) {
-    const char *O = "?";
-    switch (C.Outcome) {
-    case bp::CheckOutcome::Safe:
-      O = "verified";
-      break;
-    case bp::CheckOutcome::Potential:
-      O = "POTENTIAL VIOLATION";
-      break;
-    case bp::CheckOutcome::Definite:
-      O = "DEFINITE VIOLATION";
-      break;
-    case bp::CheckOutcome::Unreachable:
-      O = "unreachable";
-      break;
-    }
-    Out += C.Method + " " + C.Loc.str() + ": " + C.What + ": " + O + "\n";
+    Out += C.Method + " " + C.Loc.str() + ": " + C.What + ": " +
+           outcomeStr(C.Outcome) + "\n";
+    if (!C.Witness.empty())
+      Out += C.Witness.str();
   }
   Out += std::to_string(numChecks()) + " check(s), " +
          std::to_string(numVerified()) + " verified, " +
@@ -136,10 +126,22 @@ CertificationReport Certifier::certify(const cj::Program &P,
         bp::IntraResult R = bp::analyzeIntraproc(BP);
         Report.BoolVars += BP.Vars.size();
         Report.MaxBoolVars = std::max(Report.MaxBoolVars, BP.Vars.size());
-        for (size_t I = 0; I != BP.Checks.size(); ++I)
-          Report.Checks.push_back(
-              {M.name(), BP.Checks[I].Loc, BP.Checks[I].What,
-               R.CheckResults[I]});
+        std::unique_ptr<bp::IntraWitnessEngine> WE;
+        for (size_t I = 0; I != BP.Checks.size(); ++I) {
+          CheckVerdict V;
+          V.Method = M.name();
+          V.Loc = BP.Checks[I].Loc;
+          V.What = BP.Checks[I].What;
+          V.Outcome = R.CheckResults[I];
+          V.ReqLoc = BP.Checks[I].ReqLoc;
+          if (V.Outcome == CheckOutcome::Potential ||
+              V.Outcome == CheckOutcome::Definite) {
+            if (!WE)
+              WE = std::make_unique<bp::IntraWitnessEngine>(BP);
+            V.Witness = WE->witnessFor(I);
+          }
+          Report.Checks.push_back(std::move(V));
+        }
       }
       return Report;
     }
@@ -172,11 +174,29 @@ CertificationReport Certifier::certify(const cj::Program &P,
                  Plan.OrigEdgeIndex[SR.Items[I].Edge]);
         if (TakeDropped) {
           const dataflow::DroppedCheck &DC = Plan.DroppedChecks[D++];
-          Report.Checks.push_back(
-              {Name, DC.Loc, DC.What, bp::CheckOutcome::Unreachable});
+          CheckRecord Rec;
+          Rec.Method = Name;
+          Rec.Loc = DC.Loc;
+          Rec.What = DC.What;
+          Rec.Outcome = CheckOutcome::Unreachable;
+          Report.Checks.push_back(std::move(Rec));
         } else {
-          const bp::SlicedCheckItem &It = SR.Items[I++];
-          Report.Checks.push_back({Name, It.Loc, It.What, It.Outcome});
+          bp::SlicedCheckItem It = SR.Items[I++];
+          It.Rec.Method = Name;
+          // Witness steps refer to the transformed working copy; remap
+          // them onto the original method so the story (and the replay
+          // checker) sees the untransformed source edges.
+          for (WitnessStep &S : It.Rec.Witness.Steps) {
+            if (S.Edge < 0 ||
+                static_cast<size_t>(S.Edge) >= Plan.OrigEdgeIndex.size())
+              continue;
+            S.Edge = Plan.OrigEdgeIndex[S.Edge];
+            const cj::Action &A = Plan.Source->Edges[S.Edge].Act;
+            S.Loc = A.Loc;
+            if (S.K != WitnessStep::Kind::Check)
+              S.ActionText = A.str();
+          }
+          Report.Checks.push_back(std::move(It.Rec));
         }
       }
     }
@@ -190,19 +210,27 @@ CertificationReport Certifier::certify(const cj::Program &P,
       return Report;
     }
     bp::InterResult R = bp::analyzeInterproc(Abs, CFG, *Main, Diags);
-    for (const auto &C : R.Checks)
-      Report.Checks.push_back({C.Method->name(), C.Loc, C.What, C.Outcome});
+    Report.Inter.SummaryIterations = R.SummaryIterations;
+    Report.Inter.ExplodedNodes = R.ExplodedNodes;
+    Report.Inter.PathEdges = R.PathEdges;
+    Report.Inter.Summaries = R.Summaries;
+    Report.Inter.WitnessMicros = R.WitnessMicros;
+    Report.Checks = std::move(R.Checks);
     return Report;
   }
   case EngineKind::GenericAllocSite: {
     for (const cj::CFGMethod &M : CFG.Methods) {
       BaselineResult R = analyzeAllocSite(S, M);
-      for (const auto &[Site, Flagged] : R.Flagged)
-        Report.Checks.push_back(
-            {Site.Method, M.Edges[Site.Edge].Act.Loc,
-             M.Edges[Site.Edge].Act.str() + " requires (spec " +
-                 Site.ReqLoc.str() + ")",
-             Flagged ? bp::CheckOutcome::Potential : bp::CheckOutcome::Safe});
+      for (const auto &[Site, Flagged] : R.Flagged) {
+        CheckRecord Rec;
+        Rec.Method = Site.Method;
+        Rec.Loc = M.Edges[Site.Edge].Act.Loc;
+        Rec.What = M.Edges[Site.Edge].Act.str() + " requires (spec " +
+                   Site.ReqLoc.str() + ")";
+        Rec.Outcome = Flagged ? CheckOutcome::Potential : CheckOutcome::Safe;
+        Rec.ReqLoc = Site.ReqLoc;
+        Report.Checks.push_back(std::move(Rec));
+      }
     }
     return Report;
   }
@@ -211,8 +239,14 @@ CertificationReport Certifier::certify(const cj::Program &P,
     for (const cj::CFGMethod &M : CFG.Methods) {
       tvla::TVLAResult R = tvla::certifyWithTVLA(
           S, Abs, M, Engine == EngineKind::TVLARelational, Diags);
-      for (const auto &C : R.Checks)
-        Report.Checks.push_back({M.name(), C.Loc, C.What, C.Outcome});
+      for (const auto &C : R.Checks) {
+        CheckRecord Rec;
+        Rec.Method = M.name();
+        Rec.Loc = C.Loc;
+        Rec.What = C.What;
+        Rec.Outcome = C.Outcome;
+        Report.Checks.push_back(std::move(Rec));
+      }
     }
     return Report;
   }

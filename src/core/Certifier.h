@@ -19,6 +19,7 @@
 
 #include "boolprog/Analysis.h"
 #include "client/Parser.h"
+#include "core/Verdict.h"
 #include "dataflow/PreAnalysis.h"
 #include "easl/Parser.h"
 #include "wp/Abstraction.h"
@@ -48,13 +49,10 @@ enum class EngineKind {
 
 const char *engineName(EngineKind K);
 
-/// One requires obligation with its verdict.
-struct CheckVerdict {
-  std::string Method; ///< "Class::method" containing the call.
-  SourceLoc Loc;      ///< Client call location.
-  std::string What;
-  bp::CheckOutcome Outcome;
-};
+/// One requires obligation with its verdict (see core/Verdict.h): every
+/// engine reports through the same record, and the witness-bearing
+/// engines attach their evidence traces to it.
+using CheckVerdict = CheckRecord;
 
 /// A Stage-0 conformance lint: a component variable possibly used
 /// before initialization, reported with its client location before any
@@ -84,10 +82,22 @@ struct PreAnalysisSummary {
   unsigned FallbackMethods = 0;
 };
 
+/// Tabulation statistics of the interprocedural engine's IFDS solve
+/// (zero for other engines).
+struct InterprocStats {
+  unsigned SummaryIterations = 0;
+  size_t ExplodedNodes = 0;
+  size_t PathEdges = 0;
+  size_t Summaries = 0;
+  /// Wall-clock time spent reconstructing witness traces, microseconds.
+  double WitnessMicros = 0;
+};
+
 struct CertificationReport {
   std::vector<CheckVerdict> Checks;
   std::vector<LintFinding> Lints;
   PreAnalysisSummary Pre;
+  InterprocStats Inter;
   /// Total and largest boolean-program size B across the per-method
   /// (or per-slice) programs the SCMPIntra engine analyzed; zero for
   /// other engines.

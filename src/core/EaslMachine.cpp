@@ -1,0 +1,180 @@
+#include "core/EaslMachine.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace canvas;
+using namespace canvas::core;
+using namespace canvas::easl;
+
+EaslMachine::ObjId EaslMachine::allocate(const ClassDecl *C) {
+  Heap.push_back(Object{C, {}});
+  return static_cast<ObjId>(Heap.size() - 1);
+}
+
+/// Resolves an Easl path to an object id (0 on null dereference).
+EaslMachine::ObjId EaslMachine::evalPath(const Env &Frame,
+                                         const ClassDecl *Class,
+                                         const PathExpr &P) {
+  if (P.Components.empty())
+    return 0;
+  ObjId Cur;
+  size_t First = 1;
+  auto It = Frame.find(P.Components.front());
+  if (It != Frame.end()) {
+    Cur = It->second;
+  } else if (Class && Class->findField(P.Components.front())) {
+    auto ThisIt = Frame.find("this");
+    ObjId This = ThisIt == Frame.end() ? 0 : ThisIt->second;
+    if (!This)
+      return 0;
+    Cur = Heap[This].Fields[P.Components.front()];
+  } else {
+    return 0;
+  }
+  for (size_t I = First; I < P.Components.size(); ++I) {
+    if (!Cur)
+      return 0;
+    Cur = Heap[Cur].Fields[P.Components[I]];
+  }
+  return Cur;
+}
+
+bool EaslMachine::evalExpr(const Env &Frame, const ClassDecl *Class,
+                           const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::Compare: {
+    const auto *C = cast<CompareExpr>(&E);
+    bool Eq =
+        evalPath(Frame, Class, C->Lhs) == evalPath(Frame, Class, C->Rhs);
+    return C->Negated ? !Eq : Eq;
+  }
+  case Expr::Kind::And: {
+    for (const ExprPtr &Op : cast<AndExpr>(&E)->Operands)
+      if (!evalExpr(Frame, Class, *Op))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Or: {
+    for (const ExprPtr &Op : cast<OrExpr>(&E)->Operands)
+      if (evalExpr(Frame, Class, *Op))
+        return true;
+    return false;
+  }
+  case Expr::Kind::Not:
+    return !evalExpr(Frame, Class, *cast<NotExpr>(&E)->Operand);
+  case Expr::Kind::BoolConst:
+    return cast<BoolConstExpr>(&E)->Value;
+  }
+  canvas_unreachable("covered switch");
+}
+
+EaslMachine::ObjId EaslMachine::evalRhs(Env &Frame, const ClassDecl *Class,
+                                        const RhsExpr &R) {
+  if (!R.isNew())
+    return evalPath(Frame, Class, R.P);
+  std::vector<ObjId> Args;
+  for (const PathExpr &A : R.Args)
+    Args.push_back(evalPath(Frame, Class, A));
+  return construct(R.NewType, Args);
+}
+
+EaslMachine::ObjId EaslMachine::construct(const std::string &ClassName,
+                                          const std::vector<ObjId> &Args) {
+  const ClassDecl *C = S->findClass(ClassName);
+  if (!C)
+    return 0; // Unknown component class: the reference stays null.
+  ObjId Obj = allocate(C);
+  const MethodDecl *Ctor = C->constructor();
+  if (!Ctor)
+    return Obj;
+  Env Frame;
+  Frame["this"] = Obj;
+  for (size_t I = 0; I != Ctor->Params.size() && I != Args.size(); ++I)
+    Frame[Ctor->Params[I].Name] = Args[I];
+  execBody(Frame, C, Ctor->Body);
+  return Obj;
+}
+
+EaslMachine::ObjId EaslMachine::callMethod(ObjId Recv,
+                                           const std::string &Method,
+                                           const std::vector<ObjId> &Args) {
+  const ClassDecl *C = classOf(Recv);
+  const MethodDecl *M = C ? C->findMethod(Method) : nullptr;
+  if (!M)
+    return 0;
+  Env Frame;
+  Frame["this"] = Recv;
+  for (size_t I = 0; I != M->Params.size() && I != Args.size(); ++I)
+    Frame[M->Params[I].Name] = Args[I];
+  return execBody(Frame, C, M->Body);
+}
+
+/// Executes an Easl method body; returns the return value (0 if none).
+/// Requires clauses are evaluated concretely and appended to Events.
+EaslMachine::ObjId EaslMachine::execBody(Env &Frame, const ClassDecl *Class,
+                                         const std::vector<StmtPtr> &Body) {
+  for (const StmtPtr &StPtr : Body) {
+    if (Aborted)
+      return 0;
+    const Stmt &Stmt = *StPtr;
+    switch (Stmt.getKind()) {
+    case Stmt::Kind::Requires: {
+      const auto *Req = cast<RequiresStmt>(&Stmt);
+      bool Ok = evalExpr(Frame, Class, *Req->Cond);
+      Events.push_back({Req->Loc, Ok});
+      if (!Ok) {
+        // The component throws; this execution ends here.
+        Aborted = true;
+        return 0;
+      }
+      break;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(&Stmt);
+      ObjId Val = evalRhs(Frame, Class, A->Rhs);
+      storePath(Frame, Class, A->Lhs, Val);
+      break;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(&Stmt);
+      return evalRhs(Frame, Class, R->Value);
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(&Stmt);
+      const auto &Branch =
+          evalExpr(Frame, Class, *I->Cond) ? I->Then : I->Else;
+      if (ObjId Ret = execBody(Frame, Class, Branch))
+        return Ret;
+      break;
+    }
+    }
+  }
+  return 0;
+}
+
+void EaslMachine::storePath(Env &Frame, const ClassDecl *Class,
+                            const PathExpr &P, ObjId Val) {
+  if (P.Components.empty())
+    return;
+  // Variable target only for synthesized frames; Easl assigns fields.
+  if (P.Components.size() == 1 && Frame.count(P.Components[0]) &&
+      !(Class && Class->findField(P.Components[0]))) {
+    Frame[P.Components[0]] = Val;
+    return;
+  }
+  // Resolve to (object, last field).
+  PathExpr Prefix = P;
+  Prefix.Components.pop_back();
+  ObjId Obj;
+  if (Prefix.Components.empty()) {
+    // Implicit this-field.
+    auto It = Frame.find("this");
+    Obj = It == Frame.end() ? 0 : It->second;
+  } else {
+    Obj = evalPath(Frame, Class, Prefix);
+  }
+  if (!Obj)
+    return;
+  Heap[Obj].Fields[P.Components.back()] = Val;
+}

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A copyable concrete Easl evaluator: one component heap plus the
+/// executable semantics of the specification's method bodies (Easl is
+/// executable — that is the point of the language). Forking an
+/// execution is copying the machine; this is what both the exhaustive
+/// ground-truth explorer (Interpreter.cpp) and the witness replay
+/// checker (Replay.cpp) are built on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_CORE_EASLMACHINE_H
+#define CANVAS_CORE_EASLMACHINE_H
+
+#include "easl/AST.h"
+#include "support/SourceLoc.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace core {
+
+class EaslMachine {
+public:
+  using ObjId = int; ///< 0 is the null reference.
+
+  /// One requires clause crossed during an operation, in execution
+  /// order.
+  struct RequiresEvent {
+    SourceLoc ReqLoc; ///< Location of the requires clause in the spec.
+    bool Ok = true;   ///< False when the clause concretely failed.
+  };
+
+  explicit EaslMachine(const easl::Spec &S) : S(&S) { Heap.resize(1); }
+
+  /// Runs the constructor of \p ClassName on fresh storage; returns the
+  /// new object (null when the spec lacks the class).
+  ObjId construct(const std::string &ClassName,
+                  const std::vector<ObjId> &Args);
+
+  /// Runs \p Method on \p Recv. A null receiver or unknown method is a
+  /// no-op returning 0 (the concrete client would NPE; callers decide
+  /// how to treat that).
+  ObjId callMethod(ObjId Recv, const std::string &Method,
+                   const std::vector<ObjId> &Args);
+
+  const easl::ClassDecl *classOf(ObjId O) const {
+    return O > 0 && static_cast<size_t>(O) < Heap.size() ? Heap[O].Class
+                                                         : nullptr;
+  }
+
+  /// Requires clauses crossed by operations since the last take.
+  std::vector<RequiresEvent> takeEvents() { return std::move(Events); }
+
+  /// True once some requires clause failed: the component threw, the
+  /// rest of that operation was skipped, and the machine should be
+  /// discarded (the path it modeled has ended).
+  bool aborted() const { return Aborted; }
+
+private:
+  struct Object {
+    const easl::ClassDecl *Class = nullptr;
+    std::map<std::string, ObjId> Fields;
+  };
+  using Env = std::map<std::string, ObjId>;
+
+  ObjId allocate(const easl::ClassDecl *C);
+  ObjId evalPath(const Env &Frame, const easl::ClassDecl *Class,
+                 const easl::PathExpr &P);
+  bool evalExpr(const Env &Frame, const easl::ClassDecl *Class,
+                const easl::Expr &E);
+  ObjId evalRhs(Env &Frame, const easl::ClassDecl *Class,
+                const easl::RhsExpr &R);
+  ObjId execBody(Env &Frame, const easl::ClassDecl *Class,
+                 const std::vector<easl::StmtPtr> &Body);
+  void storePath(Env &Frame, const easl::ClassDecl *Class,
+                 const easl::PathExpr &P, ObjId Val);
+
+  const easl::Spec *S;
+  std::vector<Object> Heap;
+  std::vector<RequiresEvent> Events;
+  bool Aborted = false;
+};
+
+} // namespace core
+} // namespace canvas
+
+#endif // CANVAS_CORE_EASLMACHINE_H

@@ -1,45 +1,33 @@
 #include "core/Interpreter.h"
 
-#include "support/Casting.h"
-#include "support/ErrorHandling.h"
+#include "core/EaslMachine.h"
 
 #include <functional>
 
 using namespace canvas;
 using namespace canvas::core;
-using namespace canvas::easl;
 
 namespace {
 
-using ObjId = int; ///< 0 is the null reference.
-
-struct Object {
-  const ClassDecl *Class = nullptr;
-  std::map<std::string, ObjId> Fields;
-};
-
-/// The mutable execution state of one explored path.
-struct State {
-  std::vector<Object> Heap; ///< Heap[0] unused (null).
-};
-
+using ObjId = EaslMachine::ObjId;
 using Env = std::map<std::string, ObjId>;
-using Cont = std::function<void(State, ObjId)>;
+using Cont = std::function<void(EaslMachine, ObjId)>;
 
+/// Exhaustive path exploration of a client CFG over copyable concrete
+/// machines: each nondeterministic branch forks the machine.
 class Explorer {
 public:
-  Explorer(const Spec &S, const cj::ClientCFG &CFG,
+  Explorer(const easl::Spec &S, const cj::ClientCFG &CFG,
            const InterpreterOptions &Opts)
       : S(S), CFG(CFG), Opts(Opts) {}
 
   GroundTruth run(const cj::CFGMethod &Entry) {
-    State St;
-    St.Heap.resize(1);
+    EaslMachine M(S);
     Env E;
     for (const auto &[V, T] : Entry.CompVars)
       E[V] = 0;
-    explore(Entry, std::move(St), std::move(E), Entry.Entry, 0, 0,
-            [&](State, ObjId) { ++GT.PathsExplored; });
+    explore(Entry, std::move(M), std::move(E), Entry.Entry, 0, 0,
+            [&](EaslMachine, ObjId) { ++GT.PathsExplored; });
     return std::move(GT);
   }
 
@@ -52,180 +40,20 @@ private:
     return false;
   }
 
-  //===--------------------------------------------------------------------===//
-  // Concrete Easl semantics
-  //===--------------------------------------------------------------------===//
-
-  ObjId allocate(State &St, const ClassDecl *C) {
-    St.Heap.push_back(Object{C, {}});
-    return static_cast<ObjId>(St.Heap.size() - 1);
+  /// Merges the machine's requires events for one component operation
+  /// into the ground truth; returns true when the operation aborted
+  /// (the component threw) so the path must end.
+  bool drainEvents(EaslMachine &M, const CheckSite &Site) {
+    for (const EaslMachine::RequiresEvent &Ev : M.takeEvents()) {
+      CheckSite Full = Site;
+      Full.ReqLoc = Ev.ReqLoc;
+      bool &Flag = GT.MayViolate[Full];
+      Flag |= !Ev.Ok;
+    }
+    return M.aborted();
   }
 
-  /// Resolves an Easl path to an object id (0 on null dereference).
-  ObjId evalPath(State &St, const Env &Frame, const ClassDecl *Class,
-                 const PathExpr &P) {
-    if (P.Components.empty())
-      return 0;
-    ObjId Cur;
-    size_t First = 1;
-    auto It = Frame.find(P.Components.front());
-    if (It != Frame.end()) {
-      Cur = It->second;
-    } else if (Class && Class->findField(P.Components.front())) {
-      auto ThisIt = Frame.find("this");
-      ObjId This = ThisIt == Frame.end() ? 0 : ThisIt->second;
-      if (!This)
-        return 0;
-      Cur = St.Heap[This].Fields[P.Components.front()];
-    } else {
-      return 0;
-    }
-    for (size_t I = First; I < P.Components.size(); ++I) {
-      if (!Cur)
-        return 0;
-      Cur = St.Heap[Cur].Fields[P.Components[I]];
-    }
-    return Cur;
-  }
-
-  bool evalExpr(State &St, const Env &Frame, const ClassDecl *Class,
-                const Expr &E) {
-    switch (E.getKind()) {
-    case Expr::Kind::Compare: {
-      const auto *C = cast<CompareExpr>(&E);
-      bool Eq = evalPath(St, Frame, Class, C->Lhs) ==
-                evalPath(St, Frame, Class, C->Rhs);
-      return C->Negated ? !Eq : Eq;
-    }
-    case Expr::Kind::And: {
-      for (const ExprPtr &Op : cast<AndExpr>(&E)->Operands)
-        if (!evalExpr(St, Frame, Class, *Op))
-          return false;
-      return true;
-    }
-    case Expr::Kind::Or: {
-      for (const ExprPtr &Op : cast<OrExpr>(&E)->Operands)
-        if (evalExpr(St, Frame, Class, *Op))
-          return true;
-      return false;
-    }
-    case Expr::Kind::Not:
-      return !evalExpr(St, Frame, Class, *cast<NotExpr>(&E)->Operand);
-    case Expr::Kind::BoolConst:
-      return cast<BoolConstExpr>(&E)->Value;
-    }
-    canvas_unreachable("covered switch");
-  }
-
-  /// Set when a requires clause failed: the component throws (the CME
-  /// semantics of JCF) and the current path aborts.
-  bool PathAborted = false;
-
-  ObjId evalRhs(State &St, Env &Frame, const ClassDecl *Class,
-                const RhsExpr &R, const CheckSite &Site) {
-    if (!R.isNew())
-      return evalPath(St, Frame, Class, R.P);
-    std::vector<ObjId> Args;
-    for (const PathExpr &A : R.Args)
-      Args.push_back(evalPath(St, Frame, Class, A));
-    return construct(St, R.NewType, Args, Site);
-  }
-
-  /// Runs the constructor of \p ClassName on fresh storage.
-  ObjId construct(State &St, const std::string &ClassName,
-                  const std::vector<ObjId> &Args, const CheckSite &Site) {
-    const ClassDecl *C = S.findClass(ClassName);
-    if (!C)
-      return 0;
-    ObjId Obj = allocate(St, C);
-    const MethodDecl *Ctor = C->constructor();
-    if (!Ctor)
-      return Obj;
-    Env Frame;
-    Frame["this"] = Obj;
-    for (size_t I = 0; I != Ctor->Params.size() && I != Args.size(); ++I)
-      Frame[Ctor->Params[I].Name] = Args[I];
-    execBody(St, Frame, C, Ctor->Body, Site);
-    return Obj;
-  }
-
-  /// Executes an Easl method body; returns the return value (0 if none).
-  /// Requires clauses are evaluated concretely and recorded against
-  /// \p Site.
-  ObjId execBody(State &St, Env &Frame, const ClassDecl *Class,
-                 const std::vector<StmtPtr> &Body, const CheckSite &Site) {
-    for (const StmtPtr &StPtr : Body) {
-      if (PathAborted)
-        return 0;
-      const Stmt &Stmt = *StPtr;
-      switch (Stmt.getKind()) {
-      case Stmt::Kind::Requires: {
-        const auto *Req = cast<RequiresStmt>(&Stmt);
-        CheckSite Full = Site;
-        Full.ReqLoc = Req->Loc;
-        bool &Flag = GT.MayViolate[Full];
-        if (!evalExpr(St, Frame, Class, *Req->Cond)) {
-          Flag = true;
-          // The component throws; this execution path ends here.
-          PathAborted = true;
-          return 0;
-        }
-        break;
-      }
-      case Stmt::Kind::Assign: {
-        const auto *A = cast<AssignStmt>(&Stmt);
-        ObjId Val = evalRhs(St, Frame, Class, A->Rhs, Site);
-        storePath(St, Frame, Class, A->Lhs, Val);
-        break;
-      }
-      case Stmt::Kind::Return: {
-        const auto *R = cast<ReturnStmt>(&Stmt);
-        return evalRhs(St, Frame, Class, R->Value, Site);
-      }
-      case Stmt::Kind::If: {
-        const auto *I = cast<IfStmt>(&Stmt);
-        const auto &Branch =
-            evalExpr(St, Frame, Class, *I->Cond) ? I->Then : I->Else;
-        if (ObjId Ret = execBody(St, Frame, Class, Branch, Site))
-          return Ret;
-        break;
-      }
-      }
-    }
-    return 0;
-  }
-
-  void storePath(State &St, Env &Frame, const ClassDecl *Class,
-                 const PathExpr &P, ObjId Val) {
-    if (P.Components.empty())
-      return;
-    // Variable target only for synthesized frames; Easl assigns fields.
-    if (P.Components.size() == 1 && Frame.count(P.Components[0]) &&
-        !(Class && Class->findField(P.Components[0]))) {
-      Frame[P.Components[0]] = Val;
-      return;
-    }
-    // Resolve to (object, last field).
-    PathExpr Prefix = P;
-    Prefix.Components.pop_back();
-    ObjId Obj;
-    if (Prefix.Components.empty()) {
-      // Implicit this-field.
-      auto It = Frame.find("this");
-      Obj = It == Frame.end() ? 0 : It->second;
-    } else {
-      Obj = evalPath(St, Frame, Class, Prefix);
-    }
-    if (!Obj)
-      return;
-    St.Heap[Obj].Fields[P.Components.back()] = Val;
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Client CFG exploration
-  //===--------------------------------------------------------------------===//
-
-  void explore(const cj::CFGMethod &M, State St, Env E, int Node,
+  void explore(const cj::CFGMethod &M, EaslMachine Mach, Env E, int Node,
                unsigned Steps, unsigned Depth, const Cont &K) {
     if (budgetExceeded())
       return;
@@ -235,7 +63,7 @@ private:
     }
     if (Node == M.Exit) {
       auto It = E.find("$ret");
-      K(std::move(St), It == E.end() ? 0 : It->second);
+      K(std::move(Mach), It == E.end() ? 0 : It->second);
       return;
     }
     bool AnyEdge = false;
@@ -243,8 +71,8 @@ private:
       if (Edge.From != Node)
         continue;
       AnyEdge = true;
-      // Fork: each out-edge gets its own copy of the state.
-      applyEdge(M, Edge, St, E, Steps, Depth, K);
+      // Fork: each out-edge gets its own copy of the machine.
+      applyEdge(M, Edge, Mach, E, Steps, Depth, K);
     }
     if (!AnyEdge) {
       // Dangling node (e.g. code after return): path ends silently.
@@ -252,8 +80,9 @@ private:
     }
   }
 
-  void applyEdge(const cj::CFGMethod &M, const cj::CFGEdge &Edge, State St,
-                 Env E, unsigned Steps, unsigned Depth, const Cont &K) {
+  void applyEdge(const cj::CFGMethod &M, const cj::CFGEdge &Edge,
+                 EaslMachine Mach, Env E, unsigned Steps, unsigned Depth,
+                 const Cont &K) {
     const cj::Action &A = Edge.Act;
     CheckSite Site;
     Site.Method = M.name();
@@ -271,24 +100,17 @@ private:
       std::vector<ObjId> Args;
       for (const std::string &V : A.Args)
         Args.push_back(V.empty() ? 0 : E[V]);
-      E[A.Lhs] = construct(St, A.Callee, Args, Site);
+      E[A.Lhs] = Mach.construct(A.Callee, Args);
       break;
     }
     case cj::Action::Kind::CompCall: {
       ObjId Recv = E[A.Recv];
       if (!Recv)
         break; // Null receiver: the concrete program would NPE.
-      const ClassDecl *C = St.Heap[Recv].Class;
-      const MethodDecl *Method = C ? C->findMethod(A.Callee) : nullptr;
-      if (!Method)
-        break;
-      Env Frame;
-      Frame["this"] = Recv;
-      for (size_t I = 0; I != Method->Params.size() && I != A.Args.size();
-           ++I)
-        Frame[Method->Params[I].Name] =
-            A.Args[I].empty() ? 0 : E[A.Args[I]];
-      ObjId Ret = execBody(St, Frame, C, Method->Body, Site);
+      std::vector<ObjId> Args;
+      for (const std::string &V : A.Args)
+        Args.push_back(V.empty() ? 0 : E[V]);
+      ObjId Ret = Mach.callMethod(Recv, A.Callee, Args);
       if (!A.Lhs.empty())
         E[A.Lhs] = Ret;
       break;
@@ -313,33 +135,32 @@ private:
       std::string LhsVar = A.Lhs;
       int To = Edge.To;
       // Continue this path after each callee exit state.
-      explore(*Callee, std::move(St), std::move(CalleeEnv), Callee->Entry,
-              Steps + 1, Depth + 1,
-              [this, &M, LhsVar, To, E, Steps, Depth, &K](State OutSt,
+      explore(*Callee, std::move(Mach), std::move(CalleeEnv),
+              Callee->Entry, Steps + 1, Depth + 1,
+              [this, &M, LhsVar, To, E, Steps, Depth, &K](EaslMachine OutM,
                                                           ObjId Ret) {
                 Env E2 = E;
                 if (!LhsVar.empty())
                   E2[LhsVar] = Ret;
-                explore(M, std::move(OutSt), std::move(E2), To, Steps + 1,
+                explore(M, std::move(OutM), std::move(E2), To, Steps + 1,
                         Depth, K);
               });
       return;
     }
     }
-    if (PathAborted) {
+    if (drainEvents(Mach, Site)) {
       // The component threw: the path ends, and is counted as explored.
-      PathAborted = false;
       ++GT.PathsExplored;
       return;
     }
-    explore(M, std::move(St), std::move(E), Edge.To, Steps + 1, Depth, K);
+    explore(M, std::move(Mach), std::move(E), Edge.To, Steps + 1, Depth, K);
   }
 
   int edgeIndex(const cj::CFGMethod &M, const cj::CFGEdge &Edge) const {
     return static_cast<int>(&Edge - M.Edges.data());
   }
 
-  const Spec &S;
+  const easl::Spec &S;
   const cj::ClientCFG &CFG;
   InterpreterOptions Opts;
   GroundTruth GT;
@@ -347,7 +168,7 @@ private:
 
 } // namespace
 
-GroundTruth core::executeConcretely(const Spec &Spec,
+GroundTruth core::executeConcretely(const easl::Spec &Spec,
                                     const cj::ClientCFG &CFG,
                                     const cj::CFGMethod &Entry,
                                     const InterpreterOptions &Opts) {

@@ -1,0 +1,302 @@
+#include "core/Replay.h"
+
+#include "core/EaslMachine.h"
+
+#include <map>
+#include <vector>
+
+using namespace canvas;
+using namespace canvas::core;
+
+namespace {
+
+using ObjId = EaslMachine::ObjId;
+using Env = std::map<std::string, ObjId>;
+
+struct Frame {
+  const cj::CFGMethod *M = nullptr;
+  Env E;
+  int Node = -1;
+  /// How to resume the caller after this frame returns.
+  int CallEdge = -1; ///< Call edge index in the *caller*.
+  std::string RetLhs;
+  int RetTo = -1;
+};
+
+class Replayer {
+public:
+  Replayer(const easl::Spec &Spec, const cj::ClientCFG &CFG)
+      : Mach(Spec), CFG(CFG) {}
+
+  ReplayResult run(const CheckRecord &Rec) {
+    const WitnessTrace &T = Rec.Witness;
+    if (T.empty())
+      return malformed("empty trace");
+    if (!T.callReturnMatched())
+      return malformed("call/return discipline broken");
+
+    const cj::CFGMethod *Entry = findMethod(T.Steps.front().Method);
+    if (!Entry)
+      return malformed("unknown entry method " + T.Steps.front().Method);
+    Stack.push_back(openFrame(Entry));
+    if (!T.SeedFact.empty())
+      nondet("assumed entry fact [" + T.SeedFact + "]");
+
+    for (size_t I = 0; I != T.Steps.size(); ++I) {
+      const WitnessStep &S = T.Steps[I];
+      bool Last = I + 1 == T.Steps.size();
+      if ((S.K == WitnessStep::Kind::Check) != Last)
+        return malformed("check step not at trace end");
+      if (!step(S, Rec))
+        return std::move(R);
+      ++R.Steps;
+      if (R.Violated)
+        break; // The component threw: the concrete path ends here.
+    }
+    if (!R.Violated && !R.CrossedNondet)
+      R.Detail = "trace is concretely executable but the requires clause "
+                 "held; no nondeterministic choice explains the alarm";
+    return std::move(R);
+  }
+
+private:
+  ReplayResult malformed(const std::string &Why) {
+    R.Malformed = true;
+    R.Detail = Why;
+    return std::move(R);
+  }
+
+  void nondet(const std::string &Why) {
+    if (!R.CrossedNondet)
+      R.Detail = "crossed nondeterministic choice: " + Why;
+    R.CrossedNondet = true;
+  }
+
+  const cj::CFGMethod *findMethod(const std::string &Name) const {
+    for (const cj::CFGMethod &M : CFG.Methods)
+      if (M.name() == Name)
+        return &M;
+    return nullptr;
+  }
+
+  Frame openFrame(const cj::CFGMethod *M) {
+    Frame F;
+    F.M = M;
+    F.Node = M->Entry;
+    for (const auto &[V, T] : M->CompVars)
+      F.E[V] = 0;
+    return F;
+  }
+
+  /// Validates that \p S crosses an edge out of the current node of the
+  /// current frame; returns it, or null after flagging Malformed.
+  const cj::CFGEdge *takeEdge(const WitnessStep &S) {
+    Frame &F = Stack.back();
+    if (S.Method != F.M->name()) {
+      malformed("step in " + S.Method + " while in frame " + F.M->name());
+      return nullptr;
+    }
+    if (S.Edge < 0 || static_cast<size_t>(S.Edge) >= F.M->Edges.size()) {
+      malformed("edge index out of range in " + S.Method);
+      return nullptr;
+    }
+    const cj::CFGEdge &E = F.M->Edges[S.Edge];
+    if (E.From != F.Node) {
+      malformed("edge discontinuity in " + S.Method + " at " + S.Loc.str());
+      return nullptr;
+    }
+    // Crossing one of several out-edges is itself a choice the static
+    // analysis resolved nondeterministically.
+    unsigned OutDegree = 0;
+    for (const cj::CFGEdge &O : F.M->Edges)
+      OutDegree += O.From == F.Node;
+    if (OutDegree > 1)
+      nondet("branch at " + E.Act.Loc.str());
+    return &E;
+  }
+
+  /// Executes a component operation's events; records a concrete
+  /// requires failure. \p WantLoc restricts to the flagged clause (the
+  /// final Check step); an unset location accepts any failure.
+  void drain(const SourceLoc &WantLoc) {
+    for (const EaslMachine::RequiresEvent &Ev : Mach.takeEvents()) {
+      if (Ev.Ok)
+        continue;
+      if (WantLoc.Line == 0 || (Ev.ReqLoc.Line == WantLoc.Line &&
+                                Ev.ReqLoc.Col == WantLoc.Col)) {
+        R.Violated = true;
+        R.Detail = "requires clause at " + Ev.ReqLoc.str() +
+                   " concretely fails on replay";
+      }
+    }
+    if (Mach.aborted() && !R.Violated) {
+      // Some earlier obligation threw before the flagged one was even
+      // reached: still a concrete conformance violation on this path.
+      R.Violated = true;
+      R.Detail = "an earlier requires clause concretely fails on replay";
+    }
+  }
+
+  /// Executes the concrete effect of crossing \p E in the current frame.
+  void execAction(const cj::CFGEdge &E) {
+    const cj::Action &A = E.Act;
+    Env &Env = Stack.back().E;
+    switch (A.K) {
+    case cj::Action::Kind::Nop:
+      break;
+    case cj::Action::Kind::Havoc:
+      Env[A.Lhs] = 0;
+      nondet("havoc of " + A.Lhs + " at " + A.Loc.str());
+      break;
+    case cj::Action::Kind::Copy:
+      Env[A.Lhs] = Env[A.Args[0]];
+      break;
+    case cj::Action::Kind::OpaqueEffect:
+      nondet("opaque effect at " + A.Loc.str());
+      break;
+    case cj::Action::Kind::AllocComp: {
+      std::vector<ObjId> Args;
+      for (const std::string &V : A.Args)
+        Args.push_back(V.empty() ? 0 : Env[V]);
+      Env[A.Lhs] = Mach.construct(A.Callee, Args);
+      drain(SourceLoc());
+      break;
+    }
+    case cj::Action::Kind::CompCall: {
+      ObjId Recv = Env[A.Recv];
+      if (!Recv) {
+        // The receiver is concretely null on this replay; the static
+        // analysis does not track nullness, so treat the call as an
+        // unexplored choice rather than executing it.
+        nondet("null receiver " + A.Recv + " at " + A.Loc.str());
+        break;
+      }
+      std::vector<ObjId> Args;
+      for (const std::string &V : A.Args)
+        Args.push_back(V.empty() ? 0 : Env[V]);
+      ObjId Ret = Mach.callMethod(Recv, A.Callee, Args);
+      if (!A.Lhs.empty())
+        Env[A.Lhs] = Ret;
+      drain(SourceLoc());
+      break;
+    }
+    case cj::Action::Kind::ClientCall:
+      // Crossed as a plain step: the trace summarizes the callee (an
+      // unknown callee, or an intraprocedural trace), so its effect on
+      // component state is unexplored here.
+      if (!A.Lhs.empty())
+        Env[A.Lhs] = 0;
+      nondet("summarized client call at " + A.Loc.str());
+      break;
+    }
+  }
+
+  bool step(const WitnessStep &S, const CheckRecord &Rec) {
+    switch (S.K) {
+    case WitnessStep::Kind::Step: {
+      const cj::CFGEdge *E = takeEdge(S);
+      if (!E)
+        return false;
+      execAction(*E);
+      Stack.back().Node = E->To;
+      return true;
+    }
+    case WitnessStep::Kind::Call: {
+      const cj::CFGEdge *E = takeEdge(S);
+      if (!E)
+        return false;
+      if (E->Act.K != cj::Action::Kind::ClientCall || !E->Act.CalleeMethod) {
+        malformed("call step over a non-call edge at " + S.Loc.str());
+        return false;
+      }
+      const cj::CFGMethod *Callee = nullptr;
+      for (const cj::CFGMethod &M : CFG.Methods)
+        if (M.Method == E->Act.CalleeMethod)
+          Callee = &M;
+      if (!Callee) {
+        malformed("call to a method without a CFG at " + S.Loc.str());
+        return false;
+      }
+      Frame F = openFrame(Callee);
+      F.CallEdge = S.Edge;
+      F.RetLhs = E->Act.Lhs;
+      F.RetTo = E->To;
+      for (size_t I = 0; I != E->Act.Args.size() &&
+                         I != E->Act.CalleeMethod->Params.size();
+           ++I)
+        if (!E->Act.Args[I].empty())
+          F.E[E->Act.CalleeMethod->Params[I].Name] =
+              Stack.back().E[E->Act.Args[I]];
+      Stack.push_back(std::move(F));
+      return true;
+    }
+    case WitnessStep::Kind::Return: {
+      if (Stack.size() < 2) {
+        malformed("return with no pending call at " + S.Loc.str());
+        return false;
+      }
+      Frame Callee = std::move(Stack.back());
+      Stack.pop_back();
+      Frame &Caller = Stack.back();
+      if (S.Method != Caller.M->name() || S.Edge != Callee.CallEdge) {
+        malformed("return does not match the pending call at " +
+                  S.Loc.str());
+        return false;
+      }
+      if (Callee.Node != Callee.M->Exit) {
+        malformed("return from a non-exit node of " + Callee.M->name());
+        return false;
+      }
+      if (!Callee.RetLhs.empty()) {
+        auto It = Callee.E.find("$ret");
+        Caller.E[Callee.RetLhs] = It == Callee.E.end() ? 0 : It->second;
+      }
+      Caller.Node = Callee.RetTo;
+      return true;
+    }
+    case WitnessStep::Kind::Check: {
+      const cj::CFGEdge *E = takeEdge(S);
+      if (!E)
+        return false;
+      // The flagged obligation sits on a component operation edge; run
+      // it and look for the flagged clause among its requires events.
+      if (E->Act.K != cj::Action::Kind::CompCall &&
+          E->Act.K != cj::Action::Kind::AllocComp) {
+        // A constant or structural check (no component call to run).
+        nondet("check without a concrete component operation at " +
+               S.Loc.str());
+        return true;
+      }
+      Env &Env = Stack.back().E;
+      if (E->Act.K == cj::Action::Kind::CompCall && !Env[E->Act.Recv]) {
+        nondet("null receiver " + E->Act.Recv + " at the checked call " +
+               S.Loc.str());
+        return true;
+      }
+      std::vector<ObjId> Args;
+      for (const std::string &V : E->Act.Args)
+        Args.push_back(V.empty() ? 0 : Env[V]);
+      if (E->Act.K == cj::Action::Kind::CompCall)
+        Mach.callMethod(Env[E->Act.Recv], E->Act.Callee, Args);
+      else
+        Mach.construct(E->Act.Callee, Args);
+      drain(Rec.ReqLoc);
+      return true;
+    }
+    }
+    return false;
+  }
+
+  EaslMachine Mach;
+  const cj::ClientCFG &CFG;
+  std::vector<Frame> Stack;
+  ReplayResult R;
+};
+
+} // namespace
+
+ReplayResult core::replayWitness(const easl::Spec &Spec,
+                                 const cj::ClientCFG &CFG,
+                                 const CheckRecord &Rec) {
+  return Replayer(Spec, CFG).run(Rec);
+}

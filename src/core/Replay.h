@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Witness replay: drives a static witness trace through the concrete
+/// Easl interpreter (EaslMachine). A Potential verdict is only a *may*
+/// claim, so a replayed trace is accepted when it either concretely
+/// violates the requires clause, or crosses a nondeterministic choice
+/// (a multi-way branch, a havoc, an opaque effect, a summarized client
+/// call, an assumed entry fact, ...) that the static analysis
+/// conservatively over-approximated — that choice is exactly where a
+/// real execution could diverge into the violating one. A trace that is
+/// structurally unsound (edge discontinuity, unmatched call/return) is
+/// reported Malformed: that would be a bug in witness reconstruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_CORE_REPLAY_H
+#define CANVAS_CORE_REPLAY_H
+
+#include "client/CFG.h"
+#include "core/Verdict.h"
+#include "easl/AST.h"
+
+#include <string>
+
+namespace canvas {
+namespace core {
+
+struct ReplayResult {
+  /// Some requires clause concretely failed while replaying (for the
+  /// final Check step: the flagged clause itself).
+  bool Violated = false;
+  /// The trace crossed at least one nondeterministic choice.
+  bool CrossedNondet = false;
+  /// The trace is not structurally replayable (broken edge continuity
+  /// or call/return discipline) — a witness-reconstruction bug.
+  bool Malformed = false;
+  unsigned Steps = 0;
+  /// Human-readable account of the decisive observation.
+  std::string Detail;
+
+  /// The replay certifies the witness: structurally sound, and either
+  /// concretely violating or explained by a nondeterministic choice.
+  bool validated() const { return !Malformed && (Violated || CrossedNondet); }
+};
+
+/// Replays \p Rec's witness trace against \p Spec over the methods of
+/// \p CFG (step edge indices must refer to those methods' edge lists).
+ReplayResult replayWitness(const easl::Spec &Spec, const cj::ClientCFG &CFG,
+                           const CheckRecord &Rec);
+
+} // namespace core
+} // namespace canvas
+
+#endif // CANVAS_CORE_REPLAY_H

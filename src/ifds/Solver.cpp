@@ -1,0 +1,259 @@
+#include "ifds/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace canvas;
+using namespace canvas::ifds;
+
+Problem::~Problem() = default;
+
+namespace {
+
+/// Reverse-postorder numbering from the entry (unreachable nodes get
+/// trailing numbers so every node has a priority).
+std::vector<int> rpoNumber(const ProcView &P) {
+  std::vector<std::vector<int>> Succ(P.NumNodes);
+  for (const ProcView::Edge &E : P.Edges)
+    Succ[E.From].push_back(E.To);
+  std::vector<int> Order;
+  std::vector<char> Seen(P.NumNodes, 0);
+  // Iterative postorder DFS.
+  std::vector<std::pair<int, size_t>> Stack;
+  auto Visit = [&](int Root) {
+    if (Seen[Root])
+      return;
+    Seen[Root] = 1;
+    Stack.emplace_back(Root, 0);
+    while (!Stack.empty()) {
+      auto &[N, I] = Stack.back();
+      if (I < Succ[N].size()) {
+        int S = Succ[N][I++];
+        if (!Seen[S]) {
+          Seen[S] = 1;
+          Stack.emplace_back(S, 0);
+        }
+      } else {
+        Order.push_back(N);
+        Stack.pop_back();
+      }
+    }
+  };
+  Visit(P.Entry);
+  for (int N = 0; N != P.NumNodes; ++N)
+    Visit(N);
+  std::vector<int> Rpo(P.NumNodes, 0);
+  for (size_t I = 0; I != Order.size(); ++I)
+    Rpo[Order[Order.size() - 1 - I]] = static_cast<int>(I);
+  return Rpo;
+}
+
+} // namespace
+
+Solver::Solver(const Problem &Prob) : Prob(Prob) {
+  int N = Prob.numProcs();
+  Procs.resize(N);
+  ReachedG.resize(N);
+  for (int P = 0; P != N; ++P) {
+    const ProcView &V = Prob.proc(P);
+    ProcState &PS = Procs[P];
+    PS.Rpo = rpoNumber(V);
+    PS.OutEdges.resize(V.NumNodes);
+    for (size_t E = 0; E != V.Edges.size(); ++E)
+      PS.OutEdges[V.Edges[E].From].push_back(static_cast<int>(E));
+    PS.Feeds.resize(Prob.numFacts(P));
+    PS.FeedsSeen.resize(Prob.numFacts(P));
+  }
+}
+
+void Solver::activate(int P) {
+  ProcState &PS = Procs[P];
+  if (PS.Activated)
+    return;
+  PS.Activated = true;
+  // Tabulate every entry fact (see the file comment of Solver.h).
+  const ProcView &V = Prob.proc(P);
+  for (int D = 0; D != Prob.numFacts(P); ++D)
+    propagate(P, D, V.Entry, D, 0, Via::Seed, -1, -1, -1);
+}
+
+int Solver::propagate(int P, int EntryFact, int Node, int Fact, long Dist,
+                      Via How, int Prev, int CFGEdge, int CalleePathEdge) {
+  std::array<int, 4> Key = {P, EntryFact, Node, Fact};
+  auto [It, New] = Index.emplace(Key, static_cast<int>(Edges.size()));
+  long Priority =
+      static_cast<long>(P) * 1000000 + Procs[P].Rpo[Node];
+  if (New) {
+    Edges.push_back(
+        {P, EntryFact, Node, Fact, Dist, How, Prev, CFGEdge, CalleePathEdge});
+    Worklist.emplace(Priority, It->second);
+    return It->second;
+  }
+  PathEdge &PE = Edges[It->second];
+  if (Dist < PE.Dist) {
+    // A strictly shorter realization: adopt the new justification and
+    // reprocess so downstream distances relax too. Distances only
+    // decrease, so this terminates.
+    PE.Dist = Dist;
+    PE.How = How;
+    PE.Prev = Prev;
+    PE.CFGEdge = CFGEdge;
+    PE.CalleePathEdge = CalleePathEdge;
+    Worklist.emplace(Priority, It->second);
+  }
+  return It->second;
+}
+
+void Solver::applySummary(int CallerPE, int CFGEdge, int SummaryPE) {
+  const PathEdge Caller = Edges[CallerPE]; // Copy: Edges may reallocate.
+  const PathEdge Sum = Edges[SummaryPE];
+  std::vector<int> Out;
+  Prob.flowSummary(Caller.Proc, CFGEdge, Caller.Fact, Sum.EntryFact, Sum.Fact,
+                   Out);
+  if (Out.empty())
+    return;
+  int To = Prob.proc(Caller.Proc).Edges[CFGEdge].To;
+  long Dist = Caller.Dist + 2 + Sum.Dist;
+  for (int F : Out)
+    propagate(Caller.Proc, Caller.EntryFact, To, F, Dist, Via::Summary,
+              CallerPE, CFGEdge, SummaryPE);
+}
+
+void Solver::process(int Id) {
+  const PathEdge PE = Edges[Id]; // Copy: Edges may reallocate.
+  const ProcView &V = Prob.proc(PE.Proc);
+  ProcState &PS = Procs[PE.Proc];
+
+  for (int EIdx : PS.OutEdges[PE.Node]) {
+    const ProcView::Edge &E = V.Edges[EIdx];
+    if (E.Callee >= 0) {
+      activate(E.Callee);
+      ProcState &CS = Procs[E.Callee];
+      // Park this caller edge for future summaries.
+      if (CS.CallersSeen.emplace(Id, EIdx).second)
+        CS.Callers.emplace_back(Id, EIdx);
+      // Record genuine feeds of callee entry facts.
+      std::vector<int> Seeded;
+      Prob.flowCall(PE.Proc, EIdx, PE.Fact, Seeded);
+      for (int D : Seeded)
+        if (CS.FeedsSeen[D].emplace(Id, EIdx).second)
+          CS.Feeds[D].push_back({Id, EIdx});
+      // Apply every summary already tabulated for the callee.
+      for (const auto &[Key, SumId] : CS.Summaries) {
+        (void)Key;
+        applySummary(Id, EIdx, SumId);
+      }
+      // Facts bypassing the callee.
+      std::vector<int> Out;
+      Prob.flowCallToReturn(PE.Proc, EIdx, PE.Fact, Out);
+      for (int F : Out)
+        propagate(PE.Proc, PE.EntryFact, E.To, F, PE.Dist + 1,
+                  Via::CallToReturn, Id, EIdx, -1);
+    } else {
+      std::vector<int> Out;
+      Prob.flowNormal(PE.Proc, EIdx, PE.Fact, Out);
+      for (int F : Out)
+        propagate(PE.Proc, PE.EntryFact, E.To, F, PE.Dist + 1, Via::Normal,
+                  Id, EIdx, -1);
+    }
+  }
+
+  if (PE.Node == V.Exit) {
+    // A summary edge ⟨(sp, d1) → (exit, d2)⟩: register and apply at
+    // every known call site. Reprocessing after a distance improvement
+    // re-applies with the better distance.
+    PS.Summaries.emplace(std::make_pair(PE.EntryFact, PE.Fact), Id);
+    // Callers may grow while iterating (applySummary -> propagate only
+    // touches other procedures' states, but be safe with indexing).
+    for (size_t I = 0; I != PS.Callers.size(); ++I) {
+      auto [CallerPE, CFGEdge] = PS.Callers[I];
+      applySummary(CallerPE, CFGEdge, Id);
+    }
+  }
+}
+
+void Solver::solve() {
+  if (Solved)
+    return;
+  Solved = true;
+
+  int Entry = Prob.entryProc();
+  Procs[Entry].Activated = true;
+  const ProcView &V = Prob.proc(Entry);
+  std::vector<int> Init;
+  Prob.initialFacts(Init);
+  for (int D : Init)
+    propagate(Entry, D, V.Entry, D, 0, Via::Seed, -1, -1, -1);
+
+  while (!Worklist.empty()) {
+    int Id = Worklist.begin()->second;
+    Worklist.erase(Worklist.begin());
+    ++St.Visits;
+    process(Id);
+  }
+
+  computeGenuine();
+
+  St.PathEdges = Edges.size();
+  for (const ProcState &PS : Procs)
+    St.Summaries += PS.Summaries.size();
+  std::set<std::array<int, 3>> Nodes;
+  for (const PathEdge &PE : Edges)
+    Nodes.insert({PE.Proc, PE.Node, PE.Fact});
+  St.ExplodedNodes = Nodes.size();
+}
+
+void Solver::computeGenuine() {
+  // Genuine entry facts: the entry procedure's initial facts, plus
+  // every callee entry fact fed (per flowCall) by a caller path edge
+  // whose own entry fact is genuine. Fixpoint over the feed records.
+  std::vector<int> Init;
+  Prob.initialFacts(Init);
+  for (int D : Init)
+    Genuine.emplace(Prob.entryProc(), D);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int P = 0; P != Prob.numProcs(); ++P)
+      for (int D = 0; D != Prob.numFacts(P); ++D) {
+        if (Genuine.count({P, D}))
+          continue;
+        for (const FactFeed &F : Procs[P].Feeds[D]) {
+          const PathEdge &Caller = Edges[F.CallerPathEdge];
+          if (Genuine.count({Caller.Proc, Caller.EntryFact})) {
+            Genuine.emplace(P, D);
+            Changed = true;
+            break;
+          }
+        }
+      }
+  }
+
+  for (int P = 0; P != Prob.numProcs(); ++P)
+    ReachedG[P].assign(
+        static_cast<size_t>(Prob.proc(P).NumNodes) * Prob.numFacts(P), 0);
+  for (const PathEdge &PE : Edges)
+    if (Genuine.count({PE.Proc, PE.EntryFact}))
+      ReachedG[PE.Proc][static_cast<size_t>(PE.Node) *
+                            Prob.numFacts(PE.Proc) +
+                        PE.Fact] = 1;
+}
+
+bool Solver::reached(int P, int Node, int Fact) const {
+  assert(Solved && "query before solve()");
+  return ReachedG[P][static_cast<size_t>(Node) * Prob.numFacts(P) + Fact];
+}
+
+bool Solver::genuineEntry(int P, int Fact) const {
+  return Genuine.count({P, Fact}) != 0;
+}
+
+const std::vector<Solver::FactFeed> &Solver::feedsOf(int P, int Fact) const {
+  return Procs[P].Feeds[Fact];
+}
+
+int Solver::findPathEdge(int P, int EntryFact, int Node, int Fact) const {
+  auto It = Index.find({P, EntryFact, Node, Fact});
+  return It == Index.end() ? -1 : It->second;
+}

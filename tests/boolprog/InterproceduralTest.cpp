@@ -41,7 +41,7 @@ std::unique_ptr<Run> analyze(const char *ClientSrc) {
 
 /// Outcome of the unique check whose text contains \p Fragment.
 CheckOutcome outcomeOf(const Run &R, const std::string &Fragment) {
-  const InterResult::CheckVerdict *Found = nullptr;
+  const core::CheckRecord *Found = nullptr;
   for (const auto &C : R.R.Checks)
     if (C.What.find(Fragment) != std::string::npos) {
       EXPECT_EQ(Found, nullptr) << "ambiguous fragment " << Fragment;
@@ -218,7 +218,7 @@ TEST(InterprocTest, UncalledMethodsAreNotReported) {
     }
   )");
   for (const auto &C : R->R.Checks)
-    EXPECT_EQ(C.Method->name(), "M::main") << R->R.str();
+    EXPECT_EQ(C.Method, "M::main") << R->R.str();
 }
 
 TEST(InterprocTest, WorklistProgramCertifies) {

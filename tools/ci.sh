@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+#
+# Local CI gate: strict (-Werror) build, sanitizer build, the full test
+# suite under both, and clang-tidy over src/ when the binary is
+# available. Run from anywhere; exits non-zero on the first failure.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "strict configure + build (-Werror)"
+cmake --preset strict
+cmake --build --preset strict -j "$JOBS"
+
+step "strict test suite"
+ctest --preset strict -j "$JOBS"
+
+step "sanitize configure + build (ASan + UBSan)"
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$JOBS"
+
+step "sanitize test suite"
+ctest --preset sanitize -j "$JOBS"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy over src/"
+  # The strict build dir carries the compilation database.
+  cmake --preset strict -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$JOBS" -n 1 clang-tidy -p build-strict --quiet
+else
+  step "clang-tidy not found; skipping lint"
+fi
+
+step "CI gate passed"
