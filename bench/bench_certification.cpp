@@ -27,6 +27,26 @@ using namespace canvas::core;
 
 namespace {
 
+/// Renders Report.Stages as a JSON array: the per-rung resource spend
+/// (time, fixpoint iterations, peak resident structures) the budgeted
+/// supervisor accounted for this run.
+std::string stagesJson(const CertificationReport &R) {
+  std::string Out = "[";
+  for (size_t I = 0; I != R.Stages.size(); ++I) {
+    const StageAttempt &A = R.Stages[I];
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"engine\":\"%s\",\"completed\":%s,\"us\":%.1f,"
+                  "\"iterations\":%llu,\"peak_structures\":%llu}",
+                  I ? "," : "", A.Engine.c_str(),
+                  A.Completed ? "true" : "false", A.Spend.Micros,
+                  static_cast<unsigned long long>(A.Spend.Iterations),
+                  static_cast<unsigned long long>(A.Spend.PeakStructures));
+    Out += Buf;
+  }
+  return Out + "]";
+}
+
 const EngineKind AllEngines[] = {
     EngineKind::SCMPIntra, EngineKind::SCMPInterproc,
     EngineKind::TVLAIndependent, EngineKind::TVLARelational,
@@ -168,13 +188,14 @@ void printStageZero() {
         "\"on\":{\"us\":%.1f,\"boolvars\":%zu,\"max_boolvars\":%zu,"
         "\"slice_runs\":%u,\"multi_slice_methods\":%u,\"fallbacks\":%u,"
         "\"dead_stores\":%u,\"vars_dropped\":%u,\"edges_pruned\":%u},"
-        "\"verdicts_identical\":%s}",
+        "\"verdicts_identical\":%s,\"stages\":",
         First ? "" : ",", Client.Name, Off.Micros, Off.BoolVars,
         Off.MaxBoolVars, On.Micros, On.BoolVars, On.MaxBoolVars,
         On.Pre.SliceRuns, On.Pre.MultiSliceMethods, On.Pre.FallbackMethods,
         On.Pre.DeadStoresRemoved, On.Pre.VarsDropped, On.Pre.EdgesPruned,
         Same ? "true" : "false");
     Json += Buf;
+    Json += stagesJson(On.Report) + "}";
     First = false;
   }
   Json += "]}";

@@ -21,6 +21,26 @@ using namespace canvas::core;
 
 namespace {
 
+/// Renders Report.Stages as a JSON array: the per-rung resource spend
+/// (time, fixpoint iterations, peak resident structures) the budgeted
+/// supervisor accounted for this run.
+std::string stagesJson(const CertificationReport &R) {
+  std::string Out = "[";
+  for (size_t I = 0; I != R.Stages.size(); ++I) {
+    const StageAttempt &A = R.Stages[I];
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"engine\":\"%s\",\"completed\":%s,\"us\":%.1f,"
+                  "\"iterations\":%llu,\"peak_structures\":%llu}",
+                  I ? "," : "", A.Engine.c_str(),
+                  A.Completed ? "true" : "false", A.Spend.Micros,
+                  static_cast<unsigned long long>(A.Spend.Iterations),
+                  static_cast<unsigned long long>(A.Spend.PeakStructures));
+    Out += Buf;
+  }
+  return Out + "]";
+}
+
 struct Prog {
   const char *Name;
   const char *Source;
@@ -128,11 +148,13 @@ void printTable() {
             "%s{\"name\":\"%s\",\"us\":%.1f,\"checks\":%zu,"
             "\"flagged\":%u,\"false_alarms\":%u,"
             "\"summary_iterations\":%u,\"exploded_nodes\":%zu,"
-            "\"path_edges\":%zu,\"summaries\":%zu,\"witness_us\":%.1f}",
+            "\"path_edges\":%zu,\"summaries\":%zu,\"witness_us\":%.1f,"
+            "\"stages\":",
             First ? "" : ",", P.Name, Us, R.numChecks(), R.numFlagged(),
             Cmp.FalseAlarms, R.Inter.SummaryIterations, R.Inter.ExplodedNodes,
             R.Inter.PathEdges, R.Inter.Summaries, R.Inter.WitnessMicros);
         Json += Buf;
+        Json += stagesJson(R) + "}";
         First = false;
       }
     }

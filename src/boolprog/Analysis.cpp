@@ -62,14 +62,18 @@ static ValueSet evalRhs(const BoolRhs &R, const std::vector<ValueSet> &In) {
   return ValueSet::Both;
 }
 
-IntraResult bp::analyzeIntraproc(const BooleanProgram &BP) {
-  return analyzeIntraproc(
-      BP, std::vector<ValueSet>(BP.Vars.size(), ValueSet::Both));
+IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
+                                 support::CancelToken *Cancel) {
+  return analyzeIntraproc(BP,
+                          std::vector<ValueSet>(BP.Vars.size(),
+                                                ValueSet::Both),
+                          true, Cancel);
 }
 
 IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
                                  const std::vector<ValueSet> &EntryState,
-                                 bool AssumeChecksPass) {
+                                 bool AssumeChecksPass,
+                                 support::CancelToken *Cancel) {
   const cj::CFGMethod &CFG = *BP.CFG;
   assert(EntryState.size() == BP.Vars.size() && "entry state size mismatch");
 
@@ -96,6 +100,9 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
   Queued[CFG.Entry] = true;
 
   while (!Worklist.empty()) {
+    support::faultProbe("boolprog.intra");
+    if (Cancel)
+      Cancel->tick();
     int N = Worklist.front();
     Worklist.pop_front();
     Queued[N] = false;
@@ -169,12 +176,12 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
 SlicedIntraResult bp::analyzeIntraprocSliced(
     const wp::DerivedAbstraction &Abs, const cj::CFGMethod &M,
     const std::vector<std::vector<std::string>> &Slices,
-    DiagnosticEngine &Diags) {
+    DiagnosticEngine &Diags, support::CancelToken *Cancel) {
   SlicedIntraResult R;
 
   auto RunOne = [&](const BuildRestriction &Restrict) {
     BooleanProgram BP = buildBooleanProgram(Abs, M, Diags, Restrict);
-    IntraResult IR = analyzeIntraproc(BP);
+    IntraResult IR = analyzeIntraproc(BP, Cancel);
     ++R.SliceRuns;
     R.BoolVars += BP.Vars.size();
     R.MaxSliceBoolVars = std::max(R.MaxSliceBoolVars, BP.Vars.size());

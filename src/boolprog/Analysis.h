@@ -20,6 +20,7 @@
 
 #include "boolprog/BooleanProgram.h"
 #include "core/Verdict.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <string>
@@ -86,10 +87,14 @@ struct IntraResult {
 /// outgoing edge. Without it the analysis computes the exact
 /// possible-value MOP of the (non-aborting) transformed program of
 /// Section 4.3.
-IntraResult analyzeIntraproc(const BooleanProgram &BP);
+/// \p Cancel, when given, is ticked once per worklist pop (cooperative
+/// budget enforcement; see support/Budget.h).
+IntraResult analyzeIntraproc(const BooleanProgram &BP,
+                             support::CancelToken *Cancel = nullptr);
 IntraResult analyzeIntraproc(const BooleanProgram &BP,
                              const std::vector<ValueSet> &EntryState,
-                             bool AssumeChecksPass = true);
+                             bool AssumeChecksPass = true,
+                             support::CancelToken *Cancel = nullptr);
 
 /// One merged requires verdict from a sliced run; Items are ordered by
 /// edge index, matching the check order of the unsliced program. Rec
@@ -127,7 +132,8 @@ SlicedIntraResult
 analyzeIntraprocSliced(const wp::DerivedAbstraction &Abs,
                        const cj::CFGMethod &M,
                        const std::vector<std::vector<std::string>> &Slices,
-                       DiagnosticEngine &Diags);
+                       DiagnosticEngine &Diags,
+                       support::CancelToken *Cancel = nullptr);
 
 } // namespace bp
 } // namespace canvas

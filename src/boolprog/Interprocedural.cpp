@@ -481,10 +481,12 @@ const std::vector<int> &InterprocProblem::feedersOf(int CallerIdx,
 InterResult bp::analyzeInterproc(const DerivedAbstraction &Abs,
                                  const cj::ClientCFG &CFG,
                                  const cj::CFGMethod &Entry,
-                                 DiagnosticEngine &Diags) {
+                                 DiagnosticEngine &Diags,
+                                 support::CancelToken *Cancel) {
+  support::faultProbe("boolprog.interproc");
   InterprocProblem Prob(Abs, CFG, Entry, Diags);
   ifds::Solver Solver(Prob);
-  Solver.solve();
+  Solver.solve(Cancel);
 
   InterResult R;
   R.SummaryIterations = Solver.stats().Visits;

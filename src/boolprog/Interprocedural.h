@@ -65,10 +65,12 @@ struct InterResult {
 
 /// Analyzes the whole program rooted at \p Entry. Every client method
 /// reachable through ClientCall edges is summarized context-sensitively.
+/// \p Cancel, when given, bounds the tabulation (see support/Budget.h).
 InterResult analyzeInterproc(const wp::DerivedAbstraction &Abs,
                              const cj::ClientCFG &CFG,
                              const cj::CFGMethod &Entry,
-                             DiagnosticEngine &Diags);
+                             DiagnosticEngine &Diags,
+                             support::CancelToken *Cancel = nullptr);
 
 } // namespace bp
 } // namespace canvas

@@ -60,8 +60,10 @@ public:
         P.Classes.push_back(parseClass());
         continue;
       }
+      // One diagnostic per junk region, then resume at the next class
+      // so later declarations still parse (partial AST with errors).
       error("expected 'class'");
-      advance();
+      synchronizeTopLevel();
     }
     return P;
   }
@@ -107,6 +109,14 @@ private:
         return;
       advance();
     }
+  }
+
+  /// Skips forward to the next top-level 'class' keyword (or the end)
+  /// after junk between declarations.
+  void synchronizeTopLevel() {
+    advance();
+    while (!atEnd() && !peek().isKeyword("class"))
+      advance();
   }
 
   void skipModifiers() {

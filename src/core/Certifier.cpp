@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <new>
 
 using namespace canvas;
 using namespace canvas::core;
@@ -49,7 +50,10 @@ std::string CertificationReport::str() const {
     Out += L.Method + " " + L.Loc.str() + ": warning: " + L.What + "\n";
   for (const CheckVerdict &C : Checks) {
     Out += C.Method + " " + C.Loc.str() + ": " + C.What + ": " +
-           outcomeStr(C.Outcome) + "\n";
+           outcomeStr(C.Outcome);
+    if (C.Degraded)
+      Out += " [degraded]";
+    Out += "\n";
     if (!C.Witness.empty())
       Out += C.Witness.str();
   }
@@ -59,6 +63,14 @@ std::string CertificationReport::str() const {
   if (!Lints.empty())
     Out += ", " + std::to_string(Lints.size()) + " lint warning(s)";
   Out += "\n";
+  if (Degraded) {
+    Out += "engine degraded: requested " + std::string(engineName(Requested)) +
+           ", ran " + EffectiveEngine + "\n";
+    for (const StageAttempt &A : Stages)
+      if (!A.Completed)
+        Out += "  " + A.Engine + ": " +
+               (A.FailReason.empty() ? "not attempted" : A.FailReason) + "\n";
+  }
   return Out;
 }
 
@@ -86,11 +98,23 @@ Certifier::certifySource(std::string_view ClientSource,
 
 namespace {
 
-void attachLints(CertificationReport &Report,
+/// Everything one engine rung produces. Kept separate from the report
+/// and merged only when the rung completes, so a rung that throws
+/// mid-run leaves no partial verdicts behind.
+struct EngineRun {
+  std::vector<CheckVerdict> Checks;
+  std::vector<LintFinding> Lints;
+  PreAnalysisSummary Pre;
+  InterprocStats Inter;
+  size_t BoolVars = 0;
+  size_t MaxBoolVars = 0;
+};
+
+void attachLints(std::vector<LintFinding> &Lints,
                  const dataflow::PreAnalysisResult &PA) {
   for (size_t I = 0; I != PA.Findings.size(); ++I) {
     const dataflow::UninitUse &U = PA.Findings[I];
-    Report.Lints.push_back(
+    Lints.push_back(
         {PA.FindingMethods[I], U.Var, U.Loc,
          "component variable '" + U.Var +
              "' may be used before initialization in '" + U.ActionText + "'",
@@ -98,34 +122,75 @@ void attachLints(CertificationReport &Report,
   }
 }
 
-} // namespace
+/// The method abstraction governing \p A's requires obligations, or
+/// null when the action carries none (mirrors the enumeration every
+/// engine performs).
+const wp::MethodAbstraction *
+obligationAbstraction(const wp::DerivedAbstraction &Abs,
+                      const cj::CFGMethod &M, const cj::Action &A) {
+  if (A.K == cj::Action::Kind::AllocComp)
+    return Abs.findMethod(A.Callee, "new");
+  if (A.K != cj::Action::Kind::CompCall)
+    return nullptr;
+  for (const auto &[V, T] : M.CompVars)
+    if (V == A.Recv)
+      return Abs.findMethod(T, A.Callee);
+  return nullptr;
+}
 
-CertificationReport Certifier::certify(const cj::Program &P,
-                                       DiagnosticEngine &Diags) const {
-  CertificationReport Report;
-  cj::ClientCFG CFG = cj::buildCFG(P, S, Diags);
-  if (Diags.hasErrors())
-    return Report;
+/// The lint-only floor of the ladder: no engine ran to completion, so
+/// every requires obligation is reported as a conservative Potential,
+/// marked Degraded with \p Note.
+void enumerateObligations(const wp::DerivedAbstraction &Abs,
+                          const cj::CFGMethod &M, const std::string &Note,
+                          std::vector<CheckVerdict> &Out) {
+  for (size_t E = 0; E != M.Edges.size(); ++E) {
+    const wp::MethodAbstraction *MA =
+        obligationAbstraction(Abs, M, M.Edges[E].Act);
+    if (!MA)
+      continue;
+    for (size_t R = 0; R != MA->RequiresFalse.size(); ++R) {
+      CheckVerdict V;
+      V.Method = M.name();
+      V.Loc = M.Edges[E].Act.Loc;
+      V.What = M.Edges[E].Act.str() + " requires !" +
+               MA->RequiresFalse[R].first.str(Abs.Families);
+      V.ReqLoc = MA->RequiresFalse[R].second;
+      V.Outcome = CheckOutcome::Potential;
+      V.Degraded = true;
+      V.DegradeNote = Note;
+      Out.push_back(std::move(V));
+    }
+  }
+}
 
-  // The Stage-0 lint runs for every engine; the program transformations
-  // feed the SCMPIntra path below only.
-  if (Opts.PreAnalysis && Engine != EngineKind::SCMPIntra) {
+/// Runs one ladder rung to completion under \p Tok's budget; throws
+/// CertifyError on exhaustion, injected faults, or checked invariants.
+void runEngine(EngineKind K, const easl::Spec &S,
+               const wp::DerivedAbstraction &Abs,
+               const CertifierOptions &Opts, const cj::ClientCFG &CFG,
+               DiagnosticEngine &Diags, support::CancelToken &Tok,
+               EngineRun &Run) {
+  // The Stage-0 lint runs for every engine; SCMPIntra folds it into its
+  // own pre-analysis below.
+  if (Opts.PreAnalysis && K != EngineKind::SCMPIntra) {
     dataflow::PreAnalysisOptions LintOnly = Opts.Pre;
     LintOnly.EliminateDeadStores = false;
     LintOnly.Slice = false;
+    LintOnly.Cancel = &Tok;
     dataflow::PreAnalysisResult PA = dataflow::preAnalyze(CFG, Abs, LintOnly);
-    attachLints(Report, PA);
-    Report.Pre.Enabled = true;
+    attachLints(Run.Lints, PA);
+    Run.Pre.Enabled = true;
   }
 
-  switch (Engine) {
+  switch (K) {
   case EngineKind::SCMPIntra: {
     if (!Opts.PreAnalysis) {
       for (const cj::CFGMethod &M : CFG.Methods) {
         bp::BooleanProgram BP = bp::buildBooleanProgram(Abs, M, Diags);
-        bp::IntraResult R = bp::analyzeIntraproc(BP);
-        Report.BoolVars += BP.Vars.size();
-        Report.MaxBoolVars = std::max(Report.MaxBoolVars, BP.Vars.size());
+        bp::IntraResult R = bp::analyzeIntraproc(BP, &Tok);
+        Run.BoolVars += BP.Vars.size();
+        Run.MaxBoolVars = std::max(Run.MaxBoolVars, BP.Vars.size());
         std::unique_ptr<bp::IntraWitnessEngine> WE;
         for (size_t I = 0; I != BP.Checks.size(); ++I) {
           CheckVerdict V;
@@ -140,27 +205,29 @@ CertificationReport Certifier::certify(const cj::Program &P,
               WE = std::make_unique<bp::IntraWitnessEngine>(BP);
             V.Witness = WE->witnessFor(I);
           }
-          Report.Checks.push_back(std::move(V));
+          Run.Checks.push_back(std::move(V));
         }
       }
-      return Report;
+      return;
     }
 
-    dataflow::PreAnalysisResult PA = dataflow::preAnalyze(CFG, Abs, Opts.Pre);
-    attachLints(Report, PA);
-    Report.Pre.Enabled = true;
-    Report.Pre.EdgesPruned = PA.totalEdgesPruned();
-    Report.Pre.DeadStoresRemoved = PA.totalDeadStores();
-    Report.Pre.VarsDropped = PA.totalVarsDropped();
-    Report.Pre.MultiSliceMethods = PA.multiSliceMethods();
+    dataflow::PreAnalysisOptions PreOpts = Opts.Pre;
+    PreOpts.Cancel = &Tok;
+    dataflow::PreAnalysisResult PA = dataflow::preAnalyze(CFG, Abs, PreOpts);
+    attachLints(Run.Lints, PA);
+    Run.Pre.Enabled = true;
+    Run.Pre.EdgesPruned = PA.totalEdgesPruned();
+    Run.Pre.DeadStoresRemoved = PA.totalDeadStores();
+    Run.Pre.VarsDropped = PA.totalVarsDropped();
+    Run.Pre.MultiSliceMethods = PA.multiSliceMethods();
 
     for (const dataflow::MethodPlan &Plan : PA.Plans) {
       bp::SlicedIntraResult SR =
-          bp::analyzeIntraprocSliced(Abs, Plan.CFG, Plan.Slices, Diags);
-      Report.Pre.SliceRuns += SR.SliceRuns;
-      Report.Pre.FallbackMethods += SR.FellBack;
-      Report.BoolVars += SR.BoolVars;
-      Report.MaxBoolVars = std::max(Report.MaxBoolVars, SR.MaxSliceBoolVars);
+          bp::analyzeIntraprocSliced(Abs, Plan.CFG, Plan.Slices, Diags, &Tok);
+      Run.Pre.SliceRuns += SR.SliceRuns;
+      Run.Pre.FallbackMethods += SR.FellBack;
+      Run.BoolVars += SR.BoolVars;
+      Run.MaxBoolVars = std::max(Run.MaxBoolVars, SR.MaxSliceBoolVars);
 
       // Interleave the engine's verdicts with the obligations of pruned
       // (entry-unreachable) edges, restoring original edge order.
@@ -179,48 +246,44 @@ CertificationReport Certifier::certify(const cj::Program &P,
           Rec.Loc = DC.Loc;
           Rec.What = DC.What;
           Rec.Outcome = CheckOutcome::Unreachable;
-          Report.Checks.push_back(std::move(Rec));
+          Run.Checks.push_back(std::move(Rec));
         } else {
           bp::SlicedCheckItem It = SR.Items[I++];
           It.Rec.Method = Name;
           // Witness steps refer to the transformed working copy; remap
           // them onto the original method so the story (and the replay
           // checker) sees the untransformed source edges.
-          for (WitnessStep &S : It.Rec.Witness.Steps) {
-            if (S.Edge < 0 ||
-                static_cast<size_t>(S.Edge) >= Plan.OrigEdgeIndex.size())
+          for (WitnessStep &WS : It.Rec.Witness.Steps) {
+            if (WS.Edge < 0 ||
+                static_cast<size_t>(WS.Edge) >= Plan.OrigEdgeIndex.size())
               continue;
-            S.Edge = Plan.OrigEdgeIndex[S.Edge];
-            const cj::Action &A = Plan.Source->Edges[S.Edge].Act;
-            S.Loc = A.Loc;
-            if (S.K != WitnessStep::Kind::Check)
-              S.ActionText = A.str();
+            WS.Edge = Plan.OrigEdgeIndex[WS.Edge];
+            const cj::Action &A = Plan.Source->Edges[WS.Edge].Act;
+            WS.Loc = A.Loc;
+            if (WS.K != WitnessStep::Kind::Check)
+              WS.ActionText = A.str();
           }
-          Report.Checks.push_back(std::move(It.Rec));
+          Run.Checks.push_back(std::move(It.Rec));
         }
       }
     }
-    return Report;
+    return;
   }
   case EngineKind::SCMPInterproc: {
+    // The supervisor skips this rung when main() is absent.
     const cj::CFGMethod *Main = CFG.mainCFG();
-    if (!Main) {
-      Diags.error(SourceLoc(), "interprocedural certification requires a "
-                               "main() method");
-      return Report;
-    }
-    bp::InterResult R = bp::analyzeInterproc(Abs, CFG, *Main, Diags);
-    Report.Inter.SummaryIterations = R.SummaryIterations;
-    Report.Inter.ExplodedNodes = R.ExplodedNodes;
-    Report.Inter.PathEdges = R.PathEdges;
-    Report.Inter.Summaries = R.Summaries;
-    Report.Inter.WitnessMicros = R.WitnessMicros;
-    Report.Checks = std::move(R.Checks);
-    return Report;
+    bp::InterResult R = bp::analyzeInterproc(Abs, CFG, *Main, Diags, &Tok);
+    Run.Inter.SummaryIterations = R.SummaryIterations;
+    Run.Inter.ExplodedNodes = R.ExplodedNodes;
+    Run.Inter.PathEdges = R.PathEdges;
+    Run.Inter.Summaries = R.Summaries;
+    Run.Inter.WitnessMicros = R.WitnessMicros;
+    Run.Checks = std::move(R.Checks);
+    return;
   }
   case EngineKind::GenericAllocSite: {
     for (const cj::CFGMethod &M : CFG.Methods) {
-      BaselineResult R = analyzeAllocSite(S, M);
+      BaselineResult R = analyzeAllocSite(S, M, &Tok);
       for (const auto &[Site, Flagged] : R.Flagged) {
         CheckRecord Rec;
         Rec.Method = Site.Method;
@@ -229,27 +292,157 @@ CertificationReport Certifier::certify(const cj::Program &P,
                    Site.ReqLoc.str() + ")";
         Rec.Outcome = Flagged ? CheckOutcome::Potential : CheckOutcome::Safe;
         Rec.ReqLoc = Site.ReqLoc;
-        Report.Checks.push_back(std::move(Rec));
+        Run.Checks.push_back(std::move(Rec));
       }
     }
-    return Report;
+    return;
   }
   case EngineKind::TVLAIndependent:
   case EngineKind::TVLARelational: {
     for (const cj::CFGMethod &M : CFG.Methods) {
-      tvla::TVLAResult R = tvla::certifyWithTVLA(
-          S, Abs, M, Engine == EngineKind::TVLARelational, Diags);
+      tvla::TVLAOptions TO;
+      TO.Relational = K == EngineKind::TVLARelational;
+      TO.Cancel = &Tok;
+      tvla::TVLAResult R = tvla::certifyWithTVLA(S, Abs, M, TO, Diags);
       for (const auto &C : R.Checks) {
         CheckRecord Rec;
         Rec.Method = M.name();
         Rec.Loc = C.Loc;
         Rec.What = C.What;
         Rec.Outcome = C.Outcome;
-        Report.Checks.push_back(std::move(Rec));
+        Run.Checks.push_back(std::move(Rec));
       }
     }
+    return;
+  }
+  }
+}
+
+} // namespace
+
+CertificationReport Certifier::certify(const cj::Program &P,
+                                       DiagnosticEngine &Diags) const {
+  CertificationReport Report;
+  Report.Requested = Engine;
+  Report.EffectiveEngine = engineName(Engine);
+  cj::ClientCFG CFG = cj::buildCFG(P, S, Diags);
+  if (Diags.hasErrors())
     return Report;
+
+  // The degradation ladder, most precise/expensive first. The requested
+  // engine is the first rung; with degradation on, every cheaper engine
+  // below it is a fallback.
+  static const EngineKind Ladder[] = {
+      EngineKind::TVLARelational, EngineKind::TVLAIndependent,
+      EngineKind::SCMPInterproc, EngineKind::SCMPIntra,
+      EngineKind::GenericAllocSite};
+  std::vector<EngineKind> Rungs;
+  if (!Opts.Degrade) {
+    Rungs.push_back(Engine);
+  } else {
+    bool Found = false;
+    for (EngineKind K : Ladder) {
+      Found |= K == Engine;
+      if (Found)
+        Rungs.push_back(K);
+    }
   }
+
+  std::string FirstFailure;
+  for (EngineKind K : Rungs) {
+    if (K == EngineKind::SCMPInterproc && !CFG.mainCFG()) {
+      if (!Opts.Degrade) {
+        Diags.error(SourceLoc(), "interprocedural certification requires a "
+                                 "main() method");
+        return Report;
+      }
+      StageAttempt At;
+      At.Engine = engineName(K);
+      At.FailReason = "no main() method in client";
+      if (FirstFailure.empty())
+        FirstFailure = At.FailReason;
+      Report.Stages.push_back(std::move(At));
+      continue;
+    }
+
+    support::StageBudget B = Opts.Budget;
+    auto It = Opts.EngineBudgets.find(K);
+    if (It != Opts.EngineBudgets.end())
+      B = It->second;
+    support::CancelToken Tok(B, engineName(K));
+    StageAttempt At;
+    At.Engine = engineName(K);
+    try {
+      EngineRun Run;
+      runEngine(K, S, Abs, Opts, CFG, Diags, Tok, Run);
+      At.Completed = true;
+      At.Spend = Tok.spend();
+      Report.Stages.push_back(std::move(At));
+      Report.Checks = std::move(Run.Checks);
+      Report.Lints = std::move(Run.Lints);
+      Report.Pre = Run.Pre;
+      Report.Inter = Run.Inter;
+      Report.BoolVars = Run.BoolVars;
+      Report.MaxBoolVars = Run.MaxBoolVars;
+      Report.EffectiveEngine = engineName(K);
+      Report.Degraded = K != Engine;
+      if (Report.Degraded) {
+        // The cheaper engine's Safe/Unreachable verdicts are sound as
+        // reported; its unproven verdicts may be conservatism the
+        // requested engine would have discharged, so mark those.
+        std::string Note = "engine degraded from " +
+                           std::string(engineName(Engine)) + " to " +
+                           engineName(K) + " (" + FirstFailure + ")";
+        for (CheckVerdict &C : Report.Checks)
+          if (C.Outcome == CheckOutcome::Potential ||
+              C.Outcome == CheckOutcome::Definite) {
+            C.Degraded = true;
+            C.DegradeNote = Note;
+          }
+      }
+      return Report;
+    } catch (const CertifyError &E) {
+      At.Spend = Tok.spend();
+      At.FailReason =
+          std::string(certifyErrorKindName(E.kind())) + ": " + E.message();
+      if (FirstFailure.empty())
+        FirstFailure = At.FailReason;
+      Report.Stages.push_back(std::move(At));
+      if (!Opts.Degrade)
+        throw;
+    } catch (const std::bad_alloc &) {
+      At.Spend = Tok.spend();
+      At.FailReason = "allocation failure";
+      if (FirstFailure.empty())
+        FirstFailure = At.FailReason;
+      Report.Stages.push_back(std::move(At));
+      if (!Opts.Degrade)
+        throw;
+    }
   }
+
+  // The floor: no engine ran to completion. Still return a report —
+  // Stage-0 lints plus every obligation as a conservative Potential.
+  Report.Degraded = true;
+  Report.EffectiveEngine = "lint-only";
+  std::string Note =
+      "all engines failed (" + FirstFailure + "); Stage-0 lint only";
+  if (Opts.PreAnalysis) {
+    try {
+      support::CancelToken Unlimited;
+      dataflow::PreAnalysisOptions LintOnly = Opts.Pre;
+      LintOnly.EliminateDeadStores = false;
+      LintOnly.Slice = false;
+      LintOnly.Cancel = &Unlimited;
+      dataflow::PreAnalysisResult PA =
+          dataflow::preAnalyze(CFG, Abs, LintOnly);
+      attachLints(Report.Lints, PA);
+      Report.Pre.Enabled = true;
+    } catch (const CertifyError &) {
+      // Even the lint failed (a second armed fault): obligations alone.
+    }
+  }
+  for (const cj::CFGMethod &M : CFG.Methods)
+    enumerateObligations(Abs, M, Note, Report.Checks);
   return Report;
 }

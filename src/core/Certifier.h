@@ -22,8 +22,10 @@
 #include "core/Verdict.h"
 #include "dataflow/PreAnalysis.h"
 #include "easl/Parser.h"
+#include "support/Budget.h"
 #include "wp/Abstraction.h"
 
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -93,6 +95,17 @@ struct InterprocStats {
   double WitnessMicros = 0;
 };
 
+/// One rung of the degradation ladder as the supervisor attempted it:
+/// which engine ran, whether it completed, why it failed (budget
+/// exhaustion, injected fault, missing prerequisite), and what it
+/// consumed.
+struct StageAttempt {
+  std::string Engine;
+  bool Completed = false;
+  std::string FailReason; ///< Empty when Completed.
+  support::ResourceSpend Spend;
+};
+
 struct CertificationReport {
   std::vector<CheckVerdict> Checks;
   std::vector<LintFinding> Lints;
@@ -103,6 +116,17 @@ struct CertificationReport {
   /// other engines.
   size_t BoolVars = 0;
   size_t MaxBoolVars = 0;
+
+  /// The engine the certifier was built with.
+  EngineKind Requested = EngineKind::SCMPIntra;
+  /// The engine whose verdicts this report carries — engineName of a
+  /// ladder rung, or "lint-only" at the floor.
+  std::string EffectiveEngine;
+  /// True when EffectiveEngine is not the requested engine: some rung
+  /// exhausted its budget or failed, and the supervisor fell back.
+  bool Degraded = false;
+  /// Every rung attempted, in ladder order, with its resource spend.
+  std::vector<StageAttempt> Stages;
 
   size_t numChecks() const { return Checks.size(); }
   unsigned numFlagged() const;
@@ -117,6 +141,19 @@ struct CertificationReport {
 struct CertifierOptions {
   bool PreAnalysis = true;
   dataflow::PreAnalysisOptions Pre;
+  /// When true (the default) the supervisor catches recoverable engine
+  /// errors (CertifyError: budget exhaustion, injected faults, checked
+  /// invariants) and retries down the engine ladder
+  ///   TVLARelational -> TVLAIndependent -> SCMPInterproc -> SCMPIntra
+  ///   -> GenericAllocSite -> Stage-0 lint only,
+  /// conservatively marking unproven obligations Degraded instead of
+  /// aborting. When false, the requested engine runs alone and
+  /// CertifyError propagates to the caller.
+  bool Degrade = true;
+  /// Default per-rung resource budget (unlimited by default).
+  support::StageBudget Budget;
+  /// Per-engine overrides of Budget.
+  std::map<EngineKind, support::StageBudget> EngineBudgets;
 };
 
 /// A generated certifier: a derived abstraction bound to a component

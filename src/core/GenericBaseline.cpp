@@ -47,7 +47,9 @@ struct AbsState {
 
 class AllocSiteAnalysis {
 public:
-  AllocSiteAnalysis(const Spec &S, const cj::CFGMethod &M) : S(S), M(M) {}
+  AllocSiteAnalysis(const Spec &S, const cj::CFGMethod &M,
+                    support::CancelToken *Cancel)
+      : S(S), M(M), Cancel(Cancel) {}
 
   BaselineResult run() {
     std::vector<AbsState> In(M.NumNodes);
@@ -75,6 +77,9 @@ public:
           Queued[N] = true;
         }
       while (!Worklist.empty()) {
+        support::faultProbe("generic.allocsite");
+        if (Cancel)
+          Cancel->tick();
         int N = Worklist.front();
         Worklist.pop_front();
         Queued[N] = false;
@@ -364,12 +369,14 @@ private:
 
   const Spec &S;
   const cj::CFGMethod &M;
+  support::CancelToken *Cancel;
   BaselineResult Result;
 };
 
 } // namespace
 
 BaselineResult core::analyzeAllocSite(const Spec &Spec,
-                                      const cj::CFGMethod &Entry) {
-  return AllocSiteAnalysis(Spec, Entry).run();
+                                      const cj::CFGMethod &Entry,
+                                      support::CancelToken *Cancel) {
+  return AllocSiteAnalysis(Spec, Entry, Cancel).run();
 }

@@ -22,6 +22,7 @@
 #include "client/CFG.h"
 #include "core/Interpreter.h"
 #include "easl/AST.h"
+#include "support/Budget.h"
 
 #include <map>
 
@@ -43,8 +44,10 @@ struct BaselineResult {
 };
 
 /// Runs the intraprocedural allocation-site analysis on \p Entry.
+/// \p Cancel, when given, bounds the fixpoint (see support/Budget.h).
 BaselineResult analyzeAllocSite(const easl::Spec &Spec,
-                                const cj::CFGMethod &Entry);
+                                const cj::CFGMethod &Entry,
+                                support::CancelToken *Cancel = nullptr);
 
 } // namespace core
 } // namespace canvas

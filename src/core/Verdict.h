@@ -142,6 +142,14 @@ struct CheckRecord {
   /// Non-empty for Potential verdicts produced by a witness-recording
   /// engine: the evidence path.
   WitnessTrace Witness;
+  /// True when the verdict came from a cheaper engine than requested
+  /// (the supervisor degraded down the ladder after a budget or engine
+  /// failure) and so may be more conservative than the requested engine
+  /// would have reported. Only unproven outcomes are marked: a Safe
+  /// verdict from any engine is sound and stays unmarked.
+  bool Degraded = false;
+  /// Why the supervisor degraded (empty unless Degraded).
+  std::string DegradeNote;
 };
 
 inline const char *outcomeStr(CheckOutcome O) {

@@ -28,6 +28,7 @@
 #define CANVAS_DATAFLOW_DATAFLOW_H
 
 #include "client/CFG.h"
+#include "support/Budget.h"
 
 #include <map>
 #include <optional>
@@ -160,10 +161,12 @@ template <typename Problem> struct SolveResult {
 /// Nodes are prioritized by reverse-post-order number (forward) or its
 /// reverse (backward), which visits loop bodies before loop exits and
 /// keeps the number of re-visits near the theoretical minimum for
-/// reducible CFGs.
+/// reducible CFGs. \p Cancel, when given, is ticked once per worklist
+/// pop (cooperative budget enforcement; see support/Budget.h).
 template <typename Problem>
 SolveResult<Problem> solve(const CFGInfo &Info, const Problem &P,
-                           Direction Dir) {
+                           Direction Dir,
+                           support::CancelToken *Cancel = nullptr) {
   const cj::CFGMethod &M = Info.method();
   SolveResult<Problem> R;
   R.States.resize(M.NumNodes);
@@ -182,6 +185,9 @@ SolveResult<Problem> solve(const CFGInfo &Info, const Problem &P,
   Worklist.emplace(Priority(Boundary), Boundary);
 
   while (!Worklist.empty()) {
+    support::faultProbe("dataflow.solve");
+    if (Cancel)
+      Cancel->tick();
     int N = Worklist.begin()->second;
     Worklist.erase(Worklist.begin());
     ++R.NodeVisits;

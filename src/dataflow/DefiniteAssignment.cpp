@@ -61,14 +61,15 @@ bool callHasRequires(const cj::CFGMethod &M, const CompVarMap &Vars,
 DefiniteAssignmentResult
 dataflow::analyzeDefiniteAssignment(const cj::CFGMethod &M,
                                     const CFGInfo &Info,
-                                    const wp::DerivedAbstraction *Abs) {
+                                    const wp::DerivedAbstraction *Abs,
+                                    support::CancelToken *Cancel) {
   DefiniteAssignmentResult R;
   CompVarMap Vars(M);
   if (Vars.size() == 0)
     return R;
 
   MayUninitProblem P(M, Vars);
-  SolveResult<MayUninitProblem> S = solve(Info, P, Direction::Forward);
+  SolveResult<MayUninitProblem> S = solve(Info, P, Direction::Forward, Cancel);
   R.NodeVisits = S.NodeVisits;
 
   // Report uses against the pre-action state, in edge order.

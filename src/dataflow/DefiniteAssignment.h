@@ -49,10 +49,12 @@ struct DefiniteAssignmentResult {
 
 /// Runs the forward may-uninitialized analysis on \p M and collects
 /// every possibly-uninitialized use, in edge order. \p Abs (optional)
-/// is consulted to mark requires-bearing call sites.
+/// is consulted to mark requires-bearing call sites. \p Cancel, when
+/// given, bounds the fixpoint (see support/Budget.h).
 DefiniteAssignmentResult
 analyzeDefiniteAssignment(const cj::CFGMethod &M, const CFGInfo &Info,
-                          const wp::DerivedAbstraction *Abs);
+                          const wp::DerivedAbstraction *Abs,
+                          support::CancelToken *Cancel = nullptr);
 
 } // namespace dataflow
 } // namespace canvas

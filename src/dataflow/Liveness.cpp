@@ -62,10 +62,11 @@ struct LivenessProblem {
 
 LivenessResult dataflow::analyzeLiveness(const cj::CFGMethod &M,
                                          const CFGInfo &Info,
-                                         bool RetLiveAtExit) {
+                                         bool RetLiveAtExit,
+                                         support::CancelToken *Cancel) {
   LivenessResult R(M);
   LivenessProblem P(R.Vars, RetLiveAtExit);
-  SolveResult<LivenessProblem> S = solve(Info, P, Direction::Backward);
+  SolveResult<LivenessProblem> S = solve(Info, P, Direction::Backward, Cancel);
   R.LiveAt = std::move(S.States);
   R.NodeVisits = S.NodeVisits;
   return R;

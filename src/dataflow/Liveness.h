@@ -48,7 +48,8 @@ struct LivenessResult {
 /// certifier never consults post-exit facts, so Stage 0 runs with it
 /// off.
 LivenessResult analyzeLiveness(const cj::CFGMethod &M, const CFGInfo &Info,
-                               bool RetLiveAtExit);
+                               bool RetLiveAtExit,
+                               support::CancelToken *Cancel = nullptr);
 
 struct DeadStoreStats {
   unsigned StoresRemoved = 0;

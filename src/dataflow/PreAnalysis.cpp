@@ -131,7 +131,7 @@ MethodPlan dataflow::preAnalyzeMethod(const cj::CFGMethod &M,
   bool HasUninitUses = false;
   if (Opts.Lint) {
     DefiniteAssignmentResult DA =
-        analyzeDefiniteAssignment(Plan.CFG, Info, &Abs);
+        analyzeDefiniteAssignment(Plan.CFG, Info, &Abs, Opts.Cancel);
     HasUninitUses = !DA.clean();
     if (Findings)
       for (UninitUse &U : DA.Uses)
@@ -140,7 +140,7 @@ MethodPlan dataflow::preAnalyzeMethod(const cj::CFGMethod &M,
 
   bool RetSources = abstractionReadsRetSources(Abs);
   if (Opts.EliminateDeadStores) {
-    LivenessResult Live = analyzeLiveness(Plan.CFG, Info, false);
+    LivenessResult Live = analyzeLiveness(Plan.CFG, Info, false, Opts.Cancel);
     DeadStoreStats DS =
         eliminateDeadStores(Plan.CFG, Live, RetSources, Plan.Retained);
     Plan.DeadStoresRemoved = DS.StoresRemoved;

@@ -39,6 +39,8 @@ struct PreAnalysisOptions {
   bool Lint = true;
   bool EliminateDeadStores = true;
   bool Slice = true;
+  /// Optional budget handle bounding the Stage-0 fixpoints (not owned).
+  support::CancelToken *Cancel = nullptr;
 };
 
 /// A requires obligation that sat on a pruned (entry-unreachable) edge.

@@ -21,8 +21,10 @@ public:
         S.Classes.push_back(parseClass());
         continue;
       }
+      // One diagnostic per junk region, then resume at the next class
+      // so later declarations still parse (partial AST with errors).
       error("expected 'class'");
-      advance();
+      synchronizeTopLevel();
     }
     return S;
   }
@@ -56,6 +58,14 @@ private:
       return advance().Text;
     error(std::string("expected ") + What);
     return "";
+  }
+
+  /// Skips forward to the next top-level 'class' keyword (or the end)
+  /// after junk between declarations.
+  void synchronizeTopLevel() {
+    advance();
+    while (!atEnd() && !peek().isKeyword("class"))
+      advance();
   }
 
   /// Skips forward to (and past) the next ';' or to a '}' for error

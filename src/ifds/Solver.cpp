@@ -172,7 +172,7 @@ void Solver::process(int Id) {
   }
 }
 
-void Solver::solve() {
+void Solver::solve(support::CancelToken *Cancel) {
   if (Solved)
     return;
   Solved = true;
@@ -185,7 +185,18 @@ void Solver::solve() {
   for (int D : Init)
     propagate(Entry, D, V.Entry, D, 0, Via::Seed, -1, -1, -1);
 
+  size_t AccountedEdges = 0;
   while (!Worklist.empty()) {
+    support::faultProbe("ifds.solve");
+    if (Cancel) {
+      Cancel->tick();
+      Cancel->noteStructures(Edges.size());
+      if (Edges.size() > AccountedEdges) {
+        Cancel->addAllocation((Edges.size() - AccountedEdges) *
+                              sizeof(PathEdge));
+        AccountedEdges = Edges.size();
+      }
+    }
     int Id = Worklist.begin()->second;
     Worklist.erase(Worklist.begin());
     ++St.Visits;
@@ -241,7 +252,9 @@ void Solver::computeGenuine() {
 }
 
 bool Solver::reached(int P, int Node, int Fact) const {
-  assert(Solved && "query before solve()");
+  if (!Solved)
+    throw CertifyError(CertifyErrorKind::InternalInvariant,
+                       "ifds solver queried before solve()", "ifds");
   return ReachedG[P][static_cast<size_t>(Node) * Prob.numFacts(P) + Fact];
 }
 

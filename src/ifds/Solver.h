@@ -31,6 +31,7 @@
 #define CANVAS_IFDS_SOLVER_H
 
 #include "ifds/Problem.h"
+#include "support/Budget.h"
 
 #include <array>
 #include <cstddef>
@@ -85,7 +86,10 @@ public:
 
   explicit Solver(const Problem &Prob);
 
-  void solve();
+  /// Runs the tabulation to fixpoint. \p Cancel, when given, is ticked
+  /// once per worklist pop and informed of the path-edge population
+  /// (cooperative budget enforcement; see support/Budget.h).
+  void solve(support::CancelToken *Cancel = nullptr);
 
   /// True when some genuine path edge reaches (P, Node, Fact) — i.e.
   /// fact holds at the node along some call/return-matched path from

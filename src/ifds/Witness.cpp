@@ -1,4 +1,5 @@
 #include "ifds/Witness.h"
+#include "support/CertifyError.h"
 
 #include <cassert>
 
@@ -87,7 +88,10 @@ void WitnessBuilder::emitPrefix(int P, int EntryFact,
     }
   }
   auto It = Pred.find({P, EntryFact});
-  assert(It != Pred.end() && "prefix of an unfed entry fact");
+  if (It == Pred.end())
+    throw CertifyError(CertifyErrorKind::InternalInvariant,
+                       "witness prefix requested for an unfed entry fact",
+                       "ifds");
   const Solver::FactFeed &Feed = It->second;
   const Solver::PathEdge &Caller = S.pathEdges()[Feed.CallerPathEdge];
   emitPrefix(Caller.Proc, Caller.EntryFact, Out, SeedFactOut);

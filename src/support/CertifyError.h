@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured, recoverable error taxonomy of the certification
+/// pipeline. Engines signal resource exhaustion, malformed input, and
+/// broken internal invariants by throwing CertifyError; the supervisor
+/// in core::Certifier catches it and degrades down the engine ladder
+/// instead of aborting the process (see DESIGN.md "Budgets & degradation
+/// ladder"). Unlike canvas_unreachable/assert, a CertifyError fires in
+/// release builds too — user-input and budget paths must fail loudly,
+/// never silently misbehave.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_SUPPORT_CERTIFYERROR_H
+#define CANVAS_SUPPORT_CERTIFYERROR_H
+
+#include "support/SourceLoc.h"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace canvas {
+
+/// What went wrong, at the granularity the degradation ladder cares
+/// about: every kind is recoverable by falling back to a cheaper stage.
+enum class CertifyErrorKind {
+  BudgetDeadline,    ///< Wall-clock deadline exceeded.
+  BudgetIterations,  ///< Fixpoint-iteration ceiling exceeded.
+  BudgetStructures,  ///< State/structure-count ceiling exceeded.
+  BudgetAllocation,  ///< Approximate allocation budget exceeded.
+  InvalidInput,      ///< Malformed spec/client reached an engine.
+  InternalInvariant, ///< A checked invariant failed (release-build
+                     ///< replacement for assert on reachable paths).
+  InjectedFault,     ///< Deterministic test fault (CANVAS_FAULT).
+};
+
+inline const char *certifyErrorKindName(CertifyErrorKind K) {
+  switch (K) {
+  case CertifyErrorKind::BudgetDeadline:
+    return "budget-deadline";
+  case CertifyErrorKind::BudgetIterations:
+    return "budget-iterations";
+  case CertifyErrorKind::BudgetStructures:
+    return "budget-structures";
+  case CertifyErrorKind::BudgetAllocation:
+    return "budget-allocation";
+  case CertifyErrorKind::InvalidInput:
+    return "invalid-input";
+  case CertifyErrorKind::InternalInvariant:
+    return "internal-invariant";
+  case CertifyErrorKind::InjectedFault:
+    return "injected-fault";
+  }
+  return "?";
+}
+
+/// True when the error reports resource-budget exhaustion (as opposed to
+/// bad input, a broken invariant, or an injected hard fault).
+inline bool isBudgetError(CertifyErrorKind K) {
+  return K == CertifyErrorKind::BudgetDeadline ||
+         K == CertifyErrorKind::BudgetIterations ||
+         K == CertifyErrorKind::BudgetStructures ||
+         K == CertifyErrorKind::BudgetAllocation;
+}
+
+/// A recoverable certification-pipeline error: kind, message, the stage
+/// (engine / probe site) that raised it, and an optional source
+/// location when the error is anchored in spec or client text.
+class CertifyError : public std::exception {
+public:
+  CertifyError(CertifyErrorKind Kind, std::string Message,
+               std::string Stage = "", SourceLoc Loc = {})
+      : Kind(Kind), Message(std::move(Message)), Stage(std::move(Stage)),
+        Loc(Loc) {
+    Rendered = std::string(certifyErrorKindName(Kind)) +
+               (this->Stage.empty() ? "" : " [" + this->Stage + "]") + ": " +
+               this->Message;
+  }
+
+  CertifyErrorKind kind() const { return Kind; }
+  const std::string &message() const { return Message; }
+  const std::string &stage() const { return Stage; }
+  SourceLoc loc() const { return Loc; }
+
+  const char *what() const noexcept override { return Rendered.c_str(); }
+
+private:
+  CertifyErrorKind Kind;
+  std::string Message;
+  std::string Stage;
+  SourceLoc Loc;
+  std::string Rendered;
+};
+
+} // namespace canvas
+
+#endif // CANVAS_SUPPORT_CERTIFYERROR_H

@@ -2,8 +2,13 @@
 ///
 /// \file
 /// Fatal-error reporting and the canvas_unreachable macro, modeled on
-/// LLVM's ErrorHandling.h. Library code must not throw; programmatic
-/// errors abort with a diagnostic.
+/// LLVM's ErrorHandling.h. These abort the process and are reserved for
+/// genuinely unreachable code (covered switches, violated local
+/// invariants that cannot be observed from user input). Anything
+/// reachable from user input or resource pressure must instead raise
+/// the recoverable canvas::CertifyError taxonomy (CertifyError.h),
+/// which the certification supervisor turns into graceful engine
+/// degradation.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -467,10 +467,20 @@ private:
     for (size_t E = 0; E != M.Edges.size(); ++E)
       OutEdges[M.Edges[E].From].push_back(static_cast<int>(E));
 
+    // Resident structures across all program points, for the budget's
+    // structure ceiling (relational: one per distinct canonical string;
+    // independent: one per reached node).
+    uint64_t TotalStructs = 1;
+
     std::deque<int> Worklist{M.Entry};
     std::vector<bool> Queued(M.NumNodes, false);
     Queued[M.Entry] = true;
     while (!Worklist.empty()) {
+      support::faultProbe("tvla.fixpoint");
+      if (Opts.Cancel) {
+        Opts.Cancel->tick();
+        Opts.Cancel->noteStructures(TotalStructs);
+      }
       int Node = Worklist.front();
       Worklist.pop_front();
       Queued[Node] = false;
@@ -505,12 +515,16 @@ private:
               } else {
                 Rel[To].emplace(std::move(Key), std::move(Out));
                 Changed = true;
+                ++TotalStructs;
+                if (Opts.Cancel)
+                  Opts.Cancel->addAllocation(sizeof(Structure));
               }
             }
           } else {
             if (!Reached[To]) {
               Ind[To] = std::move(Out);
               Changed = true;
+              ++TotalStructs;
             } else {
               Changed = Ind[To].joinWith(Out, Vocab);
             }

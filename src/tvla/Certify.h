@@ -49,6 +49,10 @@ struct TVLAOptions {
   /// joins overflow structures together (precision, not soundness, is
   /// lost at the cap).
   unsigned MaxStructuresPerPoint = 256;
+  /// Optional budget handle bounding the fixpoint (not owned); ticked
+  /// once per worklist pop and informed of the resident structure
+  /// population. See support/Budget.h.
+  support::CancelToken *Cancel = nullptr;
 };
 
 /// Certifies one client method.

@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+// Degraded-soundness check: degradation may lose precision, never
+// soundness. Whatever a full-budget run flags as unproven (Potential or
+// Definite) must also be flagged — at the same client locations — by
+// any degraded run of the same certification, down to the lint-only
+// floor.
+//===----------------------------------------------------------------------===//
+
+#include "core/Certifier.h"
+#include "easl/Builtins.h"
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace canvas;
+using namespace canvas::core;
+
+namespace {
+
+const char *Fig3Client = R"(
+  class Fig3 {
+    void main() {
+      Set v = new Set();
+      Iterator i1 = v.iterator();
+      Iterator i2 = v.iterator();
+      Iterator i3 = i1;
+      i1.next();
+      i1.remove();
+      if (*) { i2.next(); }
+      if (*) { i3.next(); }
+      v.add();
+      if (*) { i1.next(); }
+    }
+  }
+)";
+
+const char *VersionedLoopClient = R"(
+  class Loop {
+    void main() {
+      Set s = new Set();
+      while (*) {
+        s.add();
+        Iterator i = s.iterator();
+        while (*) { i.next(); }
+      }
+    }
+  }
+)";
+
+CertificationReport certifyWith(EngineKind K, const CertifierOptions &Opts,
+                                const char *Client) {
+  DiagnosticEngine Diags;
+  Certifier C(easl::cmpSpecSource(), K, Diags, {}, Opts);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return C.certifySource(Client, Diags);
+}
+
+/// Client locations ("line:col") of the unproven verdicts.
+std::set<std::string> flaggedLocs(const CertificationReport &R) {
+  std::set<std::string> Out;
+  for (const CheckVerdict &C : R.Checks)
+    if (C.Outcome == CheckOutcome::Potential ||
+        C.Outcome == CheckOutcome::Definite)
+      Out.insert(C.Loc.str());
+  return Out;
+}
+
+bool isSubset(const std::set<std::string> &A,
+              const std::set<std::string> &B) {
+  for (const std::string &X : A)
+    if (!B.count(X))
+      return false;
+  return true;
+}
+
+void expectDegradedCovers(EngineKind Requested, const CertifierOptions &Opts,
+                          const char *Client) {
+  CertificationReport Full = certifyWith(Requested, {}, Client);
+  ASSERT_FALSE(Full.Degraded);
+  CertificationReport Degraded = certifyWith(Requested, Opts, Client);
+  ASSERT_TRUE(Degraded.Degraded) << Degraded.str();
+  EXPECT_TRUE(isSubset(flaggedLocs(Full), flaggedLocs(Degraded)))
+      << "full run flags:\n"
+      << Full.str() << "\ndegraded run flags:\n"
+      << Degraded.str();
+}
+
+TEST(RobustnessSoundnessTest, LintFloorCoversFullRunFlags) {
+  CertifierOptions Floor;
+  Floor.Budget.MaxIterations = 1; // Exhausts every rung.
+  for (EngineKind K :
+       {EngineKind::TVLARelational, EngineKind::SCMPInterproc,
+        EngineKind::SCMPIntra}) {
+    expectDegradedCovers(K, Floor, Fig3Client);
+    expectDegradedCovers(K, Floor, VersionedLoopClient);
+  }
+}
+
+TEST(RobustnessSoundnessTest, OneRungDownCoversFullRunFlags) {
+  CertifierOptions OneDown;
+  OneDown.EngineBudgets[EngineKind::TVLARelational].MaxIterations = 1;
+  expectDegradedCovers(EngineKind::TVLARelational, OneDown, Fig3Client);
+}
+
+TEST(RobustnessSoundnessTest, FaultDegradationCoversFullRunFlags) {
+  support::clearFaultPlan();
+  CertificationReport Full =
+      certifyWith(EngineKind::SCMPInterproc, {}, Fig3Client);
+  ASSERT_FALSE(Full.Degraded);
+
+  support::setFaultPlan({"ifds.solve", 1, support::FaultKind::Throw});
+  CertificationReport Degraded =
+      certifyWith(EngineKind::SCMPInterproc, {}, Fig3Client);
+  support::clearFaultPlan();
+  ASSERT_TRUE(Degraded.Degraded);
+  EXPECT_EQ(Degraded.EffectiveEngine, "scmp-intra");
+  EXPECT_TRUE(isSubset(flaggedLocs(Full), flaggedLocs(Degraded)))
+      << Full.str() << Degraded.str();
+}
+
+TEST(RobustnessSoundnessTest, FloorEnumeratesAllObligations) {
+  // The floor flags every obligation the precise engines reason about:
+  // its flagged set is the whole obligation set.
+  CertifierOptions Floor;
+  Floor.Budget.MaxIterations = 1;
+  CertificationReport Full =
+      certifyWith(EngineKind::TVLARelational, {}, Fig3Client);
+  CertificationReport FloorR =
+      certifyWith(EngineKind::TVLARelational, Floor, Fig3Client);
+  EXPECT_EQ(FloorR.numChecks(), Full.numChecks());
+  EXPECT_EQ(FloorR.numFlagged(), FloorR.numChecks());
+}
+
+} // namespace

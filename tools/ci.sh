@@ -11,21 +11,40 @@ cd "$ROOT"
 
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
+# Hard wall-clock ceiling per ctest invocation: a hung fixpoint loop
+# must fail the gate, not wedge it.
+CTEST_TIMEOUT="${CTEST_TIMEOUT:-600}"
+
 step() { printf '\n=== %s ===\n' "$*"; }
+
+run_ctest() { timeout "$CTEST_TIMEOUT" ctest "$@"; }
 
 step "strict configure + build (-Werror)"
 cmake --preset strict
 cmake --build --preset strict -j "$JOBS"
 
 step "strict test suite"
-ctest --preset strict -j "$JOBS"
+run_ctest --preset strict -j "$JOBS"
 
 step "sanitize configure + build (ASan + UBSan)"
 cmake --preset sanitize
 cmake --build --preset sanitize -j "$JOBS"
 
 step "sanitize test suite"
-ctest --preset sanitize -j "$JOBS"
+run_ctest --preset sanitize -j "$JOBS"
+
+step "fault-injection pass (sanitize, every probe site)"
+# Arms one environment fault per probe site and re-runs the env-fault
+# smoke test: every engine must degrade gracefully, never crash.
+# Keep the site list in sync with support::faultSites() in
+# src/support/Budget.cpp.
+FAULT_SITES="dataflow.solve boolprog.intra boolprog.interproc \
+ifds.solve tvla.fixpoint generic.allocsite"
+for site in $FAULT_SITES; do
+  printf -- '--- CANVAS_FAULT=%s:1 ---\n' "$site"
+  CANVAS_FAULT="$site:1" run_ctest --preset sanitize \
+    -R RobustnessEnvFault -j "$JOBS"
+done
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy over src/"
