@@ -195,6 +195,34 @@ inline const std::vector<BenchClient> &cmpSuite() {
         }
       )", true},
 
+      // The relational-engine stress client: two collections, three
+      // iterators, nested loops and branches. The relational TVLA
+      // configuration accumulates many structures per point and
+      // revisits loop heads often, which is exactly the workload the
+      // structure interner and the (StructId, edge) transfer cache are
+      // built for.
+      {"grinder", R"(
+        class Grinder {
+          void main() {
+            Set s = new Set();
+            Set t = new Set();
+            Iterator i = s.iterator();
+            Iterator j = t.iterator();
+            Iterator k = s.iterator();
+            while (*) {
+              i.next();
+              if (*) { s.add(); i = s.iterator(); }
+              if (*) { j.next(); } else { t.add(); j = t.iterator(); }
+              while (*) { k.next(); if (*) { k.remove(); } }
+              if (*) { k = s.iterator(); }
+            }
+            i.next();
+            j.next();
+            k.next();
+          }
+        }
+      )", true},
+
       // Four independent Set/Iterator pipelines: the Stage-0 slicer
       // splits main() into four slices, so SCMPIntra runs on four small
       // boolean programs instead of one large one.

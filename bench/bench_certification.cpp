@@ -202,6 +202,59 @@ void printStageZero() {
   std::printf("\nBENCH_JSON %s\n\n", Json.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Relational-TVLA hot-path benchmark: per-client wall time of the
+// relational configuration (the most expensive rung of the ladder),
+// with the structure-interner and transfer-cache statistics once the
+// engine reports them. The BENCH_JSON line is what
+// tools/bench_capture.sh snapshots into BENCH_tvla.json.
+//===----------------------------------------------------------------------===//
+
+void printTVLAPerf() {
+  std::printf("=== Relational TVLA hot path ===\n");
+  std::printf("%-20s %10s %8s %6s %12s %10s %10s\n", "client", "us", "checks",
+              "flag", "structs", "hits", "misses");
+  std::string Json = "{\"bench\":\"tvla-relational-perf\",\"clients\":[";
+  bool First = true;
+  for (const bench::BenchClient &Client : bench::cmpSuite()) {
+    DiagnosticEngine Diags;
+    Certifier C(easl::cmpSpecSource(), EngineKind::TVLARelational, Diags);
+    cj::Program P = cj::parseProgram(Client.Source, Diags);
+    CertificationReport R;
+    double Best = 1e30;
+    for (int Rep = 0; Rep != 3; ++Rep) {
+      DiagnosticEngine D2;
+      auto T0 = std::chrono::steady_clock::now();
+      R = C.certify(P, D2);
+      auto T1 = std::chrono::steady_clock::now();
+      double Us = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      T1 - T0).count() / 1000.0;
+      if (Us < Best)
+        Best = Us;
+    }
+    std::printf("%-20s %10.0f %8zu %6u %12llu %10llu %10llu\n", Client.Name,
+                Best, R.numChecks(), R.numFlagged(),
+                static_cast<unsigned long long>(R.Tvla.InternedStructures),
+                static_cast<unsigned long long>(R.Tvla.TransferCacheHits),
+                static_cast<unsigned long long>(R.Tvla.TransferCacheMisses));
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "%s{\"name\":\"%s\",\"us\":%.1f,\"checks\":%zu,\"flagged\":%u,"
+        "\"interned_structures\":%llu,\"cache_hits\":%llu,"
+        "\"cache_misses\":%llu,\"max_structures_per_point\":%u}",
+        First ? "" : ",", Client.Name, Best, R.numChecks(), R.numFlagged(),
+        static_cast<unsigned long long>(R.Tvla.InternedStructures),
+        static_cast<unsigned long long>(R.Tvla.TransferCacheHits),
+        static_cast<unsigned long long>(R.Tvla.TransferCacheMisses),
+        R.Tvla.MaxStructuresPerPoint);
+    Json += Buf;
+    First = false;
+  }
+  Json += "]}";
+  std::printf("\nBENCH_JSON %s\n\n", Json.c_str());
+}
+
 /// Timing benchmark: client analysis per engine (certifier generation is
 /// hoisted out, reflecting the staged design — abstraction derivation
 /// happens once at certifier-generation time).
@@ -228,6 +281,7 @@ BENCHMARK(BM_CertifyClient)
 int main(int argc, char **argv) {
   printTable();
   printStageZero();
+  printTVLAPerf();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

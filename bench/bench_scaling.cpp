@@ -12,6 +12,7 @@
 #include "client/CFG.h"
 #include "client/Parser.h"
 #include "easl/Builtins.h"
+#include "tvla/Certify.h"
 
 #include <benchmark/benchmark.h>
 #include <chrono>
@@ -100,6 +101,63 @@ void printSeries() {
   std::printf("\n");
 }
 
+/// B iterators over one set, each refreshed and consumed inside a
+/// shared loop: the relational TVLA engine's structure sets grow with
+/// B, and every loop revisit re-transfers every resident structure —
+/// the workload the interner's (StructId, edge) memo table targets.
+std::string tvlaClient(unsigned B) {
+  std::string Src = "class Scale { void main() {\n  Set s = new Set();\n";
+  for (unsigned I = 0; I != B; ++I)
+    Src += "  Iterator i" + std::to_string(I) + " = s.iterator();\n";
+  Src += "  while (*) {\n";
+  for (unsigned I = 0; I != B; ++I) {
+    std::string V = "i" + std::to_string(I);
+    Src += "    " + V + ".next();\n    if (*) { " + V +
+           " = s.iterator(); }\n";
+  }
+  Src += "  }\n";
+  for (unsigned I = 0; I != B; ++I)
+    Src += "  i" + std::to_string(I) + ".next();\n";
+  Src += "} }\n";
+  return Src;
+}
+
+void printTVLASeries() {
+  std::printf("=== Relational TVLA scaling in B (iterator variables) ===\n");
+  std::printf("%6s %12s %12s %10s %10s %10s\n", "B", "fixpt iters",
+              "structs", "hits", "misses", "time (us)");
+  std::string Json = "{\"bench\":\"tvla-relational-scaling\",\"series\":[";
+  for (unsigned B : {1, 2, 3, 4}) {
+    Prepared P = prepare(tvlaClient(B));
+    DiagnosticEngine Diags;
+    tvla::TVLAOptions Opts;
+    Opts.Relational = true;
+    auto T0 = std::chrono::steady_clock::now();
+    tvla::TVLAResult R =
+        tvla::certifyWithTVLA(P.Spec, P.Abs, *P.CFG.mainCFG(), Opts, Diags);
+    auto T1 = std::chrono::steady_clock::now();
+    double Us =
+        std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+            .count();
+    std::printf("%6u %12u %12llu %10llu %10llu %10.0f\n", B, R.Iterations,
+                static_cast<unsigned long long>(R.InternedStructures),
+                static_cast<unsigned long long>(R.TransferCacheHits),
+                static_cast<unsigned long long>(R.TransferCacheMisses), Us);
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"b\":%u,\"us\":%.0f,\"iterations\":%u,"
+                  "\"interned_structures\":%llu,\"cache_hits\":%llu,"
+                  "\"cache_misses\":%llu}",
+                  B == 1 ? "" : ",", B, Us, R.Iterations,
+                  static_cast<unsigned long long>(R.InternedStructures),
+                  static_cast<unsigned long long>(R.TransferCacheHits),
+                  static_cast<unsigned long long>(R.TransferCacheMisses));
+    Json += Buf;
+  }
+  Json += "]}";
+  std::printf("\nBENCH_JSON %s\n\n", Json.c_str());
+}
+
 void BM_AnalyzeByIterators(benchmark::State &State) {
   Prepared P = prepare(clientWithIterators(State.range(0)));
   for (auto _ : State) {
@@ -134,6 +192,7 @@ BENCHMARK(BM_AnalyzeByStatements)
 
 int main(int argc, char **argv) {
   printSeries();
+  printTVLASeries();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

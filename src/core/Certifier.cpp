@@ -4,9 +4,11 @@
 #include "boolprog/Witness.h"
 #include "client/CFG.h"
 #include "core/GenericBaseline.h"
+#include "support/TaskPool.h"
 #include "tvla/Certify.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <new>
 
@@ -106,6 +108,7 @@ struct EngineRun {
   std::vector<LintFinding> Lints;
   PreAnalysisSummary Pre;
   InterprocStats Inter;
+  TVLAStats Tvla;
   size_t BoolVars = 0;
   size_t MaxBoolVars = 0;
 };
@@ -166,11 +169,19 @@ void enumerateObligations(const wp::DerivedAbstraction &Abs,
 
 /// Runs one ladder rung to completion under \p Tok's budget; throws
 /// CertifyError on exhaustion, injected faults, or checked invariants.
+///
+/// Per-method engines (SCMPIntra, GenericAllocSite, both TVLA modes)
+/// fan their methods out on \p Pool: each task analyzes one method into
+/// a private slot with a private DiagnosticEngine (the shared engine is
+/// not thread-safe), and slots are merged in method-index order after
+/// the pool drains. A rung that throws merges nothing — no partial
+/// verdicts and no partial diagnostics. SCMPInterproc is a
+/// whole-program analysis and stays serial.
 void runEngine(EngineKind K, const easl::Spec &S,
                const wp::DerivedAbstraction &Abs,
                const CertifierOptions &Opts, const cj::ClientCFG &CFG,
                DiagnosticEngine &Diags, support::CancelToken &Tok,
-               EngineRun &Run) {
+               support::TaskPool &Pool, EngineRun &Run) {
   // The Stage-0 lint runs for every engine; SCMPIntra folds it into its
   // own pre-analysis below.
   if (Opts.PreAnalysis && K != EngineKind::SCMPIntra) {
@@ -186,27 +197,45 @@ void runEngine(EngineKind K, const easl::Spec &S,
   switch (K) {
   case EngineKind::SCMPIntra: {
     if (!Opts.PreAnalysis) {
-      for (const cj::CFGMethod &M : CFG.Methods) {
-        bp::BooleanProgram BP = bp::buildBooleanProgram(Abs, M, Diags);
-        bp::IntraResult R = bp::analyzeIntraproc(BP, &Tok);
-        Run.BoolVars += BP.Vars.size();
-        Run.MaxBoolVars = std::max(Run.MaxBoolVars, BP.Vars.size());
-        std::unique_ptr<bp::IntraWitnessEngine> WE;
-        for (size_t I = 0; I != BP.Checks.size(); ++I) {
-          CheckVerdict V;
-          V.Method = M.name();
-          V.Loc = BP.Checks[I].Loc;
-          V.What = BP.Checks[I].What;
-          V.Outcome = R.CheckResults[I];
-          V.ReqLoc = BP.Checks[I].ReqLoc;
-          if (V.Outcome == CheckOutcome::Potential ||
-              V.Outcome == CheckOutcome::Definite) {
-            if (!WE)
-              WE = std::make_unique<bp::IntraWitnessEngine>(BP);
-            V.Witness = WE->witnessFor(I);
+      struct Slot {
+        std::vector<CheckVerdict> Checks;
+        DiagnosticEngine Diags;
+        size_t BoolVars = 0;
+      };
+      std::vector<Slot> Slots(CFG.Methods.size());
+      std::vector<std::function<void()>> Tasks;
+      Tasks.reserve(CFG.Methods.size());
+      for (size_t MI = 0; MI != CFG.Methods.size(); ++MI)
+        Tasks.push_back([&, MI] {
+          const cj::CFGMethod &M = CFG.Methods[MI];
+          Slot &Out = Slots[MI];
+          bp::BooleanProgram BP = bp::buildBooleanProgram(Abs, M, Out.Diags);
+          bp::IntraResult R = bp::analyzeIntraproc(BP, &Tok);
+          Out.BoolVars = BP.Vars.size();
+          std::unique_ptr<bp::IntraWitnessEngine> WE;
+          for (size_t I = 0; I != BP.Checks.size(); ++I) {
+            CheckVerdict V;
+            V.Method = M.name();
+            V.Loc = BP.Checks[I].Loc;
+            V.What = BP.Checks[I].What;
+            V.Outcome = R.CheckResults[I];
+            V.ReqLoc = BP.Checks[I].ReqLoc;
+            if (V.Outcome == CheckOutcome::Potential ||
+                V.Outcome == CheckOutcome::Definite) {
+              if (!WE)
+                WE = std::make_unique<bp::IntraWitnessEngine>(BP);
+              V.Witness = WE->witnessFor(I);
+            }
+            Out.Checks.push_back(std::move(V));
           }
+        });
+      Pool.runAll(Tasks);
+      for (Slot &Out : Slots) {
+        Diags.mergeFrom(Out.Diags);
+        Run.BoolVars += Out.BoolVars;
+        Run.MaxBoolVars = std::max(Run.MaxBoolVars, Out.BoolVars);
+        for (CheckVerdict &V : Out.Checks)
           Run.Checks.push_back(std::move(V));
-        }
       }
       return;
     }
@@ -221,51 +250,76 @@ void runEngine(EngineKind K, const easl::Spec &S,
     Run.Pre.VarsDropped = PA.totalVarsDropped();
     Run.Pre.MultiSliceMethods = PA.multiSliceMethods();
 
-    for (const dataflow::MethodPlan &Plan : PA.Plans) {
-      bp::SlicedIntraResult SR =
-          bp::analyzeIntraprocSliced(Abs, Plan.CFG, Plan.Slices, Diags, &Tok);
-      Run.Pre.SliceRuns += SR.SliceRuns;
-      Run.Pre.FallbackMethods += SR.FellBack;
-      Run.BoolVars += SR.BoolVars;
-      Run.MaxBoolVars = std::max(Run.MaxBoolVars, SR.MaxSliceBoolVars);
+    struct Slot {
+      std::vector<CheckVerdict> Checks;
+      DiagnosticEngine Diags;
+      unsigned SliceRuns = 0;
+      unsigned FellBack = 0;
+      size_t BoolVars = 0;
+      size_t MaxSliceBoolVars = 0;
+    };
+    std::vector<Slot> Slots(PA.Plans.size());
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(PA.Plans.size());
+    for (size_t PI = 0; PI != PA.Plans.size(); ++PI)
+      Tasks.push_back([&, PI] {
+        const dataflow::MethodPlan &Plan = PA.Plans[PI];
+        Slot &Out = Slots[PI];
+        bp::SlicedIntraResult SR = bp::analyzeIntraprocSliced(
+            Abs, Plan.CFG, Plan.Slices, Out.Diags, &Tok);
+        Out.SliceRuns = SR.SliceRuns;
+        Out.FellBack = SR.FellBack;
+        Out.BoolVars = SR.BoolVars;
+        Out.MaxSliceBoolVars = SR.MaxSliceBoolVars;
 
-      // Interleave the engine's verdicts with the obligations of pruned
-      // (entry-unreachable) edges, restoring original edge order.
-      const std::string Name = Plan.Source->name();
-      size_t I = 0, D = 0;
-      while (I != SR.Items.size() || D != Plan.DroppedChecks.size()) {
-        bool TakeDropped =
-            I == SR.Items.size() ||
-            (D != Plan.DroppedChecks.size() &&
-             Plan.DroppedChecks[D].OrigEdge <
-                 Plan.OrigEdgeIndex[SR.Items[I].Edge]);
-        if (TakeDropped) {
-          const dataflow::DroppedCheck &DC = Plan.DroppedChecks[D++];
-          CheckRecord Rec;
-          Rec.Method = Name;
-          Rec.Loc = DC.Loc;
-          Rec.What = DC.What;
-          Rec.Outcome = CheckOutcome::Unreachable;
-          Run.Checks.push_back(std::move(Rec));
-        } else {
-          bp::SlicedCheckItem It = SR.Items[I++];
-          It.Rec.Method = Name;
-          // Witness steps refer to the transformed working copy; remap
-          // them onto the original method so the story (and the replay
-          // checker) sees the untransformed source edges.
-          for (WitnessStep &WS : It.Rec.Witness.Steps) {
-            if (WS.Edge < 0 ||
-                static_cast<size_t>(WS.Edge) >= Plan.OrigEdgeIndex.size())
-              continue;
-            WS.Edge = Plan.OrigEdgeIndex[WS.Edge];
-            const cj::Action &A = Plan.Source->Edges[WS.Edge].Act;
-            WS.Loc = A.Loc;
-            if (WS.K != WitnessStep::Kind::Check)
-              WS.ActionText = A.str();
+        // Interleave the engine's verdicts with the obligations of
+        // pruned (entry-unreachable) edges, restoring original edge
+        // order.
+        const std::string Name = Plan.Source->name();
+        size_t I = 0, D = 0;
+        while (I != SR.Items.size() || D != Plan.DroppedChecks.size()) {
+          bool TakeDropped =
+              I == SR.Items.size() ||
+              (D != Plan.DroppedChecks.size() &&
+               Plan.DroppedChecks[D].OrigEdge <
+                   Plan.OrigEdgeIndex[SR.Items[I].Edge]);
+          if (TakeDropped) {
+            const dataflow::DroppedCheck &DC = Plan.DroppedChecks[D++];
+            CheckRecord Rec;
+            Rec.Method = Name;
+            Rec.Loc = DC.Loc;
+            Rec.What = DC.What;
+            Rec.Outcome = CheckOutcome::Unreachable;
+            Out.Checks.push_back(std::move(Rec));
+          } else {
+            bp::SlicedCheckItem It = SR.Items[I++];
+            It.Rec.Method = Name;
+            // Witness steps refer to the transformed working copy;
+            // remap them onto the original method so the story (and the
+            // replay checker) sees the untransformed source edges.
+            for (WitnessStep &WS : It.Rec.Witness.Steps) {
+              if (WS.Edge < 0 ||
+                  static_cast<size_t>(WS.Edge) >= Plan.OrigEdgeIndex.size())
+                continue;
+              WS.Edge = Plan.OrigEdgeIndex[WS.Edge];
+              const cj::Action &A = Plan.Source->Edges[WS.Edge].Act;
+              WS.Loc = A.Loc;
+              if (WS.K != WitnessStep::Kind::Check)
+                WS.ActionText = A.str();
+            }
+            Out.Checks.push_back(std::move(It.Rec));
           }
-          Run.Checks.push_back(std::move(It.Rec));
         }
-      }
+      });
+    Pool.runAll(Tasks);
+    for (Slot &Out : Slots) {
+      Diags.mergeFrom(Out.Diags);
+      Run.Pre.SliceRuns += Out.SliceRuns;
+      Run.Pre.FallbackMethods += Out.FellBack;
+      Run.BoolVars += Out.BoolVars;
+      Run.MaxBoolVars = std::max(Run.MaxBoolVars, Out.MaxSliceBoolVars);
+      for (CheckVerdict &V : Out.Checks)
+        Run.Checks.push_back(std::move(V));
     }
     return;
   }
@@ -282,36 +336,72 @@ void runEngine(EngineKind K, const easl::Spec &S,
     return;
   }
   case EngineKind::GenericAllocSite: {
-    for (const cj::CFGMethod &M : CFG.Methods) {
-      BaselineResult R = analyzeAllocSite(S, M, &Tok);
-      for (const auto &[Site, Flagged] : R.Flagged) {
-        CheckRecord Rec;
-        Rec.Method = Site.Method;
-        Rec.Loc = M.Edges[Site.Edge].Act.Loc;
-        Rec.What = M.Edges[Site.Edge].Act.str() + " requires (spec " +
-                   Site.ReqLoc.str() + ")";
-        Rec.Outcome = Flagged ? CheckOutcome::Potential : CheckOutcome::Safe;
-        Rec.ReqLoc = Site.ReqLoc;
-        Run.Checks.push_back(std::move(Rec));
-      }
-    }
+    std::vector<std::vector<CheckVerdict>> Slots(CFG.Methods.size());
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(CFG.Methods.size());
+    for (size_t MI = 0; MI != CFG.Methods.size(); ++MI)
+      Tasks.push_back([&, MI] {
+        const cj::CFGMethod &M = CFG.Methods[MI];
+        BaselineResult R = analyzeAllocSite(S, M, &Tok);
+        for (const auto &[Site, Flagged] : R.Flagged) {
+          CheckRecord Rec;
+          Rec.Method = Site.Method;
+          Rec.Loc = M.Edges[Site.Edge].Act.Loc;
+          Rec.What = M.Edges[Site.Edge].Act.str() + " requires (spec " +
+                     Site.ReqLoc.str() + ")";
+          Rec.Outcome = Flagged ? CheckOutcome::Potential : CheckOutcome::Safe;
+          Rec.ReqLoc = Site.ReqLoc;
+          Slots[MI].push_back(std::move(Rec));
+        }
+      });
+    Pool.runAll(Tasks);
+    for (std::vector<CheckVerdict> &Out : Slots)
+      for (CheckVerdict &V : Out)
+        Run.Checks.push_back(std::move(V));
     return;
   }
   case EngineKind::TVLAIndependent:
   case EngineKind::TVLARelational: {
-    for (const cj::CFGMethod &M : CFG.Methods) {
-      tvla::TVLAOptions TO;
-      TO.Relational = K == EngineKind::TVLARelational;
-      TO.Cancel = &Tok;
-      tvla::TVLAResult R = tvla::certifyWithTVLA(S, Abs, M, TO, Diags);
-      for (const auto &C : R.Checks) {
-        CheckRecord Rec;
-        Rec.Method = M.name();
-        Rec.Loc = C.Loc;
-        Rec.What = C.What;
-        Rec.Outcome = C.Outcome;
-        Run.Checks.push_back(std::move(Rec));
-      }
+    struct Slot {
+      std::vector<CheckVerdict> Checks;
+      DiagnosticEngine Diags;
+      TVLAStats Tvla;
+    };
+    std::vector<Slot> Slots(CFG.Methods.size());
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(CFG.Methods.size());
+    for (size_t MI = 0; MI != CFG.Methods.size(); ++MI)
+      Tasks.push_back([&, MI, K] {
+        const cj::CFGMethod &M = CFG.Methods[MI];
+        Slot &Out = Slots[MI];
+        tvla::TVLAOptions TO;
+        TO.Relational = K == EngineKind::TVLARelational;
+        TO.MaxStructuresPerPoint = Opts.TVLAMaxStructuresPerPoint;
+        TO.Cancel = &Tok;
+        tvla::TVLAResult R = tvla::certifyWithTVLA(S, Abs, M, TO, Out.Diags);
+        Out.Tvla.InternedStructures = R.InternedStructures;
+        Out.Tvla.TransferCacheHits = R.TransferCacheHits;
+        Out.Tvla.TransferCacheMisses = R.TransferCacheMisses;
+        Out.Tvla.MaxStructuresPerPoint = R.MaxStructuresPerPoint;
+        for (const auto &C : R.Checks) {
+          CheckRecord Rec;
+          Rec.Method = M.name();
+          Rec.Loc = C.Loc;
+          Rec.What = C.What;
+          Rec.Outcome = C.Outcome;
+          Out.Checks.push_back(std::move(Rec));
+        }
+      });
+    Pool.runAll(Tasks);
+    for (Slot &Out : Slots) {
+      Diags.mergeFrom(Out.Diags);
+      Run.Tvla.InternedStructures += Out.Tvla.InternedStructures;
+      Run.Tvla.TransferCacheHits += Out.Tvla.TransferCacheHits;
+      Run.Tvla.TransferCacheMisses += Out.Tvla.TransferCacheMisses;
+      Run.Tvla.MaxStructuresPerPoint = std::max(
+          Run.Tvla.MaxStructuresPerPoint, Out.Tvla.MaxStructuresPerPoint);
+      for (CheckVerdict &V : Out.Checks)
+        Run.Checks.push_back(std::move(V));
     }
     return;
   }
@@ -348,6 +438,7 @@ CertificationReport Certifier::certify(const cj::Program &P,
     }
   }
 
+  support::TaskPool Pool(Opts.Workers);
   std::string FirstFailure;
   for (EngineKind K : Rungs) {
     if (K == EngineKind::SCMPInterproc && !CFG.mainCFG()) {
@@ -374,7 +465,7 @@ CertificationReport Certifier::certify(const cj::Program &P,
     At.Engine = engineName(K);
     try {
       EngineRun Run;
-      runEngine(K, S, Abs, Opts, CFG, Diags, Tok, Run);
+      runEngine(K, S, Abs, Opts, CFG, Diags, Tok, Pool, Run);
       At.Completed = true;
       At.Spend = Tok.spend();
       Report.Stages.push_back(std::move(At));
@@ -382,6 +473,7 @@ CertificationReport Certifier::certify(const cj::Program &P,
       Report.Lints = std::move(Run.Lints);
       Report.Pre = Run.Pre;
       Report.Inter = Run.Inter;
+      Report.Tvla = Run.Tvla;
       Report.BoolVars = Run.BoolVars;
       Report.MaxBoolVars = Run.MaxBoolVars;
       Report.EffectiveEngine = engineName(K);

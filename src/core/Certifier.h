@@ -95,6 +95,16 @@ struct InterprocStats {
   double WitnessMicros = 0;
 };
 
+/// Structure-interner and transfer-cache statistics of the TVLA
+/// engines, aggregated across methods (zero for other engines).
+struct TVLAStats {
+  uint64_t InternedStructures = 0;
+  uint64_t TransferCacheHits = 0;
+  uint64_t TransferCacheMisses = 0;
+  /// Peak structures resident at one program point, across methods.
+  unsigned MaxStructuresPerPoint = 0;
+};
+
 /// One rung of the degradation ladder as the supervisor attempted it:
 /// which engine ran, whether it completed, why it failed (budget
 /// exhaustion, injected fault, missing prerequisite), and what it
@@ -111,6 +121,7 @@ struct CertificationReport {
   std::vector<LintFinding> Lints;
   PreAnalysisSummary Pre;
   InterprocStats Inter;
+  TVLAStats Tvla;
   /// Total and largest boolean-program size B across the per-method
   /// (or per-slice) programs the SCMPIntra engine analyzed; zero for
   /// other engines.
@@ -154,6 +165,16 @@ struct CertifierOptions {
   support::StageBudget Budget;
   /// Per-engine overrides of Budget.
   std::map<EngineKind, support::StageBudget> EngineBudgets;
+  /// Worker bound for the per-method certification fan-out (engines that
+  /// analyze each client method independently run them concurrently on a
+  /// support::TaskPool). 0 means hardware_concurrency(). Reports are
+  /// merged in method-index order, so the report and diagnostic stream
+  /// are byte-identical for every worker count.
+  unsigned Workers = 0;
+  /// Structures the relational TVLA engine keeps per program point
+  /// before joining overflow structures (tvla::TVLAOptions::
+  /// MaxStructuresPerPoint); lowering it trades precision for space.
+  unsigned TVLAMaxStructuresPerPoint = 256;
 };
 
 /// A generated certifier: a derived abstraction bound to a component

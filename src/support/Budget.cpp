@@ -1,6 +1,7 @@
 #include "support/Budget.h"
 
 #include <cstdlib>
+#include <mutex>
 #include <optional>
 
 using namespace canvas;
@@ -17,6 +18,12 @@ const std::vector<std::string> &support::faultSites() {
 namespace {
 
 struct FaultState {
+  /// Probe sites run on every certifier worker thread concurrently, so
+  /// the whole state (lazy environment consult, probe counter,
+  /// fired-once latch) is serialized under one mutex. Probes are cheap
+  /// and rare relative to transfer work; the lock is not on any inner
+  /// loop.
+  std::mutex M;
   bool EnvConsulted = false;
   std::optional<FaultPlan> Plan;
   uint64_t Probes = 0; ///< Probe count for the armed site.
@@ -73,6 +80,7 @@ bool support::parseFaultPlan(const std::string &Text, FaultPlan &Out) {
 
 void support::setFaultPlan(const FaultPlan &Plan) {
   FaultState &S = faultState();
+  std::lock_guard<std::mutex> Lock(S.M);
   S.EnvConsulted = true; // Programmatic plans shadow the environment.
   S.Plan = Plan;
   S.Probes = 0;
@@ -81,6 +89,7 @@ void support::setFaultPlan(const FaultPlan &Plan) {
 
 void support::clearFaultPlan() {
   FaultState &S = faultState();
+  std::lock_guard<std::mutex> Lock(S.M);
   S.EnvConsulted = true;
   S.Plan.reset();
   S.Probes = 0;
@@ -89,6 +98,7 @@ void support::clearFaultPlan() {
 
 void support::reloadFaultPlanFromEnvironment() {
   FaultState &S = faultState();
+  std::lock_guard<std::mutex> Lock(S.M);
   S.EnvConsulted = false;
   S.Plan.reset();
   S.Probes = 0;
@@ -97,6 +107,7 @@ void support::reloadFaultPlanFromEnvironment() {
 
 void support::faultProbe(const char *Site) {
   FaultState &S = faultState();
+  std::lock_guard<std::mutex> Lock(S.M);
   if (!S.EnvConsulted)
     consultEnvironment(S);
   if (!S.Plan || S.Fired || S.Plan->Site != Site)

@@ -44,6 +44,15 @@ public:
     Diags.push_back({DiagKind::Note, Loc, std::move(Msg)});
   }
 
+  /// Appends every diagnostic of \p O, in \p O's emission order. The
+  /// parallel certifier gives each worker task a private engine and
+  /// merges them in task-index order, so the combined stream is
+  /// identical for any worker count.
+  void mergeFrom(const DiagnosticEngine &O) {
+    Diags.insert(Diags.end(), O.Diags.begin(), O.Diags.end());
+    NumErrors += O.NumErrors;
+  }
+
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }

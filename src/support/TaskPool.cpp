@@ -1,0 +1,60 @@
+#include "support/TaskPool.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+using namespace canvas;
+using namespace canvas::support;
+
+TaskPool::TaskPool(unsigned Workers) : NumWorkers(Workers) {
+  if (NumWorkers == 0)
+    NumWorkers = std::thread::hardware_concurrency();
+  if (NumWorkers == 0) // hardware_concurrency() may be unknowable.
+    NumWorkers = 1;
+}
+
+void TaskPool::runAll(const std::vector<std::function<void()>> &Tasks) {
+  if (Tasks.empty())
+    return;
+
+  unsigned Threads =
+      static_cast<unsigned>(std::min<size_t>(NumWorkers, Tasks.size()));
+
+  // The serial path: no threads, exceptions propagate from the first
+  // failing task directly. The parallel path's failure contract below
+  // matches this (lowest index wins), so both paths are observationally
+  // identical for deterministic tasks.
+  if (Threads == 1) {
+    for (const auto &Task : Tasks)
+      Task();
+    return;
+  }
+
+  std::vector<std::exception_ptr> Errors(Tasks.size());
+  std::atomic<size_t> Next{0};
+  auto Work = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Tasks.size())
+        return;
+      try {
+        Tasks[I]();
+      } catch (...) {
+        Errors[I] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads - 1);
+  for (unsigned I = 1; I != Threads; ++I)
+    Pool.emplace_back(Work);
+  Work(); // The calling thread is worker 0.
+  for (std::thread &T : Pool)
+    T.join();
+
+  for (std::exception_ptr &E : Errors)
+    if (E)
+      std::rethrow_exception(E);
+}

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded worker pool for the certification fan-out: independent
+/// per-method / per-slice analyses on one ladder rung run concurrently,
+/// while the supervisor, report merging, and everything the tasks
+/// observe stays deterministic:
+///
+///  - tasks are indexed; each task writes only its own result slot, and
+///    the caller merges slots in index order, never completion order;
+///  - when any tasks throw, the exception of the LOWEST-indexed failed
+///    task is rethrown after every worker has drained — so "which error
+///    wins" does not depend on thread scheduling;
+///  - a pool with one worker (or one task) runs inline on the calling
+///    thread, making the serial and parallel paths byte-identical by
+///    construction.
+///
+/// Workers are spawned per runAll() call and joined before it returns;
+/// the pool owns no long-lived threads, so engines below it never
+/// observe concurrency outside an active fan-out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_SUPPORT_TASKPOOL_H
+#define CANVAS_SUPPORT_TASKPOOL_H
+
+#include <functional>
+#include <vector>
+
+namespace canvas {
+namespace support {
+
+class TaskPool {
+public:
+  /// \p Workers bounds concurrency; 0 means hardware_concurrency().
+  explicit TaskPool(unsigned Workers = 0);
+
+  /// The effective worker bound (never 0).
+  unsigned workers() const { return NumWorkers; }
+
+  /// Runs every task to completion and returns. Tasks run concurrently
+  /// on up to workers() threads (inline when 1). If tasks threw, the
+  /// lowest-indexed task's exception is rethrown once all workers have
+  /// drained; the other exceptions are dropped.
+  void runAll(const std::vector<std::function<void()>> &Tasks);
+
+private:
+  unsigned NumWorkers;
+};
+
+} // namespace support
+} // namespace canvas
+
+#endif // CANVAS_SUPPORT_TASKPOOL_H

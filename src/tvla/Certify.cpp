@@ -1,9 +1,12 @@
 #include "tvla/Certify.h"
 
+#include "support/Interner.h"
 #include "tvla/Structure.h"
 
 #include <deque>
 #include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace canvas;
 using namespace canvas::tvla;
@@ -449,27 +452,58 @@ private:
   // Fixpoint
   //===------------------------------------------------------------------===//
 
-  void fixpoint() {
-    // Relational: canonical-string keyed structure sets; independent:
-    // single structure per node.
-    std::vector<std::map<std::string, Structure>> Rel(M.NumNodes);
-    std::vector<Structure> Ind(M.NumNodes, Structure(Vocab));
-    std::vector<bool> Reached(M.NumNodes, false);
+  /// Hash-consing functor for the structure pool.
+  struct StructureHasher {
+    uint64_t operator()(const Structure &S) const {
+      return S.structuralHash();
+    }
+  };
+  using StructPool = support::InternPool<Structure, StructureHasher>;
 
-    Structure Init(Vocab);
+  /// Interns \p S, charging the allocation budget when the pool admits
+  /// a genuinely new structure.
+  support::InternId internStructure(StructPool &Pool, Structure S) {
+    size_t Before = Pool.size();
+    support::InternId Id = Pool.intern(std::move(S));
+    if (Pool.size() != Before && Opts.Cancel)
+      Opts.Cancel->addAllocation(Pool.get(Id).approxBytes());
+    return Id;
+  }
+
+  void fixpoint() {
     if (Opts.Relational)
-      Rel[M.Entry].emplace(Init.canonicalStr(Vocab), Init);
+      fixpointRelational();
     else
-      Ind[M.Entry] = Init;
-    Reached[M.Entry] = true;
+      fixpointIndependent();
+  }
+
+  /// Relational configuration: per-point sets of interned StructIds
+  /// over one hash-consed pool, with transfer results memoized per
+  /// (StructId, edge). Structure identity is an integer comparison;
+  /// the O(preds * N^2) canonical string is never built on this path.
+  void fixpointRelational() {
+    StructPool Pool;
+    /// Resident ids per point, in deterministic insertion order (the
+    /// order transfers visit them), plus a hash-set mirror for O(1)
+    /// dedup lookups.
+    std::vector<std::vector<support::InternId>> Order(M.NumNodes);
+    std::vector<std::unordered_set<support::InternId>> Set(M.NumNodes);
+    /// (StructId << 32 | edge) -> (dead, result id). A hit replays the
+    /// cached result; the check accumulations the original run
+    /// performed are Kleene joins of identical values, so skipping the
+    /// re-evaluation is observationally identical.
+    std::unordered_map<uint64_t, std::pair<bool, support::InternId>> Memo;
+
+    support::InternId InitId = internStructure(Pool, Structure(Vocab));
+    Order[M.Entry].push_back(InitId);
+    Set[M.Entry].insert(InitId);
 
     std::vector<std::vector<int>> OutEdges(M.NumNodes);
     for (size_t E = 0; E != M.Edges.size(); ++E)
       OutEdges[M.Edges[E].From].push_back(static_cast<int>(E));
 
     // Resident structures across all program points, for the budget's
-    // structure ceiling (relational: one per distinct canonical string;
-    // independent: one per reached node).
+    // structure ceiling.
     uint64_t TotalStructs = 1;
 
     std::deque<int> Worklist{M.Entry};
@@ -486,54 +520,128 @@ private:
       Queued[Node] = false;
       ++Result.Iterations;
 
-      std::vector<Structure> InStructs;
-      if (Opts.Relational) {
-        for (auto &[K, S] : Rel[Node])
-          InStructs.push_back(S);
-      } else {
-        InStructs.push_back(Ind[Node]);
-      }
-      Result.MaxStructuresPerPoint = std::max(
-          Result.MaxStructuresPerPoint,
-          static_cast<unsigned>(InStructs.size()));
+      // Snapshot the resident ids: insertions at To == Node must not
+      // be transferred in this same visit (they requeue the node).
+      std::vector<support::InternId> InIds = Order[Node];
+      Result.MaxStructuresPerPoint =
+          std::max(Result.MaxStructuresPerPoint,
+                   static_cast<unsigned>(InIds.size()));
 
       for (int EIdx : OutEdges[Node]) {
         int To = M.Edges[EIdx].To;
-        for (const Structure &In : InStructs) {
+        for (support::InternId InId : InIds) {
+          uint64_t Key = (static_cast<uint64_t>(InId) << 32) |
+                         static_cast<uint32_t>(EIdx);
           bool Dead = false;
-          Structure Out = transfer(In, EIdx, Dead);
+          support::InternId OutId = 0;
+          auto MIt = Memo.find(Key);
+          if (MIt != Memo.end()) {
+            ++Result.TransferCacheHits;
+            Dead = MIt->second.first;
+            OutId = MIt->second.second;
+          } else {
+            ++Result.TransferCacheMisses;
+            Structure Out = transfer(Pool.get(InId), EIdx, Dead);
+            if (!Dead)
+              OutId = internStructure(Pool, std::move(Out));
+            Memo.emplace(Key, std::make_pair(Dead, OutId));
+          }
           if (Dead)
             continue;
+
           bool Changed = false;
-          if (Opts.Relational) {
-            std::string Key = Out.canonicalStr(Vocab);
-            if (!Rel[To].count(Key)) {
-              if (Rel[To].size() >= Opts.MaxStructuresPerPoint) {
-                // Cap: join into an arbitrary resident structure.
-                Structure &Victim = Rel[To].begin()->second;
-                Changed = Victim.joinWith(Out, Vocab);
-              } else {
-                Rel[To].emplace(std::move(Key), std::move(Out));
-                Changed = true;
-                ++TotalStructs;
-                if (Opts.Cancel)
-                  Opts.Cancel->addAllocation(sizeof(Structure));
-              }
-            }
-          } else {
-            if (!Reached[To]) {
-              Ind[To] = std::move(Out);
+          if (!Set[To].count(OutId)) {
+            if (Order[To].size() < Opts.MaxStructuresPerPoint) {
+              Set[To].insert(OutId);
+              Order[To].push_back(OutId);
               Changed = true;
               ++TotalStructs;
             } else {
-              Changed = Ind[To].joinWith(Out, Vocab);
+              // Cap: fold the overflow structure into the oldest
+              // resident. The join changes the victim's canonical
+              // identity, so it must be RE-KEYED — interned under its
+              // fresh identity and replaced in the resident set — or
+              // later dedup lookups would miss it (and a semantically
+              // identical state could be admitted twice).
+              support::InternId VictimId = Order[To].front();
+              Structure Joined = Pool.get(VictimId);
+              Changed = Joined.joinWith(Pool.get(OutId), Vocab);
+              if (Changed) {
+                support::InternId NewId =
+                    internStructure(Pool, std::move(Joined));
+                Set[To].erase(VictimId);
+                if (Set[To].insert(NewId).second) {
+                  Order[To].front() = NewId;
+                } else {
+                  // The joined state already resides at this point:
+                  // the victim's slot collapses into it.
+                  Order[To].erase(Order[To].begin());
+                  --TotalStructs;
+                }
+              }
             }
           }
-          Reached[To] = true;
           if (Changed && !Queued[To]) {
             Queued[To] = true;
             Worklist.push_back(To);
           }
+        }
+      }
+    }
+
+    Result.InternedStructures = Pool.size();
+  }
+
+  /// Independent-attribute configuration: a single joined structure per
+  /// program point.
+  void fixpointIndependent() {
+    std::vector<Structure> Ind(M.NumNodes, Structure(Vocab));
+    std::vector<bool> Reached(M.NumNodes, false);
+    Ind[M.Entry] = Structure(Vocab);
+    Reached[M.Entry] = true;
+
+    std::vector<std::vector<int>> OutEdges(M.NumNodes);
+    for (size_t E = 0; E != M.Edges.size(); ++E)
+      OutEdges[M.Edges[E].From].push_back(static_cast<int>(E));
+
+    uint64_t TotalStructs = 1;
+
+    std::deque<int> Worklist{M.Entry};
+    std::vector<bool> Queued(M.NumNodes, false);
+    Queued[M.Entry] = true;
+    while (!Worklist.empty()) {
+      support::faultProbe("tvla.fixpoint");
+      if (Opts.Cancel) {
+        Opts.Cancel->tick();
+        Opts.Cancel->noteStructures(TotalStructs);
+      }
+      int Node = Worklist.front();
+      Worklist.pop_front();
+      Queued[Node] = false;
+      ++Result.Iterations;
+      Result.MaxStructuresPerPoint =
+          std::max(Result.MaxStructuresPerPoint, 1u);
+
+      for (int EIdx : OutEdges[Node]) {
+        int To = M.Edges[EIdx].To;
+        bool Dead = false;
+        Structure Out = transfer(Ind[Node], EIdx, Dead);
+        if (Dead)
+          continue;
+        bool Changed = false;
+        if (!Reached[To]) {
+          Ind[To] = std::move(Out);
+          Changed = true;
+          ++TotalStructs;
+          if (Opts.Cancel)
+            Opts.Cancel->addAllocation(Ind[To].approxBytes());
+        } else {
+          Changed = Ind[To].joinWith(Out, Vocab);
+        }
+        Reached[To] = true;
+        if (Changed && !Queued[To]) {
+          Queued[To] = true;
+          Worklist.push_back(To);
         }
       }
     }

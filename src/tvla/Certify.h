@@ -41,6 +41,13 @@ struct TVLAResult {
   /// Peak number of structures kept at one program point (1 for the
   /// independent-attribute engine).
   unsigned MaxStructuresPerPoint = 0;
+  /// Relational engine only: distinct structures admitted to the
+  /// hash-consing pool over the whole fixpoint.
+  uint64_t InternedStructures = 0;
+  /// Relational engine only: (StructId, edge) transfer evaluations
+  /// served from the memo table / computed fresh.
+  uint64_t TransferCacheHits = 0;
+  uint64_t TransferCacheMisses = 0;
 };
 
 struct TVLAOptions {

@@ -1,5 +1,7 @@
 #include "tvla/Structure.h"
 
+#include "support/Interner.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -160,17 +162,82 @@ std::string Structure::canonicalStr(const tvp::Vocabulary &V) const {
   return Out;
 }
 
+uint64_t Structure::structuralHash() const {
+  uint64_t H = support::hashMix(N);
+  if (!Summary.empty())
+    H = support::hashCombine(H, support::hashBytes(Summary.data(),
+                                                   Summary.size()));
+  for (const std::vector<uint8_t> &M : Values)
+    H = support::hashCombine(
+        H, M.empty() ? 0x9ae16a3b2f90404full
+                     : support::hashBytes(M.data(), M.size()));
+  return H;
+}
+
+bool Structure::operator==(const Structure &O) const {
+  return N == O.N && Summary == O.Summary && Values == O.Values;
+}
+
+bool Structure::isCanonical(const tvp::Vocabulary &V) const {
+  for (unsigned Node = 1; Node < N; ++Node)
+    if (keyOf(V, Node - 1) >= keyOf(V, Node))
+      return false;
+  return true;
+}
+
+void Structure::assertCanonical(const tvp::Vocabulary &V) const {
+#ifndef NDEBUG
+  assert(isCanonical(V) &&
+         "structure must be in canonical form (blurred, key-ordered)");
+#endif
+  (void)V;
+}
+
+size_t Structure::approxBytes() const {
+  size_t Bytes = sizeof(Structure) + Summary.size();
+  for (const std::vector<uint8_t> &M : Values)
+    Bytes += M.size();
+  return Bytes;
+}
+
+bool Structure::hasDuplicateKeys(const tvp::Vocabulary &V) const {
+  std::vector<std::string> Keys;
+  Keys.reserve(N);
+  for (unsigned Node = 0; Node != N; ++Node)
+    Keys.push_back(keyOf(V, Node));
+  std::sort(Keys.begin(), Keys.end());
+  return std::adjacent_find(Keys.begin(), Keys.end()) != Keys.end();
+}
+
 bool Structure::joinWith(const Structure &O, const tvp::Vocabulary &V) {
+  bool Changed = false;
+
+  // An input that is not canonically blurred has nodes sharing a key; a
+  // key-to-node map would silently drop all but one of them, losing
+  // bindings. Blur first instead (merging indistinguishable nodes is
+  // the canonical abstraction, never a precision loss beyond it).
+  if (hasDuplicateKeys(V)) {
+    blur(V);
+    Changed = true;
+  }
+  Structure OBlurred(V);
+  const Structure *Other = &O;
+  if (O.hasDuplicateKeys(V)) {
+    OBlurred = O;
+    OBlurred.blur(V);
+    Other = &OBlurred;
+  }
+  const Structure &OC = *Other;
+
   // Map canonical keys to node ids on both sides.
   std::map<std::string, unsigned> Mine, Theirs;
   for (unsigned Node = 0; Node != N; ++Node)
     Mine[keyOf(V, Node)] = Node;
-  for (unsigned Node = 0; Node != O.N; ++Node)
-    Theirs[O.keyOf(V, Node)] = Node;
-
-  bool Changed = false;
-  // Import nodes present only in O.
+  for (unsigned Node = 0; Node != OC.N; ++Node)
+    Theirs[OC.keyOf(V, Node)] = Node;
+  // Import nodes present only in OC.
   std::map<unsigned, unsigned> TheirToMine;
+  bool Imported = false;
   for (const auto &[Key, Their] : Theirs) {
     auto It = Mine.find(Key);
     if (It != Mine.end()) {
@@ -179,18 +246,19 @@ bool Structure::joinWith(const Structure &O, const tvp::Vocabulary &V) {
     }
     unsigned Fresh = addNode();
     Changed = true;
+    Imported = true;
     for (size_t P = 0; P != Values.size(); ++P)
       if (Vocab->Preds[P].Arity == 1)
         setUnary(static_cast<int>(P), Fresh,
-                 O.unary(static_cast<int>(P), Their));
-    setSummary(Fresh, O.isSummary(Their));
+                 OC.unary(static_cast<int>(P), Their));
+    setSummary(Fresh, OC.isSummary(Their));
     Mine[Key] = Fresh;
     TheirToMine[Their] = Fresh;
   }
 
   // Join summary bits and binary values over matched nodes.
   for (const auto &[Their, MineIdx] : TheirToMine) {
-    if (O.isSummary(Their) && !isSummary(MineIdx)) {
+    if (OC.isSummary(Their) && !isSummary(MineIdx)) {
       setSummary(MineIdx, true);
       Changed = true;
     }
@@ -201,7 +269,7 @@ bool Structure::joinWith(const Structure &O, const tvp::Vocabulary &V) {
     for (const auto &[TA, MA] : TheirToMine)
       for (const auto &[TB, MB] : TheirToMine) {
         Kleene Old = binary(static_cast<int>(P), MA, MB);
-        Kleene J = kJoin(Old, O.binary(static_cast<int>(P), TA, TB));
+        Kleene J = kJoin(Old, OC.binary(static_cast<int>(P), TA, TB));
         if (J != Old) {
           setBinary(static_cast<int>(P), MA, MB, J);
           Changed = true;
@@ -212,6 +280,7 @@ bool Structure::joinWith(const Structure &O, const tvp::Vocabulary &V) {
   // A variable references exactly one object per execution; after a
   // universe union a points-to predicate definite at two individuals
   // means "one or the other", i.e. 1/2 at each.
+  bool Smoothed = false;
   for (size_t P = 0; P != Values.size(); ++P) {
     if (Vocab->Preds[P].K != tvp::Pred::Kind::VarPointsTo)
       continue;
@@ -224,7 +293,17 @@ bool Structure::joinWith(const Structure &O, const tvp::Vocabulary &V) {
       if (unary(static_cast<int>(P), Node) == Kleene::True) {
         setUnary(static_cast<int>(P), Node, Kleene::Half);
         Changed = true;
+        Smoothed = true;
       }
   }
+
+  // Restore the canonical invariant: smoothing flips abstraction
+  // predicate values (node keys change, and previously distinguished
+  // nodes may now coincide), and imported nodes were appended out of
+  // key order. Either way the canonical keys no longer identify nodes
+  // until we re-blur.
+  if ((Smoothed || Imported) && !isCanonical(V))
+    blur(V);
+  assertCanonical(V);
   return Changed;
 }

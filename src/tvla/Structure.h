@@ -60,19 +60,53 @@ public:
   void blur(const tvp::Vocabulary &V);
 
   /// Deterministic rendering of a blurred structure (node order is the
-  /// canonical-key order); used for structure-set deduplication in the
-  /// relational engine and for display.
+  /// canonical-key order); used for display and as the reference
+  /// identity in tests. The relational engine's hot path identifies
+  /// structures by structuralHash()/operator== instead.
   std::string canonicalStr(const tvp::Vocabulary &V) const;
 
+  /// 64-bit structural hash over the node count, summary bits, and
+  /// every predicate matrix. For canonical structures (blur() leaves
+  /// nodes in canonical-key order), equal hashes + operator== equality
+  /// coincide with canonicalStr equality, without re-serializing
+  /// O(preds * N^2) bytes into a string per lookup.
+  uint64_t structuralHash() const;
+
+  /// Structural equality on the raw representation. Meaningful for
+  /// canonical structures over the same vocabulary (see
+  /// structuralHash()).
+  bool operator==(const Structure &O) const;
+
+  /// True when the structure is in canonical form: node canonical keys
+  /// are unique and stored in ascending key order (the form blur()
+  /// establishes). The relational engine's interning and the
+  /// independent engine's join both rely on this invariant.
+  bool isCanonical(const tvp::Vocabulary &V) const;
+
+  /// Debug-mode invariant check: asserts isCanonical(). Called after
+  /// every join; compiled out in NDEBUG builds.
+  void assertCanonical(const tvp::Vocabulary &V) const;
+
+  /// Approximate heap footprint in bytes, for allocation budgets.
+  size_t approxBytes() const;
+
   /// Independent-attribute join: embeds both structures into the union
-  /// of their canonical keys and joins predicate values. Both structures
-  /// must be blurred. Returns true when *this changed.
+  /// of their canonical keys and joins predicate values. Inputs that
+  /// are not canonically blurred (duplicate canonical keys) are blurred
+  /// first rather than silently dropping bindings; the result is always
+  /// canonical (points-to smoothing and universe unions re-blur when
+  /// they disturb canonical keys). Returns true when *this changed
+  /// semantically.
   bool joinWith(const Structure &O, const tvp::Vocabulary &V);
 
 private:
   /// Per-node canonical key: the vector of unary abstraction predicate
   /// values.
   std::string keyOf(const tvp::Vocabulary &V, unsigned Node) const;
+
+  /// True when two nodes share a canonical key (the structure needs a
+  /// blur() before keys can identify nodes).
+  bool hasDuplicateKeys(const tvp::Vocabulary &V) const;
 
   const tvp::Vocabulary *Vocab;
   unsigned N = 0;

@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+// Tests for the bounded task pool behind the certification fan-out
+// (support/TaskPool.h): slot-indexed results, the lowest-index
+// exception contract, and the inline serial path.
+//===----------------------------------------------------------------------===//
+
+#include "support/TaskPool.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <stdexcept>
+#include <string>
+
+using namespace canvas;
+using namespace canvas::support;
+
+namespace {
+
+std::vector<std::function<void()>> fillSlots(std::vector<int> &Slots) {
+  std::vector<std::function<void()>> Tasks;
+  for (size_t I = 0; I != Slots.size(); ++I)
+    Tasks.push_back([&Slots, I] { Slots[I] = static_cast<int>(I) * 10; });
+  return Tasks;
+}
+
+TEST(TaskPoolTest, WorkerBoundIsNeverZero) {
+  EXPECT_GE(TaskPool(0).workers(), 1u);
+  EXPECT_EQ(TaskPool(1).workers(), 1u);
+  EXPECT_EQ(TaskPool(7).workers(), 7u);
+}
+
+TEST(TaskPoolTest, EveryTaskRunsExactlyOnce) {
+  for (unsigned Workers : {1u, 2u, 4u, 16u}) {
+    TaskPool Pool(Workers);
+    std::atomic<int> Runs{0};
+    std::vector<std::function<void()>> Tasks;
+    for (int I = 0; I != 100; ++I)
+      Tasks.push_back([&Runs] { Runs.fetch_add(1); });
+    Pool.runAll(Tasks);
+    EXPECT_EQ(Runs.load(), 100) << "workers=" << Workers;
+  }
+}
+
+TEST(TaskPoolTest, SlotResultsAreIndependentOfWorkerCount) {
+  std::vector<int> Serial(17, -1), Parallel(17, -1);
+  TaskPool(1).runAll(fillSlots(Serial));
+  TaskPool(4).runAll(fillSlots(Parallel));
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(TaskPoolTest, EmptyTaskListIsANoOp) {
+  TaskPool Pool(4);
+  Pool.runAll({});
+}
+
+TEST(TaskPoolTest, LowestIndexedExceptionWins) {
+  // Tasks 3 and 7 both throw; regardless of scheduling, the caller must
+  // see task 3's exception.
+  for (unsigned Workers : {1u, 4u}) {
+    TaskPool Pool(Workers);
+    std::vector<std::function<void()>> Tasks;
+    for (int I = 0; I != 10; ++I)
+      Tasks.push_back([I] {
+        if (I == 3 || I == 7)
+          throw std::runtime_error("task " + std::to_string(I));
+      });
+    try {
+      Pool.runAll(Tasks);
+      FAIL() << "expected an exception (workers=" << Workers << ")";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "task 3") << "workers=" << Workers;
+    }
+  }
+}
+
+TEST(TaskPoolTest, ParallelRunDrainsAllTasksDespiteFailure) {
+  // In the parallel configuration every task is attempted even when an
+  // earlier one throws, so independent per-method analyses are not
+  // abandoned by an unrelated failure.
+  TaskPool Pool(3);
+  std::atomic<int> Runs{0};
+  std::vector<std::function<void()>> Tasks;
+  for (int I = 0; I != 12; ++I)
+    Tasks.push_back([&Runs, I] {
+      Runs.fetch_add(1);
+      if (I == 0)
+        throw std::runtime_error("boom");
+    });
+  EXPECT_THROW(Pool.runAll(Tasks), std::runtime_error);
+  EXPECT_EQ(Runs.load(), 12);
+}
+
+} // namespace

@@ -170,4 +170,139 @@ TEST_F(StructureTest, JoinUnionsUniversesByKey) {
   EXPECT_FALSE(S1.joinWith(S2, Vocab));
 }
 
+// Regression: points-to smoothing (True -> Half on a var predicate
+// definite at two individuals) changes canonical keys, and two nodes
+// can coincide on every abstraction predicate afterwards. joinWith must
+// re-blur so the result is canonical, instead of leaving duplicate-key
+// nodes behind a stale identity.
+TEST_F(StructureTest, JoinReblursWhenSmoothingCollapsesKeys) {
+  int IterType = Vocab.findTypePred("Iterator");
+  int PtI = Vocab.findVarPred("i");
+  int PtJ = Vocab.findVarPred("j");
+
+  // S1: one iterator X definitely pointed to by i.
+  Structure S1(Vocab);
+  unsigned X = S1.addNode();
+  S1.setUnary(IterType, X, Kleene::True);
+  S1.setUnary(PtI, X, Kleene::True);
+  S1.blur(Vocab);
+
+  // S2: Z definitely pointed to by both i and j, and W maybe pointed to
+  // by i. After the universe union i is definite at X and Z, so
+  // smoothing turns both to 1/2 — and X's key collapses onto W's.
+  Structure S2(Vocab);
+  unsigned Z = S2.addNode();
+  unsigned W = S2.addNode();
+  S2.setUnary(IterType, Z, Kleene::True);
+  S2.setUnary(PtI, Z, Kleene::True);
+  S2.setUnary(PtJ, Z, Kleene::True);
+  S2.setUnary(IterType, W, Kleene::True);
+  S2.setUnary(PtI, W, Kleene::Half);
+  S2.blur(Vocab);
+
+  EXPECT_TRUE(S1.joinWith(S2, Vocab));
+  EXPECT_TRUE(S1.isCanonical(Vocab));
+  // X and W became indistinguishable and must have merged into one
+  // summary node; Z (also pointed to by j) stays distinct.
+  ASSERT_EQ(S1.numNodes(), 2u);
+  unsigned Merged = S1.unary(PtJ, 0) == Kleene::False ? 0 : 1;
+  EXPECT_TRUE(S1.isSummary(Merged));
+  EXPECT_EQ(S1.unary(PtI, Merged), Kleene::Half);
+}
+
+// Regression: a receiver with duplicate canonical keys (not yet
+// re-blurred) used to have all but one of the duplicates silently
+// dropped from the key-to-node map, losing their bindings. joinWith
+// now blurs such inputs first.
+TEST_F(StructureTest, JoinBlursDuplicateKeyReceiverInsteadOfDropping) {
+  int IterType = Vocab.findTypePred("Iterator");
+  int Mutx = -1;
+  for (size_t P = 0; P != Vocab.Preds.size(); ++P)
+    if (Vocab.Preds[P].K == tvp::Pred::Kind::Instr &&
+        Vocab.Preds[P].Arity == 2 &&
+        Abs.Families[Vocab.Preds[P].Family].VarTypes[0] == "Iterator")
+      Mutx = static_cast<int>(P);
+  ASSERT_GE(Mutx, 0);
+
+  // Two same-key iterator nodes, only one carrying a definite binary
+  // binding: dropping either node loses information.
+  Structure S(Vocab);
+  unsigned A = S.addNode();
+  unsigned B = S.addNode();
+  S.setUnary(IterType, A, Kleene::True);
+  S.setUnary(IterType, B, Kleene::True);
+  S.setBinary(Mutx, A, A, Kleene::True);
+
+  Structure Empty(Vocab);
+  S.joinWith(Empty, Vocab);
+  EXPECT_TRUE(S.isCanonical(Vocab));
+  // A and B merged into one summary node; the half-true binding
+  // survives as 1/2 (True at (A,A) joined with False elsewhere).
+  ASSERT_EQ(S.numNodes(), 1u);
+  EXPECT_TRUE(S.isSummary(0));
+  EXPECT_EQ(S.binary(Mutx, 0, 0), Kleene::Half);
+}
+
+// Same hole on the argument side: a duplicate-key argument must
+// contribute all of its nodes' information, not just the map winner's.
+TEST_F(StructureTest, JoinBlursDuplicateKeyArgument) {
+  int IterType = Vocab.findTypePred("Iterator");
+
+  Structure S(Vocab);
+  unsigned X = S.addNode();
+  S.setUnary(IterType, X, Kleene::True);
+  S.blur(Vocab);
+
+  Structure O(Vocab);
+  unsigned A = O.addNode();
+  unsigned B = O.addNode();
+  O.setUnary(IterType, A, Kleene::True);
+  O.setUnary(IterType, B, Kleene::True);
+  // Deliberately not blurred: duplicate keys.
+
+  Structure OBefore = O;
+  EXPECT_TRUE(S.joinWith(O, Vocab));
+  EXPECT_TRUE(S.isCanonical(Vocab));
+  ASSERT_EQ(S.numNodes(), 1u);
+  // The argument's duplicate nodes represent >= 2 individuals, so the
+  // joined node must be a summary.
+  EXPECT_TRUE(S.isSummary(0));
+  // The argument itself is untouched (joinWith copies before blurring).
+  EXPECT_EQ(O.numNodes(), OBefore.numNodes());
+}
+
+// The relational engine identifies canonical structures by raw
+// structural hash + equality; both must agree with the canonicalStr
+// reference identity on blurred structures.
+TEST_F(StructureTest, StructuralHashAgreesWithCanonicalStr) {
+  int IterType = Vocab.findTypePred("Iterator");
+  int PtI = Vocab.findVarPred("i");
+
+  Structure S1(Vocab);
+  unsigned A1 = S1.addNode();
+  unsigned B1 = S1.addNode();
+  S1.setUnary(IterType, A1, Kleene::True);
+  S1.setUnary(IterType, B1, Kleene::True);
+  S1.setUnary(PtI, A1, Kleene::True);
+
+  Structure S2(Vocab);
+  unsigned A2 = S2.addNode();
+  unsigned B2 = S2.addNode();
+  S2.setUnary(IterType, A2, Kleene::True);
+  S2.setUnary(IterType, B2, Kleene::True);
+  S2.setUnary(PtI, B2, Kleene::True); // Same shape, different node order.
+
+  S1.blur(Vocab);
+  S2.blur(Vocab);
+  ASSERT_EQ(S1.canonicalStr(Vocab), S2.canonicalStr(Vocab));
+  EXPECT_TRUE(S1 == S2);
+  EXPECT_EQ(S1.structuralHash(), S2.structuralHash());
+
+  // Any semantic difference shows up in all three identities.
+  S2.setSummary(0, true);
+  EXPECT_NE(S1.canonicalStr(Vocab), S2.canonicalStr(Vocab));
+  EXPECT_FALSE(S1 == S2);
+  EXPECT_NE(S1.structuralHash(), S2.structuralHash());
+}
+
 } // namespace

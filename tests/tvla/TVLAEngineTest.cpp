@@ -189,6 +189,118 @@ TEST(TVLAEngineTest, IndependentKeepsOneStructure) {
   EXPECT_EQ(Ind.Checks[0].Outcome, bp::CheckOutcome::Potential);
 }
 
+TVLAResult runWithOptions(const char *ClientSrc, const TVLAOptions &Opts) {
+  easl::Spec Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+  DiagnosticEngine Diags;
+  wp::DerivedAbstraction Abs = wp::deriveAbstraction(Spec, Diags);
+  cj::Program Prog = cj::parseProgram(ClientSrc, Diags);
+  cj::ClientCFG CFG = cj::buildCFG(Prog, Spec, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return certifyWithTVLA(Spec, Abs, *CFG.mainCFG(), Opts, Diags);
+}
+
+// A client whose relational structure sets genuinely grow: two
+// iterators refreshed under branches inside a shared loop.
+constexpr const char *LoopyClient = R"(
+  class Loopy {
+    void main() {
+      Set s = new Set();
+      Iterator i = s.iterator();
+      Iterator j = s.iterator();
+      while (*) {
+        i.next();
+        if (*) { i = s.iterator(); }
+        j.next();
+        if (*) { j = s.iterator(); s.add(); }
+      }
+      i.next();
+      j.next();
+    }
+  }
+)";
+
+TEST(TVLAEngineTest, RelationalReportsInternerAndCacheStats) {
+  TVLAOptions Opts;
+  Opts.Relational = true;
+  TVLAResult R = runWithOptions(LoopyClient, Opts);
+  // The loop revisits program points, so transfers repeat on already-
+  // seen structures and the (StructId, edge) memo must pay off.
+  EXPECT_GT(R.InternedStructures, 0u);
+  EXPECT_GT(R.TransferCacheMisses, 0u);
+  EXPECT_GT(R.TransferCacheHits, 0u);
+  // Every distinct structure was admitted once: the pool can't be
+  // larger than the number of transfer results plus the initial one.
+  EXPECT_LE(R.InternedStructures, R.TransferCacheMisses + 1);
+}
+
+TEST(TVLAEngineTest, IndependentReportsNoInternerStats) {
+  TVLAOptions Opts;
+  Opts.Relational = false;
+  TVLAResult R = runWithOptions(LoopyClient, Opts);
+  EXPECT_EQ(R.InternedStructures, 0u);
+  EXPECT_EQ(R.TransferCacheHits, 0u);
+  EXPECT_EQ(R.TransferCacheMisses, 0u);
+}
+
+TEST(TVLAEngineTest, RepeatedRunsAreDeterministic) {
+  TVLAOptions Opts;
+  Opts.Relational = true;
+  TVLAResult A = runWithOptions(LoopyClient, Opts);
+  TVLAResult B = runWithOptions(LoopyClient, Opts);
+  ASSERT_EQ(A.Checks.size(), B.Checks.size());
+  for (size_t I = 0; I != A.Checks.size(); ++I) {
+    EXPECT_EQ(A.Checks[I].Outcome, B.Checks[I].Outcome);
+    EXPECT_EQ(A.Checks[I].What, B.Checks[I].What);
+  }
+  EXPECT_EQ(A.Iterations, B.Iterations);
+  EXPECT_EQ(A.InternedStructures, B.InternedStructures);
+  EXPECT_EQ(A.TransferCacheHits, B.TransferCacheHits);
+  EXPECT_EQ(A.TransferCacheMisses, B.TransferCacheMisses);
+}
+
+// Regression for the structure-cap path: joining the overflow structure
+// into a resident victim changes the victim's canonical identity, and
+// the per-point set must be re-keyed under the joined structure's new
+// identity (the old code left the stale identity in the set, so the
+// joined structure was never re-transferred). With a tiny cap the
+// fixpoint must still terminate, keep the check count, and only lose
+// precision relative to the uncapped run — never report Safe where the
+// uncapped engine flags.
+TEST(TVLAEngineTest, TinyStructureCapStaysSoundAndTerminates) {
+  TVLAOptions Uncapped;
+  Uncapped.Relational = true;
+  TVLAResult Ref = runWithOptions(LoopyClient, Uncapped);
+
+  for (unsigned Cap : {1u, 2u, 3u}) {
+    TVLAOptions Capped;
+    Capped.Relational = true;
+    Capped.MaxStructuresPerPoint = Cap;
+    TVLAResult R = runWithOptions(LoopyClient, Capped);
+    EXPECT_LE(R.MaxStructuresPerPoint, Cap) << "cap=" << Cap;
+    ASSERT_EQ(R.Checks.size(), Ref.Checks.size()) << "cap=" << Cap;
+    for (size_t I = 0; I != R.Checks.size(); ++I) {
+      if (R.Checks[I].Outcome == bp::CheckOutcome::Safe) {
+        EXPECT_EQ(Ref.Checks[I].Outcome, bp::CheckOutcome::Safe)
+            << "cap=" << Cap << " check=" << R.Checks[I].What;
+      }
+    }
+  }
+}
+
+// The capped engine must converge to the same verdicts every time even
+// though the cap path interns fresh join results mid-fixpoint.
+TEST(TVLAEngineTest, CapPathIsDeterministic) {
+  TVLAOptions Opts;
+  Opts.Relational = true;
+  Opts.MaxStructuresPerPoint = 2;
+  TVLAResult A = runWithOptions(LoopyClient, Opts);
+  TVLAResult B = runWithOptions(LoopyClient, Opts);
+  ASSERT_EQ(A.Checks.size(), B.Checks.size());
+  for (size_t I = 0; I != A.Checks.size(); ++I)
+    EXPECT_EQ(A.Checks[I].Outcome, B.Checks[I].Outcome);
+  EXPECT_EQ(A.Iterations, B.Iterations);
+}
+
 TEST(TVPTest, RendersTranslations) {
   easl::Spec Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
   DiagnosticEngine Diags;

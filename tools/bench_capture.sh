@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+#
+# Captures the TVLA benchmark lines into BENCH_tvla.json: builds the
+# default preset, runs the two bench drivers that print
+# "BENCH_JSON {...}" lines for the relational TVLA engine, and appends
+# each line (tagged with a caller-supplied label) to the JSON-lines
+# file at the repo root.
+#
+# Usage: tools/bench_capture.sh [label]
+#   label   tag recorded with each line (default: "after"); use e.g.
+#           "before" when capturing a baseline ahead of a change.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+LABEL="${1:-after}"
+OUT="$ROOT/BENCH_tvla.json"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$JOBS" \
+  --target bench_certification bench_scaling >/dev/null
+
+capture() {
+  # Keep only the driver's TVLA JSON payloads; drop the
+  # google-benchmark tables ("--benchmark_filter=NONE" skips the
+  # registered benchmarks) and the non-TVLA BENCH_JSON lines.
+  "$1" --benchmark_filter=NONE 2>/dev/null |
+    sed -n 's/^BENCH_JSON //p' | grep '"bench":"tvla' || true
+}
+
+{
+  capture ./build/bench/bench_certification
+  capture ./build/bench/bench_scaling
+} | while IFS= read -r line; do
+  printf '{"label":"%s","captured":%s}\n' "$LABEL" "$line"
+done >>"$OUT"
+
+echo "appended $(grep -c "\"label\":\"$LABEL\"" "$OUT") '$LABEL' line(s) to $OUT"

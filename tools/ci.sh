@@ -33,6 +33,17 @@ cmake --build --preset sanitize -j "$JOBS"
 step "sanitize test suite"
 run_ctest --preset sanitize -j "$JOBS"
 
+step "tsan configure + build (ThreadSanitizer)"
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+
+step "tsan: parallel certifier, task pool, and budget tests"
+# The fan-out tests force Workers > 1 explicitly, so TSan sees real
+# concurrency even on single-core runners; any data race in the shared
+# CancelToken, fault-probe state, or slot merging fails the gate.
+run_ctest --preset tsan -j "$JOBS" \
+  -R 'ParallelCertifierTest|ParallelEngineTest|TaskPoolTest|BudgetTest'
+
 step "fault-injection pass (sanitize, every probe site)"
 # Arms one environment fault per probe site and re-runs the env-fault
 # smoke test: every engine must degrade gracefully, never crash.
