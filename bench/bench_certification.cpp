@@ -255,6 +255,93 @@ void printTVLAPerf() {
   std::printf("\nBENCH_JSON %s\n\n", Json.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Proof-carrying certificate overhead: per client and per proving
+// engine, the plain analysis time, the analysis time with certificate
+// emission, the serialized size with the raw-vs-pruned entry counts
+// (the ACC size-reduction trick), and the independent checker's time —
+// which the design requires to be well below a full re-analysis.
+//===----------------------------------------------------------------------===//
+
+struct CertPerfCell {
+  double PlainUs = 1e30; ///< Best-of-3, no certificates.
+  double EmitUs = 1e30;  ///< Best-of-3, EmitCertificates on.
+  CertificateStats Stats; ///< From the Emit+Check run.
+};
+
+CertPerfCell runCertPerf(EngineKind K, const bench::BenchClient &Client) {
+  CertPerfCell Cell;
+  DiagnosticEngine Diags;
+  cj::Program P = cj::parseProgram(Client.Source, Diags);
+
+  Certifier Plain(easl::cmpSpecSource(), K, Diags);
+  for (int Rep = 0; Rep != 3; ++Rep) {
+    DiagnosticEngine D2;
+    auto T0 = std::chrono::steady_clock::now();
+    CertificationReport R = Plain.certify(P, D2);
+    auto T1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(R.numFlagged());
+    Cell.PlainUs = std::min(
+        Cell.PlainUs, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          T1 - T0).count() / 1000.0);
+  }
+
+  CertifierOptions Opts;
+  Opts.EmitCertificates = true;
+  Opts.CheckCertificates = true;
+  Certifier WithCerts(easl::cmpSpecSource(), K, Diags, {}, Opts);
+  for (int Rep = 0; Rep != 3; ++Rep) {
+    DiagnosticEngine D2;
+    auto T0 = std::chrono::steady_clock::now();
+    CertificationReport R = WithCerts.certify(P, D2);
+    auto T1 = std::chrono::steady_clock::now();
+    double Us = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    T1 - T0).count() / 1000.0;
+    if (Us < Cell.EmitUs) {
+      Cell.EmitUs = Us;
+      Cell.Stats = R.CertStats;
+    }
+  }
+  return Cell;
+}
+
+void printCertificatePerf() {
+  const EngineKind Proving[] = {EngineKind::SCMPIntra,
+                                EngineKind::TVLARelational};
+  std::printf("=== Proof-carrying certificate overhead ===\n");
+  std::printf("%-20s %-16s %8s %8s %8s %6s %9s %8s %8s\n", "client", "engine",
+              "plain us", "emit us", "check us", "certs", "bytes", "raw",
+              "stored");
+  std::string Json = "{\"bench\":\"tvla-certificates\",\"clients\":[";
+  bool First = true;
+  for (const bench::BenchClient &Client : bench::cmpSuite()) {
+    for (EngineKind K : Proving) {
+      CertPerfCell Cell = runCertPerf(K, Client);
+      std::printf("%-20s %-16s %8.0f %8.0f %8.0f %6u %9zu %8llu %8llu\n",
+                  Client.Name, engineName(K), Cell.PlainUs, Cell.EmitUs,
+                  Cell.Stats.CheckMicros, Cell.Stats.Count, Cell.Stats.Bytes,
+                  static_cast<unsigned long long>(Cell.Stats.RawEntries),
+                  static_cast<unsigned long long>(Cell.Stats.StoredEntries));
+      char Buf[512];
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "%s{\"name\":\"%s\",\"engine\":\"%s\",\"plain_us\":%.1f,"
+          "\"emit_us\":%.1f,\"emit_overhead_us\":%.1f,\"check_us\":%.1f,"
+          "\"certs\":%u,\"bytes\":%zu,\"raw_entries\":%llu,"
+          "\"stored_entries\":%llu}",
+          First ? "" : ",", Client.Name, engineName(K), Cell.PlainUs,
+          Cell.EmitUs, Cell.Stats.EmitMicros, Cell.Stats.CheckMicros,
+          Cell.Stats.Count, Cell.Stats.Bytes,
+          static_cast<unsigned long long>(Cell.Stats.RawEntries),
+          static_cast<unsigned long long>(Cell.Stats.StoredEntries));
+      Json += Buf;
+      First = false;
+    }
+  }
+  Json += "]}";
+  std::printf("\nBENCH_JSON %s\n\n", Json.c_str());
+}
+
 /// Timing benchmark: client analysis per engine (certifier generation is
 /// hoisted out, reflecting the staged design — abstraction derivation
 /// happens once at certifier-generation time).
@@ -282,6 +369,7 @@ int main(int argc, char **argv) {
   printTable();
   printStageZero();
   printTVLAPerf();
+  printCertificatePerf();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,15 +3,31 @@
 // canvas_certify: command-line front end for the staged certifier.
 //
 //   canvas_certify [--engine=NAME] [--spec=FILE|cmp|grp|imp|aop]
-//                  [--print-abstraction] CLIENT.cj
+//                  [--print-abstraction]
+//                  [--emit-certs=FILE] [--check-certs]
+//                  [--check-only --certs=FILE] CLIENT.cj
 //
 // Reads an Easl component specification (a built-in one by default),
 // generates a certifier for the chosen engine, and certifies the CJ
-// client program. Exits 0 when every check is verified, 1 when any
-// check is flagged, 2 on usage or parse errors.
+// client program. With --emit-certs the proven verdicts' proof-carrying
+// certificates are serialized to FILE; with --check-certs the
+// supervisor re-validates every certificate with the independent
+// checker before accepting the rung's verdicts.
+//
+// --check-only skips the analyzer entirely: it re-derives the trusted
+// inputs (spec, abstraction, client CFG) and runs only cert::Checker
+// over a previously emitted certificate file — the independent
+// re-verification path of a proof-carrying report.
+//
+// Exits 0 when every check is verified (or, under --check-only, every
+// certificate validates), 1 when any check is flagged, 2 on usage or
+// parse errors, 3 when a certificate is rejected.
 //
 //===----------------------------------------------------------------------===//
 
+#include "cert/Checker.h"
+#include "client/CFG.h"
+#include "client/Parser.h"
 #include "core/Certifier.h"
 #include "easl/Builtins.h"
 
@@ -35,13 +51,81 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
+bool readBinaryFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool writeBinaryFile(const std::string &Path,
+                     const std::vector<uint8_t> &Data) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out.write(reinterpret_cast<const char *>(Data.data()),
+            static_cast<std::streamsize>(Data.size()));
+  return Out.good();
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: canvas_certify [--engine=scmp-intra|scmp-interproc|"
                "tvla-independent|tvla-relational|generic-allocsite]\n"
                "                      [--spec=FILE|cmp|grp|imp|aop]\n"
-               "                      [--print-abstraction] CLIENT.cj\n");
+               "                      [--print-abstraction]\n"
+               "                      [--emit-certs=FILE] [--check-certs]\n"
+               "                      [--check-only --certs=FILE] CLIENT.cj\n");
   return 2;
+}
+
+/// The --check-only path: no analyzer is instantiated. The trusted
+/// inputs are rebuilt from source (spec parse, abstraction derivation,
+/// client CFG construction) and every certificate in the file must be
+/// accepted by the independent single-pass checker.
+int checkOnly(const std::string &SpecSource, const std::string &ClientSource,
+              const std::string &CertsPath) {
+  DiagnosticEngine Diags;
+  easl::Spec Spec = easl::parseSpec(SpecSource, Diags);
+  wp::DerivedAbstraction Abs = wp::deriveAbstraction(Spec, Diags);
+  cj::Program P = cj::parseProgram(ClientSource, Diags);
+  cj::ClientCFG CFG = cj::buildCFG(P, Spec, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 2;
+  }
+
+  std::vector<uint8_t> Blob;
+  if (!readBinaryFile(CertsPath, Blob)) {
+    std::fprintf(stderr, "error: cannot read certificates '%s'\n",
+                 CertsPath.c_str());
+    return 2;
+  }
+  std::vector<cert::Certificate> Certs;
+  std::string Error;
+  if (!cert::parseCertificates(Blob, Certs, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 3;
+  }
+
+  cert::Checker Checker(Spec, Abs, CFG);
+  size_t Claims = 0;
+  double Micros = 0;
+  for (const cert::Certificate &C : Certs) {
+    cert::CheckResult CR = Checker.check(C);
+    Micros += CR.Micros;
+    if (!CR.Valid) {
+      std::fprintf(stderr, "certificate rejected: %s\n", CR.Reason.c_str());
+      return 3;
+    }
+    Claims += C.Claims.size();
+  }
+  std::printf("checked %zu certificate(s), %zu proven claim(s), "
+              "%.0f us — all valid\n",
+              Certs.size(), Claims, Micros);
+  return 0;
 }
 
 } // namespace
@@ -50,7 +134,11 @@ int main(int argc, char **argv) {
   std::string SpecArg = "cmp";
   std::string EngineArg = "scmp-intra";
   std::string ClientPath;
+  std::string EmitCertsPath;
+  std::string CertsPath;
   bool PrintAbstraction = false;
+  bool CheckCerts = false;
+  bool CheckOnly = false;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -60,6 +148,14 @@ int main(int argc, char **argv) {
       SpecArg = Arg + 7;
     } else if (std::strcmp(Arg, "--print-abstraction") == 0) {
       PrintAbstraction = true;
+    } else if (std::strncmp(Arg, "--emit-certs=", 13) == 0) {
+      EmitCertsPath = Arg + 13;
+    } else if (std::strcmp(Arg, "--check-certs") == 0) {
+      CheckCerts = true;
+    } else if (std::strcmp(Arg, "--check-only") == 0) {
+      CheckOnly = true;
+    } else if (std::strncmp(Arg, "--certs=", 8) == 0) {
+      CertsPath = Arg + 8;
     } else if (Arg[0] == '-') {
       return usage();
     } else if (ClientPath.empty()) {
@@ -68,7 +164,7 @@ int main(int argc, char **argv) {
       return usage();
     }
   }
-  if (ClientPath.empty())
+  if (ClientPath.empty() || (CheckOnly && CertsPath.empty()))
     return usage();
 
   std::string SpecSource;
@@ -85,6 +181,16 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  std::string ClientSource;
+  if (!readFile(ClientPath, ClientSource)) {
+    std::fprintf(stderr, "error: cannot read client '%s'\n",
+                 ClientPath.c_str());
+    return 2;
+  }
+
+  if (CheckOnly)
+    return checkOnly(SpecSource, ClientSource, CertsPath);
+
   core::EngineKind Engine;
   if (EngineArg == "scmp-intra")
     Engine = core::EngineKind::SCMPIntra;
@@ -99,15 +205,12 @@ int main(int argc, char **argv) {
   else
     return usage();
 
-  std::string ClientSource;
-  if (!readFile(ClientPath, ClientSource)) {
-    std::fprintf(stderr, "error: cannot read client '%s'\n",
-                 ClientPath.c_str());
-    return 2;
-  }
+  core::CertifierOptions Opts;
+  Opts.EmitCertificates = !EmitCertsPath.empty() || CheckCerts;
+  Opts.CheckCertificates = CheckCerts;
 
   DiagnosticEngine Diags;
-  core::Certifier Certifier(SpecSource, Engine, Diags);
+  core::Certifier Certifier(SpecSource, Engine, Diags, {}, Opts);
   if (Diags.hasErrors()) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 2;
@@ -122,5 +225,21 @@ int main(int argc, char **argv) {
     return 2;
   }
   std::printf("%s", Report.str().c_str());
+
+  if (!EmitCertsPath.empty()) {
+    std::vector<uint8_t> Blob =
+        cert::serializeCertificates(Report.Certificates);
+    if (!writeBinaryFile(EmitCertsPath, Blob)) {
+      std::fprintf(stderr, "error: cannot write certificates '%s'\n",
+                   EmitCertsPath.c_str());
+      return 2;
+    }
+    std::printf("wrote %u certificate(s), %zu bytes (%llu/%llu entries "
+                "stored after pruning) to %s\n",
+                Report.CertStats.Count, Blob.size(),
+                static_cast<unsigned long long>(Report.CertStats.StoredEntries),
+                static_cast<unsigned long long>(Report.CertStats.RawEntries),
+                EmitCertsPath.c_str());
+  }
   return Report.numFlagged() ? 1 : 0;
 }

@@ -36,7 +36,8 @@ std::string IntraResult::reportStr(const BooleanProgram &BP) const {
   return Out;
 }
 
-static ValueSet evalRhs(const BoolRhs &R, const std::vector<ValueSet> &In) {
+ValueSet EdgeTransfer::evalRhs(const BoolRhs &R,
+                               const std::vector<ValueSet> &In) {
   switch (R.K) {
   case BoolRhs::Kind::Const:
     return R.PlusOne ? ValueSet::One : ValueSet::Zero;
@@ -60,6 +61,34 @@ static ValueSet evalRhs(const BoolRhs &R, const std::vector<ValueSet> &In) {
   }
   }
   return ValueSet::Both;
+}
+
+EdgeTransfer::EdgeTransfer(const BooleanProgram &BP, bool AssumeChecksPass)
+    : BP(BP), AssumedZero(BP.CFG->Edges.size()) {
+  // Checked variables per edge: a failed requires throws, so executions
+  // that continue past the call had value 0 (assume-refinement matching
+  // the exception semantics of the dynamic check).
+  if (AssumeChecksPass)
+    for (const Check &C : BP.Checks)
+      if (C.Var >= 0)
+        AssumedZero[C.Edge].push_back(C.Var);
+}
+
+bool EdgeTransfer::apply(int EIdx, const std::vector<ValueSet> &In,
+                         std::vector<ValueSet> &Out) const {
+  Out = In;
+  for (int V : AssumedZero[EIdx]) {
+    if (!canBeZero(Out[V])) {
+      // Every execution reaching this call violates the requires clause
+      // and throws: nothing continues along this edge.
+      return false;
+    }
+    Out[V] = ValueSet::Zero;
+  }
+  const std::vector<ValueSet> Refined = Out;
+  for (const auto &[Tgt, Rhs] : BP.EdgeAssignments[EIdx])
+    Out[Tgt] = evalRhs(Rhs, Refined);
+  return true;
 }
 
 IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
@@ -86,14 +115,7 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
   for (size_t E = 0; E != CFG.Edges.size(); ++E)
     OutEdges[CFG.Edges[E].From].push_back(static_cast<int>(E));
 
-  // Checked variables per edge: a failed requires throws, so executions
-  // that continue past the call had value 0 (assume-refinement matching
-  // the exception semantics of the dynamic check).
-  std::vector<std::vector<int>> AssumedZero(CFG.Edges.size());
-  if (AssumeChecksPass)
-    for (const Check &C : BP.Checks)
-      if (C.Var >= 0)
-        AssumedZero[C.Edge].push_back(C.Var);
+  const EdgeTransfer Transfer(BP, AssumeChecksPass);
 
   std::deque<int> Worklist{CFG.Entry};
   std::vector<bool> Queued(CFG.NumNodes, false);
@@ -111,22 +133,9 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
 
     for (int EIdx : OutEdges[N]) {
       const cj::CFGEdge &E = CFG.Edges[EIdx];
-      std::vector<ValueSet> Refined = InState;
-      bool Dead = false;
-      for (int V : AssumedZero[EIdx]) {
-        if (!canBeZero(Refined[V])) {
-          // Every execution reaching this call violates the requires
-          // clause and throws: nothing continues along this edge.
-          Dead = true;
-          break;
-        }
-        Refined[V] = ValueSet::Zero;
-      }
-      if (Dead)
-        continue;
-      std::vector<ValueSet> OutState = Refined;
-      for (const auto &[Tgt, Rhs] : BP.EdgeAssignments[EIdx])
-        OutState[Tgt] = evalRhs(Rhs, Refined);
+      std::vector<ValueSet> OutState;
+      if (!Transfer.apply(EIdx, InState, OutState))
+        continue; // Dead edge: every continuing execution throws.
 
       std::vector<ValueSet> &Dst = R.In[E.To];
       bool Changed = false;

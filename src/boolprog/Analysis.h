@@ -76,6 +76,34 @@ struct IntraResult {
   std::string reportStr(const BooleanProgram &BP) const;
 };
 
+/// The one-edge transfer function of the possible-value analysis,
+/// shared by the fixpoint driver and the proof-carrying-certificate
+/// checker (cert::Checker): assume-refinement of the edge's checked
+/// variables, then the parallel assignment, with every RHS evaluated
+/// over the refined pre-state. The checker re-applies edges against a
+/// claimed fixpoint annotation without running any worklist, so the
+/// evaluator must be the single shared definition of edge semantics.
+class EdgeTransfer {
+public:
+  explicit EdgeTransfer(const BooleanProgram &BP, bool AssumeChecksPass = true);
+
+  /// Evaluates one parallel-assignment RHS over pre-state \p In.
+  static ValueSet evalRhs(const BoolRhs &R, const std::vector<ValueSet> &In);
+
+  /// Applies CFG edge \p EIdx to \p In. Returns false when no execution
+  /// continues past the edge (a checked variable cannot be 0, so every
+  /// path throws); \p Out is unspecified then.
+  bool apply(int EIdx, const std::vector<ValueSet> &In,
+             std::vector<ValueSet> &Out) const;
+
+  const BooleanProgram &program() const { return BP; }
+
+private:
+  const BooleanProgram &BP;
+  /// Checked variables per edge (empty when !AssumeChecksPass).
+  std::vector<std::vector<int>> AssumedZero;
+};
+
 /// Runs the worklist fixpoint on \p BP. On entry every variable may hold
 /// either value (component variables are unconstrained/uninitialized at
 /// method entry); pass \p EntryState to override (used by the

@@ -34,7 +34,12 @@ std::string InterResult::str() const {
   return Out;
 }
 
-namespace {
+// Not an anonymous namespace: InterprocModel::Impl (externally visible)
+// holds an InterprocProblem member, and GCC's -Wsubobject-linkage fires
+// on internal-linkage subobjects of external-linkage types.
+namespace canvas {
+namespace bp {
+namespace detail {
 
 /// Per-method analysis artifacts: the ghost-extended CFG, its boolean
 /// program, and the exploded-edge reading of the program's assignments.
@@ -476,15 +481,67 @@ const std::vector<int> &InterprocProblem::feedersOf(int CallerIdx,
   return CT.Feeders.emplace(Key, std::move(Result)).first->second;
 }
 
-} // namespace
+} // namespace detail
+} // namespace bp
+} // namespace canvas
+
+using canvas::bp::detail::InterprocProblem;
+using canvas::bp::detail::MethodInfo;
+
+struct InterprocModel::Impl {
+  InterprocProblem Prob;
+  std::vector<InterprocModel::Anchor> Anchors;
+
+  Impl(const DerivedAbstraction &Abs, const cj::ClientCFG &CFG,
+       const cj::CFGMethod &Entry, DiagnosticEngine &Diags)
+      : Prob(Abs, CFG, Entry, Diags) {
+    const std::vector<MethodInfo> &Infos = Prob.infos();
+    for (size_t P = 0; P != Infos.size(); ++P) {
+      for (const Check &C : Infos[P].BP.Checks) {
+        InterprocModel::Anchor A;
+        A.Method = Infos[P].Orig->name();
+        A.Loc = C.Loc;
+        A.ReqLoc = C.ReqLoc;
+        A.What = C.What;
+        A.Proc = static_cast<int>(P);
+        A.Node = Infos[P].Ext.Edges[C.Edge].From;
+        A.Var = C.Var;
+        A.ConstantViolated = C.ConstantViolated;
+        Anchors.push_back(std::move(A));
+      }
+    }
+  }
+};
+
+InterprocModel::InterprocModel(const DerivedAbstraction &Abs,
+                               const cj::ClientCFG &CFG,
+                               const cj::CFGMethod &Entry,
+                               DiagnosticEngine &Diags)
+    : I(std::make_unique<Impl>(Abs, CFG, Entry, Diags)) {}
+InterprocModel::~InterprocModel() = default;
+InterprocModel::InterprocModel(InterprocModel &&) noexcept = default;
+InterprocModel &
+InterprocModel::operator=(InterprocModel &&) noexcept = default;
+
+const ifds::Problem &InterprocModel::problem() const { return I->Prob; }
+const std::vector<InterprocModel::Anchor> &InterprocModel::anchors() const {
+  return I->Anchors;
+}
 
 InterResult bp::analyzeInterproc(const DerivedAbstraction &Abs,
                                  const cj::ClientCFG &CFG,
                                  const cj::CFGMethod &Entry,
                                  DiagnosticEngine &Diags,
                                  support::CancelToken *Cancel) {
+  InterprocModel Model(Abs, CFG, Entry, Diags);
+  return analyzeInterproc(Model, Cancel, nullptr);
+}
+
+InterResult bp::analyzeInterproc(const InterprocModel &Model,
+                                 support::CancelToken *Cancel,
+                                 IfdsTabulation *TabOut) {
   support::faultProbe("boolprog.interproc");
-  InterprocProblem Prob(Abs, CFG, Entry, Diags);
+  const InterprocProblem &Prob = Model.I->Prob;
   ifds::Solver Solver(Prob);
   Solver.solve(Cancel);
 
@@ -540,6 +597,16 @@ InterResult bp::analyzeInterproc(const DerivedAbstraction &Abs,
       }
       R.Checks.push_back(std::move(Rec));
     }
+  }
+
+  if (TabOut) {
+    TabOut->PathEdges.reserve(Solver.pathEdges().size());
+    for (const ifds::Solver::PathEdge &E : Solver.pathEdges())
+      TabOut->PathEdges.push_back({E.Proc, E.EntryFact, E.Node, E.Fact});
+    for (int P = 0; P != Prob.numProcs(); ++P)
+      for (int F = 0; F != Prob.numFacts(P); ++F)
+        if (Solver.genuineEntry(P, F))
+          TabOut->Genuine.emplace_back(P, F);
   }
   return R;
 }

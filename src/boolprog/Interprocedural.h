@@ -36,13 +36,80 @@
 #include "boolprog/BooleanProgram.h"
 #include "client/CFG.h"
 #include "core/Verdict.h"
+#include "ifds/Problem.h"
 #include "wp/Abstraction.h"
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace canvas {
 namespace bp {
+
+namespace detail {
+class InterprocProblem;
+}
+
+struct InterResult;
+
+/// The interprocedural IFDS model: ghost-extended CFGs, their boolean
+/// programs, and the exploded flow functions — everything derived from
+/// the trusted inputs (abstraction + client CFG), independent of any
+/// tabulation. Built once and shared between the solver-driven analysis
+/// and the proof-carrying-certificate checker (cert::Checker), which
+/// re-validates a claimed path-edge set against problem()'s flow
+/// functions without running the worklist.
+class InterprocModel {
+public:
+  InterprocModel(const wp::DerivedAbstraction &Abs, const cj::ClientCFG &CFG,
+                 const cj::CFGMethod &Entry, DiagnosticEngine &Diags);
+  ~InterprocModel();
+  InterprocModel(InterprocModel &&) noexcept;
+  InterprocModel &operator=(InterprocModel &&) noexcept;
+
+  const ifds::Problem &problem() const;
+
+  /// One requires check anchored in the exploded supergraph: the
+  /// verdict is decided by genuine reachability of (Proc, Node, fact),
+  /// where the fact is 1+Var (or Lambda when Var < 0: the check is
+  /// constant and ConstantViolated decides it).
+  struct Anchor {
+    std::string Method;
+    SourceLoc Loc;
+    SourceLoc ReqLoc;
+    std::string What;
+    int Proc = -1;
+    int Node = -1; ///< Ext-CFG node guarding the check's edge.
+    int Var = -1;  ///< Boolean-program variable, -1 = constant check.
+    bool ConstantViolated = false;
+  };
+  const std::vector<Anchor> &anchors() const;
+
+private:
+  friend InterResult analyzeInterproc(const InterprocModel &Model,
+                                      support::CancelToken *Cancel,
+                                      struct IfdsTabulation *TabOut);
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// The tabulation evidence of one interprocedural solve, in the shape a
+/// proof-carrying certificate serializes: the full path-edge set plus
+/// the genuine (procedure, entry fact) relation. Closure of this data
+/// under the model's flow functions proves it over-approximates the
+/// least IFDS solution, so the absence of a genuine path edge at a
+/// check's anchor certifies its Safe/Unreachable verdict.
+struct IfdsTabulation {
+  struct PE {
+    int Proc = -1;
+    int EntryFact = -1;
+    int Node = -1;
+    int Fact = -1;
+  };
+  std::vector<PE> PathEdges;
+  std::vector<std::pair<int, int>> Genuine; ///< (proc, entry fact).
+};
 
 /// Verdicts for every requires check in every method reachable from the
 /// entry method, with witness traces on Potential verdicts.
@@ -71,6 +138,12 @@ InterResult analyzeInterproc(const wp::DerivedAbstraction &Abs,
                              const cj::CFGMethod &Entry,
                              DiagnosticEngine &Diags,
                              support::CancelToken *Cancel = nullptr);
+
+/// As above, over a prebuilt model. When \p TabOut is non-null it
+/// receives the solver's tabulation evidence for certificate emission.
+InterResult analyzeInterproc(const InterprocModel &Model,
+                             support::CancelToken *Cancel = nullptr,
+                             IfdsTabulation *TabOut = nullptr);
 
 } // namespace bp
 } // namespace canvas

@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Certificate container serialization: the "CNVC1" byte format plus
+/// the bounds-checked primitive codecs shared with the per-kind payload
+/// encoders in Emit.cpp. Serialization is deterministic so content
+/// hashes are stable across emit/parse round trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cert/Certificate.h"
+
+#include <cstring>
+
+namespace canvas {
+namespace cert {
+
+const char *certKindName(CertKind K) {
+  switch (K) {
+  case CertKind::BoolIntra:
+    return "bool-intra";
+  case CertKind::Ifds:
+    return "ifds";
+  case CertKind::TvlaIndependent:
+    return "tvla-independent";
+  case CertKind::TvlaRelational:
+    return "tvla-relational";
+  case CertKind::AllocSite:
+    return "alloc-site";
+  }
+  return "unknown";
+}
+
+void Writer::u32(uint32_t V) {
+  Buf.push_back(static_cast<uint8_t>(V & 0xff));
+  Buf.push_back(static_cast<uint8_t>((V >> 8) & 0xff));
+  Buf.push_back(static_cast<uint8_t>((V >> 16) & 0xff));
+  Buf.push_back(static_cast<uint8_t>((V >> 24) & 0xff));
+}
+
+void Writer::u64(uint64_t V) {
+  u32(static_cast<uint32_t>(V & 0xffffffffull));
+  u32(static_cast<uint32_t>(V >> 32));
+}
+
+void Writer::str(const std::string &S) {
+  u32(static_cast<uint32_t>(S.size()));
+  Buf.insert(Buf.end(), S.begin(), S.end());
+}
+
+void Writer::bytes(const std::vector<uint8_t> &B) {
+  u32(static_cast<uint32_t>(B.size()));
+  Buf.insert(Buf.end(), B.begin(), B.end());
+}
+
+bool Reader::take(size_t N) {
+  if (Fail || Size - Pos < N) {
+    Fail = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Reader::u8() {
+  if (!take(1))
+    return 0;
+  return Data[Pos++];
+}
+
+uint32_t Reader::u32() {
+  if (!take(4))
+    return 0;
+  uint32_t V = static_cast<uint32_t>(Data[Pos]) |
+               (static_cast<uint32_t>(Data[Pos + 1]) << 8) |
+               (static_cast<uint32_t>(Data[Pos + 2]) << 16) |
+               (static_cast<uint32_t>(Data[Pos + 3]) << 24);
+  Pos += 4;
+  return V;
+}
+
+uint64_t Reader::u64() {
+  uint64_t Lo = u32();
+  uint64_t Hi = u32();
+  return Lo | (Hi << 32);
+}
+
+std::string Reader::str() {
+  uint32_t N = u32();
+  if (!take(N))
+    return std::string();
+  std::string S(reinterpret_cast<const char *>(Data + Pos), N);
+  Pos += N;
+  return S;
+}
+
+std::vector<uint8_t> Reader::bytes() {
+  uint32_t N = u32();
+  if (!take(N))
+    return {};
+  std::vector<uint8_t> B(Data + Pos, Data + Pos + N);
+  Pos += N;
+  return B;
+}
+
+uint64_t fnv1a(const uint8_t *Data, size_t Size, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+namespace {
+
+/// One certificate record, used both for the container and (with the
+/// hash field zeroed) as the content-hash preimage.
+void writeRecord(Writer &W, const Certificate &C, uint64_t Hash) {
+  W.u8(static_cast<uint8_t>(C.Kind));
+  W.str(C.Unit);
+  W.u32(static_cast<uint32_t>(C.Claims.size()));
+  for (const Claim &Cl : C.Claims) {
+    W.u32(Cl.Check);
+    W.u8(static_cast<uint8_t>(Cl.Outcome));
+  }
+  W.u32(C.RawEntries);
+  W.u32(C.StoredEntries);
+  W.bytes(C.Payload);
+  W.u64(Hash);
+}
+
+bool readRecord(Reader &R, Certificate &C, std::string &Error) {
+  C.Kind = static_cast<CertKind>(R.u8());
+  C.Unit = R.str();
+  uint32_t NumClaims = R.u32();
+  C.Claims.clear();
+  for (uint32_t I = 0; I < NumClaims && !R.failed(); ++I) {
+    Claim Cl;
+    Cl.Check = R.u32();
+    Cl.Outcome = static_cast<core::CheckOutcome>(R.u8());
+    C.Claims.push_back(Cl);
+  }
+  C.RawEntries = R.u32();
+  C.StoredEntries = R.u32();
+  C.Payload = R.bytes();
+  C.ContentHash = R.u64();
+  if (R.failed()) {
+    Error = "truncated certificate record";
+    return false;
+  }
+  switch (C.Kind) {
+  case CertKind::BoolIntra:
+  case CertKind::Ifds:
+  case CertKind::TvlaIndependent:
+  case CertKind::TvlaRelational:
+  case CertKind::AllocSite:
+    break;
+  default:
+    Error = "unknown certificate kind";
+    return false;
+  }
+  if (C.ContentHash != C.computeHash()) {
+    Error = "certificate content hash mismatch for unit '" + C.Unit + "'";
+    return false;
+  }
+  return true;
+}
+
+const char Magic[5] = {'C', 'N', 'V', 'C', '1'};
+
+} // namespace
+
+size_t Certificate::bytes() const {
+  Writer W;
+  writeRecord(W, *this, ContentHash);
+  return W.buffer().size();
+}
+
+uint64_t Certificate::computeHash() const {
+  Writer W;
+  writeRecord(W, *this, 0);
+  return fnv1a(W.buffer().data(), W.buffer().size());
+}
+
+std::vector<uint8_t>
+serializeCertificates(const std::vector<Certificate> &Certs) {
+  Writer W;
+  for (char C : Magic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(static_cast<uint32_t>(Certs.size()));
+  for (const Certificate &C : Certs)
+    writeRecord(W, C, C.ContentHash);
+  return W.take();
+}
+
+bool parseCertificates(const std::vector<uint8_t> &Data,
+                       std::vector<Certificate> &Out, std::string &Error) {
+  Out.clear();
+  Reader R(Data);
+  for (char C : Magic) {
+    if (R.u8() != static_cast<uint8_t>(C)) {
+      Error = "not a canvas certificate file (bad magic)";
+      return false;
+    }
+  }
+  uint32_t N = R.u32();
+  for (uint32_t I = 0; I < N; ++I) {
+    Certificate C;
+    if (!readRecord(R, C, Error))
+      return false;
+    Out.push_back(std::move(C));
+  }
+  if (!R.done()) {
+    Error = "trailing bytes after certificate records";
+    return false;
+  }
+  return true;
+}
+
+} // namespace cert
+} // namespace canvas

@@ -1,0 +1,632 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Certificate verification. Every routine follows the same monotone
+/// sweep: deserialize and range-check the annotation, confirm the
+/// engine's initial facts are covered, confirm closure under the shared
+/// transfer/flow evaluators, then test each claim against the
+/// annotation. Closure + coverage make the annotation a post-fixpoint,
+/// hence an over-approximation of every reachable state — so a check
+/// the annotation cannot reach (or evaluates to definitely-false on
+/// every covering state) is proven Safe/Unreachable regardless of how
+/// the emitting engine computed it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cert/Checker.h"
+
+#include "boolprog/Analysis.h"
+#include "boolprog/BooleanProgram.h"
+#include "boolprog/Interprocedural.h"
+#include "cert/Emit.h"
+#include "core/GenericBaseline.h"
+#include "dataflow/Dataflow.h"
+#include "ifds/Problem.h"
+#include "support/Budget.h"
+#include "tvla/Transfer.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <map>
+#include <set>
+
+using namespace canvas;
+using namespace canvas::cert;
+
+namespace {
+
+CheckResult fail(std::string Reason) {
+  CheckResult R;
+  R.Valid = false;
+  R.Reason = std::move(Reason);
+  return R;
+}
+
+CheckResult ok() {
+  CheckResult R;
+  R.Valid = true;
+  return R;
+}
+
+/// Claims must only assert the proven outcomes and index a real check.
+bool validClaimShape(const Certificate &C, size_t NumChecks,
+                     std::string &Reason) {
+  for (const Claim &Cl : C.Claims) {
+    if (Cl.Check >= NumChecks) {
+      Reason = "claim indexes nonexistent check " + std::to_string(Cl.Check);
+      return false;
+    }
+    if (Cl.Outcome != core::CheckOutcome::Safe &&
+        Cl.Outcome != core::CheckOutcome::Unreachable) {
+      Reason = "claim asserts a non-proven outcome";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+const cj::CFGMethod *Checker::findUnit(const std::string &Unit) const {
+  for (const cj::CFGMethod &M : CFG.Methods)
+    if (M.name() == Unit)
+      return &M;
+  return nullptr;
+}
+
+CheckResult Checker::check(const Certificate &C) const {
+  support::faultProbe("cert-check");
+  auto T0 = std::chrono::steady_clock::now();
+  CheckResult R;
+  if (C.ContentHash != C.computeHash()) {
+    R = fail("content hash mismatch");
+  } else {
+    switch (C.Kind) {
+    case CertKind::BoolIntra:
+      R = checkBoolIntra(C);
+      break;
+    case CertKind::Ifds:
+      R = checkIfds(C);
+      break;
+    case CertKind::TvlaIndependent:
+    case CertKind::TvlaRelational:
+      R = checkTvla(C);
+      break;
+    case CertKind::AllocSite:
+      R = checkAllocSite(C);
+      break;
+    default:
+      R = fail("unknown certificate kind");
+    }
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  R.Micros = std::chrono::duration<double, std::micro>(T1 - T0).count();
+  if (!R.Valid && !R.Reason.empty())
+    R.Reason = std::string(certKindName(C.Kind)) +
+               (C.Unit.empty() ? "" : " " + C.Unit) + ": " + R.Reason;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean-program intraprocedural
+//===----------------------------------------------------------------------===//
+
+CheckResult Checker::checkBoolIntra(const Certificate &C) const {
+  const cj::CFGMethod *M = findUnit(C.Unit);
+  if (!M)
+    return fail("unknown client method");
+
+  // Rebuild the boolean program from the trusted inputs; the
+  // certificate's dimensions must match or it was produced for a
+  // different program.
+  DiagnosticEngine Quiet;
+  const bp::BooleanProgram BP = bp::buildBooleanProgram(Abs, *M, Quiet);
+  const size_t NumVars = BP.Vars.size();
+
+  Reader R(C.Payload);
+  if (R.u32() != static_cast<uint32_t>(M->NumNodes) ||
+      R.u32() != static_cast<uint32_t>(NumVars) ||
+      R.u32() != static_cast<uint32_t>(BP.Checks.size()))
+    return fail("dimension mismatch against rebuilt boolean program");
+  const bool AssumeChecksPass = R.u8() != 0;
+
+  std::string Reason;
+  if (!validClaimShape(C, BP.Checks.size(), Reason))
+    return fail(std::move(Reason));
+
+  // Tags per node: 0 = unreachable, 1 = stored, 2 = pruned
+  // (reconstructible from the unique predecessor).
+  std::vector<uint8_t> Tag(M->NumNodes, 0);
+  std::vector<std::vector<bp::ValueSet>> In(M->NumNodes);
+  for (int N = 0; N != M->NumNodes; ++N) {
+    Tag[N] = R.u8();
+    if (Tag[N] > 2)
+      return fail("bad annotation tag");
+    if (Tag[N] != 1)
+      continue;
+    In[N].resize(NumVars);
+    for (size_t V = 0; V != NumVars; ++V) {
+      uint8_t B = R.u8();
+      if (B > 3)
+        return fail("out-of-range value set");
+      In[N][V] = static_cast<bp::ValueSet>(B);
+    }
+  }
+  if (!R.done())
+    return fail("malformed payload");
+
+  const dataflow::CFGInfo Info(*M);
+  const bp::EdgeTransfer T(BP, AssumeChecksPass);
+
+  // Reconstruct pruned entries in reverse-post-order: a pruned node's
+  // unique in-edge comes from an RPO-earlier node whose state is
+  // already available, so one ordered pass suffices.
+  std::vector<int> ByRpo;
+  for (int N = 0; N != M->NumNodes; ++N)
+    if (Info.rpoNumber(N) >= 0)
+      ByRpo.push_back(N);
+  std::sort(ByRpo.begin(), ByRpo.end(), [&](int A, int B) {
+    return Info.rpoNumber(A) < Info.rpoNumber(B);
+  });
+  for (int N : ByRpo) {
+    if (Tag[N] != 2)
+      continue;
+    if (N == M->Entry || Info.predEdges(N).size() != 1)
+      return fail("pruned node is not reconstructible");
+    int EIdx = Info.predEdges(N)[0];
+    int From = M->Edges[EIdx].From;
+    if (In[From].empty() || Info.rpoNumber(From) < 0 ||
+        Info.rpoNumber(From) >= Info.rpoNumber(N))
+      return fail("pruned node's predecessor is not annotated earlier");
+    std::vector<bp::ValueSet> Out;
+    if (!T.apply(EIdx, In[From], Out))
+      return fail("pruned node is annotated but its in-edge is dead");
+    In[N] = std::move(Out);
+  }
+  for (int N = 0; N != M->NumNodes; ++N)
+    if (Tag[N] == 2 && In[N].empty())
+      return fail("pruned node outside the reverse-post-order");
+
+  // (a) Initial facts covered: at method entry every variable may hold
+  // either value.
+  if (In[M->Entry].empty())
+    return fail("entry node not covered");
+  for (size_t V = 0; V != NumVars; ++V)
+    if (In[M->Entry][V] != bp::ValueSet::Both)
+      return fail("entry state does not cover the initial facts");
+
+  // (b) Closure under the edge transfer.
+  for (size_t EIdx = 0; EIdx != M->Edges.size(); ++EIdx) {
+    int From = M->Edges[EIdx].From;
+    int To = M->Edges[EIdx].To;
+    if (In[From].empty())
+      continue;
+    std::vector<bp::ValueSet> Out;
+    if (!T.apply(static_cast<int>(EIdx), In[From], Out))
+      continue; // No execution survives the edge.
+    if (In[To].empty())
+      return fail("annotation not closed: reachable successor uncovered");
+    for (size_t V = 0; V != NumVars; ++V)
+      if (bp::vsJoin(Out[V], In[To][V]) != In[To][V])
+        return fail("annotation not closed under edge transfer");
+  }
+
+  // (c) Claims uncovered by the annotation.
+  for (const Claim &Cl : C.Claims) {
+    const bp::Check &Chk = BP.Checks[Cl.Check];
+    int Node = M->Edges[Chk.Edge].From;
+    if (Cl.Outcome == core::CheckOutcome::Unreachable) {
+      if (!In[Node].empty())
+        return fail("unreachable claim at a covered node");
+      continue;
+    }
+    if (In[Node].empty())
+      continue; // Vacuously safe.
+    if (Chk.Var < 0) {
+      if (Chk.ConstantViolated)
+        return fail("safe claim on a constant-violated check");
+      continue;
+    }
+    if (bp::canBeOne(In[Node][Chk.Var]))
+      return fail("safe claim but the annotation admits a violation");
+  }
+  return ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural IFDS
+//===----------------------------------------------------------------------===//
+
+CheckResult Checker::checkIfds(const Certificate &C) const {
+  const cj::CFGMethod *Main = CFG.mainCFG();
+  if (!Main)
+    return fail("client has no main() method");
+
+  // Rebuild the exploded-supergraph model (flow functions + anchors)
+  // from the trusted inputs.
+  DiagnosticEngine Quiet;
+  const bp::InterprocModel Model(Abs, CFG, *Main, Quiet);
+  const ifds::Problem &Prob = Model.problem();
+  const std::vector<bp::InterprocModel::Anchor> &Anchors = Model.anchors();
+
+  Reader R(C.Payload);
+  if (R.u32() != static_cast<uint32_t>(Prob.numProcs()) ||
+      R.u32() != static_cast<uint32_t>(Anchors.size()))
+    return fail("dimension mismatch against rebuilt model");
+
+  std::string Reason;
+  if (!validClaimShape(C, Anchors.size(), Reason))
+    return fail(std::move(Reason));
+
+  const uint32_t NumPE = R.u32();
+  std::vector<bp::IfdsTabulation::PE> PEs;
+  PEs.reserve(NumPE);
+  std::set<std::array<int, 4>> PESet;
+  std::vector<bool> HasPE(Prob.numProcs(), false);
+  for (uint32_t I = 0; I != NumPE && !R.failed(); ++I) {
+    bp::IfdsTabulation::PE E;
+    E.Proc = R.i32();
+    E.EntryFact = R.i32();
+    E.Node = R.i32();
+    E.Fact = R.i32();
+    if (E.Proc < 0 || E.Proc >= Prob.numProcs())
+      return fail("path edge with out-of-range procedure");
+    const ifds::ProcView &V = Prob.proc(E.Proc);
+    int NF = Prob.numFacts(E.Proc);
+    if (E.EntryFact < 0 || E.EntryFact >= NF || E.Fact < 0 || E.Fact >= NF ||
+        E.Node < 0 || E.Node >= V.NumNodes)
+      return fail("path edge with out-of-range node or fact");
+    PESet.insert({E.Proc, E.EntryFact, E.Node, E.Fact});
+    HasPE[E.Proc] = true;
+    PEs.push_back(E);
+  }
+  const uint32_t NumGenuine = R.u32();
+  std::set<std::pair<int, int>> StoredGenuine;
+  for (uint32_t I = 0; I != NumGenuine && !R.failed(); ++I) {
+    int P = R.i32();
+    int F = R.i32();
+    if (P < 0 || P >= Prob.numProcs() || F < 0 || F >= Prob.numFacts(P))
+      return fail("genuine entry with out-of-range procedure or fact");
+    StoredGenuine.emplace(P, F);
+  }
+  if (!R.done())
+    return fail("malformed payload");
+
+  auto Has = [&](int P, int D, int N, int F) {
+    return PESet.count({P, D, N, F}) != 0;
+  };
+
+  // (a) Initial facts covered, and seed totality: an activated
+  // procedure (any path edge at all) must tabulate every entry fact —
+  // the solver's contract, and what makes summary application complete.
+  std::vector<int> Init;
+  Prob.initialFacts(Init);
+  const int EntryProc = Prob.entryProc();
+  for (int D : Init)
+    if (!Has(EntryProc, D, Prob.proc(EntryProc).Entry, D))
+      return fail("initial fact not covered at the entry procedure");
+  for (int P = 0; P != Prob.numProcs(); ++P) {
+    if (!HasPE[P])
+      continue;
+    for (int D = 0; D != Prob.numFacts(P); ++D)
+      if (!Has(P, D, Prob.proc(P).Entry, D))
+        return fail("activated procedure missing a seed path edge");
+  }
+
+  // Callee exit facts per (proc, entry fact), for summary closure.
+  std::map<std::pair<int, int>, std::vector<int>> ExitFacts;
+  for (const bp::IfdsTabulation::PE &E : PEs)
+    if (E.Node == Prob.proc(E.Proc).Exit)
+      ExitFacts[{E.Proc, E.EntryFact}].push_back(E.Fact);
+
+  // (b) Closure under the exploded flow functions.
+  std::vector<std::vector<std::vector<int>>> OutEdges(Prob.numProcs());
+  for (int P = 0; P != Prob.numProcs(); ++P) {
+    const ifds::ProcView &V = Prob.proc(P);
+    OutEdges[P].resize(V.NumNodes);
+    for (size_t EI = 0; EI != V.Edges.size(); ++EI)
+      OutEdges[P][V.Edges[EI].From].push_back(static_cast<int>(EI));
+  }
+  std::vector<int> Out;
+  for (const bp::IfdsTabulation::PE &E : PEs) {
+    const ifds::ProcView &V = Prob.proc(E.Proc);
+    for (int EI : OutEdges[E.Proc][E.Node]) {
+      const ifds::ProcView::Edge &CE = V.Edges[EI];
+      if (CE.Callee < 0) {
+        Out.clear();
+        Prob.flowNormal(E.Proc, EI, E.Fact, Out);
+        for (int F : Out)
+          if (!Has(E.Proc, E.EntryFact, CE.To, F))
+            return fail("path edges not closed under flowNormal");
+        continue;
+      }
+      // Call edge: bypassing facts, callee activation, and summaries.
+      Out.clear();
+      Prob.flowCallToReturn(E.Proc, EI, E.Fact, Out);
+      for (int F : Out)
+        if (!Has(E.Proc, E.EntryFact, CE.To, F))
+          return fail("path edges not closed under flowCallToReturn");
+      if (!HasPE[CE.Callee])
+        return fail("reached call site's callee is not activated");
+      std::vector<int> Seeded;
+      Prob.flowCall(E.Proc, EI, E.Fact, Seeded);
+      for (int D2 : Seeded) {
+        auto It = ExitFacts.find({CE.Callee, D2});
+        if (It == ExitFacts.end())
+          continue; // Callee never returns from this entry fact.
+        for (int F2 : It->second) {
+          Out.clear();
+          Prob.flowSummary(E.Proc, EI, E.Fact, D2, F2, Out);
+          for (int F : Out)
+            if (!Has(E.Proc, E.EntryFact, CE.To, F))
+              return fail("path edges not closed under flowSummary");
+        }
+      }
+    }
+  }
+
+  // Genuine (procedure, entry fact) relation: the entry procedure's
+  // initial facts, closed under flowCall feeds from genuine path edges.
+  // Recomputed independently and required to match the stored relation
+  // exactly, so verdict queries below answer from verified data.
+  std::set<std::pair<int, int>> Genuine;
+  for (int D : Init)
+    Genuine.emplace(EntryProc, D);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const bp::IfdsTabulation::PE &E : PEs) {
+      if (!Genuine.count({E.Proc, E.EntryFact}))
+        continue;
+      const ifds::ProcView &V = Prob.proc(E.Proc);
+      for (int EI : OutEdges[E.Proc][E.Node]) {
+        const ifds::ProcView::Edge &CE = V.Edges[EI];
+        if (CE.Callee < 0)
+          continue;
+        Out.clear();
+        Prob.flowCall(E.Proc, EI, E.Fact, Out);
+        for (int D2 : Out)
+          Changed |= Genuine.emplace(CE.Callee, D2).second;
+      }
+    }
+  }
+  if (Genuine != StoredGenuine)
+    return fail("stored genuine-entry relation disagrees with closure");
+
+  std::set<std::array<int, 3>> ReachedG;
+  for (const bp::IfdsTabulation::PE &E : PEs)
+    if (Genuine.count({E.Proc, E.EntryFact}))
+      ReachedG.insert({E.Proc, E.Node, E.Fact});
+  auto Reached = [&](int P, int N, int F) {
+    return ReachedG.count({P, N, F}) != 0;
+  };
+
+  // (c) Claims uncovered by genuine reachability.
+  for (const Claim &Cl : C.Claims) {
+    const bp::InterprocModel::Anchor &A = Anchors[Cl.Check];
+    if (Cl.Outcome == core::CheckOutcome::Unreachable) {
+      if (Reached(A.Proc, A.Node, ifds::LambdaFact))
+        return fail("unreachable claim at a genuinely reached node");
+      continue;
+    }
+    if (!Reached(A.Proc, A.Node, ifds::LambdaFact))
+      continue; // Vacuously safe.
+    if (A.Var < 0) {
+      if (A.ConstantViolated)
+        return fail("safe claim on a constant-violated check");
+      continue;
+    }
+    if (Reached(A.Proc, A.Node, 1 + A.Var))
+      return fail("safe claim but a genuine path edge reaches the fact");
+  }
+  return ok();
+}
+
+//===----------------------------------------------------------------------===//
+// TVLA
+//===----------------------------------------------------------------------===//
+
+CheckResult Checker::checkTvla(const Certificate &C) const {
+  const cj::CFGMethod *M = findUnit(C.Unit);
+  if (!M)
+    return fail("unknown client method");
+
+  DiagnosticEngine Quiet;
+  const tvla::Transfer T(Abs, *M, Quiet);
+  const tvp::Vocabulary &V = T.vocabulary();
+
+  const bool Relational = C.Kind == CertKind::TvlaRelational;
+  Reader R(C.Payload);
+  if ((R.u8() != 0) != Relational)
+    return fail("configuration flag disagrees with certificate kind");
+  if (R.u32() != static_cast<uint32_t>(M->NumNodes) ||
+      R.u32() != static_cast<uint32_t>(V.Preds.size()) ||
+      R.u32() != static_cast<uint32_t>(T.checks().size()))
+    return fail("dimension mismatch against rebuilt vocabulary");
+
+  std::string Reason;
+  if (!validClaimShape(C, T.checks().size(), Reason))
+    return fail(std::move(Reason));
+
+  std::vector<std::vector<tvla::Structure>> Ann(M->NumNodes);
+  for (int N = 0; N != M->NumNodes; ++N) {
+    uint32_t Count = R.u32();
+    if (R.failed() || Count > 65536)
+      return fail("implausible structure count");
+    if (!Relational && Count > 1)
+      return fail("independent-attribute annotation with multiple "
+                  "structures at one point");
+    for (uint32_t I = 0; I != Count; ++I) {
+      tvla::Structure S{V};
+      if (!readStructure(R, V, S, Reason))
+        return fail(std::move(Reason));
+      if (!S.isCanonical(V))
+        return fail("annotation structure is not canonical");
+      Ann[N].push_back(std::move(S));
+    }
+  }
+  if (!R.done())
+    return fail("malformed payload");
+
+  // The semantic coverage test both engines' joins induce: In is
+  // subsumed by Member iff joining In into Member changes nothing.
+  auto Covered = [&](const tvla::Structure &In, int Node) {
+    for (const tvla::Structure &Member : Ann[Node]) {
+      tvla::Structure Probe = Member;
+      if (!Probe.joinWith(In, V))
+        return true;
+    }
+    return false;
+  };
+
+  // (a) Initial fact covered: the entry structure is the empty universe
+  // (no component objects exist at method entry).
+  if (!Covered(tvla::Structure(V), M->Entry))
+    return fail("entry structure not covered");
+
+  // (b) Closure under the edge transfer, accumulating every requires
+  // evaluation the annotation can exhibit.
+  tvla::CheckAccum Acc = T.makeAccum();
+  for (size_t EIdx = 0; EIdx != M->Edges.size(); ++EIdx) {
+    int From = M->Edges[EIdx].From;
+    int To = M->Edges[EIdx].To;
+    for (const tvla::Structure &S : Ann[From]) {
+      bool Dead = false;
+      tvla::Structure Out = T.apply(S, static_cast<int>(EIdx), Dead, &Acc);
+      if (Dead)
+        continue;
+      if (!Covered(Out, To))
+        return fail("annotation not closed under edge transfer");
+    }
+  }
+
+  // (c) Claims against the accumulated evaluations.
+  for (const Claim &Cl : C.Claims) {
+    const tvla::CheckAccum::Cell &Cell = Acc.Cells[Cl.Check];
+    if (Cl.Outcome == core::CheckOutcome::Unreachable) {
+      if (Cell.Seen)
+        return fail("unreachable claim but the annotation reaches the "
+                    "check");
+      continue;
+    }
+    if (Cell.Seen && Cell.Acc != Kleene::False)
+      return fail("safe claim but a covering structure admits a violation");
+  }
+  return ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation-site baseline
+//===----------------------------------------------------------------------===//
+
+CheckResult Checker::checkAllocSite(const Certificate &C) const {
+  const cj::CFGMethod *M = findUnit(C.Unit);
+  if (!M)
+    return fail("unknown client method");
+
+  using core::baseline::AbsState;
+  using core::baseline::Loc;
+  using core::baseline::LocSet;
+
+  Reader R(C.Payload);
+  if (R.u32() != static_cast<uint32_t>(M->NumNodes))
+    return fail("node count mismatch");
+  LocSet Multi;
+  if (!readLocSet(R, Multi))
+    return fail("malformed summarized-site set");
+  struct SiteRec {
+    uint32_t Edge = 0;
+    SourceLoc ReqLoc;
+  };
+  const uint32_t NumSites = R.u32();
+  std::vector<SiteRec> Sites;
+  for (uint32_t I = 0; I != NumSites && !R.failed(); ++I) {
+    SiteRec S;
+    S.Edge = R.u32();
+    S.ReqLoc.Line = R.u32();
+    S.ReqLoc.Col = R.u32();
+    Sites.push_back(S);
+  }
+  std::vector<bool> Reached(M->NumNodes, false);
+  std::vector<AbsState> In(M->NumNodes);
+  for (int N = 0; N != M->NumNodes && !R.failed(); ++N) {
+    if (R.u8() == 0)
+      continue;
+    Reached[N] = true;
+    if (!readAbsState(R, In[N]))
+      return fail("malformed abstract state");
+  }
+  if (!R.done())
+    return fail("malformed payload");
+
+  std::string Reason;
+  if (!validClaimShape(C, Sites.size(), Reason))
+    return fail(std::move(Reason));
+
+  const core::baseline::AllocSiteTransfer T(Spec, *M);
+
+  // (a) Initial fact covered: every component variable unknown at
+  // entry.
+  if (!Reached[M->Entry])
+    return fail("entry node not covered");
+  {
+    AbsState Probe = In[M->Entry];
+    if (Probe.join(core::baseline::AllocSiteTransfer::entryState(*M)))
+      return fail("entry state does not cover the initial facts");
+  }
+
+  // (b) Closure under the edge transfer, with the *stored* summarized
+  // sites: must-alias reasoning consults Multi, and re-applying the
+  // transfer must neither escape the stored states nor discover a
+  // summarized site the certificate omitted (a smaller Multi would let
+  // unsound must-equal conclusions through).
+  std::map<core::CheckSite, bool> Flagged;
+  for (size_t EIdx = 0; EIdx != M->Edges.size(); ++EIdx) {
+    int From = M->Edges[EIdx].From;
+    int To = M->Edges[EIdx].To;
+    if (!Reached[From])
+      continue;
+    AbsState St = In[From];
+    LocSet Grown = Multi;
+    T.apply(static_cast<int>(EIdx), St, Grown, &Flagged);
+    if (Grown != Multi)
+      return fail("stored summarized-site set is not closed");
+    if (!Reached[To])
+      return fail("annotation not closed: reachable successor uncovered");
+    AbsState Probe = In[To];
+    if (Probe.join(St))
+      return fail("annotation not closed under edge transfer");
+  }
+
+  // The serialized site list indexes the claims; it must match the
+  // obligations the closure sweep actually encountered, in the same
+  // (sorted) order.
+  if (Flagged.size() != Sites.size())
+    return fail("obligation site list disagrees with the closure sweep");
+  {
+    size_t I = 0;
+    for (const auto &[Site, F] : Flagged) {
+      (void)F;
+      if (Site.Method != C.Unit ||
+          Site.Edge != static_cast<int>(Sites[I].Edge) ||
+          !(Site.ReqLoc == Sites[I].ReqLoc))
+        return fail("obligation site list disagrees with the closure sweep");
+      ++I;
+    }
+  }
+
+  // (c) Claims: a Safe claim needs every covering state to prove the
+  // obligation. The baseline never reports Unreachable (unreached
+  // obligations simply never enter the site list).
+  for (const Claim &Cl : C.Claims) {
+    if (Cl.Outcome != core::CheckOutcome::Safe)
+      return fail("baseline certificates can only claim Safe");
+    auto It = Flagged.begin();
+    std::advance(It, Cl.Check);
+    if (It->second)
+      return fail("safe claim but a covering state fails to prove the "
+                  "obligation");
+  }
+  return ok();
+}

@@ -1,0 +1,330 @@
+#include "cert/Emit.h"
+
+#include "dataflow/Dataflow.h"
+#include "tvla/Transfer.h"
+
+#include <array>
+#include <set>
+
+using namespace canvas;
+using namespace canvas::cert;
+
+//===----------------------------------------------------------------------===//
+// Shared codecs
+//===----------------------------------------------------------------------===//
+
+void cert::writeStructure(Writer &W, const tvla::Structure &S,
+                          const tvp::Vocabulary &V) {
+  unsigned N = S.numNodes();
+  W.u32(N);
+  for (unsigned I = 0; I != N; ++I)
+    W.u8(S.isSummary(I) ? 1 : 0);
+  for (size_t P = 0; P != V.Preds.size(); ++P) {
+    if (V.Preds[P].Arity == 1) {
+      for (unsigned I = 0; I != N; ++I)
+        W.u8(static_cast<uint8_t>(S.unary(static_cast<int>(P), I)));
+    } else {
+      for (unsigned A = 0; A != N; ++A)
+        for (unsigned B = 0; B != N; ++B)
+          W.u8(static_cast<uint8_t>(S.binary(static_cast<int>(P), A, B)));
+    }
+  }
+}
+
+bool cert::readStructure(Reader &R, const tvp::Vocabulary &V,
+                         tvla::Structure &Out, std::string &Error) {
+  uint32_t N = R.u32();
+  if (R.failed() || N > 4096) {
+    Error = "implausible structure universe size";
+    return false;
+  }
+  Out = tvla::Structure(V);
+  for (uint32_t I = 0; I != N; ++I)
+    Out.addNode();
+  for (uint32_t I = 0; I != N; ++I)
+    Out.setSummary(I, R.u8() != 0);
+  for (size_t P = 0; P != V.Preds.size(); ++P) {
+    unsigned Count = V.Preds[P].Arity == 1 ? N : N * N;
+    for (unsigned I = 0; I != Count; ++I) {
+      uint8_t B = R.u8();
+      if (B > 2) {
+        Error = "out-of-range Kleene value in structure";
+        return false;
+      }
+      if (V.Preds[P].Arity == 1)
+        Out.setUnary(static_cast<int>(P), I, static_cast<Kleene>(B));
+      else
+        Out.setBinary(static_cast<int>(P), I / N, I % N,
+                      static_cast<Kleene>(B));
+    }
+  }
+  if (R.failed()) {
+    Error = "truncated structure";
+    return false;
+  }
+  return true;
+}
+
+void cert::writeLocSet(Writer &W, const core::baseline::LocSet &L) {
+  W.u32(static_cast<uint32_t>(L.size()));
+  for (core::baseline::Loc X : L)
+    W.i32(X);
+}
+
+bool cert::readLocSet(Reader &R, core::baseline::LocSet &Out) {
+  uint32_t N = R.u32();
+  for (uint32_t I = 0; I != N && !R.failed(); ++I)
+    Out.insert(R.i32());
+  return !R.failed();
+}
+
+void cert::writeAbsState(Writer &W, const core::baseline::AbsState &St) {
+  W.u32(static_cast<uint32_t>(St.Vars.size()));
+  for (const auto &[Name, Set] : St.Vars) {
+    W.str(Name);
+    writeLocSet(W, Set);
+  }
+  W.u32(static_cast<uint32_t>(St.Heap.size()));
+  for (const auto &[Key, Set] : St.Heap) {
+    W.i32(Key.first);
+    W.str(Key.second);
+    writeLocSet(W, Set);
+  }
+  writeLocSet(W, St.Allocated);
+}
+
+bool cert::readAbsState(Reader &R, core::baseline::AbsState &Out) {
+  uint32_t NV = R.u32();
+  for (uint32_t I = 0; I != NV && !R.failed(); ++I) {
+    std::string Name = R.str();
+    core::baseline::LocSet Set;
+    if (!readLocSet(R, Set))
+      return false;
+    Out.Vars.emplace(std::move(Name), std::move(Set));
+  }
+  uint32_t NH = R.u32();
+  for (uint32_t I = 0; I != NH && !R.failed(); ++I) {
+    core::baseline::Loc L = R.i32();
+    std::string Field = R.str();
+    core::baseline::LocSet Set;
+    if (!readLocSet(R, Set))
+      return false;
+    Out.Heap.emplace(std::make_pair(L, std::move(Field)), std::move(Set));
+  }
+  if (!readLocSet(R, Out.Allocated))
+    return false;
+  return !R.failed();
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean-program intraprocedural
+//===----------------------------------------------------------------------===//
+
+Certificate cert::emitBoolIntra(const bp::BooleanProgram &BP,
+                                const bp::IntraResult &R,
+                                bool AssumeChecksPass) {
+  const cj::CFGMethod &M = *BP.CFG;
+  Certificate C;
+  C.Kind = CertKind::BoolIntra;
+  C.Unit = M.name();
+
+  for (size_t I = 0; I != R.CheckResults.size(); ++I)
+    if (R.CheckResults[I] == core::CheckOutcome::Safe ||
+        R.CheckResults[I] == core::CheckOutcome::Unreachable)
+      C.Claims.push_back({static_cast<uint32_t>(I), R.CheckResults[I]});
+
+  const dataflow::CFGInfo Info(M);
+  const bp::EdgeTransfer T(BP, AssumeChecksPass);
+
+  // Verify-prune: omit a node's state only when re-running the
+  // checker's reconstruction rule (unique in-edge from an earlier
+  // annotated node) reproduces the engine's value exactly. The engine's
+  // and the checker's values then coincide by induction over RPO, so
+  // pruning is unconditionally sound — a disagreement simply stores the
+  // entry instead.
+  Writer W;
+  W.u32(static_cast<uint32_t>(M.NumNodes));
+  W.u32(static_cast<uint32_t>(BP.Vars.size()));
+  W.u32(static_cast<uint32_t>(BP.Checks.size()));
+  W.u8(AssumeChecksPass ? 1 : 0);
+  for (int N = 0; N != M.NumNodes; ++N) {
+    if (!R.reachable(N)) {
+      W.u8(0);
+      continue;
+    }
+    ++C.RawEntries;
+    bool Pruned = false;
+    if (N != M.Entry && Info.rpoNumber(N) > 0 &&
+        Info.predEdges(N).size() == 1) {
+      int EIdx = Info.predEdges(N)[0];
+      int From = M.Edges[EIdx].From;
+      if (R.reachable(From) && Info.rpoNumber(From) >= 0 &&
+          Info.rpoNumber(From) < Info.rpoNumber(N)) {
+        std::vector<bp::ValueSet> Out;
+        Pruned = T.apply(EIdx, R.In[From], Out) && Out == R.In[N];
+      }
+    }
+    if (Pruned) {
+      W.u8(2);
+      continue;
+    }
+    ++C.StoredEntries;
+    W.u8(1);
+    for (bp::ValueSet V : R.In[N])
+      W.u8(static_cast<uint8_t>(V));
+  }
+  C.Payload = W.take();
+  C.seal();
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural IFDS
+//===----------------------------------------------------------------------===//
+
+Certificate cert::emitIfds(const bp::InterprocModel &Model,
+                           const bp::IfdsTabulation &Tab) {
+  const ifds::Problem &Prob = Model.problem();
+  Certificate C;
+  C.Kind = CertKind::Ifds;
+  C.Unit = ""; // Whole program.
+  C.RawEntries = C.StoredEntries = static_cast<uint32_t>(Tab.PathEdges.size());
+
+  // Recompute the per-anchor verdicts from the tabulation itself (the
+  // same genuine-reachability queries the analysis makes), so claims
+  // stay in anchors() order regardless of which procedures the verdict
+  // loop visited.
+  std::set<std::pair<int, int>> Genuine(Tab.Genuine.begin(),
+                                        Tab.Genuine.end());
+  std::set<std::array<int, 3>> ReachedG;
+  for (const bp::IfdsTabulation::PE &E : Tab.PathEdges)
+    if (Genuine.count({E.Proc, E.EntryFact}))
+      ReachedG.insert({E.Proc, E.Node, E.Fact});
+  auto Reached = [&](int P, int N, int F) {
+    return ReachedG.count({P, N, F}) != 0;
+  };
+
+  const std::vector<bp::InterprocModel::Anchor> &Anchors = Model.anchors();
+  for (size_t I = 0; I != Anchors.size(); ++I) {
+    const bp::InterprocModel::Anchor &A = Anchors[I];
+    if (!Reached(A.Proc, Prob.proc(A.Proc).Entry, ifds::LambdaFact))
+      continue; // Procedure not activated: no verdict reported.
+    core::CheckOutcome Out;
+    if (!Reached(A.Proc, A.Node, ifds::LambdaFact))
+      Out = core::CheckOutcome::Unreachable;
+    else if (A.Var < 0)
+      Out = A.ConstantViolated ? core::CheckOutcome::Potential
+                               : core::CheckOutcome::Safe;
+    else
+      Out = Reached(A.Proc, A.Node, 1 + A.Var) ? core::CheckOutcome::Potential
+                                               : core::CheckOutcome::Safe;
+    if (Out == core::CheckOutcome::Safe ||
+        Out == core::CheckOutcome::Unreachable)
+      C.Claims.push_back({static_cast<uint32_t>(I), Out});
+  }
+
+  Writer W;
+  W.u32(static_cast<uint32_t>(Prob.numProcs()));
+  W.u32(static_cast<uint32_t>(Anchors.size()));
+  W.u32(static_cast<uint32_t>(Tab.PathEdges.size()));
+  for (const bp::IfdsTabulation::PE &E : Tab.PathEdges) {
+    W.u32(static_cast<uint32_t>(E.Proc));
+    W.u32(static_cast<uint32_t>(E.EntryFact));
+    W.u32(static_cast<uint32_t>(E.Node));
+    W.u32(static_cast<uint32_t>(E.Fact));
+  }
+  W.u32(static_cast<uint32_t>(Tab.Genuine.size()));
+  for (const auto &[P, F] : Tab.Genuine) {
+    W.u32(static_cast<uint32_t>(P));
+    W.u32(static_cast<uint32_t>(F));
+  }
+  C.Payload = W.take();
+  C.seal();
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// TVLA
+//===----------------------------------------------------------------------===//
+
+Certificate cert::emitTvla(const wp::DerivedAbstraction &Abs,
+                           const cj::CFGMethod &M,
+                           const tvla::PointAnnotation &Ann,
+                           const tvla::TVLAResult &R, bool Relational) {
+  // The vocabulary construction already warned through the engine's
+  // diagnostics; re-deriving it here must not duplicate the stream.
+  DiagnosticEngine Quiet;
+  const tvla::Transfer T(Abs, M, Quiet);
+  const tvp::Vocabulary &V = T.vocabulary();
+
+  Certificate C;
+  C.Kind = Relational ? CertKind::TvlaRelational : CertKind::TvlaIndependent;
+  C.Unit = M.name();
+
+  for (size_t I = 0; I != R.Checks.size(); ++I)
+    if (R.Checks[I].Outcome == core::CheckOutcome::Safe ||
+        R.Checks[I].Outcome == core::CheckOutcome::Unreachable)
+      C.Claims.push_back({static_cast<uint32_t>(I), R.Checks[I].Outcome});
+
+  Writer W;
+  W.u8(Relational ? 1 : 0);
+  W.u32(static_cast<uint32_t>(M.NumNodes));
+  W.u32(static_cast<uint32_t>(V.Preds.size()));
+  W.u32(static_cast<uint32_t>(T.checks().size()));
+  for (const std::vector<tvla::Structure> &Set : Ann.PerNode) {
+    W.u32(static_cast<uint32_t>(Set.size()));
+    for (const tvla::Structure &S : Set) {
+      writeStructure(W, S, V);
+      ++C.RawEntries;
+      ++C.StoredEntries;
+    }
+  }
+  C.Payload = W.take();
+  C.seal();
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation-site baseline
+//===----------------------------------------------------------------------===//
+
+Certificate cert::emitAllocSite(const cj::CFGMethod &M,
+                                const core::BaselineAnnotation &Ann,
+                                const core::BaselineResult &R) {
+  Certificate C;
+  C.Kind = CertKind::AllocSite;
+  C.Unit = M.name();
+
+  {
+    uint32_t I = 0;
+    for (const auto &[Site, Flagged] : R.Flagged) {
+      if (!Flagged)
+        C.Claims.push_back({I, core::CheckOutcome::Safe});
+      ++I;
+    }
+  }
+
+  Writer W;
+  W.u32(static_cast<uint32_t>(M.NumNodes));
+  writeLocSet(W, Ann.Multi);
+  W.u32(static_cast<uint32_t>(R.Flagged.size()));
+  for (const auto &[Site, Flagged] : R.Flagged) {
+    (void)Flagged;
+    W.u32(static_cast<uint32_t>(Site.Edge));
+    W.u32(Site.ReqLoc.Line);
+    W.u32(Site.ReqLoc.Col);
+  }
+  for (int N = 0; N != M.NumNodes; ++N) {
+    if (!Ann.Reached[N]) {
+      W.u8(0);
+      continue;
+    }
+    ++C.RawEntries;
+    ++C.StoredEntries;
+    W.u8(1);
+    writeAbsState(W, Ann.In[N]);
+  }
+  C.Payload = W.take();
+  C.seal();
+  return C;
+}

@@ -2,12 +2,15 @@
 
 #include "boolprog/Interprocedural.h"
 #include "boolprog/Witness.h"
+#include "cert/Checker.h"
+#include "cert/Emit.h"
 #include "client/CFG.h"
 #include "core/GenericBaseline.h"
 #include "support/TaskPool.h"
 #include "tvla/Certify.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <new>
@@ -111,7 +114,18 @@ struct EngineRun {
   TVLAStats Tvla;
   size_t BoolVars = 0;
   size_t MaxBoolVars = 0;
+  std::vector<cert::Certificate> Certs;
+  double EmitMicros = 0;
 };
+
+/// Runs \p Fn and adds its wall-clock time to \p Micros.
+template <typename Fn> auto timed(double &Micros, Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  auto Result = F();
+  auto T1 = std::chrono::steady_clock::now();
+  Micros += std::chrono::duration<double, std::micro>(T1 - T0).count();
+  return Result;
+}
 
 void attachLints(std::vector<LintFinding> &Lints,
                  const dataflow::PreAnalysisResult &PA) {
@@ -183,8 +197,12 @@ void runEngine(EngineKind K, const easl::Spec &S,
                DiagnosticEngine &Diags, support::CancelToken &Tok,
                support::TaskPool &Pool, EngineRun &Run) {
   // The Stage-0 lint runs for every engine; SCMPIntra folds it into its
-  // own pre-analysis below.
-  if (Opts.PreAnalysis && K != EngineKind::SCMPIntra) {
+  // own pre-analysis below — except in certificate-emission mode, where
+  // SCMPIntra skips the verdict-preserving transformations (a sliced
+  // annotation is not independently checkable) and takes the lint here
+  // like everyone else.
+  if (Opts.PreAnalysis &&
+      (K != EngineKind::SCMPIntra || Opts.EmitCertificates)) {
     dataflow::PreAnalysisOptions LintOnly = Opts.Pre;
     LintOnly.EliminateDeadStores = false;
     LintOnly.Slice = false;
@@ -196,11 +214,13 @@ void runEngine(EngineKind K, const easl::Spec &S,
 
   switch (K) {
   case EngineKind::SCMPIntra: {
-    if (!Opts.PreAnalysis) {
+    if (!Opts.PreAnalysis || Opts.EmitCertificates) {
       struct Slot {
         std::vector<CheckVerdict> Checks;
+        std::vector<cert::Certificate> Certs;
         DiagnosticEngine Diags;
         size_t BoolVars = 0;
+        double EmitMicros = 0;
       };
       std::vector<Slot> Slots(CFG.Methods.size());
       std::vector<std::function<void()>> Tasks;
@@ -212,6 +232,9 @@ void runEngine(EngineKind K, const easl::Spec &S,
           bp::BooleanProgram BP = bp::buildBooleanProgram(Abs, M, Out.Diags);
           bp::IntraResult R = bp::analyzeIntraproc(BP, &Tok);
           Out.BoolVars = BP.Vars.size();
+          if (Opts.EmitCertificates)
+            Out.Certs.push_back(timed(
+                Out.EmitMicros, [&] { return cert::emitBoolIntra(BP, R); }));
           std::unique_ptr<bp::IntraWitnessEngine> WE;
           for (size_t I = 0; I != BP.Checks.size(); ++I) {
             CheckVerdict V;
@@ -234,8 +257,11 @@ void runEngine(EngineKind K, const easl::Spec &S,
         Diags.mergeFrom(Out.Diags);
         Run.BoolVars += Out.BoolVars;
         Run.MaxBoolVars = std::max(Run.MaxBoolVars, Out.BoolVars);
+        Run.EmitMicros += Out.EmitMicros;
         for (CheckVerdict &V : Out.Checks)
           Run.Checks.push_back(std::move(V));
+        for (cert::Certificate &Cert : Out.Certs)
+          Run.Certs.push_back(std::move(Cert));
       }
       return;
     }
@@ -326,7 +352,13 @@ void runEngine(EngineKind K, const easl::Spec &S,
   case EngineKind::SCMPInterproc: {
     // The supervisor skips this rung when main() is absent.
     const cj::CFGMethod *Main = CFG.mainCFG();
-    bp::InterResult R = bp::analyzeInterproc(Abs, CFG, *Main, Diags, &Tok);
+    bp::InterprocModel Model(Abs, CFG, *Main, Diags);
+    bp::IfdsTabulation Tab;
+    bp::InterResult R = bp::analyzeInterproc(
+        Model, &Tok, Opts.EmitCertificates ? &Tab : nullptr);
+    if (Opts.EmitCertificates)
+      Run.Certs.push_back(
+          timed(Run.EmitMicros, [&] { return cert::emitIfds(Model, Tab); }));
     Run.Inter.SummaryIterations = R.SummaryIterations;
     Run.Inter.ExplodedNodes = R.ExplodedNodes;
     Run.Inter.PathEdges = R.PathEdges;
@@ -336,13 +368,25 @@ void runEngine(EngineKind K, const easl::Spec &S,
     return;
   }
   case EngineKind::GenericAllocSite: {
-    std::vector<std::vector<CheckVerdict>> Slots(CFG.Methods.size());
+    struct Slot {
+      std::vector<CheckVerdict> Checks;
+      std::vector<cert::Certificate> Certs;
+      double EmitMicros = 0;
+    };
+    std::vector<Slot> Slots(CFG.Methods.size());
     std::vector<std::function<void()>> Tasks;
     Tasks.reserve(CFG.Methods.size());
     for (size_t MI = 0; MI != CFG.Methods.size(); ++MI)
       Tasks.push_back([&, MI] {
         const cj::CFGMethod &M = CFG.Methods[MI];
-        BaselineResult R = analyzeAllocSite(S, M, &Tok);
+        Slot &Out = Slots[MI];
+        BaselineAnnotation Ann;
+        BaselineResult R = analyzeAllocSite(
+            S, M, &Tok, Opts.EmitCertificates ? &Ann : nullptr);
+        if (Opts.EmitCertificates)
+          Out.Certs.push_back(timed(Out.EmitMicros, [&] {
+            return cert::emitAllocSite(M, Ann, R);
+          }));
         for (const auto &[Site, Flagged] : R.Flagged) {
           CheckRecord Rec;
           Rec.Method = Site.Method;
@@ -351,21 +395,27 @@ void runEngine(EngineKind K, const easl::Spec &S,
                      Site.ReqLoc.str() + ")";
           Rec.Outcome = Flagged ? CheckOutcome::Potential : CheckOutcome::Safe;
           Rec.ReqLoc = Site.ReqLoc;
-          Slots[MI].push_back(std::move(Rec));
+          Out.Checks.push_back(std::move(Rec));
         }
       });
     Pool.runAll(Tasks);
-    for (std::vector<CheckVerdict> &Out : Slots)
-      for (CheckVerdict &V : Out)
+    for (Slot &Out : Slots) {
+      Run.EmitMicros += Out.EmitMicros;
+      for (CheckVerdict &V : Out.Checks)
         Run.Checks.push_back(std::move(V));
+      for (cert::Certificate &Cert : Out.Certs)
+        Run.Certs.push_back(std::move(Cert));
+    }
     return;
   }
   case EngineKind::TVLAIndependent:
   case EngineKind::TVLARelational: {
     struct Slot {
       std::vector<CheckVerdict> Checks;
+      std::vector<cert::Certificate> Certs;
       DiagnosticEngine Diags;
       TVLAStats Tvla;
+      double EmitMicros = 0;
     };
     std::vector<Slot> Slots(CFG.Methods.size());
     std::vector<std::function<void()>> Tasks;
@@ -378,7 +428,14 @@ void runEngine(EngineKind K, const easl::Spec &S,
         TO.Relational = K == EngineKind::TVLARelational;
         TO.MaxStructuresPerPoint = Opts.TVLAMaxStructuresPerPoint;
         TO.Cancel = &Tok;
+        tvla::PointAnnotation Ann;
+        if (Opts.EmitCertificates)
+          TO.AnnotationOut = &Ann;
         tvla::TVLAResult R = tvla::certifyWithTVLA(S, Abs, M, TO, Out.Diags);
+        if (Opts.EmitCertificates)
+          Out.Certs.push_back(timed(Out.EmitMicros, [&] {
+            return cert::emitTvla(Abs, M, Ann, R, TO.Relational);
+          }));
         Out.Tvla.InternedStructures = R.InternedStructures;
         Out.Tvla.TransferCacheHits = R.TransferCacheHits;
         Out.Tvla.TransferCacheMisses = R.TransferCacheMisses;
@@ -400,8 +457,11 @@ void runEngine(EngineKind K, const easl::Spec &S,
       Run.Tvla.TransferCacheMisses += Out.Tvla.TransferCacheMisses;
       Run.Tvla.MaxStructuresPerPoint = std::max(
           Run.Tvla.MaxStructuresPerPoint, Out.Tvla.MaxStructuresPerPoint);
+      Run.EmitMicros += Out.EmitMicros;
       for (CheckVerdict &V : Out.Checks)
         Run.Checks.push_back(std::move(V));
+      for (cert::Certificate &Cert : Out.Certs)
+        Run.Certs.push_back(std::move(Cert));
     }
     return;
   }
@@ -466,6 +526,34 @@ CertificationReport Certifier::certify(const cj::Program &P,
     try {
       EngineRun Run;
       runEngine(K, S, Abs, Opts, CFG, Diags, Tok, Pool, Run);
+
+      CertificateStats CS;
+      CS.EmitMicros = Run.EmitMicros;
+      for (const cert::Certificate &Cert : Run.Certs) {
+        ++CS.Count;
+        CS.Bytes += Cert.bytes();
+        CS.RawEntries += Cert.RawEntries;
+        CS.StoredEntries += Cert.StoredEntries;
+      }
+      if (Opts.EmitCertificates && Opts.CheckCertificates) {
+        // Re-validate before accepting the rung: a rejected certificate
+        // means the rung's Proven verdicts are not independently
+        // justified, which is a structured failure (never a silent
+        // downgrade) and, with degradation on, falls down the ladder.
+        cert::Checker Ck(S, Abs, CFG);
+        for (const cert::Certificate &Cert : Run.Certs) {
+          cert::CheckResult CR = Ck.check(Cert);
+          CS.CheckMicros += CR.Micros;
+          if (!CR.Valid)
+            throw CertifyError(CertifyErrorKind::CertificateInvalid,
+                               "certificate rejected: " + CR.Reason,
+                               engineName(K));
+        }
+        CS.Checked = true;
+      }
+      Report.Certificates = std::move(Run.Certs);
+      Report.CertStats = CS;
+
       At.Completed = true;
       At.Spend = Tok.spend();
       Report.Stages.push_back(std::move(At));

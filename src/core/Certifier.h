@@ -18,6 +18,7 @@
 #define CANVAS_CORE_CERTIFIER_H
 
 #include "boolprog/Analysis.h"
+#include "cert/Certificate.h"
 #include "client/Parser.h"
 #include "core/Verdict.h"
 #include "dataflow/PreAnalysis.h"
@@ -116,6 +117,24 @@ struct StageAttempt {
   support::ResourceSpend Spend;
 };
 
+/// Aggregate statistics of proof-carrying-certificate emission and
+/// checking for one report (zero unless CertifierOptions::
+/// EmitCertificates was set).
+struct CertificateStats {
+  unsigned Count = 0;
+  /// Serialized bytes across all certificates.
+  size_t Bytes = 0;
+  /// Fixpoint annotation entries computed / actually stored after the
+  /// size-reduction pruning.
+  uint64_t RawEntries = 0;
+  uint64_t StoredEntries = 0;
+  double EmitMicros = 0;
+  /// Independent-checker time (CheckCertificates only).
+  double CheckMicros = 0;
+  /// True when every certificate was re-validated by cert::Checker.
+  bool Checked = false;
+};
+
 struct CertificationReport {
   std::vector<CheckVerdict> Checks;
   std::vector<LintFinding> Lints;
@@ -138,6 +157,10 @@ struct CertificationReport {
   bool Degraded = false;
   /// Every rung attempted, in ladder order, with its resource spend.
   std::vector<StageAttempt> Stages;
+  /// Proof-carrying certificates backing this report's Safe/Unreachable
+  /// verdicts, one per analyzed unit (empty unless EmitCertificates).
+  std::vector<cert::Certificate> Certificates;
+  CertificateStats CertStats;
 
   size_t numChecks() const { return Checks.size(); }
   unsigned numFlagged() const;
@@ -175,6 +198,18 @@ struct CertifierOptions {
   /// before joining overflow structures (tvla::TVLAOptions::
   /// MaxStructuresPerPoint); lowering it trades precision for space.
   unsigned TVLAMaxStructuresPerPoint = 256;
+  /// Emit a proof-carrying certificate per analyzed unit, carrying the
+  /// engine's fixpoint evidence for every Safe/Unreachable verdict
+  /// (CertificationReport::Certificates). The SCMPIntra engine then
+  /// analyzes each method unsliced (Stage-0 stays lint-only), since a
+  /// per-slice annotation is not independently checkable.
+  bool EmitCertificates = false;
+  /// Re-validate every emitted certificate with the independent
+  /// cert::Checker before the rung's verdicts are accepted. A rejected
+  /// certificate raises CertifyError(CertificateInvalid) — with
+  /// degradation on, the supervisor falls to the next rung rather than
+  /// reporting unproven verdicts as Proven.
+  bool CheckCertificates = false;
 };
 
 /// A generated certifier: a derived abstraction bound to a component

@@ -3,380 +3,359 @@
 #include "support/Casting.h"
 
 #include <deque>
-#include <set>
 
 using namespace canvas;
 using namespace canvas::core;
+using namespace canvas::core::baseline;
 using namespace canvas::easl;
 
-namespace {
-
-/// An allocation site: client CFG edge plus the ordinal of the `new`
-/// inside that edge's (inlined) component behavior. -1 encodes the
-/// unknown object.
-using Loc = int;
-constexpr Loc UnknownLoc = -1;
-
-/// A may-point-to set. Contains UnknownLoc when the value is arbitrary.
-using LocSet = std::set<Loc>;
-
-struct AbsState {
-  std::map<std::string, LocSet> Vars;
-  std::map<std::pair<Loc, std::string>, LocSet> Heap;
-  /// Sites already allocated along some path to this point; used to
-  /// detect re-allocation (summarization).
-  std::set<Loc> Allocated;
-
-  bool join(const AbsState &O) {
-    bool Changed = false;
-    for (const auto &[V, S] : O.Vars) {
-      LocSet &Mine = Vars[V];
-      for (Loc L : S)
-        Changed |= Mine.insert(L).second;
-    }
-    for (const auto &[K, S] : O.Heap) {
-      LocSet &Mine = Heap[K];
-      for (Loc L : S)
-        Changed |= Mine.insert(L).second;
-    }
-    for (Loc L : O.Allocated)
-      Changed |= Allocated.insert(L).second;
-    return Changed;
+bool AbsState::join(const AbsState &O) {
+  bool Changed = false;
+  for (const auto &[V, S] : O.Vars) {
+    LocSet &Mine = Vars[V];
+    for (Loc L : S)
+      Changed |= Mine.insert(L).second;
   }
-};
+  for (const auto &[K, S] : O.Heap) {
+    LocSet &Mine = Heap[K];
+    for (Loc L : S)
+      Changed |= Mine.insert(L).second;
+  }
+  for (Loc L : O.Allocated)
+    Changed |= Allocated.insert(L).second;
+  return Changed;
+}
 
-class AllocSiteAnalysis {
-public:
-  AllocSiteAnalysis(const Spec &S, const cj::CFGMethod &M,
-                    support::CancelToken *Cancel)
-      : S(S), M(M), Cancel(Cancel) {}
+AbsState AllocSiteTransfer::entryState(const cj::CFGMethod &M) {
+  AbsState St;
+  for (const auto &[V, T] : M.CompVars)
+    St.Vars[V] = {UnknownLoc};
+  return St;
+}
 
-  BaselineResult run() {
-    std::vector<AbsState> In(M.NumNodes);
-    std::vector<bool> Reached(M.NumNodes, false);
+Loc AllocSiteTransfer::freshSite(int Edge, AbsState &St, Ctx &C) const {
+  Loc L = Edge * 64 + (C.AllocOrdinal++);
+  if (!St.Allocated.insert(L).second)
+    C.Multi.insert(L);
+  return L;
+}
+
+void AllocSiteTransfer::apply(int Edge, AbsState &St, std::set<Loc> &Multi,
+                              std::map<CheckSite, bool> *Flagged) const {
+  Ctx C{Multi, Flagged};
+  const cj::Action &A = M.Edges[Edge].Act;
+  switch (A.K) {
+  case cj::Action::Kind::Nop:
+    return;
+  case cj::Action::Kind::Copy:
+    St.Vars[A.Lhs] = St.Vars[A.Args[0]];
+    return;
+  case cj::Action::Kind::Havoc:
+    St.Vars[A.Lhs] = {UnknownLoc};
+    return;
+  case cj::Action::Kind::ClientCall:
+  case cj::Action::Kind::OpaqueEffect: {
+    // The generic intraprocedural baseline clobbers everything.
+    for (auto &[V, Set] : St.Vars)
+      Set = {UnknownLoc};
+    for (auto &[K, Set] : St.Heap)
+      Set = {UnknownLoc};
+    return;
+  }
+  case cj::Action::Kind::AllocComp: {
+    std::vector<LocSet> Args;
+    for (const std::string &V : A.Args)
+      Args.push_back(V.empty() ? LocSet{UnknownLoc} : St.Vars[V]);
+    LocSet Obj = construct(Edge, A.Callee, Args, St, C);
+    if (!A.Lhs.empty())
+      St.Vars[A.Lhs] = Obj;
+    return;
+  }
+  case cj::Action::Kind::CompCall: {
+    const ClassDecl *Cls = nullptr;
+    // The receiver's static type determines the spec method.
     for (const auto &[V, T] : M.CompVars)
-      In[M.Entry].Vars[V] = {UnknownLoc};
-    Reached[M.Entry] = true;
-
-    std::vector<std::vector<int>> OutEdges(M.NumNodes);
-    for (size_t E = 0; E != M.Edges.size(); ++E)
-      OutEdges[M.Edges[E].From].push_back(static_cast<int>(E));
-
-    // The summarized-site set (Multi) is discovered during propagation
-    // but is not part of the per-node states, so the fixpoint is
-    // re-seeded until it stabilizes; check verdicts from the final pass
-    // then see the complete Multi set.
-    size_t MultiBefore;
-    do {
-      MultiBefore = Multi.size();
-      std::deque<int> Worklist;
-      std::vector<bool> Queued(M.NumNodes, false);
-      for (int N = 0; N != M.NumNodes; ++N)
-        if (Reached[N]) {
-          Worklist.push_back(N);
-          Queued[N] = true;
-        }
-      while (!Worklist.empty()) {
-        support::faultProbe("generic.allocsite");
-        if (Cancel)
-          Cancel->tick();
-        int N = Worklist.front();
-        Worklist.pop_front();
-        Queued[N] = false;
-        ++Result.Iterations;
-        for (int EIdx : OutEdges[N]) {
-          const cj::CFGEdge &E = M.Edges[EIdx];
-          AbsState Out = In[N];
-          transfer(EIdx, E.Act, Out);
-          bool Changed = !Reached[E.To] || In[E.To].join(Out);
-          if (!Reached[E.To]) {
-            In[E.To] = std::move(Out);
-            Reached[E.To] = true;
-          }
-          if (Changed && !Queued[E.To]) {
-            Queued[E.To] = true;
-            Worklist.push_back(E.To);
-          }
-        }
-      }
-    } while (Multi.size() != MultiBefore);
-    return std::move(Result);
-  }
-
-private:
-  /// Sites allocated more than once per execution (summarized).
-  std::set<Loc> Multi;
-  int AllocOrdinal = 0; ///< Reset per transfer; combined with edge id.
-
-  Loc freshSite(int Edge, AbsState &St) {
-    Loc L = Edge * 64 + (AllocOrdinal++);
-    if (!St.Allocated.insert(L).second)
-      Multi.insert(L);
-    return L;
-  }
-
-  void transfer(int Edge, const cj::Action &A, AbsState &St) {
-    AllocOrdinal = 0;
-    switch (A.K) {
-    case cj::Action::Kind::Nop:
+      if (V == A.Recv)
+        Cls = S.findClass(T);
+    const MethodDecl *Method = Cls ? Cls->findMethod(A.Callee) : nullptr;
+    if (!Method)
       return;
-    case cj::Action::Kind::Copy:
-      St.Vars[A.Lhs] = St.Vars[A.Args[0]];
-      return;
-    case cj::Action::Kind::Havoc:
-      St.Vars[A.Lhs] = {UnknownLoc};
-      return;
-    case cj::Action::Kind::ClientCall:
-    case cj::Action::Kind::OpaqueEffect: {
-      // The generic intraprocedural baseline clobbers everything.
-      for (auto &[V, S] : St.Vars)
-        S = {UnknownLoc};
-      for (auto &[K, S] : St.Heap)
-        S = {UnknownLoc};
-      return;
-    }
-    case cj::Action::Kind::AllocComp: {
-      std::vector<LocSet> Args;
-      for (const std::string &V : A.Args)
-        Args.push_back(V.empty() ? LocSet{UnknownLoc} : St.Vars[V]);
-      LocSet Obj = construct(Edge, A.Callee, Args, St);
-      if (!A.Lhs.empty())
-        St.Vars[A.Lhs] = Obj;
-      return;
-    }
-    case cj::Action::Kind::CompCall: {
-      const ClassDecl *C = nullptr;
-      // The receiver's static type determines the spec method.
-      for (const auto &[V, T] : M.CompVars)
-        if (V == A.Recv)
-          C = S.findClass(T);
-      const MethodDecl *Method = C ? C->findMethod(A.Callee) : nullptr;
-      if (!Method)
-        return;
-      Frame F;
-      F.Class = C;
-      F.Vars["this"] = St.Vars[A.Recv];
-      for (size_t I = 0; I != Method->Params.size() && I != A.Args.size();
-           ++I)
-        F.Vars[Method->Params[I].Name] =
-            A.Args[I].empty() ? LocSet{UnknownLoc} : St.Vars[A.Args[I]];
-      CheckSite Site;
-      Site.Method = M.name();
-      Site.Edge = Edge;
-      LocSet Ret = execBody(Edge, Method->Body, F, St, &Site);
-      if (!A.Lhs.empty())
-        St.Vars[A.Lhs] = Ret;
-      return;
-    }
-    }
+    Frame F;
+    F.Class = Cls;
+    F.Vars["this"] = St.Vars[A.Recv];
+    for (size_t I = 0; I != Method->Params.size() && I != A.Args.size(); ++I)
+      F.Vars[Method->Params[I].Name] =
+          A.Args[I].empty() ? LocSet{UnknownLoc} : St.Vars[A.Args[I]];
+    CheckSite Site;
+    Site.Method = M.name();
+    Site.Edge = Edge;
+    LocSet Ret = execBody(Edge, Method->Body, F, St, &Site, C);
+    if (!A.Lhs.empty())
+      St.Vars[A.Lhs] = Ret;
+    return;
   }
-
-  struct Frame {
-    const ClassDecl *Class = nullptr;
-    std::map<std::string, LocSet> Vars;
-  };
-
-  LocSet evalPath(const Frame &F, const PathExpr &P, const AbsState &St) {
-    if (P.Components.empty())
-      return {UnknownLoc};
-    LocSet Cur;
-    size_t First = 1;
-    auto It = F.Vars.find(P.Components.front());
-    if (It != F.Vars.end()) {
-      Cur = It->second;
-    } else if (F.Class && F.Class->findField(P.Components.front())) {
-      auto ThisIt = F.Vars.find("this");
-      LocSet This = ThisIt == F.Vars.end() ? LocSet{} : ThisIt->second;
-      Cur = loadField(This, P.Components.front(), St);
-    } else {
-      return {UnknownLoc};
-    }
-    for (size_t I = First; I < P.Components.size(); ++I)
-      Cur = loadField(Cur, P.Components[I], St);
-    return Cur;
   }
+}
 
-  LocSet loadField(const LocSet &Objs, const std::string &Field,
-                   const AbsState &St) {
-    LocSet Out;
-    for (Loc L : Objs) {
-      if (L == UnknownLoc) {
-        Out.insert(UnknownLoc);
-        continue;
-      }
-      auto It = St.Heap.find({L, Field});
-      if (It != St.Heap.end())
-        Out.insert(It->second.begin(), It->second.end());
-    }
-    return Out;
+LocSet AllocSiteTransfer::evalPath(const Frame &F, const PathExpr &P,
+                                   const AbsState &St) const {
+  if (P.Components.empty())
+    return {UnknownLoc};
+  LocSet Cur;
+  size_t First = 1;
+  auto It = F.Vars.find(P.Components.front());
+  if (It != F.Vars.end()) {
+    Cur = It->second;
+  } else if (F.Class && F.Class->findField(P.Components.front())) {
+    auto ThisIt = F.Vars.find("this");
+    LocSet This = ThisIt == F.Vars.end() ? LocSet{} : ThisIt->second;
+    Cur = loadField(This, P.Components.front(), St);
+  } else {
+    return {UnknownLoc};
   }
+  for (size_t I = First; I < P.Components.size(); ++I)
+    Cur = loadField(Cur, P.Components[I], St);
+  return Cur;
+}
 
-  void storeField(const LocSet &Objs, const std::string &Field, LocSet Val,
-                  AbsState &St) {
-    bool Strong = Objs.size() == 1 && !Objs.count(UnknownLoc) &&
-                  !Multi.count(*Objs.begin());
-    for (Loc L : Objs) {
-      if (L == UnknownLoc)
-        continue;
-      LocSet &Slot = St.Heap[{L, Field}];
-      if (Strong)
-        Slot = Val;
-      else
-        Slot.insert(Val.begin(), Val.end());
+LocSet AllocSiteTransfer::loadField(const LocSet &Objs,
+                                    const std::string &Field,
+                                    const AbsState &St) const {
+  LocSet Out;
+  for (Loc L : Objs) {
+    if (L == UnknownLoc) {
+      Out.insert(UnknownLoc);
+      continue;
     }
+    auto It = St.Heap.find({L, Field});
+    if (It != St.Heap.end())
+      Out.insert(It->second.begin(), It->second.end());
   }
+  return Out;
+}
 
-  /// True when the analysis can prove the two points-to sets denote the
-  /// same concrete object.
-  bool mustEqual(const LocSet &A, const LocSet &B) {
-    if (A.empty() && B.empty())
-      return true; // Both definitely null.
-    if (A.size() != 1 || B.size() != 1)
-      return false;
-    Loc L = *A.begin();
-    return L == *B.begin() && L != UnknownLoc && !Multi.count(L);
+void AllocSiteTransfer::storeField(const LocSet &Objs,
+                                   const std::string &Field, LocSet Val,
+                                   AbsState &St, const Ctx &C) const {
+  bool Strong = Objs.size() == 1 && !Objs.count(UnknownLoc) &&
+                !C.Multi.count(*Objs.begin());
+  for (Loc L : Objs) {
+    if (L == UnknownLoc)
+      continue;
+    LocSet &Slot = St.Heap[{L, Field}];
+    if (Strong)
+      Slot = Val;
+    else
+      Slot.insert(Val.begin(), Val.end());
   }
+}
 
-  /// Conservative 3-valued evaluation of a requires/if condition: returns
-  /// true only when the condition definitely holds.
-  bool definitelyHolds(const Frame &F, const Expr &E, const AbsState &St) {
-    switch (E.getKind()) {
-    case Expr::Kind::Compare: {
-      const auto *C = cast<CompareExpr>(&E);
-      LocSet L = evalPath(F, C->Lhs, St);
-      LocSet R = evalPath(F, C->Rhs, St);
-      if (C->Negated) {
-        // Definitely different: disjoint known singletons.
-        if (L.count(UnknownLoc) || R.count(UnknownLoc))
-          return false;
-        for (Loc X : L)
-          if (R.count(X))
-            return false;
-        return true;
-      }
-      return mustEqual(L, R);
-    }
-    case Expr::Kind::And: {
-      for (const ExprPtr &Op : cast<AndExpr>(&E)->Operands)
-        if (!definitelyHolds(F, *Op, St))
+/// True when the analysis can prove the two points-to sets denote the
+/// same concrete object.
+bool AllocSiteTransfer::mustEqual(const LocSet &A, const LocSet &B,
+                                  const Ctx &C) const {
+  if (A.empty() && B.empty())
+    return true; // Both definitely null.
+  if (A.size() != 1 || B.size() != 1)
+    return false;
+  Loc L = *A.begin();
+  return L == *B.begin() && L != UnknownLoc && !C.Multi.count(L);
+}
+
+/// Conservative 3-valued evaluation of a requires/if condition: returns
+/// true only when the condition definitely holds.
+bool AllocSiteTransfer::definitelyHolds(const Frame &F, const Expr &E,
+                                        const AbsState &St,
+                                        const Ctx &C) const {
+  switch (E.getKind()) {
+  case Expr::Kind::Compare: {
+    const auto *Cmp = cast<CompareExpr>(&E);
+    LocSet L = evalPath(F, Cmp->Lhs, St);
+    LocSet R = evalPath(F, Cmp->Rhs, St);
+    if (Cmp->Negated) {
+      // Definitely different: disjoint known singletons.
+      if (L.count(UnknownLoc) || R.count(UnknownLoc))
+        return false;
+      for (Loc X : L)
+        if (R.count(X))
           return false;
       return true;
     }
-    case Expr::Kind::Or: {
-      for (const ExprPtr &Op : cast<OrExpr>(&E)->Operands)
-        if (definitelyHolds(F, *Op, St))
-          return true;
-      return false;
-    }
-    case Expr::Kind::Not:
-      // Would need "definitely does not hold"; stay conservative.
-      return false;
-    case Expr::Kind::BoolConst:
-      return cast<BoolConstExpr>(&E)->Value;
-    }
+    return mustEqual(L, R, C);
+  }
+  case Expr::Kind::And: {
+    for (const ExprPtr &Op : cast<AndExpr>(&E)->Operands)
+      if (!definitelyHolds(F, *Op, St, C))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Or: {
+    for (const ExprPtr &Op : cast<OrExpr>(&E)->Operands)
+      if (definitelyHolds(F, *Op, St, C))
+        return true;
     return false;
   }
+  case Expr::Kind::Not:
+    // Would need "definitely does not hold"; stay conservative.
+    return false;
+  case Expr::Kind::BoolConst:
+    return cast<BoolConstExpr>(&E)->Value;
+  }
+  return false;
+}
 
-  LocSet construct(int Edge, const std::string &ClassName,
-                   const std::vector<LocSet> &Args, AbsState &St) {
-    const ClassDecl *C = S.findClass(ClassName);
-    if (!C)
-      return {UnknownLoc};
-    Loc Obj = freshSite(Edge, St);
-    const MethodDecl *Ctor = C->constructor();
-    if (!Ctor)
-      return {Obj};
-    Frame F;
-    F.Class = C;
-    F.Vars["this"] = {Obj};
-    for (size_t I = 0; I != Ctor->Params.size() && I != Args.size(); ++I)
-      F.Vars[Ctor->Params[I].Name] = Args[I];
-    execBody(Edge, Ctor->Body, F, St, nullptr);
+LocSet AllocSiteTransfer::construct(int Edge, const std::string &ClassName,
+                                    const std::vector<LocSet> &Args,
+                                    AbsState &St, Ctx &C) const {
+  const ClassDecl *Cls = S.findClass(ClassName);
+  if (!Cls)
+    return {UnknownLoc};
+  Loc Obj = freshSite(Edge, St, C);
+  const MethodDecl *Ctor = Cls->constructor();
+  if (!Ctor)
     return {Obj};
-  }
+  Frame F;
+  F.Class = Cls;
+  F.Vars["this"] = {Obj};
+  for (size_t I = 0; I != Ctor->Params.size() && I != Args.size(); ++I)
+    F.Vars[Ctor->Params[I].Name] = Args[I];
+  execBody(Edge, Ctor->Body, F, St, nullptr, C);
+  return {Obj};
+}
 
-  LocSet execBody(int Edge, const std::vector<StmtPtr> &Body, Frame &F,
-                  AbsState &St, const CheckSite *BaseSite) {
-    for (const StmtPtr &StPtr : Body) {
-      const Stmt &Stmt = *StPtr;
-      switch (Stmt.getKind()) {
-      case Stmt::Kind::Requires: {
-        const auto *Req = cast<RequiresStmt>(&Stmt);
-        if (BaseSite) {
-          CheckSite Site = *BaseSite;
-          Site.ReqLoc = Req->Loc;
-          bool &Flag = Result.Flagged[Site];
-          Flag = Flag || !definitelyHolds(F, *Req->Cond, St);
-        }
-        break;
+LocSet AllocSiteTransfer::execBody(int Edge, const std::vector<StmtPtr> &Body,
+                                   Frame &F, AbsState &St,
+                                   const CheckSite *BaseSite, Ctx &C) const {
+  for (const StmtPtr &StPtr : Body) {
+    const Stmt &Stmt = *StPtr;
+    switch (Stmt.getKind()) {
+    case Stmt::Kind::Requires: {
+      const auto *Req = cast<RequiresStmt>(&Stmt);
+      if (BaseSite && C.Flagged) {
+        CheckSite Site = *BaseSite;
+        Site.ReqLoc = Req->Loc;
+        bool &Flag = (*C.Flagged)[Site];
+        Flag = Flag || !definitelyHolds(F, *Req->Cond, St, C);
       }
-      case Stmt::Kind::Assign: {
-        const auto *A = cast<AssignStmt>(&Stmt);
-        LocSet Val = evalRhs(Edge, A->Rhs, F, St, BaseSite);
-        storePathAbs(A->Lhs, Val, F, St);
-        break;
-      }
-      case Stmt::Kind::Return:
-        return evalRhs(Edge, cast<ReturnStmt>(&Stmt)->Value, F, St,
-                       BaseSite);
-      case Stmt::Kind::If: {
-        // Nondeterministic join of both branches (conditions are not
-        // tracked precisely by the baseline).
-        const auto *I = cast<IfStmt>(&Stmt);
-        AbsState Copy = St;
-        execBody(Edge, I->Then, F, St, BaseSite);
-        Frame F2 = F;
-        execBody(Edge, I->Else, F2, Copy, BaseSite);
-        St.join(Copy);
-        break;
-      }
-      }
+      break;
     }
-    return {};
-  }
-
-  LocSet evalRhs(int Edge, const RhsExpr &R, Frame &F, AbsState &St,
-                 const CheckSite *BaseSite) {
-    (void)BaseSite;
-    if (!R.isNew())
-      return evalPath(F, R.P, St);
-    std::vector<LocSet> Args;
-    for (const PathExpr &A : R.Args)
-      Args.push_back(evalPath(F, A, St));
-    return construct(Edge, R.NewType, Args, St);
-  }
-
-  void storePathAbs(const PathExpr &P, LocSet Val, Frame &F, AbsState &St) {
-    if (P.Components.empty())
-      return;
-    if (P.Components.size() == 1 && F.Vars.count(P.Components[0]) &&
-        !(F.Class && F.Class->findField(P.Components[0]))) {
-      F.Vars[P.Components[0]] = std::move(Val);
-      return;
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(&Stmt);
+      LocSet Val = evalRhs(Edge, A->Rhs, F, St, C);
+      storePathAbs(A->Lhs, Val, F, St, C);
+      break;
     }
-    PathExpr Prefix = P;
-    Prefix.Components.pop_back();
-    LocSet Objs;
-    if (Prefix.Components.empty()) {
-      auto It = F.Vars.find("this");
-      if (It != F.Vars.end())
-        Objs = It->second;
-    } else {
-      Objs = evalPath(F, Prefix, St);
+    case Stmt::Kind::Return:
+      return evalRhs(Edge, cast<ReturnStmt>(&Stmt)->Value, F, St, C);
+    case Stmt::Kind::If: {
+      // Nondeterministic join of both branches (conditions are not
+      // tracked precisely by the baseline).
+      const auto *I = cast<IfStmt>(&Stmt);
+      AbsState Copy = St;
+      execBody(Edge, I->Then, F, St, BaseSite, C);
+      Frame F2 = F;
+      execBody(Edge, I->Else, F2, Copy, BaseSite, C);
+      St.join(Copy);
+      break;
     }
-    storeField(Objs, P.Components.back(), std::move(Val), St);
+    }
   }
+  return {};
+}
 
-  const Spec &S;
-  const cj::CFGMethod &M;
-  support::CancelToken *Cancel;
-  BaselineResult Result;
-};
+LocSet AllocSiteTransfer::evalRhs(int Edge, const RhsExpr &R, Frame &F,
+                                  AbsState &St, Ctx &C) const {
+  if (!R.isNew())
+    return evalPath(F, R.P, St);
+  std::vector<LocSet> Args;
+  for (const PathExpr &A : R.Args)
+    Args.push_back(evalPath(F, A, St));
+  return construct(Edge, R.NewType, Args, St, C);
+}
 
-} // namespace
+void AllocSiteTransfer::storePathAbs(const PathExpr &P, LocSet Val, Frame &F,
+                                     AbsState &St, const Ctx &C) const {
+  if (P.Components.empty())
+    return;
+  if (P.Components.size() == 1 && F.Vars.count(P.Components[0]) &&
+      !(F.Class && F.Class->findField(P.Components[0]))) {
+    F.Vars[P.Components[0]] = std::move(Val);
+    return;
+  }
+  PathExpr Prefix = P;
+  Prefix.Components.pop_back();
+  LocSet Objs;
+  if (Prefix.Components.empty()) {
+    auto It = F.Vars.find("this");
+    if (It != F.Vars.end())
+      Objs = It->second;
+  } else {
+    Objs = evalPath(F, Prefix, St);
+  }
+  storeField(Objs, P.Components.back(), std::move(Val), St, C);
+}
 
 BaselineResult core::analyzeAllocSite(const Spec &Spec,
                                       const cj::CFGMethod &Entry,
-                                      support::CancelToken *Cancel) {
-  return AllocSiteAnalysis(Spec, Entry, Cancel).run();
+                                      support::CancelToken *Cancel,
+                                      BaselineAnnotation *AnnotationOut) {
+  const cj::CFGMethod &M = Entry;
+  const AllocSiteTransfer T(Spec, M);
+  BaselineResult Result;
+
+  std::vector<AbsState> In(M.NumNodes);
+  std::vector<bool> Reached(M.NumNodes, false);
+  In[M.Entry] = AllocSiteTransfer::entryState(M);
+  Reached[M.Entry] = true;
+
+  std::vector<std::vector<int>> OutEdges(M.NumNodes);
+  for (size_t E = 0; E != M.Edges.size(); ++E)
+    OutEdges[M.Edges[E].From].push_back(static_cast<int>(E));
+
+  // Sites allocated more than once per execution (summarized). The
+  // Multi set is discovered during propagation but is not part of the
+  // per-node states, so the fixpoint is re-seeded until it stabilizes;
+  // check verdicts from the final pass then see the complete Multi set.
+  std::set<Loc> Multi;
+  size_t MultiBefore;
+  do {
+    MultiBefore = Multi.size();
+    std::deque<int> Worklist;
+    std::vector<bool> Queued(M.NumNodes, false);
+    for (int N = 0; N != M.NumNodes; ++N)
+      if (Reached[N]) {
+        Worklist.push_back(N);
+        Queued[N] = true;
+      }
+    while (!Worklist.empty()) {
+      support::faultProbe("generic.allocsite");
+      if (Cancel)
+        Cancel->tick();
+      int N = Worklist.front();
+      Worklist.pop_front();
+      Queued[N] = false;
+      ++Result.Iterations;
+      for (int EIdx : OutEdges[N]) {
+        const cj::CFGEdge &E = M.Edges[EIdx];
+        AbsState Out = In[N];
+        T.apply(EIdx, Out, Multi, &Result.Flagged);
+        bool Changed = !Reached[E.To] || In[E.To].join(Out);
+        if (!Reached[E.To]) {
+          In[E.To] = std::move(Out);
+          Reached[E.To] = true;
+        }
+        if (Changed && !Queued[E.To]) {
+          Queued[E.To] = true;
+          Worklist.push_back(E.To);
+        }
+      }
+    }
+  } while (Multi.size() != MultiBefore);
+
+  if (AnnotationOut) {
+    AnnotationOut->In = std::move(In);
+    AnnotationOut->Reached = std::move(Reached);
+    AnnotationOut->Multi = std::move(Multi);
+  }
+  return Result;
 }

@@ -14,6 +14,11 @@
 /// certify that this fragment is free of CMP errors"), while the staged
 /// certifier of Section 4 is precise.
 ///
+/// The one-edge transfer function (baseline::AllocSiteTransfer) is
+/// exposed separately from the fixpoint driver so the proof-carrying-
+/// certificate checker (cert::Checker) can re-apply edges against a
+/// claimed fixpoint annotation without running the reseeded worklist.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CANVAS_CORE_GENERICBASELINE_H
@@ -25,9 +30,93 @@
 #include "support/Budget.h"
 
 #include <map>
+#include <set>
 
 namespace canvas {
 namespace core {
+namespace baseline {
+
+/// An allocation site: client CFG edge plus the ordinal of the `new`
+/// inside that edge's (inlined) component behavior. -1 encodes the
+/// unknown object.
+using Loc = int;
+constexpr Loc UnknownLoc = -1;
+
+/// A may-point-to set. Contains UnknownLoc when the value is arbitrary.
+using LocSet = std::set<Loc>;
+
+struct AbsState {
+  std::map<std::string, LocSet> Vars;
+  std::map<std::pair<Loc, std::string>, LocSet> Heap;
+  /// Sites already allocated along some path to this point; used to
+  /// detect re-allocation (summarization).
+  std::set<Loc> Allocated;
+
+  bool join(const AbsState &O);
+  bool operator==(const AbsState &O) const = default;
+};
+
+/// The one-edge transfer function of the allocation-site analysis:
+/// applies a CFG action (inlining the component behavior of AllocComp /
+/// CompCall edges) to an abstract state. Shared by the fixpoint driver
+/// (analyzeAllocSite) and by cert::Checker; it carries no worklist,
+/// reseed loop, or verdict state of its own.
+class AllocSiteTransfer {
+public:
+  AllocSiteTransfer(const easl::Spec &Spec, const cj::CFGMethod &M)
+      : S(Spec), M(M) {}
+
+  /// The analysis' entry state for \p M: every component variable
+  /// unknown.
+  static AbsState entryState(const cj::CFGMethod &M);
+
+  /// Applies edge \p Edge to \p St in place. \p Multi is the set of
+  /// summarized (re-allocated) sites — read for must-alias reasoning
+  /// and extended when the transfer discovers a re-allocation. When
+  /// \p Flagged is non-null, each requires obligation's entry is OR-ed
+  /// with "could not prove it" (sticky across calls).
+  void apply(int Edge, AbsState &St, std::set<Loc> &Multi,
+             std::map<CheckSite, bool> *Flagged) const;
+
+private:
+  struct Frame {
+    const easl::ClassDecl *Class = nullptr;
+    std::map<std::string, LocSet> Vars;
+  };
+
+  /// Per-application mutable context threaded through the recursive
+  /// body execution (the transfer object itself stays const).
+  struct Ctx {
+    std::set<Loc> &Multi;
+    std::map<CheckSite, bool> *Flagged;
+    int AllocOrdinal = 0;
+  };
+
+  Loc freshSite(int Edge, AbsState &St, Ctx &C) const;
+  LocSet evalPath(const Frame &F, const easl::PathExpr &P,
+                  const AbsState &St) const;
+  LocSet loadField(const LocSet &Objs, const std::string &Field,
+                   const AbsState &St) const;
+  void storeField(const LocSet &Objs, const std::string &Field, LocSet Val,
+                  AbsState &St, const Ctx &C) const;
+  bool mustEqual(const LocSet &A, const LocSet &B, const Ctx &C) const;
+  bool definitelyHolds(const Frame &F, const easl::Expr &E,
+                       const AbsState &St, const Ctx &C) const;
+  LocSet construct(int Edge, const std::string &ClassName,
+                   const std::vector<LocSet> &Args, AbsState &St,
+                   Ctx &C) const;
+  LocSet execBody(int Edge, const std::vector<easl::StmtPtr> &Body, Frame &F,
+                  AbsState &St, const CheckSite *BaseSite, Ctx &C) const;
+  LocSet evalRhs(int Edge, const easl::RhsExpr &R, Frame &F, AbsState &St,
+                 Ctx &C) const;
+  void storePathAbs(const easl::PathExpr &P, LocSet Val, Frame &F,
+                    AbsState &St, const Ctx &C) const;
+
+  const easl::Spec &S;
+  const cj::CFGMethod &M;
+};
+
+} // namespace baseline
 
 struct BaselineResult {
   /// Per requires obligation: true when the analysis could not prove it
@@ -43,11 +132,23 @@ struct BaselineResult {
   }
 };
 
+/// The fixpoint annotation of the allocation-site analysis: the state
+/// on entry to each reached node when the reseeded worklist drained,
+/// plus the final summarized-site set. This is the evidence a
+/// proof-carrying certificate serializes for cert::Checker.
+struct BaselineAnnotation {
+  std::vector<baseline::AbsState> In; ///< Indexed by node; valid iff Reached.
+  std::vector<bool> Reached;
+  std::set<baseline::Loc> Multi;
+};
+
 /// Runs the intraprocedural allocation-site analysis on \p Entry.
 /// \p Cancel, when given, bounds the fixpoint (see support/Budget.h).
+/// \p AnnotationOut, when given, receives the final per-node states.
 BaselineResult analyzeAllocSite(const easl::Spec &Spec,
                                 const cj::CFGMethod &Entry,
-                                support::CancelToken *Cancel = nullptr);
+                                support::CancelToken *Cancel = nullptr,
+                                BaselineAnnotation *AnnotationOut = nullptr);
 
 } // namespace core
 } // namespace canvas

@@ -211,6 +211,62 @@ SolveResult<Problem> solve(const CFGInfo &Info, const Problem &P,
   return R;
 }
 
+/// Single-pass verification that a candidate solution \p R is a valid
+/// post-fixpoint of problem \p P: (a) the boundary node carries an
+/// annotation covering P.boundary(), and (b) every annotated state is
+/// closed under the edge transfer functions — each transferred
+/// contribution joins into its target annotation without change. A
+/// candidate passing both over-approximates solve()'s least fixpoint,
+/// so any property that holds of all annotated states holds of the
+/// reachable concrete states. This is the generic form of the
+/// coverage+closure obligation the proof-carrying certificate checker
+/// (cert::Checker) discharges for the engine-specific formats; it
+/// shares only the Problem's boundary/transfer/join evaluators with
+/// solve(), never the worklist. Returns false on the first violated
+/// obligation, describing it in \p WhyNot when non-null.
+template <typename Problem>
+bool checkSolution(const CFGInfo &Info, const Problem &P, Direction Dir,
+                   const SolveResult<Problem> &R,
+                   std::string *WhyNot = nullptr) {
+  const cj::CFGMethod &M = Info.method();
+  auto Fail = [&](std::string S) {
+    if (WhyNot)
+      *WhyNot = std::move(S);
+    return false;
+  };
+  if (R.States.size() != static_cast<size_t>(M.NumNodes))
+    return Fail("annotation size disagrees with the CFG");
+  int Boundary = Dir == Direction::Forward ? M.Entry : M.Exit;
+  if (!R.States[Boundary])
+    return Fail("boundary node " + std::to_string(Boundary) +
+                " has no annotation");
+  {
+    typename Problem::State Probe = *R.States[Boundary];
+    if (P.join(Probe, P.boundary()))
+      return Fail("boundary state not covered at node " +
+                  std::to_string(Boundary));
+  }
+  for (int N = 0; N != M.NumNodes; ++N) {
+    if (!R.States[N])
+      continue;
+    const std::vector<int> &EdgeList =
+        Dir == Direction::Forward ? Info.succEdges(N) : Info.predEdges(N);
+    for (int EIdx : EdgeList) {
+      const cj::CFGEdge &E = M.Edges[EIdx];
+      int Tgt = Dir == Direction::Forward ? E.To : E.From;
+      typename Problem::State Out = P.transfer(E, *R.States[N]);
+      if (!R.States[Tgt])
+        return Fail("annotated node " + std::to_string(N) +
+                    " flows into unannotated node " + std::to_string(Tgt));
+      typename Problem::State Probe = *R.States[Tgt];
+      if (P.join(Probe, Out))
+        return Fail("annotation not closed across edge " +
+                    std::to_string(E.From) + "->" + std::to_string(E.To));
+    }
+  }
+  return true;
+}
+
 /// Shared state shape for the bit-vector problems (definite assignment,
 /// liveness): one bit per component variable.
 using BitVector = std::vector<bool>;

@@ -34,6 +34,8 @@ enum class CertifyErrorKind {
   InternalInvariant, ///< A checked invariant failed (release-build
                      ///< replacement for assert on reachable paths).
   InjectedFault,     ///< Deterministic test fault (CANVAS_FAULT).
+  CertificateInvalid, ///< cert::Checker rejected a proof-carrying
+                      ///< certificate backing a Proven verdict.
 };
 
 inline const char *certifyErrorKindName(CertifyErrorKind K) {
@@ -52,6 +54,8 @@ inline const char *certifyErrorKindName(CertifyErrorKind K) {
     return "internal-invariant";
   case CertifyErrorKind::InjectedFault:
     return "injected-fault";
+  case CertifyErrorKind::CertificateInvalid:
+    return "certificate-invalid";
   }
   return "?";
 }

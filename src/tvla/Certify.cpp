@@ -2,9 +2,9 @@
 
 #include "support/Interner.h"
 #include "tvla/Structure.h"
+#include "tvla/Transfer.h"
 
 #include <deque>
-#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -14,444 +14,27 @@ using namespace canvas::wp;
 
 namespace {
 
-/// Candidate bindings for one argument of a predicate application: a
-/// fixed individual (quantified slot) or a points-to weighted choice
-/// (binder).
-struct ArgChoice {
-  bool Fixed = false;
-  unsigned Node = 0;
-  int PtPred = -1; ///< Valid when !Fixed.
-  std::string Binder;
-};
-
+/// The fixpoint driver over the shared tvla::Transfer evaluator: two
+/// worklist configurations (relational / independent-attribute) plus
+/// verdict synthesis from the accumulated check evaluations. Everything
+/// semantic about edges lives in Transfer; everything here is driver
+/// machinery (worklists, interning, memoization, caps, budgets) that
+/// the certificate checker must not depend on.
 class TVLAEngine {
 public:
   TVLAEngine(const easl::Spec &Spec, const DerivedAbstraction &Abs,
              const cj::CFGMethod &M, const TVLAOptions &Opts,
              DiagnosticEngine &Diags)
-      : Spec(Spec), Abs(Abs), M(M), Opts(Opts), Diags(Diags),
-        Vocab(tvp::buildVocabulary(Abs, M, Diags)) {
+      : Spec(Spec), M(M), Opts(Opts), T(Abs, M, Diags), Acc(T.makeAccum()) {
     (void)this->Spec;
-    FamPred.assign(Abs.Families.size(), -1);
-    for (size_t F = 0; F != Abs.Families.size(); ++F)
-      FamPred[F] = Vocab.findInstrPred(static_cast<int>(F));
   }
 
   TVLAResult run() {
-    enumerateChecks();
     fixpoint();
     return finish();
   }
 
 private:
-  //===------------------------------------------------------------------===//
-  // Check bookkeeping
-  //===------------------------------------------------------------------===//
-
-  struct ChkAcc {
-    SourceLoc Loc;
-    std::string What;
-    bool Seen = false;
-    Kleene Acc = Kleene::False;
-  };
-
-  const MethodAbstraction *abstractionFor(const cj::Action &A) const {
-    if (A.K == cj::Action::Kind::AllocComp)
-      return Abs.findMethod(A.Callee, "new");
-    if (A.K != cj::Action::Kind::CompCall)
-      return nullptr;
-    for (const auto &[V, T] : M.CompVars)
-      if (V == A.Recv)
-        return Abs.findMethod(T, A.Callee);
-    return nullptr;
-  }
-
-  void enumerateChecks() {
-    for (size_t E = 0; E != M.Edges.size(); ++E) {
-      const MethodAbstraction *MA = abstractionFor(M.Edges[E].Act);
-      if (!MA)
-        continue;
-      for (size_t R = 0; R != MA->RequiresFalse.size(); ++R) {
-        ChkAcc C;
-        C.Loc = M.Edges[E].Act.Loc;
-        C.What = M.Edges[E].Act.str() + " requires !" +
-                 MA->RequiresFalse[R].first.str(Abs.Families);
-        ChkIndex[{static_cast<int>(E), static_cast<int>(R)}] =
-            static_cast<int>(Checks.size());
-        Checks.push_back(std::move(C));
-      }
-    }
-  }
-
-  //===------------------------------------------------------------------===//
-  // Predicate application evaluation
-  //===------------------------------------------------------------------===//
-
-  using Binding = std::map<std::string, int>; ///< Binder -> pt pred.
-
-  /// Evaluates OR over binder assignments of
-  /// AND(points-to weights, instrumentation value), reading
-  /// instrumentation values from \p Snapshot.
-  Kleene evalApp(const Structure &S, const Structure &Snapshot,
-                 const PredApp &App,
-                 const std::map<std::string, unsigned> &QNodes,
-                 const Binding &Binders) {
-    int P = FamPred[App.Family];
-    if (P < 0)
-      return Kleene::Half; // Unsupported arity: conservative.
-    std::vector<ArgChoice> Choices(App.Args.size());
-    for (size_t I = 0; I != App.Args.size(); ++I) {
-      const std::string &A = App.Args[I];
-      auto QIt = QNodes.find(A);
-      if (QIt != QNodes.end()) {
-        Choices[I].Fixed = true;
-        Choices[I].Node = QIt->second;
-        continue;
-      }
-      auto BIt = Binders.find(A);
-      if (BIt == Binders.end())
-        return Kleene::Half; // Unknown binder: conservative.
-      Choices[I].PtPred = BIt->second;
-      Choices[I].Binder = A;
-    }
-    return evalChoices(S, Snapshot, P, Choices, 0, {}, {}, Kleene::True);
-  }
-
-  Kleene evalChoices(const Structure &S, const Structure &Snapshot, int P,
-                     std::vector<ArgChoice> &Choices, size_t I,
-                     std::vector<unsigned> Tuple,
-                     std::map<std::string, unsigned> Bound, Kleene Weight) {
-    if (Weight == Kleene::False)
-      return Kleene::False;
-    if (I == Choices.size())
-      return kAnd(Weight, Snapshot.at(P, Tuple));
-    const ArgChoice &C = Choices[I];
-    if (C.Fixed) {
-      Tuple.push_back(C.Node);
-      return evalChoices(S, Snapshot, P, Choices, I + 1, std::move(Tuple),
-                         std::move(Bound), Weight);
-    }
-    auto BIt = Bound.find(C.Binder);
-    if (BIt != Bound.end()) {
-      Tuple.push_back(BIt->second);
-      return evalChoices(S, Snapshot, P, Choices, I + 1, std::move(Tuple),
-                         std::move(Bound), Weight);
-    }
-    Kleene Acc = Kleene::False;
-    for (unsigned Node = 0; Node != S.numNodes(); ++Node) {
-      Kleene Pt = S.unary(C.PtPred, Node);
-      if (Pt == Kleene::False)
-        continue;
-      std::vector<unsigned> T2 = Tuple;
-      T2.push_back(Node);
-      std::map<std::string, unsigned> B2 = Bound;
-      B2[C.Binder] = Node;
-      Acc = kOr(Acc, evalChoices(S, Snapshot, P, Choices, I + 1,
-                                 std::move(T2), std::move(B2),
-                                 kAnd(Weight, Pt)));
-      if (Acc == Kleene::True)
-        return Acc;
-    }
-    return Acc;
-  }
-
-  //===------------------------------------------------------------------===//
-  // Transfer
-  //===------------------------------------------------------------------===//
-
-  std::string typeOfVar(const std::string &V) const {
-    for (const auto &[Name, T] : M.CompVars)
-      if (Name == V)
-        return T;
-    return "";
-  }
-
-  bool nodeHasType(const Structure &S, unsigned Node,
-                   const std::string &Type) const {
-    int P = Vocab.findTypePred(Type);
-    return P >= 0 && S.unary(P, Node) == Kleene::True;
-  }
-
-  void havocVar(Structure &S, const std::string &Var) {
-    std::string T = typeOfVar(Var);
-    // A fresh, unconstrained, possibly-aliasing object of the right
-    // type.
-    unsigned U = S.addNode();
-    S.setSummary(U, true);
-    if (int TP = Vocab.findTypePred(T); TP >= 0)
-      S.setUnary(TP, U, Kleene::True);
-    setInstrHalfAround(S, U);
-    int VP = Vocab.findVarPred(Var);
-    for (unsigned Node = 0; Node != S.numNodes(); ++Node)
-      S.setUnary(VP, Node,
-                 nodeHasType(S, Node, T) ? Kleene::Half : Kleene::False);
-  }
-
-  /// Sets every instrumentation tuple involving \p U (with matching slot
-  /// types) to 1/2.
-  void setInstrHalfAround(Structure &S, unsigned U) {
-    for (size_t F = 0; F != Abs.Families.size(); ++F) {
-      int P = FamPred[F];
-      if (P < 0)
-        continue;
-      const PredicateFamily &Fam = Abs.Families[F];
-      if (Fam.arity() == 1) {
-        if (nodeHasType(S, U, Fam.VarTypes[0]))
-          S.setUnary(P, U, Kleene::Half);
-        continue;
-      }
-      for (unsigned O = 0; O != S.numNodes(); ++O) {
-        if (nodeHasType(S, U, Fam.VarTypes[0]) &&
-            nodeHasType(S, O, Fam.VarTypes[1]))
-          S.setBinary(P, U, O, Kleene::Half);
-        if (nodeHasType(S, O, Fam.VarTypes[0]) &&
-            nodeHasType(S, U, Fam.VarTypes[1]))
-          S.setBinary(P, O, U, Kleene::Half);
-      }
-    }
-  }
-
-  void clobberInstr(Structure &S) {
-    for (size_t F = 0; F != Abs.Families.size(); ++F) {
-      int P = FamPred[F];
-      if (P < 0)
-        continue;
-      const PredicateFamily &Fam = Abs.Families[F];
-      for (unsigned A = 0; A != S.numNodes(); ++A) {
-        if (!nodeHasType(S, A, Fam.VarTypes[0]))
-          continue;
-        if (Fam.arity() == 1) {
-          S.setUnary(P, A, Kleene::Half);
-          continue;
-        }
-        for (unsigned B = 0; B != S.numNodes(); ++B)
-          if (nodeHasType(S, B, Fam.VarTypes[1]))
-            S.setBinary(P, A, B, Kleene::Half);
-      }
-    }
-  }
-
-  /// Applies one CFG action to a structure; returns the successor
-  /// structure (always exactly one — variable predicates stay definite,
-  /// so no focus is required) and records requires evaluations. Sets
-  /// \p Dead when no execution continues past the edge (every path
-  /// violates a requires clause and throws).
-  Structure transfer(const Structure &In, int EdgeIdx, bool &Dead) {
-    const cj::Action &A = M.Edges[EdgeIdx].Act;
-    Structure S = In;
-    switch (A.K) {
-    case cj::Action::Kind::Nop:
-      return S;
-    case cj::Action::Kind::Copy: {
-      int L = Vocab.findVarPred(A.Lhs);
-      int R = Vocab.findVarPred(A.Args[0]);
-      for (unsigned Node = 0; Node != S.numNodes(); ++Node)
-        S.setUnary(L, Node, S.unary(R, Node));
-      S.blur(Vocab);
-      return S;
-    }
-    case cj::Action::Kind::Havoc:
-      havocVar(S, A.Lhs);
-      S.blur(Vocab);
-      return S;
-    case cj::Action::Kind::ClientCall:
-    case cj::Action::Kind::OpaqueEffect:
-      clobberInstr(S);
-      if (!A.Lhs.empty())
-        havocVar(S, A.Lhs);
-      S.blur(Vocab);
-      return S;
-    case cj::Action::Kind::AllocComp:
-    case cj::Action::Kind::CompCall:
-      return transferComponentCall(S, EdgeIdx, A, Dead);
-    }
-    return S;
-  }
-
-  Structure transferComponentCall(Structure S, int EdgeIdx,
-                                  const cj::Action &A, bool &Dead) {
-    const MethodAbstraction *MA = abstractionFor(A);
-    if (!MA) {
-      clobberInstr(S);
-      S.blur(Vocab);
-      return S;
-    }
-
-    // Binder environment: binder name -> pt predicate.
-    Binding Binders;
-    if (MA->HasThis)
-      Binders["this"] = Vocab.findVarPred(A.Recv);
-    for (size_t I = 0; I != MA->Params.size() && I != A.Args.size(); ++I)
-      Binders[MA->Params[I].first] = Vocab.findVarPred(A.Args[I]);
-
-    // 1. Requires obligations against the pre-state; a failed clause
-    // throws, so continuing executions satisfied it (assume-refinement).
-    for (size_t R = 0; R != MA->RequiresFalse.size(); ++R) {
-      const PredApp &App = MA->RequiresFalse[R].first;
-      Kleene V = evalApp(S, S, App, {}, Binders);
-      ChkAcc &C = Checks[ChkIndex[{EdgeIdx, static_cast<int>(R)}]];
-      C.Acc = C.Seen ? kJoin(C.Acc, V) : V;
-      C.Seen = true;
-      if (V == Kleene::True) {
-        Dead = true; // Every execution throws here.
-        return S;
-      }
-      if (V == Kleene::Half)
-        assumeAppFalse(S, App, Binders);
-    }
-
-    // 2. Result modeling.
-    bool NewNode = A.K == cj::Action::Kind::AllocComp ||
-                   (!A.Lhs.empty() && MA->ReturnsFresh);
-    bool HavocLhsAfter = !A.Lhs.empty() && !NewNode;
-    unsigned N = 0;
-    if (NewNode) {
-      N = S.addNode();
-      if (int TP = Vocab.findTypePred(MA->ReturnType); TP >= 0)
-        S.setUnary(TP, N, Kleene::True);
-      int VP = Vocab.findVarPred(A.Lhs);
-      for (unsigned Node = 0; Node != S.numNodes(); ++Node)
-        S.setUnary(VP, Node, kleeneOf(Node == N));
-    }
-
-    // 3. Instrumentation updates from the derived rules (parallel:
-    // sources read the snapshot).
-    Structure Snapshot = S;
-    for (const UpdateRule &R : MA->Rules) {
-      if (R.IsIdentity)
-        continue;
-      int P = FamPred[R.Family];
-      if (P < 0)
-        continue;
-      bool UsesRet = false;
-      for (bool B : R.RetSlots)
-        UsesRet |= B;
-      if (UsesRet && !NewNode)
-        continue;
-      applyRule(S, Snapshot, R, Binders, NewNode, N);
-    }
-    // Tuples of the new node for masks the derivation folded away as
-    // constants (e.g. same(ret, ret) == 1).
-    if (NewNode)
-      applyConstantDiagonals(S, N);
-
-    if (HavocLhsAfter) {
-      Diags.warning(A.Loc, "result of '" + A.str() +
-                               "' is not provably fresh; treating "
-                               "conservatively");
-      havocVar(S, A.Lhs);
-    }
-    S.blur(Vocab);
-    return S;
-  }
-
-  /// Assume-refinement: on executions continuing past the check, the
-  /// requires predicate was false. When every binder resolves to one
-  /// definite individual, the instrumentation value at that tuple is
-  /// forced to 0.
-  void assumeAppFalse(Structure &S, const PredApp &App,
-                      const Binding &Binders) {
-    int P = FamPred[App.Family];
-    if (P < 0)
-      return;
-    std::vector<unsigned> Tuple;
-    std::map<std::string, unsigned> Bound;
-    for (const std::string &Arg : App.Args) {
-      auto BIt = Binders.find(Arg);
-      if (BIt == Binders.end())
-        return;
-      auto Prev = Bound.find(Arg);
-      if (Prev != Bound.end()) {
-        Tuple.push_back(Prev->second);
-        continue;
-      }
-      int Definite = -1;
-      for (unsigned Node = 0; Node != S.numNodes(); ++Node) {
-        Kleene Pt = S.unary(BIt->second, Node);
-        if (Pt == Kleene::Half)
-          return; // Indefinite pointer: cannot refine strongly.
-        if (Pt == Kleene::True) {
-          if (Definite >= 0)
-            return;
-          Definite = static_cast<int>(Node);
-        }
-      }
-      if (Definite < 0 || S.isSummary(Definite))
-        return;
-      Bound[Arg] = static_cast<unsigned>(Definite);
-      Tuple.push_back(static_cast<unsigned>(Definite));
-    }
-    S.setAt(P, Tuple, Kleene::False);
-  }
-
-  void applyRule(Structure &S, const Structure &Snapshot,
-                 const UpdateRule &R, const Binding &Binders, bool NewNode,
-                 unsigned N) {
-    const PredicateFamily &Fam = Abs.Families[R.Family];
-    int P = FamPred[R.Family];
-    std::vector<unsigned> Tuple(Fam.arity());
-    enumerateTargets(S, Snapshot, R, Fam, P, Binders, NewNode, N, 0, Tuple);
-  }
-
-  void enumerateTargets(Structure &S, const Structure &Snapshot,
-                        const UpdateRule &R, const PredicateFamily &Fam,
-                        int P, const Binding &Binders, bool NewNode,
-                        unsigned N, unsigned Slot,
-                        std::vector<unsigned> &Tuple) {
-    if (Slot == Fam.arity()) {
-      std::map<std::string, unsigned> QNodes;
-      for (unsigned I = 0; I != Fam.arity(); ++I)
-        if (!R.RetSlots[I])
-          QNodes["$q" + std::to_string(I)] = Tuple[I];
-      Kleene V = R.ConstantTrue ? Kleene::True : Kleene::False;
-      for (const PredApp &Src : R.Sources) {
-        if (V == Kleene::True)
-          break;
-        V = kOr(V, evalApp(Snapshot, Snapshot, Src, QNodes, Binders));
-      }
-      S.setAt(P, Tuple, V);
-      return;
-    }
-    if (R.RetSlots[Slot]) {
-      Tuple[Slot] = N;
-      enumerateTargets(S, Snapshot, R, Fam, P, Binders, NewNode, N,
-                       Slot + 1, Tuple);
-      return;
-    }
-    for (unsigned Node = 0; Node != S.numNodes(); ++Node) {
-      if (NewNode && Node == N)
-        continue; // The fresh node's tuples come from ret rules.
-      if (!nodeHasType(S, Node, Fam.VarTypes[Slot]))
-        continue;
-      Tuple[Slot] = Node;
-      enumerateTargets(S, Snapshot, R, Fam, P, Binders, NewNode, N,
-                       Slot + 1, Tuple);
-    }
-  }
-
-  void applyConstantDiagonals(Structure &S, unsigned N) {
-    for (size_t F = 0; F != Abs.Families.size(); ++F) {
-      int P = FamPred[F];
-      if (P < 0 || Abs.Families[F].arity() != 2)
-        continue;
-      const PredicateFamily &Fam = Abs.Families[F];
-      if (Fam.VarTypes[0] != Fam.VarTypes[1])
-        continue;
-      Conjunction Body;
-      InstResult IR = instantiateFamily(Fam, {"$d", "$d"},
-                                        Fam.VarTypes, Body);
-      if (IR == InstResult::True)
-        S.setBinary(P, N, N, Kleene::True);
-      else if (IR == InstResult::False)
-        S.setBinary(P, N, N, Kleene::False);
-      // Non-constant diagonals were handled by a (ret, ret) rule.
-    }
-  }
-
-  //===------------------------------------------------------------------===//
-  // Fixpoint
-  //===------------------------------------------------------------------===//
-
   /// Hash-consing functor for the structure pool.
   struct StructureHasher {
     uint64_t operator()(const Structure &S) const {
@@ -494,7 +77,8 @@ private:
     /// re-evaluation is observationally identical.
     std::unordered_map<uint64_t, std::pair<bool, support::InternId>> Memo;
 
-    support::InternId InitId = internStructure(Pool, Structure(Vocab));
+    support::InternId InitId =
+        internStructure(Pool, Structure(T.vocabulary()));
     Order[M.Entry].push_back(InitId);
     Set[M.Entry].insert(InitId);
 
@@ -541,7 +125,7 @@ private:
             OutId = MIt->second.second;
           } else {
             ++Result.TransferCacheMisses;
-            Structure Out = transfer(Pool.get(InId), EIdx, Dead);
+            Structure Out = T.apply(Pool.get(InId), EIdx, Dead, &Acc);
             if (!Dead)
               OutId = internStructure(Pool, std::move(Out));
             Memo.emplace(Key, std::make_pair(Dead, OutId));
@@ -565,7 +149,7 @@ private:
               // identical state could be admitted twice).
               support::InternId VictimId = Order[To].front();
               Structure Joined = Pool.get(VictimId);
-              Changed = Joined.joinWith(Pool.get(OutId), Vocab);
+              Changed = Joined.joinWith(Pool.get(OutId), T.vocabulary());
               if (Changed) {
                 support::InternId NewId =
                     internStructure(Pool, std::move(Joined));
@@ -590,14 +174,20 @@ private:
     }
 
     Result.InternedStructures = Pool.size();
+    if (Opts.AnnotationOut) {
+      Opts.AnnotationOut->PerNode.assign(M.NumNodes, {});
+      for (int N = 0; N != M.NumNodes; ++N)
+        for (support::InternId Id : Order[N])
+          Opts.AnnotationOut->PerNode[N].push_back(Pool.get(Id));
+    }
   }
 
   /// Independent-attribute configuration: a single joined structure per
   /// program point.
   void fixpointIndependent() {
-    std::vector<Structure> Ind(M.NumNodes, Structure(Vocab));
+    std::vector<Structure> Ind(M.NumNodes, Structure(T.vocabulary()));
     std::vector<bool> Reached(M.NumNodes, false);
-    Ind[M.Entry] = Structure(Vocab);
+    Ind[M.Entry] = Structure(T.vocabulary());
     Reached[M.Entry] = true;
 
     std::vector<std::vector<int>> OutEdges(M.NumNodes);
@@ -625,7 +215,7 @@ private:
       for (int EIdx : OutEdges[Node]) {
         int To = M.Edges[EIdx].To;
         bool Dead = false;
-        Structure Out = transfer(Ind[Node], EIdx, Dead);
+        Structure Out = T.apply(Ind[Node], EIdx, Dead, &Acc);
         if (Dead)
           continue;
         bool Changed = false;
@@ -636,7 +226,7 @@ private:
           if (Opts.Cancel)
             Opts.Cancel->addAllocation(Ind[To].approxBytes());
         } else {
-          Changed = Ind[To].joinWith(Out, Vocab);
+          Changed = Ind[To].joinWith(Out, T.vocabulary());
         }
         Reached[To] = true;
         if (Changed && !Queued[To]) {
@@ -645,13 +235,22 @@ private:
         }
       }
     }
+
+    if (Opts.AnnotationOut) {
+      Opts.AnnotationOut->PerNode.assign(M.NumNodes, {});
+      for (int N = 0; N != M.NumNodes; ++N)
+        if (Reached[N])
+          Opts.AnnotationOut->PerNode[N].push_back(Ind[N]);
+    }
   }
 
   TVLAResult finish() {
-    for (ChkAcc &C : Checks) {
+    const std::vector<TransferCheck> &Checks = T.checks();
+    for (size_t I = 0; I != Checks.size(); ++I) {
+      const CheckAccum::Cell &C = Acc.Cells[I];
       TVLAResult::Chk Out;
-      Out.Loc = C.Loc;
-      Out.What = C.What;
+      Out.Loc = Checks[I].Loc;
+      Out.What = Checks[I].What;
       if (!C.Seen)
         Out.Outcome = bp::CheckOutcome::Unreachable;
       else if (C.Acc == Kleene::False)
@@ -666,14 +265,10 @@ private:
   }
 
   const easl::Spec &Spec;
-  const DerivedAbstraction &Abs;
   const cj::CFGMethod &M;
   TVLAOptions Opts;
-  DiagnosticEngine &Diags;
-  tvp::Vocabulary Vocab;
-  std::vector<int> FamPred;
-  std::vector<ChkAcc> Checks;
-  std::map<std::pair<int, int>, int> ChkIndex;
+  Transfer T;
+  CheckAccum Acc;
   TVLAResult Result;
 };
 

@@ -22,6 +22,7 @@
 #include "boolprog/Analysis.h"
 #include "client/CFG.h"
 #include "easl/AST.h"
+#include "tvla/Structure.h"
 #include "wp/Abstraction.h"
 
 #include <string>
@@ -50,6 +51,16 @@ struct TVLAResult {
   uint64_t TransferCacheMisses = 0;
 };
 
+/// The engine's fixpoint annotation: the structures resident at each
+/// program point when the worklist drained (empty inner vector =
+/// unreachable point). Relational configuration: the per-point set in
+/// deterministic insertion order; independent-attribute: exactly one
+/// structure per reached point. This is the evidence a proof-carrying
+/// certificate serializes for cert::Checker.
+struct PointAnnotation {
+  std::vector<std::vector<Structure>> PerNode;
+};
+
 struct TVLAOptions {
   bool Relational = false;
   /// Relational engine: structures kept per point before the engine
@@ -60,6 +71,9 @@ struct TVLAOptions {
   /// once per worklist pop and informed of the resident structure
   /// population. See support/Budget.h.
   support::CancelToken *Cancel = nullptr;
+  /// When non-null, receives the final per-point structure sets (not
+  /// owned; overwritten).
+  PointAnnotation *AnnotationOut = nullptr;
 };
 
 /// Certifies one client method.

@@ -1,0 +1,414 @@
+#include "tvla/Transfer.h"
+
+using namespace canvas;
+using namespace canvas::tvla;
+using namespace canvas::wp;
+
+/// Candidate bindings for one argument of a predicate application: a
+/// fixed individual (quantified slot) or a points-to weighted choice
+/// (binder).
+struct Transfer::ArgChoice {
+  bool Fixed = false;
+  unsigned Node = 0;
+  int PtPred = -1; ///< Valid when !Fixed.
+  std::string Binder;
+};
+
+Transfer::Transfer(const DerivedAbstraction &Abs, const cj::CFGMethod &M,
+                   DiagnosticEngine &Diags)
+    : Abs(Abs), M(M), Diags(Diags),
+      Vocab(tvp::buildVocabulary(Abs, M, Diags)) {
+  FamPred.assign(Abs.Families.size(), -1);
+  for (size_t F = 0; F != Abs.Families.size(); ++F)
+    FamPred[F] = Vocab.findInstrPred(static_cast<int>(F));
+  enumerateChecks();
+}
+
+const MethodAbstraction *Transfer::abstractionFor(const cj::Action &A) const {
+  if (A.K == cj::Action::Kind::AllocComp)
+    return Abs.findMethod(A.Callee, "new");
+  if (A.K != cj::Action::Kind::CompCall)
+    return nullptr;
+  for (const auto &[V, T] : M.CompVars)
+    if (V == A.Recv)
+      return Abs.findMethod(T, A.Callee);
+  return nullptr;
+}
+
+void Transfer::enumerateChecks() {
+  for (size_t E = 0; E != M.Edges.size(); ++E) {
+    const MethodAbstraction *MA = abstractionFor(M.Edges[E].Act);
+    if (!MA)
+      continue;
+    for (size_t R = 0; R != MA->RequiresFalse.size(); ++R) {
+      TransferCheck C;
+      C.Edge = static_cast<int>(E);
+      C.Req = static_cast<int>(R);
+      C.Loc = M.Edges[E].Act.Loc;
+      C.What = M.Edges[E].Act.str() + " requires !" +
+               MA->RequiresFalse[R].first.str(Abs.Families);
+      ChkIndex[{static_cast<int>(E), static_cast<int>(R)}] =
+          static_cast<int>(Checks.size());
+      Checks.push_back(std::move(C));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Predicate application evaluation
+//===----------------------------------------------------------------------===//
+
+/// Evaluates OR over binder assignments of
+/// AND(points-to weights, instrumentation value), reading
+/// instrumentation values from \p Snapshot.
+Kleene Transfer::evalApp(const Structure &S, const Structure &Snapshot,
+                         const PredApp &App,
+                         const std::map<std::string, unsigned> &QNodes,
+                         const Binding &Binders) const {
+  int P = FamPred[App.Family];
+  if (P < 0)
+    return Kleene::Half; // Unsupported arity: conservative.
+  std::vector<ArgChoice> Choices(App.Args.size());
+  for (size_t I = 0; I != App.Args.size(); ++I) {
+    const std::string &A = App.Args[I];
+    auto QIt = QNodes.find(A);
+    if (QIt != QNodes.end()) {
+      Choices[I].Fixed = true;
+      Choices[I].Node = QIt->second;
+      continue;
+    }
+    auto BIt = Binders.find(A);
+    if (BIt == Binders.end())
+      return Kleene::Half; // Unknown binder: conservative.
+    Choices[I].PtPred = BIt->second;
+    Choices[I].Binder = A;
+  }
+  return evalChoices(S, Snapshot, P, Choices, 0, {}, {}, Kleene::True);
+}
+
+Kleene Transfer::evalChoices(const Structure &S, const Structure &Snapshot,
+                             int P, std::vector<ArgChoice> &Choices, size_t I,
+                             std::vector<unsigned> Tuple,
+                             std::map<std::string, unsigned> Bound,
+                             Kleene Weight) const {
+  if (Weight == Kleene::False)
+    return Kleene::False;
+  if (I == Choices.size())
+    return kAnd(Weight, Snapshot.at(P, Tuple));
+  const ArgChoice &C = Choices[I];
+  if (C.Fixed) {
+    Tuple.push_back(C.Node);
+    return evalChoices(S, Snapshot, P, Choices, I + 1, std::move(Tuple),
+                       std::move(Bound), Weight);
+  }
+  auto BIt = Bound.find(C.Binder);
+  if (BIt != Bound.end()) {
+    Tuple.push_back(BIt->second);
+    return evalChoices(S, Snapshot, P, Choices, I + 1, std::move(Tuple),
+                       std::move(Bound), Weight);
+  }
+  Kleene Acc = Kleene::False;
+  for (unsigned Node = 0; Node != S.numNodes(); ++Node) {
+    Kleene Pt = S.unary(C.PtPred, Node);
+    if (Pt == Kleene::False)
+      continue;
+    std::vector<unsigned> T2 = Tuple;
+    T2.push_back(Node);
+    std::map<std::string, unsigned> B2 = Bound;
+    B2[C.Binder] = Node;
+    Acc = kOr(Acc, evalChoices(S, Snapshot, P, Choices, I + 1, std::move(T2),
+                               std::move(B2), kAnd(Weight, Pt)));
+    if (Acc == Kleene::True)
+      return Acc;
+  }
+  return Acc;
+}
+
+//===----------------------------------------------------------------------===//
+// Transfer
+//===----------------------------------------------------------------------===//
+
+std::string Transfer::typeOfVar(const std::string &V) const {
+  for (const auto &[Name, T] : M.CompVars)
+    if (Name == V)
+      return T;
+  return "";
+}
+
+bool Transfer::nodeHasType(const Structure &S, unsigned Node,
+                           const std::string &Type) const {
+  int P = Vocab.findTypePred(Type);
+  return P >= 0 && S.unary(P, Node) == Kleene::True;
+}
+
+void Transfer::havocVar(Structure &S, const std::string &Var) const {
+  std::string T = typeOfVar(Var);
+  // A fresh, unconstrained, possibly-aliasing object of the right
+  // type.
+  unsigned U = S.addNode();
+  S.setSummary(U, true);
+  if (int TP = Vocab.findTypePred(T); TP >= 0)
+    S.setUnary(TP, U, Kleene::True);
+  setInstrHalfAround(S, U);
+  int VP = Vocab.findVarPred(Var);
+  for (unsigned Node = 0; Node != S.numNodes(); ++Node)
+    S.setUnary(VP, Node,
+               nodeHasType(S, Node, T) ? Kleene::Half : Kleene::False);
+}
+
+/// Sets every instrumentation tuple involving \p U (with matching slot
+/// types) to 1/2.
+void Transfer::setInstrHalfAround(Structure &S, unsigned U) const {
+  for (size_t F = 0; F != Abs.Families.size(); ++F) {
+    int P = FamPred[F];
+    if (P < 0)
+      continue;
+    const PredicateFamily &Fam = Abs.Families[F];
+    if (Fam.arity() == 1) {
+      if (nodeHasType(S, U, Fam.VarTypes[0]))
+        S.setUnary(P, U, Kleene::Half);
+      continue;
+    }
+    for (unsigned O = 0; O != S.numNodes(); ++O) {
+      if (nodeHasType(S, U, Fam.VarTypes[0]) &&
+          nodeHasType(S, O, Fam.VarTypes[1]))
+        S.setBinary(P, U, O, Kleene::Half);
+      if (nodeHasType(S, O, Fam.VarTypes[0]) &&
+          nodeHasType(S, U, Fam.VarTypes[1]))
+        S.setBinary(P, O, U, Kleene::Half);
+    }
+  }
+}
+
+void Transfer::clobberInstr(Structure &S) const {
+  for (size_t F = 0; F != Abs.Families.size(); ++F) {
+    int P = FamPred[F];
+    if (P < 0)
+      continue;
+    const PredicateFamily &Fam = Abs.Families[F];
+    for (unsigned A = 0; A != S.numNodes(); ++A) {
+      if (!nodeHasType(S, A, Fam.VarTypes[0]))
+        continue;
+      if (Fam.arity() == 1) {
+        S.setUnary(P, A, Kleene::Half);
+        continue;
+      }
+      for (unsigned B = 0; B != S.numNodes(); ++B)
+        if (nodeHasType(S, B, Fam.VarTypes[1]))
+          S.setBinary(P, A, B, Kleene::Half);
+    }
+  }
+}
+
+Structure Transfer::apply(const Structure &In, int EdgeIdx, bool &Dead,
+                          CheckAccum *Acc) const {
+  const cj::Action &A = M.Edges[EdgeIdx].Act;
+  Structure S = In;
+  switch (A.K) {
+  case cj::Action::Kind::Nop:
+    return S;
+  case cj::Action::Kind::Copy: {
+    int L = Vocab.findVarPred(A.Lhs);
+    int R = Vocab.findVarPred(A.Args[0]);
+    for (unsigned Node = 0; Node != S.numNodes(); ++Node)
+      S.setUnary(L, Node, S.unary(R, Node));
+    S.blur(Vocab);
+    return S;
+  }
+  case cj::Action::Kind::Havoc:
+    havocVar(S, A.Lhs);
+    S.blur(Vocab);
+    return S;
+  case cj::Action::Kind::ClientCall:
+  case cj::Action::Kind::OpaqueEffect:
+    clobberInstr(S);
+    if (!A.Lhs.empty())
+      havocVar(S, A.Lhs);
+    S.blur(Vocab);
+    return S;
+  case cj::Action::Kind::AllocComp:
+  case cj::Action::Kind::CompCall:
+    return transferComponentCall(std::move(S), EdgeIdx, A, Dead, Acc);
+  }
+  return S;
+}
+
+Structure Transfer::transferComponentCall(Structure S, int EdgeIdx,
+                                          const cj::Action &A, bool &Dead,
+                                          CheckAccum *Acc) const {
+  const MethodAbstraction *MA = abstractionFor(A);
+  if (!MA) {
+    clobberInstr(S);
+    S.blur(Vocab);
+    return S;
+  }
+
+  // Binder environment: binder name -> pt predicate.
+  Binding Binders;
+  if (MA->HasThis)
+    Binders["this"] = Vocab.findVarPred(A.Recv);
+  for (size_t I = 0; I != MA->Params.size() && I != A.Args.size(); ++I)
+    Binders[MA->Params[I].first] = Vocab.findVarPred(A.Args[I]);
+
+  // 1. Requires obligations against the pre-state; a failed clause
+  // throws, so continuing executions satisfied it (assume-refinement).
+  for (size_t R = 0; R != MA->RequiresFalse.size(); ++R) {
+    const PredApp &App = MA->RequiresFalse[R].first;
+    Kleene V = evalApp(S, S, App, {}, Binders);
+    if (Acc)
+      Acc->note(ChkIndex.at({EdgeIdx, static_cast<int>(R)}), V);
+    if (V == Kleene::True) {
+      Dead = true; // Every execution throws here.
+      return S;
+    }
+    if (V == Kleene::Half)
+      assumeAppFalse(S, App, Binders);
+  }
+
+  // 2. Result modeling.
+  bool NewNode = A.K == cj::Action::Kind::AllocComp ||
+                 (!A.Lhs.empty() && MA->ReturnsFresh);
+  bool HavocLhsAfter = !A.Lhs.empty() && !NewNode;
+  unsigned N = 0;
+  if (NewNode) {
+    N = S.addNode();
+    if (int TP = Vocab.findTypePred(MA->ReturnType); TP >= 0)
+      S.setUnary(TP, N, Kleene::True);
+    int VP = Vocab.findVarPred(A.Lhs);
+    for (unsigned Node = 0; Node != S.numNodes(); ++Node)
+      S.setUnary(VP, Node, kleeneOf(Node == N));
+  }
+
+  // 3. Instrumentation updates from the derived rules (parallel:
+  // sources read the snapshot).
+  Structure Snapshot = S;
+  for (const UpdateRule &R : MA->Rules) {
+    if (R.IsIdentity)
+      continue;
+    int P = FamPred[R.Family];
+    if (P < 0)
+      continue;
+    bool UsesRet = false;
+    for (bool B : R.RetSlots)
+      UsesRet |= B;
+    if (UsesRet && !NewNode)
+      continue;
+    applyRule(S, Snapshot, R, Binders, NewNode, N);
+  }
+  // Tuples of the new node for masks the derivation folded away as
+  // constants (e.g. same(ret, ret) == 1).
+  if (NewNode)
+    applyConstantDiagonals(S, N);
+
+  if (HavocLhsAfter) {
+    Diags.warning(A.Loc, "result of '" + A.str() +
+                             "' is not provably fresh; treating "
+                             "conservatively");
+    havocVar(S, A.Lhs);
+  }
+  S.blur(Vocab);
+  return S;
+}
+
+/// Assume-refinement: on executions continuing past the check, the
+/// requires predicate was false. When every binder resolves to one
+/// definite individual, the instrumentation value at that tuple is
+/// forced to 0.
+void Transfer::assumeAppFalse(Structure &S, const PredApp &App,
+                              const Binding &Binders) const {
+  int P = FamPred[App.Family];
+  if (P < 0)
+    return;
+  std::vector<unsigned> Tuple;
+  std::map<std::string, unsigned> Bound;
+  for (const std::string &Arg : App.Args) {
+    auto BIt = Binders.find(Arg);
+    if (BIt == Binders.end())
+      return;
+    auto Prev = Bound.find(Arg);
+    if (Prev != Bound.end()) {
+      Tuple.push_back(Prev->second);
+      continue;
+    }
+    int Definite = -1;
+    for (unsigned Node = 0; Node != S.numNodes(); ++Node) {
+      Kleene Pt = S.unary(BIt->second, Node);
+      if (Pt == Kleene::Half)
+        return; // Indefinite pointer: cannot refine strongly.
+      if (Pt == Kleene::True) {
+        if (Definite >= 0)
+          return;
+        Definite = static_cast<int>(Node);
+      }
+    }
+    if (Definite < 0 || S.isSummary(Definite))
+      return;
+    Bound[Arg] = static_cast<unsigned>(Definite);
+    Tuple.push_back(static_cast<unsigned>(Definite));
+  }
+  S.setAt(P, Tuple, Kleene::False);
+}
+
+void Transfer::applyRule(Structure &S, const Structure &Snapshot,
+                         const UpdateRule &R, const Binding &Binders,
+                         bool NewNode, unsigned N) const {
+  const PredicateFamily &Fam = Abs.Families[R.Family];
+  int P = FamPred[R.Family];
+  std::vector<unsigned> Tuple(Fam.arity());
+  enumerateTargets(S, Snapshot, R, Fam, P, Binders, NewNode, N, 0, Tuple);
+}
+
+void Transfer::enumerateTargets(Structure &S, const Structure &Snapshot,
+                                const UpdateRule &R,
+                                const PredicateFamily &Fam, int P,
+                                const Binding &Binders, bool NewNode,
+                                unsigned N, unsigned Slot,
+                                std::vector<unsigned> &Tuple) const {
+  if (Slot == Fam.arity()) {
+    std::map<std::string, unsigned> QNodes;
+    for (unsigned I = 0; I != Fam.arity(); ++I)
+      if (!R.RetSlots[I])
+        QNodes["$q" + std::to_string(I)] = Tuple[I];
+    Kleene V = R.ConstantTrue ? Kleene::True : Kleene::False;
+    for (const PredApp &Src : R.Sources) {
+      if (V == Kleene::True)
+        break;
+      V = kOr(V, evalApp(Snapshot, Snapshot, Src, QNodes, Binders));
+    }
+    S.setAt(P, Tuple, V);
+    return;
+  }
+  if (R.RetSlots[Slot]) {
+    Tuple[Slot] = N;
+    enumerateTargets(S, Snapshot, R, Fam, P, Binders, NewNode, N, Slot + 1,
+                     Tuple);
+    return;
+  }
+  for (unsigned Node = 0; Node != S.numNodes(); ++Node) {
+    if (NewNode && Node == N)
+      continue; // The fresh node's tuples come from ret rules.
+    if (!nodeHasType(S, Node, Fam.VarTypes[Slot]))
+      continue;
+    Tuple[Slot] = Node;
+    enumerateTargets(S, Snapshot, R, Fam, P, Binders, NewNode, N, Slot + 1,
+                     Tuple);
+  }
+}
+
+void Transfer::applyConstantDiagonals(Structure &S, unsigned N) const {
+  for (size_t F = 0; F != Abs.Families.size(); ++F) {
+    int P = FamPred[F];
+    if (P < 0 || Abs.Families[F].arity() != 2)
+      continue;
+    const PredicateFamily &Fam = Abs.Families[F];
+    if (Fam.VarTypes[0] != Fam.VarTypes[1])
+      continue;
+    Conjunction Body;
+    InstResult IR = instantiateFamily(Fam, {"$d", "$d"}, Fam.VarTypes, Body);
+    if (IR == InstResult::True)
+      S.setBinary(P, N, N, Kleene::True);
+    else if (IR == InstResult::False)
+      S.setBinary(P, N, N, Kleene::False);
+    // Non-constant diagonals were handled by a (ret, ret) rule.
+  }
+}

@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-edge transfer function of the TVLA engines (Section 5.5):
+/// application of a CFG action to a 3-valued structure, including
+/// requires-clause evaluation, derived-rule instrumentation updates,
+/// result modeling, and canonical abstraction (blur). Shared by both
+/// fixpoint configurations (relational and independent-attribute) and
+/// by the proof-carrying-certificate checker (cert::Checker), which
+/// re-applies edges against a claimed fixpoint annotation without
+/// running any worklist — so this class must be the single definition
+/// of edge semantics, independent of any driver, memo cache, or
+/// structure cap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_TVLA_TRANSFER_H
+#define CANVAS_TVLA_TRANSFER_H
+
+#include "client/CFG.h"
+#include "tvla/Structure.h"
+#include "tvp/Program.h"
+#include "wp/Abstraction.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace canvas {
+namespace tvla {
+
+/// One requires obligation discovered on a CFG edge: the \p Req -th
+/// RequiresFalse clause of the component method called on edge \p Edge.
+struct TransferCheck {
+  int Edge = -1;
+  int Req = -1;
+  SourceLoc Loc;
+  std::string What;
+};
+
+/// Kleene accumulation cells, indexed like Transfer::checks(). The
+/// fixpoint joins every evaluation of a check over all structures that
+/// reach it; the final cell decides the verdict (False = Safe, True =
+/// Definite, Half = Potential, unseen = Unreachable).
+struct CheckAccum {
+  struct Cell {
+    bool Seen = false;
+    Kleene Acc = Kleene::False;
+  };
+  std::vector<Cell> Cells;
+
+  void note(size_t Check, Kleene V) {
+    Cell &C = Cells[Check];
+    C.Acc = C.Seen ? kJoin(C.Acc, V) : V;
+    C.Seen = true;
+  }
+};
+
+class Transfer {
+public:
+  /// Builds the vocabulary for \p M (types, variables, instrumentation
+  /// families) and enumerates the requires obligations of its edges.
+  Transfer(const wp::DerivedAbstraction &Abs, const cj::CFGMethod &M,
+           DiagnosticEngine &Diags);
+
+  const tvp::Vocabulary &vocabulary() const { return Vocab; }
+
+  /// The requires obligations of the method, in (edge, clause) order.
+  const std::vector<TransferCheck> &checks() const { return Checks; }
+
+  CheckAccum makeAccum() const {
+    CheckAccum A;
+    A.Cells.resize(Checks.size());
+    return A;
+  }
+
+  /// Applies CFG edge \p EdgeIdx to \p In; returns the successor
+  /// structure (always exactly one — variable predicates stay definite,
+  /// so no focus is required). Requires evaluations are joined into
+  /// \p Acc when non-null. Sets \p Dead when no execution continues
+  /// past the edge (every path violates a requires clause and throws);
+  /// the returned structure is meaningless then.
+  Structure apply(const Structure &In, int EdgeIdx, bool &Dead,
+                  CheckAccum *Acc) const;
+
+private:
+  struct ArgChoice;
+  using Binding = std::map<std::string, int>; ///< Binder -> pt pred.
+
+  const wp::MethodAbstraction *abstractionFor(const cj::Action &A) const;
+  void enumerateChecks();
+
+  Kleene evalApp(const Structure &S, const Structure &Snapshot,
+                 const wp::PredApp &App,
+                 const std::map<std::string, unsigned> &QNodes,
+                 const Binding &Binders) const;
+  Kleene evalChoices(const Structure &S, const Structure &Snapshot, int P,
+                     std::vector<ArgChoice> &Choices, size_t I,
+                     std::vector<unsigned> Tuple,
+                     std::map<std::string, unsigned> Bound,
+                     Kleene Weight) const;
+
+  std::string typeOfVar(const std::string &V) const;
+  bool nodeHasType(const Structure &S, unsigned Node,
+                   const std::string &Type) const;
+  void havocVar(Structure &S, const std::string &Var) const;
+  void setInstrHalfAround(Structure &S, unsigned U) const;
+  void clobberInstr(Structure &S) const;
+
+  Structure transferComponentCall(Structure S, int EdgeIdx,
+                                  const cj::Action &A, bool &Dead,
+                                  CheckAccum *Acc) const;
+  void assumeAppFalse(Structure &S, const wp::PredApp &App,
+                      const Binding &Binders) const;
+  void applyRule(Structure &S, const Structure &Snapshot,
+                 const wp::UpdateRule &R, const Binding &Binders,
+                 bool NewNode, unsigned N) const;
+  void enumerateTargets(Structure &S, const Structure &Snapshot,
+                        const wp::UpdateRule &R,
+                        const wp::PredicateFamily &Fam, int P,
+                        const Binding &Binders, bool NewNode, unsigned N,
+                        unsigned Slot, std::vector<unsigned> &Tuple) const;
+  void applyConstantDiagonals(Structure &S, unsigned N) const;
+
+  const wp::DerivedAbstraction &Abs;
+  const cj::CFGMethod &M;
+  DiagnosticEngine &Diags;
+  tvp::Vocabulary Vocab;
+  std::vector<int> FamPred; ///< Family index -> instrumentation pred.
+  std::vector<TransferCheck> Checks;
+  std::map<std::pair<int, int>, int> ChkIndex; ///< (edge, clause) -> check.
+};
+
+} // namespace tvla
+} // namespace canvas
+
+#endif // CANVAS_TVLA_TRANSFER_H

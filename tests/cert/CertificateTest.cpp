@@ -1,0 +1,189 @@
+//===----------------------------------------------------------------------===//
+// Tests for the proof-carrying certificate container format: bounds-
+// checked codecs, deterministic serialization, content hashing, and
+// hostile-input rejection.
+//===----------------------------------------------------------------------===//
+
+#include "cert/Certificate.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::cert;
+
+namespace {
+
+Certificate sample() {
+  Certificate C;
+  C.Kind = CertKind::BoolIntra;
+  C.Unit = "Fig3::main";
+  C.Claims.push_back({0, core::CheckOutcome::Safe});
+  C.Claims.push_back({3, core::CheckOutcome::Unreachable});
+  C.Payload = {1, 2, 3, 4, 0xff, 0};
+  C.RawEntries = 12;
+  C.StoredEntries = 5;
+  C.seal();
+  return C;
+}
+
+TEST(CertificateTest, WriterReaderPrimitivesRoundTrip) {
+  Writer W;
+  W.u8(0xab);
+  W.u32(0xdeadbeef);
+  W.u64(0x0123456789abcdefull);
+  W.i32(-42);
+  W.str("hello");
+  W.bytes({9, 8, 7});
+  std::vector<uint8_t> Buf = W.take();
+
+  Reader R(Buf);
+  EXPECT_EQ(R.u8(), 0xab);
+  EXPECT_EQ(R.u32(), 0xdeadbeefu);
+  EXPECT_EQ(R.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(R.i32(), -42);
+  EXPECT_EQ(R.str(), "hello");
+  EXPECT_EQ(R.bytes(), (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_TRUE(R.done());
+}
+
+TEST(CertificateTest, ReaderLatchesFailureOnTruncation) {
+  Writer W;
+  W.u32(7);
+  std::vector<uint8_t> Buf = W.take();
+  Buf.pop_back();
+
+  Reader R(Buf);
+  (void)R.u32();
+  EXPECT_TRUE(R.failed());
+  EXPECT_FALSE(R.done());
+  // Further reads stay failed instead of reading out of bounds.
+  (void)R.u8();
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(CertificateTest, DoneRequiresFullConsumption) {
+  Writer W;
+  W.u32(1);
+  W.u32(2);
+  std::vector<uint8_t> Buf = W.take();
+  Reader R(Buf);
+  (void)R.u32();
+  EXPECT_FALSE(R.done()); // Trailing bytes remain.
+  (void)R.u32();
+  EXPECT_TRUE(R.done());
+}
+
+TEST(CertificateTest, FnvIsDeterministic) {
+  std::vector<uint8_t> A = {1, 2, 3};
+  EXPECT_EQ(fnv1a(A.data(), A.size()), fnv1a(A.data(), A.size()));
+  std::vector<uint8_t> B = {1, 2, 4};
+  EXPECT_NE(fnv1a(A.data(), A.size()), fnv1a(B.data(), B.size()));
+}
+
+TEST(CertificateTest, SealStampsAConsistentHash) {
+  Certificate C = sample();
+  EXPECT_EQ(C.ContentHash, C.computeHash());
+  uint64_t H = C.ContentHash;
+  C.Payload[0] ^= 1;
+  EXPECT_NE(C.computeHash(), H);
+  C.seal();
+  EXPECT_EQ(C.ContentHash, C.computeHash());
+}
+
+TEST(CertificateTest, ContainerRoundTripPreservesEveryField) {
+  std::vector<Certificate> Certs = {sample()};
+  Certs.push_back(sample());
+  Certs[1].Kind = CertKind::Ifds;
+  Certs[1].Unit = "";
+  Certs[1].seal();
+
+  std::vector<uint8_t> Blob = serializeCertificates(Certs);
+  std::vector<Certificate> Out;
+  std::string Error;
+  ASSERT_TRUE(parseCertificates(Blob, Out, Error)) << Error;
+  ASSERT_EQ(Out.size(), 2u);
+  for (size_t I = 0; I != 2; ++I) {
+    EXPECT_EQ(Out[I].Kind, Certs[I].Kind);
+    EXPECT_EQ(Out[I].Unit, Certs[I].Unit);
+    ASSERT_EQ(Out[I].Claims.size(), Certs[I].Claims.size());
+    for (size_t J = 0; J != Out[I].Claims.size(); ++J) {
+      EXPECT_EQ(Out[I].Claims[J].Check, Certs[I].Claims[J].Check);
+      EXPECT_EQ(Out[I].Claims[J].Outcome, Certs[I].Claims[J].Outcome);
+    }
+    EXPECT_EQ(Out[I].Payload, Certs[I].Payload);
+    EXPECT_EQ(Out[I].RawEntries, Certs[I].RawEntries);
+    EXPECT_EQ(Out[I].StoredEntries, Certs[I].StoredEntries);
+    EXPECT_EQ(Out[I].ContentHash, Certs[I].ContentHash);
+  }
+}
+
+TEST(CertificateTest, ReserializationIsByteIdentical) {
+  std::vector<Certificate> Certs = {sample()};
+  std::vector<uint8_t> Blob = serializeCertificates(Certs);
+  std::vector<Certificate> Out;
+  std::string Error;
+  ASSERT_TRUE(parseCertificates(Blob, Out, Error)) << Error;
+  EXPECT_EQ(serializeCertificates(Out), Blob);
+}
+
+TEST(CertificateTest, BytesMatchesSerializedLength) {
+  std::vector<Certificate> Certs = {sample()};
+  std::vector<uint8_t> Blob = serializeCertificates(Certs);
+  // Container = 5-byte magic + u32 count + the one record.
+  EXPECT_EQ(Blob.size(), 5u + 4u + Certs[0].bytes());
+}
+
+TEST(CertificateTest, ParseRejectsBadMagic) {
+  std::vector<uint8_t> Blob = serializeCertificates({sample()});
+  Blob[0] ^= 1;
+  std::vector<Certificate> Out;
+  std::string Error;
+  EXPECT_FALSE(parseCertificates(Blob, Out, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(CertificateTest, ParseRejectsTamperedPayload) {
+  std::vector<Certificate> Certs = {sample()};
+  std::vector<uint8_t> Blob = serializeCertificates(Certs);
+  // Flip one payload byte inside the record: the content hash no
+  // longer matches and the container parse must fail.
+  Blob[Blob.size() - 10] ^= 0x40;
+  std::vector<Certificate> Out;
+  std::string Error;
+  EXPECT_FALSE(parseCertificates(Blob, Out, Error));
+  EXPECT_NE(Error.find("hash"), std::string::npos) << Error;
+}
+
+TEST(CertificateTest, ParseRejectsTruncationAndTrailingBytes) {
+  std::vector<uint8_t> Blob = serializeCertificates({sample()});
+  std::vector<Certificate> Out;
+  std::string Error;
+
+  std::vector<uint8_t> Short(Blob.begin(), Blob.end() - 1);
+  EXPECT_FALSE(parseCertificates(Short, Out, Error));
+
+  std::vector<uint8_t> Long = Blob;
+  Long.push_back(0);
+  Out.clear();
+  EXPECT_FALSE(parseCertificates(Long, Out, Error));
+}
+
+TEST(CertificateTest, ParseRejectsUnknownKind) {
+  Certificate C = sample();
+  C.Kind = static_cast<CertKind>(9);
+  C.seal();
+  std::vector<uint8_t> Blob = serializeCertificates({C});
+  std::vector<Certificate> Out;
+  std::string Error;
+  EXPECT_FALSE(parseCertificates(Blob, Out, Error));
+}
+
+TEST(CertificateTest, KindNamesAreStable) {
+  EXPECT_STREQ(certKindName(CertKind::BoolIntra), "bool-intra");
+  EXPECT_STREQ(certKindName(CertKind::Ifds), "ifds");
+  EXPECT_STREQ(certKindName(CertKind::TvlaIndependent), "tvla-independent");
+  EXPECT_STREQ(certKindName(CertKind::TvlaRelational), "tvla-relational");
+  EXPECT_STREQ(certKindName(CertKind::AllocSite), "alloc-site");
+}
+
+} // namespace

@@ -177,6 +177,45 @@ TEST(SolverTest, LoopConverges) {
   EXPECT_LE(R.NodeVisits, 3u * static_cast<unsigned>(M.NumNodes));
 }
 
+TEST(SolverTest, CheckSolutionAcceptsFixpointAndRejectsTampering) {
+  Client C(DiamondClient);
+  const cj::CFGMethod &M = C.method("C", "main");
+  CFGInfo Info(M);
+  DistanceProblem P;
+  for (Direction Dir : {Direction::Forward, Direction::Backward}) {
+    SolveResult<DistanceProblem> R = solve(Info, P, Dir);
+    std::string Why;
+    EXPECT_TRUE(checkSolution(Info, P, Dir, R, &Why)) << Why;
+
+    // The check certifies post-fixpoints, not the least one: in this
+    // min-join lattice a smaller distance over-approximates, so
+    // shifting every non-boundary node down by one still verifies.
+    // Claiming a *longer* distance than derivable under-approximates
+    // and must be caught by closure on the shortest-path edge.
+    int Boundary = Dir == Direction::Forward ? M.Entry : M.Exit;
+    SolveResult<DistanceProblem> Weak = R;
+    for (int N = 0; N != M.NumNodes; ++N)
+      if (N != Boundary)
+        *Weak.States[N] -= 1;
+    EXPECT_TRUE(checkSolution(Info, P, Dir, Weak, &Why)) << Why;
+
+    SolveResult<DistanceProblem> Lie = R;
+    *Lie.States[Boundary == M.Entry ? M.Exit : M.Entry] += 2;
+    EXPECT_FALSE(checkSolution(Info, P, Dir, Lie, &Why));
+    EXPECT_FALSE(Why.empty());
+
+    // An uncovered boundary is rejected even with closure intact.
+    SolveResult<DistanceProblem> Bad = R;
+    *Bad.States[Boundary] = 5;
+    EXPECT_FALSE(checkSolution(Info, P, Dir, Bad, &Why));
+
+    // A missing annotation on a flowed-into node is rejected.
+    SolveResult<DistanceProblem> Gap = R;
+    Gap.States[Boundary == M.Entry ? M.Exit : M.Entry].reset();
+    EXPECT_FALSE(checkSolution(Info, P, Dir, Gap, &Why));
+  }
+}
+
 TEST(HelpersTest, DefsAndUsesOfActions) {
   Client C(R"(
     class C {

@@ -77,10 +77,10 @@ TEST_F(RobustnessFaultTest, ParsePlanForms) {
 
 TEST_F(RobustnessFaultTest, SiteListIsCanonical) {
   const std::vector<std::string> &Sites = faultSites();
-  ASSERT_EQ(Sites.size(), 6u);
+  ASSERT_EQ(Sites.size(), 7u);
   for (const char *S : {"dataflow.solve", "boolprog.intra",
                         "boolprog.interproc", "ifds.solve", "tvla.fixpoint",
-                        "generic.allocsite"})
+                        "generic.allocsite", "cert-check"})
     EXPECT_NE(std::find(Sites.begin(), Sites.end(), S), Sites.end()) << S;
 }
 
@@ -88,7 +88,7 @@ TEST_F(RobustnessFaultTest, SiteListIsCanonical) {
 EngineKind engineForSite(const std::string &Site) {
   if (Site == "boolprog.interproc" || Site == "ifds.solve")
     return EngineKind::SCMPInterproc;
-  if (Site == "tvla.fixpoint")
+  if (Site == "tvla.fixpoint" || Site == "cert-check")
     return EngineKind::TVLARelational;
   if (Site == "generic.allocsite")
     return EngineKind::GenericAllocSite;
@@ -98,7 +98,12 @@ EngineKind engineForSite(const std::string &Site) {
 TEST_F(RobustnessFaultTest, EveryProbeSiteFiresAndDegrades) {
   for (const std::string &Site : faultSites()) {
     setFaultPlan({Site, 1, FaultKind::Throw});
-    CertificationReport R = certifyWith(engineForSite(Site));
+    // The cert-check probe sits inside cert::Checker::check(); it is
+    // only reached when the run emits and re-validates certificates.
+    CertifierOptions Opts;
+    if (Site == "cert-check")
+      Opts.EmitCertificates = Opts.CheckCertificates = true;
+    CertificationReport R = certifyWith(engineForSite(Site), Opts);
     EXPECT_TRUE(R.Degraded) << Site;
     ASSERT_FALSE(R.Stages.empty()) << Site;
     EXPECT_FALSE(R.Stages[0].Completed) << Site;
@@ -212,6 +217,17 @@ TEST(RobustnessEnvFaultTest, SurvivesAnyEnvironmentFault) {
       EXPECT_FALSE(R.Stages[0].Completed) << engineName(K);
     }
   }
+
+  // The cert-check probe arms only inside the certificate checker, so
+  // run one certification with emission + independent checking enabled;
+  // a fault there must degrade the rung, never crash or empty the
+  // report.
+  CertifierOptions CertOpts;
+  CertOpts.EmitCertificates = CertOpts.CheckCertificates = true;
+  CertificationReport R = certifyWith(EngineKind::TVLARelational, CertOpts);
+  EXPECT_GT(R.numChecks(), 0u) << "certificate-checked run left the report "
+                                  "empty-handed:\n"
+                               << R.str();
 }
 
 TEST_F(RobustnessFaultTest, MalformedEnvironmentPlanIsIgnored) {

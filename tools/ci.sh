@@ -44,13 +44,25 @@ step "tsan: parallel certifier, task pool, and budget tests"
 run_ctest --preset tsan -j "$JOBS" \
   -R 'ParallelCertifierTest|ParallelEngineTest|TaskPoolTest|BudgetTest'
 
+step "ubsan configure + build (UBSan only)"
+cmake --preset ubsan
+cmake --build --preset ubsan -j "$JOBS"
+
+step "ubsan: certificate and engine suites"
+# The certificate codecs shift and mask raw bytes and the checker
+# replays engine transfer functions over untrusted payloads: run the
+# cert suite plus every engine suite under UBSan alone (no ASan
+# interposition), so integer/shift/bounds UB surfaces directly.
+run_ctest --preset ubsan -j "$JOBS" \
+  -R 'Cert|Checker|Boolprog|Intraprocedural|Interprocedural|Ifds|Solver|TVLA|Structure|Baseline|Certifier'
+
 step "fault-injection pass (sanitize, every probe site)"
 # Arms one environment fault per probe site and re-runs the env-fault
 # smoke test: every engine must degrade gracefully, never crash.
 # Keep the site list in sync with support::faultSites() in
 # src/support/Budget.cpp.
 FAULT_SITES="dataflow.solve boolprog.intra boolprog.interproc \
-ifds.solve tvla.fixpoint generic.allocsite"
+ifds.solve tvla.fixpoint generic.allocsite cert-check"
 for site in $FAULT_SITES; do
   printf -- '--- CANVAS_FAULT=%s:1 ---\n' "$site"
   CANVAS_FAULT="$site:1" run_ctest --preset sanitize \
