@@ -254,6 +254,81 @@ inline const std::vector<BenchClient> &cmpSuite() {
   return Suite;
 }
 
+/// Aliasing-heavy clients for the points-to slicing benchmark: every
+/// client moves a component reference through the heap (a client-object
+/// field), so the syntactic Stage-0 slicer is forced to a single slice
+/// — only the whole-program points-to relatedness groups prove the
+/// pipelines independent and let SCMPIntra certify per-slice.
+inline const std::vector<BenchClient> &aliasSuite() {
+  static const std::vector<BenchClient> Suite = {
+      // Six independent Set/Iterator pipelines; one of them parks its
+      // Set in a heap field. Syntactically that one store poisons the
+      // whole method (HasHeapComponentRefs); the points-to solution
+      // keeps the six instance groups apart.
+      {"heap-pipelines", R"(
+        class Stash {
+          Set s;
+        }
+        class HeapPipes {
+          void main() {
+            Stash st = new Stash();
+            Set s1 = new Set();
+            st.s = s1;
+            Iterator i1 = s1.iterator();
+            Set s2 = new Set();
+            Iterator i2 = s2.iterator();
+            Set s3 = new Set();
+            Iterator i3 = s3.iterator();
+            Set s4 = new Set();
+            Iterator i4 = s4.iterator();
+            Set s5 = new Set();
+            Iterator i5 = s5.iterator();
+            Set s6 = new Set();
+            Iterator i6 = s6.iterator();
+            while (*) { i1.next(); if (*) { i1.remove(); } }
+            while (*) { i2.next(); if (*) { s2.add(); i2 = s2.iterator(); } }
+            i3.next();
+            i3.remove();
+            i3.next();
+            i4.next();
+            if (*) { s4.add(); }
+            if (*) { i4.next(); }
+            while (*) { i5.next(); }
+            i6.next();
+            if (*) { s6.add(); }
+            i6.next();
+          }
+        }
+      )", false},
+
+      // Two stashes, each holding its own Set: both allocation sites
+      // are heap-escaping, yet the two pipelines never interfere — the
+      // relatedness groups stay {s1,i1} and {s2,i2}.
+      {"stashed-pairs", R"(
+        class Stash {
+          Set s;
+        }
+        class Pairs {
+          void main() {
+            Stash u = new Stash();
+            Stash v = new Stash();
+            Set s1 = new Set();
+            Set s2 = new Set();
+            u.s = s1;
+            v.s = s2;
+            Iterator i1 = s1.iterator();
+            Iterator i2 = s2.iterator();
+            while (*) { i1.next(); if (*) { i1.remove(); } }
+            i2.next();
+            if (*) { s2.add(); }
+            if (*) { i2.next(); }
+          }
+        }
+      )", false},
+  };
+  return Suite;
+}
+
 } // namespace bench
 } // namespace canvas
 

@@ -3,7 +3,7 @@
 // canvas_certify: command-line front end for the staged certifier.
 //
 //   canvas_certify [--engine=NAME] [--spec=FILE|cmp|grp|imp|aop]
-//                  [--print-abstraction]
+//                  [--print-abstraction] [--points-to]
 //                  [--emit-certs=FILE] [--check-certs]
 //                  [--check-only --certs=FILE] CLIENT.cj
 //
@@ -13,6 +13,13 @@
 // certificates are serialized to FILE; with --check-certs the
 // supervisor re-validates every certificate with the independent
 // checker before accepting the rung's verdicts.
+//
+// --points-to runs the whole-program points-to & escape pre-analysis
+// before the SCMPIntra engine: the report gains the points-to/escape
+// statistics and per-method slice summaries (including why slicing was
+// forced off), obligations of methods unreachable from main() are
+// discharged as unreachable, and under --emit-certs multi-slice
+// methods are certified per-slice behind a SlicePartition certificate.
 //
 // --check-only skips the analyzer entirely: it re-derives the trusted
 // inputs (spec, abstraction, client CFG) and runs only cert::Checker
@@ -75,7 +82,7 @@ int usage() {
                "usage: canvas_certify [--engine=scmp-intra|scmp-interproc|"
                "tvla-independent|tvla-relational|generic-allocsite]\n"
                "                      [--spec=FILE|cmp|grp|imp|aop]\n"
-               "                      [--print-abstraction]\n"
+               "                      [--print-abstraction] [--points-to]\n"
                "                      [--emit-certs=FILE] [--check-certs]\n"
                "                      [--check-only --certs=FILE] CLIENT.cj\n");
   return 2;
@@ -137,6 +144,7 @@ int main(int argc, char **argv) {
   std::string EmitCertsPath;
   std::string CertsPath;
   bool PrintAbstraction = false;
+  bool PointsTo = false;
   bool CheckCerts = false;
   bool CheckOnly = false;
 
@@ -148,6 +156,8 @@ int main(int argc, char **argv) {
       SpecArg = Arg + 7;
     } else if (std::strcmp(Arg, "--print-abstraction") == 0) {
       PrintAbstraction = true;
+    } else if (std::strcmp(Arg, "--points-to") == 0) {
+      PointsTo = true;
     } else if (std::strncmp(Arg, "--emit-certs=", 13) == 0) {
       EmitCertsPath = Arg + 13;
     } else if (std::strcmp(Arg, "--check-certs") == 0) {
@@ -206,6 +216,7 @@ int main(int argc, char **argv) {
     return usage();
 
   core::CertifierOptions Opts;
+  Opts.PointsTo = PointsTo;
   Opts.EmitCertificates = !EmitCertsPath.empty() || CheckCerts;
   Opts.CheckCertificates = CheckCerts;
 

@@ -296,8 +296,10 @@ private:
     // Requires obligations, checked in the pre-call state. Under a
     // restriction, a call's checks belong to its receiver's slice
     // (every operand of a call is in the receiver's slice, so exactly
-    // one slice of a partition emits them).
-    bool OwnsChecks = allowed(A.Recv);
+    // one slice of a partition emits them). Constructor calls have no
+    // receiver; their checks belong to the slice of the allocated
+    // variable instead.
+    bool OwnsChecks = allowed(A.Recv.empty() ? A.Lhs : A.Recv);
     for (const auto &[App, ReqLoc] : MA->RequiresFalse) {
       if (!OwnsChecks)
         break;

@@ -27,6 +27,8 @@ const char *certKindName(CertKind K) {
     return "tvla-relational";
   case CertKind::AllocSite:
     return "alloc-site";
+  case CertKind::SlicePartition:
+    return "slice-partition";
   }
   return "unknown";
 }
@@ -154,6 +156,7 @@ bool readRecord(Reader &R, Certificate &C, std::string &Error) {
   case CertKind::TvlaIndependent:
   case CertKind::TvlaRelational:
   case CertKind::AllocSite:
+  case CertKind::SlicePartition:
     break;
   default:
     Error = "unknown certificate kind";

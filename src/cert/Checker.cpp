@@ -21,6 +21,8 @@
 #include "cert/Emit.h"
 #include "core/GenericBaseline.h"
 #include "dataflow/Dataflow.h"
+#include "dataflow/PointsTo.h"
+#include "dataflow/PreAnalysis.h"
 #include "ifds/Problem.h"
 #include "support/Budget.h"
 #include "tvla/Transfer.h"
@@ -66,6 +68,118 @@ bool validClaimShape(const Certificate &C, size_t NumChecks,
   return true;
 }
 
+/// Reads one possible-value annotation body (per-node tag + stored
+/// states) from \p R, reconstructs the pruned entries, and verifies
+/// entry coverage and closure under the edge transfer — everything
+/// checkBoolIntra needs short of the claims sweep. On success \p In
+/// holds the per-node states (empty inner vector = unreached). Shared
+/// by the plain and the per-slice checkers; the caller still validates
+/// that the reader consumed exactly its section.
+bool readBoolSection(Reader &R, const bp::BooleanProgram &BP,
+                     const cj::CFGMethod &M, const dataflow::CFGInfo &Info,
+                     bool AssumeChecksPass,
+                     std::vector<std::vector<bp::ValueSet>> &In,
+                     std::string &Reason) {
+  const size_t NumVars = BP.Vars.size();
+
+  std::vector<uint8_t> Tag(M.NumNodes, 0);
+  In.assign(M.NumNodes, {});
+  for (int N = 0; N != M.NumNodes; ++N) {
+    Tag[N] = R.u8();
+    if (Tag[N] > 2) {
+      Reason = "bad annotation tag";
+      return false;
+    }
+    if (Tag[N] != 1)
+      continue;
+    In[N].resize(NumVars);
+    for (size_t V = 0; V != NumVars; ++V) {
+      uint8_t B = R.u8();
+      if (B > 3) {
+        Reason = "out-of-range value set";
+        return false;
+      }
+      In[N][V] = static_cast<bp::ValueSet>(B);
+    }
+  }
+  if (R.failed()) {
+    Reason = "malformed payload";
+    return false;
+  }
+
+  const bp::EdgeTransfer T(BP, AssumeChecksPass);
+
+  // Reconstruct pruned entries in reverse-post-order: a pruned node's
+  // unique in-edge comes from an RPO-earlier node whose state is
+  // already available, so one ordered pass suffices.
+  std::vector<int> ByRpo;
+  for (int N = 0; N != M.NumNodes; ++N)
+    if (Info.rpoNumber(N) >= 0)
+      ByRpo.push_back(N);
+  std::sort(ByRpo.begin(), ByRpo.end(), [&](int A, int B) {
+    return Info.rpoNumber(A) < Info.rpoNumber(B);
+  });
+  for (int N : ByRpo) {
+    if (Tag[N] != 2)
+      continue;
+    if (N == M.Entry || Info.predEdges(N).size() != 1) {
+      Reason = "pruned node is not reconstructible";
+      return false;
+    }
+    int EIdx = Info.predEdges(N)[0];
+    int From = M.Edges[EIdx].From;
+    if (In[From].empty() || Info.rpoNumber(From) < 0 ||
+        Info.rpoNumber(From) >= Info.rpoNumber(N)) {
+      Reason = "pruned node's predecessor is not annotated earlier";
+      return false;
+    }
+    std::vector<bp::ValueSet> Out;
+    if (!T.apply(EIdx, In[From], Out)) {
+      Reason = "pruned node is annotated but its in-edge is dead";
+      return false;
+    }
+    In[N] = std::move(Out);
+  }
+  for (int N = 0; N != M.NumNodes; ++N)
+    if (Tag[N] == 2 && In[N].empty()) {
+      Reason = "pruned node outside the reverse-post-order";
+      return false;
+    }
+
+  // (a) Initial facts covered: at method entry every variable may hold
+  // either value.
+  if (In[M.Entry].empty()) {
+    Reason = "entry node not covered";
+    return false;
+  }
+  for (size_t V = 0; V != NumVars; ++V)
+    if (In[M.Entry][V] != bp::ValueSet::Both) {
+      Reason = "entry state does not cover the initial facts";
+      return false;
+    }
+
+  // (b) Closure under the edge transfer.
+  for (size_t EIdx = 0; EIdx != M.Edges.size(); ++EIdx) {
+    int From = M.Edges[EIdx].From;
+    int To = M.Edges[EIdx].To;
+    if (In[From].empty())
+      continue;
+    std::vector<bp::ValueSet> Out;
+    if (!T.apply(static_cast<int>(EIdx), In[From], Out))
+      continue; // No execution survives the edge.
+    if (In[To].empty()) {
+      Reason = "annotation not closed: reachable successor uncovered";
+      return false;
+    }
+    for (size_t V = 0; V != NumVars; ++V)
+      if (bp::vsJoin(Out[V], In[To][V]) != In[To][V]) {
+        Reason = "annotation not closed under edge transfer";
+        return false;
+      }
+  }
+  return true;
+}
+
 } // namespace
 
 const cj::CFGMethod *Checker::findUnit(const std::string &Unit) const {
@@ -95,6 +209,9 @@ CheckResult Checker::check(const Certificate &C) const {
       break;
     case CertKind::AllocSite:
       R = checkAllocSite(C);
+      break;
+    case CertKind::SlicePartition:
+      R = checkSlicePartition(C);
       break;
     default:
       R = fail("unknown certificate kind");
@@ -135,87 +252,328 @@ CheckResult Checker::checkBoolIntra(const Certificate &C) const {
   if (!validClaimShape(C, BP.Checks.size(), Reason))
     return fail(std::move(Reason));
 
-  // Tags per node: 0 = unreachable, 1 = stored, 2 = pruned
-  // (reconstructible from the unique predecessor).
-  std::vector<uint8_t> Tag(M->NumNodes, 0);
-  std::vector<std::vector<bp::ValueSet>> In(M->NumNodes);
-  for (int N = 0; N != M->NumNodes; ++N) {
-    Tag[N] = R.u8();
-    if (Tag[N] > 2)
-      return fail("bad annotation tag");
-    if (Tag[N] != 1)
-      continue;
-    In[N].resize(NumVars);
-    for (size_t V = 0; V != NumVars; ++V) {
-      uint8_t B = R.u8();
-      if (B > 3)
-        return fail("out-of-range value set");
-      In[N][V] = static_cast<bp::ValueSet>(B);
-    }
-  }
+  const dataflow::CFGInfo Info(*M);
+  std::vector<std::vector<bp::ValueSet>> In;
+  if (!readBoolSection(R, BP, *M, Info, AssumeChecksPass, In, Reason))
+    return fail(std::move(Reason));
   if (!R.done())
     return fail("malformed payload");
-
-  const dataflow::CFGInfo Info(*M);
-  const bp::EdgeTransfer T(BP, AssumeChecksPass);
-
-  // Reconstruct pruned entries in reverse-post-order: a pruned node's
-  // unique in-edge comes from an RPO-earlier node whose state is
-  // already available, so one ordered pass suffices.
-  std::vector<int> ByRpo;
-  for (int N = 0; N != M->NumNodes; ++N)
-    if (Info.rpoNumber(N) >= 0)
-      ByRpo.push_back(N);
-  std::sort(ByRpo.begin(), ByRpo.end(), [&](int A, int B) {
-    return Info.rpoNumber(A) < Info.rpoNumber(B);
-  });
-  for (int N : ByRpo) {
-    if (Tag[N] != 2)
-      continue;
-    if (N == M->Entry || Info.predEdges(N).size() != 1)
-      return fail("pruned node is not reconstructible");
-    int EIdx = Info.predEdges(N)[0];
-    int From = M->Edges[EIdx].From;
-    if (In[From].empty() || Info.rpoNumber(From) < 0 ||
-        Info.rpoNumber(From) >= Info.rpoNumber(N))
-      return fail("pruned node's predecessor is not annotated earlier");
-    std::vector<bp::ValueSet> Out;
-    if (!T.apply(EIdx, In[From], Out))
-      return fail("pruned node is annotated but its in-edge is dead");
-    In[N] = std::move(Out);
-  }
-  for (int N = 0; N != M->NumNodes; ++N)
-    if (Tag[N] == 2 && In[N].empty())
-      return fail("pruned node outside the reverse-post-order");
-
-  // (a) Initial facts covered: at method entry every variable may hold
-  // either value.
-  if (In[M->Entry].empty())
-    return fail("entry node not covered");
-  for (size_t V = 0; V != NumVars; ++V)
-    if (In[M->Entry][V] != bp::ValueSet::Both)
-      return fail("entry state does not cover the initial facts");
-
-  // (b) Closure under the edge transfer.
-  for (size_t EIdx = 0; EIdx != M->Edges.size(); ++EIdx) {
-    int From = M->Edges[EIdx].From;
-    int To = M->Edges[EIdx].To;
-    if (In[From].empty())
-      continue;
-    std::vector<bp::ValueSet> Out;
-    if (!T.apply(static_cast<int>(EIdx), In[From], Out))
-      continue; // No execution survives the edge.
-    if (In[To].empty())
-      return fail("annotation not closed: reachable successor uncovered");
-    for (size_t V = 0; V != NumVars; ++V)
-      if (bp::vsJoin(Out[V], In[To][V]) != In[To][V])
-        return fail("annotation not closed under edge transfer");
-  }
 
   // (c) Claims uncovered by the annotation.
   for (const Claim &Cl : C.Claims) {
     const bp::Check &Chk = BP.Checks[Cl.Check];
     int Node = M->Edges[Chk.Edge].From;
+    if (Cl.Outcome == core::CheckOutcome::Unreachable) {
+      if (!In[Node].empty())
+        return fail("unreachable claim at a covered node");
+      continue;
+    }
+    if (In[Node].empty())
+      continue; // Vacuously safe.
+    if (Chk.Var < 0) {
+      if (Chk.ConstantViolated)
+        return fail("safe claim on a constant-violated check");
+      continue;
+    }
+    if (bp::canBeOne(In[Node][Chk.Var]))
+      return fail("safe claim but the annotation admits a violation");
+  }
+  return ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Sliced boolean-program runs with partition evidence
+//===----------------------------------------------------------------------===//
+
+CheckResult Checker::checkSlicePartition(const Certificate &C) const {
+  const cj::CFGMethod *M = findUnit(C.Unit);
+  if (!M)
+    return fail("unknown client method");
+
+  Reader R(C.Payload);
+  const uint8_t Mode = R.u8();
+  const bool AssumeChecksPass = R.u8() != 0;
+  if (Mode > 1)
+    return fail("bad partition mode");
+  if (R.u32() != static_cast<uint32_t>(M->NumNodes))
+    return fail("node-count mismatch");
+  const dataflow::CompVarMap Vars(*M);
+  if (R.u32() != static_cast<uint32_t>(Vars.size()))
+    return fail("variable-count mismatch");
+  if (Vars.size() == 0)
+    return fail("slice partition over no component variables");
+
+  // The gate shared with the engine-side slicer: an abstraction reading
+  // pre-call "ret" predicates cannot be certified per-slice.
+  if (dataflow::abstractionReadsRetSources(Abs))
+    return fail("abstraction reads pre-call 'ret' predicates");
+
+  // --- Must-assigned annotation. Single-pass validation of an
+  // under-approximation: the entry set stays within the parameters,
+  // each edge grows it by at most its definite assignment, covered
+  // nodes' successors stay covered, and every component-variable use is
+  // in the pre-action set. Together: no execution uses an unassigned
+  // component variable, the gate slicing cannot do without.
+  std::vector<std::set<int>> Must(M->NumNodes);
+  std::vector<bool> Covered(M->NumNodes, false);
+  for (int N = 0; N != M->NumNodes; ++N) {
+    uint8_t Tag = R.u8();
+    if (Tag > 1)
+      return fail("bad must-assigned tag");
+    if (!Tag)
+      continue;
+    Covered[N] = true;
+    uint32_t K = R.u32();
+    if (R.failed() || K > Vars.size())
+      return fail("oversized must-assigned set");
+    for (uint32_t I = 0; I != K; ++I) {
+      uint32_t V = R.u32();
+      if (R.failed() || V >= Vars.size())
+        return fail("out-of-range must-assigned variable");
+      Must[N].insert(static_cast<int>(V));
+    }
+  }
+  if (!Covered[M->Entry])
+    return fail("entry node not covered by the must-assigned annotation");
+  {
+    std::set<int> Params;
+    for (const cj::CParam &P : M->Method->Params) {
+      int I = Vars.index(P.Name);
+      if (I >= 0)
+        Params.insert(I);
+    }
+    for (int V : Must[M->Entry])
+      if (!Params.count(V))
+        return fail("entry must-assigned set exceeds the parameters");
+  }
+  for (const cj::CFGEdge &E : M->Edges) {
+    if (!Covered[E.From])
+      continue;
+    if (!Covered[E.To])
+      return fail("must-assigned annotation not closed");
+    const std::string *Def = dataflow::actionDef(E.Act);
+    int DefIdx = Def ? Vars.index(*Def) : -1;
+    for (int V : Must[E.To])
+      if (!Must[E.From].count(V) && V != DefIdx)
+        return fail("must-assigned annotation claims an unassigned variable");
+    bool Uninit = false;
+    dataflow::forEachActionUse(E.Act, [&](const std::string &U) {
+      int I = Vars.index(U);
+      if (I >= 0 && !Must[E.From].count(I))
+        Uninit = true;
+    });
+    if (Uninit)
+      return fail("possibly-uninitialized use under the partition");
+  }
+
+  // --- The partition itself, with each slice's restricted program
+  // rebuilt from trusted inputs and its annotation validated like a
+  // plain BoolIntra certificate.
+  const uint32_t NumSlices = R.u32();
+  if (R.failed() || NumSlices == 0 || NumSlices > Vars.size())
+    return fail("implausible slice count");
+  std::vector<std::vector<std::string>> Slices(NumSlices);
+  std::map<std::string, int> SliceOf;
+  DiagnosticEngine Quiet;
+  const dataflow::CFGInfo Info(*M);
+  std::vector<bp::BooleanProgram> BPs;
+  BPs.reserve(NumSlices);
+  std::vector<std::vector<std::vector<bp::ValueSet>>> Ins(NumSlices);
+  std::string Reason;
+  for (uint32_t I = 0; I != NumSlices; ++I) {
+    const uint32_t Len = R.u32();
+    if (R.failed() || Len == 0 || Len > Vars.size())
+      return fail("implausible slice size");
+    for (uint32_t J = 0; J != Len; ++J) {
+      std::string Name = R.str();
+      if (R.failed() || Vars.index(Name) < 0)
+        return fail("slice names a non-component variable");
+      if (!SliceOf.emplace(Name, static_cast<int>(I)).second)
+        return fail("variable in two slices");
+      Slices[I].push_back(std::move(Name));
+    }
+    bp::BuildRestriction Restrict;
+    Restrict.Vars = Slices[I];
+    BPs.push_back(bp::buildBooleanProgram(Abs, *M, Quiet, Restrict));
+    if (R.u32() != static_cast<uint32_t>(BPs[I].Vars.size()) ||
+        R.u32() != static_cast<uint32_t>(BPs[I].Checks.size()))
+      return fail("slice dimension mismatch against rebuilt program");
+    if (!readBoolSection(R, BPs[I], *M, Info, AssumeChecksPass, Ins[I],
+                         Reason))
+      return fail(std::move(Reason));
+  }
+  if (SliceOf.size() != Vars.size())
+    return fail("slices do not cover every component variable");
+
+  // True when every named component variable of \p A lies in one slice.
+  auto SameSlice = [&](const cj::Action &A) {
+    int S = -1;
+    bool Ok = true;
+    auto Visit = [&](const std::string &V) {
+      auto It = SliceOf.find(V);
+      if (It == SliceOf.end())
+        return;
+      if (S < 0)
+        S = It->second;
+      else if (S != It->second)
+        Ok = false;
+    };
+    if (const std::string *Def = dataflow::actionDef(A))
+      Visit(*Def);
+    dataflow::forEachActionUse(A, Visit);
+    return Ok;
+  };
+
+  if (Mode == 0) {
+    // Local gates: without points-to evidence the partition is sound
+    // only when no reference escapes the intraprocedural copy algebra.
+    if (M->HasHeapComponentRefs)
+      return fail("heap component references without points-to evidence");
+    for (const cj::CFGEdge &E : M->Edges)
+      if (E.Act.K == cj::Action::Kind::Havoc ||
+          E.Act.K == cj::Action::Kind::OpaqueEffect)
+        return fail("havocked component reference without points-to evidence");
+    int PSlice = -1;
+    for (const cj::CParam &P : M->Method->Params) {
+      auto It = SliceOf.find(P.Name);
+      if (It == SliceOf.end())
+        continue;
+      if (PSlice < 0)
+        PSlice = It->second;
+      else if (PSlice != It->second)
+        return fail("parameters split across slices");
+    }
+    bool DefinesRet = false;
+    for (const cj::CFGEdge &E : M->Edges)
+      if (const std::string *Def = dataflow::actionDef(E.Act))
+        DefinesRet |= *Def == "$ret";
+    if (DefinesRet && PSlice >= 0) {
+      auto It = SliceOf.find("$ret");
+      if (It != SliceOf.end() && It->second != PSlice)
+        return fail("'$ret' split from the parameters");
+    }
+    for (const cj::CFGEdge &E : M->Edges)
+      if (!SameSlice(E.Act))
+        return fail("an action relates variables across slices");
+  } else {
+    // Points-to evidence: regenerate the constraint system from the
+    // trusted (program, spec) pair, validate the supplied solution with
+    // one closure sweep (any post-fixpoint over-approximates the least
+    // solution, and shrinking a set to hide an alias breaks closure),
+    // and require the resulting may-interfere groups to respect the
+    // partition. Client-call edges need no syntactic sweep — callee
+    // interference surfaces in the groups.
+    if (!CFG.Prog)
+      return fail("client program unavailable for points-to revalidation");
+    dataflow::PTSystem Sys = dataflow::generateConstraints(*CFG.Prog, Spec);
+    if (R.u32() != static_cast<uint32_t>(Sys.Nodes.size()))
+      return fail("points-to node-count mismatch against regenerated system");
+    const uint32_t NumObjs = static_cast<uint32_t>(Sys.Objects.size());
+    dataflow::PointsToSolution Sol;
+    Sol.VarPts.resize(Sys.Nodes.size());
+    auto ReadSet = [&](std::set<int> &S) {
+      uint32_t K = R.u32();
+      if (R.failed() || K > NumObjs)
+        return false;
+      for (uint32_t J = 0; J != K; ++J) {
+        uint32_t O = R.u32();
+        if (R.failed() || O >= NumObjs)
+          return false;
+        S.insert(static_cast<int>(O));
+      }
+      return true;
+    };
+    for (size_t N = 0; N != Sys.Nodes.size(); ++N)
+      if (!ReadSet(Sol.VarPts[N]))
+        return fail("malformed points-to set");
+    const uint32_t NumFields = R.u32();
+    for (uint32_t I = 0; I != NumFields; ++I) {
+      uint32_t O = R.u32();
+      std::string F = R.str();
+      if (R.failed() || O >= NumObjs)
+        return fail("malformed points-to field entry");
+      std::set<int> S;
+      if (!ReadSet(S))
+        return fail("malformed points-to field set");
+      Sol.FieldPts.emplace(std::make_pair(static_cast<int>(O), std::move(F)),
+                           std::move(S));
+    }
+    std::string Why;
+    if (!dataflow::checkSolutionClosed(Sys, Sol, Why))
+      return fail("points-to solution not closed: " + Why);
+    std::set<std::string> Reachable = Sys.reachableFromMain();
+    if (!Reachable.count(C.Unit))
+      return fail("method not reachable from main under the closed world");
+    auto Groups = dataflow::computeAliasGroups(Sys, Sol, Reachable);
+    auto GIt = Groups.find(C.Unit);
+    if (GIt != Groups.end())
+      for (const std::vector<std::string> &G : GIt->second.Groups) {
+        int S = -1;
+        for (const std::string &V : G) {
+          auto It = SliceOf.find(V);
+          if (It == SliceOf.end())
+            continue;
+          if (S < 0)
+            S = It->second;
+          else if (S != It->second)
+            return fail("may-interfere group split across slices");
+        }
+      }
+    // Belt and braces: instance-relating actions named on the CFG must
+    // still be co-sliced regardless of what the groups say.
+    for (const cj::CFGEdge &E : M->Edges) {
+      if (E.Act.K != cj::Action::Kind::AllocComp &&
+          E.Act.K != cj::Action::Kind::CompCall &&
+          E.Act.K != cj::Action::Kind::Copy)
+        continue;
+      if (!SameSlice(E.Act))
+        return fail("an instance-relating action spans slices");
+    }
+  }
+  if (!R.done())
+    return fail("malformed payload");
+
+  // --- Claims, indexed against the canonical (unrestricted) check
+  // enumeration and validated against the owning slice's annotation.
+  // A restricted build emits an edge's checks in the canonical order,
+  // and check ownership (the receiver's — or for constructors the
+  // result's — slice) places each edge's checks in exactly one slice;
+  // text and location must agree or the mapping is refused.
+  const bp::BooleanProgram Canon = bp::buildBooleanProgram(Abs, *M, Quiet);
+  if (!validClaimShape(C, Canon.Checks.size(), Reason))
+    return fail(std::move(Reason));
+  std::map<int, std::vector<size_t>> CanonByEdge;
+  for (size_t I = 0; I != Canon.Checks.size(); ++I)
+    CanonByEdge[Canon.Checks[I].Edge].push_back(I);
+  std::vector<std::pair<int, int>> Owner(Canon.Checks.size(),
+                                         std::make_pair(-1, -1));
+  for (uint32_t S = 0; S != NumSlices; ++S) {
+    std::map<int, std::vector<size_t>> ByEdge;
+    for (size_t J = 0; J != BPs[S].Checks.size(); ++J)
+      ByEdge[BPs[S].Checks[J].Edge].push_back(J);
+    for (const auto &[Edge, Js] : ByEdge) {
+      auto CIt = CanonByEdge.find(Edge);
+      if (CIt == CanonByEdge.end() || CIt->second.size() != Js.size())
+        return fail("slice checks do not match the canonical enumeration");
+      for (size_t K = 0; K != Js.size(); ++K) {
+        const bp::Check &A = Canon.Checks[CIt->second[K]];
+        const bp::Check &B = BPs[S].Checks[Js[K]];
+        if (A.What != B.What || !(A.Loc == B.Loc))
+          return fail("slice check diverges from the canonical check");
+        if (Owner[CIt->second[K]].first >= 0)
+          return fail("check owned by two slices");
+        Owner[CIt->second[K]] = {static_cast<int>(S),
+                                 static_cast<int>(Js[K])};
+      }
+    }
+  }
+  for (const Claim &Cl : C.Claims) {
+    const auto [S, J] = Owner[Cl.Check];
+    if (S < 0)
+      return fail("claim on a check no slice owns");
+    const bp::Check &Chk = BPs[S].Checks[J];
+    int Node = M->Edges[Chk.Edge].From;
+    const std::vector<std::vector<bp::ValueSet>> &In = Ins[S];
     if (Cl.Outcome == core::CheckOutcome::Unreachable) {
       if (!In[Node].empty())
         return fail("unreachable claim at a covered node");

@@ -54,6 +54,7 @@ public:
 
 private:
   CheckResult checkBoolIntra(const Certificate &C) const;
+  CheckResult checkSlicePartition(const Certificate &C) const;
   CheckResult checkIfds(const Certificate &C) const;
   CheckResult checkTvla(const Certificate &C) const;
   CheckResult checkAllocSite(const Certificate &C) const;

@@ -1,6 +1,7 @@
 #include "cert/Emit.h"
 
 #include "dataflow/Dataflow.h"
+#include "dataflow/PointsTo.h"
 #include "tvla/Transfer.h"
 
 #include <array>
@@ -120,39 +121,28 @@ bool cert::readAbsState(Reader &R, core::baseline::AbsState &Out) {
 // Boolean-program intraprocedural
 //===----------------------------------------------------------------------===//
 
-Certificate cert::emitBoolIntra(const bp::BooleanProgram &BP,
-                                const bp::IntraResult &R,
-                                bool AssumeChecksPass) {
+namespace {
+
+/// Serializes one method's possible-value annotation body (per-node
+/// tag + stored states) with verify-pruning: a node's state is omitted
+/// only when re-running the checker's reconstruction rule (unique
+/// in-edge from an earlier annotated node) reproduces the engine's
+/// value exactly. The engine's and the checker's values then coincide
+/// by induction over RPO, so pruning is unconditionally sound — a
+/// disagreement simply stores the entry instead. Shared by the plain
+/// and the per-slice emitters.
+void writeBoolSection(Writer &W, const bp::BooleanProgram &BP,
+                      const bp::IntraResult &R, bool AssumeChecksPass,
+                      uint32_t &RawEntries, uint32_t &StoredEntries) {
   const cj::CFGMethod &M = *BP.CFG;
-  Certificate C;
-  C.Kind = CertKind::BoolIntra;
-  C.Unit = M.name();
-
-  for (size_t I = 0; I != R.CheckResults.size(); ++I)
-    if (R.CheckResults[I] == core::CheckOutcome::Safe ||
-        R.CheckResults[I] == core::CheckOutcome::Unreachable)
-      C.Claims.push_back({static_cast<uint32_t>(I), R.CheckResults[I]});
-
   const dataflow::CFGInfo Info(M);
   const bp::EdgeTransfer T(BP, AssumeChecksPass);
-
-  // Verify-prune: omit a node's state only when re-running the
-  // checker's reconstruction rule (unique in-edge from an earlier
-  // annotated node) reproduces the engine's value exactly. The engine's
-  // and the checker's values then coincide by induction over RPO, so
-  // pruning is unconditionally sound — a disagreement simply stores the
-  // entry instead.
-  Writer W;
-  W.u32(static_cast<uint32_t>(M.NumNodes));
-  W.u32(static_cast<uint32_t>(BP.Vars.size()));
-  W.u32(static_cast<uint32_t>(BP.Checks.size()));
-  W.u8(AssumeChecksPass ? 1 : 0);
   for (int N = 0; N != M.NumNodes; ++N) {
     if (!R.reachable(N)) {
       W.u8(0);
       continue;
     }
-    ++C.RawEntries;
+    ++RawEntries;
     bool Pruned = false;
     if (N != M.Entry && Info.rpoNumber(N) > 0 &&
         Info.predEdges(N).size() == 1) {
@@ -168,11 +158,117 @@ Certificate cert::emitBoolIntra(const bp::BooleanProgram &BP,
       W.u8(2);
       continue;
     }
-    ++C.StoredEntries;
+    ++StoredEntries;
     W.u8(1);
     for (bp::ValueSet V : R.In[N])
       W.u8(static_cast<uint8_t>(V));
   }
+}
+
+void writeObjSet(Writer &W, const std::set<int> &S) {
+  W.u32(static_cast<uint32_t>(S.size()));
+  for (int Obj : S)
+    W.u32(static_cast<uint32_t>(Obj));
+}
+
+} // namespace
+
+Certificate cert::emitBoolIntra(const bp::BooleanProgram &BP,
+                                const bp::IntraResult &R,
+                                bool AssumeChecksPass) {
+  const cj::CFGMethod &M = *BP.CFG;
+  Certificate C;
+  C.Kind = CertKind::BoolIntra;
+  C.Unit = M.name();
+
+  for (size_t I = 0; I != R.CheckResults.size(); ++I)
+    if (R.CheckResults[I] == core::CheckOutcome::Safe ||
+        R.CheckResults[I] == core::CheckOutcome::Unreachable)
+      C.Claims.push_back({static_cast<uint32_t>(I), R.CheckResults[I]});
+
+  Writer W;
+  W.u32(static_cast<uint32_t>(M.NumNodes));
+  W.u32(static_cast<uint32_t>(BP.Vars.size()));
+  W.u32(static_cast<uint32_t>(BP.Checks.size()));
+  W.u8(AssumeChecksPass ? 1 : 0);
+  writeBoolSection(W, BP, R, AssumeChecksPass, C.RawEntries, C.StoredEntries);
+  C.Payload = W.take();
+  C.seal();
+  return C;
+}
+
+Certificate cert::emitSlicePartition(
+    const cj::CFGMethod &M, const std::vector<SliceEvidence> &Slices,
+    const bp::BooleanProgram &CanonicalBP,
+    const std::vector<core::CheckOutcome> &Outcomes,
+    const std::vector<dataflow::BitVector> &MayUninit,
+    const dataflow::PointsToResult *PT, bool AssumeChecksPass) {
+  (void)CanonicalBP;
+  Certificate C;
+  C.Kind = CertKind::SlicePartition;
+  C.Unit = M.name();
+
+  for (size_t I = 0; I != Outcomes.size(); ++I)
+    if (Outcomes[I] == core::CheckOutcome::Safe ||
+        Outcomes[I] == core::CheckOutcome::Unreachable)
+      C.Claims.push_back({static_cast<uint32_t>(I), Outcomes[I]});
+
+  Writer W;
+  W.u8(PT ? 1 : 0);
+  W.u8(AssumeChecksPass ? 1 : 0);
+  W.u32(static_cast<uint32_t>(M.NumNodes));
+  W.u32(static_cast<uint32_t>(M.CompVars.size()));
+
+  // Must-assigned annotation: the complement of the engine's
+  // may-uninitialized fixpoint, per covered node. The checker validates
+  // it as a single-pass under-approximation, proving no component
+  // variable is used before assignment — the gate a slice partition
+  // shares with the engine-side slicer.
+  for (int N = 0; N != M.NumNodes; ++N) {
+    const dataflow::BitVector &B = MayUninit[N];
+    if (B.empty()) {
+      W.u8(0);
+      continue;
+    }
+    W.u8(1);
+    std::vector<uint32_t> Must;
+    for (size_t V = 0; V != B.size(); ++V)
+      if (!B[V])
+        Must.push_back(static_cast<uint32_t>(V));
+    W.u32(static_cast<uint32_t>(Must.size()));
+    for (uint32_t V : Must)
+      W.u32(V);
+  }
+
+  W.u32(static_cast<uint32_t>(Slices.size()));
+  for (const SliceEvidence &S : Slices) {
+    W.u32(static_cast<uint32_t>(S.Vars.size()));
+    for (const std::string &V : S.Vars)
+      W.str(V);
+    W.u32(static_cast<uint32_t>(S.BP->Vars.size()));
+    W.u32(static_cast<uint32_t>(S.BP->Checks.size()));
+    writeBoolSection(W, *S.BP, *S.R, AssumeChecksPass, C.RawEntries,
+                     C.StoredEntries);
+  }
+
+  // Mode-1 evidence: the points-to solution, node-indexed against the
+  // constraint system the checker regenerates from the trusted
+  // (program, spec) pair. Only the solution ships — the system itself
+  // is recomputed, so tampering with constraints is impossible and
+  // tampering with the solution breaks the closure sweep.
+  if (PT) {
+    const dataflow::PointsToSolution &Sol = PT->Sol;
+    W.u32(static_cast<uint32_t>(PT->Sys.Nodes.size()));
+    for (size_t N = 0; N != PT->Sys.Nodes.size(); ++N)
+      writeObjSet(W, Sol.pts(static_cast<int>(N)));
+    W.u32(static_cast<uint32_t>(Sol.FieldPts.size()));
+    for (const auto &[Key, S] : Sol.FieldPts) {
+      W.u32(static_cast<uint32_t>(Key.first));
+      W.str(Key.second);
+      writeObjSet(W, S);
+    }
+  }
+
   C.Payload = W.take();
   C.seal();
   return C;

@@ -23,9 +23,14 @@
 #include "boolprog/Interprocedural.h"
 #include "cert/Certificate.h"
 #include "core/GenericBaseline.h"
+#include "dataflow/Dataflow.h"
 #include "tvla/Certify.h"
 
 namespace canvas {
+namespace dataflow {
+struct PointsToResult;
+} // namespace dataflow
+
 namespace cert {
 
 /// Certificate for one method's intraprocedural possible-value run.
@@ -35,6 +40,34 @@ namespace cert {
 Certificate emitBoolIntra(const bp::BooleanProgram &BP,
                           const bp::IntraResult &R,
                           bool AssumeChecksPass = true);
+
+/// One slice's evidence for emitSlicePartition: the slice's component
+/// variables, the boolean program built under that restriction, and its
+/// intraprocedural fixpoint. Pointers are borrowed for the call.
+struct SliceEvidence {
+  std::vector<std::string> Vars;
+  const bp::BooleanProgram *BP = nullptr;
+  const bp::IntraResult *R = nullptr;
+};
+
+/// Certificate for one method certified per-slice: each slice's
+/// possible-value annotation (same encoding as emitBoolIntra) plus the
+/// evidence that the partition itself is sound — the definite-
+/// assignment fixpoint as a must-assigned annotation and, when slicing
+/// was justified by whole-program points-to (\p PT non-null, mode 1),
+/// the points-to solution for the checker to revalidate against its own
+/// regenerated constraint system. \p CanonicalBP is the *unrestricted*
+/// program: claims index its check enumeration, and \p Outcomes lists
+/// the merged per-check verdicts in that order. \p MayUninit is the
+/// per-node definite-assignment fixpoint of the method (empty inner
+/// vector = entry-unreachable node).
+Certificate emitSlicePartition(const cj::CFGMethod &M,
+                               const std::vector<SliceEvidence> &Slices,
+                               const bp::BooleanProgram &CanonicalBP,
+                               const std::vector<core::CheckOutcome> &Outcomes,
+                               const std::vector<dataflow::BitVector> &MayUninit,
+                               const dataflow::PointsToResult *PT,
+                               bool AssumeChecksPass = true);
 
 /// Certificate for a whole-program interprocedural solve: the full
 /// path-edge set plus the genuine (procedure, entry fact) relation.

@@ -6,6 +6,8 @@
 #include "cert/Emit.h"
 #include "client/CFG.h"
 #include "core/GenericBaseline.h"
+#include "dataflow/Escape.h"
+#include "dataflow/PointsTo.h"
 #include "support/TaskPool.h"
 #include "tvla/Certify.h"
 
@@ -68,6 +70,30 @@ std::string CertificationReport::str() const {
   if (!Lints.empty())
     Out += ", " + std::to_string(Lints.size()) + " lint warning(s)";
   Out += "\n";
+  if (PointsTo.Enabled) {
+    Out += "points-to: " + std::to_string(PointsTo.Objects) + " object(s), " +
+           std::to_string(PointsTo.Constraints) + " constraint(s), " +
+           std::to_string(PointsTo.ReachableMethods) + "/" +
+           std::to_string(PointsTo.TotalMethods) +
+           " method(s) reachable, sites: " +
+           std::to_string(PointsTo.LocalSites) + " local, " +
+           std::to_string(PointsTo.ArgSites) + " arg-escaping, " +
+           std::to_string(PointsTo.HeapSites) + " heap-escaping";
+    if (PointsTo.PrunedMethods)
+      Out += ", " + std::to_string(PointsTo.PrunedMethods) +
+             " unreachable method(s) pruned";
+    Out += "\n";
+  }
+  for (const MethodSliceSummary &MS : SliceSummaries) {
+    if (MS.ForcedSingleReason.empty() && MS.Slices < 2)
+      continue;
+    Out += "slicing: " + MS.Method + ": ";
+    if (!MS.ForcedSingleReason.empty())
+      Out += "single slice (" + MS.ForcedSingleReason + ")";
+    else
+      Out += std::to_string(MS.Slices) + " slice(s)";
+    Out += "\n";
+  }
   if (Degraded) {
     Out += "engine degraded: requested " + std::string(engineName(Requested)) +
            ", ran " + EffectiveEngine + "\n";
@@ -110,6 +136,8 @@ struct EngineRun {
   std::vector<CheckVerdict> Checks;
   std::vector<LintFinding> Lints;
   PreAnalysisSummary Pre;
+  PointsToReport PointsTo;
+  std::vector<MethodSliceSummary> SliceSummaries;
   InterprocStats Inter;
   TVLAStats Tvla;
   size_t BoolVars = 0;
@@ -155,12 +183,15 @@ obligationAbstraction(const wp::DerivedAbstraction &Abs,
   return nullptr;
 }
 
-/// The lint-only floor of the ladder: no engine ran to completion, so
-/// every requires obligation is reported as a conservative Potential,
-/// marked Degraded with \p Note.
+/// Reports every requires obligation of \p M with a fixed \p Outcome:
+/// the lint-only floor of the ladder (conservative Potential, marked
+/// Degraded with \p Note), and closed-world pruning (Unreachable, not
+/// degraded — the method provably never runs).
 void enumerateObligations(const wp::DerivedAbstraction &Abs,
                           const cj::CFGMethod &M, const std::string &Note,
-                          std::vector<CheckVerdict> &Out) {
+                          std::vector<CheckVerdict> &Out,
+                          CheckOutcome Outcome = CheckOutcome::Potential,
+                          bool Degraded = true) {
   for (size_t E = 0; E != M.Edges.size(); ++E) {
     const wp::MethodAbstraction *MA =
         obligationAbstraction(Abs, M, M.Edges[E].Act);
@@ -173,12 +204,157 @@ void enumerateObligations(const wp::DerivedAbstraction &Abs,
       V.What = M.Edges[E].Act.str() + " requires !" +
                MA->RequiresFalse[R].first.str(Abs.Families);
       V.ReqLoc = MA->RequiresFalse[R].second;
-      V.Outcome = CheckOutcome::Potential;
-      V.Degraded = true;
-      V.DegradeNote = Note;
+      V.Outcome = Outcome;
+      V.Degraded = Degraded;
+      if (Degraded)
+        V.DegradeNote = Note;
       Out.push_back(std::move(V));
     }
   }
+}
+
+/// The per-slice certificate-mode result for one method: verdicts in
+/// canonical check order plus the SlicePartition certificate.
+struct SlicedCertAttempt {
+  std::vector<CheckVerdict> Checks;
+  cert::Certificate Cert;
+  size_t BoolVars = 0;
+  size_t MaxSliceBoolVars = 0;
+  unsigned SliceRuns = 0;
+  MethodSliceSummary Summary;
+  double EmitMicros = 0;
+};
+
+/// Attempts per-slice certification of \p M under certificate emission:
+/// the slicing gates and partition are recomputed on the untransformed
+/// method, each slice's restricted boolean program is analyzed
+/// independently, and the verdicts are merged in the canonical
+/// (unrestricted) check order the SlicePartition certificate claims
+/// against. Returns false — the caller then runs the plain unsliced
+/// path — when the method does not split, a slicing gate fires, a
+/// Definite verdict requires the unsliced confirmation run, or the
+/// canonical check mapping cannot be established. \p Summary is filled
+/// whenever the method has component variables, success or not.
+bool certifyMethodSliced(const wp::DerivedAbstraction &Abs,
+                         const cj::CFGMethod &M,
+                         const dataflow::PointsToResult *PT,
+                         support::CancelToken *Tok, SlicedCertAttempt &Out) {
+  if (M.CompVars.empty())
+    return false;
+  Out.Summary.Method = M.name();
+  Out.Summary.Slices = 1;
+
+  const dataflow::CFGInfo Info(M);
+  std::vector<dataflow::BitVector> MayUninit;
+  dataflow::DefiniteAssignmentResult DA =
+      dataflow::analyzeDefiniteAssignment(M, Info, &Abs, Tok, &MayUninit);
+  std::vector<std::string> Universe;
+  Universe.reserve(M.CompVars.size());
+  for (const auto &NameAndType : M.CompVars)
+    Universe.push_back(NameAndType.first);
+  const dataflow::MethodAliasInfo *Alias =
+      PT ? PT->aliasFor(M.name()) : nullptr;
+  dataflow::SliceResult SR = dataflow::computeSlices(
+      M, Universe, !DA.clean(), dataflow::abstractionReadsRetSources(Abs),
+      Alias);
+  Out.Summary.Slices = static_cast<unsigned>(SR.Slices.size());
+  if (SR.ForcedSingleReason)
+    Out.Summary.ForcedSingleReason = SR.ForcedSingleReason;
+  if (SR.Slices.size() < 2)
+    return false;
+
+  // Per-slice restricted programs and fixpoints. Their construction
+  // re-diagnoses what the canonical build below already reports, so
+  // they run against a throwaway engine.
+  DiagnosticEngine Quiet;
+  std::vector<bp::BooleanProgram> BPs;
+  BPs.reserve(SR.Slices.size());
+  for (const std::vector<std::string> &Sl : SR.Slices) {
+    bp::BuildRestriction Restrict;
+    Restrict.Vars = Sl;
+    BPs.push_back(bp::buildBooleanProgram(Abs, M, Quiet, Restrict));
+  }
+  std::vector<bp::IntraResult> Rs;
+  Rs.reserve(BPs.size());
+  for (const bp::BooleanProgram &BP : BPs)
+    Rs.push_back(bp::analyzeIntraproc(BP, Tok));
+  for (const bp::IntraResult &R : Rs)
+    for (CheckOutcome O : R.CheckResults)
+      if (O == CheckOutcome::Definite)
+        return false; // Only the unsliced run may confirm a definite
+                      // violation (it can truncate sibling paths).
+
+  // Canonical (unrestricted) program; map each of its checks to the
+  // owning slice positionally per edge — the same mapping the
+  // certificate checker validates.
+  bp::BooleanProgram Canon = bp::buildBooleanProgram(Abs, M, Quiet);
+  std::map<int, std::vector<size_t>> CanonByEdge;
+  for (size_t I = 0; I != Canon.Checks.size(); ++I)
+    CanonByEdge[Canon.Checks[I].Edge].push_back(I);
+  std::vector<std::pair<int, int>> Owner(Canon.Checks.size(),
+                                         std::make_pair(-1, -1));
+  for (size_t SI = 0; SI != BPs.size(); ++SI) {
+    std::map<int, std::vector<size_t>> ByEdge;
+    for (size_t J = 0; J != BPs[SI].Checks.size(); ++J)
+      ByEdge[BPs[SI].Checks[J].Edge].push_back(J);
+    for (const auto &EdgeAndChecks : ByEdge) {
+      auto CIt = CanonByEdge.find(EdgeAndChecks.first);
+      const std::vector<size_t> &Js = EdgeAndChecks.second;
+      if (CIt == CanonByEdge.end() || CIt->second.size() != Js.size())
+        return false;
+      for (size_t K = 0; K != Js.size(); ++K) {
+        size_t CI = CIt->second[K];
+        const bp::Check &A = Canon.Checks[CI];
+        const bp::Check &B = BPs[SI].Checks[Js[K]];
+        if (A.What != B.What || !(A.Loc == B.Loc) || Owner[CI].first >= 0)
+          return false;
+        Owner[CI] = {static_cast<int>(SI), static_cast<int>(Js[K])};
+      }
+    }
+  }
+  for (const std::pair<int, int> &O : Owner)
+    if (O.first < 0)
+      return false; // A check no slice owns cannot be claimed.
+
+  // Merged verdicts in canonical order; witnesses come from the owning
+  // slice's engine (the restricted program runs on the original CFG, so
+  // no edge remapping is needed).
+  std::vector<CheckOutcome> Outcomes(Canon.Checks.size());
+  std::vector<std::unique_ptr<bp::IntraWitnessEngine>> WEs(BPs.size());
+  for (size_t I = 0; I != Canon.Checks.size(); ++I) {
+    const int SI = Owner[I].first, J = Owner[I].second;
+    Outcomes[I] = Rs[SI].CheckResults[J];
+    CheckVerdict V;
+    V.Method = M.name();
+    V.Loc = Canon.Checks[I].Loc;
+    V.What = Canon.Checks[I].What;
+    V.ReqLoc = Canon.Checks[I].ReqLoc;
+    V.Outcome = Outcomes[I];
+    if (V.Outcome == CheckOutcome::Potential) {
+      if (!WEs[SI])
+        WEs[SI] = std::make_unique<bp::IntraWitnessEngine>(BPs[SI]);
+      V.Witness = WEs[SI]->witnessFor(J);
+    }
+    Out.Checks.push_back(std::move(V));
+  }
+
+  std::vector<cert::SliceEvidence> Ev;
+  Ev.reserve(BPs.size());
+  for (size_t SI = 0; SI != BPs.size(); ++SI)
+    Ev.push_back({SR.Slices[SI], &BPs[SI], &Rs[SI]});
+  Out.Cert = timed(Out.EmitMicros, [&] {
+    // Mode-1 (points-to) evidence only when the partition actually used
+    // the alias groups; a legacy partition is checkable by the local
+    // gates alone.
+    return cert::emitSlicePartition(M, Ev, Canon, Outcomes, MayUninit,
+                                    Alias ? PT : nullptr);
+  });
+  Out.SliceRuns = static_cast<unsigned>(BPs.size());
+  for (const bp::BooleanProgram &BP : BPs) {
+    Out.BoolVars += BP.Vars.size();
+    Out.MaxSliceBoolVars = std::max(Out.MaxSliceBoolVars, BP.Vars.size());
+  }
+  return true;
 }
 
 /// Runs one ladder rung to completion under \p Tok's budget; throws
@@ -214,12 +390,47 @@ void runEngine(EngineKind K, const easl::Spec &S,
 
   switch (K) {
   case EngineKind::SCMPIntra: {
+    // Optional whole-program points-to & escape pre-analysis. A failure
+    // here (budget exhaustion, the injected "points-to" fault) degrades
+    // precision — the engine continues with the unrefined slicing gates
+    // — rather than failing the rung.
+    std::unique_ptr<dataflow::PointsToResult> PT;
+    if (Opts.PointsTo && CFG.Prog) {
+      try {
+        auto Result = std::make_unique<dataflow::PointsToResult>(
+            dataflow::analyzePointsTo(*CFG.Prog, S, &Tok));
+        dataflow::EscapeResult Esc =
+            dataflow::classifyEscapes(Result->Sys, Result->Sol);
+        Run.PointsTo.Enabled = true;
+        Run.PointsTo.HasMain = Result->Sys.HasMain;
+        Run.PointsTo.Objects = Result->Stats.Objects;
+        Run.PointsTo.Constraints = Result->Stats.Constraints;
+        Run.PointsTo.Iterations = Result->Stats.Iterations;
+        Run.PointsTo.ReachableMethods = Result->Stats.ReachableMethods;
+        Run.PointsTo.TotalMethods = Result->Stats.TotalMethods;
+        Run.PointsTo.LocalSites = Esc.NumLocal;
+        Run.PointsTo.ArgSites = Esc.NumArg;
+        Run.PointsTo.HeapSites = Esc.NumHeap;
+        PT = std::move(Result);
+      } catch (const CertifyError &) {
+        // Unrefined gates stay sound without the points-to result. If
+        // the budget is exhausted the engine's own next tick fails the
+        // rung as usual.
+      }
+    }
+
     if (!Opts.PreAnalysis || Opts.EmitCertificates) {
+      const bool TrySliced =
+          Opts.EmitCertificates && Opts.PreAnalysis && Opts.Pre.Slice;
       struct Slot {
         std::vector<CheckVerdict> Checks;
         std::vector<cert::Certificate> Certs;
         DiagnosticEngine Diags;
+        MethodSliceSummary Summary;
+        unsigned SliceRuns = 0;
+        bool FellBack = false;
         size_t BoolVars = 0;
+        size_t MaxBoolVars = 0;
         double EmitMicros = 0;
       };
       std::vector<Slot> Slots(CFG.Methods.size());
@@ -229,9 +440,28 @@ void runEngine(EngineKind K, const easl::Spec &S,
         Tasks.push_back([&, MI] {
           const cj::CFGMethod &M = CFG.Methods[MI];
           Slot &Out = Slots[MI];
+          if (TrySliced) {
+            SlicedCertAttempt A;
+            if (certifyMethodSliced(Abs, M, PT.get(), &Tok, A)) {
+              Out.Checks = std::move(A.Checks);
+              Out.Certs.push_back(std::move(A.Cert));
+              Out.BoolVars = A.BoolVars;
+              Out.MaxBoolVars = A.MaxSliceBoolVars;
+              Out.SliceRuns = A.SliceRuns;
+              Out.Summary = std::move(A.Summary);
+              Out.EmitMicros = A.EmitMicros;
+              return;
+            }
+            // The method split but could not be certified per-slice
+            // (definite violation or no canonical mapping): rerun
+            // unsliced below, like the non-certificate fallback.
+            Out.FellBack = A.Summary.Slices > 1;
+            Out.Summary = std::move(A.Summary);
+          }
           bp::BooleanProgram BP = bp::buildBooleanProgram(Abs, M, Out.Diags);
           bp::IntraResult R = bp::analyzeIntraproc(BP, &Tok);
           Out.BoolVars = BP.Vars.size();
+          Out.MaxBoolVars = BP.Vars.size();
           if (Opts.EmitCertificates)
             Out.Certs.push_back(timed(
                 Out.EmitMicros, [&] { return cert::emitBoolIntra(BP, R); }));
@@ -256,8 +486,14 @@ void runEngine(EngineKind K, const easl::Spec &S,
       for (Slot &Out : Slots) {
         Diags.mergeFrom(Out.Diags);
         Run.BoolVars += Out.BoolVars;
-        Run.MaxBoolVars = std::max(Run.MaxBoolVars, Out.BoolVars);
+        Run.MaxBoolVars = std::max(Run.MaxBoolVars, Out.MaxBoolVars);
         Run.EmitMicros += Out.EmitMicros;
+        Run.Pre.SliceRuns += Out.SliceRuns;
+        Run.Pre.FallbackMethods += Out.FellBack;
+        if (Out.Summary.Slices > 1)
+          ++Run.Pre.MultiSliceMethods;
+        if (!Out.Summary.Method.empty())
+          Run.SliceSummaries.push_back(std::move(Out.Summary));
         for (CheckVerdict &V : Out.Checks)
           Run.Checks.push_back(std::move(V));
         for (cert::Certificate &Cert : Out.Certs)
@@ -268,6 +504,7 @@ void runEngine(EngineKind K, const easl::Spec &S,
 
     dataflow::PreAnalysisOptions PreOpts = Opts.Pre;
     PreOpts.Cancel = &Tok;
+    PreOpts.PointsTo = PT.get();
     dataflow::PreAnalysisResult PA = dataflow::preAnalyze(CFG, Abs, PreOpts);
     attachLints(Run.Lints, PA);
     Run.Pre.Enabled = true;
@@ -275,12 +512,28 @@ void runEngine(EngineKind K, const easl::Spec &S,
     Run.Pre.DeadStoresRemoved = PA.totalDeadStores();
     Run.Pre.VarsDropped = PA.totalVarsDropped();
     Run.Pre.MultiSliceMethods = PA.multiSliceMethods();
+    for (const dataflow::MethodPlan &Plan : PA.Plans)
+      if (!Plan.Retained.empty()) {
+        MethodSliceSummary MS;
+        MS.Method = Plan.Source->name();
+        MS.Slices = static_cast<unsigned>(Plan.Slices.size());
+        if (Plan.ForcedSingleReason)
+          MS.ForcedSingleReason = Plan.ForcedSingleReason;
+        Run.SliceSummaries.push_back(std::move(MS));
+      }
+
+    // Closed-world pruning: under a solved points-to system with a
+    // main() method, a method unreachable along the resolved call graph
+    // never executes, so its obligations are discharged as Unreachable
+    // without running the engine.
+    const bool Prune = PT && PT->Sys.HasMain;
 
     struct Slot {
       std::vector<CheckVerdict> Checks;
       DiagnosticEngine Diags;
       unsigned SliceRuns = 0;
       unsigned FellBack = 0;
+      bool Pruned = false;
       size_t BoolVars = 0;
       size_t MaxSliceBoolVars = 0;
     };
@@ -291,6 +544,12 @@ void runEngine(EngineKind K, const easl::Spec &S,
       Tasks.push_back([&, PI] {
         const dataflow::MethodPlan &Plan = PA.Plans[PI];
         Slot &Out = Slots[PI];
+        if (Prune && !PT->Reachable.count(Plan.Source->name())) {
+          Out.Pruned = true;
+          enumerateObligations(Abs, *Plan.Source, "", Out.Checks,
+                               CheckOutcome::Unreachable, false);
+          return;
+        }
         bp::SlicedIntraResult SR = bp::analyzeIntraprocSliced(
             Abs, Plan.CFG, Plan.Slices, Out.Diags, &Tok);
         Out.SliceRuns = SR.SliceRuns;
@@ -342,6 +601,7 @@ void runEngine(EngineKind K, const easl::Spec &S,
       Diags.mergeFrom(Out.Diags);
       Run.Pre.SliceRuns += Out.SliceRuns;
       Run.Pre.FallbackMethods += Out.FellBack;
+      Run.PointsTo.PrunedMethods += Out.Pruned;
       Run.BoolVars += Out.BoolVars;
       Run.MaxBoolVars = std::max(Run.MaxBoolVars, Out.MaxSliceBoolVars);
       for (CheckVerdict &V : Out.Checks)
@@ -560,6 +820,8 @@ CertificationReport Certifier::certify(const cj::Program &P,
       Report.Checks = std::move(Run.Checks);
       Report.Lints = std::move(Run.Lints);
       Report.Pre = Run.Pre;
+      Report.PointsTo = Run.PointsTo;
+      Report.SliceSummaries = std::move(Run.SliceSummaries);
       Report.Inter = Run.Inter;
       Report.Tvla = Run.Tvla;
       Report.BoolVars = Run.BoolVars;

@@ -85,6 +85,37 @@ struct PreAnalysisSummary {
   unsigned FallbackMethods = 0;
 };
 
+/// Statistics of the whole-program points-to & escape pre-analysis
+/// (zero unless CertifierOptions::PointsTo was set and the analysis
+/// completed).
+struct PointsToReport {
+  bool Enabled = false;
+  /// The client had a main() method, so the closed-world reachability
+  /// and alias refinement applied.
+  bool HasMain = false;
+  unsigned Objects = 0;
+  unsigned Constraints = 0;
+  unsigned Iterations = 0;
+  unsigned ReachableMethods = 0;
+  unsigned TotalMethods = 0;
+  /// Methods whose obligations were discharged as Unreachable without
+  /// running the engine (never under EmitCertificates).
+  unsigned PrunedMethods = 0;
+  /// Escape classification of component allocation sites.
+  unsigned LocalSites = 0;
+  unsigned ArgSites = 0;
+  unsigned HeapSites = 0;
+};
+
+/// Per-method slicing outcome of the SCMPIntra engine, surfaced so
+/// clients can see *why* a method did or did not certify per-slice.
+struct MethodSliceSummary {
+  std::string Method;
+  unsigned Slices = 0;
+  /// When slicing was forced off, the slicer's reason; empty otherwise.
+  std::string ForcedSingleReason;
+};
+
 /// Tabulation statistics of the interprocedural engine's IFDS solve
 /// (zero for other engines).
 struct InterprocStats {
@@ -139,6 +170,10 @@ struct CertificationReport {
   std::vector<CheckVerdict> Checks;
   std::vector<LintFinding> Lints;
   PreAnalysisSummary Pre;
+  PointsToReport PointsTo;
+  /// Per-method slicing outcomes of the SCMPIntra engine, method order;
+  /// only methods with retained component variables appear.
+  std::vector<MethodSliceSummary> SliceSummaries;
   InterprocStats Inter;
   TVLAStats Tvla;
   /// Total and largest boolean-program size B across the per-method
@@ -198,11 +233,27 @@ struct CertifierOptions {
   /// before joining overflow structures (tvla::TVLAOptions::
   /// MaxStructuresPerPoint); lowering it trades precision for space.
   unsigned TVLAMaxStructuresPerPoint = 256;
+  /// Run the whole-program points-to & escape pre-analysis before the
+  /// SCMPIntra engine: its per-method may-interfere groups replace the
+  /// syntactic heap/havoc slicing gates, obligations of methods
+  /// unreachable from main() are discharged as Unreachable (unless
+  /// certificates are being emitted), and the report carries the
+  /// PointsToReport statistics. Requires a main() method for the
+  /// refinement to apply; a client without one still gets the
+  /// statistics. On budget exhaustion or an injected "points-to" fault
+  /// the certifier degrades gracefully to the unrefined gates instead
+  /// of failing the rung.
+  bool PointsTo = false;
   /// Emit a proof-carrying certificate per analyzed unit, carrying the
   /// engine's fixpoint evidence for every Safe/Unreachable verdict
-  /// (CertificationReport::Certificates). The SCMPIntra engine then
-  /// analyzes each method unsliced (Stage-0 stays lint-only), since a
-  /// per-slice annotation is not independently checkable.
+  /// (CertificationReport::Certificates). The SCMPIntra engine analyzes
+  /// each method unsliced unless Stage-0 slicing (and PreAnalysis) is
+  /// on and the method splits into multiple slices, in which case it
+  /// runs per-slice and emits a SlicePartition certificate whose
+  /// checker re-validates the partition itself — so --check-only covers
+  /// sliced runs too. Dead-store elimination and edge pruning stay off
+  /// under emission (every obligation must appear in a checkable
+  /// enumeration).
   bool EmitCertificates = false;
   /// Re-validate every emitted certificate with the independent
   /// cert::Checker before the rung's verdicts are accepted. A rejected

@@ -62,15 +62,25 @@ DefiniteAssignmentResult
 dataflow::analyzeDefiniteAssignment(const cj::CFGMethod &M,
                                     const CFGInfo &Info,
                                     const wp::DerivedAbstraction *Abs,
-                                    support::CancelToken *Cancel) {
+                                    support::CancelToken *Cancel,
+                                    std::vector<BitVector> *StatesOut) {
   DefiniteAssignmentResult R;
   CompVarMap Vars(M);
-  if (Vars.size() == 0)
+  if (Vars.size() == 0) {
+    if (StatesOut)
+      StatesOut->assign(M.NumNodes, BitVector());
     return R;
+  }
 
   MayUninitProblem P(M, Vars);
   SolveResult<MayUninitProblem> S = solve(Info, P, Direction::Forward, Cancel);
   R.NodeVisits = S.NodeVisits;
+  if (StatesOut) {
+    StatesOut->assign(M.NumNodes, BitVector());
+    for (int N = 0; N != M.NumNodes; ++N)
+      if (S.reached(N))
+        (*StatesOut)[N] = *S.States[N];
+  }
 
   // Report uses against the pre-action state, in edge order.
   for (size_t E = 0; E != M.Edges.size(); ++E) {

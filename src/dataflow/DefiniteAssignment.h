@@ -50,11 +50,16 @@ struct DefiniteAssignmentResult {
 /// Runs the forward may-uninitialized analysis on \p M and collects
 /// every possibly-uninitialized use, in edge order. \p Abs (optional)
 /// is consulted to mark requires-bearing call sites. \p Cancel, when
-/// given, bounds the fixpoint (see support/Budget.h).
+/// given, bounds the fixpoint (see support/Budget.h). \p StatesOut,
+/// when given, receives the per-node fixpoint (bit I set = CompVarMap
+/// variable I may be uninitialized at node entry; an empty vector marks
+/// an entry-unreachable node) — certificate emission derives its
+/// must-assigned annotation from the complement.
 DefiniteAssignmentResult
 analyzeDefiniteAssignment(const cj::CFGMethod &M, const CFGInfo &Info,
                           const wp::DerivedAbstraction *Abs,
-                          support::CancelToken *Cancel = nullptr);
+                          support::CancelToken *Cancel = nullptr,
+                          std::vector<BitVector> *StatesOut = nullptr);
 
 } // namespace dataflow
 } // namespace canvas

@@ -1,0 +1,74 @@
+#include "dataflow/Escape.h"
+
+using namespace canvas;
+using namespace canvas::dataflow;
+
+const char *dataflow::escapeClassName(EscapeClass C) {
+  switch (C) {
+  case EscapeClass::MethodLocal:
+    return "method-local";
+  case EscapeClass::ArgEscaping:
+    return "arg-escaping";
+  case EscapeClass::HeapEscaping:
+    return "heap-escaping";
+  }
+  return "?";
+}
+
+std::string EscapeResult::str(const PTSystem &Sys) const {
+  std::string Out;
+  for (const auto &[Obj, C] : Sites) {
+    Out += Sys.Objects[Obj].str();
+    Out += ": ";
+    Out += escapeClassName(C);
+    Out += '\n';
+  }
+  return Out;
+}
+
+EscapeResult dataflow::classifyEscapes(const PTSystem &Sys,
+                                       const PointsToSolution &Sol) {
+  EscapeResult R;
+
+  // Heap-escaping: the site appears in some object's field (including
+  // the opaque world's summary field).
+  std::set<int> InHeap;
+  for (const auto &[Key, S] : Sol.FieldPts) {
+    (void)Key;
+    InHeap.insert(S.begin(), S.end());
+  }
+
+  for (size_t Obj = 0; Obj != Sys.Objects.size(); ++Obj) {
+    if (Sys.Objects[Obj].K != PTObject::Kind::CompAlloc)
+      continue;
+    const std::string &Home = Sys.Objects[Obj].Method;
+    EscapeClass C = EscapeClass::MethodLocal;
+    if (InHeap.count(static_cast<int>(Obj))) {
+      C = EscapeClass::HeapEscaping;
+    } else {
+      // Arg-escaping: some other method's local (or the allocator's own
+      // return slot) may denote the instance.
+      for (size_t N = 0; N != Sys.Nodes.size() && C == EscapeClass::MethodLocal;
+           ++N) {
+        if (!Sol.pts(static_cast<int>(N)).count(static_cast<int>(Obj)))
+          continue;
+        if (Sys.Nodes[N].first != Home ||
+            Sys.Nodes[N].second == "$ret")
+          C = EscapeClass::ArgEscaping;
+      }
+    }
+    R.Sites[static_cast<int>(Obj)] = C;
+    switch (C) {
+    case EscapeClass::MethodLocal:
+      ++R.NumLocal;
+      break;
+    case EscapeClass::ArgEscaping:
+      ++R.NumArg;
+      break;
+    case EscapeClass::HeapEscaping:
+      ++R.NumHeap;
+      break;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Escape/uniqueness classification of component allocation sites,
+/// derived from the whole-program points-to solution (PointsTo.h).
+///
+/// The uniqueness lattice, least-escaping first:
+///
+///   MethodLocal  ⊑  ArgEscaping  ⊑  HeapEscaping
+///
+///  - MethodLocal: every reference to instances born at the site stays
+///    in locals of the allocating method — the instance group is fully
+///    private, so the allocating method's slice partition alone governs
+///    its conformance checks.
+///  - ArgEscaping: references reach another method's locals (through a
+///    call binding or a return value) but never rest in the heap; the
+///    instance is shared along the call tree only.
+///  - HeapEscaping: a reference is stored into some object's field or
+///    leaks to the opaque world; any method that can reach that object
+///    may observe the instance.
+///
+/// The classification feeds the certification report (how much of a
+/// client is slicing-friendly) and documents exactly why Stage-0 may
+/// keep a partition fine: only HeapEscaping sites can alias across
+/// otherwise unrelated variables, and those flows are what the
+/// relatedness union-find tracks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_DATAFLOW_ESCAPE_H
+#define CANVAS_DATAFLOW_ESCAPE_H
+
+#include "dataflow/PointsTo.h"
+
+#include <map>
+#include <string>
+
+namespace canvas {
+namespace dataflow {
+
+enum class EscapeClass : uint8_t {
+  MethodLocal = 0,
+  ArgEscaping = 1,
+  HeapEscaping = 2,
+};
+
+const char *escapeClassName(EscapeClass C);
+
+struct EscapeResult {
+  /// Classification per component allocation site (CompAlloc object
+  /// index in the PTSystem object table).
+  std::map<int, EscapeClass> Sites;
+  unsigned NumLocal = 0;
+  unsigned NumArg = 0;
+  unsigned NumHeap = 0;
+
+  std::string str(const PTSystem &Sys) const;
+};
+
+/// Classifies every CompAlloc site of \p Sys under solution \p Sol.
+EscapeResult classifyEscapes(const PTSystem &Sys, const PointsToSolution &Sol);
+
+} // namespace dataflow
+} // namespace canvas
+
+#endif // CANVAS_DATAFLOW_ESCAPE_H

@@ -1,0 +1,741 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Andersen constraint generation, the round-robin solver, the
+/// single-pass closure validator used by the certificate checker, and
+/// the instance-relatedness quotient. Generation mirrors the typing
+/// discipline of client/CFG.cpp exactly (component types resolve
+/// against the spec, client types against the program, everything else
+/// is opaque), but walks the AST rather than the lowered CFG: lowering
+/// erases heap structure (field stores become havoc), which is
+/// precisely the information this analysis exists to keep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/PointsTo.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace canvas;
+using namespace canvas::dataflow;
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+std::string PTObject::str() const {
+  switch (K) {
+  case Kind::Unknown:
+    return "<unknown>";
+  case Kind::CompAlloc:
+    return "alloc " + Type + " @" + Method + ":" + std::to_string(Loc.Line);
+  case Kind::ClientAlloc:
+    return "client " + Type + " @" + Method + ":" + std::to_string(Loc.Line);
+  case Kind::CompDerived:
+    return "result " + Type + " @" + Method + ":" + std::to_string(Loc.Line);
+  case Kind::MainContext:
+    return "main-context " + Type;
+  }
+  return "?";
+}
+
+int PTSystem::nodeOf(const std::string &Method, const std::string &Var) const {
+  auto It = MethodVars.find(Method);
+  if (It == MethodVars.end())
+    return -1;
+  for (const auto &[Name, Node] : It->second)
+    if (Name == Var)
+      return Node;
+  return -1;
+}
+
+std::set<std::string> PTSystem::reachableFromMain() const {
+  std::set<std::string> Out;
+  if (!HasMain)
+    return Out;
+  std::vector<std::string> Work{MainName};
+  Out.insert(MainName);
+  while (!Work.empty()) {
+    std::string M = Work.back();
+    Work.pop_back();
+    auto It = CallGraph.find(M);
+    if (It == CallGraph.end())
+      continue;
+    for (const std::string &Callee : It->second)
+      if (Out.insert(Callee).second)
+        Work.push_back(Callee);
+  }
+  return Out;
+}
+
+const std::set<int> &PointsToSolution::pts(int Node) const {
+  static const std::set<int> Empty;
+  if (Node < 0 || static_cast<size_t>(Node) >= VarPts.size())
+    return Empty;
+  return VarPts[Node];
+}
+
+const std::set<int> &PointsToSolution::fieldPts(int Obj,
+                                                const std::string &Field) const {
+  static const std::set<int> Empty;
+  auto It = FieldPts.find({Obj, fieldKey(Obj, Field)});
+  return It == FieldPts.end() ? Empty : It->second;
+}
+
+bool MethodAliasInfo::related(const std::string &A,
+                              const std::string &B) const {
+  for (const std::vector<std::string> &G : Groups) {
+    bool HasA = std::find(G.begin(), G.end(), A) != G.end();
+    bool HasB = std::find(G.begin(), G.end(), B) != G.end();
+    if (HasA && HasB)
+      return true;
+    if (HasA || HasB)
+      return false; // Groups partition: no need to scan further.
+  }
+  return false;
+}
+
+const MethodAliasInfo *
+PointsToResult::aliasFor(const std::string &Method) const {
+  auto It = Alias.find(Method);
+  return It == Alias.end() ? nullptr : &It->second;
+}
+
+namespace {
+
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    for (size_t I = 0; I != N; ++I)
+      Parent[I] = static_cast<int>(I);
+  }
+  int find(int X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void merge(int A, int B) {
+    A = find(A);
+    B = find(B);
+    if (A != B)
+      Parent[std::max(A, B)] = std::min(A, B);
+  }
+
+private:
+  std::vector<int> Parent;
+};
+
+//===----------------------------------------------------------------------===//
+// Constraint generation
+//===----------------------------------------------------------------------===//
+
+class Generator {
+public:
+  Generator(const cj::Program &P, const easl::Spec &Spec)
+      : Prog(P), Spec(Spec) {}
+
+  PTSystem run() {
+    // The Unknown object and the opaque-world node, self-seeded so the
+    // world's summary field always contains at least the world itself.
+    Sys.Objects.push_back(PTObject{});
+    UNode = rawNode("", "$unknown", "", /*Comp=*/true);
+    addr(UNode, 0);
+    store(UNode, "*", UNode);
+
+    // Phase 1: intern every named variable of every method, so client
+    // calls can bind arguments to not-yet-walked callees and the
+    // certificate checker can resolve any (method, var) pair.
+    for (const cj::CClass &C : Prog.Classes)
+      for (const cj::CMethod &M : C.Methods)
+        internMethodVars(C, M);
+
+    // Phase 2: walk every method body.
+    for (const cj::CClass &C : Prog.Classes)
+      for (const cj::CMethod &M : C.Methods) {
+        enterMethod(C, M);
+        walk(M.Body);
+      }
+
+    // Entry seeding: main's receiver is a synthesized instance of its
+    // class; main's parameters come from the driver, i.e. the opaque
+    // world. Every other method is only ever entered through a
+    // statically resolved client call, whose bindings the constraints
+    // already carry (the closed-world assumption — see DESIGN.md).
+    if (const cj::CMethod *Main = Prog.mainMethod()) {
+      const cj::CClass *MC = Prog.classOfMethod(Main);
+      Sys.HasMain = true;
+      Sys.MainName = MC->Name + "::" + Main->Name;
+      int Ctx = addObject(PTObject::Kind::MainContext, Sys.MainName, MC->Name,
+                          Main->Loc);
+      addr(node(Sys.MainName, "this"), Ctx);
+      for (const cj::CParam &P : Main->Params)
+        addr(node(Sys.MainName, P.Name), 0);
+    }
+    return std::move(Sys);
+  }
+
+private:
+  bool isCompType(const std::string &T) const {
+    return Spec.findClass(T) != nullptr;
+  }
+  bool isClientType(const std::string &T) const {
+    return Prog.findClass(T) != nullptr;
+  }
+
+  /// Creates a node unconditionally. "this" is the client instance
+  /// itself, never a component reference, even when a client class
+  /// shadows a spec class name.
+  int rawNode(const std::string &Method, const std::string &Name,
+              const std::string &Type, bool Comp) {
+    int Id = static_cast<int>(Sys.Nodes.size());
+    Sys.Nodes.emplace_back(Method, Name);
+    Sys.NodeIsComp.push_back(Comp);
+    NodeTypes.push_back(Type);
+    NodeIds[{Method, Name}] = Id;
+    return Id;
+  }
+
+  int node(const std::string &Method, const std::string &Name) const {
+    auto It = NodeIds.find({Method, Name});
+    return It == NodeIds.end() ? -1 : It->second;
+  }
+
+  int temp(const std::string &Type) {
+    return rawNode(CurName, "$pt" + std::to_string(TempCount++), Type,
+                   Type.empty() || isCompType(Type));
+  }
+
+  /// A fresh node holding whatever the opaque world holds.
+  int unknownTemp() {
+    int T = temp("");
+    load(T, UNode, "*");
+    return T;
+  }
+
+  /// Leaks \p N to the opaque world.
+  void escape(int N) {
+    if (N >= 0)
+      store(UNode, "*", N);
+  }
+
+  int addObject(PTObject::Kind K, const std::string &Method,
+                const std::string &Type, SourceLoc Loc) {
+    Sys.Objects.push_back(PTObject{K, Method, Type, Loc});
+    return static_cast<int>(Sys.Objects.size()) - 1;
+  }
+
+  void addr(int Dst, int Obj) {
+    if (Dst >= 0)
+      Sys.Constraints.push_back(
+          {PTSystem::Constraint::Kind::AddrOf, Dst, Obj, ""});
+  }
+  void copy(int Dst, int Src) {
+    if (Dst >= 0 && Src >= 0 && Dst != Src)
+      Sys.Constraints.push_back(
+          {PTSystem::Constraint::Kind::Copy, Dst, Src, ""});
+  }
+  void load(int Dst, int Base, const std::string &F) {
+    if (Dst >= 0 && Base >= 0)
+      Sys.Constraints.push_back(
+          {PTSystem::Constraint::Kind::Load, Dst, Base, F});
+  }
+  void store(int Base, const std::string &F, int Src) {
+    if (Base >= 0 && Src >= 0)
+      Sys.Constraints.push_back(
+          {PTSystem::Constraint::Kind::Store, Base, Src, F});
+  }
+
+  /// Records that one action may relate the component instances
+  /// denoted by \p Nodes (only component-typed or opaque nodes count).
+  void relate(std::vector<int> Nodes) {
+    std::vector<int> Rel;
+    for (int N : Nodes)
+      if (N >= 0 && Sys.NodeIsComp[N] &&
+          std::find(Rel.begin(), Rel.end(), N) == Rel.end())
+        Rel.push_back(N);
+    if (Rel.size() > 1)
+      Sys.Relations.push_back(std::move(Rel));
+  }
+
+  /// Mirrors client/CFG.cpp collectVarTypes: parameters, declarations
+  /// in syntactic order (first declaration wins on duplicates), then
+  /// "$ret" — so MethodVars lines up with CFGMethod::CompVars.
+  void internMethodVars(const cj::CClass &C, const cj::CMethod &M) {
+    enterMethod(C, M);
+    rawNode(CurName, "this", C.Name, /*Comp=*/false);
+    auto Declare = [&](const std::string &Name, const std::string &Type) {
+      if (!VarTypes.emplace(Name, Type).second)
+        return; // Duplicate declaration: first one wins, as in lowering.
+      int Id = rawNode(CurName, Name, Type, isCompType(Type));
+      if (Sys.NodeIsComp[Id])
+        Sys.MethodVars[CurName].emplace_back(Name, Id);
+    };
+    for (const cj::CParam &P : M.Params)
+      Declare(P.Name, P.Type);
+    collectDecls(M.Body, Declare);
+    if (M.ReturnType != "void")
+      Declare("$ret", M.ReturnType);
+    MethodEnv[CurName] = VarTypes;
+  }
+
+  template <typename Fn>
+  void collectDecls(const std::vector<cj::CStmtPtr> &Body, Fn &&Declare) {
+    for (const cj::CStmtPtr &S : Body) {
+      switch (S->getKind()) {
+      case cj::CStmt::Kind::Decl: {
+        const auto *D = cast<cj::DeclStmt>(S.get());
+        Declare(D->Name, D->Type);
+        break;
+      }
+      case cj::CStmt::Kind::If: {
+        const auto *I = cast<cj::IfStmt>(S.get());
+        collectDecls(I->Then, Declare);
+        collectDecls(I->Else, Declare);
+        break;
+      }
+      case cj::CStmt::Kind::While:
+        collectDecls(cast<cj::WhileStmt>(S.get())->Body, Declare);
+        break;
+      case cj::CStmt::Kind::Block:
+        collectDecls(cast<cj::BlockStmt>(S.get())->Body, Declare);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  void enterMethod(const cj::CClass &C, const cj::CMethod &M) {
+    CurClass = &C;
+    CurName = C.Name + "::" + M.Name;
+    auto It = MethodEnv.find(CurName);
+    if (It != MethodEnv.end()) {
+      VarTypes = It->second;
+      return;
+    }
+    VarTypes.clear();
+    VarTypes.emplace("this", C.Name);
+  }
+
+  std::string typeOfNode(int N) const {
+    return N < 0 ? std::string() : NodeTypes[N];
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression evaluation: returns the node denoting the value, -1 when
+  // the value can carry no tracked reference (null, void).
+  //===--------------------------------------------------------------------===//
+
+  int evalExpr(const cj::CExpr &E) {
+    switch (E.getKind()) {
+    case cj::CExpr::Kind::Null:
+      return -1;
+    case cj::CExpr::Kind::Path:
+      return evalPath(cast<cj::PathRefExpr>(&E)->P);
+    case cj::CExpr::Kind::New:
+      return evalNew(*cast<cj::NewExpr>(&E));
+    case cj::CExpr::Kind::Call:
+      return evalCall(*cast<cj::CallExpr>(&E));
+    }
+    return -1;
+  }
+
+  int evalPath(const cj::PathE &P) {
+    if (P.Components.empty())
+      return -1;
+    int Base;
+    if (VarTypes.count(P.Components[0]))
+      Base = node(CurName, P.Components[0]);
+    else
+      Base = unknownTemp(); // Undeclared: lowering diagnosed it already.
+    for (size_t I = 1; I < P.Components.size(); ++I) {
+      const std::string &F = P.Components[I];
+      const cj::CClass *C = Prog.findClass(typeOfNode(Base));
+      const cj::CField *Fld = C ? C->findField(F) : nullptr;
+      if (Fld) {
+        int T = temp(Fld->Type);
+        load(T, Base, F);
+        Base = T;
+      } else {
+        // Opaque or component-internal segment: the rest of the path
+        // reads whatever the world holds, and traversing it publishes
+        // nothing (reads don't escape).
+        int T = temp("");
+        load(T, Base, F);
+        Base = T;
+      }
+    }
+    return Base;
+  }
+
+  int evalNew(const cj::NewExpr &N) {
+    std::vector<int> ArgNodes;
+    for (const cj::CExprPtr &A : N.Args)
+      ArgNodes.push_back(evalExpr(*A));
+    if (isCompType(N.Type)) {
+      int Obj = addObject(PTObject::Kind::CompAlloc, CurName, N.Type, N.Loc);
+      int T = temp(N.Type);
+      addr(T, Obj);
+      // Constructor operands and the new instance are co-related (the
+      // AllocComp action names them all).
+      ArgNodes.push_back(T);
+      relate(ArgNodes);
+      return T;
+    }
+    if (isClientType(N.Type)) {
+      int Obj = addObject(PTObject::Kind::ClientAlloc, CurName, N.Type, N.Loc);
+      int T = temp(N.Type);
+      addr(T, Obj);
+      // CJ client classes have no constructors; any arguments are
+      // conservatively published to the world.
+      for (int A : ArgNodes)
+        escape(A);
+      relate(ArgNodes);
+      return T;
+    }
+    // Opaque allocation: an unknown-world value.
+    for (int A : ArgNodes)
+      escape(A);
+    return unknownTemp();
+  }
+
+  int evalCall(const cj::CallExpr &Call) {
+    cj::PathE Recv = Call.receiver();
+    // Intra-class client call: m(args) or this.m(args).
+    if (Recv.Components.empty() ||
+        (Recv.isSingleVar() && Recv.Components[0] == "this"))
+      return clientCall(*CurClass, node(CurName, "this"), Call);
+
+    int RecvNode = evalPath(Recv);
+    std::string RecvType = typeOfNode(RecvNode);
+    if (isCompType(RecvType))
+      return componentCall(RecvType, RecvNode, Call);
+    if (const cj::CClass *C = Prog.findClass(RecvType))
+      return clientCall(*C, RecvNode, Call);
+    // Opaque receiver: mirrors lowering — such a receiver can hold
+    // component references only via heap traffic, which the store/load
+    // constraints through the Unknown object already track; the call
+    // itself relates nothing.
+    for (const cj::CExprPtr &A : Call.Args)
+      evalExpr(*A); // Subexpression effects only.
+    return unknownTemp();
+  }
+
+  int componentCall(const std::string &RecvType, int RecvNode,
+                    const cj::CallExpr &Call) {
+    std::vector<int> Ops{RecvNode};
+    for (const cj::CExprPtr &A : Call.Args)
+      Ops.push_back(evalExpr(*A));
+
+    int Result = -1;
+    const easl::ClassDecl *C = Spec.findClass(RecvType);
+    const easl::MethodDecl *M = C ? C->findMethod(Call.methodName()) : nullptr;
+    if (M && isCompType(M->ReturnType)) {
+      // The component's internal heap is opaque: the result is a fresh
+      // per-site abstract instance, related to the receiver and
+      // arguments below (so a later retrieval through any related
+      // variable stays within the group).
+      int Obj = addObject(PTObject::Kind::CompDerived, CurName, M->ReturnType,
+                          Call.Loc);
+      Result = temp(M->ReturnType);
+      addr(Result, Obj);
+    } else if (!M) {
+      // Unknown component method (diagnosed during lowering): treat the
+      // result as opaque.
+      Result = unknownTemp();
+    }
+    Ops.push_back(Result);
+    relate(Ops);
+    return Result;
+  }
+
+  int clientCall(const cj::CClass &Target, int RecvNode,
+                 const cj::CallExpr &Call) {
+    const cj::CMethod *M = Target.findMethod(Call.methodName());
+    if (!M || M->Params.size() != Call.Args.size()) {
+      // Lowering rejects these with a diagnostic; stay conservative.
+      for (const cj::CExprPtr &A : Call.Args)
+        escape(evalExpr(*A));
+      return unknownTemp();
+    }
+    std::string Callee = Target.Name + "::" + M->Name;
+    Sys.CallGraph[CurName].push_back(Callee);
+    copy(node(Callee, "this"), RecvNode);
+    for (size_t I = 0; I != Call.Args.size(); ++I)
+      copy(node(Callee, M->Params[I].Name), evalExpr(*Call.Args[I]));
+    if (M->ReturnType == "void")
+      return -1;
+    int T = temp(M->ReturnType);
+    copy(T, node(Callee, "$ret"));
+    // Deliberately no relation: a resolved client call is an identity
+    // frame — whatever instances the callee relates, its own
+    // constraints and relations already say so, and they flow back
+    // here through the points-to sets.
+    return T;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement walking
+  //===--------------------------------------------------------------------===//
+
+  void walk(const std::vector<cj::CStmtPtr> &Body) {
+    for (const cj::CStmtPtr &S : Body)
+      walkStmt(*S);
+  }
+
+  void walkStmt(const cj::CStmt &S) {
+    switch (S.getKind()) {
+    case cj::CStmt::Kind::Decl: {
+      const auto *D = cast<cj::DeclStmt>(&S);
+      if (D->Init)
+        assignVar(D->Name, *D->Init);
+      return;
+    }
+    case cj::CStmt::Kind::Assign: {
+      const auto *A = cast<cj::AssignStmt>(&S);
+      if (A->Lhs.isSingleVar())
+        return assignVar(A->Lhs.Components[0], *A->Rhs);
+      // Field store. Resolve the prefix, then store under the final
+      // component (object 0 folds every field into "*").
+      cj::PathE Prefix = A->Lhs;
+      std::string F = Prefix.Components.back();
+      Prefix.Components.pop_back();
+      int Base = evalPath(Prefix);
+      store(Base, F, evalExpr(*A->Rhs));
+      return;
+    }
+    case cj::CStmt::Kind::Expr:
+      evalExpr(*cast<cj::ExprStmt>(&S)->E);
+      return;
+    case cj::CStmt::Kind::Return: {
+      const auto *R = cast<cj::ReturnStmt>(&S);
+      if (!R->Value)
+        return;
+      int V = evalExpr(*R->Value);
+      int Ret = node(CurName, "$ret");
+      copy(Ret, V);
+      if (Ret >= 0 && Sys.NodeIsComp[Ret])
+        relate({Ret, V}); // The $ret := v copy action names both.
+      return;
+    }
+    case cj::CStmt::Kind::If: {
+      const auto *I = cast<cj::IfStmt>(&S);
+      walk(I->Then);
+      walk(I->Else);
+      return;
+    }
+    case cj::CStmt::Kind::While:
+      walk(cast<cj::WhileStmt>(&S)->Body);
+      return;
+    case cj::CStmt::Kind::Block:
+      walk(cast<cj::BlockStmt>(&S)->Body);
+      return;
+    }
+  }
+
+  void assignVar(const std::string &Var, const cj::CExpr &Rhs) {
+    int Lhs = node(CurName, Var);
+    int R = evalExpr(Rhs);
+    copy(Lhs, R);
+    if (Lhs >= 0 && Sys.NodeIsComp[Lhs])
+      relate({Lhs, R}); // Copy actions name both operands.
+  }
+
+  const cj::Program &Prog;
+  const easl::Spec &Spec;
+  PTSystem Sys;
+  std::map<std::pair<std::string, std::string>, int> NodeIds;
+  std::vector<std::string> NodeTypes;
+  std::map<std::string, std::map<std::string, std::string>> MethodEnv;
+  int UNode = -1;
+  int TempCount = 0;
+
+  const cj::CClass *CurClass = nullptr;
+  std::string CurName;
+  std::map<std::string, std::string> VarTypes;
+};
+
+bool includeInto(std::set<int> &Dst, const std::set<int> &Src) {
+  bool Grew = false;
+  for (int O : Src)
+    Grew |= Dst.insert(O).second;
+  return Grew;
+}
+
+} // namespace
+
+PTSystem dataflow::generateConstraints(const cj::Program &P,
+                                       const easl::Spec &Spec) {
+  return Generator(P, Spec).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Solving and closure checking
+//===----------------------------------------------------------------------===//
+
+PointsToSolution dataflow::solveConstraints(const PTSystem &Sys,
+                                            support::CancelToken *Cancel) {
+  support::faultProbe("points-to");
+  PointsToSolution Sol;
+  Sol.VarPts.resize(Sys.Nodes.size());
+  using CK = PTSystem::Constraint::Kind;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Sol.Iterations;
+    for (const PTSystem::Constraint &C : Sys.Constraints) {
+      if (Cancel)
+        Cancel->tick();
+      switch (C.K) {
+      case CK::AddrOf:
+        Changed |= Sol.VarPts[C.Dst].insert(C.Src).second;
+        break;
+      case CK::Copy:
+        Changed |= includeInto(Sol.VarPts[C.Dst], Sol.VarPts[C.Src]);
+        break;
+      case CK::Load:
+        for (int O : Sol.VarPts[C.Src]) {
+          auto It = Sol.FieldPts.find({O, fieldKey(O, C.Field)});
+          if (It != Sol.FieldPts.end())
+            Changed |= includeInto(Sol.VarPts[C.Dst], It->second);
+        }
+        break;
+      case CK::Store:
+        for (int O : Sol.VarPts[C.Dst])
+          Changed |= includeInto(Sol.FieldPts[{O, fieldKey(O, C.Field)}],
+                                 Sol.VarPts[C.Src]);
+        break;
+      }
+    }
+  }
+  return Sol;
+}
+
+bool dataflow::checkSolutionClosed(const PTSystem &Sys,
+                                   const PointsToSolution &Sol,
+                                   std::string &Why) {
+  size_t N = Sys.Nodes.size(), O = Sys.Objects.size();
+  if (Sol.VarPts.size() != N) {
+    Why = "points-to solution has wrong node count";
+    return false;
+  }
+  for (const std::set<int> &S : Sol.VarPts)
+    for (int X : S)
+      if (X < 0 || static_cast<size_t>(X) >= O) {
+        Why = "points-to set references an unknown object";
+        return false;
+      }
+  for (const auto &[Key, S] : Sol.FieldPts) {
+    if (Key.first < 0 || static_cast<size_t>(Key.first) >= O) {
+      Why = "field points-to entry on an unknown object";
+      return false;
+    }
+    for (int X : S)
+      if (X < 0 || static_cast<size_t>(X) >= O) {
+        Why = "field points-to set references an unknown object";
+        return false;
+      }
+  }
+
+  auto Subset = [](const std::set<int> &A, const std::set<int> &B) {
+    return std::includes(B.begin(), B.end(), A.begin(), A.end());
+  };
+  using CK = PTSystem::Constraint::Kind;
+  for (const PTSystem::Constraint &C : Sys.Constraints) {
+    switch (C.K) {
+    case CK::AddrOf:
+      if (!Sol.VarPts[C.Dst].count(C.Src)) {
+        Why = "allocation site missing from its variable's points-to set";
+        return false;
+      }
+      break;
+    case CK::Copy:
+      if (!Subset(Sol.VarPts[C.Src], Sol.VarPts[C.Dst])) {
+        Why = "copy constraint not closed";
+        return false;
+      }
+      break;
+    case CK::Load:
+      for (int Obj : Sol.VarPts[C.Src])
+        if (!Subset(Sol.fieldPts(Obj, C.Field), Sol.VarPts[C.Dst])) {
+          Why = "load constraint not closed";
+          return false;
+        }
+      break;
+    case CK::Store:
+      for (int Obj : Sol.VarPts[C.Dst])
+        if (!Subset(Sol.VarPts[C.Src], Sol.fieldPts(Obj, C.Field))) {
+          Why = "store constraint not closed";
+          return false;
+        }
+      break;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Relatedness quotient
+//===----------------------------------------------------------------------===//
+
+std::map<std::string, MethodAliasInfo>
+dataflow::computeAliasGroups(const PTSystem &Sys, const PointsToSolution &Sol,
+                             const std::set<std::string> &Reachable) {
+  size_t N = Sys.Nodes.size();
+  size_t O = Sys.Objects.size();
+  UnionFind UF(N + O);
+
+  // A variable may denote any instance born at any site it points to.
+  for (size_t I = 0; I != N; ++I)
+    if (Sys.NodeIsComp[I])
+      for (int Obj : Sol.pts(static_cast<int>(I)))
+        UF.merge(static_cast<int>(I), static_cast<int>(N) + Obj);
+
+  // Instances leaked to the opaque world share the world's fate.
+  for (int Obj : Sol.fieldPts(0, "*"))
+    UF.merge(static_cast<int>(N), static_cast<int>(N) + Obj);
+
+  // Every instance-relating action merges its operands.
+  for (const std::vector<int> &Rel : Sys.Relations)
+    for (size_t I = 1; I < Rel.size(); ++I)
+      UF.merge(Rel[0], Rel[I]);
+
+  std::map<std::string, MethodAliasInfo> Out;
+  for (const std::string &M : Reachable) {
+    auto It = Sys.MethodVars.find(M);
+    MethodAliasInfo &Info = Out[M]; // Present even when the method has
+                                    // no component variables.
+    if (It == Sys.MethodVars.end())
+      continue;
+    std::map<int, size_t> RootToGroup;
+    for (const auto &[Name, Node] : It->second) {
+      int Root = UF.find(Node);
+      auto [RIt, New] = RootToGroup.emplace(Root, Info.Groups.size());
+      if (New)
+        Info.Groups.emplace_back();
+      Info.Groups[RIt->second].push_back(Name);
+    }
+  }
+  return Out;
+}
+
+PointsToResult dataflow::analyzePointsTo(const cj::Program &P,
+                                         const easl::Spec &Spec,
+                                         support::CancelToken *Cancel) {
+  PointsToResult R;
+  R.Sys = generateConstraints(P, Spec);
+  R.Sol = solveConstraints(R.Sys, Cancel);
+  R.Reachable = R.Sys.reachableFromMain();
+  R.Alias = computeAliasGroups(R.Sys, R.Sol, R.Reachable);
+  R.Stats.Objects = static_cast<unsigned>(R.Sys.Objects.size());
+  R.Stats.Nodes = static_cast<unsigned>(R.Sys.Nodes.size());
+  R.Stats.Constraints = static_cast<unsigned>(R.Sys.Constraints.size());
+  R.Stats.Iterations = R.Sol.Iterations;
+  R.Stats.ReachableMethods = static_cast<unsigned>(R.Reachable.size());
+  for (const cj::CClass &C : P.Classes)
+    R.Stats.TotalMethods += static_cast<unsigned>(C.Methods.size());
+  return R;
+}

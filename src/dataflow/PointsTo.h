@@ -1,0 +1,204 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program Andersen-style points-to analysis over CJ client ASTs,
+/// plus the instance-relatedness layer that justifies Stage-0 slice
+/// partitions in the presence of heap traffic and client calls.
+///
+/// The analysis is flow-insensitive and field-sensitive. Its universe:
+///
+///  - Abstract objects: one per component allocation site (`new Set()`),
+///    one per client-class allocation site (`new Holder()`), one per
+///    component-call result site (`it = s.iterator()` — the component's
+///    internal heap is opaque, so each call site stands for whatever
+///    instance the component hands back there), a synthesized receiver
+///    for `main`, and the distinguished Unknown object 0 standing for
+///    everything the opaque outside world may hold.
+///  - Nodes: one per (method, variable) including `this`, `$ret` and
+///    parameters, plus synthesized temporaries for nested path loads
+///    and call results.
+///  - Constraints: the four Andersen forms (address-of, copy, field
+///    load, field store). Resolved client calls contribute plain copy
+///    constraints for argument/receiver/return binding — no merge — so
+///    a call that provably never touches a slice acts as an identity
+///    frame. Everything unresolvable routes through the Unknown
+///    object's single summary field "*".
+///
+/// Relatedness: two component instances can only become co-operands of
+/// a conformance-relevant action if (a) some action names both
+/// (allocation, component call, copy, return), or (b) some variable may
+/// denote either (aliasing through the heap). Both are closed over by a
+/// union-find whose tokens are nodes and objects: every component-typed
+/// node is merged with each object it may point to, and each
+/// instance-relating action merges its operand nodes. The per-method
+/// quotient of that global relation — MethodAliasInfo — is exactly the
+/// "may interfere" partition computeSlices needs; see DESIGN.md
+/// "Points-to, escape, and certified slicing" for the soundness
+/// argument.
+///
+/// The constraint generator is deterministic in the (program, spec)
+/// pair alone: the certificate checker regenerates the same system and
+/// validates an analyzer-supplied solution with one closure sweep, so
+/// no fixpoint driver enters the trusted base (cert/Checker.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_DATAFLOW_POINTSTO_H
+#define CANVAS_DATAFLOW_POINTSTO_H
+
+#include "client/AST.h"
+#include "easl/AST.h"
+#include "support/Budget.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace canvas {
+namespace dataflow {
+
+/// One abstract heap object.
+struct PTObject {
+  enum class Kind : uint8_t {
+    Unknown = 0, ///< The opaque outside world; always object index 0.
+    CompAlloc,   ///< Component allocation site (`new Set()`).
+    ClientAlloc, ///< Client-class allocation site (`new Holder()`).
+    CompDerived, ///< Component-call result site (`s.iterator()`).
+    MainContext, ///< Synthesized receiver instance for `main`.
+  };
+  Kind K = Kind::Unknown;
+  std::string Method; ///< Allocating "Class::method" ("" for Unknown).
+  std::string Type;   ///< Component/client class name ("" for Unknown).
+  SourceLoc Loc;
+
+  std::string str() const;
+};
+
+/// The deterministic constraint system generated from a whole CJ
+/// program. Regenerated bit-identically by the certificate checker from
+/// the same trusted (program, spec) inputs.
+struct PTSystem {
+  struct Constraint {
+    enum class Kind : uint8_t {
+      AddrOf, ///< {object Src} ⊆ pts(Dst)
+      Copy,   ///< pts(Src) ⊆ pts(Dst)
+      Load,   ///< ∀o ∈ pts(Src): pts(o.Field) ⊆ pts(Dst)
+      Store,  ///< ∀o ∈ pts(Dst): pts(Src) ⊆ pts(o.Field)
+    };
+    Kind K = Kind::Copy;
+    int Dst = -1;
+    int Src = -1; ///< Node index; object index for AddrOf.
+    std::string Field;
+  };
+
+  std::vector<PTObject> Objects; ///< [0] is always the Unknown object.
+  /// (method, display name) per node; synthesized temporaries use
+  /// "$pt<n>" names and never collide with CJ identifiers.
+  std::vector<std::pair<std::string, std::string>> Nodes;
+  std::vector<bool> NodeIsComp; ///< Component-typed node?
+  std::vector<Constraint> Constraints;
+  /// Node groups whose component instances an action co-relates
+  /// (allocation/component-call operands, copies, returns — not
+  /// resolved client calls).
+  std::vector<std::vector<int>> Relations;
+  /// Named component-typed variables per method, in creation order.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> MethodVars;
+  /// Statically resolved client-call edges, caller → callees.
+  std::map<std::string, std::vector<std::string>> CallGraph;
+  bool HasMain = false;
+  std::string MainName; ///< "Class::main" when HasMain.
+
+  /// Node index of (method, var), -1 when absent.
+  int nodeOf(const std::string &Method, const std::string &Var) const;
+  /// Methods reachable from main (empty set when !HasMain).
+  std::set<std::string> reachableFromMain() const;
+};
+
+/// Generates the constraint system for \p P against \p Spec. Pure in
+/// its inputs; safe to call from the certificate checker.
+PTSystem generateConstraints(const cj::Program &P, const easl::Spec &Spec);
+
+/// A points-to solution: per-node and per-(object, field) sets of
+/// object indices. Field "*" of object 0 is the opaque world's single
+/// summary field; every store through object 0 lands there and every
+/// load through it reads there (see fieldKey).
+struct PointsToSolution {
+  std::vector<std::set<int>> VarPts;
+  std::map<std::pair<int, std::string>, std::set<int>> FieldPts;
+  unsigned Iterations = 0;
+
+  const std::set<int> &pts(int Node) const;
+  const std::set<int> &fieldPts(int Obj, const std::string &Field) const;
+};
+
+/// Field-insensitive summary key for the Unknown object.
+inline const std::string &fieldKey(int Obj, const std::string &Field) {
+  static const std::string Star = "*";
+  return Obj == 0 ? Star : Field;
+}
+
+/// Solves \p Sys to the least fixpoint by round-robin iteration.
+/// Ticks \p Cancel once per constraint application and consults the
+/// "points-to" fault probe site on entry.
+PointsToSolution solveConstraints(const PTSystem &Sys,
+                                  support::CancelToken *Cancel = nullptr);
+
+/// Single-pass validation that \p Sol is closed under every constraint
+/// of \p Sys (any post-fixpoint passes; used by the certificate
+/// checker, which must not run a fixpoint). Returns false with \p Why
+/// set on the first violated inclusion or out-of-range index.
+bool checkSolutionClosed(const PTSystem &Sys, const PointsToSolution &Sol,
+                         std::string &Why);
+
+/// The may-interfere partition of one method's component variables:
+/// two variables in different groups never denote related component
+/// instances on any execution, so Stage-0 may slice them apart.
+struct MethodAliasInfo {
+  std::vector<std::vector<std::string>> Groups;
+
+  /// True when \p A and \p B share a group (vars absent from every
+  /// group never interfere with anything).
+  bool related(const std::string &A, const std::string &B) const;
+};
+
+/// Quotients the global relatedness union-find per reachable method.
+/// Deterministic; shared by the analyzer and the certificate checker.
+std::map<std::string, MethodAliasInfo>
+computeAliasGroups(const PTSystem &Sys, const PointsToSolution &Sol,
+                   const std::set<std::string> &Reachable);
+
+struct PointsToStats {
+  unsigned Objects = 0;
+  unsigned Nodes = 0;
+  unsigned Constraints = 0;
+  unsigned Iterations = 0;
+  unsigned ReachableMethods = 0;
+  unsigned TotalMethods = 0;
+};
+
+/// The full pre-analysis result fed to Stage-0 slicing, the certifier
+/// report, and certificate emission.
+struct PointsToResult {
+  PTSystem Sys;
+  PointsToSolution Sol;
+  std::set<std::string> Reachable;
+  /// Alias partitions, reachable methods only: an unreachable method
+  /// never runs under the closed world, but we still refuse to refine
+  /// its slices rather than reason from its (empty) entry points-to
+  /// sets.
+  std::map<std::string, MethodAliasInfo> Alias;
+  PointsToStats Stats;
+
+  const MethodAliasInfo *aliasFor(const std::string &Method) const;
+};
+
+/// Runs generation + solving + relatedness over \p P.
+PointsToResult analyzePointsTo(const cj::Program &P, const easl::Spec &Spec,
+                               support::CancelToken *Cancel = nullptr);
+
+} // namespace dataflow
+} // namespace canvas
+
+#endif // CANVAS_DATAFLOW_POINTSTO_H

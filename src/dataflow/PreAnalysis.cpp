@@ -1,5 +1,7 @@
 #include "dataflow/PreAnalysis.h"
 
+#include "dataflow/PointsTo.h"
+
 #include <map>
 
 using namespace canvas;
@@ -153,8 +155,10 @@ MethodPlan dataflow::preAnalyzeMethod(const cj::CFGMethod &M,
   }
 
   if (Opts.Slice) {
-    SliceResult SR =
-        computeSlices(Plan.CFG, Plan.Retained, HasUninitUses, RetSources);
+    const MethodAliasInfo *Alias =
+        Opts.PointsTo ? Opts.PointsTo->aliasFor(M.name()) : nullptr;
+    SliceResult SR = computeSlices(Plan.CFG, Plan.Retained, HasUninitUses,
+                                   RetSources, Alias);
     Plan.Slices = std::move(SR.Slices);
     Plan.ForcedSingleReason = SR.ForcedSingleReason;
   } else if (!Plan.Retained.empty()) {

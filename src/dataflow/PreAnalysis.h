@@ -34,6 +34,8 @@
 namespace canvas {
 namespace dataflow {
 
+struct PointsToResult;
+
 struct PreAnalysisOptions {
   bool PruneUnreachable = true;
   bool Lint = true;
@@ -41,6 +43,10 @@ struct PreAnalysisOptions {
   bool Slice = true;
   /// Optional budget handle bounding the Stage-0 fixpoints (not owned).
   support::CancelToken *Cancel = nullptr;
+  /// Optional whole-program points-to result (not owned). When set,
+  /// slicing uses its per-method may-interfere groups instead of the
+  /// syntactic heap/havoc gates — see dataflow/PointsTo.h.
+  const PointsToResult *PointsTo = nullptr;
 };
 
 /// A requires obligation that sat on a pruned (entry-unreachable) edge.

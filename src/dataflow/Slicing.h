@@ -8,17 +8,27 @@
 ///
 /// Two variables land in the same slice when any action mentions both
 /// (copies, call receiver/arguments/result, constructor arguments,
-/// client-call arguments); method parameters and "$ret" are merged into
-/// one group because they may already be related at method entry. A
-/// predicate instance over variables from *different* slices can then
-/// never become true — no action ever relates the objects — which is
-/// what makes per-slice certification verdict-preserving (see DESIGN.md
-/// for the argument and the fallback for definite violations).
+/// client-call arguments); method parameters are merged into one group
+/// because they may already be related at method entry, and "$ret"
+/// joins that group only when some edge actually assigns it (a method
+/// that never returns a value cannot relate its return slot to
+/// anything). A predicate instance over variables from *different*
+/// slices can then never become true — no action ever relates the
+/// objects — which is what makes per-slice certification
+/// verdict-preserving (see DESIGN.md for the argument and the fallback
+/// for definite violations).
 ///
-/// Slicing is forced off (one slice) when the invariant cannot be
-/// established: heap component references, havoc/opaque actions,
-/// possibly-uninitialized uses, or abstractions with "ret"-reading
-/// update sources.
+/// Without alias information, slicing is forced off (one slice) when
+/// the invariant cannot be established syntactically: heap component
+/// references, havoc/opaque actions, possibly-uninitialized uses, or
+/// abstractions with "ret"-reading update sources. When the caller
+/// supplies a whole-program MethodAliasInfo (dataflow/PointsTo.h), the
+/// heap and havoc gates are replaced by its may-interfere groups —
+/// aliasing through the heap is then tracked, not feared — and
+/// client-call edges stop merging their operands (a resolved call is
+/// an identity frame; interference through the callee already shows up
+/// in the alias groups). The uninitialized-use and ret-reading gates
+/// remain in force either way.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +43,8 @@
 namespace canvas {
 namespace dataflow {
 
+struct MethodAliasInfo;
+
 struct SliceResult {
   /// Partition of the retained variables; slices and the variables
   /// within them follow declaration order. Always at least one slice
@@ -46,10 +58,14 @@ struct SliceResult {
 /// Computes the slice partition of \p Retained for \p M (normally the
 /// pruned, dead-store-eliminated CFG). \p HasUninitUses and
 /// \p AbsReadsRetSources communicate the Stage-0 gates that force a
-/// single slice.
+/// single slice. \p Alias, when non-null, must be the points-to
+/// relatedness partition computed for this method over the whole
+/// program (PointsToResult::aliasFor); it relaxes the heap/havoc gates
+/// and refines the entry and client-call merges.
 SliceResult computeSlices(const cj::CFGMethod &M,
                           const std::vector<std::string> &Retained,
-                          bool HasUninitUses, bool AbsReadsRetSources);
+                          bool HasUninitUses, bool AbsReadsRetSources,
+                          const MethodAliasInfo *Alias = nullptr);
 
 } // namespace dataflow
 } // namespace canvas

@@ -11,7 +11,7 @@ const std::vector<std::string> &support::faultSites() {
   static const std::vector<std::string> Sites = {
       "dataflow.solve",     "boolprog.intra", "boolprog.interproc",
       "ifds.solve",         "tvla.fixpoint",  "generic.allocsite",
-      "cert-check",
+      "cert-check",         "points-to",
   };
   return Sites;
 }

@@ -1,0 +1,429 @@
+//===----------------------------------------------------------------------===//
+// Tests for SlicePartition certificates: the SCMPIntra engine certifies
+// sliceable methods per-slice and emits one certificate carrying the
+// partition, the per-slice annotations, the must-assigned gate, and (in
+// points-to mode) the whole-program solution. The independent checker
+// must accept every analyzer-produced certificate and reject every
+// tampered one — moved variables, shrunken points-to sets, inflated
+// must-assigned annotations, flipped modes and claims.
+//===----------------------------------------------------------------------===//
+
+#include "cert/Checker.h"
+
+#include "cert/Emit.h"
+#include "client/CFG.h"
+#include "client/Parser.h"
+#include "core/Certifier.h"
+#include "easl/Builtins.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace canvas;
+using namespace canvas::core;
+
+namespace {
+
+// Four independent pipelines, locals only: sliceable by the syntactic
+// (mode-0) gates alone.
+const char *PipelinesClient = R"(
+  class Pipelines {
+    void main() {
+      Set a = new Set();
+      Iterator ia = a.iterator();
+      Set b = new Set();
+      Iterator ib = b.iterator();
+      while (*) { ia.next(); }
+      ib.next();
+      if (*) { b.add(); }
+      ib.next();
+    }
+  }
+)";
+
+// Two heap-stashed pipelines: the syntactic gates force a single slice,
+// so only points-to (mode-1) evidence can justify a partition.
+const char *StashedPairsClient = R"(
+  class Stash {
+    Set s;
+  }
+  class Pairs {
+    void main() {
+      Stash u = new Stash();
+      Stash v = new Stash();
+      Set s1 = new Set();
+      Set s2 = new Set();
+      u.s = s1;
+      v.s = s2;
+      Iterator i1 = s1.iterator();
+      Iterator i2 = s2.iterator();
+      while (*) { i1.next(); if (*) { i1.remove(); } }
+      i2.next();
+      if (*) { s2.add(); }
+      if (*) { i2.next(); }
+    }
+  }
+)";
+
+struct CertRun {
+  std::unique_ptr<Certifier> C;
+  std::unique_ptr<cj::Program> P;
+  cj::ClientCFG CFG;
+  CertificationReport R;
+
+  cert::Checker checker() const {
+    return cert::Checker(C->spec(), C->abstraction(), CFG);
+  }
+};
+
+CertRun makeRun(const char *Client, bool PointsTo,
+                bool CheckInSupervisor = true) {
+  CertRun Ru;
+  DiagnosticEngine Diags;
+  CertifierOptions Opts;
+  Opts.PointsTo = PointsTo;
+  Opts.EmitCertificates = true;
+  Opts.CheckCertificates = CheckInSupervisor;
+  Ru.C = std::make_unique<Certifier>(easl::cmpSpecSource(),
+                                     EngineKind::SCMPIntra, Diags,
+                                     wp::DerivationOptions{}, Opts);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  Ru.P = std::make_unique<cj::Program>(cj::parseProgram(Client, Diags));
+  Ru.CFG = cj::buildCFG(*Ru.P, Ru.C->spec(), Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  Ru.R = Ru.C->certify(*Ru.P, Diags);
+  return Ru;
+}
+
+const cert::Certificate *findPartition(const CertificationReport &R) {
+  for (const cert::Certificate &C : R.Certificates)
+    if (C.Kind == cert::CertKind::SlicePartition)
+      return &C;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural payload codec for tamper tests: mirrors the layout
+// cert::emitSlicePartition writes (see src/cert/Emit.cpp).
+//===----------------------------------------------------------------------===//
+
+struct SP {
+  uint8_t Mode = 0;
+  uint8_t Assume = 0;
+  uint32_t NumNodes = 0;
+  uint32_t NumCompVars = 0;
+  struct DANode {
+    bool Covered = false;
+    std::vector<uint32_t> Must;
+  };
+  std::vector<DANode> DA;
+  struct Slice {
+    std::vector<std::string> Vars;
+    uint32_t BPVars = 0;
+    uint32_t BPChecks = 0;
+    /// Per node: the tag plus, for tag 1, the stored state bytes.
+    std::vector<std::vector<uint8_t>> Nodes;
+  };
+  std::vector<Slice> Slices;
+  std::vector<std::vector<uint32_t>> Pts; ///< Mode 1 only.
+  struct FieldEntry {
+    uint32_t Obj = 0;
+    std::string Field;
+    std::vector<uint32_t> Set;
+  };
+  std::vector<FieldEntry> Fields; ///< Mode 1 only.
+};
+
+SP parseSP(const std::vector<uint8_t> &Payload) {
+  SP S;
+  cert::Reader R(Payload);
+  S.Mode = R.u8();
+  S.Assume = R.u8();
+  S.NumNodes = R.u32();
+  S.NumCompVars = R.u32();
+  S.DA.resize(S.NumNodes);
+  for (uint32_t N = 0; N != S.NumNodes; ++N) {
+    if (!R.u8())
+      continue;
+    S.DA[N].Covered = true;
+    uint32_t K = R.u32();
+    for (uint32_t I = 0; I != K; ++I)
+      S.DA[N].Must.push_back(R.u32());
+  }
+  S.Slices.resize(R.u32());
+  for (SP::Slice &Sl : S.Slices) {
+    uint32_t Len = R.u32();
+    for (uint32_t I = 0; I != Len; ++I)
+      Sl.Vars.push_back(R.str());
+    Sl.BPVars = R.u32();
+    Sl.BPChecks = R.u32();
+    Sl.Nodes.resize(S.NumNodes);
+    for (uint32_t N = 0; N != S.NumNodes; ++N) {
+      uint8_t Tag = R.u8();
+      Sl.Nodes[N].push_back(Tag);
+      if (Tag == 1)
+        for (uint32_t V = 0; V != Sl.BPVars; ++V)
+          Sl.Nodes[N].push_back(R.u8());
+    }
+  }
+  if (S.Mode == 1) {
+    S.Pts.resize(R.u32());
+    for (std::vector<uint32_t> &Set : S.Pts) {
+      uint32_t K = R.u32();
+      for (uint32_t I = 0; I != K; ++I)
+        Set.push_back(R.u32());
+    }
+    S.Fields.resize(R.u32());
+    for (SP::FieldEntry &F : S.Fields) {
+      F.Obj = R.u32();
+      F.Field = R.str();
+      uint32_t K = R.u32();
+      for (uint32_t I = 0; I != K; ++I)
+        F.Set.push_back(R.u32());
+    }
+  }
+  EXPECT_TRUE(R.done()) << "parseSP did not consume the whole payload";
+  return S;
+}
+
+std::vector<uint8_t> buildSP(const SP &S) {
+  cert::Writer W;
+  W.u8(S.Mode);
+  W.u8(S.Assume);
+  W.u32(S.NumNodes);
+  W.u32(S.NumCompVars);
+  for (const SP::DANode &N : S.DA) {
+    if (!N.Covered) {
+      W.u8(0);
+      continue;
+    }
+    W.u8(1);
+    W.u32(static_cast<uint32_t>(N.Must.size()));
+    for (uint32_t V : N.Must)
+      W.u32(V);
+  }
+  W.u32(static_cast<uint32_t>(S.Slices.size()));
+  for (const SP::Slice &Sl : S.Slices) {
+    W.u32(static_cast<uint32_t>(Sl.Vars.size()));
+    for (const std::string &V : Sl.Vars)
+      W.str(V);
+    W.u32(Sl.BPVars);
+    W.u32(Sl.BPChecks);
+    for (const std::vector<uint8_t> &N : Sl.Nodes)
+      for (uint8_t B : N)
+        W.u8(B);
+  }
+  if (S.Mode == 1) {
+    W.u32(static_cast<uint32_t>(S.Pts.size()));
+    for (const std::vector<uint32_t> &Set : S.Pts) {
+      W.u32(static_cast<uint32_t>(Set.size()));
+      for (uint32_t O : Set)
+        W.u32(O);
+    }
+    W.u32(static_cast<uint32_t>(S.Fields.size()));
+    for (const SP::FieldEntry &F : S.Fields) {
+      W.u32(F.Obj);
+      W.str(F.Field);
+      W.u32(static_cast<uint32_t>(F.Set.size()));
+      for (uint32_t O : F.Set)
+        W.u32(O);
+    }
+  }
+  return W.take();
+}
+
+void expectRejected(const CertRun &Ru, const cert::Certificate &C,
+                    const char *What, const char *ReasonFragment = nullptr) {
+  cert::CheckResult CR = Ru.checker().check(C);
+  EXPECT_FALSE(CR.Valid) << What;
+  EXPECT_FALSE(CR.Reason.empty()) << What;
+  if (ReasonFragment) {
+    EXPECT_NE(CR.Reason.find(ReasonFragment), std::string::npos)
+        << What << ": " << CR.Reason;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptance
+//===----------------------------------------------------------------------===//
+
+TEST(SlicePartitionTest, SyntacticSlicesEmitAcceptedMode0Certificate) {
+  CertRun Ru = makeRun(PipelinesClient, /*PointsTo=*/false);
+  EXPECT_FALSE(Ru.R.Degraded) << Ru.R.str();
+  EXPECT_TRUE(Ru.R.CertStats.Checked);
+  const cert::Certificate *C = findPartition(Ru.R);
+  ASSERT_NE(C, nullptr) << "pipelines client did not certify per-slice";
+
+  SP S = parseSP(C->Payload);
+  EXPECT_EQ(S.Mode, 0u);
+  EXPECT_GE(S.Slices.size(), 2u);
+  EXPECT_TRUE(S.Pts.empty());
+
+  cert::CheckResult CR = Ru.checker().check(*C);
+  EXPECT_TRUE(CR.Valid) << CR.Reason;
+  EXPECT_GT(Ru.R.Pre.SliceRuns, 1u);
+}
+
+TEST(SlicePartitionTest, HeapClientNeedsPointsToForAPartition) {
+  // Without points-to the heap stores force a single slice and the
+  // method falls back to a plain BoolIntra certificate.
+  CertRun Plain = makeRun(StashedPairsClient, /*PointsTo=*/false);
+  EXPECT_EQ(findPartition(Plain.R), nullptr);
+  ASSERT_FALSE(Plain.R.SliceSummaries.empty());
+  EXPECT_EQ(Plain.R.SliceSummaries[0].Slices, 1u);
+  EXPECT_NE(Plain.R.SliceSummaries[0].ForcedSingleReason.find("heap"),
+            std::string::npos);
+
+  // With it, the partition certifies and carries mode-1 evidence.
+  CertRun Pt = makeRun(StashedPairsClient, /*PointsTo=*/true);
+  EXPECT_FALSE(Pt.R.Degraded) << Pt.R.str();
+  const cert::Certificate *C = findPartition(Pt.R);
+  ASSERT_NE(C, nullptr);
+  SP S = parseSP(C->Payload);
+  EXPECT_EQ(S.Mode, 1u);
+  EXPECT_EQ(S.Slices.size(), 2u);
+  EXPECT_FALSE(S.Pts.empty());
+
+  cert::CheckResult CR = Pt.checker().check(*C);
+  EXPECT_TRUE(CR.Valid) << CR.Reason;
+
+  // Both runs agree on every verdict: slicing is verdict-preserving.
+  ASSERT_EQ(Plain.R.Checks.size(), Pt.R.Checks.size());
+  for (size_t I = 0; I != Plain.R.Checks.size(); ++I)
+    EXPECT_EQ(Plain.R.Checks[I].Outcome, Pt.R.Checks[I].Outcome) << I;
+}
+
+TEST(SlicePartitionTest, SurvivesSerializationRoundTrip) {
+  CertRun Ru = makeRun(StashedPairsClient, /*PointsTo=*/true);
+  ASSERT_NE(findPartition(Ru.R), nullptr);
+  std::vector<uint8_t> Blob = cert::serializeCertificates(Ru.R.Certificates);
+  std::vector<cert::Certificate> Parsed;
+  std::string Error;
+  ASSERT_TRUE(cert::parseCertificates(Blob, Parsed, Error)) << Error;
+  for (const cert::Certificate &C : Parsed) {
+    cert::CheckResult CR = Ru.checker().check(C);
+    EXPECT_TRUE(CR.Valid) << C.Unit << ": " << CR.Reason;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Tamper mutants
+//===----------------------------------------------------------------------===//
+
+TEST(SlicePartitionTamperTest, MovedVariableAcrossSlicesRejected) {
+  CertRun Ru = makeRun(StashedPairsClient, /*PointsTo=*/true);
+  cert::Certificate C = *findPartition(Ru.R);
+  SP S = parseSP(C.Payload);
+  ASSERT_EQ(S.Slices.size(), 2u);
+
+  // Swap s1 and s2 between the slices: each pipeline's set now sits
+  // apart from its iterator, splitting a may-interfere group.
+  auto Swap = [&](const std::string &A, const std::string &B) {
+    for (SP::Slice &Sl : S.Slices)
+      for (std::string &V : Sl.Vars) {
+        if (V == A)
+          V = B;
+        else if (V == B)
+          V = A;
+      }
+  };
+  Swap("s1", "s2");
+  C.Payload = buildSP(S);
+  C.seal();
+  expectRejected(Ru, C, "variable moved across slices");
+}
+
+TEST(SlicePartitionTamperTest, ShrunkenPointsToSetRejected) {
+  CertRun Ru = makeRun(StashedPairsClient, /*PointsTo=*/true);
+  cert::Certificate C = *findPartition(Ru.R);
+  SP S = parseSP(C.Payload);
+  ASSERT_EQ(S.Mode, 1u);
+
+  // Hide an alias by dropping one element of the first non-empty
+  // points-to set: the solution is no longer closed under the
+  // regenerated constraints.
+  bool Shrunk = false;
+  for (std::vector<uint32_t> &Set : S.Pts)
+    if (!Set.empty()) {
+      Set.pop_back();
+      Shrunk = true;
+      break;
+    }
+  ASSERT_TRUE(Shrunk);
+  C.Payload = buildSP(S);
+  C.seal();
+  expectRejected(Ru, C, "shrunken points-to set", "not closed");
+}
+
+TEST(SlicePartitionTamperTest, InflatedMustAssignedAnnotationRejected) {
+  CertRun Ru = makeRun(PipelinesClient, /*PointsTo=*/false);
+  cert::Certificate C = *findPartition(Ru.R);
+  const cj::CFGMethod *M = Ru.CFG.findMethod("Pipelines", "main");
+  ASSERT_NE(M, nullptr);
+
+  // main() has no parameters, so claiming any variable assigned at
+  // entry overclaims what the environment provides.
+  SP S = parseSP(C.Payload);
+  ASSERT_TRUE(S.DA[M->Entry].Covered);
+  ASSERT_TRUE(S.DA[M->Entry].Must.empty());
+  S.DA[M->Entry].Must.push_back(0);
+  C.Payload = buildSP(S);
+  C.seal();
+  expectRejected(Ru, C, "inflated entry must-assigned set", "parameters");
+}
+
+TEST(SlicePartitionTamperTest, OutOfRangeMustAssignedVariableRejected) {
+  CertRun Ru = makeRun(PipelinesClient, /*PointsTo=*/false);
+  cert::Certificate C = *findPartition(Ru.R);
+  SP S = parseSP(C.Payload);
+  bool Poisoned = false;
+  for (SP::DANode &N : S.DA)
+    if (N.Covered && !N.Must.empty()) {
+      N.Must[0] = 0xfffffff0u;
+      Poisoned = true;
+      break;
+    }
+  ASSERT_TRUE(Poisoned);
+  C.Payload = buildSP(S);
+  C.seal();
+  expectRejected(Ru, C, "out-of-range must-assigned variable");
+}
+
+TEST(SlicePartitionTamperTest, StrippedPointsToEvidenceRejected) {
+  CertRun Ru = makeRun(StashedPairsClient, /*PointsTo=*/true);
+  cert::Certificate C = *findPartition(Ru.R);
+  SP S = parseSP(C.Payload);
+  ASSERT_EQ(S.Mode, 1u);
+
+  // Claim the partition needs no evidence: mode 0 re-imposes the
+  // syntactic gates, and this client's heap stores trip them.
+  S.Mode = 0;
+  S.Pts.clear();
+  S.Fields.clear();
+  C.Payload = buildSP(S);
+  C.seal();
+  expectRejected(Ru, C, "mode flipped to 0", "heap");
+}
+
+TEST(SlicePartitionTamperTest, FlippedClaimRejected) {
+  CertRun Ru = makeRun(PipelinesClient, /*PointsTo=*/false);
+  cert::Certificate C = *findPartition(Ru.R);
+  size_t SafeIdx = C.Claims.size();
+  for (size_t I = 0; I != C.Claims.size(); ++I)
+    if (C.Claims[I].Outcome == CheckOutcome::Safe)
+      SafeIdx = I;
+  ASSERT_LT(SafeIdx, C.Claims.size()) << "expected a Safe claim";
+  C.Claims[SafeIdx].Outcome = CheckOutcome::Unreachable;
+  C.seal();
+  expectRejected(Ru, C, "Safe claim flipped to Unreachable");
+}
+
+TEST(SlicePartitionTamperTest, CorruptedByteWithoutResealRejected) {
+  CertRun Ru = makeRun(StashedPairsClient, /*PointsTo=*/true);
+  cert::Certificate C = *findPartition(Ru.R);
+  C.Payload[C.Payload.size() / 2] ^= 0x40;
+  expectRejected(Ru, C, "corrupted payload byte");
+}
+
+} // namespace

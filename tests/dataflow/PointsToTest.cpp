@@ -1,0 +1,355 @@
+//===----------------------------------------------------------------------===//
+// Tests for the whole-program Andersen points-to analysis: constraint
+// generation, the round-robin solver and its single-pass closure
+// validator, call-graph reachability, the instance-relatedness groups
+// that justify alias-refined slicing, the escape lattice, and the
+// budget/fault-injection hooks.
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/PointsTo.h"
+
+#include "dataflow/Escape.h"
+
+#include "ClientHelper.h"
+
+#include <gtest/gtest.h>
+
+using namespace canvas;
+using namespace canvas::dataflow;
+using canvas::dftest::Client;
+using canvas::dftest::lineOf;
+
+namespace {
+
+/// Object index of the CompAlloc site on 1-based \p Line, or -1.
+int allocAt(const PTSystem &Sys, unsigned Line) {
+  for (size_t I = 0; I != Sys.Objects.size(); ++I)
+    if (Sys.Objects[I].K == PTObject::Kind::CompAlloc &&
+        Sys.Objects[I].Loc.Line == Line)
+      return static_cast<int>(I);
+  return -1;
+}
+
+unsigned countKind(const PTSystem &Sys, PTObject::Kind K) {
+  unsigned N = 0;
+  for (const PTObject &O : Sys.Objects)
+    N += O.K == K;
+  return N;
+}
+
+const char *SimpleClient = R"(
+  class C {
+    void main() {
+      Set s = new Set();
+      Iterator i = s.iterator();
+      i.next();
+    }
+  }
+)";
+
+TEST(PointsToTest, GeneratesCoreUniverse) {
+  Client C(SimpleClient);
+  PTSystem Sys = generateConstraints(C.Prog, C.Spec);
+
+  ASSERT_FALSE(Sys.Objects.empty());
+  EXPECT_EQ(Sys.Objects[0].K, PTObject::Kind::Unknown);
+  EXPECT_EQ(countKind(Sys, PTObject::Kind::CompAlloc), 1u);
+  EXPECT_EQ(countKind(Sys, PTObject::Kind::CompDerived), 1u);
+  EXPECT_EQ(countKind(Sys, PTObject::Kind::MainContext), 1u);
+  EXPECT_TRUE(Sys.HasMain);
+  EXPECT_EQ(Sys.MainName, "C::main");
+
+  EXPECT_GE(Sys.nodeOf("C::main", "s"), 0);
+  EXPECT_GE(Sys.nodeOf("C::main", "i"), 0);
+  EXPECT_EQ(Sys.nodeOf("C::main", "nope"), -1);
+  EXPECT_EQ(Sys.nodeOf("C::other", "s"), -1);
+}
+
+TEST(PointsToTest, SolvedSolutionIsClosedAndTamperedOneIsNot) {
+  Client C(SimpleClient);
+  PTSystem Sys = generateConstraints(C.Prog, C.Spec);
+  PointsToSolution Sol = solveConstraints(Sys);
+  EXPECT_GE(Sol.Iterations, 1u);
+
+  int SNode = Sys.nodeOf("C::main", "s");
+  int SObj = allocAt(Sys, lineOf(SimpleClient, "new Set()"));
+  ASSERT_GE(SNode, 0);
+  ASSERT_GE(SObj, 0);
+  EXPECT_TRUE(Sol.pts(SNode).count(SObj));
+
+  std::string Why;
+  EXPECT_TRUE(checkSolutionClosed(Sys, Sol, Why)) << Why;
+
+  // Hiding the allocation site from its variable breaks closure.
+  PointsToSolution Tampered = Sol;
+  Tampered.VarPts[SNode].erase(SObj);
+  EXPECT_FALSE(checkSolutionClosed(Sys, Tampered, Why));
+  EXPECT_FALSE(Why.empty());
+
+  // So does a solution over the wrong node universe.
+  PointsToSolution Short = Sol;
+  Short.VarPts.pop_back();
+  EXPECT_FALSE(checkSolutionClosed(Sys, Short, Why));
+
+  // And one whose sets name objects that do not exist.
+  PointsToSolution Rogue = Sol;
+  Rogue.VarPts[SNode].insert(static_cast<int>(Sys.Objects.size()) + 7);
+  EXPECT_FALSE(checkSolutionClosed(Sys, Rogue, Why));
+}
+
+TEST(PointsToTest, CopyPropagatesAndRelates) {
+  const char *Src = R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Iterator j = i;
+        j.next();
+      }
+    }
+  )";
+  Client C(Src);
+  PointsToResult R = analyzePointsTo(C.Prog, C.Spec);
+
+  int INode = R.Sys.nodeOf("C::main", "i");
+  int JNode = R.Sys.nodeOf("C::main", "j");
+  ASSERT_GE(INode, 0);
+  ASSERT_GE(JNode, 0);
+  for (int Obj : R.Sol.pts(INode))
+    EXPECT_TRUE(R.Sol.pts(JNode).count(Obj));
+
+  const MethodAliasInfo *A = R.aliasFor("C::main");
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(A->related("i", "j"));
+  EXPECT_TRUE(A->related("s", "i"));
+}
+
+TEST(PointsToTest, HeapFlowIsFieldSensitive) {
+  const char *Src = R"(
+    class Holder {
+      Set a;
+      Set b;
+    }
+    class C {
+      void main() {
+        Holder h = new Holder();
+        Set s1 = new Set();
+        Set s2 = new Set();
+        h.a = s1;
+        h.b = s2;
+        Set x = h.a;
+        x.add();
+      }
+    }
+  )";
+  Client C(Src);
+  PTSystem Sys = generateConstraints(C.Prog, C.Spec);
+  PointsToSolution Sol = solveConstraints(Sys);
+
+  int XNode = Sys.nodeOf("C::main", "x");
+  int S1Obj = allocAt(Sys, lineOf(Src, "Set s1"));
+  int S2Obj = allocAt(Sys, lineOf(Src, "Set s2"));
+  ASSERT_GE(XNode, 0);
+  ASSERT_GE(S1Obj, 0);
+  ASSERT_GE(S2Obj, 0);
+
+  // x reads field a only: it sees s1's instance, never s2's.
+  EXPECT_TRUE(Sol.pts(XNode).count(S1Obj));
+  EXPECT_FALSE(Sol.pts(XNode).count(S2Obj));
+}
+
+TEST(PointsToTest, MainParametersComeFromTheUnknownWorld) {
+  const char *Src = R"(
+    class C {
+      void main(Set s) {
+        Iterator i = s.iterator();
+        i.next();
+      }
+    }
+  )";
+  Client C(Src);
+  PTSystem Sys = generateConstraints(C.Prog, C.Spec);
+  PointsToSolution Sol = solveConstraints(Sys);
+  int SNode = Sys.nodeOf("C::main", "s");
+  ASSERT_GE(SNode, 0);
+  // The driver supplies main's arguments: object 0 is in the set.
+  EXPECT_TRUE(Sol.pts(SNode).count(0));
+}
+
+TEST(PointsToTest, ReachabilityFollowsResolvedCalls) {
+  const char *Src = R"(
+    class C {
+      void main() {
+        Set s = new Set();
+        grow(s);
+      }
+      void grow(Set w) { w.add(); }
+      void orphan() {
+        Set t = new Set();
+        t.add();
+      }
+    }
+  )";
+  Client C(Src);
+  PointsToResult R = analyzePointsTo(C.Prog, C.Spec);
+
+  EXPECT_TRUE(R.Reachable.count("C::main"));
+  EXPECT_TRUE(R.Reachable.count("C::grow"));
+  EXPECT_FALSE(R.Reachable.count("C::orphan"));
+  EXPECT_EQ(R.Stats.ReachableMethods, 2u);
+  EXPECT_EQ(R.Stats.TotalMethods, 3u);
+
+  // Alias partitions exist for reachable methods only: an unreachable
+  // method is never refined from its (empty) entry points-to sets.
+  EXPECT_NE(R.aliasFor("C::grow"), nullptr);
+  EXPECT_EQ(R.aliasFor("C::orphan"), nullptr);
+
+  // The callee's parameter sees the caller's allocation site.
+  int WNode = R.Sys.nodeOf("C::grow", "w");
+  int SObj = allocAt(R.Sys, lineOf(Src, "Set s"));
+  ASSERT_GE(WNode, 0);
+  ASSERT_GE(SObj, 0);
+  EXPECT_TRUE(R.Sol.pts(WNode).count(SObj));
+}
+
+TEST(PointsToTest, AliasGroupsSplitHeapPipelines) {
+  const char *Src = R"(
+    class Stash {
+      Set s;
+    }
+    class C {
+      void main() {
+        Stash u = new Stash();
+        Stash v = new Stash();
+        Set s1 = new Set();
+        Set s2 = new Set();
+        u.s = s1;
+        v.s = s2;
+        Iterator i1 = s1.iterator();
+        Iterator i2 = s2.iterator();
+        i1.next();
+        i2.next();
+      }
+    }
+  )";
+  Client C(Src);
+  PointsToResult R = analyzePointsTo(C.Prog, C.Spec);
+  const MethodAliasInfo *A = R.aliasFor("C::main");
+  ASSERT_NE(A, nullptr);
+
+  // Each pipeline stays a group of its own even though both Sets rest
+  // in the heap: the two Stash instances are distinct allocation sites.
+  EXPECT_TRUE(A->related("s1", "i1"));
+  EXPECT_TRUE(A->related("s2", "i2"));
+  EXPECT_FALSE(A->related("s1", "s2"));
+  EXPECT_FALSE(A->related("i1", "i2"));
+  EXPECT_FALSE(A->related("s1", "i2"));
+}
+
+TEST(PointsToTest, SharedStashMergesPipelines) {
+  const char *Src = R"(
+    class Stash {
+      Set s;
+    }
+    class C {
+      void main() {
+        Stash u = new Stash();
+        Set s1 = new Set();
+        Set s2 = new Set();
+        u.s = s1;
+        u.s = s2;
+        Iterator i1 = s1.iterator();
+        Iterator i2 = s2.iterator();
+        Set x = u.s;
+        Iterator j = x.iterator();
+        i1.next();
+        i2.next();
+        j.next();
+      }
+    }
+  )";
+  Client C(Src);
+  PointsToResult R = analyzePointsTo(C.Prog, C.Spec);
+  const MethodAliasInfo *A = R.aliasFor("C::main");
+  ASSERT_NE(A, nullptr);
+
+  // x may denote either instance, so it relates both pipelines — and
+  // through it they relate each other.
+  EXPECT_TRUE(A->related("x", "s1"));
+  EXPECT_TRUE(A->related("x", "s2"));
+  EXPECT_TRUE(A->related("s1", "s2"));
+}
+
+TEST(PointsToTest, EscapeLatticeClassifiesSites) {
+  const char *Src = R"(
+    class Holder {
+      Set s;
+    }
+    class C {
+      void main() {
+        Set loc = new Set();
+        Iterator i = loc.iterator();
+        i.next();
+        Set esc = new Set();
+        grow(esc);
+        Holder h = new Holder();
+        Set heap = new Set();
+        h.s = heap;
+      }
+      void grow(Set w) { w.add(); }
+    }
+  )";
+  Client C(Src);
+  PTSystem Sys = generateConstraints(C.Prog, C.Spec);
+  PointsToSolution Sol = solveConstraints(Sys);
+  EscapeResult E = classifyEscapes(Sys, Sol);
+
+  int Loc = allocAt(Sys, lineOf(Src, "Set loc"));
+  int Esc = allocAt(Sys, lineOf(Src, "Set esc"));
+  int Heap = allocAt(Sys, lineOf(Src, "Set heap"));
+  ASSERT_GE(Loc, 0);
+  ASSERT_GE(Esc, 0);
+  ASSERT_GE(Heap, 0);
+
+  EXPECT_EQ(E.Sites.at(Loc), EscapeClass::MethodLocal);
+  EXPECT_EQ(E.Sites.at(Esc), EscapeClass::ArgEscaping);
+  EXPECT_EQ(E.Sites.at(Heap), EscapeClass::HeapEscaping);
+  EXPECT_EQ(E.NumLocal, 1u);
+  EXPECT_EQ(E.NumArg, 1u);
+  EXPECT_EQ(E.NumHeap, 1u);
+
+  EXPECT_STREQ(escapeClassName(EscapeClass::MethodLocal), "method-local");
+  EXPECT_STREQ(escapeClassName(EscapeClass::ArgEscaping), "arg-escaping");
+  EXPECT_STREQ(escapeClassName(EscapeClass::HeapEscaping), "heap-escaping");
+}
+
+TEST(PointsToTest, SolverHonorsIterationBudget) {
+  Client C(SimpleClient);
+  PTSystem Sys = generateConstraints(C.Prog, C.Spec);
+  support::StageBudget B;
+  B.MaxIterations = 1;
+  support::CancelToken Tok(B, "points-to");
+  try {
+    solveConstraints(Sys, &Tok);
+    FAIL() << "expected CertifyError";
+  } catch (const CertifyError &E) {
+    EXPECT_EQ(E.kind(), CertifyErrorKind::BudgetIterations);
+  }
+}
+
+TEST(PointsToTest, InjectedFaultFiresAtTheProbeSite) {
+  Client C(SimpleClient);
+  support::setFaultPlan({"points-to", 1, support::FaultKind::Throw});
+  try {
+    analyzePointsTo(C.Prog, C.Spec);
+    FAIL() << "expected CertifyError";
+  } catch (const CertifyError &E) {
+    EXPECT_EQ(E.kind(), CertifyErrorKind::InjectedFault);
+  }
+  support::clearFaultPlan();
+  // The fired plan stays disarmed: the next analysis is clean.
+  PointsToResult R = analyzePointsTo(C.Prog, C.Spec);
+  EXPECT_GT(R.Stats.Constraints, 0u);
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 #include "dataflow/Slicing.h"
 
 #include "dataflow/Liveness.h"
+#include "dataflow/PointsTo.h"
 
 #include "ClientHelper.h"
 
@@ -25,12 +26,13 @@ struct SliceRun {
   SliceResult R;
 
   SliceRun(Client &C, const char *ClassName, const char *MethodName,
-           bool HasUninitUses = false, bool AbsReadsRetSources = false)
+           bool HasUninitUses = false, bool AbsReadsRetSources = false,
+           const MethodAliasInfo *Alias = nullptr)
       : M(C.method(ClassName, MethodName)) {
     CFGInfo Info(M);
     LivenessResult L = analyzeLiveness(M, Info, false);
     eliminateDeadStores(M, L, false, Retained);
-    R = computeSlices(M, Retained, HasUninitUses, AbsReadsRetSources);
+    R = computeSlices(M, Retained, HasUninitUses, AbsReadsRetSources, Alias);
   }
 
   /// Index of the slice containing \p V, or -1.
@@ -156,6 +158,220 @@ TEST(SlicingTest, RetSourcesForceSingleSlice) {
   SliceRun S(C, "C", "main", false, /*AbsReadsRetSources=*/true);
   ASSERT_EQ(S.R.Slices.size(), 1u);
   ASSERT_NE(S.R.ForcedSingleReason, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Table-driven coverage of every force-off gate: each row names the
+// gate, the client (or flag) that trips it, and the reason fragment the
+// slicer must report alongside its single slice.
+//===----------------------------------------------------------------------===//
+
+const char *HeapStoreClient = R"(
+  class Holder {
+    Set s;
+  }
+  class C {
+    void main() {
+      Holder h = new Holder();
+      Set a = new Set();
+      h.s = a;
+      Iterator i = a.iterator();
+      i.next();
+      Set b = new Set();
+      Iterator j = b.iterator();
+      j.next();
+    }
+  }
+)";
+
+const char *HeapLoadClient = R"(
+  class Holder {
+    Set s;
+  }
+  class C {
+    void main() {
+      Holder h = new Holder();
+      Set a = new Set();
+      h.s = a;
+      Set x = h.s;
+      x.add();
+    }
+  }
+)";
+
+// "b = null" lowers to havoc(b) without any heap component reference,
+// so it trips the havoc gate, not the heap gate.
+const char *NullHavocClient = R"(
+  class C {
+    void main() {
+      Set a = new Set();
+      Iterator i = a.iterator();
+      i.next();
+      Set b = new Set();
+      b = null;
+      b.add();
+      Set c = new Set();
+      Iterator j = c.iterator();
+      j.next();
+    }
+  }
+)";
+
+struct GateCase {
+  const char *Name;
+  const char *Source; ///< nullptr: the TwoPipelines client.
+  bool HasUninitUses;
+  bool AbsReadsRetSources;
+  const char *ReasonFragment;
+};
+
+TEST(SlicingTest, EveryForceOffGateReportsItsReason) {
+  const GateCase Cases[] = {
+      {"uninit-uses", nullptr, true, false, "uninitialized"},
+      {"ret-sources", nullptr, false, true, "ret"},
+      {"heap-store", HeapStoreClient, false, false, "heap"},
+      {"heap-load", HeapLoadClient, false, false, "heap"},
+      {"null-havoc", NullHavocClient, false, false, "havocked"},
+  };
+  for (const GateCase &G : Cases) {
+    Client C(G.Source ? G.Source : TwoPipelines);
+    SliceRun S(C, "C", "main", G.HasUninitUses, G.AbsReadsRetSources);
+    ASSERT_EQ(S.R.Slices.size(), 1u) << G.Name;
+    ASSERT_NE(S.R.ForcedSingleReason, nullptr) << G.Name;
+    EXPECT_NE(std::string(S.R.ForcedSingleReason).find(G.ReasonFragment),
+              std::string::npos)
+        << G.Name << ": " << S.R.ForcedSingleReason;
+    // Forced-off still covers every retained variable.
+    EXPECT_EQ(S.R.Slices[0].size(), S.Retained.size()) << G.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The "$ret" merge: the return slot joins the parameter group exactly
+// when some edge assigns it.
+//===----------------------------------------------------------------------===//
+
+// Slices the method over ALL its component variables (no dead-store
+// elimination first) — a never-read "$ret" would otherwise be dropped
+// from the retained set before computeSlices sees it.
+SliceResult sliceAllVars(const cj::CFGMethod &M) {
+  std::vector<std::string> Retained;
+  for (const auto &[Name, Type] : M.CompVars)
+    Retained.push_back(Name);
+  return computeSlices(M, Retained, false, false, nullptr);
+}
+
+int sliceIn(const SliceResult &R, const char *V) {
+  for (size_t S = 0; S != R.Slices.size(); ++S)
+    for (const std::string &Member : R.Slices[S])
+      if (Member == V)
+        return static_cast<int>(S);
+  return -1;
+}
+
+TEST(SlicingTest, ReturnSlotJoinsParamsWhenAssigned) {
+  Client C(R"(
+    class C {
+      Set pick(Set s, Set t) {
+        Iterator i = s.iterator();
+        i.next();
+        return s;
+      }
+    }
+  )");
+  cj::CFGMethod M = C.method("C", "pick");
+  SliceResult R = sliceAllVars(M);
+  ASSERT_EQ(R.Slices.size(), 1u);
+  EXPECT_EQ(sliceIn(R, "$ret"), sliceIn(R, "s"));
+}
+
+TEST(SlicingTest, UnassignedReturnSlotStaysApartFromParams) {
+  // A Set-returning method with no return statement: "$ret" is retained
+  // (it is a component variable) but no action ever defines it, so it
+  // must not be glued to the parameter group.
+  Client C(R"(
+    class C {
+      Set sink(Set s, Set t) {
+        Iterator i = s.iterator();
+        i.next();
+        t.add();
+      }
+    }
+  )");
+  cj::CFGMethod M = C.method("C", "sink");
+  SliceResult R = sliceAllVars(M);
+  ASSERT_NE(sliceIn(R, "$ret"), -1);
+  EXPECT_NE(sliceIn(R, "$ret"), sliceIn(R, "s"));
+  EXPECT_EQ(sliceIn(R, "s"), sliceIn(R, "t")); // Params still co-slice.
+  EXPECT_EQ(R.Slices.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Alias-refined slicing: a whole-program MethodAliasInfo replaces the
+// heap/havoc gates and the syntactic merges.
+//===----------------------------------------------------------------------===//
+
+TEST(SlicingTest, AliasInfoLiftsTheHeapGate) {
+  Client C(HeapStoreClient);
+  PointsToResult PT = analyzePointsTo(C.Prog, C.Spec);
+  const MethodAliasInfo *A = PT.aliasFor("C::main");
+  ASSERT_NE(A, nullptr);
+
+  // Unrefined: the heap store forces one slice. Refined: the points-to
+  // groups prove the two pipelines independent.
+  SliceRun Plain(C, "C", "main");
+  ASSERT_EQ(Plain.R.Slices.size(), 1u);
+  ASSERT_NE(Plain.R.ForcedSingleReason, nullptr);
+
+  SliceRun Refined(C, "C", "main", false, false, A);
+  EXPECT_EQ(Refined.R.ForcedSingleReason, nullptr);
+  ASSERT_EQ(Refined.R.Slices.size(), 2u);
+  EXPECT_EQ(Refined.sliceOf("a"), Refined.sliceOf("i"));
+  EXPECT_EQ(Refined.sliceOf("b"), Refined.sliceOf("j"));
+  EXPECT_NE(Refined.sliceOf("a"), Refined.sliceOf("b"));
+}
+
+TEST(SlicingTest, AliasInfoKeepsHeapRelatedVariablesTogether) {
+  // One Stash shared by both Sets: the points-to groups must keep the
+  // pipelines merged even under refinement.
+  const char *Src = R"(
+    class Stash {
+      Set s;
+    }
+    class C {
+      void main() {
+        Stash u = new Stash();
+        Set a = new Set();
+        Set b = new Set();
+        u.s = a;
+        u.s = b;
+        Set x = u.s;
+        x.add();
+        Iterator i = a.iterator();
+        Iterator j = b.iterator();
+        i.next();
+        j.next();
+      }
+    }
+  )";
+  Client C(Src);
+  PointsToResult PT = analyzePointsTo(C.Prog, C.Spec);
+  const MethodAliasInfo *A = PT.aliasFor("C::main");
+  ASSERT_NE(A, nullptr);
+  SliceRun Refined(C, "C", "main", false, false, A);
+  EXPECT_EQ(Refined.R.Slices.size(), 1u);
+}
+
+TEST(SlicingTest, UninitGateSurvivesAliasRefinement) {
+  Client C(HeapStoreClient);
+  PointsToResult PT = analyzePointsTo(C.Prog, C.Spec);
+  const MethodAliasInfo *A = PT.aliasFor("C::main");
+  ASSERT_NE(A, nullptr);
+  SliceRun S(C, "C", "main", /*HasUninitUses=*/true, false, A);
+  ASSERT_EQ(S.R.Slices.size(), 1u);
+  ASSERT_NE(S.R.ForcedSingleReason, nullptr);
+  EXPECT_NE(std::string(S.R.ForcedSingleReason).find("uninitialized"),
+            std::string::npos);
 }
 
 TEST(SlicingTest, EmptyRetainedYieldsNoSlices) {

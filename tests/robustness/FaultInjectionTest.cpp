@@ -77,10 +77,10 @@ TEST_F(RobustnessFaultTest, ParsePlanForms) {
 
 TEST_F(RobustnessFaultTest, SiteListIsCanonical) {
   const std::vector<std::string> &Sites = faultSites();
-  ASSERT_EQ(Sites.size(), 7u);
+  ASSERT_EQ(Sites.size(), 8u);
   for (const char *S : {"dataflow.solve", "boolprog.intra",
                         "boolprog.interproc", "ifds.solve", "tvla.fixpoint",
-                        "generic.allocsite", "cert-check"})
+                        "generic.allocsite", "cert-check", "points-to"})
     EXPECT_NE(std::find(Sites.begin(), Sites.end(), S), Sites.end()) << S;
 }
 
@@ -100,10 +100,25 @@ TEST_F(RobustnessFaultTest, EveryProbeSiteFiresAndDegrades) {
     setFaultPlan({Site, 1, FaultKind::Throw});
     // The cert-check probe sits inside cert::Checker::check(); it is
     // only reached when the run emits and re-validates certificates.
+    // The points-to probe requires the opt-in pre-analysis.
     CertifierOptions Opts;
     if (Site == "cert-check")
       Opts.EmitCertificates = Opts.CheckCertificates = true;
+    if (Site == "points-to")
+      Opts.PointsTo = true;
     CertificationReport R = certifyWith(engineForSite(Site), Opts);
+    if (Site == "points-to") {
+      // The points-to pre-analysis is a refinement, not a rung: an
+      // injected fault there degrades precision (unrefined slicing
+      // gates, no report statistics), never the engine.
+      EXPECT_FALSE(R.Degraded) << Site << "\n" << R.str();
+      ASSERT_FALSE(R.Stages.empty()) << Site;
+      EXPECT_TRUE(R.Stages[0].Completed) << Site;
+      EXPECT_FALSE(R.PointsTo.Enabled) << Site;
+      EXPECT_GT(R.numChecks(), 0u) << Site << "\n" << R.str();
+      clearFaultPlan();
+      continue;
+    }
     EXPECT_TRUE(R.Degraded) << Site;
     ASSERT_FALSE(R.Stages.empty()) << Site;
     EXPECT_FALSE(R.Stages[0].Completed) << Site;
@@ -228,6 +243,17 @@ TEST(RobustnessEnvFaultTest, SurvivesAnyEnvironmentFault) {
   EXPECT_GT(R.numChecks(), 0u) << "certificate-checked run left the report "
                                   "empty-handed:\n"
                                << R.str();
+
+  // The points-to probe arms only inside the opt-in pre-analysis; a
+  // fault there must degrade the refinement gracefully — the SCMPIntra
+  // rung itself completes unrefined.
+  CertifierOptions PtOpts;
+  PtOpts.PointsTo = true;
+  R = certifyWith(EngineKind::SCMPIntra, PtOpts);
+  EXPECT_GT(R.numChecks(), 0u) << "points-to run left the report "
+                                  "empty-handed:\n"
+                               << R.str();
+  EXPECT_FALSE(R.Degraded) << R.str();
 }
 
 TEST_F(RobustnessFaultTest, MalformedEnvironmentPlanIsIgnored) {

@@ -62,7 +62,7 @@ step "fault-injection pass (sanitize, every probe site)"
 # Keep the site list in sync with support::faultSites() in
 # src/support/Budget.cpp.
 FAULT_SITES="dataflow.solve boolprog.intra boolprog.interproc \
-ifds.solve tvla.fixpoint generic.allocsite cert-check"
+ifds.solve tvla.fixpoint generic.allocsite cert-check points-to"
 for site in $FAULT_SITES; do
   printf -- '--- CANVAS_FAULT=%s:1 ---\n' "$site"
   CANVAS_FAULT="$site:1" run_ctest --preset sanitize \
@@ -77,6 +77,21 @@ if command -v clang-tidy >/dev/null 2>&1; then
     xargs -0 -P "$JOBS" -n 1 clang-tidy -p build-strict --quiet
 else
   step "clang-tidy not found; skipping lint"
+fi
+
+# The static analyzer gates the two trust-sensitive subsystems: the
+# Stage-0 dataflow layer (points-to, escape, slicing) and the
+# certificate layer (emitters + independent checker), where a latent
+# null-deref or uninitialized read could silently accept a bad
+# certificate.
+if command -v clang >/dev/null 2>&1 &&
+   clang --analyze -x c++ /dev/null -o /dev/null >/dev/null 2>&1; then
+  step "clang static analyzer over src/dataflow and src/cert"
+  find src/dataflow src/cert -name '*.cpp' -print0 |
+    xargs -0 -P "$JOBS" -n 1 clang --analyze --analyzer-output text \
+      -std=c++20 -Isrc -Werror
+else
+  step "clang analyzer not found; skipping analysis"
 fi
 
 step "CI gate passed"
