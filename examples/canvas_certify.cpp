@@ -5,7 +5,11 @@
 //   canvas_certify [--engine=NAME] [--spec=FILE|cmp|grp|imp|aop]
 //                  [--print-abstraction] [--points-to]
 //                  [--emit-certs=FILE] [--check-certs]
+//                  [--store=DIR] [--store-mode=rw|ro]
 //                  [--check-only --certs=FILE] CLIENT.cj
+//   canvas_certify --list-fault-sites
+//   canvas_certify --store-snapshot=DIR
+//   canvas_certify --store-diff=OLDDIR,NEWDIR
 //
 // Reads an Easl component specification (a built-in one by default),
 // generates a certifier for the chosen engine, and certifies the CJ
@@ -13,6 +17,24 @@
 // certificates are serialized to FILE; with --check-certs the
 // supervisor re-validates every certificate with the independent
 // checker before accepting the rung's verdicts.
+//
+// --store=DIR enables the crash-safe persistent certificate store:
+// unchanged methods are answered from checker-gated store entries and
+// only changed methods re-run the engine. Store incidents (quarantined,
+// rejected, or I/O-failed entries) go to stderr; a
+// BENCH_JSON {"bench":"store-hit-rate",...} line on stdout records the
+// hit/miss accounting (the capture step of the capture -> analyze ->
+// diff flow). --store-mode=ro opens the store without mutating it.
+//
+// --store-snapshot=DIR dumps every decodable entry of a store as one
+// JSON line each (sorted by unit, then input hash); --store-diff
+// compares two such stores directly and prints one JSON line per
+// added/removed/changed entry plus a BENCH_JSON summary, exiting 0
+// when identical and 1 otherwise.
+//
+// --list-fault-sites prints the deterministic fault-injection registry
+// (one site per line), so harnesses can iterate every probe site
+// without hard-coding the list.
 //
 // --points-to runs the whole-program points-to & escape pre-analysis
 // before the SCMPIntra engine: the report gains the points-to/escape
@@ -37,10 +59,13 @@
 #include "client/Parser.h"
 #include "core/Certifier.h"
 #include "easl/Builtins.h"
+#include "store/CertStore.h"
+#include "support/Budget.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -84,8 +109,127 @@ int usage() {
                "                      [--spec=FILE|cmp|grp|imp|aop]\n"
                "                      [--print-abstraction] [--points-to]\n"
                "                      [--emit-certs=FILE] [--check-certs]\n"
-               "                      [--check-only --certs=FILE] CLIENT.cj\n");
+               "                      [--store=DIR] [--store-mode=rw|ro]\n"
+               "                      [--check-only --certs=FILE] CLIENT.cj\n"
+               "       canvas_certify --list-fault-sites\n"
+               "       canvas_certify --store-snapshot=DIR\n"
+               "       canvas_certify --store-diff=OLDDIR,NEWDIR\n");
   return 2;
+}
+
+/// Minimal JSON string escaping for the snapshot/diff JSONL rows (unit
+/// names and store paths only contain identifier characters, but a
+/// hostile store could hold anything).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[19];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+unsigned numFlagged(const store::StoreEntry &E) {
+  unsigned N = 0;
+  for (const core::CheckRecord &C : E.Checks)
+    N += C.Outcome == core::CheckOutcome::Potential ||
+         C.Outcome == core::CheckOutcome::Definite;
+  return N;
+}
+
+/// One snapshot row per entry; shared by --store-snapshot and the diff
+/// tooling so a diff row carries the same vocabulary as a capture row.
+std::string entryJson(const store::StoreEntry &E) {
+  return "\"unit\":\"" + jsonEscape(E.Unit) + "\",\"input_hash\":\"" +
+         hex64(E.InputHash) + "\",\"engine\":\"" + jsonEscape(E.Engine) +
+         "\",\"checks\":" + std::to_string(E.Checks.size()) +
+         ",\"flagged\":" + std::to_string(numFlagged(E)) +
+         ",\"cert_kind\":\"" + cert::certKindName(E.Cert.Kind) +
+         "\",\"cert_hash\":\"" + hex64(E.CertHash) + "\"";
+}
+
+/// Opens \p Dir read-only and returns its decodable entries, or
+/// nullopt after printing the error. Read-only: snapshotting must not
+/// mutate the store it observes.
+bool loadEntries(const std::string &Dir, std::vector<store::StoreEntry> &Out) {
+  try {
+    store::CertStore St(Dir, store::StoreMode::ReadOnly);
+    Out = St.listEntries();
+    for (const store::StoreIncident &I : St.takeIncidents())
+      std::fprintf(stderr, "store: %s: %s: %s\n", I.Kind.c_str(),
+                   I.Unit.empty() ? "<store>" : I.Unit.c_str(),
+                   I.Detail.c_str());
+    return true;
+  } catch (const CertifyError &E) {
+    std::fprintf(stderr, "error: cannot open store '%s': %s\n", Dir.c_str(),
+                 E.message().c_str());
+    return false;
+  }
+}
+
+int snapshotStore(const std::string &Dir) {
+  std::vector<store::StoreEntry> Entries;
+  if (!loadEntries(Dir, Entries))
+    return 2;
+  for (const store::StoreEntry &E : Entries)
+    std::printf("{%s}\n", entryJson(E).c_str());
+  return 0;
+}
+
+/// Compares two stores entry-by-entry, keyed (unit, input hash): an
+/// entry only in OLD was invalidated or quarantined, one only in NEW
+/// was re-certified under changed inputs, and a key present in both
+/// with a different certificate hash changed evidence without changing
+/// inputs (engine nondeterminism or tampering — worth surfacing).
+int diffStores(const std::string &OldDir, const std::string &NewDir) {
+  std::vector<store::StoreEntry> OldE, NewE;
+  if (!loadEntries(OldDir, OldE) || !loadEntries(NewDir, NewE))
+    return 2;
+  std::map<std::pair<std::string, uint64_t>, const store::StoreEntry *> Old,
+      New;
+  for (const store::StoreEntry &E : OldE)
+    Old[{E.Unit, E.InputHash}] = &E;
+  for (const store::StoreEntry &E : NewE)
+    New[{E.Unit, E.InputHash}] = &E;
+  unsigned Added = 0, Removed = 0, Changed = 0, Unchanged = 0;
+  for (const auto &[Key, E] : Old)
+    if (!New.count(Key)) {
+      ++Removed;
+      std::printf("{\"diff\":\"removed\",%s}\n", entryJson(*E).c_str());
+    }
+  for (const auto &[Key, E] : New) {
+    auto It = Old.find(Key);
+    if (It == Old.end()) {
+      ++Added;
+      std::printf("{\"diff\":\"added\",%s}\n", entryJson(*E).c_str());
+    } else if (It->second->CertHash != E->CertHash) {
+      ++Changed;
+      std::printf("{\"diff\":\"changed\",%s,\"old_cert_hash\":\"%s\"}\n",
+                  entryJson(*E).c_str(), hex64(It->second->CertHash).c_str());
+    } else {
+      ++Unchanged;
+    }
+  }
+  std::printf("\nBENCH_JSON {\"bench\":\"store-diff\",\"added\":%u,"
+              "\"removed\":%u,\"changed\":%u,\"unchanged\":%u}\n\n",
+              Added, Removed, Changed, Unchanged);
+  return Added || Removed || Changed ? 1 : 0;
 }
 
 /// The --check-only path: no analyzer is instantiated. The trusted
@@ -143,10 +287,15 @@ int main(int argc, char **argv) {
   std::string ClientPath;
   std::string EmitCertsPath;
   std::string CertsPath;
+  std::string StorePath;
+  std::string StoreModeArg = "rw";
+  std::string SnapshotDir;
+  std::string DiffArg;
   bool PrintAbstraction = false;
   bool PointsTo = false;
   bool CheckCerts = false;
   bool CheckOnly = false;
+  bool ListFaultSites = false;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -166,6 +315,16 @@ int main(int argc, char **argv) {
       CheckOnly = true;
     } else if (std::strncmp(Arg, "--certs=", 8) == 0) {
       CertsPath = Arg + 8;
+    } else if (std::strncmp(Arg, "--store=", 8) == 0) {
+      StorePath = Arg + 8;
+    } else if (std::strncmp(Arg, "--store-mode=", 13) == 0) {
+      StoreModeArg = Arg + 13;
+    } else if (std::strncmp(Arg, "--store-snapshot=", 17) == 0) {
+      SnapshotDir = Arg + 17;
+    } else if (std::strncmp(Arg, "--store-diff=", 13) == 0) {
+      DiffArg = Arg + 13;
+    } else if (std::strcmp(Arg, "--list-fault-sites") == 0) {
+      ListFaultSites = true;
     } else if (Arg[0] == '-') {
       return usage();
     } else if (ClientPath.empty()) {
@@ -174,6 +333,22 @@ int main(int argc, char **argv) {
       return usage();
     }
   }
+
+  if (ListFaultSites) {
+    for (const std::string &Site : support::faultSites())
+      std::printf("%s\n", Site.c_str());
+    return 0;
+  }
+  if (!SnapshotDir.empty())
+    return snapshotStore(SnapshotDir);
+  if (!DiffArg.empty()) {
+    const size_t Comma = DiffArg.find(',');
+    if (Comma == std::string::npos)
+      return usage();
+    return diffStores(DiffArg.substr(0, Comma), DiffArg.substr(Comma + 1));
+  }
+  if (StoreModeArg != "rw" && StoreModeArg != "ro")
+    return usage();
   if (ClientPath.empty() || (CheckOnly && CertsPath.empty()))
     return usage();
 
@@ -219,6 +394,9 @@ int main(int argc, char **argv) {
   Opts.PointsTo = PointsTo;
   Opts.EmitCertificates = !EmitCertsPath.empty() || CheckCerts;
   Opts.CheckCertificates = CheckCerts;
+  Opts.StorePath = StorePath;
+  Opts.StoreMode = StoreModeArg == "ro" ? store::StoreMode::ReadOnly
+                                        : store::StoreMode::ReadWrite;
 
   DiagnosticEngine Diags;
   core::Certifier Certifier(SpecSource, Engine, Diags, {}, Opts);
@@ -236,6 +414,23 @@ int main(int argc, char **argv) {
     return 2;
   }
   std::printf("%s", Report.str().c_str());
+
+  // Store accounting stays out of the report (so a warm re-run's report
+  // is byte-identical to the cold run's): incidents go to stderr, the
+  // hit-rate line rides the BENCH_JSON capture idiom on stdout.
+  if (Report.Store.Enabled) {
+    for (const store::StoreIncident &I : Report.Store.Incidents)
+      std::fprintf(stderr, "store: %s: %s: %s\n", I.Kind.c_str(),
+                   I.Unit.empty() ? "<store>" : I.Unit.c_str(),
+                   I.Detail.c_str());
+    std::printf("\nBENCH_JSON {\"bench\":\"store-hit-rate\",\"path\":\"%s\","
+                "\"mode\":\"%s\",\"hits\":%u,\"misses\":%u,\"rejected\":%u,"
+                "\"quarantined\":%u,\"writes\":%u}\n\n",
+                jsonEscape(Report.Store.Path).c_str(),
+                Report.Store.ReadOnly ? "ro" : "rw", Report.Store.Hits,
+                Report.Store.Misses, Report.Store.Rejected,
+                Report.Store.Quarantined, Report.Store.Writes);
+  }
 
   if (!EmitCertsPath.empty()) {
     std::vector<uint8_t> Blob =

@@ -278,7 +278,9 @@ CheckResult Checker::checkBoolIntra(const Certificate &C) const {
     if (bp::canBeOne(In[Node][Chk.Var]))
       return fail("safe claim but the annotation admits a violation");
   }
-  return ok();
+  CheckResult Res = ok();
+  Res.NumChecks = BP.Checks.size();
+  return Res;
 }
 
 //===----------------------------------------------------------------------===//
@@ -589,7 +591,9 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
     if (bp::canBeOne(In[Node][Chk.Var]))
       return fail("safe claim but the annotation admits a violation");
   }
-  return ok();
+  CheckResult Res = ok();
+  Res.NumChecks = Canon.Checks.size();
+  return Res;
 }
 
 //===----------------------------------------------------------------------===//
@@ -778,7 +782,28 @@ CheckResult Checker::checkIfds(const Certificate &C) const {
     if (Reached(A.Proc, A.Node, 1 + A.Var))
       return fail("safe claim but a genuine path edge reaches the fact");
   }
-  return ok();
+
+  // Recompute the full verdict vector in the engine's report order:
+  // anchors of activated procedures, in anchor order (the engine walks
+  // procedures and their canonical checks in exactly this order, and
+  // its Solver::reached is genuine-gated just like Reached here).
+  CheckResult Res = ok();
+  for (const bp::InterprocModel::Anchor &A : Anchors) {
+    if (!Reached(A.Proc, Prob.proc(A.Proc).Entry, ifds::LambdaFact))
+      continue; // Not callable from the entry method: not reported.
+    core::CheckOutcome O;
+    if (!Reached(A.Proc, A.Node, ifds::LambdaFact))
+      O = core::CheckOutcome::Unreachable;
+    else if (A.Var < 0)
+      O = A.ConstantViolated ? core::CheckOutcome::Potential
+                             : core::CheckOutcome::Safe;
+    else
+      O = Reached(A.Proc, A.Node, 1 + A.Var) ? core::CheckOutcome::Potential
+                                             : core::CheckOutcome::Safe;
+    Res.Canonical.push_back(O);
+  }
+  Res.NumChecks = Res.Canonical.size();
+  return Res;
 }
 
 //===----------------------------------------------------------------------===//
@@ -871,7 +896,9 @@ CheckResult Checker::checkTvla(const Certificate &C) const {
     if (Cell.Seen && Cell.Acc != Kleene::False)
       return fail("safe claim but a covering structure admits a violation");
   }
-  return ok();
+  CheckResult Res = ok();
+  Res.NumChecks = T.checks().size();
+  return Res;
 }
 
 //===----------------------------------------------------------------------===//
@@ -986,5 +1013,7 @@ CheckResult Checker::checkAllocSite(const Certificate &C) const {
       return fail("safe claim but a covering state fails to prove the "
                   "obligation");
   }
-  return ok();
+  CheckResult Res = ok();
+  Res.NumChecks = Sites.size();
+  return Res;
 }

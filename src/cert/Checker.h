@@ -35,6 +35,23 @@ struct CheckResult {
   bool Valid = false;
   std::string Reason; ///< Empty when Valid.
   double Micros = 0;  ///< Wall-clock verification time.
+
+  /// Size of the canonical check enumeration the claims index, rebuilt
+  /// from the trusted inputs (boolean-program checks, activated IFDS
+  /// anchors, TVLA requires sites, flagged allocation-site
+  /// obligations). Valid certificates always set it; store::CertStore
+  /// uses it to reject entries whose stored verdict vector is
+  /// incomplete — a deleted check is as wrong as a flipped one.
+  size_t NumChecks = 0;
+
+  /// IFDS only: the full verdict vector recomputed from the verified
+  /// tabulation, in the engine's report order (per activated procedure,
+  /// per canonical check). The IFDS claim space indexes anchors() while
+  /// the report skips non-activated anchors, so positional claim
+  /// cross-checks cannot gate a stored report; this vector can, and
+  /// exactly — Solver::reached is genuine-gated just like the
+  /// recomputation here. Empty for every other certificate kind.
+  std::vector<core::CheckOutcome> Canonical;
 };
 
 /// Verifies certificates against the trusted inputs: the component

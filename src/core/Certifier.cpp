@@ -6,14 +6,17 @@
 #include "cert/Emit.h"
 #include "client/CFG.h"
 #include "core/GenericBaseline.h"
+#include "core/Replay.h"
 #include "dataflow/Escape.h"
 #include "dataflow/PointsTo.h"
+#include "store/InputHash.h"
 #include "support/TaskPool.h"
 #include "tvla/Certify.h"
 
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
 #include <new>
 
@@ -110,6 +113,10 @@ Certifier::Certifier(std::string_view SpecSource, EngineKind Engine,
                      const wp::DerivationOptions &DOpts,
                      const CertifierOptions &Opts)
     : Engine(Engine), Opts(Opts) {
+  // Hashed before parsing so the store key covers the spec exactly as
+  // written: any textual edit invalidates every derived entry.
+  SpecHash = cert::fnv1a(reinterpret_cast<const uint8_t *>(SpecSource.data()),
+                         SpecSource.size());
   S = easl::parseSpec(SpecSource, Diags);
   if (Diags.hasErrors())
     return;
@@ -153,6 +160,169 @@ template <typename Fn> auto timed(double &Micros, Fn &&F) {
   auto T1 = std::chrono::steady_clock::now();
   Micros += std::chrono::duration<double, std::micro>(T1 - T0).count();
   return Result;
+}
+
+/// The option knobs folded into every store key: anything that can
+/// change a verdict or a printed analysis artifact. Worker counts and
+/// stage budgets are deliberately excluded — merges are canonical in
+/// method-index order, so they affect wall-clock, never results.
+std::string storeOptionsFingerprint(const CertifierOptions &O) {
+  std::string F = "v1";
+  F += O.PreAnalysis ? ":pre1" : ":pre0";
+  F += O.Pre.Slice ? ":slice1" : ":slice0";
+  F += O.PointsTo ? ":pt1" : ":pt0";
+  F += ":tvla" + std::to_string(O.TVLAMaxStructuresPerPoint);
+  return F;
+}
+
+/// Gates a store hit before it may answer: the store is untrusted bytes
+/// on disk. The entry's certificate must pass the independent checker,
+/// the stored verdict vector must be exactly as long as the canonical
+/// check enumeration (a deleted check would silently shrink the
+/// report), every proven verdict must be backed by a validated claim
+/// and vice versa (for IFDS certificates the checker's full recomputed
+/// verdict vector is compared instead — their claims index anchors, not
+/// report positions), and every flagged verdict carrying a witness must
+/// replay. Residual trust: the What/Loc strings of an entry are not
+/// re-derived, so tampering there garbles report text — but can never
+/// flip a verdict to proven without a claim the checker validates.
+bool validateStoreEntry(const store::StoreEntry &E, EngineKind Engine,
+                        const easl::Spec &S, const cj::ClientCFG &CFG,
+                        cert::Checker &Ck, std::string &Why) {
+  if (E.Engine != engineName(Engine)) {
+    Why = "entry produced by engine '" + E.Engine + "', requested '" +
+          engineName(Engine) + "'";
+    return false;
+  }
+  if (!E.HasCert) {
+    Why = "entry carries no certificate";
+    return false;
+  }
+  if (E.CertHash != E.Cert.ContentHash) {
+    Why = "certificate content hash does not match the committed hash";
+    return false;
+  }
+  if (E.Cert.Unit != E.Unit) {
+    Why = "certificate unit '" + E.Cert.Unit + "' does not match entry unit";
+    return false;
+  }
+  const bool Ifds = E.Cert.Kind == cert::CertKind::Ifds;
+  for (const CheckVerdict &C : E.Checks) {
+    if (C.Degraded) {
+      Why = "entry contains a degraded verdict";
+      return false;
+    }
+    if (!Ifds && C.Method != E.Unit) {
+      Why = "entry verdict attributed to foreign method '" + C.Method + "'";
+      return false;
+    }
+  }
+  cert::CheckResult CR = Ck.check(E.Cert);
+  if (!CR.Valid) {
+    Why = "certificate rejected: " + CR.Reason;
+    return false;
+  }
+  if (E.Checks.size() != CR.NumChecks) {
+    Why = "entry stores " + std::to_string(E.Checks.size()) +
+          " verdict(s) but the canonical enumeration has " +
+          std::to_string(CR.NumChecks);
+    return false;
+  }
+  if (Ifds) {
+    for (size_t I = 0; I != E.Checks.size(); ++I)
+      if (E.Checks[I].Outcome != CR.Canonical[I]) {
+        Why = "stored verdict #" + std::to_string(I) +
+              " disagrees with the checker's recomputation";
+        return false;
+      }
+  } else {
+    std::map<uint32_t, CheckOutcome> ClaimAt;
+    for (const cert::Claim &Cl : E.Cert.Claims)
+      if (!ClaimAt.emplace(Cl.Check, Cl.Outcome).second) {
+        Why = "duplicate claim for check #" + std::to_string(Cl.Check);
+        return false;
+      }
+    for (size_t I = 0; I != E.Checks.size(); ++I) {
+      const CheckOutcome O = E.Checks[I].Outcome;
+      auto It = ClaimAt.find(static_cast<uint32_t>(I));
+      const bool Proven =
+          O == CheckOutcome::Safe || O == CheckOutcome::Unreachable;
+      if (Proven && (It == ClaimAt.end() || It->second != O)) {
+        Why = "proven verdict #" + std::to_string(I) +
+              " is not backed by a certificate claim";
+        return false;
+      }
+      if (!Proven && It != ClaimAt.end()) {
+        Why = "certificate claims check #" + std::to_string(I) +
+              " proven but the entry stores a flagged verdict";
+        return false;
+      }
+    }
+  }
+  for (const CheckVerdict &C : E.Checks)
+    if ((C.Outcome == CheckOutcome::Potential ||
+         C.Outcome == CheckOutcome::Definite) &&
+        !C.Witness.empty()) {
+      ReplayResult RR = replayWitness(S, CFG, C);
+      if (!RR.validated()) {
+        Why = "stored witness fails replay" +
+              (RR.Detail.empty() ? std::string() : ": " + RR.Detail);
+        return false;
+      }
+    }
+  return true;
+}
+
+/// Assembles the store entries for the units the requested rung
+/// actually analyzed (hits are skipped — they are already on disk).
+/// Checks, certificates, and slice summaries are regrouped from the
+/// merged report by unit name; a unit that somehow lacks a certificate
+/// is not persisted rather than committing an entry the hit gate would
+/// reject forever.
+std::vector<store::StoreEntry>
+buildStoreEntries(EngineKind Engine,
+                  const std::map<std::string, uint64_t> &UnitHashes,
+                  const std::map<std::string, store::StoreEntry> &Hits,
+                  const CertificationReport &Report) {
+  std::map<std::string, store::StoreEntry> ByUnit;
+  for (const auto &[Unit, Hash] : UnitHashes) {
+    if (Hits.count(Unit))
+      continue;
+    store::StoreEntry E;
+    E.InputHash = Hash;
+    E.Unit = Unit;
+    E.Engine = engineName(Engine);
+    ByUnit.emplace(Unit, std::move(E));
+  }
+  // The interprocedural engine's checks span methods but belong to the
+  // single whole-program unit "".
+  const bool Interproc = Engine == EngineKind::SCMPInterproc;
+  for (const CheckVerdict &C : Report.Checks) {
+    auto It = ByUnit.find(Interproc ? std::string() : C.Method);
+    if (It != ByUnit.end())
+      It->second.Checks.push_back(C);
+  }
+  for (const cert::Certificate &C : Report.Certificates) {
+    auto It = ByUnit.find(C.Unit);
+    if (It == ByUnit.end())
+      continue;
+    It->second.HasCert = true;
+    It->second.Cert = C;
+    It->second.CertHash = C.ContentHash;
+  }
+  for (const MethodSliceSummary &MS : Report.SliceSummaries) {
+    auto It = ByUnit.find(MS.Method);
+    if (It == ByUnit.end())
+      continue;
+    It->second.HasSummary = true;
+    It->second.Slices = MS.Slices;
+    It->second.ForcedSingleReason = MS.ForcedSingleReason;
+  }
+  std::vector<store::StoreEntry> Out;
+  for (auto &UnitAndEntry : ByUnit)
+    if (UnitAndEntry.second.HasCert)
+      Out.push_back(std::move(UnitAndEntry.second));
+  return Out;
 }
 
 void attachLints(std::vector<LintFinding> &Lints,
@@ -367,9 +537,16 @@ bool certifyMethodSliced(const wp::DerivedAbstraction &Abs,
 /// the pool drains. A rung that throws merges nothing — no partial
 /// verdicts and no partial diagnostics. SCMPInterproc is a
 /// whole-program analysis and stays serial.
+///
+/// \p StoreHits, when non-null, maps unit names to pre-validated store
+/// entries (checker-gated by the supervisor before the fan-out): a task
+/// whose unit has a hit reproduces the stored verdicts, certificate,
+/// and slice summary instead of running the engine. The map is only
+/// read concurrently.
 void runEngine(EngineKind K, const easl::Spec &S,
                const wp::DerivedAbstraction &Abs,
                const CertifierOptions &Opts, const cj::ClientCFG &CFG,
+               const std::map<std::string, store::StoreEntry> *StoreHits,
                DiagnosticEngine &Diags, support::CancelToken &Tok,
                support::TaskPool &Pool, EngineRun &Run) {
   // The Stage-0 lint runs for every engine; SCMPIntra folds it into its
@@ -440,6 +617,20 @@ void runEngine(EngineKind K, const easl::Spec &S,
         Tasks.push_back([&, MI] {
           const cj::CFGMethod &M = CFG.Methods[MI];
           Slot &Out = Slots[MI];
+          if (StoreHits) {
+            auto HitIt = StoreHits->find(M.name());
+            if (HitIt != StoreHits->end()) {
+              const store::StoreEntry &SE = HitIt->second;
+              Out.Checks = SE.Checks;
+              Out.Certs.push_back(SE.Cert);
+              if (SE.HasSummary) {
+                Out.Summary.Method = M.name();
+                Out.Summary.Slices = SE.Slices;
+                Out.Summary.ForcedSingleReason = SE.ForcedSingleReason;
+              }
+              return;
+            }
+          }
           if (TrySliced) {
             SlicedCertAttempt A;
             if (certifyMethodSliced(Abs, M, PT.get(), &Tok, A)) {
@@ -610,6 +801,14 @@ void runEngine(EngineKind K, const easl::Spec &S,
     return;
   }
   case EngineKind::SCMPInterproc: {
+    if (StoreHits) {
+      auto HitIt = StoreHits->find(std::string());
+      if (HitIt != StoreHits->end()) {
+        Run.Checks = HitIt->second.Checks;
+        Run.Certs.push_back(HitIt->second.Cert);
+        return;
+      }
+    }
     // The supervisor skips this rung when main() is absent.
     const cj::CFGMethod *Main = CFG.mainCFG();
     bp::InterprocModel Model(Abs, CFG, *Main, Diags);
@@ -640,6 +839,14 @@ void runEngine(EngineKind K, const easl::Spec &S,
       Tasks.push_back([&, MI] {
         const cj::CFGMethod &M = CFG.Methods[MI];
         Slot &Out = Slots[MI];
+        if (StoreHits) {
+          auto HitIt = StoreHits->find(M.name());
+          if (HitIt != StoreHits->end()) {
+            Out.Checks = HitIt->second.Checks;
+            Out.Certs.push_back(HitIt->second.Cert);
+            return;
+          }
+        }
         BaselineAnnotation Ann;
         BaselineResult R = analyzeAllocSite(
             S, M, &Tok, Opts.EmitCertificates ? &Ann : nullptr);
@@ -684,6 +891,14 @@ void runEngine(EngineKind K, const easl::Spec &S,
       Tasks.push_back([&, MI, K] {
         const cj::CFGMethod &M = CFG.Methods[MI];
         Slot &Out = Slots[MI];
+        if (StoreHits) {
+          auto HitIt = StoreHits->find(M.name());
+          if (HitIt != StoreHits->end()) {
+            Out.Checks = HitIt->second.Checks;
+            Out.Certs.push_back(HitIt->second.Cert);
+            return;
+          }
+        }
         tvla::TVLAOptions TO;
         TO.Relational = K == EngineKind::TVLARelational;
         TO.MaxStructuresPerPoint = Opts.TVLAMaxStructuresPerPoint;
@@ -739,6 +954,99 @@ CertificationReport Certifier::certify(const cj::Program &P,
   if (Diags.hasErrors())
     return Report;
 
+  // Persistent certificate store. Every analyzed unit must carry a
+  // certificate (an entry without one is unusable — the hit gate would
+  // reject it), so an active store forces emission on locally. The
+  // store serves and fills only the requested engine's rung: degraded
+  // fallback results are never persisted.
+  CertifierOptions EOpts = Opts;
+  if (!EOpts.StorePath.empty())
+    EOpts.EmitCertificates = true;
+
+  std::unique_ptr<store::CertStore> Store;
+  std::map<std::string, store::StoreEntry> StoreHits;
+  std::map<std::string, uint64_t> UnitHashes;
+  if (!EOpts.StorePath.empty()) {
+    Report.Store.Enabled = true;
+    Report.Store.Path = EOpts.StorePath;
+    Report.Store.ReadOnly = EOpts.StoreMode == store::StoreMode::ReadOnly;
+    try {
+      Store =
+          std::make_unique<store::CertStore>(EOpts.StorePath, EOpts.StoreMode);
+    } catch (const CertifyError &E) {
+      // A store that cannot open (or recover) is a robustness event,
+      // not a certification failure: record it and run storeless.
+      Report.Store.Incidents.push_back({"", "StoreIO", E.message()});
+    }
+  }
+  if (Store) {
+    const uint64_t Ctx =
+        store::contextFingerprint(SpecHash, Abs.str(), engineName(Engine),
+                                  storeOptionsFingerprint(EOpts));
+    const uint64_t ProgHash = store::programInputHash(CFG, Ctx);
+    if (Engine == EngineKind::SCMPInterproc) {
+      UnitHashes[std::string()] = ProgHash;
+    } else {
+      UnitHashes = store::methodInputHashes(CFG, Ctx);
+      if (EOpts.PointsTo)
+        // The whole-program points-to pre-analysis couples every method
+        // to the full program (alias groups and closed-world
+        // reachability can shift under any edit), so fold the program
+        // hash into each per-method key.
+        for (auto &UnitAndHash : UnitHashes) {
+          cert::Writer W;
+          W.u64(UnitAndHash.second);
+          W.u64(ProgHash);
+          UnitAndHash.second =
+              cert::fnv1a(W.buffer().data(), W.buffer().size());
+        }
+    }
+    cert::Checker Ck(S, Abs, CFG);
+    for (const auto &[Unit, Hash] : UnitHashes) {
+      std::unique_ptr<store::StoreEntry> E;
+      try {
+        E = Store->get(Hash, Unit);
+      } catch (const CertifyError &Err) {
+        Report.Store.Incidents.push_back({Unit, "StoreIO", Err.message()});
+        ++Report.Store.Misses;
+        continue;
+      }
+      if (!E) {
+        ++Report.Store.Misses;
+        continue;
+      }
+      std::string Why;
+      bool Accept = false;
+      try {
+        Accept = validateStoreEntry(*E, Engine, S, CFG, Ck, Why);
+      } catch (const CertifyError &Err) {
+        // An injected cert-check fault (or checker budget exhaustion)
+        // while gating: the entry is unproven, treat it as rejected.
+        Why = std::string(certifyErrorKindName(Err.kind())) + ": " +
+              Err.message();
+      }
+      if (!Accept) {
+        ++Report.Store.Rejected;
+        ++Report.Store.Misses;
+        Store->evict(Hash, Unit, Why);
+        Report.Store.Incidents.push_back({Unit, "StoreEntryInvalid", Why});
+        continue;
+      }
+      ++Report.Store.Hits;
+      StoreHits.emplace(Unit, std::move(*E));
+    }
+  }
+  auto FinalizeStore = [&] {
+    if (!Store)
+      return;
+    const store::StoreStats &SS = Store->stats();
+    Report.Store.Quarantined = SS.Quarantined + SS.SkippedInvalid;
+    Report.Store.Writes = SS.Writes;
+    std::vector<store::StoreIncident> Inc = Store->takeIncidents();
+    for (store::StoreIncident &I : Inc)
+      Report.Store.Incidents.push_back(std::move(I));
+  };
+
   // The degradation ladder, most precise/expensive first. The requested
   // engine is the first rung; with degradation on, every cheaper engine
   // below it is a fallback.
@@ -765,6 +1073,7 @@ CertificationReport Certifier::certify(const cj::Program &P,
       if (!Opts.Degrade) {
         Diags.error(SourceLoc(), "interprocedural certification requires a "
                                  "main() method");
+        FinalizeStore();
         return Report;
       }
       StageAttempt At;
@@ -785,7 +1094,9 @@ CertificationReport Certifier::certify(const cj::Program &P,
     At.Engine = engineName(K);
     try {
       EngineRun Run;
-      runEngine(K, S, Abs, Opts, CFG, Diags, Tok, Pool, Run);
+      runEngine(K, S, Abs, EOpts, CFG,
+                Store && K == Engine ? &StoreHits : nullptr, Diags, Tok, Pool,
+                Run);
 
       CertificateStats CS;
       CS.EmitMicros = Run.EmitMicros;
@@ -795,7 +1106,7 @@ CertificationReport Certifier::certify(const cj::Program &P,
         CS.RawEntries += Cert.RawEntries;
         CS.StoredEntries += Cert.StoredEntries;
       }
-      if (Opts.EmitCertificates && Opts.CheckCertificates) {
+      if (EOpts.EmitCertificates && EOpts.CheckCertificates) {
         // Re-validate before accepting the rung: a rejected certificate
         // means the rung's Proven verdicts are not independently
         // justified, which is a structured failure (never a silent
@@ -842,6 +1153,20 @@ CertificationReport Certifier::certify(const cj::Program &P,
             C.DegradeNote = Note;
           }
       }
+      if (Store && K == Engine &&
+          EOpts.StoreMode == store::StoreMode::ReadWrite)
+        for (const store::StoreEntry &E :
+             buildStoreEntries(Engine, UnitHashes, StoreHits, Report)) {
+          try {
+            Store->put(E);
+          } catch (const CertifyError &Err) {
+            // A failed commit never fails certification: the verdicts
+            // stand, the entry simply is not cached.
+            Report.Store.Incidents.push_back(
+                {E.Unit, "StoreIO", Err.message()});
+          }
+        }
+      FinalizeStore();
       return Report;
     } catch (const CertifyError &E) {
       At.Spend = Tok.spend();
@@ -886,5 +1211,6 @@ CertificationReport Certifier::certify(const cj::Program &P,
   }
   for (const cj::CFGMethod &M : CFG.Methods)
     enumerateObligations(Abs, M, Note, Report.Checks);
+  FinalizeStore();
   return Report;
 }

@@ -23,6 +23,7 @@
 #include "core/Verdict.h"
 #include "dataflow/PreAnalysis.h"
 #include "easl/Parser.h"
+#include "store/CertStore.h"
 #include "support/Budget.h"
 #include "wp/Abstraction.h"
 
@@ -196,6 +197,12 @@ struct CertificationReport {
   /// verdicts, one per analyzed unit (empty unless EmitCertificates).
   std::vector<cert::Certificate> Certificates;
   CertificateStats CertStats;
+  /// Persistent-store usage of this run: hits, misses, rejections,
+  /// quarantines, and structured incidents (empty unless
+  /// CertifierOptions::StorePath was set). Deliberately NOT rendered by
+  /// str() — a warm run's report must be byte-identical to the cold
+  /// run's.
+  store::StoreReport Store;
 
   size_t numChecks() const { return Checks.size(); }
   unsigned numFlagged() const;
@@ -261,6 +268,21 @@ struct CertifierOptions {
   /// degradation on, the supervisor falls to the next rung rather than
   /// reporting unproven verdicts as Proven.
   bool CheckCertificates = false;
+  /// Root directory of the persistent certificate store; empty disables
+  /// it. With a store, units whose input hash is unchanged answer from
+  /// disk *after* their stored certificate passes the independent
+  /// cert::Checker (plus claim/verdict cross-checks and witness
+  /// replay): a hit costs a check, not a re-analysis; a rejected entry
+  /// is evicted, reported as a StoreEntryInvalid incident, and
+  /// re-analyzed. Setting a store forces certificate emission (the
+  /// evidence is what makes entries re-validatable), and every store
+  /// I/O failure degrades to re-analysis — never to a wrong or missing
+  /// verdict. The store serves and fills only the *requested* engine's
+  /// rung; degraded fallback runs are never persisted.
+  std::string StorePath;
+  /// ReadOnly serves checker-gated hits without any disk mutation
+  /// (useful for replicas serving from a shared snapshot).
+  store::StoreMode StoreMode = store::StoreMode::ReadWrite;
 };
 
 /// A generated certifier: a derived abstraction bound to a component
@@ -293,6 +315,9 @@ private:
   wp::DerivedAbstraction Abs;
   EngineKind Engine;
   CertifierOptions Opts;
+  /// FNV-1a of the spec source text, the spec half of the store's
+  /// context fingerprint (easl::Spec has no canonical rendering).
+  uint64_t SpecHash = 0;
 };
 
 } // namespace core

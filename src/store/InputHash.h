@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content hashing of certification inputs for the persistent
+/// certificate store: a context fingerprint folding everything that
+/// invalidates the whole store at once (spec source, derived
+/// abstraction, engine, option knobs, entry-format version), and
+/// per-unit input hashes over the client CFGs. A method's hash covers
+/// its own CFG shape plus the transitive closure of its client callees,
+/// so editing a callee re-keys every caller whose analysis could
+/// observe it; the whole-program hash (for the interprocedural engine)
+/// covers every method.
+///
+/// The hashes are pure cache keys, not trust anchors: a colliding or
+/// stale entry is still gated by the independent cert::Checker before
+/// its verdicts are served (see store/CertStore.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_STORE_INPUTHASH_H
+#define CANVAS_STORE_INPUTHASH_H
+
+#include "client/CFG.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace canvas {
+namespace store {
+
+/// The store entry format version, folded into every context
+/// fingerprint so a layout change invalidates old entries wholesale
+/// instead of misparsing them.
+inline constexpr uint32_t EntryFormatVersion = 1;
+
+/// Folds the run-wide certification context into one seed: the FNV-1a
+/// hash of the spec source, the derived abstraction's rendering, the
+/// engine name, and a fingerprint of the verdict-affecting certifier
+/// options.
+uint64_t contextFingerprint(uint64_t SpecHash, const std::string &AbsText,
+                            const std::string &EngineName,
+                            const std::string &OptionsFingerprint);
+
+/// Per-method input hashes keyed by "Class::method". Each hash folds
+/// \p Context, the method's local CFG (nodes, edges, actions with
+/// locations, component variables, parameters), and the closure of its
+/// resolved client callees; an on-stack cycle folds the callee's name
+/// only, which is sound because every member of the cycle already
+/// folds every other member's local hash transitively.
+std::map<std::string, uint64_t> methodInputHashes(const cj::ClientCFG &CFG,
+                                                  uint64_t Context);
+
+/// Whole-program input hash: \p Context plus every method's local hash
+/// in method order. Keys the interprocedural engine's single entry and
+/// is folded into per-method keys when a whole-program refinement
+/// (points-to) couples methods beyond the call graph.
+uint64_t programInputHash(const cj::ClientCFG &CFG, uint64_t Context);
+
+} // namespace store
+} // namespace canvas
+
+#endif // CANVAS_STORE_INPUTHASH_H

@@ -11,7 +11,8 @@ const std::vector<std::string> &support::faultSites() {
   static const std::vector<std::string> Sites = {
       "dataflow.solve",     "boolprog.intra", "boolprog.interproc",
       "ifds.solve",         "tvla.fixpoint",  "generic.allocsite",
-      "cert-check",         "points-to",
+      "cert-check",         "points-to",      "store-open",
+      "store-read",         "store-commit",   "store-recover",
   };
   return Sites;
 }
@@ -73,6 +74,8 @@ bool support::parseFaultPlan(const std::string &Text, FaultPlan &Out) {
       Out.Kind = FaultKind::Timeout;
     else if (Kind == "alloc")
       Out.Kind = FaultKind::AllocFail;
+    else if (Kind == "short")
+      Out.Kind = FaultKind::ShortWrite;
     else
       return false;
   }
@@ -106,15 +109,15 @@ void support::reloadFaultPlanFromEnvironment() {
   S.Fired = false;
 }
 
-void support::faultProbe(const char *Site) {
+FaultAction support::faultProbeAction(const char *Site) {
   FaultState &S = faultState();
   std::lock_guard<std::mutex> Lock(S.M);
   if (!S.EnvConsulted)
     consultEnvironment(S);
   if (!S.Plan || S.Fired || S.Plan->Site != Site)
-    return;
+    return FaultAction::None;
   if (++S.Probes != S.Plan->AtProbe)
-    return;
+    return FaultAction::None;
   S.Fired = true;
   switch (S.Plan->Kind) {
   case FaultKind::Throw:
@@ -132,5 +135,15 @@ void support::faultProbe(const char *Site) {
                        "injected allocation failure at probe " +
                            std::to_string(S.Plan->AtProbe),
                        Site);
+  case FaultKind::ShortWrite:
+    return FaultAction::ShortWrite;
   }
+  return FaultAction::None;
+}
+
+void support::faultProbe(const char *Site) {
+  // Short-write plans are meaningful only at write-capable sites; a
+  // plain probe swallows them (the plan still counts as fired, keeping
+  // probe arithmetic identical across kinds).
+  (void)faultProbeAction(Site);
 }

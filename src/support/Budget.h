@@ -161,6 +161,12 @@ enum class FaultKind {
   Throw,     ///< A recoverable engine error (CertifyErrorKind::InjectedFault).
   Timeout,   ///< Budget-deadline exhaustion, without a real timeout.
   AllocFail, ///< Allocation-budget exhaustion.
+  /// A torn write: the I/O operation the probe guards must write only a
+  /// prefix of its bytes and then fail, simulating a crash (power loss,
+  /// ENOSPC) mid-write. Only write-capable probe sites (the store's
+  /// commit/journal paths) honor it via faultProbeAction(); at every
+  /// other site a short-write plan fires as a no-op.
+  ShortWrite,
 };
 
 /// One armed fault: fire once, at the AtProbe-th probe of Site.
@@ -187,13 +193,28 @@ void clearFaultPlan();
 void reloadFaultPlanFromEnvironment();
 
 /// Parses "<site>:<n>" or "<site>:<n>:<kind>" (kind: throw | timeout |
-/// alloc). Returns false on malformed input.
+/// alloc | short). Returns false on malformed input.
 bool parseFaultPlan(const std::string &Text, FaultPlan &Out);
+
+/// What a fired probe asks the *caller* to simulate (everything the
+/// probe can simulate by itself is thrown as CertifyError instead).
+enum class FaultAction {
+  None,       ///< No fault fired at this probe.
+  ShortWrite, ///< Truncate the guarded write partway, then fail it.
+};
 
 /// The probe: a near-free no-op unless a plan is armed for \p Site, in
 /// which case the AtProbe-th call throws the planned CertifyError. The
 /// environment variable CANVAS_FAULT is consulted lazily on first use.
+/// Short-write plans fire as a no-op here; write-capable sites use
+/// faultProbeAction instead.
 void faultProbe(const char *Site);
+
+/// The probe for write-capable sites: identical to faultProbe for the
+/// throwing kinds, but a short-write plan firing at this probe returns
+/// FaultAction::ShortWrite — the caller must then write only a prefix
+/// of the guarded bytes and fail the operation, as a crash would.
+FaultAction faultProbeAction(const char *Site);
 
 } // namespace support
 } // namespace canvas

@@ -36,6 +36,10 @@ enum class CertifyErrorKind {
   InjectedFault,     ///< Deterministic test fault (CANVAS_FAULT).
   CertificateInvalid, ///< cert::Checker rejected a proof-carrying
                       ///< certificate backing a Proven verdict.
+  StoreIO,            ///< The persistent certificate store hit an I/O
+                      ///< failure (open, read, commit, or recovery).
+                      ///< Always recoverable: the certifier degrades to
+                      ///< re-analysis, never to a missing verdict.
 };
 
 inline const char *certifyErrorKindName(CertifyErrorKind K) {
@@ -56,6 +60,8 @@ inline const char *certifyErrorKindName(CertifyErrorKind K) {
     return "injected-fault";
   case CertifyErrorKind::CertificateInvalid:
     return "certificate-invalid";
+  case CertifyErrorKind::StoreIO:
+    return "store-io";
   }
   return "?";
 }

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 
 using namespace canvas;
 using namespace canvas::core;
@@ -65,6 +66,9 @@ TEST_F(RobustnessFaultTest, ParsePlanForms) {
   EXPECT_EQ(P.Kind, FaultKind::AllocFail);
   ASSERT_TRUE(parseFaultPlan("dataflow.solve:7:throw", P));
   EXPECT_EQ(P.Kind, FaultKind::Throw);
+  ASSERT_TRUE(parseFaultPlan("store-commit:2:short", P));
+  EXPECT_EQ(P.Site, "store-commit");
+  EXPECT_EQ(P.Kind, FaultKind::ShortWrite);
 
   EXPECT_FALSE(parseFaultPlan("", P));
   EXPECT_FALSE(parseFaultPlan("nosite", P));
@@ -77,10 +81,12 @@ TEST_F(RobustnessFaultTest, ParsePlanForms) {
 
 TEST_F(RobustnessFaultTest, SiteListIsCanonical) {
   const std::vector<std::string> &Sites = faultSites();
-  ASSERT_EQ(Sites.size(), 8u);
-  for (const char *S : {"dataflow.solve", "boolprog.intra",
-                        "boolprog.interproc", "ifds.solve", "tvla.fixpoint",
-                        "generic.allocsite", "cert-check", "points-to"})
+  ASSERT_EQ(Sites.size(), 12u);
+  for (const char *S :
+       {"dataflow.solve", "boolprog.intra", "boolprog.interproc",
+        "ifds.solve", "tvla.fixpoint", "generic.allocsite", "cert-check",
+        "points-to", "store-open", "store-read", "store-commit",
+        "store-recover"})
     EXPECT_NE(std::find(Sites.begin(), Sites.end(), S), Sites.end()) << S;
 }
 
@@ -100,12 +106,34 @@ TEST_F(RobustnessFaultTest, EveryProbeSiteFiresAndDegrades) {
     setFaultPlan({Site, 1, FaultKind::Throw});
     // The cert-check probe sits inside cert::Checker::check(); it is
     // only reached when the run emits and re-validates certificates.
-    // The points-to probe requires the opt-in pre-analysis.
+    // The points-to probe requires the opt-in pre-analysis; the store
+    // probes require an active persistent store.
     CertifierOptions Opts;
     if (Site == "cert-check")
       Opts.EmitCertificates = Opts.CheckCertificates = true;
     if (Site == "points-to")
       Opts.PointsTo = true;
+    if (Site.rfind("store-", 0) == 0) {
+      // A store fault is absorbed as a structured StoreIO incident (the
+      // run continues storeless or uncached) — the engine rung itself
+      // must complete undegraded with the storeless verdicts.
+      const std::string Dir =
+          ::testing::TempDir() + "/fault-site-store-" + Site;
+      std::filesystem::remove_all(Dir);
+      Opts.StorePath = Dir;
+      CertificationReport R = certifyWith(engineForSite(Site), Opts);
+      EXPECT_FALSE(R.Degraded) << Site << "\n" << R.str();
+      EXPECT_GT(R.numChecks(), 0u) << Site << "\n" << R.str();
+      EXPECT_TRUE(R.Store.Enabled) << Site;
+      bool SawIncident = false;
+      for (const store::StoreIncident &I : R.Store.Incidents)
+        SawIncident |= I.Kind == "StoreIO";
+      EXPECT_TRUE(SawIncident)
+          << Site << ": injected store fault left no StoreIO incident";
+      clearFaultPlan();
+      std::filesystem::remove_all(Dir);
+      continue;
+    }
     CertificationReport R = certifyWith(engineForSite(Site), Opts);
     if (Site == "points-to") {
       // The points-to pre-analysis is a refinement, not a rung: an
@@ -212,9 +240,14 @@ TEST_F(RobustnessFaultTest, EnvironmentPlanIsHonored) {
   clearFaultPlan();
 }
 
-// Driven by tools/ci.sh with CANVAS_FAULT=<site>:1 for every probe
-// site: certification with every engine must survive whatever fault
-// the environment armed — no crash, no empty-handed report. The
+// Driven by tools/ci.sh with CANVAS_FAULT=<site>:1[:<kind>] for every
+// probe site: certification must survive whatever fault the
+// environment armed — no crash, no empty-handed report. The scenario
+// list is derived from the shared support::faultSites() registry (not
+// a hard-coded copy), so a new probe site automatically gets coverage
+// here: every site's enabling scenario (engine, opt-in pre-analysis,
+// certificate checking, persistent store) runs on every invocation,
+// and whichever one the environment targeted absorbs the fault. The
 // assertions also hold with no fault set, so the test is valid in the
 // plain suite run. Deliberately not a RobustnessFaultTest fixture
 // member: clearFaultPlan() would shadow the environment plan.
@@ -233,27 +266,51 @@ TEST(RobustnessEnvFaultTest, SurvivesAnyEnvironmentFault) {
     }
   }
 
-  // The cert-check probe arms only inside the certificate checker, so
-  // run one certification with emission + independent checking enabled;
-  // a fault there must degrade the rung, never crash or empty the
-  // report.
-  CertifierOptions CertOpts;
-  CertOpts.EmitCertificates = CertOpts.CheckCertificates = true;
-  CertificationReport R = certifyWith(EngineKind::TVLARelational, CertOpts);
-  EXPECT_GT(R.numChecks(), 0u) << "certificate-checked run left the report "
-                                  "empty-handed:\n"
-                               << R.str();
-
-  // The points-to probe arms only inside the opt-in pre-analysis; a
-  // fault there must degrade the refinement gracefully — the SCMPIntra
-  // rung itself completes unrefined.
-  CertifierOptions PtOpts;
-  PtOpts.PointsTo = true;
-  R = certifyWith(EngineKind::SCMPIntra, PtOpts);
-  EXPECT_GT(R.numChecks(), 0u) << "points-to run left the report "
-                                  "empty-handed:\n"
-                               << R.str();
-  EXPECT_FALSE(R.Degraded) << R.str();
+  for (const std::string &Site : faultSites()) {
+    if (Site == "cert-check") {
+      // Arms only inside the certificate checker: run with emission +
+      // independent checking; a fault there must degrade the rung,
+      // never crash or empty the report.
+      CertifierOptions Opts;
+      Opts.EmitCertificates = Opts.CheckCertificates = true;
+      CertificationReport R = certifyWith(EngineKind::TVLARelational, Opts);
+      EXPECT_GT(R.numChecks(), 0u)
+          << "certificate-checked run left the report empty-handed:\n"
+          << R.str();
+    } else if (Site == "points-to") {
+      // Arms only inside the opt-in pre-analysis; a fault there
+      // degrades the refinement gracefully — the SCMPIntra rung itself
+      // completes unrefined.
+      CertifierOptions Opts;
+      Opts.PointsTo = true;
+      CertificationReport R = certifyWith(EngineKind::SCMPIntra, Opts);
+      EXPECT_GT(R.numChecks(), 0u)
+          << "points-to run left the report empty-handed:\n"
+          << R.str();
+      EXPECT_FALSE(R.Degraded) << R.str();
+    } else if (Site.rfind("store-", 0) == 0) {
+      // Arms only with an active persistent store: run cold then warm
+      // so open/recover/read/commit are all reached. A store fault is
+      // absorbed as a StoreIO incident; the rung never degrades and
+      // the verdicts never change.
+      const std::string Dir =
+          ::testing::TempDir() + "/env-fault-store-" + Site;
+      std::filesystem::remove_all(Dir);
+      CertifierOptions Opts;
+      Opts.StorePath = Dir;
+      CertificationReport Cold = certifyWith(EngineKind::SCMPIntra, Opts);
+      EXPECT_GT(Cold.numChecks(), 0u)
+          << Site << " cold store run left the report empty-handed:\n"
+          << Cold.str();
+      EXPECT_FALSE(Cold.Degraded) << Site << "\n" << Cold.str();
+      CertificationReport Warm = certifyWith(EngineKind::SCMPIntra, Opts);
+      EXPECT_FALSE(Warm.Degraded) << Site << "\n" << Warm.str();
+      EXPECT_EQ(Warm.str(), Cold.str())
+          << Site << ": store fault changed the report";
+      std::filesystem::remove_all(Dir);
+    }
+    // The engine sites are covered by the ladder loop above.
+  }
 }
 
 TEST_F(RobustnessFaultTest, MalformedEnvironmentPlanIsIgnored) {

@@ -1,0 +1,354 @@
+//===----------------------------------------------------------------------===//
+// Store-level tests for the crash-safe persistent certificate store:
+// record framing (roundtrip, CRC, hostile-input fuzzing), the recovery
+// pass (torn journals, stray temps, corrupt entries), eviction, and
+// the read-only mode. The checker gate above the store is covered by
+// StoreIncrementalTest; here the embedded certificates only need to be
+// content-hash-consistent.
+//===----------------------------------------------------------------------===//
+
+#include "store/CertStore.h"
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+using namespace canvas;
+using namespace canvas::store;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+class CertStoreTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    support::clearFaultPlan();
+    Dir = ::testing::TempDir() + "/cert-store-test";
+    fs::remove_all(Dir);
+  }
+  void TearDown() override {
+    support::clearFaultPlan();
+    fs::remove_all(Dir);
+  }
+
+  std::string Dir;
+};
+
+/// A representative entry: summary, a proven check, a flagged check
+/// with a multi-step witness, and a sealed (hash-consistent)
+/// certificate.
+StoreEntry makeEntry(uint64_t InputHash = 0x1122334455667788ull,
+                     const std::string &Unit = "A::m") {
+  StoreEntry E;
+  E.InputHash = InputHash;
+  E.Unit = Unit;
+  E.Engine = "scmp-intra";
+  E.HasSummary = true;
+  E.Slices = 3;
+
+  core::CheckRecord Safe;
+  Safe.Method = Unit;
+  Safe.Loc.Line = 4;
+  Safe.Loc.Col = 7;
+  Safe.What = "i.next() requires !P0(this)";
+  Safe.ReqLoc.Line = 12;
+  Safe.ReqLoc.Col = 3;
+  Safe.Outcome = core::CheckOutcome::Safe;
+  E.Checks.push_back(Safe);
+
+  core::CheckRecord Flagged = Safe;
+  Flagged.Loc.Line = 9;
+  Flagged.Outcome = core::CheckOutcome::Potential;
+  Flagged.Witness.SeedFact = "i.defVer != i.set.ver";
+  core::WitnessStep S1;
+  S1.K = core::WitnessStep::Kind::Step;
+  S1.Method = Unit;
+  S1.Edge = 2;
+  S1.Loc.Line = 5;
+  S1.ActionText = "v.add()";
+  S1.Fact = "may be 1";
+  core::WitnessStep S2 = S1;
+  S2.K = core::WitnessStep::Kind::Check;
+  S2.Edge = 3;
+  Flagged.Witness.Steps = {S1, S2};
+  E.Checks.push_back(Flagged);
+
+  cert::Certificate C;
+  C.Kind = cert::CertKind::BoolIntra;
+  C.Unit = Unit;
+  C.Claims.push_back({0, core::CheckOutcome::Safe});
+  C.Payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  C.RawEntries = 8;
+  C.StoredEntries = 5;
+  C.seal();
+  E.HasCert = true;
+  E.Cert = C;
+  E.CertHash = C.ContentHash;
+  return E;
+}
+
+void writeBytes(const std::string &File, const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(File, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+TEST_F(CertStoreTest, FrameRoundtripPreservesEveryField) {
+  const StoreEntry E = makeEntry();
+  const std::vector<uint8_t> Frame = CertStore::frameEntry(E);
+  StoreEntry Out;
+  std::string Error;
+  ASSERT_TRUE(CertStore::parseFrame(Frame, Out, Error)) << Error;
+  EXPECT_EQ(Out.InputHash, E.InputHash);
+  EXPECT_EQ(Out.Unit, E.Unit);
+  EXPECT_EQ(Out.Engine, E.Engine);
+  EXPECT_TRUE(Out.HasSummary);
+  EXPECT_EQ(Out.Slices, 3u);
+  ASSERT_EQ(Out.Checks.size(), 2u);
+  EXPECT_EQ(Out.Checks[0].Outcome, core::CheckOutcome::Safe);
+  EXPECT_EQ(Out.Checks[1].Witness.Steps.size(), 2u);
+  EXPECT_EQ(Out.Checks[1].Witness.Steps[1].K, core::WitnessStep::Kind::Check);
+  EXPECT_EQ(Out.Checks[1].Witness.SeedFact, "i.defVer != i.set.ver");
+  EXPECT_TRUE(Out.HasCert);
+  EXPECT_EQ(Out.CertHash, E.Cert.ContentHash);
+  EXPECT_EQ(Out.Cert.Payload, E.Cert.Payload);
+  // Re-framing the parsed entry is byte-identical: the codec is
+  // canonical, which the crash-recovery tests rely on for state
+  // comparison.
+  EXPECT_EQ(CertStore::frameEntry(Out), Frame);
+}
+
+TEST_F(CertStoreTest, Crc32MatchesKnownVector) {
+  // The classic IEEE 802.3 check value for "123456789".
+  const char *V = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const uint8_t *>(V), std::strlen(V)),
+            0xCBF43926u);
+}
+
+TEST_F(CertStoreTest, EntryFileNameSeparatesKeys) {
+  const std::string A = CertStore::entryFileName(1, "A::m");
+  EXPECT_EQ(A, CertStore::entryFileName(1, "A::m"));
+  EXPECT_NE(A, CertStore::entryFileName(2, "A::m"));
+  EXPECT_NE(A, CertStore::entryFileName(1, "A::n"));
+  EXPECT_EQ(A.substr(A.size() - 5), ".cert");
+}
+
+TEST_F(CertStoreTest, PutGetAcrossReopen) {
+  const StoreEntry E = makeEntry();
+  {
+    CertStore St(Dir, StoreMode::ReadWrite);
+    St.put(E);
+    EXPECT_EQ(St.stats().Writes, 1u);
+    std::unique_ptr<StoreEntry> Got = St.get(E.InputHash, E.Unit);
+    ASSERT_TRUE(Got);
+    EXPECT_EQ(CertStore::frameEntry(*Got), CertStore::frameEntry(E));
+  }
+  CertStore Re(Dir, StoreMode::ReadWrite);
+  std::unique_ptr<StoreEntry> Got = Re.get(E.InputHash, E.Unit);
+  ASSERT_TRUE(Got);
+  EXPECT_EQ(CertStore::frameEntry(*Got), CertStore::frameEntry(E));
+  EXPECT_FALSE(Re.get(E.InputHash + 1, E.Unit));
+}
+
+TEST_F(CertStoreTest, CorruptEntryQuarantinedOnOpen) {
+  const StoreEntry E = makeEntry();
+  std::string File;
+  {
+    CertStore St(Dir, StoreMode::ReadWrite);
+    St.put(E);
+    File = Dir + "/entries/" + CertStore::entryFileName(E.InputHash, E.Unit);
+  }
+  // Flip one payload byte: the CRC catches it on the next open.
+  {
+    std::fstream F(File, std::ios::binary | std::ios::in | std::ios::out);
+    F.seekp(20);
+    F.put('\x5A');
+  }
+  CertStore Re(Dir, StoreMode::ReadWrite);
+  EXPECT_EQ(Re.stats().Quarantined, 1u);
+  EXPECT_FALSE(fs::exists(File));
+  EXPECT_FALSE(fs::is_empty(Dir + "/quarantine"));
+  EXPECT_FALSE(Re.get(E.InputHash, E.Unit));
+  bool Saw = false;
+  for (const StoreIncident &I : Re.takeIncidents())
+    Saw |= I.Kind == "StoreQuarantine";
+  EXPECT_TRUE(Saw);
+}
+
+TEST_F(CertStoreTest, TruncatedEntryQuarantinedOnOpen) {
+  const StoreEntry E = makeEntry();
+  std::string File;
+  {
+    CertStore St(Dir, StoreMode::ReadWrite);
+    St.put(E);
+    File = Dir + "/entries/" + CertStore::entryFileName(E.InputHash, E.Unit);
+  }
+  std::vector<uint8_t> Frame = CertStore::frameEntry(E);
+  Frame.resize(Frame.size() / 2);
+  writeBytes(File, Frame);
+  CertStore Re(Dir, StoreMode::ReadWrite);
+  EXPECT_EQ(Re.stats().Quarantined, 1u);
+  EXPECT_FALSE(Re.get(E.InputHash, E.Unit));
+}
+
+TEST_F(CertStoreTest, StrayTempsRemovedOnOpen) {
+  { CertStore St(Dir, StoreMode::ReadWrite); }
+  writeBytes(Dir + "/entries/aaaa.cert.tmp3", {1, 2, 3});
+  writeBytes(Dir + "/journal.tmp", {4, 5});
+  CertStore Re(Dir, StoreMode::ReadWrite);
+  EXPECT_EQ(Re.stats().TempsRemoved, 1u);
+  EXPECT_FALSE(fs::exists(Dir + "/entries/aaaa.cert.tmp3"));
+  EXPECT_FALSE(fs::exists(Dir + "/journal.tmp"));
+}
+
+TEST_F(CertStoreTest, TornJournalTailDiscarded) {
+  const StoreEntry E = makeEntry();
+  {
+    CertStore St(Dir, StoreMode::ReadWrite);
+    St.put(E);
+  }
+  {
+    // An uncommitted intent plus a torn (newline-less) fragment: what a
+    // crash mid-append leaves behind.
+    std::ofstream J(Dir + "/journal.log", std::ios::binary | std::ios::app);
+    J << "B some-file.cert\n";
+    J << "B half-writ";
+  }
+  CertStore Re(Dir, StoreMode::ReadWrite);
+  EXPECT_EQ(Re.stats().JournalRecovered, 1u);
+  std::unique_ptr<StoreEntry> Got = Re.get(E.InputHash, E.Unit);
+  ASSERT_TRUE(Got);
+  bool Saw = false;
+  for (const StoreIncident &I : Re.takeIncidents())
+    Saw |= I.Kind == "StoreRecover";
+  EXPECT_TRUE(Saw);
+}
+
+TEST_F(CertStoreTest, EvictQuarantinesTheEntry) {
+  const StoreEntry E = makeEntry();
+  CertStore St(Dir, StoreMode::ReadWrite);
+  St.put(E);
+  St.evict(E.InputHash, E.Unit, "checker gate refused it");
+  EXPECT_FALSE(St.get(E.InputHash, E.Unit));
+  EXPECT_EQ(St.stats().Quarantined, 1u);
+  // Evicting a missing key is a no-op, not an error.
+  St.evict(E.InputHash, E.Unit, "again");
+  EXPECT_EQ(St.stats().Quarantined, 1u);
+}
+
+TEST_F(CertStoreTest, KeyMismatchQuarantinedOnGet) {
+  const StoreEntry E = makeEntry();
+  { CertStore St(Dir, StoreMode::ReadWrite); }
+  // A valid frame parked under the wrong file name: a hostile rename
+  // trying to answer a different input hash with stale evidence.
+  writeBytes(Dir + "/entries/" +
+                 CertStore::entryFileName(E.InputHash + 1, E.Unit),
+             CertStore::frameEntry(E));
+  CertStore St(Dir, StoreMode::ReadWrite);
+  EXPECT_FALSE(St.get(E.InputHash + 1, E.Unit));
+  EXPECT_EQ(St.stats().Quarantined, 1u);
+}
+
+TEST_F(CertStoreTest, ReadOnlyServesButNeverMutates) {
+  const StoreEntry E = makeEntry();
+  std::string CorruptFile;
+  {
+    CertStore St(Dir, StoreMode::ReadWrite);
+    St.put(E);
+    const StoreEntry F = makeEntry(0x9999, "B::n");
+    St.put(F);
+    CorruptFile =
+        Dir + "/entries/" + CertStore::entryFileName(F.InputHash, F.Unit);
+  }
+  writeBytes(CorruptFile, {1, 2, 3, 4});
+  CertStore Ro(Dir, StoreMode::ReadOnly);
+  // The invalid entry is skipped, not moved: read-only means no disk
+  // mutation at all.
+  EXPECT_EQ(Ro.stats().Quarantined, 0u);
+  EXPECT_EQ(Ro.stats().SkippedInvalid, 1u);
+  EXPECT_TRUE(fs::exists(CorruptFile));
+  ASSERT_TRUE(Ro.get(E.InputHash, E.Unit));
+  EXPECT_THROW(Ro.put(E), CertifyError);
+  Ro.evict(E.InputHash, E.Unit, "ignored");
+  EXPECT_TRUE(Ro.get(E.InputHash, E.Unit));
+}
+
+TEST_F(CertStoreTest, ReadOnlyOpenOfMissingStoreThrows) {
+  EXPECT_THROW(CertStore(Dir, StoreMode::ReadOnly), CertifyError);
+}
+
+TEST_F(CertStoreTest, ListEntriesSortedByUnitThenHash) {
+  CertStore St(Dir, StoreMode::ReadWrite);
+  St.put(makeEntry(7, "B::x"));
+  St.put(makeEntry(9, "A::y"));
+  St.put(makeEntry(3, "A::y"));
+  std::vector<StoreEntry> All = St.listEntries();
+  ASSERT_EQ(All.size(), 3u);
+  EXPECT_EQ(All[0].Unit, "A::y");
+  EXPECT_EQ(All[0].InputHash, 3u);
+  EXPECT_EQ(All[1].Unit, "A::y");
+  EXPECT_EQ(All[1].InputHash, 9u);
+  EXPECT_EQ(All[2].Unit, "B::x");
+}
+
+TEST_F(CertStoreTest, FramingFuzzNeverCrashesOrFalselyAccepts) {
+  // Seeded, so a failure reproduces. Three hostile shapes: random
+  // mutations of a valid frame, random truncations/extensions, and
+  // pure garbage. parseFrame must return false or a coherent entry —
+  // never crash, never accept a frame whose CRC does not match.
+  std::mt19937 Rng(0xC0FFEE);
+  const std::vector<uint8_t> Valid = CertStore::frameEntry(makeEntry());
+  for (int Iter = 0; Iter != 300; ++Iter) {
+    std::vector<uint8_t> Bytes;
+    const int Shape = static_cast<int>(Rng() % 3);
+    if (Shape == 0) {
+      Bytes = Valid;
+      const size_t Flips = 1 + Rng() % 8;
+      for (size_t F = 0; F != Flips; ++F)
+        Bytes[Rng() % Bytes.size()] ^= static_cast<uint8_t>(1 + Rng() % 255);
+    } else if (Shape == 1) {
+      Bytes = Valid;
+      Bytes.resize(Rng() % (Valid.size() + 32));
+    } else {
+      Bytes.resize(Rng() % 128);
+      for (uint8_t &B : Bytes)
+        B = static_cast<uint8_t>(Rng());
+    }
+    StoreEntry Out;
+    std::string Error;
+    if (CertStore::parseFrame(Bytes, Out, Error)) {
+      // Acceptance is only legitimate when the frame really is intact.
+      ASSERT_GE(Bytes.size(), 16u);
+      EXPECT_EQ(crc32(Bytes.data() + 16, Bytes.size() - 16),
+                crc32(Valid.data() + 16, Valid.size() - 16));
+    } else {
+      EXPECT_FALSE(Error.empty());
+    }
+  }
+}
+
+TEST_F(CertStoreTest, HostileEntryFilesNeverBreakOpen) {
+  // The same corpus written into entries/: the recovery sweep must
+  // quarantine every undecodable file and keep the store usable.
+  std::mt19937 Rng(0xFEEDFACE);
+  { CertStore St(Dir, StoreMode::ReadWrite); }
+  const std::vector<uint8_t> Valid = CertStore::frameEntry(makeEntry());
+  for (int I = 0; I != 20; ++I) {
+    std::vector<uint8_t> Bytes = Valid;
+    Bytes.resize(Rng() % (Valid.size() + 16));
+    for (size_t F = 0; F != 4 && !Bytes.empty(); ++F)
+      Bytes[Rng() % Bytes.size()] ^= static_cast<uint8_t>(1 + Rng() % 255);
+    writeBytes(Dir + "/entries/fuzz" + std::to_string(I) + ".cert", Bytes);
+  }
+  CertStore Re(Dir, StoreMode::ReadWrite);
+  const StoreEntry E = makeEntry();
+  Re.put(E);
+  ASSERT_TRUE(Re.get(E.InputHash, E.Unit));
+}
+
+} // namespace

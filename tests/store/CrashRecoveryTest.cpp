@@ -1,0 +1,199 @@
+//===----------------------------------------------------------------------===//
+// Crash-safety harness: inject a fault (exception or torn short write)
+// at every probe inside the commit protocol and at the recovery pass's
+// journal compaction, then reopen the store and demand the invariant —
+// the key reads back as exactly the pre-state or exactly the
+// post-state, byte-for-byte, never a torn hybrid.
+//===----------------------------------------------------------------------===//
+
+#include "store/CertStore.h"
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace canvas;
+using namespace canvas::store;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// put() walks four store-commit probes in order: the journal intent
+// append, the temp-file write, the pre-rename crash point, and the
+// journal completion append. Probe 5 never fires (clean run).
+constexpr unsigned ProbesPerPut = 4;
+
+StoreEntry makeEntry(uint32_t Slices) {
+  StoreEntry E;
+  E.InputHash = 0xFEEDBEEF12345678ull;
+  E.Unit = "A::m";
+  E.Engine = "scmp-intra";
+  E.HasSummary = true;
+  E.Slices = Slices;
+  core::CheckRecord C;
+  C.Method = E.Unit;
+  C.Loc.Line = 3;
+  C.What = "i.next() requires !P0(this)";
+  C.Outcome = core::CheckOutcome::Safe;
+  E.Checks.push_back(C);
+  cert::Certificate Cert;
+  Cert.Kind = cert::CertKind::BoolIntra;
+  Cert.Unit = E.Unit;
+  Cert.Claims.push_back({0, core::CheckOutcome::Safe});
+  Cert.Payload = {1, 2, 3, static_cast<uint8_t>(Slices)};
+  Cert.seal();
+  E.HasCert = true;
+  E.Cert = Cert;
+  E.CertHash = Cert.ContentHash;
+  return E;
+}
+
+class CrashRecoveryTest : public ::testing::TestWithParam<support::FaultKind> {
+protected:
+  void SetUp() override { support::clearFaultPlan(); }
+  void TearDown() override { support::clearFaultPlan(); }
+
+  std::string freshDir(const std::string &Tag) {
+    std::string Dir = ::testing::TempDir() + "/crash-recovery-" + Tag;
+    fs::remove_all(Dir);
+    return Dir;
+  }
+};
+
+TEST_P(CrashRecoveryTest, FirstPutAtEveryProbeIsPreOrPostState) {
+  const support::FaultKind Kind = GetParam();
+  const StoreEntry E = makeEntry(1);
+  const std::vector<uint8_t> Frame = CertStore::frameEntry(E);
+
+  for (unsigned N = 1; N <= ProbesPerPut + 1; ++N) {
+    const std::string Dir = freshDir("first-" + std::to_string(N));
+    bool Threw = false;
+    {
+      CertStore St(Dir, StoreMode::ReadWrite);
+      support::setFaultPlan({"store-commit", N, Kind});
+      try {
+        St.put(E);
+      } catch (const CertifyError &) {
+        Threw = true;
+      }
+      support::clearFaultPlan();
+    }
+    // The reopened store must answer with nothing (pre-state) or the
+    // exact committed bytes (post-state) — recovery swallows whatever
+    // the simulated crash left behind.
+    CertStore Re(Dir, StoreMode::ReadWrite);
+    std::unique_ptr<StoreEntry> Got = Re.get(E.InputHash, E.Unit);
+    if (Got)
+      EXPECT_EQ(CertStore::frameEntry(*Got), Frame) << "probe " << N;
+    else
+      EXPECT_TRUE(Threw) << "probe " << N
+                         << ": put claimed success but the entry is gone";
+    EXPECT_EQ(Re.stats().Quarantined, 0u) << "probe " << N;
+    // A fresh put on the recovered store must succeed: a crash never
+    // bricks the store.
+    if (!Got) {
+      Re.put(E);
+      ASSERT_TRUE(Re.get(E.InputHash, E.Unit));
+    }
+    fs::remove_all(Dir);
+    if (!Threw) {
+      EXPECT_EQ(N, ProbesPerPut + 1) << "probe " << N << " did not fire";
+      break;
+    }
+  }
+}
+
+TEST_P(CrashRecoveryTest, OverwriteAtEveryProbeIsOldOrNewNeverTorn) {
+  const support::FaultKind Kind = GetParam();
+  const StoreEntry Old = makeEntry(1);
+  const StoreEntry New = makeEntry(2);
+  const std::vector<uint8_t> OldFrame = CertStore::frameEntry(Old);
+  const std::vector<uint8_t> NewFrame = CertStore::frameEntry(New);
+  ASSERT_NE(OldFrame, NewFrame);
+
+  for (unsigned N = 1; N <= ProbesPerPut + 1; ++N) {
+    const std::string Dir = freshDir("overwrite-" + std::to_string(N));
+    bool Threw = false;
+    {
+      CertStore St(Dir, StoreMode::ReadWrite);
+      St.put(Old);
+      support::setFaultPlan({"store-commit", N, Kind});
+      try {
+        St.put(New);
+      } catch (const CertifyError &) {
+        Threw = true;
+      }
+      support::clearFaultPlan();
+    }
+    CertStore Re(Dir, StoreMode::ReadWrite);
+    std::unique_ptr<StoreEntry> Got = Re.get(Old.InputHash, Old.Unit);
+    ASSERT_TRUE(Got) << "probe " << N << ": overwrite crash lost the entry";
+    const std::vector<uint8_t> GotFrame = CertStore::frameEntry(*Got);
+    EXPECT_TRUE(GotFrame == OldFrame || GotFrame == NewFrame)
+        << "probe " << N << ": torn state";
+    if (!Threw) {
+      EXPECT_EQ(GotFrame, NewFrame) << "probe " << N;
+    }
+    EXPECT_EQ(Re.stats().Quarantined, 0u) << "probe " << N;
+    fs::remove_all(Dir);
+    if (!Threw)
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, CrashRecoveryTest,
+                         ::testing::Values(support::FaultKind::Throw,
+                                           support::FaultKind::ShortWrite),
+                         [](const ::testing::TestParamInfo<support::FaultKind>
+                                &Info) {
+                           return Info.param == support::FaultKind::Throw
+                                      ? "Throw"
+                                      : "ShortWrite";
+                         });
+
+TEST(CrashRecoveryCompactionTest, TornJournalCompactionRecoversOnReopen) {
+  support::clearFaultPlan();
+  const std::string Dir =
+      ::testing::TempDir() + "/crash-recovery-compaction";
+  fs::remove_all(Dir);
+  const StoreEntry E = makeEntry(1);
+  {
+    CertStore St(Dir, StoreMode::ReadWrite);
+    St.put(E);
+  }
+  // Probe 2 of store-recover is the journal compaction write; tearing
+  // it makes the open itself fail (the simulated crash point).
+  support::setFaultPlan(
+      {"store-recover", 2, support::FaultKind::ShortWrite});
+  EXPECT_THROW(CertStore(Dir, StoreMode::ReadWrite), CertifyError);
+  support::clearFaultPlan();
+  // The next open sweeps the torn journal.tmp fragment and serves the
+  // committed entry untouched.
+  CertStore Re(Dir, StoreMode::ReadWrite);
+  std::unique_ptr<StoreEntry> Got = Re.get(E.InputHash, E.Unit);
+  ASSERT_TRUE(Got);
+  EXPECT_EQ(CertStore::frameEntry(*Got), CertStore::frameEntry(E));
+  EXPECT_FALSE(fs::exists(Dir + "/journal.tmp"));
+  fs::remove_all(Dir);
+}
+
+TEST(CrashRecoveryCompactionTest, ThrowingRecoverProbeFailsOpenCleanly) {
+  support::clearFaultPlan();
+  const std::string Dir = ::testing::TempDir() + "/crash-recovery-throw";
+  fs::remove_all(Dir);
+  const StoreEntry E = makeEntry(1);
+  {
+    CertStore St(Dir, StoreMode::ReadWrite);
+    St.put(E);
+  }
+  support::setFaultPlan({"store-recover", 1, support::FaultKind::Throw});
+  EXPECT_THROW(CertStore(Dir, StoreMode::ReadWrite), CertifyError);
+  support::clearFaultPlan();
+  CertStore Re(Dir, StoreMode::ReadWrite);
+  ASSERT_TRUE(Re.get(E.InputHash, E.Unit));
+  fs::remove_all(Dir);
+}
+
+} // namespace

@@ -1,0 +1,285 @@
+//===----------------------------------------------------------------------===//
+// End-to-end incremental re-certification through core::Certifier: warm
+// runs answered entirely from the persistent store with byte-identical
+// reports, one-method edits re-analyzing only the edited method,
+// checker-gated rejection of tampered entries, and verdict stability
+// under every injected store fault.
+//===----------------------------------------------------------------------===//
+
+#include "core/Certifier.h"
+
+#include "easl/Builtins.h"
+#include "store/CertStore.h"
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace canvas;
+using namespace canvas::core;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Two methods with no call edge: main carries a real violation (add
+/// between iterator and next, so the stored entry includes a witness
+/// the gate must replay), other is clean.
+const char *TwoMethods = R"(
+  class M {
+    void main() {
+      Set v = new Set();
+      Iterator i = v.iterator();
+      v.add();
+      i.next();
+    }
+    void other() {
+      Set w = new Set();
+      Iterator j = w.iterator();
+      j.next();
+    }
+  }
+)";
+
+/// TwoMethods with main() edited and other() untouched — on the same
+/// line, so other()'s source positions (part of its key: a served
+/// entry replays recorded locations verbatim) do not shift.
+const char *TwoMethodsMainEdited = R"(
+  class M {
+    void main() {
+      Set v = new Set();
+      Iterator i = v.iterator();
+      v.add(); v.add();
+      i.next();
+    }
+    void other() {
+      Set w = new Set();
+      Iterator j = w.iterator();
+      j.next();
+    }
+  }
+)";
+
+CertificationReport run(const char *Client, const CertifierOptions &Opts,
+                        EngineKind K = EngineKind::SCMPIntra) {
+  DiagnosticEngine Diags;
+  Certifier C(easl::cmpSpecSource(), K, Diags, wp::DerivationOptions{}, Opts);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  CertificationReport R = C.certifySource(Client, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return R;
+}
+
+class StoreIncrementalTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    support::clearFaultPlan();
+    Dir = ::testing::TempDir() + "/store-incremental";
+    fs::remove_all(Dir);
+    Opts.StorePath = Dir;
+  }
+  void TearDown() override {
+    support::clearFaultPlan();
+    fs::remove_all(Dir);
+  }
+
+  std::string Dir;
+  CertifierOptions Opts;
+};
+
+TEST_F(StoreIncrementalTest, WarmRunIsByteIdenticalAndFullyServed) {
+  CertificationReport Cold = run(TwoMethods, Opts);
+  EXPECT_TRUE(Cold.Store.Enabled);
+  EXPECT_EQ(Cold.Store.Hits, 0u);
+  EXPECT_GE(Cold.Store.Misses, 2u);
+  EXPECT_EQ(Cold.Store.Writes, Cold.Store.Misses);
+  EXPECT_FALSE(Cold.Degraded);
+  EXPECT_GT(Cold.numChecks(), 0u);
+
+  CertificationReport Warm = run(TwoMethods, Opts);
+  // Everything answered from the store: zero engine invocations.
+  EXPECT_EQ(Warm.Store.Misses, 0u);
+  EXPECT_EQ(Warm.Store.Hits, Cold.Store.Misses);
+  EXPECT_EQ(Warm.Store.Writes, 0u);
+  EXPECT_EQ(Warm.Store.Rejected, 0u);
+  // The report — verdicts, witnesses, slicing lines, everything the
+  // renderer prints — is byte-identical to the cold run.
+  EXPECT_EQ(Warm.str(), Cold.str());
+}
+
+TEST_F(StoreIncrementalTest, EditingOneMethodReanalyzesOnlyIt) {
+  CertificationReport Cold = run(TwoMethods, Opts);
+  ASSERT_GE(Cold.Store.Writes, 2u);
+
+  CertificationReport Edited = run(TwoMethodsMainEdited, Opts);
+  // other() is untouched: served from the store. main() re-keys: one
+  // engine run, one fresh commit (the stale entry stays until GC'd —
+  // it can never be served again, its key is dead).
+  EXPECT_EQ(Edited.Store.Hits, 1u);
+  EXPECT_EQ(Edited.Store.Misses, 1u);
+  EXPECT_EQ(Edited.Store.Writes, 1u);
+  EXPECT_FALSE(Edited.Degraded);
+}
+
+TEST_F(StoreIncrementalTest, TamperedEntryIsRejectedAndReanalyzed) {
+  CertificationReport Cold = run(TwoMethods, Opts);
+  ASSERT_GE(Cold.Store.Writes, 2u);
+
+  // Tamper with one entry out-of-band: flip its first check's verdict
+  // while leaving the certificate (and thus the CRC frame) internally
+  // consistent — a hostile store trying to launder a wrong verdict
+  // past the frame validation.
+  {
+    store::CertStore St(Dir, store::StoreMode::ReadWrite);
+    std::vector<store::StoreEntry> All = St.listEntries();
+    ASSERT_FALSE(All.empty());
+    store::StoreEntry E = All[0];
+    ASSERT_FALSE(E.Checks.empty());
+    E.Checks[0].Outcome = E.Checks[0].Outcome == CheckOutcome::Safe
+                              ? CheckOutcome::Potential
+                              : CheckOutcome::Safe;
+    E.Checks[0].Witness = core::WitnessTrace{};
+    St.put(E);
+  }
+
+  CertificationReport Warm = run(TwoMethods, Opts);
+  // The checker gate refuses the tampered entry (claims no longer match
+  // the verdict vector), evicts it, and re-analyzes — the report stays
+  // byte-identical to the cold run.
+  EXPECT_EQ(Warm.Store.Rejected, 1u);
+  EXPECT_EQ(Warm.Store.Misses, 1u);
+  EXPECT_EQ(Warm.Store.Hits, Cold.Store.Misses - 1);
+  bool SawInvalid = false;
+  for (const store::StoreIncident &I : Warm.Store.Incidents)
+    SawInvalid |= I.Kind == "StoreEntryInvalid";
+  EXPECT_TRUE(SawInvalid);
+  EXPECT_EQ(Warm.str(), Cold.str());
+
+  // And the re-committed entry serves cleanly afterwards.
+  CertificationReport Again = run(TwoMethods, Opts);
+  EXPECT_EQ(Again.Store.Rejected, 0u);
+  EXPECT_EQ(Again.Store.Misses, 0u);
+  EXPECT_EQ(Again.str(), Cold.str());
+}
+
+TEST_F(StoreIncrementalTest, InjectedStoreFaultsNeverChangeVerdicts) {
+  CertifierOptions Storeless;
+  const CertificationReport Baseline = run(TwoMethods, Storeless);
+
+  struct Case {
+    const char *Site;
+    support::FaultKind Kind;
+  };
+  const Case Cases[] = {
+      {"store-open", support::FaultKind::Throw},
+      {"store-recover", support::FaultKind::Throw},
+      {"store-read", support::FaultKind::Throw},
+      {"store-commit", support::FaultKind::Throw},
+      {"store-commit", support::FaultKind::ShortWrite},
+      {"store-recover", support::FaultKind::ShortWrite},
+  };
+  for (const Case &C : Cases) {
+    const std::string CaseDir =
+        Dir + "-fault-" + C.Site +
+        (C.Kind == support::FaultKind::ShortWrite ? "-short" : "-throw");
+    fs::remove_all(CaseDir);
+    CertifierOptions FOpts;
+    FOpts.StorePath = CaseDir;
+    support::setFaultPlan({C.Site, 1, C.Kind});
+    CertificationReport R = run(TwoMethods, FOpts);
+    support::clearFaultPlan();
+    // Whatever the store fault, certification degrades to re-analysis:
+    // same verdicts, never Degraded, never a crash.
+    EXPECT_FALSE(R.Degraded) << C.Site;
+    EXPECT_EQ(R.str(), Baseline.str()) << C.Site;
+    fs::remove_all(CaseDir);
+  }
+}
+
+TEST_F(StoreIncrementalTest, ReadOnlyStoreServesButNeverWrites) {
+  CertificationReport Cold = run(TwoMethods, Opts);
+  ASSERT_GE(Cold.Store.Writes, 2u);
+
+  CertifierOptions RoOpts = Opts;
+  RoOpts.StoreMode = store::StoreMode::ReadOnly;
+  CertificationReport Warm = run(TwoMethods, RoOpts);
+  EXPECT_TRUE(Warm.Store.ReadOnly);
+  EXPECT_EQ(Warm.Store.Misses, 0u);
+  EXPECT_EQ(Warm.Store.Hits, Cold.Store.Misses);
+  EXPECT_EQ(Warm.Store.Writes, 0u);
+  EXPECT_EQ(Warm.str(), Cold.str());
+
+  // A read-only open of a missing store is an incident, not a failure:
+  // the run proceeds storeless with identical verdicts.
+  CertifierOptions MissingOpts;
+  MissingOpts.StorePath = Dir + "-nonexistent";
+  MissingOpts.StoreMode = store::StoreMode::ReadOnly;
+  CertificationReport NoStore = run(TwoMethods, MissingOpts);
+  // Enabled records that a store was *requested*; the failed open shows
+  // up as a StoreIO incident and zero activity.
+  EXPECT_TRUE(NoStore.Store.Enabled);
+  EXPECT_EQ(NoStore.Store.Hits + NoStore.Store.Writes, 0u);
+  bool SawIO = false;
+  for (const store::StoreIncident &I : NoStore.Store.Incidents)
+    SawIO |= I.Kind == "StoreIO";
+  EXPECT_TRUE(SawIO);
+  EXPECT_EQ(NoStore.str(), Cold.str());
+}
+
+TEST_F(StoreIncrementalTest, InterproceduralUnitHitsAndInvalidates) {
+  const char *Client = R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        mutate(v);
+        i.next();
+      }
+      void mutate(Set s) { s.add(); }
+    }
+  )";
+  CertificationReport Cold = run(Client, Opts, EngineKind::SCMPInterproc);
+  EXPECT_EQ(Cold.Store.Misses, 1u);
+  EXPECT_EQ(Cold.Store.Writes, 1u);
+
+  CertificationReport Warm = run(Client, Opts, EngineKind::SCMPInterproc);
+  EXPECT_EQ(Warm.Store.Hits, 1u);
+  EXPECT_EQ(Warm.Store.Misses, 0u);
+  EXPECT_EQ(Warm.str(), Cold.str());
+
+  // Editing any method re-keys the whole-program unit.
+  const char *Edited = R"(
+    class M {
+      void main() {
+        Set v = new Set();
+        Iterator i = v.iterator();
+        mutate(v);
+        i.next();
+      }
+      void mutate(Set s) { s.add(); s.add(); }
+    }
+  )";
+  CertificationReport After = run(Edited, Opts, EngineKind::SCMPInterproc);
+  EXPECT_EQ(After.Store.Hits, 0u);
+  EXPECT_EQ(After.Store.Misses, 1u);
+}
+
+TEST_F(StoreIncrementalTest, PointsToCouplesEveryMethodToTheProgram) {
+  CertifierOptions PtOpts = Opts;
+  PtOpts.PointsTo = true;
+  CertificationReport Cold = run(TwoMethods, PtOpts);
+  ASSERT_GE(Cold.Store.Writes, 2u);
+
+  CertificationReport Warm = run(TwoMethods, PtOpts);
+  EXPECT_EQ(Warm.Store.Misses, 0u);
+  EXPECT_EQ(Warm.str(), Cold.str());
+
+  // Under the whole-program points-to refinement any edit can change
+  // any method's verdict, so a one-method edit re-keys everything.
+  CertificationReport After = run(TwoMethodsMainEdited, PtOpts);
+  EXPECT_EQ(After.Store.Hits, 0u);
+  EXPECT_EQ(After.Store.Misses, Cold.Store.Misses);
+}
+
+} // namespace

@@ -4,7 +4,9 @@
 # default preset, runs the two bench drivers that print
 # "BENCH_JSON {...}" lines for the relational TVLA engine, and appends
 # each line (tagged with a caller-supplied label) to the JSON-lines
-# file at the repo root.
+# file at the repo root. Also captures the persistent certificate
+# store's hit-rate lines (a cold run that fills the store followed by a
+# warm run that must answer everything from it) from canvas_certify.
 #
 # Usage: tools/bench_capture.sh [label]
 #   label   tag recorded with each line (default: "after"); use e.g.
@@ -21,7 +23,7 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS" \
-  --target bench_certification bench_scaling >/dev/null
+  --target bench_certification bench_scaling canvas_certify >/dev/null
 
 capture() {
   # Keep only the driver's TVLA JSON payloads; drop the
@@ -31,9 +33,41 @@ capture() {
     sed -n 's/^BENCH_JSON //p' | grep '"bench":"tvla' || true
 }
 
+# Store hit rate: a cold certify fills the store, the warm rerun must
+# serve every unit from it. Both BENCH_JSON store-hit-rate lines are
+# captured so a hit-rate regression (warm misses > 0) shows up in the
+# series.
+capture_store() {
+  local dir client
+  dir="$(mktemp -d)"
+  client="$dir/client.cj"
+  cat >"$client" <<'EOF'
+class M {
+  void main() {
+    Set v = new Set();
+    Iterator i = v.iterator();
+    v.add();
+    i.next();
+  }
+  void other() {
+    Set w = new Set();
+    Iterator j = w.iterator();
+    j.next();
+  }
+}
+EOF
+  for run in cold warm; do
+    ./build/examples/canvas_certify --store="$dir/store" "$client" \
+      2>/dev/null |
+      sed -n 's/^BENCH_JSON //p' | grep '"bench":"store' || true
+  done
+  rm -rf "$dir"
+}
+
 {
   capture ./build/bench/bench_certification
   capture ./build/bench/bench_scaling
+  capture_store
 } | while IFS= read -r line; do
   printf '{"label":"%s","captured":%s}\n' "$LABEL" "$line"
 done >>"$OUT"

@@ -54,18 +54,32 @@ step "ubsan: certificate and engine suites"
 # cert suite plus every engine suite under UBSan alone (no ASan
 # interposition), so integer/shift/bounds UB surfaces directly.
 run_ctest --preset ubsan -j "$JOBS" \
-  -R 'Cert|Checker|Boolprog|Intraprocedural|Interprocedural|Ifds|Solver|TVLA|Structure|Baseline|Certifier'
+  -R 'Cert|Checker|Boolprog|Intraprocedural|Interprocedural|Ifds|Solver|TVLA|Structure|Baseline|Certifier|Store|CrashRecovery|InputHash'
+
+step "store crash-recovery suite (sanitize)"
+# The persistent-store suite injects a crash (exception and torn short
+# write) at every commit-protocol probe and at journal compaction, plus
+# the hostile-framing fuzz corpus; run it on its own so a store
+# regression is named in the CI log, not buried in the full suite.
+run_ctest --preset sanitize -j "$JOBS" \
+  -R 'CrashRecovery|CertStoreTest|StoreIncremental|InputHash'
 
 step "fault-injection pass (sanitize, every probe site)"
 # Arms one environment fault per probe site and re-runs the env-fault
-# smoke test: every engine must degrade gracefully, never crash.
-# Keep the site list in sync with support::faultSites() in
-# src/support/Budget.cpp.
-FAULT_SITES="dataflow.solve boolprog.intra boolprog.interproc \
-ifds.solve tvla.fixpoint generic.allocsite cert-check points-to"
+# smoke test: every engine must degrade gracefully, never crash. The
+# site list is asked of the binary itself (--list-fault-sites reads
+# support::faultSites()), so a newly added probe site is exercised here
+# without editing this script.
+FAULT_SITES="$(./build-sanitize/examples/canvas_certify --list-fault-sites)"
 for site in $FAULT_SITES; do
   printf -- '--- CANVAS_FAULT=%s:1 ---\n' "$site"
   CANVAS_FAULT="$site:1" run_ctest --preset sanitize \
+    -R RobustnessEnvFault -j "$JOBS"
+done
+# The write-capable store sites additionally honor torn short writes.
+for site in store-commit store-recover; do
+  printf -- '--- CANVAS_FAULT=%s:1:short ---\n' "$site"
+  CANVAS_FAULT="$site:1:short" run_ctest --preset sanitize \
     -R RobustnessEnvFault -j "$JOBS"
 done
 
