@@ -12,11 +12,35 @@
 #ifndef CANVAS_BENCH_SUITE_H
 #define CANVAS_BENCH_SUITE_H
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 #include <vector>
 
 namespace canvas {
 namespace bench {
+
+/// Warm-up + min-of-N timing for the BENCH_JSON emitters: runs \p Body
+/// \p Warmup times untimed (first-touch page faults, lazily built
+/// statics, cold i-cache), then \p Reps timed repetitions, returning
+/// the minimum in microseconds. Every line that lands in a BENCH_*.json
+/// capture must go through this — a single cold run can read 3-4× the
+/// steady-state cost, which makes cross-capture comparisons (and the
+/// CI regression gate in tools/ci.sh) meaningless.
+template <typename Fn>
+inline double minOfN(Fn &&Body, int Warmup = 1, int Reps = 5) {
+  for (int I = 0; I != Warmup; ++I)
+    Body();
+  double Best = 1e30;
+  for (int I = 0; I != Reps; ++I) {
+    const auto T0 = std::chrono::steady_clock::now();
+    Body();
+    const auto T1 = std::chrono::steady_clock::now();
+    Best = std::min(
+        Best, std::chrono::duration<double, std::micro>(T1 - T0).count());
+  }
+  return Best;
+}
 
 struct BenchClient {
   const char *Name;

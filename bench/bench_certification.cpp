@@ -65,11 +65,13 @@ Cell runOne(const Certifier &C, const bench::BenchClient &Client) {
   Cell Out;
   DiagnosticEngine Diags;
   cj::Program P = cj::parseProgram(Client.Source, Diags);
-  auto T0 = std::chrono::steady_clock::now();
-  CertificationReport R = C.certify(P, Diags);
-  auto T1 = std::chrono::steady_clock::now();
-  Out.Micros =
-      std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0).count();
+  CertificationReport R;
+  Out.Micros = bench::minOfN(
+      [&] {
+        DiagnosticEngine D2;
+        R = C.certify(P, D2);
+      },
+      /*Warmup=*/1, /*Reps=*/3);
   Out.Checks = R.numChecks();
   Out.Flagged = R.numFlagged();
   SiteComparison Cmp = compareWithGroundTruth(R, C.spec(), P);
@@ -135,18 +137,10 @@ StageZeroSide runStageZeroSide(const bench::BenchClient &Client,
   Opts.PreAnalysis = PreAnalysis;
   Certifier C(easl::cmpSpecSource(), EngineKind::SCMPIntra, Diags, {}, Opts);
   cj::Program P = cj::parseProgram(Client.Source, Diags);
-  Side.Micros = 1e30;
-  for (int Rep = 0; Rep != 5; ++Rep) {
+  Side.Micros = bench::minOfN([&] {
     DiagnosticEngine D2;
-    auto T0 = std::chrono::steady_clock::now();
     Side.Report = C.certify(P, D2);
-    auto T1 = std::chrono::steady_clock::now();
-    double Us =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count() /
-        1000.0;
-    if (Us < Side.Micros)
-      Side.Micros = Us;
-  }
+  });
   Side.BoolVars = Side.Report.BoolVars;
   Side.MaxBoolVars = Side.Report.MaxBoolVars;
   Side.Pre = Side.Report.Pre;
@@ -222,17 +216,12 @@ void printTVLAPerf() {
     Certifier C(easl::cmpSpecSource(), EngineKind::TVLARelational, Diags);
     cj::Program P = cj::parseProgram(Client.Source, Diags);
     CertificationReport R;
-    double Best = 1e30;
-    for (int Rep = 0; Rep != 3; ++Rep) {
-      DiagnosticEngine D2;
-      auto T0 = std::chrono::steady_clock::now();
-      R = C.certify(P, D2);
-      auto T1 = std::chrono::steady_clock::now();
-      double Us = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      T1 - T0).count() / 1000.0;
-      if (Us < Best)
-        Best = Us;
-    }
+    double Best = bench::minOfN(
+        [&] {
+          DiagnosticEngine D2;
+          R = C.certify(P, D2);
+        },
+        /*Warmup=*/1, /*Reps=*/3);
     std::printf("%-20s %10.0f %8zu %6u %12llu %10llu %10llu\n", Client.Name,
                 Best, R.numChecks(), R.numFlagged(),
                 static_cast<unsigned long long>(R.Tvla.InternedStructures),
@@ -265,9 +254,9 @@ void printTVLAPerf() {
 //===----------------------------------------------------------------------===//
 
 struct CertPerfCell {
-  double PlainUs = 1e30; ///< Best-of-3, no certificates.
-  double EmitUs = 1e30;  ///< Best-of-3, EmitCertificates on.
-  CertificateStats Stats; ///< From the Emit+Check run.
+  double PlainUs = 0; ///< Warm min-of-3, no certificates.
+  double EmitUs = 0;  ///< Warm min-of-3, EmitCertificates on.
+  CertificateStats Stats; ///< From the last (warm) Emit+Check run.
 };
 
 CertPerfCell runCertPerf(EngineKind K, const bench::BenchClient &Client) {
@@ -276,33 +265,25 @@ CertPerfCell runCertPerf(EngineKind K, const bench::BenchClient &Client) {
   cj::Program P = cj::parseProgram(Client.Source, Diags);
 
   Certifier Plain(easl::cmpSpecSource(), K, Diags);
-  for (int Rep = 0; Rep != 3; ++Rep) {
-    DiagnosticEngine D2;
-    auto T0 = std::chrono::steady_clock::now();
-    CertificationReport R = Plain.certify(P, D2);
-    auto T1 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(R.numFlagged());
-    Cell.PlainUs = std::min(
-        Cell.PlainUs, std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          T1 - T0).count() / 1000.0);
-  }
+  Cell.PlainUs = bench::minOfN(
+      [&] {
+        DiagnosticEngine D2;
+        CertificationReport R = Plain.certify(P, D2);
+        benchmark::DoNotOptimize(R.numFlagged());
+      },
+      /*Warmup=*/1, /*Reps=*/3);
 
   CertifierOptions Opts;
   Opts.EmitCertificates = true;
   Opts.CheckCertificates = true;
   Certifier WithCerts(easl::cmpSpecSource(), K, Diags, {}, Opts);
-  for (int Rep = 0; Rep != 3; ++Rep) {
-    DiagnosticEngine D2;
-    auto T0 = std::chrono::steady_clock::now();
-    CertificationReport R = WithCerts.certify(P, D2);
-    auto T1 = std::chrono::steady_clock::now();
-    double Us = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    T1 - T0).count() / 1000.0;
-    if (Us < Cell.EmitUs) {
-      Cell.EmitUs = Us;
-      Cell.Stats = R.CertStats;
-    }
-  }
+  Cell.EmitUs = bench::minOfN(
+      [&] {
+        DiagnosticEngine D2;
+        CertificationReport R = WithCerts.certify(P, D2);
+        Cell.Stats = R.CertStats;
+      },
+      /*Warmup=*/1, /*Reps=*/3);
   return Cell;
 }
 
@@ -356,7 +337,7 @@ void printCertificatePerf() {
 //===----------------------------------------------------------------------===//
 
 struct PointsToSide {
-  double Micros = 1e30; ///< Best-of-5, emission + checking on.
+  double Micros = 0; ///< Warm min-of-5, emission + checking on.
   CertificationReport Report;
 };
 
@@ -369,18 +350,10 @@ PointsToSide runPointsToSide(const bench::BenchClient &Client, bool PointsTo) {
   Opts.CheckCertificates = true;
   Certifier C(easl::cmpSpecSource(), EngineKind::SCMPIntra, Diags, {}, Opts);
   cj::Program P = cj::parseProgram(Client.Source, Diags);
-  for (int Rep = 0; Rep != 5; ++Rep) {
+  Side.Micros = bench::minOfN([&] {
     DiagnosticEngine D2;
-    auto T0 = std::chrono::steady_clock::now();
-    CertificationReport R = C.certify(P, D2);
-    auto T1 = std::chrono::steady_clock::now();
-    double Us = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    T1 - T0).count() / 1000.0;
-    if (Us < Side.Micros) {
-      Side.Micros = Us;
-      Side.Report = std::move(R);
-    }
-  }
+    Side.Report = C.certify(P, D2);
+  });
   return Side;
 }
 

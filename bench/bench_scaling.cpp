@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "Suite.h"
+
 #include "boolprog/Analysis.h"
 #include "client/CFG.h"
 #include "client/Parser.h"
@@ -72,12 +74,8 @@ void printSeries() {
               "fixpt iters", "time (us)");
   for (unsigned B : {2, 4, 8, 16, 32, 64}) {
     Prepared P = prepare(clientWithIterators(B));
-    auto T0 = std::chrono::steady_clock::now();
-    bp::IntraResult R = bp::analyzeIntraproc(P.BP);
-    auto T1 = std::chrono::steady_clock::now();
-    double Us =
-        std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
-            .count();
+    bp::IntraResult R;
+    double Us = bench::minOfN([&] { R = bp::analyzeIntraproc(P.BP); });
     std::printf("%6u %10zu %10zu %12u %10.0f\n", B,
                 P.CFG.mainCFG()->Edges.size(), P.BP.Vars.size(),
                 R.Iterations, Us);
@@ -88,12 +86,8 @@ void printSeries() {
               "fixpt iters", "time (us)");
   for (unsigned E : {8, 16, 32, 64, 128, 256}) {
     Prepared P = prepare(clientWithStatements(E));
-    auto T0 = std::chrono::steady_clock::now();
-    bp::IntraResult R = bp::analyzeIntraproc(P.BP);
-    auto T1 = std::chrono::steady_clock::now();
-    double Us =
-        std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
-            .count();
+    bp::IntraResult R;
+    double Us = bench::minOfN([&] { R = bp::analyzeIntraproc(P.BP); });
     std::printf("%6u %10zu %10zu %12u %10.0f\n", E,
                 P.CFG.mainCFG()->Edges.size(), P.BP.Vars.size(),
                 R.Iterations, Us);
@@ -132,13 +126,10 @@ void printTVLASeries() {
     DiagnosticEngine Diags;
     tvla::TVLAOptions Opts;
     Opts.Relational = true;
-    auto T0 = std::chrono::steady_clock::now();
-    tvla::TVLAResult R =
-        tvla::certifyWithTVLA(P.Spec, P.Abs, *P.CFG.mainCFG(), Opts, Diags);
-    auto T1 = std::chrono::steady_clock::now();
-    double Us =
-        std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
-            .count();
+    tvla::TVLAResult R;
+    double Us = bench::minOfN([&] {
+      R = tvla::certifyWithTVLA(P.Spec, P.Abs, *P.CFG.mainCFG(), Opts, Diags);
+    });
     std::printf("%6u %12u %12llu %10llu %10llu %10.0f\n", B, R.Iterations,
                 static_cast<unsigned long long>(R.InternedStructures),
                 static_cast<unsigned long long>(R.TransferCacheHits),

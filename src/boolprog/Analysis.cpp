@@ -22,7 +22,8 @@ std::string IntraResult::stateStr(const BooleanProgram &BP, int Node) const {
     return "<unreachable>\n";
   std::string Out;
   for (size_t V = 0; V != BP.Vars.size(); ++V)
-    Out += "[" + BP.Vars[V].Name + "] = " + vsStr(In[Node][V]) + "\n";
+    Out += "[" + BP.Vars[V].Name + "] = " +
+           vsStr(In[Node].get(static_cast<unsigned>(V))) + "\n";
   return Out;
 }
 
@@ -36,8 +37,12 @@ std::string IntraResult::reportStr(const BooleanProgram &BP) const {
   return Out;
 }
 
-ValueSet EdgeTransfer::evalRhs(const BoolRhs &R,
-                               const std::vector<ValueSet> &In) {
+namespace {
+
+/// Shared RHS evaluation over any state with a per-variable accessor;
+/// instantiated for the packed StateVec and the unpacked vector API.
+template <typename GetVS>
+ValueSet evalRhsImpl(const BoolRhs &R, GetVS At) {
   switch (R.K) {
   case BoolRhs::Kind::Const:
     return R.PlusOne ? ValueSet::One : ValueSet::Zero;
@@ -48,7 +53,7 @@ ValueSet EdgeTransfer::evalRhs(const BoolRhs &R,
     bool P0 = !R.PlusOne;
     bool Dead = false;
     for (int S : R.Sources) {
-      ValueSet V = In[S];
+      ValueSet V = At(S);
       if (V == ValueSet::Bottom)
         Dead = true;
       P1 = P1 || canBeOne(V);
@@ -63,6 +68,17 @@ ValueSet EdgeTransfer::evalRhs(const BoolRhs &R,
   return ValueSet::Both;
 }
 
+} // namespace
+
+ValueSet EdgeTransfer::evalRhs(const BoolRhs &R, const StateVec &In) {
+  return evalRhsImpl(R, [&](int S) { return In.get(S); });
+}
+
+ValueSet EdgeTransfer::evalRhs(const BoolRhs &R,
+                               const std::vector<ValueSet> &In) {
+  return evalRhsImpl(R, [&](int S) { return In[S]; });
+}
+
 EdgeTransfer::EdgeTransfer(const BooleanProgram &BP, bool AssumeChecksPass)
     : BP(BP), AssumedZero(BP.CFG->Edges.size()) {
   // Checked variables per edge: a failed requires throws, so executions
@@ -74,20 +90,31 @@ EdgeTransfer::EdgeTransfer(const BooleanProgram &BP, bool AssumeChecksPass)
         AssumedZero[C.Edge].push_back(C.Var);
 }
 
-bool EdgeTransfer::apply(int EIdx, const std::vector<ValueSet> &In,
-                         std::vector<ValueSet> &Out) const {
+bool EdgeTransfer::apply(int EIdx, const StateVec &In,
+                         StateVec &Out) const {
   Out = In;
   for (int V : AssumedZero[EIdx]) {
-    if (!canBeZero(Out[V])) {
+    if (!canBeZero(Out.get(V))) {
       // Every execution reaching this call violates the requires clause
       // and throws: nothing continues along this edge.
       return false;
     }
-    Out[V] = ValueSet::Zero;
+    Out.set(V, ValueSet::Zero);
   }
-  const std::vector<ValueSet> Refined = Out;
+  // The parallel assignment reads the refined pre-state; the copy is a
+  // couple of words for states of <= 64 variables.
+  const StateVec Refined = Out;
   for (const auto &[Tgt, Rhs] : BP.EdgeAssignments[EIdx])
-    Out[Tgt] = evalRhs(Rhs, Refined);
+    Out.set(Tgt, evalRhs(Rhs, Refined));
+  return true;
+}
+
+bool EdgeTransfer::apply(int EIdx, const std::vector<ValueSet> &In,
+                         std::vector<ValueSet> &Out) const {
+  StateVec PackedOut;
+  if (!apply(EIdx, StateVec::pack(In), PackedOut))
+    return false;
+  Out = PackedOut.unpack();
   return true;
 }
 
@@ -107,8 +134,8 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
   assert(EntryState.size() == BP.Vars.size() && "entry state size mismatch");
 
   IntraResult R;
-  R.In.assign(CFG.NumNodes, {});
-  R.In[CFG.Entry] = EntryState;
+  R.In.assign(CFG.NumNodes, StateVec());
+  R.In[CFG.Entry] = StateVec::pack(EntryState);
 
   // Outgoing-edge adjacency.
   std::vector<std::vector<int>> OutEdges(CFG.NumNodes);
@@ -129,27 +156,21 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
     Worklist.pop_front();
     Queued[N] = false;
     ++R.Iterations;
-    const std::vector<ValueSet> &InState = R.In[N];
+    const StateVec &InState = R.In[N];
 
     for (int EIdx : OutEdges[N]) {
       const cj::CFGEdge &E = CFG.Edges[EIdx];
-      std::vector<ValueSet> OutState;
+      StateVec OutState;
       if (!Transfer.apply(EIdx, InState, OutState))
         continue; // Dead edge: every continuing execution throws.
 
-      std::vector<ValueSet> &Dst = R.In[E.To];
+      StateVec &Dst = R.In[E.To];
       bool Changed = false;
-      if (Dst.empty()) {
+      if (!Dst.engaged()) {
         Dst = std::move(OutState);
         Changed = true;
       } else {
-        for (size_t V = 0; V != Dst.size(); ++V) {
-          ValueSet J = vsJoin(Dst[V], OutState[V]);
-          if (J != Dst[V]) {
-            Dst[V] = J;
-            Changed = true;
-          }
-        }
+        Changed = Dst.joinWith(OutState);
       }
       if (Changed && !Queued[E.To]) {
         Queued[E.To] = true;
@@ -171,7 +192,7 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
                                                   : CheckOutcome::Safe);
       continue;
     }
-    ValueSet V = R.In[From][C.Var];
+    ValueSet V = R.In[From].get(C.Var);
     if (!canBeOne(V))
       R.CheckResults.push_back(CheckOutcome::Safe);
     else if (!canBeZero(V))

@@ -19,6 +19,7 @@
 #define CANVAS_BOOLPROG_ANALYSIS_H
 
 #include "boolprog/BooleanProgram.h"
+#include "boolprog/StateVec.h"
 #include "core/Verdict.h"
 #include "support/Budget.h"
 
@@ -29,45 +30,19 @@
 namespace canvas {
 namespace bp {
 
-/// A subset of {0,1}: bit 0 = "may be 0", bit 1 = "may be 1".
-enum class ValueSet : uint8_t { Bottom = 0, Zero = 1, One = 2, Both = 3 };
-
-inline ValueSet vsJoin(ValueSet A, ValueSet B) {
-  return static_cast<ValueSet>(static_cast<uint8_t>(A) |
-                               static_cast<uint8_t>(B));
-}
-inline bool canBeOne(ValueSet V) {
-  return static_cast<uint8_t>(V) & static_cast<uint8_t>(ValueSet::One);
-}
-inline bool canBeZero(ValueSet V) {
-  return static_cast<uint8_t>(V) & static_cast<uint8_t>(ValueSet::Zero);
-}
-inline const char *vsStr(ValueSet V) {
-  switch (V) {
-  case ValueSet::Bottom:
-    return "{}";
-  case ValueSet::Zero:
-    return "{0}";
-  case ValueSet::One:
-    return "{1}";
-  case ValueSet::Both:
-    return "{0,1}";
-  }
-  return "?";
-}
-
 /// Verdict for one requires check — the shared vocabulary of
 /// core/Verdict.h (every engine reports through core::CheckRecord).
 using CheckOutcome = core::CheckOutcome;
 
 struct IntraResult {
-  /// In[n][v] = possible values of variable v on entry to node n.
-  /// Empty inner vector marks an unreachable node.
-  std::vector<std::vector<ValueSet>> In;
+  /// In[n] = possible values of every variable on entry to node n,
+  /// packed (see StateVec.h). A disengaged entry marks an unreachable
+  /// node.
+  std::vector<StateVec> In;
   std::vector<CheckOutcome> CheckResults; ///< Indexed like Checks.
   unsigned Iterations = 0;
 
-  bool reachable(int Node) const { return !In[Node].empty(); }
+  bool reachable(int Node) const { return In[Node].engaged(); }
   unsigned numFlagged() const;
   /// Renders the abstract state at \p Node (the Fig. 8 analogue),
   /// listing each boolean variable with its value set.
@@ -88,11 +63,13 @@ public:
   explicit EdgeTransfer(const BooleanProgram &BP, bool AssumeChecksPass = true);
 
   /// Evaluates one parallel-assignment RHS over pre-state \p In.
+  static ValueSet evalRhs(const BoolRhs &R, const StateVec &In);
   static ValueSet evalRhs(const BoolRhs &R, const std::vector<ValueSet> &In);
 
   /// Applies CFG edge \p EIdx to \p In. Returns false when no execution
   /// continues past the edge (a checked variable cannot be 0, so every
   /// path throws); \p Out is unspecified then.
+  bool apply(int EIdx, const StateVec &In, StateVec &Out) const;
   bool apply(int EIdx, const std::vector<ValueSet> &In,
              std::vector<ValueSet> &Out) const;
 

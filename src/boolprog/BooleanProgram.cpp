@@ -65,14 +65,22 @@ enum class AppValue { False, True, Variable, Missing };
 
 class Builder {
 public:
+  /// \p ChecksOnly skips the variable table and edge assignments and
+  /// lowers only the requires obligations — the cheap mode behind
+  /// bp::enumerateChecks. It must stay check-for-check identical to the
+  /// full build: both run the same instantiateApp classification, so
+  /// constant folding and "(unknown operand)" texts agree.
   Builder(const DerivedAbstraction &Abs, const cj::CFGMethod &M,
-          DiagnosticEngine &Diags, const BuildRestriction *Restrict)
-      : Abs(Abs), M(M), Diags(Diags), Restrict(Restrict) {}
+          DiagnosticEngine &Diags, const BuildRestriction *Restrict,
+          bool ChecksOnly = false)
+      : Abs(Abs), M(M), Diags(Diags), Restrict(Restrict),
+        ChecksOnly(ChecksOnly) {}
 
   BooleanProgram run() {
     Out.CFG = &M;
     Out.Abs = &Abs;
-    enumerateVars();
+    if (!ChecksOnly)
+      enumerateVars();
     Out.EdgeAssignments.resize(M.Edges.size());
     for (size_t E = 0; E != M.Edges.size(); ++E)
       lowerEdge(static_cast<int>(E));
@@ -166,7 +174,9 @@ private:
     case InstResult::Conj:
       break;
     }
-    VarIdx = internVar(App.Family, std::move(Args), std::move(Body));
+    VarIdx = ChecksOnly ? -2
+                        : internVar(App.Family, std::move(Args),
+                                    std::move(Body));
     return AppValue::Variable;
   }
 
@@ -201,6 +211,9 @@ private:
 
   void lowerEdge(int E) {
     const cj::Action &A = M.Edges[E].Act;
+    if (ChecksOnly && A.K != cj::Action::Kind::AllocComp &&
+        A.K != cj::Action::Kind::CompCall)
+      return; // Only call edges carry requires obligations.
     switch (A.K) {
     case cj::Action::Kind::Nop:
       return;
@@ -331,6 +344,8 @@ private:
       }
       Out.Checks.push_back(std::move(C));
     }
+    if (ChecksOnly)
+      return;
 
     // Update rules.
     for (const UpdateRule &R : MA->Rules) {
@@ -407,6 +422,7 @@ private:
   const cj::CFGMethod &M;
   DiagnosticEngine &Diags;
   const BuildRestriction *Restrict;
+  const bool ChecksOnly;
   BooleanProgram Out;
   std::map<std::string, int> VarIndex;
 };
@@ -424,4 +440,11 @@ BooleanProgram bp::buildBooleanProgram(const DerivedAbstraction &Abs,
                                        DiagnosticEngine &Diags,
                                        const BuildRestriction &Restrict) {
   return Builder(Abs, M, Diags, &Restrict).run();
+}
+
+std::vector<Check> bp::enumerateChecks(const DerivedAbstraction &Abs,
+                                       const cj::CFGMethod &M,
+                                       DiagnosticEngine &Diags) {
+  return std::move(
+      Builder(Abs, M, Diags, nullptr, /*ChecksOnly=*/true).run().Checks);
 }

@@ -112,6 +112,18 @@ BooleanProgram buildBooleanProgram(const wp::DerivedAbstraction &Abs,
                                    DiagnosticEngine &Diags,
                                    const BuildRestriction &Restrict);
 
+/// The canonical (unrestricted) check enumeration of \p M, without the
+/// boolean program around it: identical to
+/// buildBooleanProgram(Abs, M, Diags).Checks in count, order, Edge,
+/// What, Loc, ReqLoc, and constant folding, except that a check backed
+/// by a boolean variable reports Var == -2 (no variable table is
+/// built). The per-slice certification paths need only this
+/// enumeration to index claims — the full instantiation is
+/// O(edges · boolvars) and dominates their fixed overhead.
+std::vector<Check> enumerateChecks(const wp::DerivedAbstraction &Abs,
+                                   const cj::CFGMethod &M,
+                                   DiagnosticEngine &Diags);
+
 } // namespace bp
 } // namespace canvas
 

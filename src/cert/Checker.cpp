@@ -25,6 +25,7 @@
 #include "dataflow/PreAnalysis.h"
 #include "ifds/Problem.h"
 #include "support/Budget.h"
+#include "support/Interner.h"
 #include "tvla/Transfer.h"
 
 #include <algorithm>
@@ -32,6 +33,8 @@
 #include <chrono>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace canvas;
 using namespace canvas::cert;
@@ -78,12 +81,12 @@ bool validClaimShape(const Certificate &C, size_t NumChecks,
 bool readBoolSection(Reader &R, const bp::BooleanProgram &BP,
                      const cj::CFGMethod &M, const dataflow::CFGInfo &Info,
                      bool AssumeChecksPass,
-                     std::vector<std::vector<bp::ValueSet>> &In,
+                     std::vector<bp::StateVec> &In,
                      std::string &Reason) {
-  const size_t NumVars = BP.Vars.size();
+  const unsigned NumVars = static_cast<unsigned>(BP.Vars.size());
 
   std::vector<uint8_t> Tag(M.NumNodes, 0);
-  In.assign(M.NumNodes, {});
+  In.assign(M.NumNodes, bp::StateVec());
   for (int N = 0; N != M.NumNodes; ++N) {
     Tag[N] = R.u8();
     if (Tag[N] > 2) {
@@ -92,14 +95,14 @@ bool readBoolSection(Reader &R, const bp::BooleanProgram &BP,
     }
     if (Tag[N] != 1)
       continue;
-    In[N].resize(NumVars);
-    for (size_t V = 0; V != NumVars; ++V) {
+    In[N] = bp::StateVec(NumVars, bp::ValueSet::Bottom);
+    for (unsigned V = 0; V != NumVars; ++V) {
       uint8_t B = R.u8();
       if (B > 3) {
         Reason = "out-of-range value set";
         return false;
       }
-      In[N][V] = static_cast<bp::ValueSet>(B);
+      In[N].set(V, static_cast<bp::ValueSet>(B));
     }
   }
   if (R.failed()) {
@@ -128,12 +131,12 @@ bool readBoolSection(Reader &R, const bp::BooleanProgram &BP,
     }
     int EIdx = Info.predEdges(N)[0];
     int From = M.Edges[EIdx].From;
-    if (In[From].empty() || Info.rpoNumber(From) < 0 ||
+    if (!In[From].engaged() || Info.rpoNumber(From) < 0 ||
         Info.rpoNumber(From) >= Info.rpoNumber(N)) {
       Reason = "pruned node's predecessor is not annotated earlier";
       return false;
     }
-    std::vector<bp::ValueSet> Out;
+    bp::StateVec Out;
     if (!T.apply(EIdx, In[From], Out)) {
       Reason = "pruned node is annotated but its in-edge is dead";
       return false;
@@ -141,46 +144,57 @@ bool readBoolSection(Reader &R, const bp::BooleanProgram &BP,
     In[N] = std::move(Out);
   }
   for (int N = 0; N != M.NumNodes; ++N)
-    if (Tag[N] == 2 && In[N].empty()) {
+    if (Tag[N] == 2 && !In[N].engaged()) {
       Reason = "pruned node outside the reverse-post-order";
       return false;
     }
 
   // (a) Initial facts covered: at method entry every variable may hold
   // either value.
-  if (In[M.Entry].empty()) {
+  if (!In[M.Entry].engaged()) {
     Reason = "entry node not covered";
     return false;
   }
-  for (size_t V = 0; V != NumVars; ++V)
-    if (In[M.Entry][V] != bp::ValueSet::Both) {
-      Reason = "entry state does not cover the initial facts";
-      return false;
-    }
+  if (In[M.Entry] != bp::StateVec(NumVars, bp::ValueSet::Both)) {
+    Reason = "entry state does not cover the initial facts";
+    return false;
+  }
 
   // (b) Closure under the edge transfer.
   for (size_t EIdx = 0; EIdx != M.Edges.size(); ++EIdx) {
     int From = M.Edges[EIdx].From;
     int To = M.Edges[EIdx].To;
-    if (In[From].empty())
+    if (!In[From].engaged())
       continue;
-    std::vector<bp::ValueSet> Out;
+    bp::StateVec Out;
     if (!T.apply(static_cast<int>(EIdx), In[From], Out))
       continue; // No execution survives the edge.
-    if (In[To].empty()) {
+    if (!In[To].engaged()) {
       Reason = "annotation not closed: reachable successor uncovered";
       return false;
     }
-    for (size_t V = 0; V != NumVars; ++V)
-      if (bp::vsJoin(Out[V], In[To][V]) != In[To][V]) {
-        Reason = "annotation not closed under edge transfer";
-        return false;
-      }
+    // Word-parallel subsumption: Out joined into In[To] must not move.
+    bp::StateVec Probe = In[To];
+    if (Probe.joinWith(Out)) {
+      Reason = "annotation not closed under edge transfer";
+      return false;
+    }
   }
   return true;
 }
 
 } // namespace
+
+std::shared_ptr<const Checker::PTRevalidation>
+Checker::cachedRevalidation() const {
+  std::lock_guard<std::mutex> L(PTCacheMu);
+  return PTCache;
+}
+
+void Checker::cacheRevalidation(std::shared_ptr<const PTRevalidation> R) const {
+  std::lock_guard<std::mutex> L(PTCacheMu);
+  PTCache = std::move(R);
+}
 
 const cj::CFGMethod *Checker::findUnit(const std::string &Unit) const {
   for (const cj::CFGMethod &M : CFG.Methods)
@@ -253,7 +267,7 @@ CheckResult Checker::checkBoolIntra(const Certificate &C) const {
     return fail(std::move(Reason));
 
   const dataflow::CFGInfo Info(*M);
-  std::vector<std::vector<bp::ValueSet>> In;
+  std::vector<bp::StateVec> In;
   if (!readBoolSection(R, BP, *M, Info, AssumeChecksPass, In, Reason))
     return fail(std::move(Reason));
   if (!R.done())
@@ -264,18 +278,18 @@ CheckResult Checker::checkBoolIntra(const Certificate &C) const {
     const bp::Check &Chk = BP.Checks[Cl.Check];
     int Node = M->Edges[Chk.Edge].From;
     if (Cl.Outcome == core::CheckOutcome::Unreachable) {
-      if (!In[Node].empty())
+      if (In[Node].engaged())
         return fail("unreachable claim at a covered node");
       continue;
     }
-    if (In[Node].empty())
+    if (!In[Node].engaged())
       continue; // Vacuously safe.
     if (Chk.Var < 0) {
       if (Chk.ConstantViolated)
         return fail("safe claim on a constant-violated check");
       continue;
     }
-    if (bp::canBeOne(In[Node][Chk.Var]))
+    if (bp::canBeOne(In[Node].get(Chk.Var)))
       return fail("safe claim but the annotation admits a violation");
   }
   CheckResult Res = ok();
@@ -380,7 +394,7 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
   const dataflow::CFGInfo Info(*M);
   std::vector<bp::BooleanProgram> BPs;
   BPs.reserve(NumSlices);
-  std::vector<std::vector<std::vector<bp::ValueSet>>> Ins(NumSlices);
+  std::vector<std::vector<bp::StateVec>> Ins(NumSlices);
   std::string Reason;
   for (uint32_t I = 0; I != NumSlices; ++I) {
     const uint32_t Len = R.u32();
@@ -464,15 +478,31 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
     // solution, and shrinking a set to hide an alias breaks closure),
     // and require the resulting may-interfere groups to respect the
     // partition. Client-call edges need no syntactic sweep — callee
-    // interference surfaces in the groups.
+    // interference surfaces in the groups. The whole-program solution
+    // is identical across every method's certificate, so a solution
+    // byte-equal to one this checker already revalidated reuses the
+    // cached reachability and groups instead of re-deriving the system
+    // (see PTRevalidation).
     if (!CFG.Prog)
       return fail("client program unavailable for points-to revalidation");
-    dataflow::PTSystem Sys = dataflow::generateConstraints(*CFG.Prog, Spec);
-    if (R.u32() != static_cast<uint32_t>(Sys.Nodes.size()))
-      return fail("points-to node-count mismatch against regenerated system");
-    const uint32_t NumObjs = static_cast<uint32_t>(Sys.Objects.size());
+    std::shared_ptr<const PTRevalidation> Cached = cachedRevalidation();
+    const uint32_t NumNodes = R.u32();
+    if (Cached && Cached->NumNodes != NumNodes)
+      Cached.reset();
+    dataflow::PTSystem Sys;
+    bool HaveSys = false;
+    uint32_t NumObjs = 0;
+    if (Cached) {
+      NumObjs = Cached->NumObjs;
+    } else {
+      Sys = dataflow::generateConstraints(*CFG.Prog, Spec);
+      HaveSys = true;
+      if (R.failed() || NumNodes != static_cast<uint32_t>(Sys.Nodes.size()))
+        return fail("points-to node-count mismatch against regenerated system");
+      NumObjs = static_cast<uint32_t>(Sys.Objects.size());
+    }
     dataflow::PointsToSolution Sol;
-    Sol.VarPts.resize(Sys.Nodes.size());
+    Sol.VarPts.resize(NumNodes);
     auto ReadSet = [&](std::set<int> &S) {
       uint32_t K = R.u32();
       if (R.failed() || K > NumObjs)
@@ -485,7 +515,7 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
       }
       return true;
     };
-    for (size_t N = 0; N != Sys.Nodes.size(); ++N)
+    for (uint32_t N = 0; N != NumNodes; ++N)
       if (!ReadSet(Sol.VarPts[N]))
         return fail("malformed points-to set");
     const uint32_t NumFields = R.u32();
@@ -500,15 +530,35 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
       Sol.FieldPts.emplace(std::make_pair(static_cast<int>(O), std::move(F)),
                            std::move(S));
     }
-    std::string Why;
-    if (!dataflow::checkSolutionClosed(Sys, Sol, Why))
-      return fail("points-to solution not closed: " + Why);
-    std::set<std::string> Reachable = Sys.reachableFromMain();
-    if (!Reachable.count(C.Unit))
+    std::shared_ptr<const PTRevalidation> Val;
+    if (Cached && Cached->Sol.VarPts == Sol.VarPts &&
+        Cached->Sol.FieldPts == Sol.FieldPts) {
+      Val = std::move(Cached); // Same solution: closure already proved.
+    } else {
+      if (!HaveSys) {
+        Sys = dataflow::generateConstraints(*CFG.Prog, Spec);
+        HaveSys = true;
+        if (NumNodes != static_cast<uint32_t>(Sys.Nodes.size()))
+          return fail(
+              "points-to node-count mismatch against regenerated system");
+      }
+      std::string Why;
+      if (!dataflow::checkSolutionClosed(Sys, Sol, Why))
+        return fail("points-to solution not closed: " + Why);
+      auto Fresh = std::make_shared<PTRevalidation>();
+      Fresh->NumNodes = NumNodes;
+      Fresh->NumObjs = NumObjs;
+      Fresh->Sol = std::move(Sol);
+      Fresh->Reachable = Sys.reachableFromMain();
+      Fresh->Groups =
+          dataflow::computeAliasGroups(Sys, Fresh->Sol, Fresh->Reachable);
+      cacheRevalidation(Fresh);
+      Val = std::move(Fresh);
+    }
+    if (!Val->Reachable.count(C.Unit))
       return fail("method not reachable from main under the closed world");
-    auto Groups = dataflow::computeAliasGroups(Sys, Sol, Reachable);
-    auto GIt = Groups.find(C.Unit);
-    if (GIt != Groups.end())
+    auto GIt = Val->Groups.find(C.Unit);
+    if (GIt != Val->Groups.end())
       for (const std::vector<std::string> &G : GIt->second.Groups) {
         int S = -1;
         for (const std::string &V : G) {
@@ -541,13 +591,16 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
   // and check ownership (the receiver's — or for constructors the
   // result's — slice) places each edge's checks in exactly one slice;
   // text and location must agree or the mapping is refused.
-  const bp::BooleanProgram Canon = bp::buildBooleanProgram(Abs, *M, Quiet);
-  if (!validClaimShape(C, Canon.Checks.size(), Reason))
+  // Only the check enumeration is needed here — every claim is judged
+  // against its owning slice's restricted program, so the unrestricted
+  // instantiation (the dominant cost of this checker path) is skipped.
+  const std::vector<bp::Check> CanonChecks = bp::enumerateChecks(Abs, *M, Quiet);
+  if (!validClaimShape(C, CanonChecks.size(), Reason))
     return fail(std::move(Reason));
   std::map<int, std::vector<size_t>> CanonByEdge;
-  for (size_t I = 0; I != Canon.Checks.size(); ++I)
-    CanonByEdge[Canon.Checks[I].Edge].push_back(I);
-  std::vector<std::pair<int, int>> Owner(Canon.Checks.size(),
+  for (size_t I = 0; I != CanonChecks.size(); ++I)
+    CanonByEdge[CanonChecks[I].Edge].push_back(I);
+  std::vector<std::pair<int, int>> Owner(CanonChecks.size(),
                                          std::make_pair(-1, -1));
   for (uint32_t S = 0; S != NumSlices; ++S) {
     std::map<int, std::vector<size_t>> ByEdge;
@@ -558,7 +611,7 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
       if (CIt == CanonByEdge.end() || CIt->second.size() != Js.size())
         return fail("slice checks do not match the canonical enumeration");
       for (size_t K = 0; K != Js.size(); ++K) {
-        const bp::Check &A = Canon.Checks[CIt->second[K]];
+        const bp::Check &A = CanonChecks[CIt->second[K]];
         const bp::Check &B = BPs[S].Checks[Js[K]];
         if (A.What != B.What || !(A.Loc == B.Loc))
           return fail("slice check diverges from the canonical check");
@@ -575,24 +628,24 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
       return fail("claim on a check no slice owns");
     const bp::Check &Chk = BPs[S].Checks[J];
     int Node = M->Edges[Chk.Edge].From;
-    const std::vector<std::vector<bp::ValueSet>> &In = Ins[S];
+    const std::vector<bp::StateVec> &In = Ins[S];
     if (Cl.Outcome == core::CheckOutcome::Unreachable) {
-      if (!In[Node].empty())
+      if (In[Node].engaged())
         return fail("unreachable claim at a covered node");
       continue;
     }
-    if (In[Node].empty())
+    if (!In[Node].engaged())
       continue; // Vacuously safe.
     if (Chk.Var < 0) {
       if (Chk.ConstantViolated)
         return fail("safe claim on a constant-violated check");
       continue;
     }
-    if (bp::canBeOne(In[Node][Chk.Var]))
+    if (bp::canBeOne(In[Node].get(Chk.Var)))
       return fail("safe claim but the annotation admits a violation");
   }
   CheckResult Res = ok();
-  Res.NumChecks = Canon.Checks.size();
+  Res.NumChecks = CanonChecks.size();
   return Res;
 }
 
@@ -624,7 +677,25 @@ CheckResult Checker::checkIfds(const Certificate &C) const {
   const uint32_t NumPE = R.u32();
   std::vector<bp::IfdsTabulation::PE> PEs;
   PEs.reserve(NumPE);
-  std::set<std::array<int, 4>> PESet;
+  // Packed-key hash sets for the closure sweep's membership tests (the
+  // checker-side analogue of the solver's path-edge index).
+  struct PEKeyHash {
+    size_t operator()(const std::array<int, 4> &K) const {
+      uint64_t H = support::hashMix(
+          (static_cast<uint64_t>(static_cast<uint32_t>(K[0])) << 32) |
+          static_cast<uint32_t>(K[1]));
+      return support::hashCombine(
+          H, support::hashMix(
+                 (static_cast<uint64_t>(static_cast<uint32_t>(K[2])) << 32) |
+                 static_cast<uint32_t>(K[3])));
+    }
+  };
+  auto PackPair = [](int A, int B) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(A)) << 32) |
+           static_cast<uint32_t>(B);
+  };
+  std::unordered_set<std::array<int, 4>, PEKeyHash> PESet;
+  PESet.reserve(NumPE);
   std::vector<bool> HasPE(Prob.numProcs(), false);
   for (uint32_t I = 0; I != NumPE && !R.failed(); ++I) {
     bp::IfdsTabulation::PE E;
@@ -644,13 +715,13 @@ CheckResult Checker::checkIfds(const Certificate &C) const {
     PEs.push_back(E);
   }
   const uint32_t NumGenuine = R.u32();
-  std::set<std::pair<int, int>> StoredGenuine;
+  std::unordered_set<uint64_t> StoredGenuine;
   for (uint32_t I = 0; I != NumGenuine && !R.failed(); ++I) {
     int P = R.i32();
     int F = R.i32();
     if (P < 0 || P >= Prob.numProcs() || F < 0 || F >= Prob.numFacts(P))
       return fail("genuine entry with out-of-range procedure or fact");
-    StoredGenuine.emplace(P, F);
+    StoredGenuine.insert(PackPair(P, F));
   }
   if (!R.done())
     return fail("malformed payload");
@@ -732,14 +803,14 @@ CheckResult Checker::checkIfds(const Certificate &C) const {
   // initial facts, closed under flowCall feeds from genuine path edges.
   // Recomputed independently and required to match the stored relation
   // exactly, so verdict queries below answer from verified data.
-  std::set<std::pair<int, int>> Genuine;
+  std::unordered_set<uint64_t> Genuine;
   for (int D : Init)
-    Genuine.emplace(EntryProc, D);
+    Genuine.insert(PackPair(EntryProc, D));
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (const bp::IfdsTabulation::PE &E : PEs) {
-      if (!Genuine.count({E.Proc, E.EntryFact}))
+      if (!Genuine.count(PackPair(E.Proc, E.EntryFact)))
         continue;
       const ifds::ProcView &V = Prob.proc(E.Proc);
       for (int EI : OutEdges[E.Proc][E.Node]) {
@@ -749,19 +820,30 @@ CheckResult Checker::checkIfds(const Certificate &C) const {
         Out.clear();
         Prob.flowCall(E.Proc, EI, E.Fact, Out);
         for (int D2 : Out)
-          Changed |= Genuine.emplace(CE.Callee, D2).second;
+          Changed |= Genuine.insert(PackPair(CE.Callee, D2)).second;
       }
     }
   }
   if (Genuine != StoredGenuine)
     return fail("stored genuine-entry relation disagrees with closure");
 
-  std::set<std::array<int, 3>> ReachedG;
+  // Genuine reachability as per-procedure bit vectors (one bit per
+  // exploded node), matching the solver's dense representation.
+  std::vector<std::vector<uint64_t>> ReachedG(Prob.numProcs());
+  for (int P = 0; P != Prob.numProcs(); ++P) {
+    const size_t Bits =
+        static_cast<size_t>(Prob.proc(P).NumNodes) * Prob.numFacts(P);
+    ReachedG[P].assign((Bits + 63) / 64, 0);
+  }
   for (const bp::IfdsTabulation::PE &E : PEs)
-    if (Genuine.count({E.Proc, E.EntryFact}))
-      ReachedG.insert({E.Proc, E.Node, E.Fact});
+    if (Genuine.count(PackPair(E.Proc, E.EntryFact))) {
+      const size_t Bit =
+          static_cast<size_t>(E.Node) * Prob.numFacts(E.Proc) + E.Fact;
+      ReachedG[E.Proc][Bit >> 6] |= 1ull << (Bit & 63);
+    }
   auto Reached = [&](int P, int N, int F) {
-    return ReachedG.count({P, N, F}) != 0;
+    const size_t Bit = static_cast<size_t>(N) * Prob.numFacts(P) + F;
+    return ((ReachedG[P][Bit >> 6] >> (Bit & 63)) & 1) != 0;
   };
 
   // (c) Claims uncovered by genuine reachability.
@@ -832,8 +914,37 @@ CheckResult Checker::checkTvla(const Certificate &C) const {
   if (!validClaimShape(C, T.checks().size(), Reason))
     return fail(std::move(Reason));
 
-  std::vector<std::vector<tvla::Structure>> Ann(M->NumNodes);
+  // Unique structure table: each distinct structure is decoded and
+  // canonicality-checked once, then every per-node reference and every
+  // transfer result is identified by its InternId.
+  const uint32_t NumUnique = R.u32();
+  if (R.failed() || NumUnique > 1u << 20)
+    return fail("implausible unique-structure count");
+  struct Hasher {
+    uint64_t operator()(const tvla::Structure &S) const {
+      return S.structuralHash();
+    }
+  };
+  support::InternPool<tvla::Structure, Hasher> Pool;
+  std::vector<support::InternId> TableIds;
+  TableIds.reserve(NumUnique);
+  for (uint32_t I = 0; I != NumUnique; ++I) {
+    tvla::Structure S{V};
+    if (!readStructure(R, V, S, Reason))
+      return fail(std::move(Reason));
+    if (!S.isCanonical(V))
+      return fail("annotation structure is not canonical");
+    TableIds.push_back(Pool.intern(std::move(S)));
+  }
+
+  std::vector<uint8_t> Tag(M->NumNodes, 0);
+  std::vector<std::vector<support::InternId>> Ann(M->NumNodes);
   for (int N = 0; N != M->NumNodes; ++N) {
+    Tag[N] = R.u8();
+    if (Tag[N] > 2)
+      return fail("bad annotation tag");
+    if (Tag[N] != 1)
+      continue;
     uint32_t Count = R.u32();
     if (R.failed() || Count > 65536)
       return fail("implausible structure count");
@@ -841,22 +952,88 @@ CheckResult Checker::checkTvla(const Certificate &C) const {
       return fail("independent-attribute annotation with multiple "
                   "structures at one point");
     for (uint32_t I = 0; I != Count; ++I) {
-      tvla::Structure S{V};
-      if (!readStructure(R, V, S, Reason))
-        return fail(std::move(Reason));
-      if (!S.isCanonical(V))
-        return fail("annotation structure is not canonical");
-      Ann[N].push_back(std::move(S));
+      uint32_t Idx = R.u32();
+      if (R.failed() || Idx >= NumUnique)
+        return fail("structure id out of table range");
+      Ann[N].push_back(TableIds[Idx]);
     }
   }
   if (!R.done())
     return fail("malformed payload");
 
+  // One transfer evaluation per distinct (structure, edge) pair: the
+  // accumulated requires evaluations are joins, so collapsing repeats
+  // is exact, and the memo makes closure cost scale with distinct
+  // structures instead of per-point occurrences.
+  tvla::CheckAccum Acc = T.makeAccum();
+  std::unordered_map<uint64_t, std::pair<bool, support::InternId>> Memo;
+  auto ApplyMemo = [&](support::InternId SId,
+                       int EIdx) -> std::pair<bool, support::InternId> {
+    const uint64_t Key =
+        (static_cast<uint64_t>(SId) << 32) | static_cast<uint32_t>(EIdx);
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+    bool Dead = false;
+    tvla::Structure Out = T.apply(Pool.get(SId), EIdx, Dead, &Acc);
+    std::pair<bool, support::InternId> Res{Dead, 0};
+    if (!Dead)
+      Res.second = Pool.internRef(Out);
+    Memo.emplace(Key, Res);
+    return Res;
+  };
+
+  // Reconstruct verify-pruned per-point sets in reverse-post-order
+  // (the TVLA analogue of readBoolSection's pruned entries): a pruned
+  // node's set is exactly its unique in-edge's image of the
+  // predecessor's set.
+  const dataflow::CFGInfo Info(*M);
+  std::vector<int> ByRpo;
+  for (int N = 0; N != M->NumNodes; ++N)
+    if (Info.rpoNumber(N) >= 0)
+      ByRpo.push_back(N);
+  std::sort(ByRpo.begin(), ByRpo.end(), [&](int A, int B) {
+    return Info.rpoNumber(A) < Info.rpoNumber(B);
+  });
+  for (int N : ByRpo) {
+    if (Tag[N] != 2)
+      continue;
+    if (N == M->Entry || Info.predEdges(N).size() != 1)
+      return fail("pruned node is not reconstructible");
+    int EIdx = Info.predEdges(N)[0];
+    int From = M->Edges[EIdx].From;
+    if (Ann[From].empty() || Info.rpoNumber(From) < 0 ||
+        Info.rpoNumber(From) >= Info.rpoNumber(N))
+      return fail("pruned node's predecessor is not annotated earlier");
+    for (support::InternId SId : Ann[From]) {
+      auto [Dead, OutId] = ApplyMemo(SId, EIdx);
+      if (Dead)
+        continue;
+      if (std::find(Ann[N].begin(), Ann[N].end(), OutId) == Ann[N].end())
+        Ann[N].push_back(OutId);
+    }
+    if (Ann[N].empty())
+      return fail("pruned node reconstructs to an empty set");
+  }
+  for (int N = 0; N != M->NumNodes; ++N)
+    if (Tag[N] == 2 && Ann[N].empty())
+      return fail("pruned node outside the reverse-post-order");
+
+  // Per-node membership for the coverage fast path.
+  std::vector<std::unordered_set<support::InternId>> Members(M->NumNodes);
+  for (int N = 0; N != M->NumNodes; ++N)
+    Members[N].insert(Ann[N].begin(), Ann[N].end());
+
   // The semantic coverage test both engines' joins induce: In is
-  // subsumed by Member iff joining In into Member changes nothing.
-  auto Covered = [&](const tvla::Structure &In, int Node) {
-    for (const tvla::Structure &Member : Ann[Node]) {
-      tvla::Structure Probe = Member;
+  // subsumed by Member iff joining In into Member changes nothing. An
+  // exact id match short-circuits it (joining a structure into itself
+  // never changes anything).
+  auto CoveredById = [&](support::InternId InId, int Node) {
+    if (Members[Node].count(InId))
+      return true;
+    const tvla::Structure &In = Pool.get(InId);
+    for (support::InternId MemId : Ann[Node]) {
+      tvla::Structure Probe = Pool.get(MemId);
       if (!Probe.joinWith(In, V))
         return true;
     }
@@ -865,21 +1042,30 @@ CheckResult Checker::checkTvla(const Certificate &C) const {
 
   // (a) Initial fact covered: the entry structure is the empty universe
   // (no component objects exist at method entry).
-  if (!Covered(tvla::Structure(V), M->Entry))
-    return fail("entry structure not covered");
+  {
+    const tvla::Structure Empty(V);
+    bool EntryCovered = false;
+    for (support::InternId MemId : Ann[M->Entry]) {
+      tvla::Structure Probe = Pool.get(MemId);
+      if (!Probe.joinWith(Empty, V)) {
+        EntryCovered = true;
+        break;
+      }
+    }
+    if (!EntryCovered)
+      return fail("entry structure not covered");
+  }
 
   // (b) Closure under the edge transfer, accumulating every requires
   // evaluation the annotation can exhibit.
-  tvla::CheckAccum Acc = T.makeAccum();
   for (size_t EIdx = 0; EIdx != M->Edges.size(); ++EIdx) {
     int From = M->Edges[EIdx].From;
     int To = M->Edges[EIdx].To;
-    for (const tvla::Structure &S : Ann[From]) {
-      bool Dead = false;
-      tvla::Structure Out = T.apply(S, static_cast<int>(EIdx), Dead, &Acc);
+    for (support::InternId SId : Ann[From]) {
+      auto [Dead, OutId] = ApplyMemo(SId, static_cast<int>(EIdx));
       if (Dead)
         continue;
-      if (!Covered(Out, To))
+      if (!CoveredById(OutId, To))
         return fail("annotation not closed under edge transfer");
     }
   }

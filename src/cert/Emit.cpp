@@ -2,8 +2,10 @@
 
 #include "dataflow/Dataflow.h"
 #include "dataflow/PointsTo.h"
+#include "support/Interner.h"
 #include "tvla/Transfer.h"
 
+#include <algorithm>
 #include <array>
 #include <set>
 
@@ -40,8 +42,7 @@ bool cert::readStructure(Reader &R, const tvp::Vocabulary &V,
     return false;
   }
   Out = tvla::Structure(V);
-  for (uint32_t I = 0; I != N; ++I)
-    Out.addNode();
+  Out.resizeNodes(N); // One buffer rebuild, not N.
   for (uint32_t I = 0; I != N; ++I)
     Out.setSummary(I, R.u8() != 0);
   for (size_t P = 0; P != V.Preds.size(); ++P) {
@@ -150,7 +151,7 @@ void writeBoolSection(Writer &W, const bp::BooleanProgram &BP,
       int From = M.Edges[EIdx].From;
       if (R.reachable(From) && Info.rpoNumber(From) >= 0 &&
           Info.rpoNumber(From) < Info.rpoNumber(N)) {
-        std::vector<bp::ValueSet> Out;
+        bp::StateVec Out;
         Pruned = T.apply(EIdx, R.In[From], Out) && Out == R.In[N];
       }
     }
@@ -160,8 +161,8 @@ void writeBoolSection(Writer &W, const bp::BooleanProgram &BP,
     }
     ++StoredEntries;
     W.u8(1);
-    for (bp::ValueSet V : R.In[N])
-      W.u8(static_cast<uint8_t>(V));
+    for (unsigned V = 0; V != R.In[N].size(); ++V)
+      W.u8(static_cast<uint8_t>(R.In[N].get(V)));
   }
 }
 
@@ -199,11 +200,9 @@ Certificate cert::emitBoolIntra(const bp::BooleanProgram &BP,
 
 Certificate cert::emitSlicePartition(
     const cj::CFGMethod &M, const std::vector<SliceEvidence> &Slices,
-    const bp::BooleanProgram &CanonicalBP,
     const std::vector<core::CheckOutcome> &Outcomes,
     const std::vector<dataflow::BitVector> &MayUninit,
     const dataflow::PointsToResult *PT, bool AssumeChecksPass) {
-  (void)CanonicalBP;
   Certificate C;
   C.Kind = CertKind::SlicePartition;
   C.Unit = M.name();
@@ -350,7 +349,7 @@ Certificate cert::emitTvla(const wp::DerivedAbstraction &Abs,
   // The vocabulary construction already warned through the engine's
   // diagnostics; re-deriving it here must not duplicate the stream.
   DiagnosticEngine Quiet;
-  const tvla::Transfer T(Abs, M, Quiet);
+  tvla::Transfer T(Abs, M, Quiet);
   const tvp::Vocabulary &V = T.vocabulary();
 
   Certificate C;
@@ -362,18 +361,98 @@ Certificate cert::emitTvla(const wp::DerivedAbstraction &Abs,
         R.Checks[I].Outcome == core::CheckOutcome::Unreachable)
       C.Claims.push_back({static_cast<uint32_t>(I), R.Checks[I].Outcome});
 
+  // Intern every annotation structure: one per-point set member costs
+  // one u32 id reference, and each distinct structure is serialized at
+  // most once in the unique table. Program points overwhelmingly share
+  // structures, so this collapses the payload the old
+  // one-serialization-per-occurrence format blew up.
+  struct Hasher {
+    uint64_t operator()(const tvla::Structure &S) const {
+      return S.structuralHash();
+    }
+  };
+  support::InternPool<tvla::Structure, Hasher> Pool;
+  std::vector<std::vector<support::InternId>> Ids(M.NumNodes);
+  for (int N = 0; N != M.NumNodes; ++N)
+    for (const tvla::Structure &S : Ann.PerNode[N]) {
+      ++C.RawEntries;
+      support::InternId Id = Pool.internRef(S);
+      // Structural duplicates within one set (possible after budget-cap
+      // victim joins) collapse to one id; coverage is unaffected.
+      if (std::find(Ids[N].begin(), Ids[N].end(), Id) == Ids[N].end())
+        Ids[N].push_back(Id);
+    }
+
+  // Verify-prune, the per-point-set analogue of writeBoolSection: a
+  // node whose unique in-edge comes from an RPO-earlier annotated node
+  // stores no ids at all when re-applying that edge to the
+  // predecessor's set reproduces the node's id set exactly — the
+  // checker reconstructs it the same way, so pruning is verified sound
+  // at emit time.
+  const dataflow::CFGInfo Info(M);
+  std::vector<uint8_t> Tag(M.NumNodes, 0);
+  for (int N = 0; N != M.NumNodes; ++N) {
+    if (Ids[N].empty())
+      continue; // Tag 0: unreached / empty set.
+    Tag[N] = 1;
+    if (N == M.Entry || Info.rpoNumber(N) <= 0 ||
+        Info.predEdges(N).size() != 1)
+      continue;
+    int EIdx = Info.predEdges(N)[0];
+    int From = M.Edges[EIdx].From;
+    if (Ids[From].empty() || Info.rpoNumber(From) < 0 ||
+        Info.rpoNumber(From) >= Info.rpoNumber(N))
+      continue;
+    std::set<support::InternId> Rebuilt;
+    bool Prunable = true;
+    for (support::InternId SId : Ids[From]) {
+      bool Dead = false;
+      tvla::Structure Out = T.apply(Pool.get(SId), EIdx, Dead, nullptr);
+      if (Dead)
+        continue;
+      long Found = Pool.find(Out);
+      if (Found < 0) {
+        Prunable = false;
+        break;
+      }
+      Rebuilt.insert(static_cast<support::InternId>(Found));
+    }
+    if (Prunable &&
+        Rebuilt == std::set<support::InternId>(Ids[N].begin(), Ids[N].end()))
+      Tag[N] = 2;
+  }
+
+  // Only structures some stored (tag 1) id list references go into the
+  // unique table; ids are remapped to table order.
+  std::vector<long> Remap(Pool.size(), -1);
+  std::vector<support::InternId> Table;
+  for (int N = 0; N != M.NumNodes; ++N) {
+    if (Tag[N] != 1)
+      continue;
+    for (support::InternId Id : Ids[N])
+      if (Remap[Id] < 0) {
+        Remap[Id] = static_cast<long>(Table.size());
+        Table.push_back(Id);
+      }
+  }
+
   Writer W;
   W.u8(Relational ? 1 : 0);
   W.u32(static_cast<uint32_t>(M.NumNodes));
   W.u32(static_cast<uint32_t>(V.Preds.size()));
   W.u32(static_cast<uint32_t>(T.checks().size()));
-  for (const std::vector<tvla::Structure> &Set : Ann.PerNode) {
-    W.u32(static_cast<uint32_t>(Set.size()));
-    for (const tvla::Structure &S : Set) {
-      writeStructure(W, S, V);
-      ++C.RawEntries;
-      ++C.StoredEntries;
-    }
+  W.u32(static_cast<uint32_t>(Table.size()));
+  for (support::InternId Id : Table) {
+    writeStructure(W, Pool.get(Id), V);
+    ++C.StoredEntries;
+  }
+  for (int N = 0; N != M.NumNodes; ++N) {
+    W.u8(Tag[N]);
+    if (Tag[N] != 1)
+      continue;
+    W.u32(static_cast<uint32_t>(Ids[N].size()));
+    for (support::InternId Id : Ids[N])
+      W.u32(static_cast<uint32_t>(Remap[Id]));
   }
   C.Payload = W.take();
   C.seal();

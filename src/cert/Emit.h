@@ -56,14 +56,13 @@ struct SliceEvidence {
 /// assignment fixpoint as a must-assigned annotation and, when slicing
 /// was justified by whole-program points-to (\p PT non-null, mode 1),
 /// the points-to solution for the checker to revalidate against its own
-/// regenerated constraint system. \p CanonicalBP is the *unrestricted*
-/// program: claims index its check enumeration, and \p Outcomes lists
-/// the merged per-check verdicts in that order. \p MayUninit is the
-/// per-node definite-assignment fixpoint of the method (empty inner
-/// vector = entry-unreachable node).
+/// regenerated constraint system. Claims index the canonical
+/// (unrestricted) check enumeration — bp::enumerateChecks — and
+/// \p Outcomes lists the merged per-check verdicts in that order.
+/// \p MayUninit is the per-node definite-assignment fixpoint of the
+/// method (empty inner vector = entry-unreachable node).
 Certificate emitSlicePartition(const cj::CFGMethod &M,
                                const std::vector<SliceEvidence> &Slices,
-                               const bp::BooleanProgram &CanonicalBP,
                                const std::vector<core::CheckOutcome> &Outcomes,
                                const std::vector<dataflow::BitVector> &MayUninit,
                                const dataflow::PointsToResult *PT,

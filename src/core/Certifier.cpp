@@ -424,9 +424,15 @@ bool certifyMethodSliced(const wp::DerivedAbstraction &Abs,
     Universe.push_back(NameAndType.first);
   const dataflow::MethodAliasInfo *Alias =
       PT ? PT->aliasFor(M.name()) : nullptr;
+  // In certificate mode every slice pays for a restricted build, an
+  // annotation section, and the checker's mirror of both, so
+  // alias-refined partitions go through the projected-win gate.
+  dataflow::SliceCostModel Cost;
+  for (const wp::PredicateFamily &Fam : Abs.Families)
+    Cost.FamilySlotTypes.push_back(Fam.VarTypes);
   dataflow::SliceResult SR = dataflow::computeSlices(
       M, Universe, !DA.clean(), dataflow::abstractionReadsRetSources(Abs),
-      Alias);
+      Alias, &Cost);
   Out.Summary.Slices = static_cast<unsigned>(SR.Slices.size());
   if (SR.ForcedSingleReason)
     Out.Summary.ForcedSingleReason = SR.ForcedSingleReason;
@@ -454,14 +460,16 @@ bool certifyMethodSliced(const wp::DerivedAbstraction &Abs,
         return false; // Only the unsliced run may confirm a definite
                       // violation (it can truncate sibling paths).
 
-  // Canonical (unrestricted) program; map each of its checks to the
+  // Canonical (unrestricted) check enumeration; map each check to the
   // owning slice positionally per edge — the same mapping the
-  // certificate checker validates.
-  bp::BooleanProgram Canon = bp::buildBooleanProgram(Abs, M, Quiet);
+  // certificate checker validates. Only the checks are needed, not the
+  // full unrestricted program (whose instantiation would dominate the
+  // sliced path's fixed overhead).
+  const std::vector<bp::Check> CanonChecks = bp::enumerateChecks(Abs, M, Quiet);
   std::map<int, std::vector<size_t>> CanonByEdge;
-  for (size_t I = 0; I != Canon.Checks.size(); ++I)
-    CanonByEdge[Canon.Checks[I].Edge].push_back(I);
-  std::vector<std::pair<int, int>> Owner(Canon.Checks.size(),
+  for (size_t I = 0; I != CanonChecks.size(); ++I)
+    CanonByEdge[CanonChecks[I].Edge].push_back(I);
+  std::vector<std::pair<int, int>> Owner(CanonChecks.size(),
                                          std::make_pair(-1, -1));
   for (size_t SI = 0; SI != BPs.size(); ++SI) {
     std::map<int, std::vector<size_t>> ByEdge;
@@ -474,7 +482,7 @@ bool certifyMethodSliced(const wp::DerivedAbstraction &Abs,
         return false;
       for (size_t K = 0; K != Js.size(); ++K) {
         size_t CI = CIt->second[K];
-        const bp::Check &A = Canon.Checks[CI];
+        const bp::Check &A = CanonChecks[CI];
         const bp::Check &B = BPs[SI].Checks[Js[K]];
         if (A.What != B.What || !(A.Loc == B.Loc) || Owner[CI].first >= 0)
           return false;
@@ -489,16 +497,16 @@ bool certifyMethodSliced(const wp::DerivedAbstraction &Abs,
   // Merged verdicts in canonical order; witnesses come from the owning
   // slice's engine (the restricted program runs on the original CFG, so
   // no edge remapping is needed).
-  std::vector<CheckOutcome> Outcomes(Canon.Checks.size());
+  std::vector<CheckOutcome> Outcomes(CanonChecks.size());
   std::vector<std::unique_ptr<bp::IntraWitnessEngine>> WEs(BPs.size());
-  for (size_t I = 0; I != Canon.Checks.size(); ++I) {
+  for (size_t I = 0; I != CanonChecks.size(); ++I) {
     const int SI = Owner[I].first, J = Owner[I].second;
     Outcomes[I] = Rs[SI].CheckResults[J];
     CheckVerdict V;
     V.Method = M.name();
-    V.Loc = Canon.Checks[I].Loc;
-    V.What = Canon.Checks[I].What;
-    V.ReqLoc = Canon.Checks[I].ReqLoc;
+    V.Loc = CanonChecks[I].Loc;
+    V.What = CanonChecks[I].What;
+    V.ReqLoc = CanonChecks[I].ReqLoc;
     V.Outcome = Outcomes[I];
     if (V.Outcome == CheckOutcome::Potential) {
       if (!WEs[SI])
@@ -516,7 +524,7 @@ bool certifyMethodSliced(const wp::DerivedAbstraction &Abs,
     // Mode-1 (points-to) evidence only when the partition actually used
     // the alias groups; a legacy partition is checkable by the local
     // gates alone.
-    return cert::emitSlicePartition(M, Ev, Canon, Outcomes, MayUninit,
+    return cert::emitSlicePartition(M, Ev, Outcomes, MayUninit,
                                     Alias ? PT : nullptr);
   });
   Out.SliceRuns = static_cast<unsigned>(BPs.size());

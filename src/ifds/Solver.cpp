@@ -130,13 +130,13 @@ void Solver::process(int Id) {
       activate(E.Callee);
       ProcState &CS = Procs[E.Callee];
       // Park this caller edge for future summaries.
-      if (CS.CallersSeen.emplace(Id, EIdx).second)
+      if (CS.CallersSeen.insert(packPair(Id, EIdx)).second)
         CS.Callers.emplace_back(Id, EIdx);
       // Record genuine feeds of callee entry facts.
       std::vector<int> Seeded;
       Prob.flowCall(PE.Proc, EIdx, PE.Fact, Seeded);
       for (int D : Seeded)
-        if (CS.FeedsSeen[D].emplace(Id, EIdx).second)
+        if (CS.FeedsSeen[D].insert(packPair(Id, EIdx)).second)
           CS.Feeds[D].push_back({Id, EIdx});
       // Apply every summary already tabulated for the callee.
       for (const auto &[Key, SumId] : CS.Summaries) {
@@ -221,19 +221,19 @@ void Solver::computeGenuine() {
   std::vector<int> Init;
   Prob.initialFacts(Init);
   for (int D : Init)
-    Genuine.emplace(Prob.entryProc(), D);
+    Genuine.insert(packPair(Prob.entryProc(), D));
 
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (int P = 0; P != Prob.numProcs(); ++P)
       for (int D = 0; D != Prob.numFacts(P); ++D) {
-        if (Genuine.count({P, D}))
+        if (Genuine.count(packPair(P, D)))
           continue;
         for (const FactFeed &F : Procs[P].Feeds[D]) {
           const PathEdge &Caller = Edges[F.CallerPathEdge];
-          if (Genuine.count({Caller.Proc, Caller.EntryFact})) {
-            Genuine.emplace(P, D);
+          if (Genuine.count(packPair(Caller.Proc, Caller.EntryFact))) {
+            Genuine.insert(packPair(P, D));
             Changed = true;
             break;
           }
@@ -241,25 +241,29 @@ void Solver::computeGenuine() {
       }
   }
 
-  for (int P = 0; P != Prob.numProcs(); ++P)
-    ReachedG[P].assign(
-        static_cast<size_t>(Prob.proc(P).NumNodes) * Prob.numFacts(P), 0);
+  for (int P = 0; P != Prob.numProcs(); ++P) {
+    const size_t Bits =
+        static_cast<size_t>(Prob.proc(P).NumNodes) * Prob.numFacts(P);
+    ReachedG[P].assign((Bits + 63) / 64, 0);
+  }
   for (const PathEdge &PE : Edges)
-    if (Genuine.count({PE.Proc, PE.EntryFact}))
-      ReachedG[PE.Proc][static_cast<size_t>(PE.Node) *
-                            Prob.numFacts(PE.Proc) +
-                        PE.Fact] = 1;
+    if (Genuine.count(packPair(PE.Proc, PE.EntryFact))) {
+      const size_t Bit =
+          static_cast<size_t>(PE.Node) * Prob.numFacts(PE.Proc) + PE.Fact;
+      ReachedG[PE.Proc][Bit >> 6] |= 1ull << (Bit & 63);
+    }
 }
 
 bool Solver::reached(int P, int Node, int Fact) const {
   if (!Solved)
     throw CertifyError(CertifyErrorKind::InternalInvariant,
                        "ifds solver queried before solve()", "ifds");
-  return ReachedG[P][static_cast<size_t>(Node) * Prob.numFacts(P) + Fact];
+  const size_t Bit = static_cast<size_t>(Node) * Prob.numFacts(P) + Fact;
+  return (ReachedG[P][Bit >> 6] >> (Bit & 63)) & 1;
 }
 
 bool Solver::genuineEntry(int P, int Fact) const {
-  return Genuine.count({P, Fact}) != 0;
+  return Genuine.count(packPair(P, Fact)) != 0;
 }
 
 const std::vector<Solver::FactFeed> &Solver::feedsOf(int P, int Fact) const {

@@ -32,11 +32,15 @@
 
 #include "ifds/Problem.h"
 #include "support/Budget.h"
+#include "support/Interner.h"
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace canvas {
@@ -117,10 +121,10 @@ private:
     std::map<std::pair<int, int>, int> Summaries;
     /// Caller path edges parked at call edges into this procedure.
     std::vector<std::pair<int, int>> Callers; ///< (path edge, CFG edge).
-    std::set<std::pair<int, int>> CallersSeen;
+    std::unordered_set<uint64_t> CallersSeen; ///< Packed (edge, CFG edge).
     /// Genuine feeds per entry fact.
     std::vector<std::vector<FactFeed>> Feeds;
-    std::vector<std::set<std::pair<int, int>>> FeedsSeen;
+    std::vector<std::unordered_set<uint64_t>> FeedsSeen;
   };
 
   void activate(int P);
@@ -130,18 +134,39 @@ private:
   void applySummary(int CallerPE, int CFGEdge, int SummaryPE);
   void computeGenuine();
 
+  /// Exploded-node keys pack into a word-hashed key (the tabulation's
+  /// hottest lookup; see DESIGN.md "Arena / flat-structure memory
+  /// architecture").
+  struct KeyHash {
+    size_t operator()(const std::array<int, 4> &K) const {
+      uint64_t H = support::hashMix(
+          (static_cast<uint64_t>(static_cast<uint32_t>(K[0])) << 32) |
+          static_cast<uint32_t>(K[1]));
+      return support::hashCombine(
+          H, support::hashMix(
+                 (static_cast<uint64_t>(static_cast<uint32_t>(K[2])) << 32) |
+                 static_cast<uint32_t>(K[3])));
+    }
+  };
+  static uint64_t packPair(int A, int B) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(A)) << 32) |
+           static_cast<uint32_t>(B);
+  }
+
   const Problem &Prob;
   std::vector<ProcState> Procs;
   std::vector<PathEdge> Edges;
-  /// (Proc, EntryFact, Node, Fact) -> path edge id.
-  std::map<std::array<int, 4>, int> Index;
+  /// (Proc, EntryFact, Node, Fact) -> path edge id. Never iterated, so
+  /// the unordered map cannot perturb processing order.
+  std::unordered_map<std::array<int, 4>, int, KeyHash> Index;
   /// Worklist keyed by (RPO priority, id): processes nodes in roughly
   /// topological order, converging in few passes on reducible CFGs.
   std::set<std::pair<long, int>> Worklist;
-  /// Genuine (proc, entry fact) pairs, post-solve.
-  std::set<std::pair<int, int>> Genuine;
-  /// ReachedG[P][Node * numFacts + Fact]: genuine reachability.
-  std::vector<std::vector<char>> ReachedG;
+  /// Genuine (proc, entry fact) pairs, packed, post-solve.
+  std::unordered_set<uint64_t> Genuine;
+  /// Genuine reachability of (Node, Fact) per procedure, one bit per
+  /// exploded node at index Node * numFacts + Fact.
+  std::vector<std::vector<uint64_t>> ReachedG;
   Stats St;
   bool Solved = false;
 };

@@ -62,6 +62,17 @@ inline uint64_t hashBytes(const uint8_t *Data, size_t Len,
   return H;
 }
 
+/// Word-parallel hash over a uint64_t range (mix-and-combine per word);
+/// the building block for hashing packed predicate bit matrices, ~8x
+/// fewer steps than byte-wise FNV over the same payload.
+inline uint64_t hashWords(const uint64_t *Data, size_t Len,
+                          uint64_t Seed = 0xcbf29ce484222325ull) {
+  uint64_t H = Seed;
+  for (size_t I = 0; I != Len; ++I)
+    H = hashCombine(H, hashMix(Data[I]));
+  return H;
+}
+
 /// Running statistics of one pool, surfaced by the TVLA engine in
 /// TVLAResult and the bench drivers' BENCH_JSON lines.
 struct InternStats {
@@ -95,6 +106,41 @@ public:
     Hashes.push_back(H);
     Bucket.push_back(Id);
     return Id;
+  }
+
+  /// Interns by reference: identical to intern(), but the value is only
+  /// copied when the pool admits it as new. The hot path for values
+  /// whose copy is expensive or changes ownership (arena-backed
+  /// tvla::Structure copies detach to the heap) — a hit costs zero
+  /// allocations.
+  InternId internRef(const T &Value) {
+    uint64_t H = Hash(Value);
+    std::vector<InternId> &Bucket = Buckets[H];
+    for (InternId Id : Bucket) {
+      if (Values[Id] == Value) {
+        ++Stats.Hits;
+        return Id;
+      }
+      ++Stats.Collisions;
+    }
+    ++Stats.Misses;
+    InternId Id = static_cast<InternId>(Values.size());
+    Values.push_back(Value);
+    Hashes.push_back(H);
+    Bucket.push_back(Id);
+    return Id;
+  }
+
+  /// Id of the structurally-equal entry, or -1 when absent. Never
+  /// admits the value; the read-only probe of emit-side verify-pruning.
+  long find(const T &Value) const {
+    auto It = Buckets.find(Hash(Value));
+    if (It == Buckets.end())
+      return -1;
+    for (InternId Id : It->second)
+      if (Values[Id] == Value)
+        return static_cast<long>(Id);
+    return -1;
   }
 
   /// The interned value; valid for the pool's lifetime. Callers must not

@@ -25,8 +25,13 @@ public:
   TVLAEngine(const easl::Spec &Spec, const DerivedAbstraction &Abs,
              const cj::CFGMethod &M, const TVLAOptions &Opts,
              DiagnosticEngine &Diags)
-      : Spec(Spec), M(M), Opts(Opts), T(Abs, M, Diags), Acc(T.makeAccum()) {
+      : Spec(Spec), M(M), Opts(Opts), T(Abs, M, Diags), Acc(T.makeAccum()),
+        Scratch(Opts.Cancel) {
     (void)this->Spec;
+    // Per-visit temporaries (edge images, snapshots, blur rebuilds) bump
+    // out of the engine-owned arena; everything that survives a visit is
+    // detached to the heap by interning / copy-assignment.
+    T.setScratchArena(&Scratch);
   }
 
   TVLAResult run() {
@@ -43,11 +48,12 @@ private:
   };
   using StructPool = support::InternPool<Structure, StructureHasher>;
 
-  /// Interns \p S, charging the allocation budget when the pool admits
-  /// a genuinely new structure.
-  support::InternId internStructure(StructPool &Pool, Structure S) {
+  /// Interns \p S (copying — and detaching any arena-backed value to
+  /// the heap — only on a genuine miss), charging the allocation budget
+  /// when the pool admits a new structure.
+  support::InternId internStructure(StructPool &Pool, const Structure &S) {
     size_t Before = Pool.size();
-    support::InternId Id = Pool.intern(std::move(S));
+    support::InternId Id = Pool.internRef(S);
     if (Pool.size() != Before && Opts.Cancel)
       Opts.Cancel->addAllocation(Pool.get(Id).approxBytes());
     return Id;
@@ -103,6 +109,7 @@ private:
       Worklist.pop_front();
       Queued[Node] = false;
       ++Result.Iterations;
+      Scratch.reset(); // Nothing arena-backed survives a visit.
 
       // Snapshot the resident ids: insertions at To == Node must not
       // be transferred in this same visit (they requeue the node).
@@ -127,7 +134,7 @@ private:
             ++Result.TransferCacheMisses;
             Structure Out = T.apply(Pool.get(InId), EIdx, Dead, &Acc);
             if (!Dead)
-              OutId = internStructure(Pool, std::move(Out));
+              OutId = internStructure(Pool, Out);
             Memo.emplace(Key, std::make_pair(Dead, OutId));
           }
           if (Dead)
@@ -148,11 +155,10 @@ private:
               // later dedup lookups would miss it (and a semantically
               // identical state could be admitted twice).
               support::InternId VictimId = Order[To].front();
-              Structure Joined = Pool.get(VictimId);
+              Structure Joined(Pool.get(VictimId), Scratch);
               Changed = Joined.joinWith(Pool.get(OutId), T.vocabulary());
               if (Changed) {
-                support::InternId NewId =
-                    internStructure(Pool, std::move(Joined));
+                support::InternId NewId = internStructure(Pool, Joined);
                 Set[To].erase(VictimId);
                 if (Set[To].insert(NewId).second) {
                   Order[To].front() = NewId;
@@ -209,6 +215,7 @@ private:
       Worklist.pop_front();
       Queued[Node] = false;
       ++Result.Iterations;
+      Scratch.reset();
       Result.MaxStructuresPerPoint =
           std::max(Result.MaxStructuresPerPoint, 1u);
 
@@ -270,6 +277,9 @@ private:
   Transfer T;
   CheckAccum Acc;
   TVLAResult Result;
+  /// Per-visit scratch arena (reset at each worklist pop); new block
+  /// mappings are charged to the allocation budget.
+  support::Arena Scratch;
 };
 
 } // namespace

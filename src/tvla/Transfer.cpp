@@ -1,27 +1,40 @@
 #include "tvla/Transfer.h"
 
+#include <cstdlib>
+
 using namespace canvas;
 using namespace canvas::tvla;
 using namespace canvas::wp;
-
-/// Candidate bindings for one argument of a predicate application: a
-/// fixed individual (quantified slot) or a points-to weighted choice
-/// (binder).
-struct Transfer::ArgChoice {
-  bool Fixed = false;
-  unsigned Node = 0;
-  int PtPred = -1; ///< Valid when !Fixed.
-  std::string Binder;
-};
 
 Transfer::Transfer(const DerivedAbstraction &Abs, const cj::CFGMethod &M,
                    DiagnosticEngine &Diags)
     : Abs(Abs), M(M), Diags(Diags),
       Vocab(tvp::buildVocabulary(Abs, M, Diags)) {
   FamPred.assign(Abs.Families.size(), -1);
-  for (size_t F = 0; F != Abs.Families.size(); ++F)
+  FamTypePred.assign(Abs.Families.size(), {-1, -1});
+  for (size_t F = 0; F != Abs.Families.size(); ++F) {
     FamPred[F] = Vocab.findInstrPred(static_cast<int>(F));
+    const PredicateFamily &Fam = Abs.Families[F];
+    FamTypePred[F][0] = Vocab.findTypePred(Fam.VarTypes[0]);
+    if (Fam.arity() >= 2)
+      FamTypePred[F][1] = Vocab.findTypePred(Fam.VarTypes[1]);
+  }
+  // Constant (ret, ret) diagonals, shared by every allocating edge.
+  for (size_t F = 0; F != Abs.Families.size(); ++F) {
+    int P = FamPred[F];
+    const PredicateFamily &Fam = Abs.Families[F];
+    if (P < 0 || Fam.arity() != 2 || Fam.VarTypes[0] != Fam.VarTypes[1])
+      continue;
+    Conjunction Body;
+    InstResult IR = instantiateFamily(Fam, {"$d", "$d"}, Fam.VarTypes, Body);
+    if (IR == InstResult::True)
+      Diagonals.emplace_back(P, Kleene::True);
+    else if (IR == InstResult::False)
+      Diagonals.emplace_back(P, Kleene::False);
+    // Non-constant diagonals are handled by a (ret, ret) rule.
+  }
   enumerateChecks();
+  buildPlans();
 }
 
 const MethodAbstraction *Transfer::abstractionFor(const cj::Action &A) const {
@@ -47,9 +60,150 @@ void Transfer::enumerateChecks() {
       C.Loc = M.Edges[E].Act.Loc;
       C.What = M.Edges[E].Act.str() + " requires !" +
                MA->RequiresFalse[R].first.str(Abs.Families);
-      ChkIndex[{static_cast<int>(E), static_cast<int>(R)}] =
-          static_cast<int>(Checks.size());
       Checks.push_back(std::move(C));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Edge-plan compilation
+//===----------------------------------------------------------------------===//
+
+/// Resolves one predicate application's names to integers. Arguments
+/// are either quantified target slots ("$qI"), binders of the called
+/// method (weighted by their points-to predicate), or unresolvable —
+/// in which case the application is marked !Valid and evaluates to 1/2,
+/// exactly as the name-by-name evaluation answered for an unknown name.
+Transfer::CompiledApp
+Transfer::compileApp(const PredApp &App,
+                     const std::vector<std::string> &BinderNames,
+                     const std::vector<int> &BinderPt,
+                     const UpdateRule *Rule) const {
+  CompiledApp C;
+  C.Pred = App.Family >= 0 && static_cast<size_t>(App.Family) < FamPred.size()
+               ? FamPred[App.Family]
+               : -1;
+  if (C.Pred < 0 || App.Args.empty() || App.Args.size() > kMaxArity ||
+      App.Args.size() > 2 || BinderNames.size() > kMaxBinders)
+    return C; // Conservative: evaluates to 1/2.
+  C.Args.resize(App.Args.size());
+  for (size_t I = 0; I != App.Args.size(); ++I) {
+    const std::string &A = App.Args[I];
+    if (Rule && A.size() > 2 && A[0] == '$' && A[1] == 'q') {
+      int Slot = std::atoi(A.c_str() + 2);
+      // Ret-bound slots are not quantified; the string evaluator had
+      // no binding for them and answered 1/2.
+      if (Slot < 0 || static_cast<size_t>(Slot) >= Rule->RetSlots.size() ||
+          Rule->RetSlots[Slot]) {
+        C.Args.clear();
+        return C;
+      }
+      C.Args[I].QSlot = Slot;
+      continue;
+    }
+    bool Found = false;
+    for (size_t B = 0; B != BinderNames.size(); ++B)
+      if (BinderNames[B] == A) {
+        C.Args[I].BinderId = static_cast<int>(B);
+        C.Args[I].PtPred = BinderPt[B];
+        Found = true;
+        break;
+      }
+    if (!Found || C.Args[I].PtPred < 0) {
+      C.Args.clear();
+      return C; // Unknown binder / untracked pointer: conservative.
+    }
+  }
+  C.Valid = true;
+  return C;
+}
+
+void Transfer::buildPlans() {
+  Plans.resize(M.Edges.size());
+  // Check indices in (edge, clause) order, mirroring enumerateChecks.
+  size_t NextCheck = 0;
+  for (size_t E = 0; E != M.Edges.size(); ++E) {
+    const cj::Action &A = M.Edges[E].Act;
+    EdgePlan &P = Plans[E];
+    switch (A.K) {
+    case cj::Action::Kind::Nop:
+      break;
+    case cj::Action::Kind::Copy:
+      P.CopyL = Vocab.findVarPred(A.Lhs);
+      P.CopyR = Vocab.findVarPred(A.Args[0]);
+      break;
+    case cj::Action::Kind::Havoc:
+    case cj::Action::Kind::ClientCall:
+    case cj::Action::Kind::OpaqueEffect:
+      if (!A.Lhs.empty()) {
+        P.HavocVarPred = Vocab.findVarPred(A.Lhs);
+        std::string T;
+        for (const auto &[Name, Ty] : M.CompVars)
+          if (Name == A.Lhs)
+            T = Ty;
+        P.HavocTypePred = T.empty() ? -1 : Vocab.findTypePred(T);
+      }
+      break;
+    case cj::Action::Kind::AllocComp:
+    case cj::Action::Kind::CompCall: {
+      const MethodAbstraction *MA = abstractionFor(A);
+      P.MA = MA;
+      if (!MA)
+        break;
+      std::vector<std::string> BinderNames;
+      if (MA->HasThis) {
+        BinderNames.push_back("this");
+        P.BinderPt.push_back(Vocab.findVarPred(A.Recv));
+      }
+      for (size_t I = 0; I != MA->Params.size() && I != A.Args.size(); ++I) {
+        BinderNames.push_back(MA->Params[I].first);
+        P.BinderPt.push_back(Vocab.findVarPred(A.Args[I]));
+      }
+      P.NumBinders = static_cast<unsigned>(BinderNames.size());
+      for (size_t R = 0; R != MA->RequiresFalse.size(); ++R) {
+        P.Requires.push_back(
+            compileApp(MA->RequiresFalse[R].first, BinderNames, P.BinderPt, nullptr));
+        P.CheckIdx.push_back(static_cast<int>(NextCheck++));
+      }
+      P.NewNode = A.K == cj::Action::Kind::AllocComp ||
+                  (!A.Lhs.empty() && MA->ReturnsFresh);
+      P.HavocLhsAfter = !A.Lhs.empty() && !P.NewNode;
+      if (!A.Lhs.empty()) {
+        P.LhsVarPred = Vocab.findVarPred(A.Lhs);
+        P.HavocVarPred = P.LhsVarPred;
+        std::string T;
+        for (const auto &[Name, Ty] : M.CompVars)
+          if (Name == A.Lhs)
+            T = Ty;
+        P.HavocTypePred = T.empty() ? -1 : Vocab.findTypePred(T);
+      }
+      if (P.NewNode)
+        P.RetTypePred = Vocab.findTypePred(MA->ReturnType);
+      for (const UpdateRule &R : MA->Rules) {
+        if (R.IsIdentity)
+          continue;
+        int Pred = FamPred[R.Family];
+        if (Pred < 0)
+          continue;
+        bool UsesRet = false;
+        for (bool B : R.RetSlots)
+          UsesRet |= B;
+        if (UsesRet && !P.NewNode)
+          continue;
+        CompiledRule CR;
+        CR.Rule = &R;
+        CR.Pred = Pred;
+        const PredicateFamily &Fam = Abs.Families[R.Family];
+        CR.Arity = Fam.arity();
+        CR.SlotTypePred.resize(CR.Arity, -1);
+        for (unsigned S = 0; S != CR.Arity && S != 2; ++S)
+          CR.SlotTypePred[S] = FamTypePred[R.Family][S];
+        for (const PredApp &Src : R.Sources)
+          CR.Sources.push_back(compileApp(Src, BinderNames, P.BinderPt, &R));
+        P.Rules.push_back(std::move(CR));
+      }
+      break;
+    }
     }
   }
 }
@@ -59,65 +213,47 @@ void Transfer::enumerateChecks() {
 //===----------------------------------------------------------------------===//
 
 /// Evaluates OR over binder assignments of
-/// AND(points-to weights, instrumentation value), reading
-/// instrumentation values from \p Snapshot.
-Kleene Transfer::evalApp(const Structure &S, const Structure &Snapshot,
-                         const PredApp &App,
-                         const std::map<std::string, unsigned> &QNodes,
-                         const Binding &Binders) const {
-  int P = FamPred[App.Family];
-  if (P < 0)
-    return Kleene::Half; // Unsupported arity: conservative.
-  std::vector<ArgChoice> Choices(App.Args.size());
-  for (size_t I = 0; I != App.Args.size(); ++I) {
-    const std::string &A = App.Args[I];
-    auto QIt = QNodes.find(A);
-    if (QIt != QNodes.end()) {
-      Choices[I].Fixed = true;
-      Choices[I].Node = QIt->second;
-      continue;
-    }
-    auto BIt = Binders.find(A);
-    if (BIt == Binders.end())
-      return Kleene::Half; // Unknown binder: conservative.
-    Choices[I].PtPred = BIt->second;
-    Choices[I].Binder = A;
-  }
-  return evalChoices(S, Snapshot, P, Choices, 0, {}, {}, Kleene::True);
+/// AND(points-to weights, instrumentation value).
+Kleene Transfer::evalApp(const Structure &S, const CompiledApp &App,
+                         const unsigned *QTuple, int *Bound,
+                         unsigned NumBinders) const {
+  if (!App.Valid)
+    return Kleene::Half; // Unsupported shape: conservative.
+  for (unsigned B = 0; B != NumBinders; ++B)
+    Bound[B] = -1;
+  unsigned Tuple[kMaxArity];
+  return evalChoices(S, App, QTuple, Bound, 0, Tuple, Kleene::True);
 }
 
-Kleene Transfer::evalChoices(const Structure &S, const Structure &Snapshot,
-                             int P, std::vector<ArgChoice> &Choices, size_t I,
-                             std::vector<unsigned> Tuple,
-                             std::map<std::string, unsigned> Bound,
-                             Kleene Weight) const {
+Kleene Transfer::evalChoices(const Structure &S, const CompiledApp &App,
+                             const unsigned *QTuple, int *Bound, size_t I,
+                             unsigned *Tuple, Kleene Weight) const {
   if (Weight == Kleene::False)
     return Kleene::False;
-  if (I == Choices.size())
-    return kAnd(Weight, Snapshot.at(P, Tuple));
-  const ArgChoice &C = Choices[I];
-  if (C.Fixed) {
-    Tuple.push_back(C.Node);
-    return evalChoices(S, Snapshot, P, Choices, I + 1, std::move(Tuple),
-                       std::move(Bound), Weight);
+  if (I == App.Args.size()) {
+    Kleene V = App.Args.size() == 1 ? S.unary(App.Pred, Tuple[0])
+                                    : S.binary(App.Pred, Tuple[0], Tuple[1]);
+    return kAnd(Weight, V);
   }
-  auto BIt = Bound.find(C.Binder);
-  if (BIt != Bound.end()) {
-    Tuple.push_back(BIt->second);
-    return evalChoices(S, Snapshot, P, Choices, I + 1, std::move(Tuple),
-                       std::move(Bound), Weight);
+  const CompiledArg &C = App.Args[I];
+  if (C.QSlot >= 0) {
+    Tuple[I] = QTuple[C.QSlot];
+    return evalChoices(S, App, QTuple, Bound, I + 1, Tuple, Weight);
+  }
+  if (Bound[C.BinderId] >= 0) {
+    Tuple[I] = static_cast<unsigned>(Bound[C.BinderId]);
+    return evalChoices(S, App, QTuple, Bound, I + 1, Tuple, Weight);
   }
   Kleene Acc = Kleene::False;
   for (unsigned Node = 0; Node != S.numNodes(); ++Node) {
     Kleene Pt = S.unary(C.PtPred, Node);
     if (Pt == Kleene::False)
       continue;
-    std::vector<unsigned> T2 = Tuple;
-    T2.push_back(Node);
-    std::map<std::string, unsigned> B2 = Bound;
-    B2[C.Binder] = Node;
-    Acc = kOr(Acc, evalChoices(S, Snapshot, P, Choices, I + 1, std::move(T2),
-                               std::move(B2), kAnd(Weight, Pt)));
+    Tuple[I] = Node;
+    Bound[C.BinderId] = static_cast<int>(Node);
+    Acc = kOr(Acc, evalChoices(S, App, QTuple, Bound, I + 1, Tuple,
+                               kAnd(Weight, Pt)));
+    Bound[C.BinderId] = -1;
     if (Acc == Kleene::True)
       return Acc;
   }
@@ -128,32 +264,17 @@ Kleene Transfer::evalChoices(const Structure &S, const Structure &Snapshot,
 // Transfer
 //===----------------------------------------------------------------------===//
 
-std::string Transfer::typeOfVar(const std::string &V) const {
-  for (const auto &[Name, T] : M.CompVars)
-    if (Name == V)
-      return T;
-  return "";
-}
-
-bool Transfer::nodeHasType(const Structure &S, unsigned Node,
-                           const std::string &Type) const {
-  int P = Vocab.findTypePred(Type);
-  return P >= 0 && S.unary(P, Node) == Kleene::True;
-}
-
-void Transfer::havocVar(Structure &S, const std::string &Var) const {
-  std::string T = typeOfVar(Var);
+void Transfer::havocVar(Structure &S, int VarPred, int TypePred) const {
   // A fresh, unconstrained, possibly-aliasing object of the right
   // type.
   unsigned U = S.addNode();
   S.setSummary(U, true);
-  if (int TP = Vocab.findTypePred(T); TP >= 0)
-    S.setUnary(TP, U, Kleene::True);
+  if (TypePred >= 0)
+    S.setUnary(TypePred, U, Kleene::True);
   setInstrHalfAround(S, U);
-  int VP = Vocab.findVarPred(Var);
   for (unsigned Node = 0; Node != S.numNodes(); ++Node)
-    S.setUnary(VP, Node,
-               nodeHasType(S, Node, T) ? Kleene::Half : Kleene::False);
+    S.setUnary(VarPred, Node,
+               nodeHasType(S, Node, TypePred) ? Kleene::Half : Kleene::False);
 }
 
 /// Sets every instrumentation tuple involving \p U (with matching slot
@@ -163,18 +284,17 @@ void Transfer::setInstrHalfAround(Structure &S, unsigned U) const {
     int P = FamPred[F];
     if (P < 0)
       continue;
-    const PredicateFamily &Fam = Abs.Families[F];
-    if (Fam.arity() == 1) {
-      if (nodeHasType(S, U, Fam.VarTypes[0]))
+    if (Abs.Families[F].arity() == 1) {
+      if (nodeHasType(S, U, FamTypePred[F][0]))
         S.setUnary(P, U, Kleene::Half);
       continue;
     }
     for (unsigned O = 0; O != S.numNodes(); ++O) {
-      if (nodeHasType(S, U, Fam.VarTypes[0]) &&
-          nodeHasType(S, O, Fam.VarTypes[1]))
+      if (nodeHasType(S, U, FamTypePred[F][0]) &&
+          nodeHasType(S, O, FamTypePred[F][1]))
         S.setBinary(P, U, O, Kleene::Half);
-      if (nodeHasType(S, O, Fam.VarTypes[0]) &&
-          nodeHasType(S, U, Fam.VarTypes[1]))
+      if (nodeHasType(S, O, FamTypePred[F][0]) &&
+          nodeHasType(S, U, FamTypePred[F][1]))
         S.setBinary(P, O, U, Kleene::Half);
     }
   }
@@ -185,16 +305,15 @@ void Transfer::clobberInstr(Structure &S) const {
     int P = FamPred[F];
     if (P < 0)
       continue;
-    const PredicateFamily &Fam = Abs.Families[F];
     for (unsigned A = 0; A != S.numNodes(); ++A) {
-      if (!nodeHasType(S, A, Fam.VarTypes[0]))
+      if (!nodeHasType(S, A, FamTypePred[F][0]))
         continue;
-      if (Fam.arity() == 1) {
+      if (Abs.Families[F].arity() == 1) {
         S.setUnary(P, A, Kleene::Half);
         continue;
       }
       for (unsigned B = 0; B != S.numNodes(); ++B)
-        if (nodeHasType(S, B, Fam.VarTypes[1]))
+        if (nodeHasType(S, B, FamTypePred[F][1]))
           S.setBinary(P, A, B, Kleene::Half);
     }
   }
@@ -203,108 +322,88 @@ void Transfer::clobberInstr(Structure &S) const {
 Structure Transfer::apply(const Structure &In, int EdgeIdx, bool &Dead,
                           CheckAccum *Acc) const {
   const cj::Action &A = M.Edges[EdgeIdx].Act;
-  Structure S = In;
+  const EdgePlan &Plan = Plans[EdgeIdx];
+  Structure S = Scratch ? Structure(In, *Scratch) : In;
   switch (A.K) {
   case cj::Action::Kind::Nop:
     return S;
   case cj::Action::Kind::Copy: {
-    int L = Vocab.findVarPred(A.Lhs);
-    int R = Vocab.findVarPred(A.Args[0]);
     for (unsigned Node = 0; Node != S.numNodes(); ++Node)
-      S.setUnary(L, Node, S.unary(R, Node));
+      S.setUnary(Plan.CopyL, Node, S.unary(Plan.CopyR, Node));
     S.blur(Vocab);
     return S;
   }
   case cj::Action::Kind::Havoc:
-    havocVar(S, A.Lhs);
+    havocVar(S, Plan.HavocVarPred, Plan.HavocTypePred);
     S.blur(Vocab);
     return S;
   case cj::Action::Kind::ClientCall:
   case cj::Action::Kind::OpaqueEffect:
     clobberInstr(S);
     if (!A.Lhs.empty())
-      havocVar(S, A.Lhs);
+      havocVar(S, Plan.HavocVarPred, Plan.HavocTypePred);
     S.blur(Vocab);
     return S;
   case cj::Action::Kind::AllocComp:
   case cj::Action::Kind::CompCall:
-    return transferComponentCall(std::move(S), EdgeIdx, A, Dead, Acc);
+    return transferComponentCall(std::move(S), Plan, A, Dead, Acc);
   }
   return S;
 }
 
-Structure Transfer::transferComponentCall(Structure S, int EdgeIdx,
+Structure Transfer::transferComponentCall(Structure S, const EdgePlan &Plan,
                                           const cj::Action &A, bool &Dead,
                                           CheckAccum *Acc) const {
-  const MethodAbstraction *MA = abstractionFor(A);
-  if (!MA) {
+  if (!Plan.MA) {
     clobberInstr(S);
     S.blur(Vocab);
     return S;
   }
 
-  // Binder environment: binder name -> pt predicate.
-  Binding Binders;
-  if (MA->HasThis)
-    Binders["this"] = Vocab.findVarPred(A.Recv);
-  for (size_t I = 0; I != MA->Params.size() && I != A.Args.size(); ++I)
-    Binders[MA->Params[I].first] = Vocab.findVarPred(A.Args[I]);
+  int Bound[kMaxBinders];
 
   // 1. Requires obligations against the pre-state; a failed clause
   // throws, so continuing executions satisfied it (assume-refinement).
-  for (size_t R = 0; R != MA->RequiresFalse.size(); ++R) {
-    const PredApp &App = MA->RequiresFalse[R].first;
-    Kleene V = evalApp(S, S, App, {}, Binders);
+  for (size_t R = 0; R != Plan.Requires.size(); ++R) {
+    const CompiledApp &App = Plan.Requires[R];
+    Kleene V = evalApp(S, App, nullptr, Bound, Plan.NumBinders);
     if (Acc)
-      Acc->note(ChkIndex.at({EdgeIdx, static_cast<int>(R)}), V);
+      Acc->note(static_cast<size_t>(Plan.CheckIdx[R]), V);
     if (V == Kleene::True) {
       Dead = true; // Every execution throws here.
       return S;
     }
     if (V == Kleene::Half)
-      assumeAppFalse(S, App, Binders);
+      assumeAppFalse(S, App);
   }
 
   // 2. Result modeling.
-  bool NewNode = A.K == cj::Action::Kind::AllocComp ||
-                 (!A.Lhs.empty() && MA->ReturnsFresh);
-  bool HavocLhsAfter = !A.Lhs.empty() && !NewNode;
   unsigned N = 0;
-  if (NewNode) {
+  if (Plan.NewNode) {
     N = S.addNode();
-    if (int TP = Vocab.findTypePred(MA->ReturnType); TP >= 0)
-      S.setUnary(TP, N, Kleene::True);
-    int VP = Vocab.findVarPred(A.Lhs);
+    if (Plan.RetTypePred >= 0)
+      S.setUnary(Plan.RetTypePred, N, Kleene::True);
     for (unsigned Node = 0; Node != S.numNodes(); ++Node)
-      S.setUnary(VP, Node, kleeneOf(Node == N));
+      S.setUnary(Plan.LhsVarPred, Node, kleeneOf(Node == N));
   }
 
   // 3. Instrumentation updates from the derived rules (parallel:
   // sources read the snapshot).
-  Structure Snapshot = S;
-  for (const UpdateRule &R : MA->Rules) {
-    if (R.IsIdentity)
-      continue;
-    int P = FamPred[R.Family];
-    if (P < 0)
-      continue;
-    bool UsesRet = false;
-    for (bool B : R.RetSlots)
-      UsesRet |= B;
-    if (UsesRet && !NewNode)
-      continue;
-    applyRule(S, Snapshot, R, Binders, NewNode, N);
+  Structure Snapshot = Scratch ? Structure(S, *Scratch) : S;
+  for (const CompiledRule &CR : Plan.Rules) {
+    unsigned Tuple[kMaxArity];
+    enumerateTargets(S, Snapshot, CR, Plan, N, 0, Tuple, Bound);
   }
   // Tuples of the new node for masks the derivation folded away as
   // constants (e.g. same(ret, ret) == 1).
-  if (NewNode)
+  if (Plan.NewNode)
     applyConstantDiagonals(S, N);
 
-  if (HavocLhsAfter) {
+  if (Plan.HavocLhsAfter) {
     Diags.warning(A.Loc, "result of '" + A.str() +
                              "' is not provably fresh; treating "
                              "conservatively");
-    havocVar(S, A.Lhs);
+    havocVar(S, Plan.HavocVarPred, Plan.HavocTypePred);
   }
   S.blur(Vocab);
   return S;
@@ -314,25 +413,24 @@ Structure Transfer::transferComponentCall(Structure S, int EdgeIdx,
 /// requires predicate was false. When every binder resolves to one
 /// definite individual, the instrumentation value at that tuple is
 /// forced to 0.
-void Transfer::assumeAppFalse(Structure &S, const PredApp &App,
-                              const Binding &Binders) const {
-  int P = FamPred[App.Family];
-  if (P < 0)
+void Transfer::assumeAppFalse(Structure &S, const CompiledApp &App) const {
+  if (!App.Valid)
     return;
-  std::vector<unsigned> Tuple;
-  std::map<std::string, unsigned> Bound;
-  for (const std::string &Arg : App.Args) {
-    auto BIt = Binders.find(Arg);
-    if (BIt == Binders.end())
-      return;
-    auto Prev = Bound.find(Arg);
-    if (Prev != Bound.end()) {
-      Tuple.push_back(Prev->second);
+  unsigned Tuple[kMaxArity];
+  int Bound[kMaxBinders];
+  for (unsigned B = 0; B != kMaxBinders; ++B)
+    Bound[B] = -1;
+  for (size_t I = 0; I != App.Args.size(); ++I) {
+    const CompiledArg &C = App.Args[I];
+    if (C.BinderId < 0)
+      return; // Quantified slot in a requires clause: cannot refine.
+    if (Bound[C.BinderId] >= 0) {
+      Tuple[I] = static_cast<unsigned>(Bound[C.BinderId]);
       continue;
     }
     int Definite = -1;
     for (unsigned Node = 0; Node != S.numNodes(); ++Node) {
-      Kleene Pt = S.unary(BIt->second, Node);
+      Kleene Pt = S.unary(C.PtPred, Node);
       if (Pt == Kleene::Half)
         return; // Indefinite pointer: cannot refine strongly.
       if (Pt == Kleene::True) {
@@ -343,72 +441,49 @@ void Transfer::assumeAppFalse(Structure &S, const PredApp &App,
     }
     if (Definite < 0 || S.isSummary(Definite))
       return;
-    Bound[Arg] = static_cast<unsigned>(Definite);
-    Tuple.push_back(static_cast<unsigned>(Definite));
+    Bound[C.BinderId] = Definite;
+    Tuple[I] = static_cast<unsigned>(Definite);
   }
-  S.setAt(P, Tuple, Kleene::False);
-}
-
-void Transfer::applyRule(Structure &S, const Structure &Snapshot,
-                         const UpdateRule &R, const Binding &Binders,
-                         bool NewNode, unsigned N) const {
-  const PredicateFamily &Fam = Abs.Families[R.Family];
-  int P = FamPred[R.Family];
-  std::vector<unsigned> Tuple(Fam.arity());
-  enumerateTargets(S, Snapshot, R, Fam, P, Binders, NewNode, N, 0, Tuple);
+  if (App.Args.size() == 1)
+    S.setUnary(App.Pred, Tuple[0], Kleene::False);
+  else
+    S.setBinary(App.Pred, Tuple[0], Tuple[1], Kleene::False);
 }
 
 void Transfer::enumerateTargets(Structure &S, const Structure &Snapshot,
-                                const UpdateRule &R,
-                                const PredicateFamily &Fam, int P,
-                                const Binding &Binders, bool NewNode,
-                                unsigned N, unsigned Slot,
-                                std::vector<unsigned> &Tuple) const {
-  if (Slot == Fam.arity()) {
-    std::map<std::string, unsigned> QNodes;
-    for (unsigned I = 0; I != Fam.arity(); ++I)
-      if (!R.RetSlots[I])
-        QNodes["$q" + std::to_string(I)] = Tuple[I];
+                                const CompiledRule &CR, const EdgePlan &Plan,
+                                unsigned N, unsigned Slot, unsigned *Tuple,
+                                int *Bound) const {
+  if (Slot == CR.Arity) {
+    const UpdateRule &R = *CR.Rule;
     Kleene V = R.ConstantTrue ? Kleene::True : Kleene::False;
-    for (const PredApp &Src : R.Sources) {
+    for (const CompiledApp &Src : CR.Sources) {
       if (V == Kleene::True)
         break;
-      V = kOr(V, evalApp(Snapshot, Snapshot, Src, QNodes, Binders));
+      V = kOr(V, evalApp(Snapshot, Src, Tuple, Bound, Plan.NumBinders));
     }
-    S.setAt(P, Tuple, V);
+    if (CR.Arity == 1)
+      S.setUnary(CR.Pred, Tuple[0], V);
+    else
+      S.setBinary(CR.Pred, Tuple[0], Tuple[1], V);
     return;
   }
-  if (R.RetSlots[Slot]) {
+  if (CR.Rule->RetSlots[Slot]) {
     Tuple[Slot] = N;
-    enumerateTargets(S, Snapshot, R, Fam, P, Binders, NewNode, N, Slot + 1,
-                     Tuple);
+    enumerateTargets(S, Snapshot, CR, Plan, N, Slot + 1, Tuple, Bound);
     return;
   }
   for (unsigned Node = 0; Node != S.numNodes(); ++Node) {
-    if (NewNode && Node == N)
+    if (Plan.NewNode && Node == N)
       continue; // The fresh node's tuples come from ret rules.
-    if (!nodeHasType(S, Node, Fam.VarTypes[Slot]))
+    if (!nodeHasType(S, Node, CR.SlotTypePred[Slot]))
       continue;
     Tuple[Slot] = Node;
-    enumerateTargets(S, Snapshot, R, Fam, P, Binders, NewNode, N, Slot + 1,
-                     Tuple);
+    enumerateTargets(S, Snapshot, CR, Plan, N, Slot + 1, Tuple, Bound);
   }
 }
 
 void Transfer::applyConstantDiagonals(Structure &S, unsigned N) const {
-  for (size_t F = 0; F != Abs.Families.size(); ++F) {
-    int P = FamPred[F];
-    if (P < 0 || Abs.Families[F].arity() != 2)
-      continue;
-    const PredicateFamily &Fam = Abs.Families[F];
-    if (Fam.VarTypes[0] != Fam.VarTypes[1])
-      continue;
-    Conjunction Body;
-    InstResult IR = instantiateFamily(Fam, {"$d", "$d"}, Fam.VarTypes, Body);
-    if (IR == InstResult::True)
-      S.setBinary(P, N, N, Kleene::True);
-    else if (IR == InstResult::False)
-      S.setBinary(P, N, N, Kleene::False);
-    // Non-constant diagonals were handled by a (ret, ret) rule.
-  }
+  for (const auto &[P, V] : Diagonals)
+    S.setBinary(P, N, N, V);
 }

@@ -22,7 +22,8 @@
 #include "tvp/Program.h"
 #include "wp/Abstraction.h"
 
-#include <map>
+#include <array>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -83,43 +84,99 @@ public:
   Structure apply(const Structure &In, int EdgeIdx, bool &Dead,
                   CheckAccum *Acc) const;
 
+  /// Optional bump arena for apply()'s temporaries *and* its returned
+  /// structure. The owner must copy out any result it keeps (interning
+  /// and copy-assignment into heap structures both detach) and reset
+  /// the arena between fixpoint visits; see support/Arena.h.
+  void setScratchArena(support::Arena *A) { Scratch = A; }
+
 private:
-  struct ArgChoice;
-  using Binding = std::map<std::string, int>; ///< Binder -> pt pred.
+  /// Maximum predicate-application arity the compiled evaluator
+  /// supports (vocabulary building already treats wider families
+  /// conservatively) and maximum binder count per call edge.
+  static constexpr size_t kMaxArity = 4;
+  static constexpr size_t kMaxBinders = 16;
+
+  /// One argument of a compiled predicate application: either a
+  /// quantified target-tuple slot or a binder whose candidates are
+  /// weighted by a points-to predicate. All names are resolved to
+  /// integers when the edge plan is built, so evaluation never touches
+  /// a string or a string-keyed map.
+  struct CompiledArg {
+    int QSlot = -1;    ///< >= 0: index into the target tuple.
+    int BinderId = -1; ///< >= 0: binder choice, weighted by PtPred.
+    int PtPred = -1;
+  };
+
+  /// A compiled predicate application. !Valid marks the conservative
+  /// cases the string evaluator answered with 1/2 (unsupported arity,
+  /// unknown binder, a source naming a ret-bound slot).
+  struct CompiledApp {
+    int Pred = -1;
+    bool Valid = false;
+    std::vector<CompiledArg> Args;
+  };
+
+  /// A non-identity update rule applicable on an edge, with the target
+  /// family's per-slot type predicates resolved.
+  struct CompiledRule {
+    const wp::UpdateRule *Rule = nullptr;
+    int Pred = -1;
+    unsigned Arity = 0;
+    std::vector<int> SlotTypePred; ///< -1 when the slot type is untracked.
+    std::vector<CompiledApp> Sources;
+  };
+
+  /// Everything Transfer::apply needs for one CFG edge, resolved to
+  /// integers at construction time (the transfer function is applied
+  /// thousands of times per fixpoint; the plan is built once).
+  struct EdgePlan {
+    const wp::MethodAbstraction *MA = nullptr; ///< Component-call edges.
+    unsigned NumBinders = 0;
+    std::vector<int> BinderPt;            ///< Binder id -> pt var pred.
+    std::vector<CompiledApp> Requires;    ///< Aligned with RequiresFalse.
+    std::vector<int> CheckIdx;            ///< Aligned with RequiresFalse.
+    std::vector<CompiledRule> Rules;
+    bool NewNode = false;
+    bool HavocLhsAfter = false;
+    int LhsVarPred = -1;
+    int RetTypePred = -1;
+    /// Copy edges: lhs/rhs variable predicates.
+    int CopyL = -1, CopyR = -1;
+    /// Havoc'd variable (Havoc edges, opaque lhs, non-fresh results).
+    int HavocVarPred = -1, HavocTypePred = -1;
+  };
 
   const wp::MethodAbstraction *abstractionFor(const cj::Action &A) const;
   void enumerateChecks();
+  void buildPlans();
+  CompiledApp compileApp(const wp::PredApp &App,
+                         const std::vector<std::string> &BinderNames,
+                         const std::vector<int> &BinderPt,
+                         const wp::UpdateRule *Rule) const;
 
-  Kleene evalApp(const Structure &S, const Structure &Snapshot,
-                 const wp::PredApp &App,
-                 const std::map<std::string, unsigned> &QNodes,
-                 const Binding &Binders) const;
-  Kleene evalChoices(const Structure &S, const Structure &Snapshot, int P,
-                     std::vector<ArgChoice> &Choices, size_t I,
-                     std::vector<unsigned> Tuple,
-                     std::map<std::string, unsigned> Bound,
-                     Kleene Weight) const;
+  Kleene evalApp(const Structure &S, const CompiledApp &App,
+                 const unsigned *QTuple, int *Bound,
+                 unsigned NumBinders) const;
+  Kleene evalChoices(const Structure &S, const CompiledApp &App,
+                     const unsigned *QTuple, int *Bound, size_t I,
+                     unsigned *Tuple, Kleene Weight) const;
 
-  std::string typeOfVar(const std::string &V) const;
-  bool nodeHasType(const Structure &S, unsigned Node,
-                   const std::string &Type) const;
-  void havocVar(Structure &S, const std::string &Var) const;
+  bool nodeHasType(const Structure &S, unsigned Node, int TypePred) const {
+    return TypePred >= 0 && S.unary(TypePred, Node) == Kleene::True;
+  }
+  void havocVar(Structure &S, int VarPred, int TypePred) const;
   void setInstrHalfAround(Structure &S, unsigned U) const;
   void clobberInstr(Structure &S) const;
 
-  Structure transferComponentCall(Structure S, int EdgeIdx,
+  Structure transferComponentCall(Structure S, const EdgePlan &Plan,
                                   const cj::Action &A, bool &Dead,
                                   CheckAccum *Acc) const;
-  void assumeAppFalse(Structure &S, const wp::PredApp &App,
-                      const Binding &Binders) const;
-  void applyRule(Structure &S, const Structure &Snapshot,
-                 const wp::UpdateRule &R, const Binding &Binders,
-                 bool NewNode, unsigned N) const;
+  void assumeAppFalse(Structure &S, const CompiledApp &App) const;
   void enumerateTargets(Structure &S, const Structure &Snapshot,
-                        const wp::UpdateRule &R,
-                        const wp::PredicateFamily &Fam, int P,
-                        const Binding &Binders, bool NewNode, unsigned N,
-                        unsigned Slot, std::vector<unsigned> &Tuple) const;
+                        const CompiledRule &CR, const EdgePlan &Plan,
+                        unsigned N, unsigned Slot, unsigned *Tuple,
+                        int *Bound) const;
   void applyConstantDiagonals(Structure &S, unsigned N) const;
 
   const wp::DerivedAbstraction &Abs;
@@ -127,8 +184,14 @@ private:
   DiagnosticEngine &Diags;
   tvp::Vocabulary Vocab;
   std::vector<int> FamPred; ///< Family index -> instrumentation pred.
+  /// Family index -> resolved type predicate per slot (-1 untracked).
+  std::vector<std::array<int, 2>> FamTypePred;
+  /// Arity-2 families with equal slot types whose (ret, ret) diagonal
+  /// folds to a constant: (pred, value), precomputed once.
+  std::vector<std::pair<int, Kleene>> Diagonals;
   std::vector<TransferCheck> Checks;
-  std::map<std::pair<int, int>, int> ChkIndex; ///< (edge, clause) -> check.
+  std::vector<EdgePlan> Plans; ///< One per CFG edge.
+  support::Arena *Scratch = nullptr; ///< See setScratchArena().
 };
 
 } // namespace tvla

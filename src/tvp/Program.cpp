@@ -1,5 +1,8 @@
 #include "tvp/Program.h"
 
+#include <memory>
+#include <mutex>
+
 using namespace canvas;
 using namespace canvas::tvp;
 using namespace canvas::wp;
@@ -23,6 +26,38 @@ int Vocabulary::findInstrPred(int Family) const {
     if (Preds[I].K == Pred::Kind::Instr && Preds[I].Family == Family)
       return static_cast<int>(I);
   return -1;
+}
+
+const PredLayout *tvp::internLayout(PredLayout L) {
+  static std::mutex Mu;
+  static std::vector<std::unique_ptr<PredLayout>> Pool;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const std::unique_ptr<PredLayout> &P : Pool)
+    if (*P == L)
+      return P.get();
+  Pool.push_back(std::make_unique<PredLayout>(std::move(L)));
+  return Pool.back().get();
+}
+
+void Vocabulary::finalizeLayout() {
+  PredLayout L;
+  L.Slot.assign(Preds.size(), -1);
+  L.Arity.resize(Preds.size());
+  L.IsAbs.resize(Preds.size());
+  L.IsVarPT.resize(Preds.size());
+  for (size_t P = 0; P != Preds.size(); ++P) {
+    L.Arity[P] = static_cast<uint8_t>(Preds[P].Arity);
+    L.IsAbs[P] = Preds[P].Abstraction;
+    L.IsVarPT[P] = Preds[P].K == Pred::Kind::VarPointsTo;
+    if (Preds[P].Arity == 1) {
+      L.Slot[P] = static_cast<int>(L.NumUnary++);
+      if (Preds[P].Abstraction)
+        L.AbsUnary.push_back(static_cast<int>(P));
+    } else {
+      L.Slot[P] = static_cast<int>(L.NumBinary++);
+    }
+  }
+  Layout = internLayout(std::move(L));
 }
 
 std::string Vocabulary::str() const {
@@ -87,6 +122,7 @@ Vocabulary tvp::buildVocabulary(const DerivedAbstraction &Abs,
     P.Abstraction = Fam.arity() == 1;
     V.Preds.push_back(std::move(P));
   }
+  V.finalizeLayout();
   return V;
 }
 

@@ -49,15 +49,56 @@ struct Pred {
   bool Abstraction = false;
 };
 
+/// The shape of a vocabulary, reduced to what the packed
+/// tvla::Structure representation needs for entry arithmetic: per-pred
+/// arity/abstraction/points-to flags, each predicate's dense slot among
+/// same-arity predicates, and the unary abstraction predicates in pred
+/// order (the canonical-key alphabet).
+///
+/// Layouts are interned with process lifetime (internLayout) so a
+/// Structure can hold one by plain pointer and outlive the Vocabulary
+/// it was built against — fixpoint annotations and decoded certificate
+/// structures routinely outlive their engine's vocabulary instance.
+struct PredLayout {
+  unsigned NumUnary = 0;
+  unsigned NumBinary = 0;
+  std::vector<int> Slot;          ///< Per pred: index among same-arity preds.
+  std::vector<int> AbsUnary;      ///< Unary abstraction preds, in pred order.
+  std::vector<uint8_t> Arity;     ///< Per pred.
+  std::vector<uint8_t> IsAbs;     ///< Per pred: drives canonical keys.
+  std::vector<uint8_t> IsVarPT;   ///< Per pred: Kind::VarPointsTo.
+
+  bool operator==(const PredLayout &O) const {
+    return NumUnary == O.NumUnary && NumBinary == O.NumBinary &&
+           Slot == O.Slot && AbsUnary == O.AbsUnary && Arity == O.Arity &&
+           IsAbs == O.IsAbs && IsVarPT == O.IsVarPT;
+  }
+};
+
+/// Interns \p L with process lifetime (deliberately never freed — the
+/// number of distinct layouts is bounded by distinct vocabulary shapes,
+/// a few dozen). Thread-safe.
+const PredLayout *internLayout(PredLayout L);
+
 /// The TVP vocabulary for one client method against one derived
-/// abstraction.
+/// abstraction. Carries its interned PredLayout (see above);
+/// finalizeLayout() derives it and buildVocabulary() always leaves it
+/// fresh.
 struct Vocabulary {
   std::vector<Pred> Preds;
+  const PredLayout *Layout = nullptr; ///< Process-lifetime; see PredLayout.
 
   int findTypePred(const std::string &Type) const;
   int findVarPred(const std::string &Var) const;
   int findInstrPred(int Family) const;
   std::string str() const;
+
+  /// Re-derives and interns the layout from Preds. Idempotent; must be
+  /// called after any mutation of Preds (buildVocabulary does).
+  void finalizeLayout();
+  bool layoutReady() const {
+    return Layout && Layout->Arity.size() == Preds.size();
+  }
 };
 
 /// Builds the vocabulary; families of arity > 2 are reported to

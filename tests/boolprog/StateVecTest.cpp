@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+// Differential tests for the packed StateVec representation: every
+// operation is mirrored against the unpacked std::vector<ValueSet>
+// model (the representation the 2-bit lanes replaced) and must agree
+// on every read, join result, and change bit — across the inline /
+// heap buffer boundary at 64 variables.
+//===----------------------------------------------------------------------===//
+
+#include "boolprog/StateVec.h"
+
+#include <gtest/gtest.h>
+#include <random>
+#include <vector>
+
+using namespace canvas;
+using namespace canvas::bp;
+
+namespace {
+
+ValueSet randomVS(std::mt19937 &Rng) {
+  return static_cast<ValueSet>(Rng() % 4);
+}
+
+TEST(StateVecTest, DefaultIsDisengagedUnreachableMarker) {
+  StateVec S;
+  EXPECT_FALSE(S.engaged());
+  EXPECT_EQ(S.size(), 0u);
+  StateVec T(3, ValueSet::Both);
+  EXPECT_TRUE(T.engaged());
+  EXPECT_NE(S, T);
+}
+
+TEST(StateVecTest, FillConstructorMatchesReference) {
+  for (unsigned NV : {1u, 31u, 32u, 33u, 64u, 65u, 200u}) {
+    for (ValueSet Fill :
+         {ValueSet::Bottom, ValueSet::Zero, ValueSet::One, ValueSet::Both}) {
+      StateVec S(NV, Fill);
+      ASSERT_EQ(S.size(), NV);
+      for (unsigned V = 0; V != NV; ++V)
+        ASSERT_EQ(S.get(V), Fill) << NV << " vars, var " << V;
+    }
+  }
+}
+
+TEST(StateVecTest, RandomWritesMatchVectorReference) {
+  for (unsigned NV : {7u, 32u, 63u, 64u, 65u, 130u}) {
+    std::mt19937 Rng(NV);
+    StateVec S(NV, ValueSet::Bottom);
+    std::vector<ValueSet> Ref(NV, ValueSet::Bottom);
+    for (int Op = 0; Op != 500; ++Op) {
+      const unsigned V = Rng() % NV;
+      const ValueSet Val = randomVS(Rng);
+      S.set(V, Val);
+      Ref[V] = Val;
+    }
+    EXPECT_EQ(S.unpack(), Ref);
+    EXPECT_EQ(S, StateVec::pack(Ref));
+  }
+}
+
+TEST(StateVecTest, JoinMatchesPerVariableReference) {
+  for (unsigned NV : {5u, 64u, 65u, 100u}) {
+    std::mt19937 Rng(NV * 7 + 1);
+    for (int Trial = 0; Trial != 20; ++Trial) {
+      std::vector<ValueSet> RA(NV), RB(NV);
+      for (unsigned V = 0; V != NV; ++V) {
+        RA[V] = randomVS(Rng);
+        RB[V] = randomVS(Rng);
+      }
+      StateVec A = StateVec::pack(RA);
+      const StateVec B = StateVec::pack(RB);
+
+      std::vector<ValueSet> RJ(NV);
+      bool RefChanged = false;
+      for (unsigned V = 0; V != NV; ++V) {
+        RJ[V] = vsJoin(RA[V], RB[V]);
+        RefChanged |= RJ[V] != RA[V];
+      }
+      EXPECT_EQ(A.joinWith(B), RefChanged);
+      EXPECT_EQ(A.unpack(), RJ);
+      // Idempotent: joining again never reports change.
+      EXPECT_FALSE(A.joinWith(B));
+    }
+  }
+}
+
+TEST(StateVecTest, EqualityIsExactAcrossBufferBoundary) {
+  for (unsigned NV : {64u, 65u}) {
+    StateVec A(NV, ValueSet::Both);
+    StateVec B(NV, ValueSet::Both);
+    EXPECT_EQ(A, B);
+    B.set(NV - 1, ValueSet::One);
+    EXPECT_NE(A, B);
+    B.set(NV - 1, ValueSet::Both);
+    EXPECT_EQ(A, B);
+  }
+  // Different sizes never compare equal, even all-bottom.
+  EXPECT_NE(StateVec(64, ValueSet::Bottom), StateVec(65, ValueSet::Bottom));
+}
+
+TEST(StateVecTest, CopyAndMoveSemantics) {
+  std::mt19937 Rng(99);
+  std::vector<ValueSet> Ref(100);
+  for (ValueSet &V : Ref)
+    V = randomVS(Rng);
+  StateVec A = StateVec::pack(Ref);
+  StateVec Copy(A);
+  EXPECT_EQ(Copy, A);
+  Copy.set(0, vsJoin(Ref[0], ValueSet::Both));
+  EXPECT_EQ(A.unpack(), Ref) << "copy must not share its buffer";
+
+  StateVec Moved(std::move(Copy));
+  EXPECT_FALSE(Copy.engaged()); // NOLINT: moved-from is disengaged.
+  EXPECT_EQ(Moved.size(), 100u);
+
+  StateVec Assigned;
+  Assigned = A;
+  EXPECT_EQ(Assigned, A);
+  Assigned = StateVec(); // Back to unreachable.
+  EXPECT_FALSE(Assigned.engaged());
+}
+
+} // namespace

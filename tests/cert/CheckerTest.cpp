@@ -300,23 +300,33 @@ TEST(CertTamperTest, TvlaDroppedEntryStructuresRejected) {
   W.u32(NumNodes);
   W.u32(NumPreds);
   W.u32(NumChecks);
+  uint32_t NumUnique = R.u32();
+  W.u32(NumUnique);
+  for (uint32_t I = 0; I != NumUnique; ++I) {
+    tvla::Structure S(V);
+    std::string Error;
+    ASSERT_TRUE(cert::readStructure(R, V, S, Error)) << Error;
+    cert::writeStructure(W, S, V);
+  }
   for (uint32_t N = 0; N != NumNodes; ++N) {
-    uint32_t Count = R.u32();
-    std::vector<tvla::Structure> Set;
-    for (uint32_t I = 0; I != Count; ++I) {
-      tvla::Structure S(V);
-      std::string Error;
-      ASSERT_TRUE(cert::readStructure(R, V, S, Error)) << Error;
-      Set.push_back(std::move(S));
-    }
+    uint8_t Tag = R.u8();
     if (N == static_cast<uint32_t>(M->Entry)) {
+      ASSERT_EQ(Tag, 1);
+      uint32_t Count = R.u32();
       ASSERT_GT(Count, 0u);
+      for (uint32_t I = 0; I != Count; ++I)
+        (void)R.u32();
+      W.u8(1);
       W.u32(0);
       continue;
     }
-    W.u32(Count);
-    for (const tvla::Structure &S : Set)
-      cert::writeStructure(W, S, V);
+    W.u8(Tag);
+    if (Tag == 1) {
+      uint32_t Count = R.u32();
+      W.u32(Count);
+      for (uint32_t I = 0; I != Count; ++I)
+        W.u32(R.u32());
+    }
   }
   ASSERT_TRUE(R.done());
   C.Payload = W.take();

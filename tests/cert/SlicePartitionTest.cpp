@@ -42,8 +42,10 @@ const char *PipelinesClient = R"(
   }
 )";
 
-// Two heap-stashed pipelines: the syntactic gates force a single slice,
-// so only points-to (mode-1) evidence can justify a partition.
+// Four heap-stashed pipelines: the syntactic gates force a single
+// slice, so only points-to (mode-1) evidence can justify a partition —
+// and four independent pipelines give the partition a projected boolvar
+// reduction big enough to clear the SliceCostModel overhead gate.
 const char *StashedPairsClient = R"(
   class Stash {
     Set s;
@@ -52,16 +54,28 @@ const char *StashedPairsClient = R"(
     void main() {
       Stash u = new Stash();
       Stash v = new Stash();
+      Stash w = new Stash();
+      Stash x = new Stash();
       Set s1 = new Set();
       Set s2 = new Set();
+      Set s3 = new Set();
+      Set s4 = new Set();
       u.s = s1;
       v.s = s2;
+      w.s = s3;
+      x.s = s4;
       Iterator i1 = s1.iterator();
       Iterator i2 = s2.iterator();
+      Iterator i3 = s3.iterator();
+      Iterator i4 = s4.iterator();
       while (*) { i1.next(); if (*) { i1.remove(); } }
       i2.next();
       if (*) { s2.add(); }
       if (*) { i2.next(); }
+      while (*) { i3.next(); }
+      if (*) { s3.add(); }
+      i4.next();
+      if (*) { i4.remove(); }
     }
   }
 )";
@@ -282,7 +296,7 @@ TEST(SlicePartitionTest, HeapClientNeedsPointsToForAPartition) {
   ASSERT_NE(C, nullptr);
   SP S = parseSP(C->Payload);
   EXPECT_EQ(S.Mode, 1u);
-  EXPECT_EQ(S.Slices.size(), 2u);
+  EXPECT_EQ(S.Slices.size(), 4u);
   EXPECT_FALSE(S.Pts.empty());
 
   cert::CheckResult CR = Pt.checker().check(*C);
@@ -315,7 +329,7 @@ TEST(SlicePartitionTamperTest, MovedVariableAcrossSlicesRejected) {
   CertRun Ru = makeRun(StashedPairsClient, /*PointsTo=*/true);
   cert::Certificate C = *findPartition(Ru.R);
   SP S = parseSP(C.Payload);
-  ASSERT_EQ(S.Slices.size(), 2u);
+  ASSERT_EQ(S.Slices.size(), 4u);
 
   // Swap s1 and s2 between the slices: each pipeline's set now sits
   // apart from its iterator, splitting a may-interfere group.

@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <fstream>
 #include <random>
+#include <unistd.h>
 
 using namespace canvas;
 using namespace canvas::store;
@@ -28,7 +29,10 @@ class CertStoreTest : public ::testing::Test {
 protected:
   void SetUp() override {
     support::clearFaultPlan();
-    Dir = ::testing::TempDir() + "/cert-store-test";
+    // Per-process dir: ctest runs each test as its own process, in
+    // parallel, and a shared path races on remove_all.
+    Dir = ::testing::TempDir() + "/cert-store-test-" +
+          std::to_string(static_cast<long>(::getpid()));
     fs::remove_all(Dir);
   }
   void TearDown() override {

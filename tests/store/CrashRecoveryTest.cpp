@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <unistd.h>
 
 using namespace canvas;
 using namespace canvas::store;
@@ -56,7 +57,10 @@ protected:
   void TearDown() override { support::clearFaultPlan(); }
 
   std::string freshDir(const std::string &Tag) {
-    std::string Dir = ::testing::TempDir() + "/crash-recovery-" + Tag;
+    // Per-process dir: the ShortWrite/Throw param instances run as
+    // parallel ctest processes and would race on a shared path.
+    std::string Dir = ::testing::TempDir() + "/crash-recovery-" + Tag + "-" +
+                      std::to_string(static_cast<long>(::getpid()));
     fs::remove_all(Dir);
     return Dir;
   }
@@ -156,7 +160,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, CrashRecoveryTest,
 TEST(CrashRecoveryCompactionTest, TornJournalCompactionRecoversOnReopen) {
   support::clearFaultPlan();
   const std::string Dir =
-      ::testing::TempDir() + "/crash-recovery-compaction";
+      ::testing::TempDir() + "/crash-recovery-compaction-" +
+      std::to_string(static_cast<long>(::getpid()));
   fs::remove_all(Dir);
   const StoreEntry E = makeEntry(1);
   {
@@ -181,7 +186,8 @@ TEST(CrashRecoveryCompactionTest, TornJournalCompactionRecoversOnReopen) {
 
 TEST(CrashRecoveryCompactionTest, ThrowingRecoverProbeFailsOpenCleanly) {
   support::clearFaultPlan();
-  const std::string Dir = ::testing::TempDir() + "/crash-recovery-throw";
+  const std::string Dir = ::testing::TempDir() + "/crash-recovery-throw-" +
+                          std::to_string(static_cast<long>(::getpid()));
   fs::remove_all(Dir);
   const StoreEntry E = makeEntry(1);
   {

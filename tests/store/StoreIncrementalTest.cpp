@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <unistd.h>
 
 using namespace canvas;
 using namespace canvas::core;
@@ -75,7 +76,9 @@ class StoreIncrementalTest : public ::testing::Test {
 protected:
   void SetUp() override {
     support::clearFaultPlan();
-    Dir = ::testing::TempDir() + "/store-incremental";
+    // Per-process dir: parallel ctest processes race on a shared path.
+    Dir = ::testing::TempDir() + "/store-incremental-" +
+          std::to_string(static_cast<long>(::getpid()));
     fs::remove_all(Dir);
     Opts.StorePath = Dir;
   }

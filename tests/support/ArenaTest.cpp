@@ -1,0 +1,169 @@
+//===----------------------------------------------------------------------===//
+// Tests for the per-fixpoint bump arena: bump/alignment behavior, the
+// reset-reuse contract (rewinding keeps blocks mapped and hands the
+// same memory back out), budget charging per block mapping, and
+// cross-worker isolation. The reuse and isolation tests double as
+// ASan/TSan regression tests — tools/ci.sh runs this suite under
+// sanitizers, where a write past a recycled block or a data race
+// between two workers' arenas turns into a hard failure.
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include "support/Budget.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace canvas;
+using namespace canvas::support;
+
+namespace {
+
+TEST(ArenaTest, BumpAllocationsAreDistinctAndAligned) {
+  Arena A;
+  std::set<void *> Seen;
+  for (int I = 0; I != 100; ++I) {
+    void *P = A.allocate(24);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % alignof(std::max_align_t), 0u);
+    EXPECT_TRUE(Seen.insert(P).second) << "allocation returned twice";
+    std::memset(P, 0xab, 24);
+  }
+  EXPECT_EQ(A.numAllocations(), 100u);
+  EXPECT_GE(A.bytesUsed(), 100u * 24);
+}
+
+TEST(ArenaTest, RespectsRequestedAlignment) {
+  Arena A;
+  A.allocate(1, 1); // Misalign the bump pointer.
+  for (size_t Align : {2u, 4u, 8u, 16u}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u) << Align;
+    A.allocate(1, 1);
+  }
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedBlock) {
+  Arena A(nullptr, /*BlockBytes=*/256);
+  uint64_t *Big = A.allocateArray<uint64_t>(1024); // 8KB > block size.
+  ASSERT_NE(Big, nullptr);
+  for (int I = 0; I != 1024; ++I)
+    Big[I] = I;
+  EXPECT_GE(A.bytesMapped(), 1024u * sizeof(uint64_t));
+}
+
+TEST(ArenaTest, ResetReusesMappedBlocksWithoutNewMappings) {
+  Arena A(nullptr, /*BlockBytes=*/512);
+  // Fill several blocks.
+  for (int I = 0; I != 64; ++I)
+    std::memset(A.allocate(64), 0x11, 64);
+  const size_t Mapped = A.bytesMapped();
+  const size_t NumBlocks = A.numBlocks();
+  ASSERT_GT(NumBlocks, 1u);
+
+  // Reset + refill the same volume: every byte must come from the
+  // already-mapped blocks (ASan flags any stale-pointer overlap bug in
+  // the recycling path).
+  for (int Round = 0; Round != 3; ++Round) {
+    A.reset();
+    EXPECT_EQ(A.bytesUsed(), 0u);
+    for (int I = 0; I != 64; ++I)
+      std::memset(A.allocate(64), 0x22 + Round, 64);
+    EXPECT_EQ(A.bytesMapped(), Mapped) << "reset round mapped fresh blocks";
+    EXPECT_EQ(A.numBlocks(), NumBlocks);
+  }
+}
+
+TEST(ArenaTest, ReleaseDropsMappingsAndAllocationStillWorks) {
+  Arena A(nullptr, /*BlockBytes=*/256);
+  A.allocate(1000);
+  ASSERT_GT(A.bytesMapped(), 0u);
+  A.release();
+  EXPECT_EQ(A.bytesMapped(), 0u);
+  std::memset(A.allocate(128), 0x7f, 128);
+  EXPECT_GT(A.bytesMapped(), 0u);
+}
+
+TEST(ArenaTest, BudgetChargedPerBlockNotPerBump) {
+  CancelToken Tok;
+  Arena A(&Tok, /*BlockBytes=*/1024);
+  for (int I = 0; I != 8; ++I)
+    A.allocate(64); // All fit one block.
+  const uint64_t AfterOneBlock = Tok.spend().AllocBytes;
+  EXPECT_GE(AfterOneBlock, 1024u);
+  EXPECT_LT(AfterOneBlock, 2048u) << "bumps must not be charged separately";
+
+  A.allocate(2048); // Forces a second (oversized) mapping.
+  EXPECT_GT(Tok.spend().AllocBytes, AfterOneBlock);
+
+  // Reset-reuse performs zero fresh mappings, so zero new charges.
+  const uint64_t BeforeReset = Tok.spend().AllocBytes;
+  A.reset();
+  for (int I = 0; I != 8; ++I)
+    A.allocate(64);
+  EXPECT_EQ(Tok.spend().AllocBytes, BeforeReset);
+}
+
+TEST(ArenaTest, AllocationBudgetCeilingBoundsArenaGrowth) {
+  StageBudget B;
+  B.MaxAllocBytes = 4096;
+  CancelToken Tok(B, "arena-test");
+  Arena A(&Tok, /*BlockBytes=*/1024);
+  EXPECT_THROW(
+      {
+        for (int I = 0; I != 64; ++I)
+          A.allocate(512);
+      },
+      CertifyError);
+}
+
+// Cross-worker isolation: the certification fan-out gives every worker
+// its own engine and thus its own arena. Concurrent allocate / write /
+// reset cycles on distinct arenas must never observe each other's
+// bytes — under TSan this is the regression test for any accidentally
+// shared mutable state creeping into Arena.
+TEST(ArenaTest, CrossWorkerArenasAreIsolated) {
+  constexpr int kWorkers = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> Threads;
+  std::vector<uint64_t> Sums(kWorkers, 0);
+  for (int W = 0; W != kWorkers; ++W)
+    Threads.emplace_back([W, &Sums] {
+      Arena A(nullptr, /*BlockBytes=*/512);
+      uint64_t Sum = 0;
+      for (int Round = 0; Round != kRounds; ++Round) {
+        A.reset();
+        const unsigned Count = 16 + (W * 7 + Round) % 48;
+        uint64_t *Vals = A.allocateArray<uint64_t>(Count);
+        for (unsigned I = 0; I != Count; ++I)
+          Vals[I] = static_cast<uint64_t>(W + 1) * 1000003u + Round * 31u + I;
+        // Re-read after more traffic from this arena only.
+        uint64_t *More = A.allocateArray<uint64_t>(Count);
+        for (unsigned I = 0; I != Count; ++I)
+          More[I] = ~Vals[I];
+        for (unsigned I = 0; I != Count; ++I) {
+          ASSERT_EQ(Vals[I],
+                    static_cast<uint64_t>(W + 1) * 1000003u + Round * 31u + I);
+          Sum += Vals[I];
+        }
+      }
+      Sums[W] = Sum;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int W = 0; W != kWorkers; ++W) {
+    uint64_t Expect = 0;
+    for (int Round = 0; Round != kRounds; ++Round) {
+      const unsigned Count = 16 + (W * 7 + Round) % 48;
+      for (unsigned I = 0; I != Count; ++I)
+        Expect += static_cast<uint64_t>(W + 1) * 1000003u + Round * 31u + I;
+    }
+    EXPECT_EQ(Sums[W], Expect) << "worker " << W;
+  }
+}
+
+} // namespace

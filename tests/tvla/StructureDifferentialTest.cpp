@@ -1,0 +1,218 @@
+//===----------------------------------------------------------------------===//
+// Differential tests for the packed 2-bit Structure representation:
+// the same operation sequences are replayed against a map-based
+// reference model (the shape of the representation the packed layout
+// replaced) and against both memory backends (heap words and
+// support::Arena scratch words), asserting every observable read,
+// canonical rendering, and structural hash agrees. The arena-detach
+// test doubles as an ASan use-after-reset regression: a copy that kept
+// pointing into arena words would read recycled memory here.
+//===----------------------------------------------------------------------===//
+
+#include "tvla/Structure.h"
+
+#include "client/Parser.h"
+#include "easl/Builtins.h"
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+#include <map>
+#include <random>
+
+using namespace canvas;
+using namespace canvas::tvla;
+
+namespace {
+
+/// The map-based reference model: one entry per (pred, tuple), exactly
+/// the old per-structure map representation. Unset entries read False,
+/// matching Structure's all-zero initialization.
+struct RefModel {
+  unsigned NumNodes = 0;
+  std::vector<bool> Summary;
+  std::map<std::pair<int, unsigned>, Kleene> Unary;
+  std::map<std::tuple<int, unsigned, unsigned>, Kleene> Binary;
+
+  unsigned addNode() {
+    Summary.push_back(false);
+    return NumNodes++;
+  }
+  Kleene unary(int P, unsigned N) const {
+    auto It = Unary.find({P, N});
+    return It == Unary.end() ? Kleene::False : It->second;
+  }
+  Kleene binary(int P, unsigned A, unsigned B) const {
+    auto It = Binary.find({P, A, B});
+    return It == Binary.end() ? Kleene::False : It->second;
+  }
+};
+
+class StructureDifferentialTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Spec = easl::parseBuiltinSpec(easl::cmpSpecSource());
+    DiagnosticEngine Diags;
+    Abs = wp::deriveAbstraction(Spec, Diags);
+    Prog = cj::parseProgram(R"(
+      class M {
+        void main() {
+          Set v = new Set();
+          Set w = new Set();
+          Iterator i = v.iterator();
+          Iterator j = w.iterator();
+        }
+      }
+    )", Diags);
+    CFG = cj::buildCFG(Prog, Spec, Diags);
+    ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+    Vocab = tvp::buildVocabulary(Abs, *CFG.mainCFG(), Diags);
+  }
+
+  /// Replays \p Ops pseudo-random predicate writes into \p S and the
+  /// reference model, then checks every entry of every predicate.
+  void replayAndCompare(Structure &S, unsigned Seed, unsigned Nodes,
+                        unsigned Ops) {
+    RefModel Ref;
+    for (unsigned I = 0; I != Nodes; ++I) {
+      S.addNode();
+      Ref.addNode();
+    }
+    std::mt19937 Rng(Seed);
+    const Kleene Vals[] = {Kleene::False, Kleene::True, Kleene::Half};
+    const int NumPreds = static_cast<int>(Vocab.Preds.size());
+    for (unsigned Op = 0; Op != Ops; ++Op) {
+      const int P = static_cast<int>(Rng() % NumPreds);
+      const Kleene V = Vals[Rng() % 3];
+      const unsigned A = Rng() % Nodes;
+      if (Vocab.Preds[P].Arity == 1) {
+        S.setUnary(P, A, V);
+        Ref.Unary[{P, A}] = V;
+      } else {
+        const unsigned B = Rng() % Nodes;
+        S.setBinary(P, A, B, V);
+        Ref.Binary[{P, A, B}] = V;
+      }
+      if (Op % 7 == 0) {
+        const bool Sum = Rng() & 1;
+        S.setSummary(A, Sum);
+        Ref.Summary[A] = Sum;
+      }
+    }
+    ASSERT_EQ(S.numNodes(), Ref.NumNodes);
+    for (unsigned N = 0; N != Nodes; ++N)
+      EXPECT_EQ(S.isSummary(N), Ref.Summary[N]) << "summary node " << N;
+    for (int P = 0; P != NumPreds; ++P)
+      for (unsigned A = 0; A != Nodes; ++A) {
+        if (Vocab.Preds[P].Arity == 1) {
+          EXPECT_EQ(S.unary(P, A), Ref.unary(P, A)) << "pred " << P;
+        } else {
+          for (unsigned B = 0; B != Nodes; ++B)
+            EXPECT_EQ(S.binary(P, A, B), Ref.binary(P, A, B)) << "pred " << P;
+        }
+      }
+  }
+
+  /// A deterministic pseudo-random structure for backend comparisons.
+  void fill(Structure &S, unsigned Seed, unsigned Nodes) {
+    S.resizeNodes(Nodes);
+    std::mt19937 Rng(Seed);
+    const Kleene Vals[] = {Kleene::False, Kleene::True, Kleene::Half};
+    const int NumPreds = static_cast<int>(Vocab.Preds.size());
+    for (int P = 0; P != NumPreds; ++P)
+      for (unsigned A = 0; A != Nodes; ++A) {
+        if (Vocab.Preds[P].Arity == 1)
+          S.setUnary(P, A, Vals[Rng() % 3]);
+        else
+          for (unsigned B = 0; B != Nodes; ++B)
+            S.setBinary(P, A, B, Vals[Rng() % 3]);
+      }
+  }
+
+  easl::Spec Spec;
+  wp::DerivedAbstraction Abs;
+  cj::Program Prog;
+  cj::ClientCFG CFG;
+  tvp::Vocabulary Vocab;
+};
+
+TEST_F(StructureDifferentialTest, HeapBackendMatchesMapReference) {
+  for (unsigned Seed : {1u, 2u, 3u, 4u}) {
+    Structure S(Vocab);
+    replayAndCompare(S, Seed, /*Nodes=*/5, /*Ops=*/400);
+  }
+}
+
+TEST_F(StructureDifferentialTest, ArenaBackendMatchesMapReference) {
+  support::Arena Scratch;
+  for (unsigned Seed : {1u, 2u, 3u, 4u}) {
+    Scratch.reset();
+    Structure S(Vocab, Scratch);
+    replayAndCompare(S, Seed, /*Nodes=*/5, /*Ops=*/400);
+  }
+}
+
+TEST_F(StructureDifferentialTest, BackendsAgreeAfterBlurAndJoin) {
+  support::Arena Scratch;
+  for (unsigned Seed = 10; Seed != 16; ++Seed) {
+    Structure Heap(Vocab);
+    Structure InArena(Vocab, Scratch);
+    fill(Heap, Seed, 4);
+    fill(InArena, Seed, 4);
+
+    Heap.blur(Vocab);
+    InArena.blur(Vocab);
+    EXPECT_EQ(Heap.canonicalStr(Vocab), InArena.canonicalStr(Vocab));
+    EXPECT_EQ(Heap.structuralHash(), InArena.structuralHash());
+    EXPECT_TRUE(Heap == InArena);
+
+    // Join each with a second structure, on both backends.
+    Structure OtherH(Vocab);
+    Structure OtherA(Vocab, Scratch);
+    fill(OtherH, Seed + 100, 3);
+    fill(OtherA, Seed + 100, 3);
+    OtherH.blur(Vocab);
+    OtherA.blur(Vocab);
+    const bool ChangedH = Heap.joinWith(OtherH, Vocab);
+    const bool ChangedA = InArena.joinWith(OtherA, Vocab);
+    EXPECT_EQ(ChangedH, ChangedA);
+    EXPECT_EQ(Heap.canonicalStr(Vocab), InArena.canonicalStr(Vocab));
+    EXPECT_EQ(Heap.structuralHash(), InArena.structuralHash());
+  }
+}
+
+TEST_F(StructureDifferentialTest, CopyDetachesFromArenaBeforeReset) {
+  support::Arena Scratch;
+  Structure S(Vocab, Scratch);
+  fill(S, 42, 4);
+  S.blur(Vocab);
+  const std::string Before = S.canonicalStr(Vocab);
+  const uint64_t HashBefore = S.structuralHash();
+
+  Structure Kept(S); // Plain copy: must own heap words.
+  Scratch.reset();
+  // Stomp the recycled arena memory with unrelated scratch structures.
+  for (int I = 0; I != 8; ++I) {
+    Structure Garbage(Vocab, Scratch);
+    fill(Garbage, 1000 + I, 5);
+  }
+  EXPECT_EQ(Kept.canonicalStr(Vocab), Before);
+  EXPECT_EQ(Kept.structuralHash(), HashBefore);
+
+  // Assignment into a heap structure detaches the same way.
+  Structure Assigned(Vocab);
+  {
+    Structure S2(Vocab, Scratch);
+    fill(S2, 42, 4);
+    S2.blur(Vocab);
+    Assigned = S2;
+  }
+  Scratch.reset();
+  for (int I = 0; I != 8; ++I) {
+    Structure Garbage(Vocab, Scratch);
+    fill(Garbage, 2000 + I, 5);
+  }
+  EXPECT_EQ(Assigned.canonicalStr(Vocab), Before);
+  EXPECT_EQ(Assigned.structuralHash(), HashBefore);
+}
+
+} // namespace

@@ -11,6 +11,10 @@
 # Usage: tools/bench_capture.sh [label]
 #   label   tag recorded with each line (default: "after"); use e.g.
 #           "before" when capturing a baseline ahead of a change.
+#
+# CANVAS_BENCH_OUT overrides the output file (tools/ci.sh points it at
+# a scratch file so the bench-smoke gate never dirties the committed
+# baseline).
 
 set -euo pipefail
 
@@ -18,7 +22,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 LABEL="${1:-after}"
-OUT="$ROOT/BENCH_tvla.json"
+OUT="${CANVAS_BENCH_OUT:-$ROOT/BENCH_tvla.json}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
 cmake --preset default >/dev/null

@@ -33,6 +33,50 @@ cmake --build --preset sanitize -j "$JOBS"
 step "sanitize test suite"
 run_ctest --preset sanitize -j "$JOBS"
 
+step "asan: tvla / boolprog / cert suites (arena + packed-word paths)"
+# The arena/flat-structure representations hand out raw word buffers
+# and recycle them per fixpoint visit; run the suites that exercise
+# those paths (plus their reset-reuse and differential regression
+# tests) as a named ASan pass so a use-after-reset or overflow in the
+# packed codecs is called out here, not buried in the full suite.
+run_ctest --preset sanitize -j "$JOBS" \
+  -R 'Arena|StateVec|Structure|TVLA|Intraprocedural|Interprocedural|Witness|Cert|Checker|SlicePartition'
+
+step "bench smoke: grinder tvla-relational vs committed baseline"
+# Captures a fresh BENCH_tvla line set into a scratch file (default
+# preset, warm min-of-N timings) and fails if the grinder client's
+# tvla-relational-perf time regressed more than 2x against the newest
+# line committed in BENCH_tvla.json.
+BENCH_TMP="$(mktemp)"
+CANVAS_BENCH_OUT="$BENCH_TMP" tools/bench_capture.sh ci-smoke
+python3 - "$BENCH_TMP" <<'PYEOF'
+import json, sys
+
+def grinder_us(path):
+    best = None
+    for line in open(path):
+        line = line.strip()
+        if not line:
+            continue
+        d = json.loads(line)
+        c = d["captured"]
+        if c.get("bench") != "tvla-relational-perf":
+            continue
+        for cl in c["clients"]:
+            if cl["name"] == "grinder":
+                best = cl["us"]  # Last matching line = newest capture.
+    return best
+
+base = grinder_us("BENCH_tvla.json")
+new = grinder_us(sys.argv[1])
+if base is None or new is None:
+    sys.exit("bench smoke: missing grinder tvla-relational-perf line")
+print(f"grinder tvla-relational: baseline {base:.1f}us, current {new:.1f}us")
+if new > 2.0 * base:
+    sys.exit(f"bench smoke FAILED: {new:.1f}us > 2x baseline {base:.1f}us")
+PYEOF
+rm -f "$BENCH_TMP"
+
 step "tsan configure + build (ThreadSanitizer)"
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
