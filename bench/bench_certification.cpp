@@ -341,20 +341,45 @@ struct PointsToSide {
   CertificationReport Report;
 };
 
-PointsToSide runPointsToSide(const bench::BenchClient &Client, bool PointsTo) {
-  PointsToSide Side;
+/// Measures the points-to-off and points-to-on configurations with
+/// INTERLEAVED reps (off, on, off, on, ...): the two sides' deltas are
+/// small relative to scheduler noise on a shared core, and interleaving
+/// makes a transient slowdown hit both mins alike instead of skewing
+/// whichever side owned that time window.
+void runPointsToPair(const bench::BenchClient &Client, PointsToSide &Off,
+                     PointsToSide &On) {
   DiagnosticEngine Diags;
   CertifierOptions Opts;
-  Opts.PointsTo = PointsTo;
   Opts.EmitCertificates = true;
   Opts.CheckCertificates = true;
-  Certifier C(easl::cmpSpecSource(), EngineKind::SCMPIntra, Diags, {}, Opts);
+  Opts.PointsTo = false;
+  Certifier COff(easl::cmpSpecSource(), EngineKind::SCMPIntra, Diags, {},
+                 Opts);
+  Opts.PointsTo = true;
+  Certifier COn(easl::cmpSpecSource(), EngineKind::SCMPIntra, Diags, {}, Opts);
   cj::Program P = cj::parseProgram(Client.Source, Diags);
-  Side.Micros = bench::minOfN([&] {
+  // The warmup doubles as the report capture (and primes the on-side's
+  // program-keyed points-to cache, as a warm client run would).
+  {
     DiagnosticEngine D2;
-    Side.Report = C.certify(P, D2);
-  });
-  return Side;
+    Off.Report = COff.certify(P, D2);
+  }
+  {
+    DiagnosticEngine D2;
+    On.Report = COn.certify(P, D2);
+  }
+  Off.Micros = On.Micros = 1e30;
+  auto TimeOne = [&](const Certifier &C) {
+    const auto T0 = std::chrono::steady_clock::now();
+    DiagnosticEngine D2;
+    C.certify(P, D2);
+    const auto T1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(T1 - T0).count();
+  };
+  for (int Rep = 0; Rep != 9; ++Rep) {
+    Off.Micros = std::min(Off.Micros, TimeOne(COff));
+    On.Micros = std::min(On.Micros, TimeOne(COn));
+  }
 }
 
 /// Slices of the largest sliced method in the report (an aliasing
@@ -382,8 +407,8 @@ void printPointsToSlicing() {
                      "\"scmp-intra\",\"clients\":[";
   bool First = true;
   for (const bench::BenchClient &Client : bench::aliasSuite()) {
-    PointsToSide Off = runPointsToSide(Client, false);
-    PointsToSide On = runPointsToSide(Client, true);
+    PointsToSide Off, On;
+    runPointsToPair(Client, Off, On);
     bool Same = sameVerdicts(On.Report, Off.Report);
     const char *Reason = "";
     for (const MethodSliceSummary &S : Off.Report.SliceSummaries)

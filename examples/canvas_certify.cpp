@@ -110,6 +110,7 @@ int usage() {
                "                      [--print-abstraction] [--points-to]\n"
                "                      [--emit-certs=FILE] [--check-certs]\n"
                "                      [--store=DIR] [--store-mode=rw|ro]\n"
+               "                      [--bench-label=NAME]\n"
                "                      [--check-only --certs=FILE] CLIENT.cj\n"
                "       canvas_certify --list-fault-sites\n"
                "       canvas_certify --store-snapshot=DIR\n"
@@ -291,6 +292,7 @@ int main(int argc, char **argv) {
   std::string StoreModeArg = "rw";
   std::string SnapshotDir;
   std::string DiffArg;
+  std::string BenchLabel;
   bool PrintAbstraction = false;
   bool PointsTo = false;
   bool CheckCerts = false;
@@ -323,6 +325,8 @@ int main(int argc, char **argv) {
       SnapshotDir = Arg + 17;
     } else if (std::strncmp(Arg, "--store-diff=", 13) == 0) {
       DiffArg = Arg + 13;
+    } else if (std::strncmp(Arg, "--bench-label=", 14) == 0) {
+      BenchLabel = Arg + 14;
     } else if (std::strcmp(Arg, "--list-fault-sites") == 0) {
       ListFaultSites = true;
     } else if (Arg[0] == '-') {
@@ -423,9 +427,14 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "store: %s: %s: %s\n", I.Kind.c_str(),
                    I.Unit.empty() ? "<store>" : I.Unit.c_str(),
                    I.Detail.c_str());
-    std::printf("\nBENCH_JSON {\"bench\":\"store-hit-rate\",\"path\":\"%s\","
+    // "corpus" names the workload stably across runs — the store path
+    // is usually a throwaway tmp dir, useless for joining bench lines.
+    std::printf("\nBENCH_JSON {\"bench\":\"store-hit-rate\",\"corpus\":\"%s\","
+                "\"path\":\"%s\","
                 "\"mode\":\"%s\",\"hits\":%u,\"misses\":%u,\"rejected\":%u,"
                 "\"quarantined\":%u,\"writes\":%u}\n\n",
+                jsonEscape(BenchLabel.empty() ? ClientPath : BenchLabel)
+                    .c_str(),
                 jsonEscape(Report.Store.Path).c_str(),
                 Report.Store.ReadOnly ? "ro" : "rw", Report.Store.Hits,
                 Report.Store.Misses, Report.Store.Rejected,

@@ -147,6 +147,13 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
   std::deque<int> Worklist{CFG.Entry};
   std::vector<bool> Queued(CFG.NumNodes, false);
   Queued[CFG.Entry] = true;
+  // First-visit bookkeeping must not lean on Dst.engaged(): the states
+  // of a zero-variable program (a slice whose set has no iterators, or
+  // a client with none at all) are zero-width and permanently
+  // disengaged, so "not engaged ⇒ first visit ⇒ changed" would requeue
+  // every node of a loop forever.
+  R.Reached.assign(CFG.NumNodes, 0);
+  R.Reached[CFG.Entry] = 1;
 
   while (!Worklist.empty()) {
     support::faultProbe("boolprog.intra");
@@ -166,7 +173,8 @@ IntraResult bp::analyzeIntraproc(const BooleanProgram &BP,
 
       StateVec &Dst = R.In[E.To];
       bool Changed = false;
-      if (!Dst.engaged()) {
+      if (!R.Reached[E.To]) {
+        R.Reached[E.To] = 1;
         Dst = std::move(OutState);
         Changed = true;
       } else {

@@ -37,12 +37,22 @@ using CheckOutcome = core::CheckOutcome;
 struct IntraResult {
   /// In[n] = possible values of every variable on entry to node n,
   /// packed (see StateVec.h). A disengaged entry marks an unreachable
-  /// node.
+  /// node — except in a zero-variable program, where every state is
+  /// zero-width and therefore disengaged by convention; Reached is the
+  /// authoritative record there.
   std::vector<StateVec> In;
+  /// Reached[n] != 0 iff the fixpoint ever propagated a state into
+  /// node n. Engagement cannot encode this for zero-variable programs
+  /// (see StateVec.h), and treating "disengaged" as "not yet seen"
+  /// made the worklist requeue every node of a zero-variable loop
+  /// forever.
+  std::vector<uint8_t> Reached;
   std::vector<CheckOutcome> CheckResults; ///< Indexed like Checks.
   unsigned Iterations = 0;
 
-  bool reachable(int Node) const { return In[Node].engaged(); }
+  bool reachable(int Node) const {
+    return Reached.empty() ? In[Node].engaged() : Reached[Node] != 0;
+  }
   unsigned numFlagged() const;
   /// Renders the abstract state at \p Node (the Fig. 8 analogue),
   /// listing each boolean variable with its value set.

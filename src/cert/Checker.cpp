@@ -75,24 +75,31 @@ bool validClaimShape(const Certificate &C, size_t NumChecks,
 /// states) from \p R, reconstructs the pruned entries, and verifies
 /// entry coverage and closure under the edge transfer — everything
 /// checkBoolIntra needs short of the claims sweep. On success \p In
-/// holds the per-node states (empty inner vector = unreached). Shared
-/// by the plain and the per-slice checkers; the caller still validates
-/// that the reader consumed exactly its section.
+/// holds the per-node states and \p Covered marks the annotated nodes.
+/// Coverage must be tracked beside the states: a zero-variable
+/// program's states are zero-width and permanently disengaged
+/// (StateVec.h), so engagement alone cannot say which nodes the
+/// annotation reaches. Shared by the plain and the per-slice checkers;
+/// the caller still validates that the reader consumed exactly its
+/// section.
 bool readBoolSection(Reader &R, const bp::BooleanProgram &BP,
                      const cj::CFGMethod &M, const dataflow::CFGInfo &Info,
                      bool AssumeChecksPass,
                      std::vector<bp::StateVec> &In,
+                     std::vector<uint8_t> &Covered,
                      std::string &Reason) {
   const unsigned NumVars = static_cast<unsigned>(BP.Vars.size());
 
   std::vector<uint8_t> Tag(M.NumNodes, 0);
   In.assign(M.NumNodes, bp::StateVec());
+  Covered.assign(M.NumNodes, 0);
   for (int N = 0; N != M.NumNodes; ++N) {
     Tag[N] = R.u8();
     if (Tag[N] > 2) {
       Reason = "bad annotation tag";
       return false;
     }
+    Covered[N] = Tag[N] != 0;
     if (Tag[N] != 1)
       continue;
     In[N] = bp::StateVec(NumVars, bp::ValueSet::Bottom);
@@ -131,7 +138,7 @@ bool readBoolSection(Reader &R, const bp::BooleanProgram &BP,
     }
     int EIdx = Info.predEdges(N)[0];
     int From = M.Edges[EIdx].From;
-    if (!In[From].engaged() || Info.rpoNumber(From) < 0 ||
+    if (!Covered[From] || Info.rpoNumber(From) < 0 ||
         Info.rpoNumber(From) >= Info.rpoNumber(N)) {
       Reason = "pruned node's predecessor is not annotated earlier";
       return false;
@@ -144,14 +151,17 @@ bool readBoolSection(Reader &R, const bp::BooleanProgram &BP,
     In[N] = std::move(Out);
   }
   for (int N = 0; N != M.NumNodes; ++N)
-    if (Tag[N] == 2 && !In[N].engaged()) {
+    if (Tag[N] == 2 && Info.rpoNumber(N) < 0) {
       Reason = "pruned node outside the reverse-post-order";
       return false;
     }
 
   // (a) Initial facts covered: at method entry every variable may hold
-  // either value.
-  if (!In[M.Entry].engaged()) {
+  // either value. For a zero-variable program both sides of the state
+  // comparison are the zero-width state, so only coverage itself is at
+  // stake — the annotation's covered set then attests reachability the
+  // same way the value sets do for wider programs.
+  if (!Covered[M.Entry]) {
     Reason = "entry node not covered";
     return false;
   }
@@ -164,12 +174,12 @@ bool readBoolSection(Reader &R, const bp::BooleanProgram &BP,
   for (size_t EIdx = 0; EIdx != M.Edges.size(); ++EIdx) {
     int From = M.Edges[EIdx].From;
     int To = M.Edges[EIdx].To;
-    if (!In[From].engaged())
+    if (!Covered[From])
       continue;
     bp::StateVec Out;
     if (!T.apply(static_cast<int>(EIdx), In[From], Out))
       continue; // No execution survives the edge.
-    if (!In[To].engaged()) {
+    if (!Covered[To]) {
       Reason = "annotation not closed: reachable successor uncovered";
       return false;
     }
@@ -268,7 +278,8 @@ CheckResult Checker::checkBoolIntra(const Certificate &C) const {
 
   const dataflow::CFGInfo Info(*M);
   std::vector<bp::StateVec> In;
-  if (!readBoolSection(R, BP, *M, Info, AssumeChecksPass, In, Reason))
+  std::vector<uint8_t> Covered;
+  if (!readBoolSection(R, BP, *M, Info, AssumeChecksPass, In, Covered, Reason))
     return fail(std::move(Reason));
   if (!R.done())
     return fail("malformed payload");
@@ -278,11 +289,11 @@ CheckResult Checker::checkBoolIntra(const Certificate &C) const {
     const bp::Check &Chk = BP.Checks[Cl.Check];
     int Node = M->Edges[Chk.Edge].From;
     if (Cl.Outcome == core::CheckOutcome::Unreachable) {
-      if (In[Node].engaged())
+      if (Covered[Node])
         return fail("unreachable claim at a covered node");
       continue;
     }
-    if (!In[Node].engaged())
+    if (!Covered[Node])
       continue; // Vacuously safe.
     if (Chk.Var < 0) {
       if (Chk.ConstantViolated)
@@ -395,6 +406,7 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
   std::vector<bp::BooleanProgram> BPs;
   BPs.reserve(NumSlices);
   std::vector<std::vector<bp::StateVec>> Ins(NumSlices);
+  std::vector<std::vector<uint8_t>> Covs(NumSlices);
   std::string Reason;
   for (uint32_t I = 0; I != NumSlices; ++I) {
     const uint32_t Len = R.u32();
@@ -415,7 +427,7 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
         R.u32() != static_cast<uint32_t>(BPs[I].Checks.size()))
       return fail("slice dimension mismatch against rebuilt program");
     if (!readBoolSection(R, BPs[I], *M, Info, AssumeChecksPass, Ins[I],
-                         Reason))
+                         Covs[I], Reason))
       return fail(std::move(Reason));
   }
   if (SliceOf.size() != Vars.size())
@@ -629,12 +641,13 @@ CheckResult Checker::checkSlicePartition(const Certificate &C) const {
     const bp::Check &Chk = BPs[S].Checks[J];
     int Node = M->Edges[Chk.Edge].From;
     const std::vector<bp::StateVec> &In = Ins[S];
+    const std::vector<uint8_t> &Cov = Covs[S];
     if (Cl.Outcome == core::CheckOutcome::Unreachable) {
-      if (In[Node].engaged())
+      if (Cov[Node])
         return fail("unreachable claim at a covered node");
       continue;
     }
-    if (!In[Node].engaged())
+    if (!Cov[Node])
       continue; // Vacuously safe.
     if (Chk.Var < 0) {
       if (Chk.ConstantViolated)

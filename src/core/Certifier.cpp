@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <new>
 
 using namespace canvas;
@@ -108,11 +109,39 @@ std::string CertificationReport::str() const {
   return Out;
 }
 
+namespace canvas {
+namespace core {
+namespace detail {
+/// See Certifier.h: the memo of the last whole-program points-to
+/// solution. Valid distinguishes "no entry yet" from a cached solve; a
+/// failed (budget-exhausted / fault-injected) solve is never cached, so
+/// every certify() re-attempts it and degrades the same way.
+struct PointsToCache {
+  std::mutex Mu;
+  bool Valid = false;
+  uint64_t Key = 0;
+  std::shared_ptr<const dataflow::PointsToResult> Result;
+  PointsToReport Stats; ///< Solve-time statistics, replayed on a hit so
+                        ///< the report's "points-to:" line is
+                        ///< byte-identical to the cold run.
+  /// Methods of the cached program whose alias-refined slice partition
+  /// was REJECTED (forced single / no projected win): the gate decision
+  /// is a pure function of (program, abstraction, points-to solution),
+  /// all fixed under Key, so re-certifying the program replays the
+  /// recorded summary instead of re-running definite assignment and the
+  /// partition cost model per method. Cleared whenever Key changes.
+  std::map<std::string, MethodSliceSummary> RejectedGates;
+};
+} // namespace detail
+} // namespace core
+} // namespace canvas
+
 Certifier::Certifier(std::string_view SpecSource, EngineKind Engine,
                      DiagnosticEngine &Diags,
                      const wp::DerivationOptions &DOpts,
                      const CertifierOptions &Opts)
-    : Engine(Engine), Opts(Opts) {
+    : Engine(Engine), Opts(Opts),
+      PTCache(std::make_shared<detail::PointsToCache>()) {
   // Hashed before parsing so the store key covers the spec exactly as
   // written: any textual edit invalidates every derived entry.
   SpecHash = cert::fnv1a(reinterpret_cast<const uint8_t *>(SpecSource.data()),
@@ -408,11 +437,25 @@ struct SlicedCertAttempt {
 bool certifyMethodSliced(const wp::DerivedAbstraction &Abs,
                          const cj::CFGMethod &M,
                          const dataflow::PointsToResult *PT,
+                         detail::PointsToCache *GateMemo,
                          support::CancelToken *Tok, SlicedCertAttempt &Out) {
   if (M.CompVars.empty())
     return false;
   Out.Summary.Method = M.name();
   Out.Summary.Slices = 1;
+
+  // \p GateMemo is only handed in when PT is the memo's own cached
+  // solution (same program key), so a recorded rejection replays
+  // exactly: same slice count, same forced-single reason, no verdicts
+  // involved (the caller's unsliced fallback recomputes those).
+  if (GateMemo) {
+    std::lock_guard<std::mutex> L(GateMemo->Mu);
+    auto It = GateMemo->RejectedGates.find(M.name());
+    if (It != GateMemo->RejectedGates.end()) {
+      Out.Summary = It->second;
+      return false;
+    }
+  }
 
   const dataflow::CFGInfo Info(M);
   std::vector<dataflow::BitVector> MayUninit;
@@ -436,8 +479,13 @@ bool certifyMethodSliced(const wp::DerivedAbstraction &Abs,
   Out.Summary.Slices = static_cast<unsigned>(SR.Slices.size());
   if (SR.ForcedSingleReason)
     Out.Summary.ForcedSingleReason = SR.ForcedSingleReason;
-  if (SR.Slices.size() < 2)
+  if (SR.Slices.size() < 2) {
+    if (GateMemo) {
+      std::lock_guard<std::mutex> L(GateMemo->Mu);
+      GateMemo->RejectedGates.emplace(M.name(), Out.Summary);
+    }
     return false;
+  }
 
   // Per-slice restricted programs and fixpoints. Their construction
   // re-diagnoses what the canonical build below already reports, so
@@ -555,8 +603,9 @@ void runEngine(EngineKind K, const easl::Spec &S,
                const wp::DerivedAbstraction &Abs,
                const CertifierOptions &Opts, const cj::ClientCFG &CFG,
                const std::map<std::string, store::StoreEntry> *StoreHits,
-               DiagnosticEngine &Diags, support::CancelToken &Tok,
-               support::TaskPool &Pool, EngineRun &Run) {
+               detail::PointsToCache *PTC, DiagnosticEngine &Diags,
+               support::CancelToken &Tok, support::TaskPool &Pool,
+               EngineRun &Run) {
   // The Stage-0 lint runs for every engine; SCMPIntra folds it into its
   // own pre-analysis below — except in certificate-emission mode, where
   // SCMPIntra skips the verdict-preserving transformations (a sliced
@@ -579,30 +628,55 @@ void runEngine(EngineKind K, const easl::Spec &S,
     // here (budget exhaustion, the injected "points-to" fault) degrades
     // precision — the engine continues with the unrefined slicing gates
     // — rather than failing the rung.
-    std::unique_ptr<dataflow::PointsToResult> PT;
+    std::shared_ptr<const dataflow::PointsToResult> PT;
     if (Opts.PointsTo && CFG.Prog) {
-      try {
-        auto Result = std::make_unique<dataflow::PointsToResult>(
-            dataflow::analyzePointsTo(*CFG.Prog, S, &Tok));
-        dataflow::EscapeResult Esc =
-            dataflow::classifyEscapes(Result->Sys, Result->Sol);
-        Run.PointsTo.Enabled = true;
-        Run.PointsTo.HasMain = Result->Sys.HasMain;
-        Run.PointsTo.Objects = Result->Stats.Objects;
-        Run.PointsTo.Constraints = Result->Stats.Constraints;
-        Run.PointsTo.Iterations = Result->Stats.Iterations;
-        Run.PointsTo.ReachableMethods = Result->Stats.ReachableMethods;
-        Run.PointsTo.TotalMethods = Result->Stats.TotalMethods;
-        Run.PointsTo.LocalSites = Esc.NumLocal;
-        Run.PointsTo.ArgSites = Esc.NumArg;
-        Run.PointsTo.HeapSites = Esc.NumHeap;
-        PT = std::move(Result);
-      } catch (const CertifyError &) {
-        // Unrefined gates stay sound without the points-to result. If
-        // the budget is exhausted the engine's own next tick fails the
-        // rung as usual.
+      // The solve is whole-program and the spec/abstraction are fixed
+      // per certifier, so the structural program hash alone keys the
+      // memo; hashing is linear in the CFG, the solve is not.
+      const uint64_t Key =
+          store::programInputHash(CFG, /*Context=*/0x70742D6361636865ULL);
+      if (PTC) {
+        std::lock_guard<std::mutex> L(PTC->Mu);
+        if (PTC->Valid && PTC->Key == Key) {
+          PT = PTC->Result;
+          Run.PointsTo = PTC->Stats;
+        }
       }
+      if (!PT)
+        try {
+          auto Result = std::make_shared<dataflow::PointsToResult>(
+              dataflow::analyzePointsTo(*CFG.Prog, S, &Tok));
+          dataflow::EscapeResult Esc =
+              dataflow::classifyEscapes(Result->Sys, Result->Sol);
+          Run.PointsTo.Enabled = true;
+          Run.PointsTo.HasMain = Result->Sys.HasMain;
+          Run.PointsTo.Objects = Result->Stats.Objects;
+          Run.PointsTo.Constraints = Result->Stats.Constraints;
+          Run.PointsTo.Iterations = Result->Stats.Iterations;
+          Run.PointsTo.ReachableMethods = Result->Stats.ReachableMethods;
+          Run.PointsTo.TotalMethods = Result->Stats.TotalMethods;
+          Run.PointsTo.LocalSites = Esc.NumLocal;
+          Run.PointsTo.ArgSites = Esc.NumArg;
+          Run.PointsTo.HeapSites = Esc.NumHeap;
+          PT = std::move(Result);
+          if (PTC) {
+            std::lock_guard<std::mutex> L(PTC->Mu);
+            if (PTC->Key != Key)
+              PTC->RejectedGates.clear();
+            PTC->Valid = true;
+            PTC->Key = Key;
+            PTC->Result = PT;
+            PTC->Stats = Run.PointsTo;
+          }
+        } catch (const CertifyError &) {
+          // Unrefined gates stay sound without the points-to result. If
+          // the budget is exhausted the engine's own next tick fails
+          // the rung as usual. Failed solves are never memoized.
+        }
     }
+
+    // The gate memo is only valid alongside its own points-to solution.
+    detail::PointsToCache *GateMemo = PT && PTC ? PTC : nullptr;
 
     if (!Opts.PreAnalysis || Opts.EmitCertificates) {
       const bool TrySliced =
@@ -641,7 +715,7 @@ void runEngine(EngineKind K, const easl::Spec &S,
           }
           if (TrySliced) {
             SlicedCertAttempt A;
-            if (certifyMethodSliced(Abs, M, PT.get(), &Tok, A)) {
+            if (certifyMethodSliced(Abs, M, PT.get(), GateMemo, &Tok, A)) {
               Out.Checks = std::move(A.Checks);
               Out.Certs.push_back(std::move(A.Cert));
               Out.BoolVars = A.BoolVars;
@@ -1103,8 +1177,8 @@ CertificationReport Certifier::certify(const cj::Program &P,
     try {
       EngineRun Run;
       runEngine(K, S, Abs, EOpts, CFG,
-                Store && K == Engine ? &StoreHits : nullptr, Diags, Tok, Pool,
-                Run);
+                Store && K == Engine ? &StoreHits : nullptr, PTCache.get(),
+                Diags, Tok, Pool, Run);
 
       CertificateStats CS;
       CS.EmitMicros = Run.EmitMicros;

@@ -28,6 +28,7 @@
 #include "wp/Abstraction.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -285,6 +286,16 @@ struct CertifierOptions {
   store::StoreMode StoreMode = store::StoreMode::ReadWrite;
 };
 
+namespace detail {
+/// Memo of the last whole-program points-to & escape solution (defined
+/// in Certifier.cpp). The solve is program-global, so certifying N
+/// methods — or re-certifying the same program, as a warm store pass
+/// and the bench harness both do — must not re-run it N times; the
+/// cache is keyed by the structural program hash and shared across
+/// certify() calls on one Certifier.
+struct PointsToCache;
+} // namespace detail
+
 /// A generated certifier: a derived abstraction bound to a component
 /// spec, applicable to arbitrary clients.
 class Certifier {
@@ -318,6 +329,9 @@ private:
   /// FNV-1a of the spec source text, the spec half of the store's
   /// context fingerprint (easl::Spec has no canonical rendering).
   uint64_t SpecHash = 0;
+  /// Mutex-guarded; shared_ptr so the incomplete type needs no
+  /// out-of-line destructor and copies of the certifier share the memo.
+  std::shared_ptr<detail::PointsToCache> PTCache;
 };
 
 } // namespace core

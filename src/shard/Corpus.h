@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Corpus handling for the sharded driver: loading a directory of CJ
+/// clients, estimating per-client certification cost for the
+/// work-stealing scheduler's bins, and generating synthetic corpora
+/// (deterministic in the seed) for the scaling bench and the
+/// determinism tests.
+///
+/// The cost estimate refines the issue's "method count x max boolvars"
+/// bin: per method it is |edges| x (1 + B)^2 where B approximates the
+/// boolean-variable count from the abstraction's predicate families
+/// instantiated over the method's component variables — the same
+/// product that drives the intraprocedural fixpoint's state space. The
+/// estimate orders work, nothing else; a bad estimate costs tail
+/// latency, never correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CANVAS_SHARD_CORPUS_H
+#define CANVAS_SHARD_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace canvas {
+
+namespace easl {
+struct Spec;
+}
+namespace wp {
+struct DerivedAbstraction;
+}
+
+namespace shard {
+
+/// One corpus client. Index order (the load order: sorted by name) is
+/// the canonical report order at every shard count.
+struct CorpusClient {
+  std::string Name;   ///< File name without the .cj suffix.
+  std::string Path;   ///< Full path (diagnostics only).
+  std::string Source; ///< CJ source text, shipped to workers verbatim.
+  uint64_t Cost = 1;  ///< Scheduler cost estimate (see file comment).
+};
+
+/// Loads every *.cj file under \p Dir (non-recursive), sorted by file
+/// name. False with \p Error on I/O failure or an empty corpus.
+bool loadCorpus(const std::string &Dir, std::vector<CorpusClient> &Out,
+                std::string &Error);
+
+/// Cost-estimates one client against \p Spec / \p Abs. Unparseable
+/// clients estimate to 1 (they fail fast in the worker and the merged
+/// report carries their diagnostics).
+uint64_t estimateCost(const std::string &Source, const easl::Spec &Spec,
+                      const wp::DerivedAbstraction &Abs);
+
+/// Fills Cost for every client.
+void estimateCosts(std::vector<CorpusClient> &Corpus, const easl::Spec &Spec,
+                   const wp::DerivedAbstraction &Abs);
+
+/// Writes \p Count generated CJ clients (gen-0000.cj ...) into \p Dir,
+/// creating it if needed. Deterministic in \p Seed: the same (Count,
+/// Seed) always produces byte-identical files, so tests and benches can
+/// regenerate rather than commit corpora. Clients target the built-in
+/// CMP (Set/Iterator) spec and span a deliberate size spread — single
+/// tiny methods up to multi-method, multi-set, nested-loop clients —
+/// with a fraction containing real conformance violations.
+bool generateCorpus(const std::string &Dir, unsigned Count, uint64_t Seed,
+                    std::string &Error);
+
+} // namespace shard
+} // namespace canvas
+
+#endif // CANVAS_SHARD_CORPUS_H

@@ -25,9 +25,17 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 using namespace canvas;
 using namespace canvas::store;
@@ -257,6 +265,54 @@ bool CertStore::parseFrame(const std::vector<uint8_t> &Bytes, StoreEntry &Out,
 std::string CertStore::entriesDir() const { return Root + "/entries"; }
 std::string CertStore::quarantineDir() const { return Root + "/quarantine"; }
 std::string CertStore::journalPath() const { return Root + "/journal.log"; }
+std::string CertStore::lockPath() const { return Root + "/LOCK"; }
+
+/// Acquires the exclusive multi-process lock: a short LOCK_NB spin
+/// (counted in Stats.LockWaits so contention is observable) and then a
+/// blocking flock. Blocking indefinitely is safe here — the kernel
+/// releases a dead holder's flock automatically, and every critical
+/// section is a bounded journal/commit operation, so a live holder
+/// always hands the lock over; a bounded give-up only manufactured
+/// spurious storeless runs when N workers oversubscribe one core.
+/// ReadOnly stores and re-entrant scopes (LockHeld) take nothing.
+class CertStore::ScopedLock {
+public:
+  explicit ScopedLock(CertStore &S) : S(S) {
+    if (S.Mode == StoreMode::ReadOnly || S.LockFd < 0 || S.LockHeld)
+      return;
+    for (unsigned Attempt = 0; Attempt < 8; ++Attempt) {
+      if (::flock(S.LockFd, LOCK_EX | LOCK_NB) == 0) {
+        S.LockHeld = true;
+        Owned = true;
+        return;
+      }
+      if (errno != EWOULDBLOCK && errno != EINTR)
+        ioError("cannot lock the store: " + std::string(strerror(errno)));
+      ++S.Stats.LockWaits;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1u << Attempt));
+    }
+    while (::flock(S.LockFd, LOCK_EX) != 0) {
+      if (errno != EINTR)
+        ioError("cannot lock the store: " + std::string(strerror(errno)));
+    }
+    S.LockHeld = true;
+    Owned = true;
+  }
+
+  ~ScopedLock() {
+    if (Owned) {
+      S.LockHeld = false;
+      ::flock(S.LockFd, LOCK_UN);
+    }
+  }
+
+  ScopedLock(const ScopedLock &) = delete;
+  ScopedLock &operator=(const ScopedLock &) = delete;
+
+private:
+  CertStore &S;
+  bool Owned = false;
+};
 
 CertStore::CertStore(std::string RootPath, StoreMode Mode)
     : Root(std::move(RootPath)), Mode(Mode) {
@@ -269,17 +325,38 @@ CertStore::CertStore(std::string RootPath, StoreMode Mode)
     fs::create_directories(quarantineDir(), EC);
     if (EC)
       ioError("cannot create quarantine at '" + Root + "': " + EC.message());
-    const std::string Manifest = Root + "/MANIFEST";
-    if (!fs::exists(Manifest)) {
-      std::ofstream Out(Manifest, std::ios::binary);
-      Out << ManifestLine;
-      if (!Out)
-        ioError("cannot write the store manifest");
+    // The lock file must exist before anything below can be guarded;
+    // O_CREAT is itself atomic across racing openers.
+    LockFd = ::open(lockPath().c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (LockFd < 0)
+      ioError("cannot open the store lock '" + lockPath() + "'");
+    try {
+      ScopedLock L(*this);
+      const std::string Manifest = Root + "/MANIFEST";
+      if (!fs::exists(Manifest)) {
+        std::ofstream Out(Manifest, std::ios::binary);
+        Out << ManifestLine;
+        if (!Out)
+          ioError("cannot write the store manifest");
+      }
+      recover();
+    } catch (...) {
+      // The destructor will not run when the constructor throws; the
+      // lock fd must not leak into the (store-less) continuation.
+      ::close(LockFd);
+      LockFd = -1;
+      throw;
     }
-  } else if (!fs::is_directory(Root, EC) || !fs::is_directory(entriesDir(), EC)) {
-    ioError("read-only open of a missing store '" + Root + "'");
+  } else {
+    if (!fs::is_directory(Root, EC) || !fs::is_directory(entriesDir(), EC))
+      ioError("read-only open of a missing store '" + Root + "'");
+    recover();
   }
-  recover();
+}
+
+CertStore::~CertStore() {
+  if (LockFd >= 0)
+    ::close(LockFd);
 }
 
 void CertStore::recover() {
@@ -388,6 +465,7 @@ void CertStore::quarantineFile(const std::string &File,
         {Unit, "StoreEntryInvalid", Name + ": " + Reason + " (read-only: skipped)"});
     return;
   }
+  ScopedLock L(*this);
   std::error_code EC;
   fs::path Dest = fs::path(quarantineDir()) / Name;
   for (unsigned I = 1; fs::exists(Dest, EC); ++I)
@@ -453,11 +531,20 @@ void CertStore::appendJournal(const std::string &Line) {
 void CertStore::put(const StoreEntry &E) {
   if (Mode == StoreMode::ReadOnly)
     ioError("put into a read-only store");
+  // The lock spans the whole commit protocol, so concurrent processes
+  // serialize journal appends and no live temp of one process can be
+  // swept by another's recovery. A crash mid-commit drops the lock via
+  // the kernel; the half-done commit is the next recovery's problem,
+  // exactly as in the single-process story.
+  ScopedLock L(*this);
   const std::string Name = entryFileName(E.InputHash, E.Unit);
   appendJournal("B " + Name);
 
+  // Temps are pid-qualified so two processes committing the same key
+  // can never collide on a temp name.
   static std::atomic<unsigned> TempCounter{0};
   const std::string Tmp = entriesDir() + "/" + Name + ".tmp" +
+                          std::to_string(::getpid()) + "_" +
                           std::to_string(TempCounter.fetch_add(1));
   const std::vector<uint8_t> Frame = frameEntry(E);
   {

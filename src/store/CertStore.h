@@ -79,6 +79,8 @@ struct StoreStats {
                                  ///< on open (crash evidence).
   unsigned TempsRemoved = 0;     ///< Stray temp files removed on open.
   unsigned Writes = 0;           ///< Entries committed.
+  unsigned LockWaits = 0;        ///< Backoff sleeps taken while another
+                                 ///< process held the store lock.
 };
 
 /// One structured store anomaly, surfaced on the certification report
@@ -106,13 +108,31 @@ struct StoreReport {
 
 /// The on-disk store. Layout under the root directory:
 ///   MANIFEST        identifying magic + version line
+///   LOCK            the multi-process mutex (flock target; empty file)
 ///   journal.log     write-ahead journal ("B <file>" / "C <file>" lines)
 ///   entries/        one CRC-framed record per (input hash, unit) key
 ///   quarantine/     torn/corrupt/rejected records, moved aside
 ///
-/// Not thread-safe: core::Certifier gates hits and commits entries
-/// serially (the parallel fan-out only reads the pre-validated hit
-/// map).
+/// Concurrency model: one store directory may be shared by many
+/// PROCESSES (the sharded driver's workers). Every mutation — the
+/// recovery pass, each put() commit, each quarantine/evict — runs under
+/// an exclusive flock(2) on the dedicated LOCK file, acquired
+/// non-blocking with exponential backoff; exhausting the backoff throws
+/// CertifyError(StoreIO), which the certifier treats like any other
+/// store failure (degrade to re-analysis). The lock is on LOCK, not on
+/// journal.log: flock follows the open file description's inode, and
+/// recovery replaces the journal by rename — locking a file that gets
+/// renamed lets two processes each hold "the" lock on different inodes.
+/// LOCK is never renamed or removed, and the kernel drops the lock when
+/// a holder dies, so a crashed worker cannot wedge the store. Readers
+/// (get) take no lock: entries are only ever produced whole by rename,
+/// so a read sees a complete old or complete new frame.
+///
+/// Within one process a CertStore instance is still not thread-safe:
+/// core::Certifier gates hits and commits entries serially (the
+/// parallel fan-out only reads the pre-validated hit map). Concurrent
+/// threads must open their own instances, which then serialize through
+/// the same file lock.
 class CertStore {
 public:
   /// Opens the store, creating the layout when absent (ReadWrite), and
@@ -122,6 +142,13 @@ public:
   /// cannot be brought to a sane state (or an open/recover fault is
   /// injected) — the caller continues without a store.
   CertStore(std::string RootPath, StoreMode Mode);
+
+  /// Releases the process lock file descriptor (any held flock is
+  /// already scoped; this only closes the fd).
+  ~CertStore();
+
+  CertStore(const CertStore &) = delete;
+  CertStore &operator=(const CertStore &) = delete;
 
   StoreMode mode() const { return Mode; }
   const std::string &path() const { return Root; }
@@ -173,10 +200,18 @@ public:
                          std::string &Error);
 
 private:
+  /// RAII exclusive flock on the LOCK file. Recursion-guarded: a
+  /// ScopedLock taken while this instance already holds the lock (e.g.
+  /// quarantineFile under recover) is a no-op, so the outer scope's
+  /// unlock is the only unlock.
+  class ScopedLock;
+  friend class ScopedLock;
+
   void recover();
   std::string entriesDir() const;
   std::string quarantineDir() const;
   std::string journalPath() const;
+  std::string lockPath() const;
   void appendJournal(const std::string &Line);
   void quarantineFile(const std::string &File, const std::string &Unit,
                       const std::string &Reason);
@@ -185,6 +220,8 @@ private:
   StoreMode Mode;
   StoreStats Stats;
   std::vector<StoreIncident> Incidents;
+  int LockFd = -1;       ///< Open fd on LOCK (ReadWrite only).
+  bool LockHeld = false; ///< This instance holds the exclusive flock.
 };
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over \p Size bytes.

@@ -1,8 +1,6 @@
 #include "support/TaskPool.h"
 
-#include <atomic>
 #include <exception>
-#include <thread>
 
 using namespace canvas;
 using namespace canvas::support;
@@ -14,45 +12,118 @@ TaskPool::TaskPool(unsigned Workers) : NumWorkers(Workers) {
     NumWorkers = 1;
 }
 
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    ShuttingDown = true;
+  }
+  BatchCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void TaskPool::workOn(const std::vector<std::function<void()>> &Tasks,
+                      std::vector<std::exception_ptr> &Errors) {
+  for (;;) {
+    size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= Tasks.size())
+      return;
+    try {
+      Tasks[I]();
+    } catch (...) {
+      Errors[I] = std::current_exception();
+    }
+    // The last completion wakes the caller; notifying under the lock
+    // pairs with the caller's predicated wait so the wake cannot be
+    // lost between the predicate check and the sleep.
+    if (Completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        Tasks.size()) {
+      std::lock_guard<std::mutex> L(M);
+      DoneCV.notify_all();
+    }
+  }
+}
+
+void TaskPool::workerLoop() {
+  uint64_t Seen = 0;
+  for (;;) {
+    const std::vector<std::function<void()>> *B = nullptr;
+    std::vector<std::exception_ptr> *Errs = nullptr;
+    {
+      std::unique_lock<std::mutex> L(M);
+      BatchCV.wait(L, [&] { return ShuttingDown || Generation != Seen; });
+      if (ShuttingDown)
+        return;
+      Seen = Generation;
+      // Batch is nulled (under this lock) before runAll returns, so a
+      // non-null pointer here is guaranteed to outlive our Busy window.
+      B = Batch;
+      Errs = BatchErrors;
+      if (B)
+        ++Busy;
+    }
+    if (!B)
+      continue; // Batch fully drained before this worker woke.
+    workOn(*B, *Errs);
+    {
+      std::lock_guard<std::mutex> L(M);
+      --Busy;
+      DoneCV.notify_all();
+    }
+  }
+}
+
 void TaskPool::runAll(const std::vector<std::function<void()>> &Tasks) {
   if (Tasks.empty())
     return;
 
-  unsigned Threads =
+  unsigned Threads2 =
       static_cast<unsigned>(std::min<size_t>(NumWorkers, Tasks.size()));
 
   // The serial path: no threads, exceptions propagate from the first
   // failing task directly. The parallel path's failure contract below
   // matches this (lowest index wins), so both paths are observationally
   // identical for deterministic tasks.
-  if (Threads == 1) {
+  if (Threads2 == 1) {
     for (const auto &Task : Tasks)
       Task();
     return;
   }
 
-  std::vector<std::exception_ptr> Errors(Tasks.size());
-  std::atomic<size_t> Next{0};
-  auto Work = [&] {
-    for (;;) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Tasks.size())
-        return;
-      try {
-        Tasks[I]();
-      } catch (...) {
-        Errors[I] = std::current_exception();
-      }
-    }
-  };
+  // Persistent workers: spawned once, on the first parallel batch.
+  if (Threads.empty()) {
+    Threads.reserve(NumWorkers - 1);
+    for (unsigned I = 1; I != NumWorkers; ++I)
+      Threads.emplace_back([this] { workerLoop(); });
+  }
 
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads - 1);
-  for (unsigned I = 1; I != Threads; ++I)
-    Pool.emplace_back(Work);
-  Work(); // The calling thread is worker 0.
-  for (std::thread &T : Pool)
-    T.join();
+  std::vector<std::exception_ptr> Errors(Tasks.size());
+  {
+    std::lock_guard<std::mutex> L(M);
+    Batch = &Tasks;
+    BatchErrors = &Errors;
+    Next.store(0, std::memory_order_relaxed);
+    Completed.store(0, std::memory_order_relaxed);
+    ++Generation;
+  }
+  BatchCV.notify_all();
+
+  workOn(Tasks, Errors); // The calling thread is worker 0.
+
+  {
+    // Wait for both conditions: every task completed AND no worker is
+    // still inside workOn() holding references to this batch. The
+    // second clause is what lets Tasks/Errors live on the caller's
+    // stack: a worker that woke late sees Batch == nullptr and never
+    // touches them.
+    std::unique_lock<std::mutex> L(M);
+    DoneCV.wait(L, [&] {
+      return Completed.load(std::memory_order_acquire) >= Tasks.size() &&
+             Busy == 0;
+    });
+    Batch = nullptr;
+    BatchErrors = nullptr;
+  }
 
   for (std::exception_ptr &E : Errors)
     if (E)

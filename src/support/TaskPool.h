@@ -15,16 +15,28 @@
 ///    thread, making the serial and parallel paths byte-identical by
 ///    construction.
 ///
-/// Workers are spawned per runAll() call and joined before it returns;
-/// the pool owns no long-lived threads, so engines below it never
-/// observe concurrency outside an active fan-out.
+/// Worker threads are spawned lazily on the first parallel runAll() and
+/// PERSIST across runAll() calls until the pool is destroyed: a
+/// certification run fans out once per ladder rung (and the supervisor
+/// may walk several rungs), and re-spawning / re-joining a thread set
+/// per rung was a measurable fixed cost on small methods. Between
+/// batches the workers block on a condition variable, so engines below
+/// the pool never observe concurrency outside an active fan-out.
+///
+/// runAll() is not reentrant and must be called from one thread at a
+/// time (the certifier's supervisor is the only caller).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CANVAS_SUPPORT_TASKPOOL_H
 #define CANVAS_SUPPORT_TASKPOOL_H
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace canvas {
@@ -35,8 +47,19 @@ public:
   /// \p Workers bounds concurrency; 0 means hardware_concurrency().
   explicit TaskPool(unsigned Workers = 0);
 
+  /// Wakes and joins any persistent workers. Must not run concurrently
+  /// with runAll().
+  ~TaskPool();
+
+  TaskPool(const TaskPool &) = delete;
+  TaskPool &operator=(const TaskPool &) = delete;
+
   /// The effective worker bound (never 0).
   unsigned workers() const { return NumWorkers; }
+
+  /// Worker threads currently alive (0 until the first parallel batch;
+  /// test observability).
+  size_t spawnedWorkers() const { return Threads.size(); }
 
   /// Runs every task to completion and returns. Tasks run concurrently
   /// on up to workers() threads (inline when 1). If tasks threw, the
@@ -45,7 +68,26 @@ public:
   void runAll(const std::vector<std::function<void()>> &Tasks);
 
 private:
+  void workerLoop();
+  /// Claims and runs batch tasks until the index counter is exhausted.
+  void workOn(const std::vector<std::function<void()>> &Tasks,
+              std::vector<std::exception_ptr> &Errors);
+
   unsigned NumWorkers;
+  std::vector<std::thread> Threads;
+
+  std::mutex M;
+  std::condition_variable BatchCV; ///< Workers: a batch was published.
+  std::condition_variable DoneCV;  ///< Caller: batch fully drained.
+
+  // Batch state, guarded by M (the pointers) or atomic (the counters).
+  const std::vector<std::function<void()>> *Batch = nullptr;
+  std::vector<std::exception_ptr> *BatchErrors = nullptr;
+  uint64_t Generation = 0; ///< Bumped per published batch.
+  size_t Busy = 0;         ///< Workers currently inside workOn().
+  bool ShuttingDown = false;
+  std::atomic<size_t> Next{0};      ///< Next unclaimed task index.
+  std::atomic<size_t> Completed{0}; ///< Tasks finished this batch.
 };
 
 } // namespace support

@@ -314,6 +314,26 @@ TEST(SCMPCertifierTest, BooleanProgramRenders) {
   EXPECT_NE(S.find("i.set == s"), std::string::npos) << S;
 }
 
+// A method with no iterator variables instantiates a zero-variable
+// boolean program whose packed states are all zero-width and hence
+// permanently disengaged. The fixpoint must still terminate on a loop
+// (it once requeued forever, treating "disengaged" as "first visit")
+// and must still know which nodes were reached.
+TEST(SCMPCertifierTest, ZeroVariableProgramWithLoopTerminates) {
+  auto C = certify(easl::cmpSpecSource(), R"(
+    class ZeroVar {
+      void main() {
+        Set s = new Set();
+        while (*) { s.add(); }
+      }
+    }
+  )");
+  EXPECT_TRUE(C->BP.Vars.empty());
+  const cj::CFGMethod *Main = C->CFG.mainCFG();
+  EXPECT_TRUE(C->Result.reachable(Main->Entry));
+  EXPECT_TRUE(C->Result.reachable(Main->Exit));
+}
+
 TEST(SCMPCertifierTest, StateRendersFigure8Style) {
   auto C = certify(easl::cmpSpecSource(), R"(
     class Tiny {

@@ -124,6 +124,32 @@ TEST(CertCheckerTest, SupervisorSelfCheckPasses) {
   }
 }
 
+// A set with no iterators yields a zero-variable boolean program (or,
+// under pre-analysis, a zero-variable slice) whose zero-width states
+// are permanently disengaged. Emission and checking must agree on the
+// coverage tags instead of leaning on engagement: this client once
+// looped the analyzer forever, and its stored certificates were
+// rejected ("entry node not covered") and quarantined.
+TEST(CertCheckerTest, ZeroVariableSliceCertificateAccepted) {
+  const char *Client = R"(
+    class Mixed {
+      void main() {
+        Set s0 = new Set();
+        Iterator i = s0.iterator();
+        while (*) { i.next(); }
+        Set s1 = new Set();
+        s1.add();
+      }
+    }
+  )";
+  CertRun Ru = makeRun(EngineKind::SCMPIntra, Client);
+  ASSERT_FALSE(Ru.R.Certificates.empty());
+  for (const cert::Certificate &C : Ru.R.Certificates) {
+    cert::CheckResult CR = Ru.checker().check(C);
+    EXPECT_TRUE(CR.Valid) << C.Unit << ": " << CR.Reason;
+  }
+}
+
 TEST(CertCheckerTest, RoundTrippedCertificatesStillVerify) {
   CertRun Ru = makeRun(EngineKind::SCMPIntra);
   std::vector<uint8_t> Blob = cert::serializeCertificates(Ru.R.Certificates);

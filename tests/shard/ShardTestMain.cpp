@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+// Custom gtest main: the shard driver tests spawn worker processes by
+// re-executing THIS binary with --worker, so the sharded pipeline under
+// test is the real fork/exec/pipe path, not an in-process simulation.
+// (Separate CMake target without gtest_main to keep main() unique.)
+//===----------------------------------------------------------------------===//
+
+#include "shard/Worker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) {
+    canvas::shard::WorkerOptions WO;
+    for (int I = 2; I < argc; ++I)
+      if (!canvas::shard::parseWorkerFlag(argv[I], WO)) {
+        std::fprintf(stderr, "shard_test --worker: unknown flag '%s'\n",
+                     argv[I]);
+        return 2;
+      }
+    return canvas::shard::workerMain(WO);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -6,7 +6,10 @@
 # each line (tagged with a caller-supplied label) to the JSON-lines
 # file at the repo root. Also captures the persistent certificate
 # store's hit-rate lines (a cold run that fills the store followed by a
-# warm run that must answer everything from it) from canvas_certify.
+# warm run that must answer everything from it) from canvas_certify,
+# and the sharded driver's shard-scaling / shard-store lines from
+# canvas_shard (serial reference, 1/2/4/8-way cold runs, and a
+# cold+warm store pair at 4 workers over a 200-client corpus).
 #
 # Usage: tools/bench_capture.sh [label]
 #   label   tag recorded with each line (default: "after"); use e.g.
@@ -27,7 +30,8 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS" \
-  --target bench_certification bench_scaling canvas_certify >/dev/null
+  --target bench_certification bench_scaling canvas_certify \
+  canvas_shard >/dev/null
 
 capture() {
   # Keep only the driver's TVLA JSON payloads; drop the
@@ -61,9 +65,37 @@ class M {
 }
 EOF
   for run in cold warm; do
-    ./build/examples/canvas_certify --store="$dir/store" "$client" \
-      2>/dev/null |
+    ./build/examples/canvas_certify --store="$dir/store" \
+      --bench-label=store-smoke "$client" 2>/dev/null |
       sed -n 's/^BENCH_JSON //p' | grep '"bench":"store' || true
+  done
+  rm -rf "$dir"
+}
+
+# Shard scaling: one generated corpus, a serial reference, then cold
+# sharded runs at 1/2/4/8 workers, and a cold + store-warm pair at 4
+# workers. The shard-scaling lines carry wall-clock micros per shard
+# count; the shard-store lines record the warm pass's cross-worker hit
+# distribution (hits from >= 2 worker pids, zero quarantined is the
+# healthy shape).
+capture_shard() {
+  local dir
+  dir="$(mktemp -d)"
+  ./build/examples/canvas_shard --generate="$dir/corpus" --count=200 \
+    --seed=7 >/dev/null
+  ./build/examples/canvas_shard --corpus="$dir/corpus" --serial \
+    --no-stream --bench-label=shard-200 --out="$dir/merged.txt" |
+    sed -n 's/^BENCH_JSON //p' | grep '"bench":"shard' || true
+  for n in 1 2 4 8; do
+    ./build/examples/canvas_shard --corpus="$dir/corpus" --shards="$n" \
+      --no-stream --bench-label=shard-200 --out="$dir/merged.txt" |
+      sed -n 's/^BENCH_JSON //p' | grep '"bench":"shard' || true
+  done
+  for run in cold warm; do
+    ./build/examples/canvas_shard --corpus="$dir/corpus" --shards=4 \
+      --store="$dir/store" --no-stream --bench-label=shard-200-$run \
+      --out="$dir/merged.txt" |
+      sed -n 's/^BENCH_JSON //p' | grep '"bench":"shard' || true
   done
   rm -rf "$dir"
 }
@@ -72,6 +104,7 @@ EOF
   capture ./build/bench/bench_certification
   capture ./build/bench/bench_scaling
   capture_store
+  capture_shard
 } | while IFS= read -r line; do
   printf '{"label":"%s","captured":%s}\n' "$LABEL" "$line"
 done >>"$OUT"

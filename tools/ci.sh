@@ -81,12 +81,15 @@ step "tsan configure + build (ThreadSanitizer)"
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 
-step "tsan: parallel certifier, task pool, and budget tests"
+step "tsan: parallel certifier, task pool, budget, and shard scheduler"
 # The fan-out tests force Workers > 1 explicitly, so TSan sees real
 # concurrency even on single-core runners; any data race in the shared
-# CancelToken, fault-probe state, or slot merging fails the gate.
+# CancelToken, fault-probe state, or slot merging fails the gate. The
+# shard determinism tests drive the multi-process scheduler (fork+exec
+# is TSan-safe; the fork-without-exec StoreContention tests are NOT in
+# this regex for that reason — they run under the sanitize preset).
 run_ctest --preset tsan -j "$JOBS" \
-  -R 'ParallelCertifierTest|ParallelEngineTest|TaskPoolTest|BudgetTest'
+  -R 'ParallelCertifierTest|ParallelEngineTest|TaskPoolTest|BudgetTest|ShardProtocolTest|ShardDeterminismTest'
 
 step "ubsan configure + build (UBSan only)"
 cmake --preset ubsan
@@ -107,6 +110,23 @@ step "store crash-recovery suite (sanitize)"
 # regression is named in the CI log, not buried in the full suite.
 run_ctest --preset sanitize -j "$JOBS" \
   -R 'CrashRecovery|CertStoreTest|StoreIncremental|InputHash'
+
+step "shard: multi-process determinism vs serial (sanitize)"
+# The sharded certification driver must merge to a report byte-identical
+# to the serial run at every shard count. Exercise the real corpus flow
+# end to end on the sanitize build: generate a corpus, take one serial
+# reference, then diff 1/2/4-way sharded runs against it.
+SHARD_BIN=./build-sanitize/examples/canvas_shard
+SHARD_DIR="$(mktemp -d)"
+"$SHARD_BIN" --generate="$SHARD_DIR/corpus" --count=32 --seed=11
+"$SHARD_BIN" --corpus="$SHARD_DIR/corpus" --serial --no-stream \
+  --out="$SHARD_DIR/serial.txt" >/dev/null
+for n in 1 2 4; do
+  "$SHARD_BIN" --corpus="$SHARD_DIR/corpus" --shards="$n" --no-stream \
+    --out="$SHARD_DIR/shard$n.txt" >/dev/null
+  cmp "$SHARD_DIR/serial.txt" "$SHARD_DIR/shard$n.txt"
+done
+rm -rf "$SHARD_DIR"
 
 step "fault-injection pass (sanitize, every probe site)"
 # Arms one environment fault per probe site and re-runs the env-fault
